@@ -1,0 +1,245 @@
+//! An immediate-fire production-rule engine — the pre-PARK style of active
+//! rule execution the paper's Section 3 requirements indict.
+//!
+//! One rule instance fires at a time; its update is applied to the database
+//! *immediately*; matching restarts. Execution quiesces when no rule
+//! instance would change the database. This is (a schematic form of) how
+//! OPS5-descended and trigger-based systems behave, and it violates the
+//! paper's requirements in exactly the documented ways:
+//!
+//! * **No unambiguous semantics** — the result depends on the rule order
+//!   ([`FiringOrder`]), so one program yields multiple database states.
+//! * **No guaranteed termination** — mutually-undoing rules loop forever;
+//!   [`immediate_fire`] reports [`ImmediateResult::Diverged`] after
+//!   `max_fires`.
+//!
+//! Event literals are not supported (the model has no marked atoms);
+//! programs containing them are rejected.
+
+use park_engine::{fire_all, BlockedSet, CompiledProgram, IInterpretation};
+use park_storage::FactStore;
+use park_syntax::Sign;
+
+/// Which fireable instance is chosen each cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FiringOrder {
+    /// First fireable instance of the lowest-numbered rule.
+    #[default]
+    RuleOrder,
+    /// First fireable instance of the highest-numbered rule.
+    ReverseRuleOrder,
+}
+
+/// Configuration for [`immediate_fire`].
+#[derive(Debug, Clone, Copy)]
+pub struct ImmediateConfig {
+    /// Abort (as diverged) after this many firings.
+    pub max_fires: u64,
+    /// Instance selection order.
+    pub order: FiringOrder,
+}
+
+impl Default for ImmediateConfig {
+    fn default() -> Self {
+        ImmediateConfig {
+            max_fires: 10_000,
+            order: FiringOrder::RuleOrder,
+        }
+    }
+}
+
+/// The outcome of an immediate-fire execution.
+#[derive(Debug, Clone)]
+pub enum ImmediateResult {
+    /// Quiesced: no rule instance would change the database.
+    Converged {
+        /// The final database.
+        database: FactStore,
+        /// Rule instances fired.
+        fires: u64,
+    },
+    /// Hit the firing bound without quiescing — (practically) diverged.
+    Diverged {
+        /// The database state when aborted.
+        database: FactStore,
+        /// Rule instances fired (= `max_fires`).
+        fires: u64,
+    },
+}
+
+impl ImmediateResult {
+    /// The database regardless of convergence.
+    pub fn database(&self) -> &FactStore {
+        match self {
+            ImmediateResult::Converged { database, .. }
+            | ImmediateResult::Diverged { database, .. } => database,
+        }
+    }
+
+    /// True if execution quiesced.
+    pub fn converged(&self) -> bool {
+        matches!(self, ImmediateResult::Converged { .. })
+    }
+}
+
+/// Execute a condition–action program under immediate-firing semantics.
+///
+/// # Panics
+///
+/// Panics if the program contains event literals (`+a`/`-a` in a body);
+/// immediate execution has no update marks for them to match.
+pub fn immediate_fire(
+    program: &CompiledProgram,
+    db: &FactStore,
+    config: ImmediateConfig,
+) -> ImmediateResult {
+    assert!(
+        program.rules().iter().all(|r| r
+            .source
+            .body
+            .iter()
+            .all(|l| !matches!(l, park_syntax::BodyLiteral::Event(..)))),
+        "immediate-fire semantics does not support event literals"
+    );
+    let mut db = db.clone();
+    let blocked = BlockedSet::new();
+    let mut fires = 0u64;
+    loop {
+        if fires >= config.max_fires {
+            return ImmediateResult::Diverged {
+                database: db,
+                fires,
+            };
+        }
+        // Evaluate rule bodies against the plain database: an interpretation
+        // with no marks makes positive literals plain membership and
+        // negation plain closed-world absence.
+        let interp = IInterpretation::from_database(db.clone());
+        let mut fired = fire_all(program, &blocked, &interp);
+        if config.order == FiringOrder::ReverseRuleOrder {
+            fired.reverse();
+        }
+        // The first instance whose action would change the database fires.
+        let next = fired.into_iter().find(|f| match f.sign {
+            Sign::Insert => !db.contains(f.pred, &f.tuple),
+            Sign::Delete => db.contains(f.pred, &f.tuple),
+        });
+        match next {
+            None => {
+                return ImmediateResult::Converged {
+                    database: db,
+                    fires,
+                }
+            }
+            Some(f) => {
+                fires += 1;
+                match f.sign {
+                    Sign::Insert => {
+                        db.insert(f.pred, f.tuple).expect("arity consistent");
+                    }
+                    Sign::Delete => {
+                        db.remove(f.pred, &f.tuple);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use park_engine::CompiledProgram;
+    use park_storage::Vocabulary;
+    use park_syntax::parse_program;
+    use std::sync::Arc;
+
+    fn run(rules: &str, facts: &str, config: ImmediateConfig) -> ImmediateResult {
+        let vocab = Vocabulary::new();
+        let program =
+            CompiledProgram::compile(Arc::clone(&vocab), &parse_program(rules).unwrap()).unwrap();
+        let db = FactStore::from_source(vocab, facts).unwrap();
+        immediate_fire(&program, &db, config)
+    }
+
+    #[test]
+    fn simple_cascade_converges() {
+        let r = run("p -> +q. q -> +r.", "p.", ImmediateConfig::default());
+        assert!(r.converged());
+        assert_eq!(r.database().sorted_display(), vec!["p", "q", "r"]);
+    }
+
+    #[test]
+    fn order_dependence_yields_different_states() {
+        // r1 inserts q; r2 fires only while q is absent. Forward order
+        // inserts q first and r never appears; reverse order fires r2 first.
+        let rules = "r1: p -> +q. r2: !q -> +r.";
+        let fwd = run(rules, "p.", ImmediateConfig::default());
+        let rev = run(
+            rules,
+            "p.",
+            ImmediateConfig {
+                order: FiringOrder::ReverseRuleOrder,
+                ..Default::default()
+            },
+        );
+        assert!(fwd.converged() && rev.converged());
+        assert_eq!(fwd.database().sorted_display(), vec!["p", "q"]);
+        assert_eq!(rev.database().sorted_display(), vec!["p", "q", "r"]);
+        // One program, two result states: the ambiguity PARK rules out.
+        assert!(!fwd.database().same_facts(rev.database()));
+    }
+
+    #[test]
+    fn mutually_undoing_rules_diverge() {
+        // a present → delete it; a absent → insert it. Never quiesces.
+        let r = run(
+            "p, a -> -a. p, !a -> +a.",
+            "p.",
+            ImmediateConfig {
+                max_fires: 100,
+                ..Default::default()
+            },
+        );
+        assert!(!r.converged());
+        match r {
+            ImmediateResult::Diverged { fires, .. } => assert_eq!(fires, 100),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn park_handles_the_diverging_program() {
+        // The same program under PARK terminates with a unique answer.
+        use park_engine::{Engine, Inertia};
+        let vocab = Vocabulary::new();
+        let program = parse_program("p, a -> -a. p, !a -> +a.").unwrap();
+        let engine = Engine::new(Arc::clone(&vocab), &program).unwrap();
+        let db = FactStore::from_source(vocab, "p.").unwrap();
+        let out = engine.park(&db, &mut Inertia).unwrap();
+        // !a holds initially, so +a is derived; then `a` (via +a) makes the
+        // delete rule fire → conflict; inertia (a ∉ D) resolves to delete,
+        // blocking the inserting instance; fixpoint {p}.
+        assert_eq!(out.database.sorted_display(), vec!["p"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "event literals")]
+    fn event_literals_rejected() {
+        run("+p(X) -> -q(X).", "q(a).", ImmediateConfig::default());
+    }
+
+    #[test]
+    fn deletion_cascade() {
+        let r = run(
+            "emp(X), !active(X) -> -payroll(X).",
+            "emp(a). emp(b). active(b). payroll(a). payroll(b).",
+            ImmediateConfig::default(),
+        );
+        assert!(r.converged());
+        assert_eq!(
+            r.database().sorted_display(),
+            vec!["active(b)", "emp(a)", "emp(b)", "payroll(b)"]
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # park-baselines
+//!
+//! Baseline active-rule semantics that the PARK paper argues against,
+//! implemented so that the paper's motivating divergences are executable:
+//!
+//! * [`naive_mark_eliminate`] — Section 4.1's strawman: inflationary
+//!   fixpoint ignoring inconsistencies, then post-hoc elimination of
+//!   conflicting `±a` pairs. Reproduces the wrong answers on the paper's
+//!   P2 (`s` survives) and P3 (`a` is lost to a false conflict).
+//! * [`immediate_fire`] — a sequential production-rule engine in the
+//!   OPS5/trigger tradition: order-dependent results (ambiguity) and
+//!   non-termination on mutually-undoing rules, i.e. the failures the
+//!   paper's Section 3 requirements exclude.
+//! * [`stratified_datalog`] — classical stratified (perfect-model)
+//!   evaluation for insert-only programs: the deductive semantics the
+//!   paper builds on, including the documented divergence between
+//!   stratified and inflationary negation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod immediate;
+pub mod naive;
+pub mod stratified;
+
+pub use immediate::{immediate_fire, FiringOrder, ImmediateConfig, ImmediateResult};
+pub use naive::{naive_mark_eliminate, NaiveOutcome};
+pub use stratified::{stratified_datalog, StratifiedOutcome, StratifyError};

@@ -1,0 +1,182 @@
+//! The naive mark-and-eliminate semantics — Section 4.1's strawman.
+//!
+//! "If we stubbornly apply the immediate consequence operator … in this
+//! final fixed point we recognize that `-a` and `+a` are conflicting and
+//! eliminate these two marked atoms using the principle of inertia."
+//!
+//! That is: run the inflationary fixpoint of `Γ_{P,∅}` to completion,
+//! *ignoring* inconsistencies, then post-hoc drop every conflicting `±a`
+//! pair, then `incorp`. The paper shows with programs P2 and P3 why this is
+//! wrong — consequences of invalidated marks survive (P2's `s`), and false
+//! conflicts poison unrelated atoms (P3's `a`). This module implements the
+//! strawman faithfully so those divergences are measurable.
+
+use park_engine::{fire_all, BlockedSet, CompiledProgram, EngineError, IInterpretation};
+use park_storage::{FactStore, PredId, Tuple, UpdateSet};
+
+/// The result of a naive mark-and-eliminate evaluation.
+#[derive(Debug, Clone)]
+pub struct NaiveOutcome {
+    /// The result database.
+    pub database: FactStore,
+    /// The raw (possibly inconsistent) fixpoint of `Γ_{P,∅}`.
+    pub fixpoint: IInterpretation,
+    /// Atoms whose `+`/`-` pair was eliminated, rendered and sorted.
+    pub eliminated: Vec<String>,
+    /// Γ applications performed.
+    pub steps: u64,
+}
+
+/// Evaluate `P ∪ U`-as-rules under the naive semantics.
+///
+/// `max_steps` bounds the fixpoint iteration (the operator is inflationary
+/// over a finite base, so it terminates; the bound guards against misuse
+/// with enormous inputs).
+pub fn naive_mark_eliminate(
+    program: &CompiledProgram,
+    db: &FactStore,
+    updates: &UpdateSet,
+    max_steps: u64,
+) -> Result<NaiveOutcome, EngineError> {
+    let working = program.with_updates(updates);
+    let mut interp = IInterpretation::from_database(db.clone());
+    for req in working.index_requests() {
+        interp.zone_mut(req.zone).ensure_index(req.pred, req.mask);
+    }
+    let blocked = BlockedSet::new();
+    let mut steps = 0u64;
+    loop {
+        if steps >= max_steps {
+            return Err(EngineError::StepLimit { limit: max_steps });
+        }
+        steps += 1;
+        let fired = fire_all(&working, &blocked, &interp);
+        let mut grew = false;
+        for f in &fired {
+            if interp.insert_marked(f.sign, f.pred, f.tuple.clone()) {
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // Post-hoc elimination: conflicting pairs are ignored (inertia).
+    let conflicting: Vec<(PredId, Tuple)> = interp.inconsistencies();
+    let is_conflicting =
+        |p: PredId, t: &Tuple| conflicting.iter().any(|(cp, ct)| *cp == p && ct == t);
+    let mut database = db.clone();
+    for (p, t) in interp.plus().iter() {
+        if !is_conflicting(p, t) {
+            database.insert(p, t.clone()).expect("arity consistent");
+        }
+    }
+    for (p, t) in interp.minus().iter() {
+        if !is_conflicting(p, t) {
+            database.remove(p, t);
+        }
+    }
+    let vocab = db.vocab();
+    let mut eliminated: Vec<String> = conflicting
+        .iter()
+        .map(|(p, t)| vocab.display_fact(*p, t))
+        .collect();
+    eliminated.sort();
+
+    Ok(NaiveOutcome {
+        database,
+        fixpoint: interp,
+        eliminated,
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use park_engine::{CompiledProgram, Engine, Inertia};
+    use park_storage::Vocabulary;
+    use park_syntax::parse_program;
+    use std::sync::Arc;
+
+    fn naive(rules: &str, facts: &str) -> NaiveOutcome {
+        let vocab = Vocabulary::new();
+        let program =
+            CompiledProgram::compile(Arc::clone(&vocab), &parse_program(rules).unwrap()).unwrap();
+        let db = FactStore::from_source(vocab, facts).unwrap();
+        naive_mark_eliminate(&program, &db, &UpdateSet::empty(), 1 << 20).unwrap()
+    }
+
+    #[test]
+    fn p1_matches_park() {
+        // On P1 the naive semantics happens to agree with PARK: {p, q}.
+        let out = naive("p -> +q. p -> -a. q -> +a.", "p.");
+        assert_eq!(out.database.sorted_display(), vec!["p", "q"]);
+        assert_eq!(out.eliminated, vec!["a"]);
+    }
+
+    #[test]
+    fn p2_produces_the_papers_wrong_answer() {
+        // Section 4.1: the naive semantics keeps s (derived from the later-
+        // invalidated +a); PARK's correct answer is {p, q, r}.
+        let out = naive("p -> +q. p -> -a. q -> +a. !a -> +r. a -> +s.", "p.");
+        assert_eq!(out.database.sorted_display(), vec!["p", "q", "r", "s"]);
+        assert!(!out.fixpoint.is_consistent());
+        assert_eq!(out.eliminated, vec!["a"]);
+    }
+
+    #[test]
+    fn p3_false_conflict_poisons_a() {
+        // Section 4.1: q's false ambiguity makes a ambiguous too; the naive
+        // result is {p}, while PARK correctly returns {p, a}.
+        let out = naive("p -> +q. p -> -q. q -> +a. q -> -a. p -> +a.", "p.");
+        assert_eq!(out.database.sorted_display(), vec!["p"]);
+        assert_eq!(out.eliminated, vec!["a", "q"]);
+    }
+
+    #[test]
+    fn agrees_with_park_on_conflict_free_programs() {
+        let rules = "e(X, Y) -> +r(X, Y). r(X, Y), e(Y, Z) -> +r(X, Z). r(X, X) -> +cyclic.";
+        let facts = "e(a, b). e(b, c). e(c, a).";
+        let vocab = Vocabulary::new();
+        let program =
+            CompiledProgram::compile(Arc::clone(&vocab), &parse_program(rules).unwrap()).unwrap();
+        let db = FactStore::from_source(Arc::clone(&vocab), facts).unwrap();
+        let naive_out = naive_mark_eliminate(&program, &db, &UpdateSet::empty(), 1 << 20).unwrap();
+        let engine = Engine::new(Arc::clone(&vocab), &parse_program(rules).unwrap()).unwrap();
+        let park_out = engine.park(&db, &mut Inertia).unwrap();
+        assert!(naive_out.database.same_facts(&park_out.database));
+        assert!(naive_out.eliminated.is_empty());
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let vocab = Vocabulary::new();
+        let program = CompiledProgram::compile(
+            Arc::clone(&vocab),
+            &parse_program("p -> +q. q -> +r. r -> +s.").unwrap(),
+        )
+        .unwrap();
+        let db = FactStore::from_source(vocab, "p.").unwrap();
+        let err = naive_mark_eliminate(&program, &db, &UpdateSet::empty(), 2).unwrap_err();
+        assert!(matches!(err, EngineError::StepLimit { .. }));
+    }
+
+    #[test]
+    fn updates_are_included() {
+        let vocab = Vocabulary::new();
+        let program = CompiledProgram::compile(
+            Arc::clone(&vocab),
+            &parse_program("q(X) -> +r(X).").unwrap(),
+        )
+        .unwrap();
+        let db = FactStore::from_source(Arc::clone(&vocab), "q(a).").unwrap();
+        let updates = UpdateSet::from_source(&vocab, "+q(b).").unwrap();
+        let out = naive_mark_eliminate(&program, &db, &updates, 1 << 20).unwrap();
+        assert_eq!(
+            out.database.sorted_display(),
+            vec!["q(a)", "q(b)", "r(a)", "r(b)"]
+        );
+    }
+}

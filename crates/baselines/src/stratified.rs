@@ -1,0 +1,311 @@
+//! Stratified datalog evaluation — the classical *deductive* rule
+//! semantics (§3 of the paper cites the deductive tradition as the
+//! starting point: "if no two conflicting rules are ever firable, some
+//! fixpoint semantics may be appropriate").
+//!
+//! This baseline evaluates **insert-only** programs whose negation is
+//! stratifiable, stratum by stratum: within a stratum, negated literals
+//! refer only to lower (already fully computed) strata, so negation as
+//! failure is evaluated against a finished extension.
+//!
+//! ## Why this matters next to PARK
+//!
+//! PARK's declarative half is the *inflationary* fixpoint, which evaluates
+//! negation against the still-growing interpretation. The two semantics
+//! agree when negation only tests extensional (underived) predicates, but
+//! genuinely diverge on stratified programs where a negated predicate is
+//! derived later:
+//!
+//! ```text
+//! r1: r -> +p.      r2: !p -> +q.          D = {r}
+//! ```
+//!
+//! Stratified: compute p first (p holds), then ¬p fails — result {p, r}.
+//! Inflationary (and hence PARK): in the very first step ¬p still holds,
+//! so q is derived — result {p, q, r}. The paper *chooses* the
+//! inflationary semantics (Kolaitis & Papadimitriou) deliberately; this
+//! module makes the difference observable and tested rather than folklore.
+
+use park_engine::{
+    fire_all, BlockedSet, CompiledLiteral, CompiledProgram, DependencyGraph, EngineError,
+    IInterpretation, LitKind,
+};
+use park_storage::{FactStore, PredId};
+use park_syntax::Sign;
+use std::collections::HashMap;
+
+/// Why a program is outside this baseline's fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StratifyError {
+    /// A rule deletes — deductive semantics has no deletion.
+    DeletingRule(String),
+    /// A rule is event-triggered — deductive semantics has no events.
+    EventRule(String),
+    /// Negation occurs inside a recursive component.
+    NotStratifiable,
+}
+
+impl std::fmt::Display for StratifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StratifyError::DeletingRule(r) => {
+                write!(f, "rule `{r}` deletes; stratified datalog is insert-only")
+            }
+            StratifyError::EventRule(r) => {
+                write!(
+                    f,
+                    "rule `{r}` is event-triggered; stratified datalog has no events"
+                )
+            }
+            StratifyError::NotStratifiable => {
+                write!(
+                    f,
+                    "negation through recursion: the program is not stratifiable"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StratifyError {}
+
+/// The result of a stratified evaluation.
+#[derive(Debug, Clone)]
+pub struct StratifiedOutcome {
+    /// The perfect (stratified) model.
+    pub database: FactStore,
+    /// The strata, as predicate-name lists from lowest to highest.
+    pub strata: Vec<Vec<String>>,
+}
+
+/// Assign each predicate a stratum: along positive edges the stratum of
+/// the head is ≥ that of the body predicate; along negative edges it is
+/// strictly greater. Fails iff a negative edge closes a cycle.
+fn stratify(program: &CompiledProgram) -> Result<HashMap<PredId, usize>, StratifyError> {
+    let graph = DependencyGraph::of(program);
+    if !graph.is_stratified() {
+        return Err(StratifyError::NotStratifiable);
+    }
+    // SCCs arrive in reverse topological order (dependencies first), so a
+    // single pass assigns minimal strata.
+    let mut stratum: HashMap<PredId, usize> = HashMap::new();
+    for scc in graph.sccs() {
+        let mut s = 0usize;
+        for &p in &scc {
+            for rule in program.rules().iter().filter(|r| r.head.pred == p) {
+                for lit in rule.body.iter() {
+                    let CompiledLiteral::Atom { kind, atom } = lit else {
+                        continue;
+                    };
+                    if scc.contains(&atom.pred) {
+                        continue; // same component: same stratum
+                    }
+                    let below = stratum.get(&atom.pred).copied().unwrap_or(0);
+                    s = s.max(match kind {
+                        LitKind::Neg => below + 1,
+                        _ => below,
+                    });
+                }
+            }
+        }
+        for p in scc {
+            stratum.insert(p, s);
+        }
+    }
+    Ok(stratum)
+}
+
+/// Evaluate an insert-only, stratifiable program over `db`, producing the
+/// perfect model.
+pub fn stratified_datalog(
+    program: &CompiledProgram,
+    db: &FactStore,
+    max_steps: u64,
+) -> Result<StratifiedOutcome, EngineError> {
+    for rule in program.rules() {
+        if rule.head_sign == Sign::Delete {
+            return Err(EngineError::Resolver {
+                policy: "stratified-datalog".into(),
+                message: StratifyError::DeletingRule(rule.display_name()).to_string(),
+            });
+        }
+        if rule.body.iter().any(|l| {
+            matches!(
+                l,
+                CompiledLiteral::Atom {
+                    kind: LitKind::Event(_),
+                    ..
+                }
+            )
+        }) {
+            return Err(EngineError::Resolver {
+                policy: "stratified-datalog".into(),
+                message: StratifyError::EventRule(rule.display_name()).to_string(),
+            });
+        }
+    }
+    let stratum = stratify(program).map_err(|e| EngineError::Resolver {
+        policy: "stratified-datalog".into(),
+        message: e.to_string(),
+    })?;
+    let max_stratum = stratum.values().copied().max().unwrap_or(0);
+
+    // Evaluate stratum by stratum. Within stratum s, only rules whose head
+    // lives in stratum s run; their negated predicates are all in strata
+    // < s and therefore already saturated, so the inflationary iteration
+    // computes exactly the stratum's minimal model.
+    let vocab = db.vocab();
+    let mut state = db.clone();
+    let mut strata_names: Vec<Vec<String>> = vec![Vec::new(); max_stratum + 1];
+    for (&p, &s) in &stratum {
+        strata_names[s].push(vocab.pred_name(p).to_string());
+    }
+    for names in &mut strata_names {
+        names.sort();
+    }
+
+    let mut steps = 0u64;
+    for s in 0..=max_stratum {
+        // Restrict to this stratum's rules by blocking nothing and simply
+        // filtering firings — simplest correct formulation on top of the
+        // shared Γ machinery.
+        let mut interp = IInterpretation::from_database(state.clone());
+        for req in program.index_requests() {
+            interp.zone_mut(req.zone).ensure_index(req.pred, req.mask);
+        }
+        loop {
+            if steps >= max_steps {
+                return Err(EngineError::StepLimit { limit: max_steps });
+            }
+            steps += 1;
+            let fired = fire_all(program, &BlockedSet::new(), &interp);
+            let mut grew = false;
+            for f in fired {
+                if stratum.get(&f.pred).copied().unwrap_or(0) != s {
+                    continue;
+                }
+                if interp.insert_marked(f.sign, f.pred, f.tuple) {
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        state = interp.incorp();
+    }
+
+    Ok(StratifiedOutcome {
+        database: state,
+        strata: strata_names,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use park_engine::{CompiledProgram, Engine, Inertia};
+    use park_storage::Vocabulary;
+    use park_syntax::parse_program;
+    use std::sync::Arc;
+
+    fn run(rules: &str, facts: &str) -> StratifiedOutcome {
+        let vocab = Vocabulary::new();
+        let program =
+            CompiledProgram::compile(Arc::clone(&vocab), &parse_program(rules).unwrap()).unwrap();
+        let db = FactStore::from_source(vocab, facts).unwrap();
+        stratified_datalog(&program, &db, 1 << 20).unwrap()
+    }
+
+    #[test]
+    fn positive_programs_reach_the_minimal_model() {
+        let out = run(
+            "edge(X, Y) -> +tc(X, Y). tc(X, Y), edge(Y, Z) -> +tc(X, Z).",
+            "edge(a, b). edge(b, c).",
+        );
+        let mut expected = vec![
+            "edge(a, b)",
+            "edge(b, c)",
+            "tc(a, b)",
+            "tc(a, c)",
+            "tc(b, c)",
+        ];
+        expected.sort();
+        assert_eq!(out.database.sorted_display(), expected);
+    }
+
+    #[test]
+    fn negation_waits_for_lower_strata() {
+        // q :- ¬p; p :- r. Stratified: p computed first, so q is NOT
+        // derived.
+        let out = run("r1: r -> +p. r2: !p -> +q.", "r.");
+        assert_eq!(out.database.sorted_display(), vec!["p", "r"]);
+        // Strata: {p, r} below {q}.
+        assert_eq!(out.strata.len(), 2);
+        assert!(out.strata[1].contains(&"q".to_string()));
+    }
+
+    #[test]
+    fn park_inflationary_differs_on_the_same_program() {
+        // The documented divergence: PARK (inflationary) derives q because
+        // ¬p still holds in the first step.
+        let vocab = Vocabulary::new();
+        let program = parse_program("r1: r -> +p. r2: !p -> +q.").unwrap();
+        let engine = Engine::new(Arc::clone(&vocab), &program).unwrap();
+        let db = FactStore::from_source(vocab, "r.").unwrap();
+        let park_out = engine.park(&db, &mut Inertia).unwrap();
+        assert_eq!(park_out.database.sorted_display(), vec!["p", "q", "r"]);
+    }
+
+    #[test]
+    fn agreement_when_negation_is_extensional() {
+        // Negated predicates underived by any rule ⇒ inflationary and
+        // stratified coincide.
+        let rules = "emp(X), !excluded(X) -> +eligible(X).
+                     eligible(X), senior(X) -> +bonus(X).";
+        let facts = "emp(a). emp(b). excluded(b). senior(a).";
+        let strat = run(rules, facts);
+        let vocab = Vocabulary::new();
+        let engine = Engine::new(Arc::clone(&vocab), &parse_program(rules).unwrap()).unwrap();
+        let db = FactStore::from_source(vocab, facts).unwrap();
+        let park_out = engine.park(&db, &mut Inertia).unwrap();
+        assert_eq!(
+            strat.database.sorted_display(),
+            park_out.database.sorted_display()
+        );
+    }
+
+    #[test]
+    fn multi_level_strata() {
+        let out = run(
+            "a(X) -> +b(X). b(X), !c(X) -> +d(X). d(X), !e(X) -> +f(X). b(X) -> +e(X).",
+            "a(x).",
+        );
+        // b derived; c absent → d; e derived from b → ¬e fails → no f.
+        assert_eq!(
+            out.database.sorted_display(),
+            vec!["a(x)", "b(x)", "d(x)", "e(x)"]
+        );
+    }
+
+    #[test]
+    fn rejects_deletions_events_and_unstratifiable() {
+        let vocab = Vocabulary::new();
+        let mk = |src: &str| {
+            CompiledProgram::compile(Arc::clone(&vocab), &parse_program(src).unwrap()).unwrap()
+        };
+        let db = FactStore::new(Arc::clone(&vocab));
+        assert!(stratified_datalog(&mk("p(X) -> -q(X)."), &db, 1 << 10).is_err());
+        assert!(stratified_datalog(&mk("+p(X) -> +q(X)."), &db, 1 << 10).is_err());
+        assert!(stratified_datalog(&mk("move(X, Y), !win(Y) -> +win(X)."), &db, 1 << 10).is_err());
+    }
+
+    #[test]
+    fn guards_are_allowed() {
+        let out = run("n(X, Q), Q > 5 -> +big(X).", "n(a, 3). n(b, 9).");
+        assert_eq!(
+            out.database.sorted_display(),
+            vec!["big(b)", "n(a, 3)", "n(b, 9)"]
+        );
+    }
+}

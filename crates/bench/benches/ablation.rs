@@ -1,0 +1,41 @@
+//! C5 — the Section 4.2 closing remark: blocking only "a non-empty part of
+//! conflicts" avoids unnecessary blocking. Resolve-all (the paper default)
+//! versus one-conflict-per-restart on parallel conflict chains: resolve-all
+//! restarts once and blocks everything; one-at-a-time restarts k times but
+//! blocks only what each conflict needs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use park_bench::Session;
+use park_engine::{EngineOptions, ResolutionScope};
+use park_workloads::parallel_conflicts;
+use std::hint::black_box;
+
+fn bench_scopes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c5_resolution_scope");
+    group.sample_size(10);
+    for k in [4usize, 16, 32] {
+        let (rules, facts) = parallel_conflicts(k, 3);
+        let all = Session::new(&rules, &facts, EngineOptions::default());
+        let one = Session::new(
+            &rules,
+            &facts,
+            EngineOptions::default().with_scope(ResolutionScope::One),
+        );
+        // Shape sanity (asserted once, not in the timed loop).
+        let (oa, oo) = (all.run_inertia(), one.run_inertia());
+        assert_eq!(oa.stats.restarts, 1);
+        assert_eq!(oo.stats.restarts, k as u64);
+        assert!(oa.database.same_facts(&oo.database));
+
+        group.bench_with_input(BenchmarkId::new("all", k), &k, |b, _| {
+            b.iter(|| black_box(all.run_inertia().stats.blocked_instances))
+        });
+        group.bench_with_input(BenchmarkId::new("one", k), &k, |b, _| {
+            b.iter(|| black_box(one.run_inertia().stats.blocked_instances))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scopes);
+criterion_main!(benches);

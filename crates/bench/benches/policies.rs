@@ -1,0 +1,131 @@
+//! C3 — the Section 5 efficiency discussion: "the principles of inertia,
+//! rule priority, interactive conflict resolution and random conflict
+//! resolution are all easy to implement and can be viewed as constant time
+//! operations … the voting scheme's computational properties are
+//! constant-time modulo the complexity of the critics themselves."
+//!
+//! Identical conflict workload (the payroll bonus conflicts) under every
+//! policy; an artificially expensive critic shows the voting caveat.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use park_bench::Session;
+use park_engine::{Conflict, EngineOptions, Resolution, SelectContext};
+use park_policies::{
+    Critic, Inertia, PolicyCritic, PreferDelete, PreferInsert, RandomPolicy, RulePriority,
+    ScriptedOracle, Specificity, Voting,
+};
+use park_workloads::{payroll_database, payroll_program, PayrollConfig};
+use std::hint::black_box;
+
+fn conflict_heavy_session() -> Session {
+    // Everyone flagged and eligible: every active employee's bonus is
+    // contested.
+    let cfg = PayrollConfig {
+        employees: 150,
+        p_active: 1.0,
+        p_eligible: 1.0,
+        p_flagged: 1.0,
+        p_deactivate: 0.0,
+        seed: 13,
+    };
+    let (facts, _) = payroll_database(&cfg);
+    Session::new(&payroll_program(), &facts, EngineOptions::default())
+}
+
+/// A deliberately expensive critic: scans the whole database per vote.
+struct ScanCritic;
+impl Critic for ScanCritic {
+    fn name(&self) -> &str {
+        "scan"
+    }
+    fn vote(&mut self, ctx: &SelectContext<'_>, _: &Conflict) -> Resolution {
+        let n = ctx.database.iter().count();
+        if n.is_multiple_of(2) {
+            Resolution::Delete
+        } else {
+            Resolution::Insert
+        }
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let session = conflict_heavy_session();
+    let mut group = c.benchmark_group("c3_policies");
+    group.sample_size(10);
+
+    group.bench_function("inertia", |b| {
+        b.iter(|| black_box(session.run(&mut Inertia).stats.conflicts_resolved))
+    });
+    group.bench_function("priority", |b| {
+        b.iter(|| {
+            black_box(
+                session
+                    .run(&mut RulePriority::new())
+                    .stats
+                    .conflicts_resolved,
+            )
+        })
+    });
+    group.bench_function("specificity", |b| {
+        b.iter(|| {
+            black_box(
+                session
+                    .run(&mut Specificity::new())
+                    .stats
+                    .conflicts_resolved,
+            )
+        })
+    });
+    group.bench_function("prefer_insert", |b| {
+        b.iter(|| black_box(session.run(&mut PreferInsert).stats.conflicts_resolved))
+    });
+    group.bench_function("random", |b| {
+        b.iter(|| {
+            black_box(
+                session
+                    .run(&mut RandomPolicy::seeded(1))
+                    .stats
+                    .conflicts_resolved,
+            )
+        })
+    });
+    group.bench_function("interactive_scripted", |b| {
+        b.iter(|| {
+            // Enough scripted answers for every contested bonus.
+            let mut policy = park_policies::Interactive::new(ScriptedOracle::new(
+                std::iter::repeat_n(Resolution::Delete, 4096),
+            ));
+            black_box(session.run(&mut policy).stats.conflicts_resolved)
+        })
+    });
+    group.bench_function("voting_cheap_panel", |b| {
+        b.iter(|| {
+            let mut panel = Voting::new(
+                vec![
+                    Box::new(PolicyCritic::new(Inertia, Resolution::Delete)),
+                    Box::new(PolicyCritic::new(PreferDelete, Resolution::Delete)),
+                    Box::new(PolicyCritic::new(PreferInsert, Resolution::Delete)),
+                ],
+                Resolution::Delete,
+            );
+            black_box(session.run(&mut panel).stats.conflicts_resolved)
+        })
+    });
+    group.bench_function("voting_expensive_critics", |b| {
+        b.iter(|| {
+            let mut panel = Voting::new(
+                vec![
+                    Box::new(ScanCritic),
+                    Box::new(ScanCritic),
+                    Box::new(ScanCritic),
+                ],
+                Resolution::Delete,
+            );
+            black_box(session.run(&mut panel).stats.conflicts_resolved)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! # park-bench
+//!
+//! Shared harness for the PARK experiments. The Criterion benches under
+//! `benches/` and the `report` binary both build their workloads through
+//! this crate so that timed runs and reported tables use identical inputs.
+//!
+//! Experiment index (see DESIGN.md §4 and EXPERIMENTS.md):
+//!
+//! * **C1** `benches/scaling.rs` — polynomial tractability: runtime vs |D|.
+//! * **C2** `benches/restarts.rs` — restart counts vs conflict count.
+//! * **C3** `benches/policies.rs` — policy cost on a fixed conflict load.
+//! * **C4** `benches/baseline.rs` — PARK vs the naive strawman.
+//! * **C5** `benches/ablation.rs` — resolve-all vs one-at-a-time scopes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use park_engine::{Engine, EngineOptions, Inertia, ParkOutcome};
+use park_storage::{FactStore, UpdateSet, Vocabulary};
+use park_syntax::parse_program;
+use std::sync::Arc;
+
+/// A compiled engine together with its database: one benchmarkable unit.
+pub struct Session {
+    /// The compiled engine.
+    pub engine: Engine,
+    /// The database instance `D`.
+    pub db: FactStore,
+    /// Transaction updates `U` (possibly empty).
+    pub updates: UpdateSet,
+}
+
+impl Session {
+    /// Build a session from rule and fact sources.
+    pub fn new(rules: &str, facts: &str, options: EngineOptions) -> Session {
+        let vocab = Vocabulary::new();
+        let engine = Engine::with_options(
+            Arc::clone(&vocab),
+            &parse_program(rules).expect("workload rules parse"),
+            options,
+        )
+        .expect("workload rules compile");
+        let db = FactStore::from_source(Arc::clone(&vocab), facts).expect("workload facts parse");
+        Session {
+            engine,
+            db,
+            updates: UpdateSet::empty(),
+        }
+    }
+
+    /// Attach transaction updates.
+    pub fn with_updates(mut self, updates: &str) -> Session {
+        self.updates =
+            UpdateSet::from_source(self.db.vocab(), updates).expect("workload updates parse");
+        self
+    }
+
+    /// Evaluate under the principle of inertia.
+    pub fn run_inertia(&self) -> ParkOutcome {
+        self.engine
+            .run(&self.db, &self.updates, &mut Inertia)
+            .expect("PARK terminates")
+    }
+
+    /// Evaluate under an arbitrary policy.
+    pub fn run(&self, policy: &mut dyn park_engine::ConflictResolver) -> ParkOutcome {
+        self.engine
+            .run(&self.db, &self.updates, policy)
+            .expect("PARK terminates")
+    }
+}
+
+/// Time one closure in milliseconds (single shot — the report tool wants
+/// magnitudes and shapes, not criterion-grade precision).
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Median-of-k timing in milliseconds.
+pub fn median_time_ms<T>(k: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut times: Vec<f64> = (0..k.max(1)).map(|_| time_ms(&mut f).1).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times[times.len() / 2]
+}
+
+/// Fit the exponent of a power law `t = c·nᵉ` by least squares on
+/// log-transformed points. Used to check polynomial (not exponential)
+/// growth in the scaling experiments.
+pub fn growth_exponent(points: &[(f64, f64)]) -> f64 {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(n, t)| *n > 0.0 && *t > 0.0)
+        .map(|(n, t)| (n.ln(), t.ln()))
+        .collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|(x, _)| x).sum();
+    let sy: f64 = logs.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = logs.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = logs.iter().map(|(x, y)| x * y).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_runs() {
+        let s = Session::new("p -> +q.", "p.", EngineOptions::default());
+        assert_eq!(s.run_inertia().database.to_string(), "{p, q}");
+    }
+
+    #[test]
+    fn session_with_updates() {
+        let s =
+            Session::new("+q(X) -> +seen(X).", "", EngineOptions::default()).with_updates("+q(b).");
+        let out = s.run_inertia();
+        assert_eq!(out.database.sorted_display(), vec!["q(b)", "seen(b)"]);
+    }
+
+    #[test]
+    fn growth_exponent_recovers_powers() {
+        let quad: Vec<(f64, f64)> = (1..=6).map(|n| (n as f64, (n * n) as f64)).collect();
+        assert!((growth_exponent(&quad) - 2.0).abs() < 1e-9);
+        let lin: Vec<(f64, f64)> = (1..=6).map(|n| (n as f64, 3.0 * n as f64)).collect();
+        assert!((growth_exponent(&lin) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_time_is_finite() {
+        let t = median_time_ms(3, || std::hint::black_box(1 + 1));
+        assert!(t >= 0.0 && t.is_finite());
+    }
+}

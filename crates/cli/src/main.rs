@@ -1,0 +1,526 @@
+//! `park` — command-line driver for the PARK active-rule engine.
+//!
+//! ```text
+//! park run <program.park> [--db <data.facts>] [--updates <tx.updates>]
+//!          [--policy <name>] [--scope all|one] [--eval naive|semi]
+//!          [--trace] [--trace-json <f>] [--stats] [--snapshot <out.json>]
+//! park check <program.park>
+//! park analyze <program.park> [--db <data.facts>]
+//! park query '<body>' [--db <data.facts>]
+//! park repl <program.park> [--db <data.facts>] [--policy <name>]
+//! park baseline <naive|immediate> <program.park> [--db <data.facts>] ...
+//! park workload <list|name> [--out <dir>] [generator options]
+//! ```
+//!
+//! Policies: `inertia` (default), `anti-inertia`, `prefer-insert`,
+//! `prefer-delete`, `priority`, `specificity`, `transactions-win`,
+//! `random[:seed]`, and `interactive` (prompts on stdin: i/d).
+//! Sample inputs live in `examples/data/`.
+
+use park_baselines::{immediate_fire, naive_mark_eliminate, ImmediateConfig, ImmediateResult};
+use park_engine::{Engine, EngineOptions, EvaluationMode, ResolutionScope};
+use park_policies::{parse_answer, CallbackOracle, ConflictResolver, Interactive};
+use park_storage::{FactStore, Snapshot, UpdateSet, Vocabulary};
+use park_syntax::{check_program, parse_program};
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+mod repl;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("park: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut it = args.into_iter();
+    match it.next().as_deref() {
+        Some("run") => cmd_run(it.collect(), false),
+        Some("check") => cmd_check(it.collect()),
+        Some("analyze") => cmd_analyze(it.collect()),
+        Some("repl") => cmd_repl(it.collect()),
+        Some("query") => cmd_query(it.collect()),
+        Some("baseline") => cmd_baseline(it.collect()),
+        Some("workload") => cmd_workload(it.collect()),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", HELP);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `park help`)")),
+    }
+}
+
+const HELP: &str = "\
+park - the PARK semantics for active rules (EDBT 1996)
+
+USAGE:
+  park run <program.park> [OPTIONS]      evaluate PARK(D, P, U)
+  park check <program.park>              parse + safety-check a program
+  park analyze <program.park>            dependency/recursion/conflict report
+  park repl <program.park> [--db <f>]    interactive transactional session
+  park query '<body>' --db <data.facts>  conjunctive query over a database
+  park baseline <naive|immediate> <program.park> [OPTIONS]
+  park workload <list|name> [--out DIR]  emit a generated workload
+  park help
+
+OPTIONS (run/baseline):
+  --db <file>         facts file for the database instance D (default: empty)
+  --updates <file>    transaction updates U, e.g. `+q(b). -p(a).`
+  --policy <name>     inertia | anti-inertia | prefer-insert | prefer-delete |
+                      priority | specificity | transactions-win |
+                      random[:seed] | interactive        (default: inertia)
+  --scope <all|one>   conflicts resolved per restart     (default: all)
+  --eval <naive|semi> grounding enumeration strategy     (default: naive)
+  --trace             print the paper-style step listing
+  --trace-json <file> write the trace as JSON events
+  --stats             print run statistics
+  --snapshot <file>   write the result database as JSON
+";
+
+#[derive(Default)]
+struct RunArgs {
+    program: Option<String>,
+    db: Option<String>,
+    updates: Option<String>,
+    policy: String,
+    scope: ResolutionScope,
+    evaluation: EvaluationMode,
+    trace: bool,
+    trace_json: Option<String>,
+    stats: bool,
+    snapshot: Option<String>,
+}
+
+fn parse_run_args(args: Vec<String>) -> Result<RunArgs, String> {
+    let mut out = RunArgs {
+        policy: "inertia".into(),
+        ..RunArgs::default()
+    };
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match a.as_str() {
+            "--db" => out.db = Some(grab("--db")?),
+            "--updates" => out.updates = Some(grab("--updates")?),
+            "--policy" => out.policy = grab("--policy")?,
+            "--scope" => {
+                out.scope = match grab("--scope")?.as_str() {
+                    "all" => ResolutionScope::All,
+                    "one" => ResolutionScope::One,
+                    other => return Err(format!("unknown scope `{other}`")),
+                }
+            }
+            "--eval" => {
+                out.evaluation = match grab("--eval")?.as_str() {
+                    "naive" => EvaluationMode::Naive,
+                    "semi" | "semi-naive" | "seminaive" => EvaluationMode::SemiNaive,
+                    other => return Err(format!("unknown evaluation mode `{other}`")),
+                }
+            }
+            "--trace" => out.trace = true,
+            "--trace-json" => out.trace_json = Some(grab("--trace-json")?),
+            "--stats" => out.stats = true,
+            "--snapshot" => out.snapshot = Some(grab("--snapshot")?),
+            other if !other.starts_with("--") && out.program.is_none() => {
+                out.program = Some(other.to_string())
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn load_session(
+    a: &RunArgs,
+) -> Result<(Arc<Vocabulary>, park_syntax::Program, FactStore, UpdateSet), String> {
+    let program_path = a
+        .program
+        .as_deref()
+        .ok_or("missing <program.park> argument")?;
+    let program_src = read_file(program_path)?;
+    let program = parse_program(&program_src)
+        .map_err(|e| format!("in {program_path}:{}\n{}", e.span, e.render(&program_src)))?;
+    check_program(&program).map_err(|errs| {
+        errs.iter()
+            .map(|e| e.render(&program_src))
+            .collect::<Vec<_>>()
+            .join("\n")
+    })?;
+    let vocab = Vocabulary::new();
+    let db = match &a.db {
+        Some(path) => FactStore::from_source(Arc::clone(&vocab), &read_file(path)?)
+            .map_err(|e| e.to_string())?,
+        None => FactStore::new(Arc::clone(&vocab)),
+    };
+    let updates = match &a.updates {
+        Some(path) => {
+            UpdateSet::from_source(&vocab, &read_file(path)?).map_err(|e| e.to_string())?
+        }
+        None => UpdateSet::empty(),
+    };
+    Ok((vocab, program, db, updates))
+}
+
+/// The stdin-backed interactive policy.
+fn interactive_policy() -> impl ConflictResolver {
+    Interactive::new(CallbackOracle(|prompt: &str| {
+        let stdin = std::io::stdin();
+        loop {
+            eprint!("conflict {prompt}\nresolve [i]nsert / [d]elete? ");
+            std::io::stderr().flush().ok();
+            let mut line = String::new();
+            match stdin.lock().read_line(&mut line) {
+                Ok(0) | Err(_) => return None,
+                Ok(_) => {
+                    if let Some(r) = parse_answer(&line) {
+                        return Some(r);
+                    }
+                    eprintln!("unrecognized answer {line:?}");
+                }
+            }
+        }
+    }))
+}
+
+fn make_policy(name: &str) -> Result<Box<dyn ConflictResolver>, String> {
+    if name == "interactive" {
+        return Ok(Box::new(interactive_policy()));
+    }
+    park_policies::by_name(name).ok_or_else(|| format!("unknown policy `{name}`"))
+}
+
+fn cmd_run(args: Vec<String>, _baseline: bool) -> Result<(), String> {
+    let a = parse_run_args(args)?;
+    let (vocab, program, db, updates) = load_session(&a)?;
+    let options = EngineOptions {
+        trace: a.trace || a.trace_json.is_some(),
+        scope: a.scope,
+        evaluation: a.evaluation,
+        ..EngineOptions::default()
+    };
+    let engine = Engine::with_options(vocab, &program, options).map_err(|e| e.to_string())?;
+    let mut policy = make_policy(&a.policy)?;
+    let out = engine
+        .run(&db, &updates, policy.as_mut())
+        .map_err(|e| e.to_string())?;
+    if a.trace {
+        println!("{}", out.trace.render());
+    }
+    if let Some(path) = &a.trace_json {
+        std::fs::write(path, out.trace.to_json())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    println!("{}", out.database.to_source().trim_end());
+    if a.stats {
+        eprintln!("{}", out.stats.summary());
+        let blocked = out.blocked_display();
+        if !blocked.is_empty() {
+            eprintln!("blocked: {}", blocked.join(", "));
+        }
+    }
+    if let Some(path) = &a.snapshot {
+        let json = Snapshot::of(&out.database)
+            .to_json()
+            .map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    Ok(())
+}
+
+fn cmd_check(args: Vec<String>) -> Result<(), String> {
+    let a = parse_run_args(args)?;
+    let path = a
+        .program
+        .as_deref()
+        .ok_or("missing <program.park> argument")?;
+    let src = read_file(path)?;
+    let program =
+        parse_program(&src).map_err(|e| format!("in {path}:{}\n{}", e.span, e.render(&src)))?;
+    check_program(&program).map_err(|errs| {
+        errs.iter()
+            .map(|e| e.render(&src))
+            .collect::<Vec<_>>()
+            .join("\n")
+    })?;
+    println!("{path}: {} rules, safe", program.len());
+    Ok(())
+}
+
+fn cmd_analyze(args: Vec<String>) -> Result<(), String> {
+    let a = parse_run_args(args)?;
+    let path = a
+        .program
+        .as_deref()
+        .ok_or("missing <program.park> argument")?;
+    let src = read_file(path)?;
+    let program = parse_program(&src).map_err(|e| e.to_string())?;
+    let compiled = park_engine::CompiledProgram::compile(Vocabulary::new(), &program)
+        .map_err(|e| e.to_string())?;
+    let report = park_engine::analysis::report(&compiled);
+    println!("{path}:");
+    println!("  rules          : {}", report.rules);
+    println!("  predicates     : {}", report.preds);
+    println!(
+        "  recursive      : {}",
+        if report.recursive.is_empty() {
+            "-".into()
+        } else {
+            report.recursive.join(", ")
+        }
+    );
+    println!(
+        "  stratified     : {}",
+        if report.stratified { "yes" } else { "no" }
+    );
+    if report.conflicts.is_empty() {
+        println!("  conflict pairs : none (statically conflict-free)");
+    } else {
+        println!("  conflict pairs :");
+        for (ins, del, pred) in &report.conflicts {
+            println!("    {ins} (+{pred}) vs {del} (-{pred})");
+        }
+    }
+    // With a database, probe whether the result is policy-sensitive.
+    if let Some(db_path) = &a.db {
+        let vocab = Arc::clone(compiled.vocab());
+        let db = FactStore::from_source(vocab, &read_file(db_path)?).map_err(|e| e.to_string())?;
+        let engine =
+            Engine::new(Arc::clone(compiled.vocab()), &program).map_err(|e| e.to_string())?;
+        match park_engine::confluence_probe(&engine, &db).map_err(|e| e.to_string())? {
+            park_engine::Confluence::StaticallyConfluent => {
+                println!("  confluence     : statically confluent (policy-independent)")
+            }
+            park_engine::Confluence::ProbablyConfluent { conflicts } => println!(
+                "  confluence     : extreme policies agree on this database \
+                 ({conflicts} conflicts probed)"
+            ),
+            park_engine::Confluence::PolicySensitive {
+                only_with_insert,
+                only_with_delete,
+            } => {
+                println!("  confluence     : POLICY-SENSITIVE on this database");
+                if !only_with_insert.is_empty() {
+                    println!("    only under insert: {}", only_with_insert.join(", "));
+                }
+                if !only_with_delete.is_empty() {
+                    println!("    only under delete: {}", only_with_delete.join(", "));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_query(args: Vec<String>) -> Result<(), String> {
+    let a = parse_run_args(args)?;
+    let query_src = a.program.as_deref().ok_or("missing \"<body>\" argument")?;
+    let vocab = Vocabulary::new();
+    let db = match &a.db {
+        Some(path) => FactStore::from_source(Arc::clone(&vocab), &read_file(path)?)
+            .map_err(|e| e.to_string())?,
+        None => FactStore::new(Arc::clone(&vocab)),
+    };
+    let q = park_engine::Query::parse(&vocab, query_src).map_err(|e| e.to_string())?;
+    let rows = q.run_on_database(&db);
+    if rows.is_empty() {
+        println!("(no answers)");
+    } else {
+        for r in q.render_rows(&rows) {
+            println!("{r}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_repl(args: Vec<String>) -> Result<(), String> {
+    let a = parse_run_args(args)?;
+    let program = a
+        .program
+        .as_deref()
+        .ok_or("missing <program.park> argument")?;
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    repl::run_repl(
+        program,
+        a.db.as_deref(),
+        &a.policy,
+        &mut stdin.lock(),
+        &mut stdout.lock(),
+    )
+}
+
+fn cmd_baseline(mut args: Vec<String>) -> Result<(), String> {
+    if args.is_empty() {
+        return Err("usage: park baseline <naive|immediate> <program.park> ...".into());
+    }
+    let which = args.remove(0);
+    let a = parse_run_args(args)?;
+    let (vocab, program, db, updates) = load_session(&a)?;
+    match which.as_str() {
+        "naive" => {
+            let compiled = park_engine::CompiledProgram::compile(vocab, &program)
+                .map_err(|e| e.to_string())?;
+            let out = naive_mark_eliminate(&compiled, &db, &updates, 1 << 22)
+                .map_err(|e| e.to_string())?;
+            println!("{}", out.database.to_source().trim_end());
+            if a.stats {
+                eprintln!(
+                    "steps={} eliminated={}",
+                    out.steps,
+                    out.eliminated.join(",")
+                );
+            }
+        }
+        "immediate" => {
+            if !updates.is_empty() {
+                return Err("the immediate baseline does not support --updates".into());
+            }
+            let compiled = park_engine::CompiledProgram::compile(vocab, &program)
+                .map_err(|e| e.to_string())?;
+            let out = immediate_fire(&compiled, &db, ImmediateConfig::default());
+            match &out {
+                ImmediateResult::Converged { database, fires } => {
+                    println!("{}", database.to_source().trim_end());
+                    if a.stats {
+                        eprintln!("converged after {fires} firings");
+                    }
+                }
+                ImmediateResult::Diverged { fires, .. } => {
+                    return Err(format!(
+                        "immediate execution diverged after {fires} firings"
+                    ));
+                }
+            }
+        }
+        other => return Err(format!("unknown baseline `{other}`")),
+    }
+    Ok(())
+}
+
+fn cmd_workload(args: Vec<String>) -> Result<(), String> {
+    let mut name = None;
+    let mut out_dir = ".".to_string();
+    let mut n: usize = 50;
+    let mut seed: u64 = 42;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_dir = it.next().ok_or("--out requires a value")?,
+            "--n" => {
+                n = it
+                    .next()
+                    .ok_or("--n requires a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --n: {e}"))?
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed requires a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            other if !other.starts_with("--") && name.is_none() => name = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let name = name.ok_or("usage: park workload <list|name> [--out DIR] [--n N] [--seed S]")?;
+    let write = |stem: &str, ext: &str, contents: &str| -> Result<(), String> {
+        let path = format!("{out_dir}/{stem}.{ext}");
+        std::fs::write(&path, contents).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("wrote {path}");
+        Ok(())
+    };
+    match name.as_str() {
+        "list" => {
+            println!("irreflexive-graph  closure  chains  payroll  inventory  inventory-guards");
+        }
+        "irreflexive-graph" => {
+            write(
+                "irreflexive_graph",
+                "park",
+                &park_workloads::irreflexive_graph_program(),
+            )?;
+            write(
+                "irreflexive_graph",
+                "facts",
+                &park_workloads::nodes_database(n),
+            )?;
+        }
+        "closure" => {
+            write(
+                "closure",
+                "park",
+                &park_workloads::transitive_closure_program(),
+            )?;
+            write(
+                "closure",
+                "facts",
+                &park_workloads::erdos_renyi_edges(n, 0.1, seed),
+            )?;
+        }
+        "chains" => {
+            let (p, f) = park_workloads::staggered_conflicts(n.min(64));
+            write("chains", "park", &p)?;
+            write("chains", "facts", &f)?;
+        }
+        "payroll" => {
+            let cfg = park_workloads::PayrollConfig {
+                employees: n,
+                seed,
+                ..Default::default()
+            };
+            let (facts, updates) = park_workloads::payroll_database(&cfg);
+            write("payroll", "park", &park_workloads::payroll_program())?;
+            write("payroll", "facts", &facts)?;
+            write("payroll", "updates", &updates)?;
+        }
+        "inventory" => {
+            let cfg = park_workloads::InventoryConfig {
+                items: n,
+                seed,
+                ..Default::default()
+            };
+            write("inventory", "park", &park_workloads::inventory_program())?;
+            write(
+                "inventory",
+                "facts",
+                &park_workloads::inventory_database(&cfg),
+            )?;
+        }
+        "inventory-guards" => {
+            let cfg = park_workloads::InventoryConfig {
+                items: n,
+                seed,
+                ..Default::default()
+            };
+            write(
+                "inventory_guards",
+                "park",
+                &park_workloads::inventory_guard_program(),
+            )?;
+            write(
+                "inventory_guards",
+                "facts",
+                &park_workloads::inventory_guard_database(&cfg),
+            )?;
+        }
+        other => {
+            return Err(format!(
+                "unknown workload `{other}` (try `park workload list`)"
+            ))
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,192 @@
+//! `park repl` — an interactive session over an [`ActiveDatabase`].
+//!
+//! ```text
+//! park repl program.park [--db data.facts] [--policy inertia]
+//! ```
+//!
+//! Each input line is either a transaction (signed ground atoms,
+//! `+q(b). -p(a).`), a query (`?pred`), or a `:command`:
+//!
+//! ```text
+//! :state            dump the current database
+//! :settle           run the rules with no external updates
+//! :policy <name>    switch the SELECT policy
+//! :analyze          dependency/conflict report for the installed rules
+//! :snapshot <file>  save the state as JSON
+//! :restore <file>   load a JSON snapshot
+//! :help             this text
+//! :quit             exit
+//! ```
+
+use park::db::ActiveDatabase;
+use park::policies::{self, ConflictResolver};
+use park_storage::{FactStore, Snapshot, Vocabulary};
+use park_syntax::parse_program;
+use std::io::{BufRead, Write};
+
+const REPL_HELP: &str = "\
+transactions    +q(b). -p(a).        signed ground atoms, applied via PARK
+queries         ?pred                all facts of a predicate
+                ?- p(X), !q(X).      conjunctive query with bindings
+:state          dump the current database
+:settle         run the rules with no external updates
+:policy <name>  switch SELECT policy (inertia, priority, ...)
+:analyze        dependency/conflict report for the installed rules
+:snapshot <f>   save state as JSON    :restore <f>   load JSON snapshot
+:help           this text             :quit          exit
+";
+
+/// Run the REPL. Reads `input`, writes to `output` — injectable for tests;
+/// the binary passes locked stdin/stdout.
+pub fn run_repl(
+    program_path: &str,
+    db_path: Option<&str>,
+    policy_name: &str,
+    input: &mut dyn BufRead,
+    output: &mut dyn Write,
+) -> Result<(), String> {
+    let src = std::fs::read_to_string(program_path)
+        .map_err(|e| format!("cannot read `{program_path}`: {e}"))?;
+    let program = parse_program(&src).map_err(|e| e.to_string())?;
+    let vocab = Vocabulary::new();
+    let initial = match db_path {
+        Some(p) => {
+            let facts =
+                std::fs::read_to_string(p).map_err(|e| format!("cannot read `{p}`: {e}"))?;
+            FactStore::from_source(vocab, &facts).map_err(|e| e.to_string())?
+        }
+        None => FactStore::new(vocab),
+    };
+    let mut db = ActiveDatabase::open(&program, initial).map_err(|e| e.to_string())?;
+    let mut policy: Box<dyn ConflictResolver> =
+        policies::by_name(policy_name).ok_or_else(|| format!("unknown policy `{policy_name}`"))?;
+
+    let say = |s: &str, output: &mut dyn Write| writeln!(output, "{s}").map_err(|e| e.to_string());
+    say(
+        &format!(
+            "park repl — {} rules installed, {} facts. :help for commands.",
+            program.len(),
+            db.state().len()
+        ),
+        output,
+    )?;
+
+    let mut line = String::new();
+    loop {
+        write!(output, "park> ").map_err(|e| e.to_string())?;
+        output.flush().map_err(|e| e.to_string())?;
+        line.clear();
+        match input.read_line(&mut line) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(_) => {}
+            Err(e) => return Err(e.to_string()),
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('?') {
+            // `?pred` lists a predicate; `?- body` runs a conjunctive query.
+            let rows = if let Some(body) = rest.strip_prefix('-') {
+                match db.query_rows(body) {
+                    Ok(rows) => rows,
+                    Err(e) => {
+                        say(&format!("error: {e}"), output)?;
+                        continue;
+                    }
+                }
+            } else {
+                db.query(rest.trim())
+            };
+            if rows.is_empty() {
+                say("(no answers)", output)?;
+            } else {
+                for r in rows {
+                    say(&r, output)?;
+                }
+            }
+            continue;
+        }
+        if let Some(cmd) = trimmed.strip_prefix(':') {
+            let mut parts = cmd.split_whitespace();
+            match parts.next() {
+                Some("quit") | Some("q") | Some("exit") => return Ok(()),
+                Some("help") => say(REPL_HELP, output)?,
+                Some("state") => say(db.state().to_source().trim_end(), output)?,
+                Some("settle") => match db.settle(policy.as_mut()) {
+                    Ok(report) => say(&render_report(&report), output)?,
+                    Err(e) => say(&format!("error: {e} (state unchanged)"), output)?,
+                },
+                Some("policy") => match parts.next().and_then(policies::by_name) {
+                    Some(p) => {
+                        policy = p;
+                        say(&format!("policy: {}", policy.name()), output)?;
+                    }
+                    None => say("usage: :policy <name>", output)?,
+                },
+                Some("analyze") => {
+                    let report = park_engine::analysis::report(db.engine().program());
+                    say(
+                        &format!(
+                            "rules: {}  preds: {}  recursive: [{}]  stratified: {}  conflict pairs: {}",
+                            report.rules,
+                            report.preds,
+                            report.recursive.join(", "),
+                            report.stratified,
+                            report.conflicts.len()
+                        ),
+                        output,
+                    )?;
+                }
+                Some("snapshot") => match parts.next() {
+                    Some(path) => {
+                        let json = db.snapshot().to_json().map_err(|e| e.to_string())?;
+                        match std::fs::write(path, json) {
+                            Ok(()) => say(&format!("saved {path}"), output)?,
+                            Err(e) => say(&format!("error: {e}"), output)?,
+                        }
+                    }
+                    None => say("usage: :snapshot <file>", output)?,
+                },
+                Some("restore") => match parts.next() {
+                    Some(path) => match std::fs::read_to_string(path)
+                        .map_err(|e| e.to_string())
+                        .and_then(|s| Snapshot::from_json(&s).map_err(|e| e.to_string()))
+                        .and_then(|snap| db.restore(&snap).map_err(|e| e.to_string()))
+                    {
+                        Ok(()) => say(&format!("restored {path}"), output)?,
+                        Err(e) => say(&format!("error: {e}"), output)?,
+                    },
+                    None => say("usage: :restore <file>", output)?,
+                },
+                other => say(
+                    &format!("unknown command `:{}` (:help)", other.unwrap_or("")),
+                    output,
+                )?,
+            }
+            continue;
+        }
+        // Anything else is a transaction.
+        match db.transact_source(trimmed, policy.as_mut()) {
+            Ok(report) => say(&render_report(&report), output)?,
+            Err(e) => say(&format!("error: {e} (state unchanged)"), output)?,
+        }
+    }
+}
+
+fn render_report(report: &park::db::TransactionReport) -> String {
+    if report.is_noop() {
+        return format!("tx{}: no changes", report.number);
+    }
+    let mut s = format!("tx{}:", report.number);
+    for a in &report.added {
+        s.push_str(&format!(" +{a}"));
+    }
+    for r in &report.removed {
+        s.push_str(&format!(" -{r}"));
+    }
+    if !report.blocked.is_empty() {
+        s.push_str(&format!("   [blocked: {}]", report.blocked.join(", ")));
+    }
+    s
+}

@@ -1,0 +1,460 @@
+//! End-to-end tests of the `park` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn park() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_park"))
+}
+
+fn write(dir: &std::path::Path, name: &str, contents: &str) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("park-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn run_p1_prints_result() {
+    let dir = tempdir("p1");
+    let program = write(&dir, "p1.park", "p -> +q. p -> -a. q -> +a.");
+    let facts = write(&dir, "d.facts", "p.");
+    let out = park()
+        .args([
+            "run",
+            program.to_str().unwrap(),
+            "--db",
+            facts.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "p.\nq.");
+}
+
+#[test]
+fn run_with_trace_and_stats() {
+    let dir = tempdir("trace");
+    let program = write(&dir, "p.park", "r1: p -> +q. r2: p -> -q.");
+    let facts = write(&dir, "d.facts", "p.");
+    let out = park()
+        .args([
+            "run",
+            program.to_str().unwrap(),
+            "--db",
+            facts.to_str().unwrap(),
+            "--trace",
+            "--stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.contains("inconsistent: q"), "{stdout}");
+    assert!(stderr.contains("restarts=1"), "{stderr}");
+}
+
+#[test]
+fn run_with_updates_and_policy() {
+    let dir = tempdir("eca");
+    let program = write(&dir, "p.park", "r1: p(X) -> -s(X).");
+    let facts = write(&dir, "d.facts", "p(b).");
+    let updates = write(&dir, "u.updates", "+s(b).");
+    // transactions-win keeps the inserted s(b); inertia drops it.
+    for (policy, expect_s) in [("transactions-win", true), ("inertia", false)] {
+        let out = park()
+            .args([
+                "run",
+                program.to_str().unwrap(),
+                "--db",
+                facts.to_str().unwrap(),
+                "--updates",
+                updates.to_str().unwrap(),
+                "--policy",
+                policy,
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(
+            stdout.contains("s(b)."),
+            expect_s,
+            "policy {policy}: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn check_reports_unsafe_rules() {
+    let dir = tempdir("check");
+    let bad = write(&dir, "bad.park", "p(X) -> +q(X, Y).");
+    let out = park()
+        .args(["check", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("safety condition 1"));
+
+    let good = write(&dir, "good.park", "p(X) -> +q(X).");
+    let out = park()
+        .args(["check", good.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("1 rules, safe"));
+}
+
+#[test]
+fn snapshot_is_written() {
+    let dir = tempdir("snap");
+    let program = write(&dir, "p.park", "p -> +q.");
+    let facts = write(&dir, "d.facts", "p.");
+    let snap = dir.join("out.json");
+    let out = park()
+        .args([
+            "run",
+            program.to_str().unwrap(),
+            "--db",
+            facts.to_str().unwrap(),
+            "--snapshot",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = std::fs::read_to_string(&snap).unwrap();
+    assert!(json.contains("\"q\""), "{json}");
+}
+
+#[test]
+fn baseline_naive_differs_from_run_on_p2() {
+    let dir = tempdir("naive");
+    let program = write(
+        &dir,
+        "p2.park",
+        "p -> +q. p -> -a. q -> +a. !a -> +r. a -> +s.",
+    );
+    let facts = write(&dir, "d.facts", "p.");
+    let park_out = park()
+        .args([
+            "run",
+            program.to_str().unwrap(),
+            "--db",
+            facts.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let naive_out = park()
+        .args([
+            "baseline",
+            "naive",
+            program.to_str().unwrap(),
+            "--db",
+            facts.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(park_out.status.success() && naive_out.status.success());
+    let park_txt = String::from_utf8_lossy(&park_out.stdout);
+    let naive_txt = String::from_utf8_lossy(&naive_out.stdout);
+    assert!(!park_txt.contains("s."), "{park_txt}");
+    assert!(naive_txt.contains("s."), "{naive_txt}");
+}
+
+#[test]
+fn baseline_immediate_divergence_is_an_error() {
+    let dir = tempdir("imm");
+    let program = write(&dir, "p.park", "p, a -> -a. p, !a -> +a.");
+    let facts = write(&dir, "d.facts", "p.");
+    let out = park()
+        .args([
+            "baseline",
+            "immediate",
+            program.to_str().unwrap(),
+            "--db",
+            facts.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("diverged"));
+}
+
+#[test]
+fn workload_generation() {
+    let dir = tempdir("wl");
+    let out = park()
+        .args([
+            "workload",
+            "payroll",
+            "--n",
+            "5",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for f in ["payroll.park", "payroll.facts", "payroll.updates"] {
+        assert!(dir.join(f).exists(), "missing {f}");
+    }
+    // The generated workload runs.
+    let run = park()
+        .args([
+            "run",
+            dir.join("payroll.park").to_str().unwrap(),
+            "--db",
+            dir.join("payroll.facts").to_str().unwrap(),
+            "--updates",
+            dir.join("payroll.updates").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+}
+
+#[test]
+fn repl_session_end_to_end() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let dir = tempdir("repl");
+    let program = write(
+        &dir,
+        "p.park",
+        "onleave: -active(X) -> +offboard(X).
+         offb: offboard(X), payroll(X, S) -> -payroll(X, S).",
+    );
+    let facts = write(
+        &dir,
+        "d.facts",
+        "active(a). payroll(a, 10). payroll(b, 20).",
+    );
+    let mut child = park()
+        .args([
+            "repl",
+            program.to_str().unwrap(),
+            "--db",
+            facts.to_str().unwrap(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"?payroll\n-active(a).\n?payroll\n:analyze\n:state\n:quit\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("payroll(a, 10)"), "{stdout}");
+    assert!(
+        stdout.contains("tx1: +offboard(a) -active(a) -payroll(a, 10)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("rules: 2"), "{stdout}");
+    assert!(stdout.contains("payroll(b, 20)."), "{stdout}");
+}
+
+#[test]
+fn repl_rejects_bad_transactions_without_committing() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let dir = tempdir("repl2");
+    let program = write(&dir, "p.park", "p(X) -> +q(X).");
+    let mut child = park()
+        .args(["repl", program.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"not an update\n+p(a).\n?q\n:quit\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error:"), "{stdout}");
+    assert!(stdout.contains("q(a)"), "{stdout}");
+}
+
+#[test]
+fn analyze_reports_structure() {
+    let dir = tempdir("analyze");
+    let program = write(
+        &dir,
+        "p.park",
+        "base: edge(X, Y) -> +tc(X, Y). step: tc(X, Y), edge(Y, Z) -> +tc(X, Z).
+         grow: p(X) -> +q(X). cut: p(X) -> -q(X).",
+    );
+    let out = park()
+        .args(["analyze", program.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("recursive      : tc"), "{stdout}");
+    assert!(stdout.contains("stratified     : yes"), "{stdout}");
+    assert!(stdout.contains("grow (+q) vs cut (-q)"), "{stdout}");
+}
+
+#[test]
+fn trace_json_is_written() {
+    let dir = tempdir("tracejson");
+    let program = write(&dir, "p.park", "r1: p -> +q. r2: p -> -q.");
+    let facts = write(&dir, "d.facts", "p.");
+    let json_path = dir.join("trace.json");
+    let out = park()
+        .args([
+            "run",
+            program.to_str().unwrap(),
+            "--db",
+            facts.to_str().unwrap(),
+            "--trace-json",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"event\": \"conflict_resolved\""), "{json}");
+    assert!(json.contains("\"policy\": \"inertia\""), "{json}");
+}
+
+#[test]
+fn query_command_answers_conjunctive_queries() {
+    let dir = tempdir("query");
+    let facts = write(
+        &dir,
+        "d.facts",
+        "emp(a). emp(b). active(a). payroll(a, 10). payroll(b, 200).",
+    );
+    let out = park()
+        .args([
+            "query",
+            "?- emp(X), payroll(X, S), S > 100.",
+            "--db",
+            facts.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        "X = b, S = 200"
+    );
+    // Unsafe query fails cleanly.
+    let out = park()
+        .args(["query", "!emp(X)", "--db", facts.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn repl_conjunctive_query() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let dir = tempdir("replq");
+    let program = write(&dir, "p.park", "p(X) -> +q(X).");
+    let facts = write(&dir, "d.facts", "p(a). p(b). r(a).");
+    let mut child = park()
+        .args([
+            "repl",
+            program.to_str().unwrap(),
+            "--db",
+            facts.to_str().unwrap(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"?- p(X), !r(X).\n:quit\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("X = b"), "{stdout}");
+}
+
+#[test]
+fn analyze_with_database_probes_confluence() {
+    let dir = tempdir("confluence");
+    let program = write(&dir, "p.park", "grow: p -> +q. cut: p -> -q.");
+    let facts = write(&dir, "d.facts", "p.");
+    let out = park()
+        .args([
+            "analyze",
+            program.to_str().unwrap(),
+            "--db",
+            facts.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("POLICY-SENSITIVE"), "{stdout}");
+    assert!(stdout.contains("only under insert: q"), "{stdout}");
+}
+
+#[test]
+fn unknown_arguments_are_rejected() {
+    let out = park().args(["run", "x.park", "--bogus"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = park().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = park().args(["help"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

@@ -1,0 +1,481 @@
+//! Static analysis of active-rule programs.
+//!
+//! Nothing here changes the semantics — PARK handles recursion,
+//! unstratified negation, and conflicts at run time — but these analyses
+//! power tooling (the CLI's `analyze` command) and fast paths:
+//!
+//! * the **predicate dependency graph** with positive / negative / event
+//!   edges, and its strongly connected components (recursion detection);
+//! * **stratifiability**: no negative edge inside a recursive component.
+//!   Unstratified programs are legal under PARK's inflationary semantics,
+//!   but flagging them helps users who expect stratified-datalog behaviour;
+//! * **potential conflict pairs**: rules with unifiable heads of opposite
+//!   polarity — the pairs `conflicts(P, I)` can ever cite, and the reason a
+//!   program can need conflict resolution at all.
+
+use crate::compile::{CompiledLiteral, CompiledProgram, CompiledRule, LitKind, RuleId, TermSlot};
+use park_storage::PredId;
+use park_syntax::Sign;
+use std::collections::{HashMap, HashSet};
+
+/// How a rule body refers to a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EdgeKind {
+    /// Through a positive condition literal.
+    Positive,
+    /// Through a negated condition literal.
+    Negative,
+    /// Through an event literal (`+a` / `-a`).
+    Event,
+}
+
+/// The predicate dependency graph of a program: an edge `head → body-pred`
+/// for every body literal of every rule.
+#[derive(Debug, Clone, Default)]
+pub struct DependencyGraph {
+    /// Adjacency: `(from head-pred, to body-pred, kind)` edges, deduplicated.
+    pub edges: HashSet<(PredId, PredId, EdgeKind)>,
+    /// All predicates mentioned anywhere.
+    pub preds: HashSet<PredId>,
+}
+
+impl DependencyGraph {
+    /// Build the graph of a compiled program.
+    pub fn of(program: &CompiledProgram) -> Self {
+        let mut g = DependencyGraph::default();
+        for rule in program.rules() {
+            g.preds.insert(rule.head.pred);
+            for lit in rule.body.iter() {
+                // Guards reference no predicates.
+                let CompiledLiteral::Atom { kind, atom } = lit else {
+                    continue;
+                };
+                g.preds.insert(atom.pred);
+                let kind = match kind {
+                    LitKind::Pos => EdgeKind::Positive,
+                    LitKind::Neg => EdgeKind::Negative,
+                    LitKind::Event(_) => EdgeKind::Event,
+                };
+                g.edges.insert((rule.head.pred, atom.pred, kind));
+            }
+        }
+        g
+    }
+
+    /// Successors of `p` (body predicates its rules depend on).
+    pub fn successors(&self, p: PredId) -> impl Iterator<Item = (PredId, EdgeKind)> + '_ {
+        self.edges
+            .iter()
+            .filter(move |(f, _, _)| *f == p)
+            .map(|&(_, t, k)| (t, k))
+    }
+
+    /// Strongly connected components (Tarjan), in reverse topological
+    /// order; each component is sorted for determinism.
+    pub fn sccs(&self) -> Vec<Vec<PredId>> {
+        // Iterative Tarjan to stay safe on deep graphs.
+        let mut preds: Vec<PredId> = self.preds.iter().copied().collect();
+        preds.sort();
+        let index_of: HashMap<PredId, usize> =
+            preds.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let n = preds.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(f, t, _) in &self.edges {
+            adj[index_of[&f]].push(index_of[&t]);
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+            a.dedup();
+        }
+
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut sccs: Vec<Vec<PredId>> = Vec::new();
+
+        // Explicit DFS stack: (node, child-iterator position).
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            let mut call: Vec<(usize, usize)> = vec![(start, 0)];
+            while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+                if *ci == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if let Some(&w) = adj[v].get(*ci) {
+                    *ci += 1;
+                    if index[w] == usize::MAX {
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack");
+                            on_stack[w] = false;
+                            comp.push(preds[w]);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort();
+                        sccs.push(comp);
+                    }
+                    call.pop();
+                    if let Some(&mut (parent, _)) = call.last_mut() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                }
+            }
+        }
+        sccs
+    }
+
+    /// Predicates involved in recursion: members of an SCC of size > 1, or
+    /// with a self-loop.
+    pub fn recursive_preds(&self) -> HashSet<PredId> {
+        let mut out = HashSet::new();
+        for scc in self.sccs() {
+            if scc.len() > 1 {
+                out.extend(scc);
+            } else if let [p] = scc[..] {
+                if self.edges.iter().any(|&(f, t, _)| f == p && t == p) {
+                    out.insert(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Stratifiability: no negative (or event) edge connecting two
+    /// predicates of the same recursive component. Event edges are treated
+    /// like negative ones — both peek at update marks rather than the
+    /// growing positive extension.
+    pub fn is_stratified(&self) -> bool {
+        let mut comp_of: HashMap<PredId, usize> = HashMap::new();
+        for (i, scc) in self.sccs().into_iter().enumerate() {
+            for p in scc {
+                comp_of.insert(p, i);
+            }
+        }
+        // An intra-component non-positive edge is recursion through
+        // negation/events: two distinct predicates in one SCC are mutually
+        // recursive, and a self-edge is directly recursive.
+        !self
+            .edges
+            .iter()
+            .any(|&(f, t, k)| k != EdgeKind::Positive && comp_of.get(&f) == comp_of.get(&t))
+    }
+}
+
+/// A pair of rules whose heads can clash: opposite polarity on the same
+/// predicate with unifiable head patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictPair {
+    /// The rule with the inserting head.
+    pub inserting: RuleId,
+    /// The rule with the deleting head.
+    pub deleting: RuleId,
+    /// The contested predicate.
+    pub pred: PredId,
+}
+
+/// Do two head patterns unify? Variables are rule-local, so two distinct
+/// variables always unify; only constant/constant clashes rule a pair out.
+fn heads_unify(a: &CompiledRule, b: &CompiledRule) -> bool {
+    a.head
+        .terms
+        .iter()
+        .zip(b.head.terms.iter())
+        .all(|(x, y)| match (x, y) {
+            (TermSlot::Const(cx), TermSlot::Const(cy)) => cx == cy,
+            _ => true,
+        })
+}
+
+/// All potential conflict pairs of a program, sorted.
+pub fn conflict_pairs(program: &CompiledProgram) -> Vec<ConflictPair> {
+    let mut out = Vec::new();
+    for a in program.rules() {
+        if a.head_sign != Sign::Insert {
+            continue;
+        }
+        for b in program.rules() {
+            if b.head_sign == Sign::Delete && a.head.pred == b.head.pred && heads_unify(a, b) {
+                out.push(ConflictPair {
+                    inserting: a.id,
+                    deleting: b.id,
+                    pred: a.head.pred,
+                });
+            }
+        }
+    }
+    out.sort_by_key(|p| (p.inserting, p.deleting));
+    out
+}
+
+/// A one-stop program report for tooling.
+#[derive(Debug, Clone)]
+pub struct ProgramReport {
+    /// Number of rules.
+    pub rules: usize,
+    /// Number of distinct predicates.
+    pub preds: usize,
+    /// Recursive predicate names, sorted.
+    pub recursive: Vec<String>,
+    /// Whether the program is stratifiable.
+    pub stratified: bool,
+    /// Potential conflict pairs as `(inserting, deleting, predicate)`
+    /// display names.
+    pub conflicts: Vec<(String, String, String)>,
+}
+
+/// Analyze a compiled program.
+pub fn report(program: &CompiledProgram) -> ProgramReport {
+    let graph = DependencyGraph::of(program);
+    let vocab = program.vocab();
+    let mut recursive: Vec<String> = graph
+        .recursive_preds()
+        .into_iter()
+        .map(|p| vocab.pred_name(p).to_string())
+        .collect();
+    recursive.sort();
+    let conflicts = conflict_pairs(program)
+        .into_iter()
+        .map(|c| {
+            (
+                program.rule(c.inserting).display_name(),
+                program.rule(c.deleting).display_name(),
+                vocab.pred_name(c.pred).to_string(),
+            )
+        })
+        .collect();
+    ProgramReport {
+        rules: program.len(),
+        preds: graph.preds.len(),
+        recursive,
+        stratified: graph.is_stratified(),
+        conflicts,
+    }
+}
+
+/// How policy-sensitive a program is on a concrete database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Confluence {
+    /// No predicate has heads of both polarities: *every* policy yields
+    /// the same result on *every* database (no conflict can ever arise).
+    StaticallyConfluent,
+    /// Conflicts arose on this database, but the two extreme policies
+    /// (always-insert, always-delete) agreed on the final state — weak
+    /// evidence of insensitivity *for this database*; other policies may
+    /// still differ.
+    ProbablyConfluent {
+        /// Conflicts each probe run resolved.
+        conflicts: u64,
+    },
+    /// The extreme policies produced different result states: the program
+    /// is policy-sensitive on this database (almost always the intended
+    /// situation for active rules with conflicts).
+    PolicySensitive {
+        /// Facts in the always-insert result missing from always-delete.
+        only_with_insert: Vec<String>,
+        /// Facts in the always-delete result missing from always-insert.
+        only_with_delete: Vec<String>,
+    },
+}
+
+/// Probe whether a program's result depends on the conflict-resolution
+/// policy for a given database, by comparing the two constant extreme
+/// policies. A static conflict-freedom check short-circuits the runs.
+pub fn confluence_probe(
+    engine: &crate::Engine,
+    db: &park_storage::FactStore,
+) -> crate::EngineResult<Confluence> {
+    use crate::conflict::{ConflictResolver, Resolution, SelectContext};
+    if !engine.program().possibly_conflicting() {
+        return Ok(Confluence::StaticallyConfluent);
+    }
+    struct Constant(Resolution);
+    impl ConflictResolver for Constant {
+        fn name(&self) -> &str {
+            "constant-probe"
+        }
+        fn select(
+            &mut self,
+            _: &SelectContext<'_>,
+            _: &crate::conflict::Conflict,
+        ) -> Result<Resolution, String> {
+            Ok(self.0)
+        }
+    }
+    let ins = engine.park(db, &mut Constant(Resolution::Insert))?;
+    let del = engine.park(db, &mut Constant(Resolution::Delete))?;
+    if ins.database.same_facts(&del.database) {
+        return Ok(Confluence::ProbablyConfluent {
+            conflicts: ins
+                .stats
+                .conflicts_resolved
+                .max(del.stats.conflicts_resolved),
+        });
+    }
+    let (only_ins, only_del) = del.database.diff(&ins.database);
+    let vocab = db.vocab();
+    let render = |xs: &[(park_storage::PredId, park_storage::Tuple)]| {
+        xs.iter().map(|(p, t)| vocab.display_fact(*p, t)).collect()
+    };
+    Ok(Confluence::PolicySensitive {
+        only_with_insert: render(&only_ins),
+        only_with_delete: render(&only_del),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use park_storage::Vocabulary;
+    use park_syntax::parse_program;
+
+    fn compile(src: &str) -> CompiledProgram {
+        CompiledProgram::compile(Vocabulary::new(), &parse_program(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn dependency_graph_edges() {
+        let p = compile("a(X), !b(X), +c(X) -> +d(X).");
+        let g = DependencyGraph::of(&p);
+        assert_eq!(g.preds.len(), 4);
+        assert_eq!(g.edges.len(), 3);
+        let d = p.vocab().lookup_pred("d").unwrap();
+        let kinds: Vec<EdgeKind> = {
+            let mut v: Vec<_> = g.successors(d).map(|(_, k)| k).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(
+            kinds,
+            vec![EdgeKind::Positive, EdgeKind::Negative, EdgeKind::Event]
+        );
+    }
+
+    #[test]
+    fn sccs_find_recursion() {
+        let p = compile(
+            "edge(X, Y) -> +tc(X, Y). tc(X, Y), edge(Y, Z) -> +tc(X, Z). tc(X, X) -> +cyc.",
+        );
+        let g = DependencyGraph::of(&p);
+        let tc = p.vocab().lookup_pred("tc").unwrap();
+        assert!(g.recursive_preds().contains(&tc));
+        assert_eq!(g.recursive_preds().len(), 1);
+        // SCCs come out in reverse topological order: leaves first.
+        let sccs = g.sccs();
+        assert!(sccs.iter().any(|c| c == &vec![tc]));
+    }
+
+    #[test]
+    fn mutual_recursion_is_one_component() {
+        let p = compile("a(X) -> +b(X). b(X) -> +a(X).");
+        let g = DependencyGraph::of(&p);
+        let sccs = g.sccs();
+        assert!(sccs.iter().any(|c| c.len() == 2));
+        assert_eq!(g.recursive_preds().len(), 2);
+    }
+
+    #[test]
+    fn stratification_detects_negative_cycles() {
+        // win(X) :- move(X, Y), !win(Y) — the classic unstratified program.
+        let p = compile("move(X, Y), !win(Y) -> +win(X).");
+        let g = DependencyGraph::of(&p);
+        assert!(!g.is_stratified());
+        // Plain transitive closure is stratified.
+        let p = compile("edge(X, Y) -> +tc(X, Y). tc(X, Y), edge(Y, Z) -> +tc(X, Z).");
+        assert!(DependencyGraph::of(&p).is_stratified());
+        // Negation that doesn't feed back is fine.
+        let p = compile("a(X), !b(X) -> +c(X).");
+        assert!(DependencyGraph::of(&p).is_stratified());
+    }
+
+    #[test]
+    fn conflict_pairs_require_unifiable_heads() {
+        let p = compile(
+            "r1: p(X) -> +q(X, a). r2: p(X) -> -q(X, b). r3: p(X) -> -q(X, a). r4: p(X) -> -z(X).",
+        );
+        let pairs = conflict_pairs(&p);
+        // r1 clashes with r3 (both …, a) but not r2 (a vs b); r4 is a
+        // different predicate.
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].inserting, RuleId(0));
+        assert_eq!(pairs[0].deleting, RuleId(2));
+    }
+
+    #[test]
+    fn variables_unify_with_anything() {
+        let p = compile("r1: p(X) -> +q(X). r2: p(X) -> -q(a).");
+        assert_eq!(conflict_pairs(&p).len(), 1);
+    }
+
+    #[test]
+    fn report_summarizes() {
+        let p = compile(
+            "base: edge(X, Y) -> +tc(X, Y).
+             step: tc(X, Y), edge(Y, Z) -> +tc(X, Z).
+             grow: p(X) -> +q(X).
+             cut: p(X) -> -q(X).",
+        );
+        let r = report(&p);
+        assert_eq!(r.rules, 4);
+        assert!(r.stratified);
+        assert_eq!(r.recursive, vec!["tc"]);
+        assert_eq!(r.conflicts, vec![("grow".into(), "cut".into(), "q".into())]);
+    }
+
+    #[test]
+    fn confluence_probe_classifies() {
+        use park_storage::FactStore;
+        use std::sync::Arc;
+        let run = |rules: &str, facts: &str| {
+            let vocab = Vocabulary::new();
+            let engine =
+                crate::Engine::new(Arc::clone(&vocab), &parse_program(rules).unwrap()).unwrap();
+            let db = FactStore::from_source(vocab, facts).unwrap();
+            confluence_probe(&engine, &db).unwrap()
+        };
+        // Insert-only: statically confluent.
+        assert_eq!(
+            run("p(X) -> +q(X).", "p(a)."),
+            Confluence::StaticallyConfluent
+        );
+        // Conflicting rules whose conflict is unreachable on this data.
+        assert_eq!(
+            run("p(X) -> +q(X). z(X) -> -q(X).", "p(a)."),
+            Confluence::ProbablyConfluent { conflicts: 0 }
+        );
+        // A live conflict: policy-sensitive.
+        match run("p -> +q. p -> -q.", "p.") {
+            Confluence::PolicySensitive {
+                only_with_insert,
+                only_with_delete,
+            } => {
+                assert_eq!(only_with_insert, vec!["q"]);
+                assert!(only_with_delete.is_empty());
+            }
+            other => panic!("expected policy sensitivity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflict_free_program_reports_empty() {
+        let p = compile("a(X) -> +b(X). b(X) -> +c(X).");
+        let r = report(&p);
+        assert!(r.conflicts.is_empty());
+        assert!(!p.possibly_conflicting());
+    }
+}

@@ -1,0 +1,153 @@
+//! Bi-structures and their ordering (Section 4.2).
+//!
+//! A *bi-structure* `⟨B, I⟩` pairs a blocked set with an i-interpretation.
+//! The paper orders them by
+//!
+//! ```text
+//! ⟨B, I⟩ < ⟨B', I'⟩  iff  B ⊂ B'  or  (B = B' and I ⊂ I')
+//! ```
+//!
+//! and proves (Theorem 4.1) that the transition operator Δ grows along this
+//! order, which gives termination. The engine iterates Δ without
+//! materializing bi-structures on its hot path; this module provides them as
+//! first-class values so the theorem is directly testable (see the property
+//! tests in `tests/properties.rs`).
+
+use crate::grounding::BlockedSet;
+use crate::interp::IInterpretation;
+use park_syntax::Sign;
+
+/// A bi-structure `⟨B, I⟩`.
+#[derive(Debug, Clone)]
+pub struct BiStructure {
+    /// The blocked rule instances `B`.
+    pub blocked: BlockedSet,
+    /// The i-interpretation `I`.
+    pub interp: IInterpretation,
+}
+
+impl BiStructure {
+    /// Pair a blocked set with an interpretation.
+    pub fn new(blocked: BlockedSet, interp: IInterpretation) -> Self {
+        BiStructure { blocked, interp }
+    }
+
+    /// The paper's `int(A)` projection.
+    pub fn int(&self) -> &IInterpretation {
+        &self.interp
+    }
+
+    /// Is `self ⪯ other` in the bi-structure order?
+    ///
+    /// `⪯` is the reflexive closure of the strict order above: either the
+    /// blocked set strictly grows, or it is equal and the interpretation
+    /// grows (weakly).
+    pub fn le(&self, other: &BiStructure) -> bool {
+        let b_sub = blocked_subset(&self.blocked, &other.blocked);
+        if !b_sub {
+            return false;
+        }
+        if self.blocked.len() < other.blocked.len() {
+            return true; // B ⊂ B'
+        }
+        // B = B': compare interpretations zone-wise.
+        interp_subset(&self.interp, &other.interp)
+    }
+}
+
+fn blocked_subset(a: &BlockedSet, b: &BlockedSet) -> bool {
+    a.len() <= b.len() && a.iter().all(|g| b.contains(g))
+}
+
+/// Zone-wise inclusion of i-interpretations.
+pub fn interp_subset(a: &IInterpretation, b: &IInterpretation) -> bool {
+    a.base().iter().all(|(p, t)| b.base().contains(p, t))
+        && a.plus()
+            .iter()
+            .all(|(p, t)| b.contains_marked(Sign::Insert, p, t))
+        && a.minus()
+            .iter()
+            .all(|(p, t)| b.contains_marked(Sign::Delete, p, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::RuleId;
+    use crate::grounding::Grounding;
+    use park_storage::{FactStore, Value, Vocabulary};
+    use std::sync::Arc;
+
+    fn interp(src: &str) -> IInterpretation {
+        IInterpretation::from_database(FactStore::from_source(Vocabulary::new(), src).unwrap())
+    }
+
+    fn g(rule: u32) -> Grounding {
+        Grounding {
+            rule: RuleId(rule),
+            subst: Box::from([]),
+        }
+    }
+
+    #[test]
+    fn reflexive() {
+        let a = BiStructure::new(BlockedSet::new(), interp("p."));
+        assert!(a.le(&a));
+    }
+
+    #[test]
+    fn blocked_growth_dominates() {
+        let v = Vocabulary::new();
+        let small_i = IInterpretation::from_database(
+            FactStore::from_source(Arc::clone(&v), "p. q.").unwrap(),
+        );
+        let mut b2 = BlockedSet::new();
+        b2.insert(g(0));
+        // ⟨∅, {p,q}⟩ < ⟨{g}, {p}⟩ because B strictly grows, even though the
+        // interpretation shrank.
+        let a = BiStructure::new(BlockedSet::new(), small_i);
+        let b = BiStructure::new(
+            b2,
+            IInterpretation::from_database(FactStore::from_source(v, "p.").unwrap()),
+        );
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+    }
+
+    #[test]
+    fn equal_blocked_compares_interpretations() {
+        let v = Vocabulary::new();
+        let mut i1 =
+            IInterpretation::from_database(FactStore::from_source(Arc::clone(&v), "p.").unwrap());
+        let mut i2 = i1.clone();
+        let q = v.pred("q", 0).unwrap();
+        i2.insert_marked(Sign::Insert, q, park_storage::Tuple::empty());
+        let a = BiStructure::new(BlockedSet::new(), i1.clone());
+        let b = BiStructure::new(BlockedSet::new(), i2.clone());
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        // Marks are zone-sensitive: -q is not +q.
+        i1.insert_marked(Sign::Delete, q, park_storage::Tuple::empty());
+        let c = BiStructure::new(BlockedSet::new(), i1);
+        assert!(!c.le(&b));
+        let _ = Value::Int(0);
+    }
+
+    #[test]
+    fn incomparable_blocked_sets() {
+        let mut b1 = BlockedSet::new();
+        b1.insert(g(0));
+        let mut b2 = BlockedSet::new();
+        b2.insert(g(1));
+        let a = BiStructure::new(b1, interp("p."));
+        let b = BiStructure::new(b2, interp("p."));
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+    }
+
+    #[test]
+    fn int_projection() {
+        let a = BiStructure::new(BlockedSet::new(), interp("p."));
+        assert_eq!(a.int().base().len(), 1);
+    }
+}

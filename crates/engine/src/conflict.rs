@@ -1,0 +1,435 @@
+//! Conflicts, provenance, and the `SELECT` oracle interface.
+//!
+//! A *conflict* (Section 4.2) is a triple `(a, ins, del)`: a ground atom
+//! together with the rule groundings voting for its insertion and for its
+//! deletion. `conflicts(P, I)` "looks one step into the future": its sides
+//! are groundings whose bodies are valid in `I`, whether or not `±a` is
+//! already in `I`.
+//!
+//! ## Provenance (a documented clarification of the paper)
+//!
+//! Literal validity is non-monotone over an inflationary run (adding `+b`
+//! can invalidate `¬b`), so a marked atom in `I` may have *no* currently
+//! valid deriving grounding. If the opposite mark then becomes derivable,
+//! `Γ` turns inconsistent while the letter of `conflicts(P, I)` offers no
+//! grounding to block on one side. We therefore remember, per run, every
+//! grounding that fired for each marked atom (its *provenance*) and include
+//! those groundings in the conflict sides. On every program in the paper
+//! this coincides with the paper's definition; in the degenerate case it
+//! preserves the termination argument (every resolution blocks at least one
+//! new grounding). See DESIGN.md §3.
+//!
+//! Blocked groundings are excluded from conflict sides — this matches the
+//! paper's Section 5 computations, where after `r2` is blocked a later
+//! conflict on `q` is presented as `({r5}, {r4})`, without `r2`.
+
+use crate::compile::CompiledProgram;
+use crate::gamma::FiredAction;
+use crate::grounding::Grounding;
+use crate::interp::IInterpretation;
+use park_storage::{FactStore, PredId, Tuple};
+use park_syntax::Sign;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The decision of a conflict-resolution policy for one conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Resolution {
+    /// Keep the insertion; block the deleting groundings.
+    Insert,
+    /// Keep the deletion; block the inserting groundings.
+    Delete,
+}
+
+impl Resolution {
+    /// `insert` or `delete`, as the paper writes it.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Resolution::Insert => "insert",
+            Resolution::Delete => "delete",
+        }
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A conflict `(a, ins, del)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conflict {
+    /// The contested atom's predicate.
+    pub pred: PredId,
+    /// The contested atom's tuple.
+    pub tuple: Tuple,
+    /// Groundings deriving `+a`, sorted by (rule, substitution).
+    pub ins: Vec<Grounding>,
+    /// Groundings deriving `-a`, sorted by (rule, substitution).
+    pub del: Vec<Grounding>,
+}
+
+impl Conflict {
+    /// Render in the paper's notation:
+    /// `(q(a), {(r1, [x <- a])}, {(r2, [x <- a])})`.
+    pub fn display(&self, program: &CompiledProgram) -> String {
+        let atom = program.vocab().display_fact(self.pred, &self.tuple);
+        let side = |gs: &[Grounding]| {
+            let items: Vec<String> = gs.iter().map(|g| g.display(program)).collect();
+            format!("{{{}}}", items.join(", "))
+        };
+        format!("({atom}, {}, {})", side(&self.ins), side(&self.del))
+    }
+
+    /// The losing side under a resolution (the groundings to block).
+    pub fn losing_side(&self, resolution: Resolution) -> &[Grounding] {
+        match resolution {
+            Resolution::Insert => &self.del,
+            Resolution::Delete => &self.ins,
+        }
+    }
+}
+
+/// The context handed to `SELECT`: per the paper, the original database
+/// instance `D`, the program `P`, and the current state of computation `I`.
+#[derive(Debug)]
+pub struct SelectContext<'a> {
+    /// The original database instance `D`.
+    pub database: &'a FactStore,
+    /// The program being evaluated (`P_U` when updates are present).
+    pub program: &'a CompiledProgram,
+    /// The current i-interpretation `I`.
+    pub interp: &'a IInterpretation,
+}
+
+/// The paper's `SELECT` function: a conflict-resolution policy.
+///
+/// `SELECT(D, P, I, c)` maps a conflict to `insert` or `delete`. Policies
+/// may be stateful (`&mut self`) — interactive and random policies are —
+/// and may fail (e.g. a scripted oracle running out of answers), which the
+/// engine surfaces as [`crate::EngineError::Resolver`].
+pub trait ConflictResolver {
+    /// The policy's name, for traces and error messages.
+    fn name(&self) -> &str;
+
+    /// Decide one conflict.
+    fn select(
+        &mut self,
+        ctx: &SelectContext<'_>,
+        conflict: &Conflict,
+    ) -> Result<Resolution, String>;
+}
+
+impl<T: ConflictResolver + ?Sized> ConflictResolver for &mut T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn select(
+        &mut self,
+        ctx: &SelectContext<'_>,
+        conflict: &Conflict,
+    ) -> Result<Resolution, String> {
+        (**self).select(ctx, conflict)
+    }
+}
+
+/// The principle of inertia (Section 4.1): conflicting actions are ignored,
+/// so the atom keeps its status in the *original* database `D` — `insert`
+/// iff `a ∈ D`, else `delete`.
+///
+/// Lives in the engine crate (rather than `park-policies`) because the
+/// paper uses it as the default throughout; `park-policies` re-exports it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Inertia;
+
+impl ConflictResolver for Inertia {
+    fn name(&self) -> &str {
+        "inertia"
+    }
+
+    fn select(
+        &mut self,
+        ctx: &SelectContext<'_>,
+        conflict: &Conflict,
+    ) -> Result<Resolution, String> {
+        if ctx.database.contains(conflict.pred, &conflict.tuple) {
+            Ok(Resolution::Insert)
+        } else {
+            Ok(Resolution::Delete)
+        }
+    }
+}
+
+/// Per-run provenance: which groundings fired for each marked atom.
+///
+/// Keyed predicate-first so the hot `record_all` path can look tuples up
+/// without cloning them.
+#[derive(Debug, Clone, Default)]
+pub struct Provenance {
+    map: HashMap<PredId, HashMap<Tuple, Sides>>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Sides {
+    ins: Vec<Grounding>,
+    del: Vec<Grounding>,
+}
+
+impl Sides {
+    fn side_mut(&mut self, sign: Sign) -> &mut Vec<Grounding> {
+        match sign {
+            Sign::Insert => &mut self.ins,
+            Sign::Delete => &mut self.del,
+        }
+    }
+}
+
+impl Provenance {
+    /// Empty provenance (start of a run).
+    pub fn new() -> Self {
+        Provenance::default()
+    }
+
+    /// Record the firings of one consistent Γ step.
+    pub fn record_all(&mut self, fired: &[FiredAction]) {
+        for f in fired {
+            let by_tuple = self.map.entry(f.pred).or_default();
+            // Clone only when the atom is seen for the first time; the
+            // (overwhelmingly common) re-fire path is lookup-only.
+            if !by_tuple.contains_key(&f.tuple) {
+                by_tuple.insert(f.tuple.clone(), Sides::default());
+            }
+            let sides = by_tuple.get_mut(&f.tuple).expect("just ensured");
+            let side = sides.side_mut(f.sign);
+            if !side.contains(&f.grounding) {
+                side.push(f.grounding.clone());
+            }
+        }
+    }
+
+    /// Forget everything (conflict restart).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Number of atoms with recorded provenance.
+    pub fn len(&self) -> usize {
+        self.map.values().map(HashMap::len).sum()
+    }
+
+    /// True if nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn sides(&self, pred: PredId, tuple: &Tuple) -> (&[Grounding], &[Grounding]) {
+        match self.map.get(&pred).and_then(|m| m.get(tuple)) {
+            Some(s) => (&s.ins, &s.del),
+            None => (&[], &[]),
+        }
+    }
+}
+
+/// Collect the conflicts among `fired` (one step into the future from `I`),
+/// merged with the run's provenance.
+///
+/// Returns conflicts in order of first appearance in `fired` — the engine's
+/// deterministic resolution order. Each side is deduplicated and sorted.
+pub fn collect_conflicts(fired: &[FiredAction], provenance: &Provenance) -> Vec<Conflict> {
+    // Group current firings by head atom.
+    let mut order: Vec<(PredId, Tuple)> = Vec::new();
+    let mut sides: HashMap<(PredId, Tuple), Sides> = HashMap::new();
+    for f in fired {
+        let key = (f.pred, f.tuple.clone());
+        let entry = sides.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            Sides::default()
+        });
+        let side = entry.side_mut(f.sign);
+        if !side.contains(&f.grounding) {
+            side.push(f.grounding.clone());
+        }
+    }
+
+    let mut out = Vec::new();
+    for key in order {
+        let current = &sides[&key];
+        let (hist_ins, hist_del) = provenance.sides(key.0, &key.1);
+        let merge = |cur: &[Grounding], hist: &[Grounding]| -> Vec<Grounding> {
+            let mut v: Vec<Grounding> = cur.to_vec();
+            for g in hist {
+                if !v.contains(g) {
+                    v.push(g.clone());
+                }
+            }
+            v.sort_by(|a, b| (a.rule, &a.subst).cmp(&(b.rule, &b.subst)));
+            v
+        };
+        let ins = merge(&current.ins, hist_ins);
+        let del = merge(&current.del, hist_del);
+        if !ins.is_empty() && !del.is_empty() {
+            out.push(Conflict {
+                pred: key.0,
+                tuple: key.1,
+                ins,
+                del,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{CompiledProgram, RuleId};
+    use park_storage::{Value, Vocabulary};
+    use park_syntax::parse_program;
+    use std::sync::Arc;
+
+    fn fired(rule: u32, sign: Sign, pred: PredId, val: i64) -> FiredAction {
+        FiredAction {
+            grounding: Grounding {
+                rule: RuleId(rule),
+                subst: Box::from([Value::Int(val)]),
+            },
+            sign,
+            pred,
+            tuple: Tuple::new(vec![Value::Int(val)]),
+        }
+    }
+
+    #[test]
+    fn conflicts_require_both_sides() {
+        let v = Vocabulary::new();
+        let q = v.pred("q", 1).unwrap();
+        let fs = vec![
+            fired(0, Sign::Insert, q, 1),
+            fired(1, Sign::Insert, q, 2), // no deletion for q(2)
+            fired(2, Sign::Delete, q, 1),
+        ];
+        let cs = collect_conflicts(&fs, &Provenance::new());
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].tuple, Tuple::new(vec![Value::Int(1)]));
+        assert_eq!(cs[0].ins.len(), 1);
+        assert_eq!(cs[0].del.len(), 1);
+    }
+
+    #[test]
+    fn provenance_supplies_historical_side() {
+        let v = Vocabulary::new();
+        let q = v.pred("q", 1).unwrap();
+        let mut prov = Provenance::new();
+        prov.record_all(&[fired(0, Sign::Insert, q, 1)]);
+        // Now only the deletion fires — the insertion's body is no longer
+        // valid, but +q(1) is in I with recorded provenance.
+        let cs = collect_conflicts(&[fired(1, Sign::Delete, q, 1)], &prov);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].ins[0].rule, RuleId(0));
+        assert_eq!(cs[0].del[0].rule, RuleId(1));
+    }
+
+    #[test]
+    fn provenance_deduplicates_refirings() {
+        let v = Vocabulary::new();
+        let q = v.pred("q", 1).unwrap();
+        let mut prov = Provenance::new();
+        prov.record_all(&[fired(0, Sign::Insert, q, 1)]);
+        prov.record_all(&[fired(0, Sign::Insert, q, 1)]);
+        let cs = collect_conflicts(
+            &[fired(0, Sign::Insert, q, 1), fired(1, Sign::Delete, q, 1)],
+            &prov,
+        );
+        assert_eq!(cs[0].ins.len(), 1);
+    }
+
+    #[test]
+    fn conflict_order_follows_first_appearance() {
+        let v = Vocabulary::new();
+        let q = v.pred("q", 1).unwrap();
+        let fs = vec![
+            fired(0, Sign::Insert, q, 2),
+            fired(0, Sign::Insert, q, 1),
+            fired(1, Sign::Delete, q, 1),
+            fired(1, Sign::Delete, q, 2),
+        ];
+        let cs = collect_conflicts(&fs, &Provenance::new());
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].tuple, Tuple::new(vec![Value::Int(2)]));
+        assert_eq!(cs[1].tuple, Tuple::new(vec![Value::Int(1)]));
+    }
+
+    #[test]
+    fn sides_are_sorted_by_rule_then_subst() {
+        let v = Vocabulary::new();
+        let q = v.pred("q", 0).unwrap();
+        let g = |rule: u32| FiredAction {
+            grounding: Grounding {
+                rule: RuleId(rule),
+                subst: Box::from([]),
+            },
+            sign: Sign::Insert,
+            pred: q,
+            tuple: Tuple::empty(),
+        };
+        let mut del = g(0);
+        del.sign = Sign::Delete;
+        let cs = collect_conflicts(&[g(2), g(1), del], &Provenance::new());
+        let rules: Vec<u32> = cs[0].ins.iter().map(|x| x.rule.0).collect();
+        assert_eq!(rules, vec![1, 2]);
+    }
+
+    #[test]
+    fn inertia_follows_original_database() {
+        let vocab = Vocabulary::new();
+        let program = CompiledProgram::compile(
+            Arc::clone(&vocab),
+            &parse_program("p -> +q. p -> -q.").unwrap(),
+        )
+        .unwrap();
+        let db = FactStore::from_source(Arc::clone(&vocab), "p. a.").unwrap();
+        let interp = IInterpretation::from_database(db.clone());
+        let ctx = SelectContext {
+            database: &db,
+            program: &program,
+            interp: &interp,
+        };
+        let q = vocab.lookup_pred("q").unwrap();
+        let a = vocab.lookup_pred("a").unwrap();
+        let mk = |pred| Conflict {
+            pred,
+            tuple: Tuple::empty(),
+            ins: vec![],
+            del: vec![],
+        };
+        let mut inertia = Inertia;
+        // q ∉ D → delete; a ∈ D → insert.
+        assert_eq!(inertia.select(&ctx, &mk(q)).unwrap(), Resolution::Delete);
+        assert_eq!(inertia.select(&ctx, &mk(a)).unwrap(), Resolution::Insert);
+        assert_eq!(inertia.name(), "inertia");
+    }
+
+    #[test]
+    fn losing_side_selection() {
+        let v = Vocabulary::new();
+        let q = v.pred("q", 1).unwrap();
+        let cs = collect_conflicts(
+            &[fired(0, Sign::Insert, q, 1), fired(1, Sign::Delete, q, 1)],
+            &Provenance::new(),
+        );
+        assert_eq!(cs[0].losing_side(Resolution::Insert)[0].rule, RuleId(1));
+        assert_eq!(cs[0].losing_side(Resolution::Delete)[0].rule, RuleId(0));
+    }
+
+    #[test]
+    fn provenance_clear() {
+        let v = Vocabulary::new();
+        let q = v.pred("q", 1).unwrap();
+        let mut prov = Provenance::new();
+        prov.record_all(&[fired(0, Sign::Insert, q, 1)]);
+        assert_eq!(prov.len(), 1);
+        prov.clear();
+        assert!(prov.is_empty());
+    }
+}

@@ -1,0 +1,631 @@
+//! The PARK evaluation loop: the transition operator Δ iterated to its
+//! fixpoint ω, followed by `incorp` (Sections 4.2–4.3).
+//!
+//! ```text
+//! PARK(D, P, U) = incorp(int(ω_{P_U}(⟨∅, D⟩)))
+//! ```
+//!
+//! One Δ application either performs a consistent inflationary Γ step, or —
+//! on inconsistency — resolves the detected conflicts through the `SELECT`
+//! policy, extends the blocked set with the losing groundings, and restarts
+//! the inflationary computation from the original database `D = I°`,
+//! discarding every consequence of the invalidated marks.
+//!
+//! Termination is a checked invariant: every restart strictly grows the
+//! blocked set (else [`EngineError::NoProgress`]), and the blocked set is
+//! bounded by the finite number of rule groundings.
+
+use crate::compile::CompiledProgram;
+use crate::conflict::{collect_conflicts, ConflictResolver, Provenance, SelectContext};
+use crate::error::{EngineError, EngineResult};
+use crate::gamma;
+use crate::grounding::BlockedSet;
+use crate::interp::IInterpretation;
+use crate::options::{EngineOptions, EvaluationMode, ResolutionScope};
+use crate::seminaive::{self, ZoneLens};
+use crate::stats::RunStats;
+use crate::trace::{Trace, TraceEvent};
+use park_storage::{FactStore, UpdateSet, Vocabulary};
+use park_syntax::Program;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The result of a PARK evaluation.
+#[derive(Debug, Clone)]
+pub struct ParkOutcome {
+    /// The result database instance `PARK(D, P, U)`.
+    pub database: FactStore,
+    /// The final i-interpretation `int(ω)` (consistent by construction).
+    pub interpretation: IInterpretation,
+    /// The final blocked set `B`.
+    pub blocked: BlockedSet,
+    /// The program actually evaluated (`P_U` when updates were supplied) —
+    /// needed to render groundings in `blocked`.
+    pub program: CompiledProgram,
+    /// Evaluation counters.
+    pub stats: RunStats,
+    /// The execution trace (empty unless `EngineOptions::trace`).
+    pub trace: Trace,
+}
+
+impl ParkOutcome {
+    /// The blocked groundings rendered in the paper's notation, sorted.
+    pub fn blocked_display(&self) -> Vec<String> {
+        self.blocked.display(&self.program)
+    }
+}
+
+/// A compiled PARK program ready to evaluate against database instances.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    program: CompiledProgram,
+    options: EngineOptions,
+}
+
+impl Engine {
+    /// Compile `program` against `vocab` with default options.
+    pub fn new(vocab: Arc<Vocabulary>, program: &Program) -> EngineResult<Self> {
+        Self::with_options(vocab, program, EngineOptions::default())
+    }
+
+    /// Compile with explicit options.
+    pub fn with_options(
+        vocab: Arc<Vocabulary>,
+        program: &Program,
+        options: EngineOptions,
+    ) -> EngineResult<Self> {
+        Ok(Engine {
+            program: CompiledProgram::compile(vocab, program)?,
+            options,
+        })
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// The engine options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// Evaluate `PARK(D, P)` — condition–action rules, no transaction
+    /// updates.
+    pub fn park(
+        &self,
+        db: &FactStore,
+        resolver: &mut dyn ConflictResolver,
+    ) -> EngineResult<ParkOutcome> {
+        self.run(db, &UpdateSet::empty(), resolver)
+    }
+
+    /// Evaluate `PARK(D, P, U)` — full event–condition–action semantics.
+    ///
+    /// `db` must share the engine's vocabulary (they were built against the
+    /// same `Arc<Vocabulary>`).
+    pub fn run(
+        &self,
+        db: &FactStore,
+        updates: &UpdateSet,
+        resolver: &mut dyn ConflictResolver,
+    ) -> EngineResult<ParkOutcome> {
+        assert!(
+            Arc::ptr_eq(db.vocab(), self.program.vocab()),
+            "database and program must share one Vocabulary"
+        );
+        let started = Instant::now();
+        let working = self.program.with_updates(updates);
+        // Statically conflict-free programs never need provenance or
+        // conflict collection; the run degenerates to the pure inflationary
+        // fixpoint.
+        let statically_safe = !working.possibly_conflicting();
+        let policy_name = resolver.name().to_string();
+        let mut blocked = BlockedSet::new();
+        let mut stats = RunStats::default();
+        let mut trace = Trace::new();
+        let tracing = self.options.trace;
+
+        let final_interp = 'outer: loop {
+            // (Re)start the inflationary computation from I° = D.
+            let run = stats.restarts + 1;
+            if tracing {
+                trace.push(TraceEvent::RunStarted { run });
+            }
+            let mut interp = IInterpretation::from_database(db.clone());
+            for req in working.index_requests() {
+                interp.zone_mut(req.zone).ensure_index(req.pred, req.mask);
+            }
+            let mut provenance = Provenance::new();
+            let mut step_in_run: u64 = 0;
+            let mut prev_lens = ZoneLens::capture(&interp);
+
+            loop {
+                if stats.gamma_steps >= self.options.max_steps {
+                    return Err(EngineError::StepLimit {
+                        limit: self.options.max_steps,
+                    });
+                }
+                let fired = match self.options.evaluation {
+                    EvaluationMode::Naive => gamma::fire_all(&working, &blocked, &interp),
+                    EvaluationMode::SemiNaive => {
+                        if step_in_run == 0 {
+                            gamma::fire_all(&working, &blocked, &interp)
+                        } else {
+                            let curr = ZoneLens::capture(&interp);
+                            let fired =
+                                seminaive::fire_new(&working, &blocked, &interp, &prev_lens, &curr);
+                            prev_lens = curr;
+                            fired
+                        }
+                    }
+                };
+                stats.groundings_fired += fired.len() as u64;
+                // Fast path: a conflict needs an insertion side and a
+                // deletion side (in this step's firings or the run's marks);
+                // if either polarity is absent everywhere, skip the
+                // grouping pass entirely.
+                let may_conflict = !statically_safe
+                    && (!interp.minus().is_empty()
+                        || fired.iter().any(|f| f.sign == park_syntax::Sign::Delete))
+                    && (!interp.plus().is_empty()
+                        || fired.iter().any(|f| f.sign == park_syntax::Sign::Insert));
+                let conflicts = if may_conflict {
+                    collect_conflicts(&fired, &provenance)
+                } else {
+                    Vec::new()
+                };
+
+                if conflicts.is_empty() {
+                    // Γ_{P,B}(I) is consistent: take the inflationary step.
+                    stats.gamma_steps += 1;
+                    step_in_run += 1;
+                    let mut added_count = 0usize;
+                    let mut added_display: Vec<String> = Vec::new();
+                    for f in &fired {
+                        if interp.insert_marked(f.sign, f.pred, f.tuple.clone()) {
+                            added_count += 1;
+                            if tracing {
+                                added_display.push(format!(
+                                    "{}{}",
+                                    f.sign,
+                                    working.vocab().display_fact(f.pred, &f.tuple)
+                                ));
+                            }
+                        }
+                    }
+                    if !statically_safe {
+                        provenance.record_all(&fired);
+                    }
+                    stats.peak_marked_atoms = stats.peak_marked_atoms.max(interp.marked_len());
+                    if added_count == 0 {
+                        // Γ_{P,B}(I) = I: the fixpoint ω is reached.
+                        if tracing {
+                            trace.push(TraceEvent::Fixpoint {
+                                run,
+                                interp: interp.display(),
+                                blocked: blocked.display(&working),
+                            });
+                        }
+                        break 'outer interp;
+                    }
+                    if tracing {
+                        trace.push(TraceEvent::Step {
+                            run,
+                            step: step_in_run,
+                            interp: interp.display(),
+                            added: added_display,
+                        });
+                    }
+                } else {
+                    // Conflict resolution: block losers, restart from D.
+                    if stats.restarts >= self.options.max_restarts {
+                        return Err(EngineError::RestartLimit {
+                            limit: self.options.max_restarts,
+                        });
+                    }
+                    if tracing {
+                        trace.push(TraceEvent::Inconsistent {
+                            run,
+                            step: step_in_run + 1,
+                            atoms: conflicts
+                                .iter()
+                                .map(|c| working.vocab().display_fact(c.pred, &c.tuple))
+                                .collect(),
+                        });
+                    }
+                    let selected = match self.options.scope {
+                        ResolutionScope::All => &conflicts[..],
+                        ResolutionScope::One => &conflicts[..1],
+                    };
+                    let ctx = SelectContext {
+                        database: db,
+                        program: &working,
+                        interp: &interp,
+                    };
+                    for c in selected {
+                        let resolution =
+                            resolver
+                                .select(&ctx, c)
+                                .map_err(|message| EngineError::Resolver {
+                                    policy: policy_name.clone(),
+                                    message,
+                                })?;
+                        stats.conflicts_resolved += 1;
+                        let mut newly: Vec<String> = Vec::new();
+                        let mut progressed = false;
+                        for g in c.losing_side(resolution) {
+                            if blocked.insert(g.clone()) {
+                                progressed = true;
+                                if tracing {
+                                    newly.push(g.display(&working));
+                                }
+                            }
+                        }
+                        if !progressed {
+                            return Err(EngineError::NoProgress {
+                                atom: working.vocab().display_fact(c.pred, &c.tuple),
+                            });
+                        }
+                        if tracing {
+                            trace.push(TraceEvent::ConflictResolved {
+                                conflict: c.display(&working),
+                                policy: policy_name.clone(),
+                                resolution,
+                                blocked: newly,
+                            });
+                        }
+                    }
+                    stats.restarts += 1;
+                    continue 'outer;
+                }
+            }
+        };
+
+        debug_assert!(final_interp.is_consistent());
+        stats.blocked_instances = blocked.len() as u64;
+        stats.elapsed = started.elapsed();
+        let database = final_interp.incorp();
+        Ok(ParkOutcome {
+            database,
+            interpretation: final_interp,
+            blocked,
+            program: working,
+            stats,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::Inertia;
+    use park_syntax::parse_program;
+
+    fn run(rules: &str, facts: &str) -> ParkOutcome {
+        run_opts(rules, facts, EngineOptions::default())
+    }
+
+    fn run_opts(rules: &str, facts: &str, options: EngineOptions) -> ParkOutcome {
+        let vocab = Vocabulary::new();
+        let engine =
+            Engine::with_options(Arc::clone(&vocab), &parse_program(rules).unwrap(), options)
+                .unwrap();
+        let db = FactStore::from_source(vocab, facts).unwrap();
+        engine.park(&db, &mut Inertia).unwrap()
+    }
+
+    #[test]
+    fn empty_program_returns_database() {
+        let out = run("", "p(a). q(b).");
+        assert_eq!(out.database.sorted_display(), vec!["p(a)", "q(b)"]);
+        assert_eq!(out.stats.restarts, 0);
+        assert_eq!(out.stats.gamma_steps, 1);
+    }
+
+    #[test]
+    fn paper_p1_inertia() {
+        // Section 4.1, P1 on D = {p}: conflict on `a`, inertia drops both
+        // actions; result {p, q}.
+        let out = run("p -> +q. p -> -a. q -> +a.", "p.");
+        assert_eq!(out.database.sorted_display(), vec!["p", "q"]);
+        assert_eq!(out.stats.restarts, 1);
+    }
+
+    #[test]
+    fn paper_p2_obsolete_consequences_discarded() {
+        // Section 4.1, P2: s must NOT survive (its only reason, +a, was
+        // invalidated), r must survive. Result {p, q, r}.
+        let out = run("p -> +q. p -> -a. q -> +a. !a -> +r. a -> +s.", "p.");
+        assert_eq!(out.database.sorted_display(), vec!["p", "q", "r"]);
+    }
+
+    #[test]
+    fn paper_p3_false_conflict_avoided() {
+        // Section 4.1, P3: the q-conflict is resolved first; a is then only
+        // derivable by rule 5, so the result is {p, a}.
+        let out = run("p -> +q. p -> -q. q -> +a. q -> -a. p -> +a.", "p.");
+        assert_eq!(out.database.sorted_display(), vec!["a", "p"]);
+    }
+
+    #[test]
+    fn section5_inertia_example() {
+        // Section 5: inertia blocks r2 then r5; final database {p, a, b}.
+        let out = run(
+            "r1: p -> +a. r2: p -> +q. r3: a -> +b. r4: a -> -q. r5: b -> +q.",
+            "p.",
+        );
+        assert_eq!(out.database.sorted_display(), vec!["a", "b", "p"]);
+        assert_eq!(out.stats.restarts, 2);
+        let blocked = out.blocked_display();
+        assert_eq!(blocked, vec!["(r2)", "(r5)"]);
+    }
+
+    #[test]
+    fn section5_counterintuitive_inertia() {
+        // Section 5 second example: result is {a} (not the "intuitive"
+        // {a, d}).
+        let out = run(
+            "r1: a -> +b. r2: a -> +d. r3: b -> +c. r4: b -> -d. r5: c -> -b.",
+            "a.",
+        );
+        assert_eq!(out.database.sorted_display(), vec!["a"]);
+        assert_eq!(out.blocked_display(), vec!["(r1)", "(r2)"]);
+    }
+
+    #[test]
+    fn recursive_rules_terminate() {
+        let out = run(
+            "e(X, Y) -> +r(X, Y). r(X, Y), e(Y, Z) -> +r(X, Z).",
+            "e(a, b). e(b, c). e(c, d).",
+        );
+        let mut expected = vec![
+            "e(a, b)", "e(b, c)", "e(c, d)", "r(a, b)", "r(a, c)", "r(a, d)", "r(b, c)", "r(b, d)",
+            "r(c, d)",
+        ];
+        expected.sort();
+        assert_eq!(out.database.sorted_display(), expected);
+    }
+
+    #[test]
+    fn eca_example_without_conflicts() {
+        // Section 4.3, first example.
+        let vocab = Vocabulary::new();
+        let engine = Engine::new(
+            Arc::clone(&vocab),
+            &parse_program("r1: p(X) -> +q(X). r2: q(X) -> +r(X). r3: +r(X) -> -s(X).").unwrap(),
+        )
+        .unwrap();
+        let db = FactStore::from_source(Arc::clone(&vocab), "p(a). s(a). s(b).").unwrap();
+        let updates = UpdateSet::from_source(&vocab, "+q(b).").unwrap();
+        let out = engine.run(&db, &updates, &mut Inertia).unwrap();
+        assert_eq!(
+            out.database.sorted_display(),
+            vec!["p(a)", "q(a)", "q(b)", "r(a)", "r(b)"]
+        );
+        assert_eq!(out.stats.restarts, 0);
+    }
+
+    #[test]
+    fn eca_example_with_conflict() {
+        // Section 4.3, second example. The paper's final fixpoint listing
+        // contains q(a,a); the result below includes it (see EXPERIMENTS.md
+        // on the paper's erratum) along with r(a,a), and p(a,a) survives by
+        // inertia.
+        let vocab = Vocabulary::new();
+        let engine = Engine::new(
+            Arc::clone(&vocab),
+            &parse_program(
+                "r1: q(X, a) -> -p(X, a). r2: q(a, X) -> +r(a, X). r3: +r(X, Y) -> +p(X, Y).",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let db = FactStore::from_source(Arc::clone(&vocab), "p(a, a). p(a, b). p(a, c).").unwrap();
+        let updates = UpdateSet::from_source(&vocab, "+q(a, a).").unwrap();
+        let out = engine.run(&db, &updates, &mut Inertia).unwrap();
+        assert_eq!(
+            out.database.sorted_display(),
+            vec!["p(a, a)", "p(a, b)", "p(a, c)", "q(a, a)", "r(a, a)"]
+        );
+        assert_eq!(out.stats.restarts, 1);
+        // Inertia keeps p(a,a) (present in D): the deleting side r1 blocks.
+        let blocked = out.blocked_display();
+        assert_eq!(blocked.len(), 1);
+        assert!(blocked[0].starts_with("(r1"), "{blocked:?}");
+    }
+
+    #[test]
+    fn trace_records_paper_style_steps() {
+        let out = run_opts(
+            "r1: p -> +a. r2: p -> +q. r3: a -> +b. r4: a -> -q. r5: b -> +q.",
+            "p.",
+            EngineOptions::traced(),
+        );
+        let rendered = out.trace.render();
+        assert!(rendered.contains("run 1"), "{rendered}");
+        assert!(rendered.contains("run 3"), "{rendered}");
+        assert!(rendered.contains("inconsistent: q"), "{rendered}");
+        assert!(rendered.contains("inertia -> delete"), "{rendered}");
+        assert!(rendered.contains("fixpoint"), "{rendered}");
+    }
+
+    #[test]
+    fn one_at_a_time_scope_matches_all_scope_result_here() {
+        let opts = EngineOptions::default().with_scope(ResolutionScope::One);
+        let out = run_opts(
+            "r1: p -> +a. r2: p -> +q. r3: a -> +b. r4: a -> -q. r5: b -> +q.",
+            "p.",
+            opts,
+        );
+        assert_eq!(out.database.sorted_display(), vec!["a", "b", "p"]);
+    }
+
+    #[test]
+    fn step_limit_is_enforced() {
+        let vocab = Vocabulary::new();
+        let engine = Engine::with_options(
+            Arc::clone(&vocab),
+            &parse_program("p -> +q. q -> +r.").unwrap(),
+            EngineOptions {
+                max_steps: 1,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        let db = FactStore::from_source(vocab, "p.").unwrap();
+        let err = engine.park(&db, &mut Inertia).unwrap_err();
+        assert_eq!(err, EngineError::StepLimit { limit: 1 });
+    }
+
+    #[test]
+    fn restart_limit_is_enforced() {
+        let vocab = Vocabulary::new();
+        let engine = Engine::with_options(
+            Arc::clone(&vocab),
+            &parse_program("p -> +q. p -> -q.").unwrap(),
+            EngineOptions {
+                max_restarts: 0,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        let db = FactStore::from_source(vocab, "p.").unwrap();
+        let err = engine.park(&db, &mut Inertia).unwrap_err();
+        assert_eq!(err, EngineError::RestartLimit { limit: 0 });
+    }
+
+    #[test]
+    fn resolver_failure_is_surfaced() {
+        struct Failing;
+        impl ConflictResolver for Failing {
+            fn name(&self) -> &str {
+                "failing"
+            }
+            fn select(
+                &mut self,
+                _: &SelectContext<'_>,
+                _: &crate::conflict::Conflict,
+            ) -> Result<crate::conflict::Resolution, String> {
+                Err("no answer".into())
+            }
+        }
+        let vocab = Vocabulary::new();
+        let engine = Engine::new(
+            Arc::clone(&vocab),
+            &parse_program("p -> +q. p -> -q.").unwrap(),
+        )
+        .unwrap();
+        let db = FactStore::from_source(vocab, "p.").unwrap();
+        let err = engine.park(&db, &mut Failing).unwrap_err();
+        assert!(matches!(err, EngineError::Resolver { .. }));
+    }
+
+    #[test]
+    fn historical_one_sided_conflict_terminates() {
+        // The DESIGN.md §3 degenerate case: +a is derived via ¬q while ¬q
+        // holds, then +q arrives and invalidates the deriving body, then -a
+        // becomes derivable. The strict paper definition would find no
+        // two-sided conflict; provenance supplies the historical +a side.
+        let out = run("r1: !q -> +a. r2: p -> +q. r3: q -> -a.", "p.");
+        // Inertia: a ∉ D ⇒ delete wins; r1's grounding is blocked; result
+        // stabilizes without a.
+        assert_eq!(out.database.sorted_display(), vec!["p", "q"]);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let out = run("p -> +q. p -> -a. q -> +a.", "p.");
+        assert!(out.stats.gamma_steps >= 2);
+        assert_eq!(out.stats.restarts, 1);
+        assert_eq!(out.stats.conflicts_resolved, 1);
+        assert!(out.stats.groundings_fired > 0);
+        assert_eq!(out.stats.blocked_instances, 1);
+        assert!(out.stats.peak_marked_atoms >= 2);
+    }
+
+    #[test]
+    fn seminaive_mode_reproduces_every_inline_scenario() {
+        // Every (rules, facts, expected) triple from this module's tests,
+        // re-run under semi-naive evaluation: results, restarts, steps and
+        // blocked sets must be identical to naive evaluation.
+        let scenarios = [
+            ("p -> +q. p -> -a. q -> +a.", "p."),
+            ("p -> +q. p -> -a. q -> +a. !a -> +r. a -> +s.", "p."),
+            ("p -> +q. p -> -q. q -> +a. q -> -a. p -> +a.", "p."),
+            (
+                "r1: p -> +a. r2: p -> +q. r3: a -> +b. r4: a -> -q. r5: b -> +q.",
+                "p.",
+            ),
+            (
+                "r1: a -> +b. r2: a -> +d. r3: b -> +c. r4: b -> -d. r5: c -> -b.",
+                "a.",
+            ),
+            (
+                "e(X, Y) -> +r(X, Y). r(X, Y), e(Y, Z) -> +r(X, Z).",
+                "e(a, b). e(b, c). e(c, d).",
+            ),
+            ("r1: !q -> +a. r2: p -> +q. r3: q -> -a.", "p."),
+            (
+                "r1: p(X), p(Y) -> +q(X, Y). r2: q(X, X) -> -q(X, X).
+                 r3: q(X, Y), q(X, Z), q(Z, Y) -> -q(X, Y).",
+                "p(a). p(b). p(c).",
+            ),
+        ];
+        for (rules, facts) in scenarios {
+            let naive = run_opts(rules, facts, EngineOptions::default());
+            let semi = run_opts(
+                rules,
+                facts,
+                EngineOptions::default().with_evaluation(EvaluationMode::SemiNaive),
+            );
+            assert!(
+                naive.database.same_facts(&semi.database),
+                "database mismatch for {rules}: {:?} vs {:?}",
+                naive.database.sorted_display(),
+                semi.database.sorted_display()
+            );
+            assert_eq!(naive.stats.restarts, semi.stats.restarts, "{rules}");
+            assert_eq!(naive.stats.gamma_steps, semi.stats.gamma_steps, "{rules}");
+            assert_eq!(naive.blocked_display(), semi.blocked_display(), "{rules}");
+            assert!(
+                semi.stats.groundings_fired <= naive.stats.groundings_fired,
+                "semi-naive must not enumerate more: {rules}"
+            );
+        }
+    }
+
+    #[test]
+    fn seminaive_eca_examples_agree() {
+        let vocab = Vocabulary::new();
+        let program = park_syntax::parse_program(
+            "r1: q(X, a) -> -p(X, a). r2: q(a, X) -> +r(a, X). r3: +r(X, Y) -> +p(X, Y).",
+        )
+        .unwrap();
+        let db = FactStore::from_source(Arc::clone(&vocab), "p(a, a). p(a, b). p(a, c).").unwrap();
+        let updates = UpdateSet::from_source(&vocab, "+q(a, a).").unwrap();
+        let naive = Engine::new(Arc::clone(&vocab), &program)
+            .unwrap()
+            .run(&db, &updates, &mut Inertia)
+            .unwrap();
+        let semi = Engine::with_options(
+            Arc::clone(&vocab),
+            &program,
+            EngineOptions::default().with_evaluation(EvaluationMode::SemiNaive),
+        )
+        .unwrap()
+        .run(&db, &updates, &mut Inertia)
+        .unwrap();
+        assert!(naive.database.same_facts(&semi.database));
+        assert_eq!(naive.blocked_display(), semi.blocked_display());
+    }
+
+    #[test]
+    fn outcome_exposes_final_bistructure_parts() {
+        let out = run("p -> +q. p -> -q.", "p.");
+        assert!(out.interpretation.is_consistent());
+        assert_eq!(out.blocked.len(), 1);
+        assert_eq!(out.database.sorted_display(), vec!["p"]);
+    }
+}

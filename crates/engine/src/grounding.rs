@@ -1,0 +1,129 @@
+//! Rule groundings and blocked-instance sets.
+//!
+//! A *rule grounding* `(r, θ)` (Section 4.2) is a rule paired with a ground
+//! substitution for its variables. Groundings are the unit of blocking: when
+//! a conflict is resolved, the losing side's groundings go into the blocked
+//! set `B` and may not derive updates for the rest of the computation.
+
+use crate::compile::{CompiledProgram, RuleId};
+use park_storage::Value;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A ground rule instance `(r, θ)`: rule id plus a total assignment of the
+/// rule's variables (indexed by compilation-assigned slots).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Grounding {
+    /// Which rule.
+    pub rule: RuleId,
+    /// The substitution: `subst[i]` is the value of variable slot `i`.
+    pub subst: Box<[Value]>,
+}
+
+impl Grounding {
+    /// Render in the paper's notation, e.g. `(r1, [x <- a, y <- b])`.
+    pub fn display(&self, program: &CompiledProgram) -> String {
+        let rule = program.rule(self.rule);
+        let mut s = format!("({}", rule.display_name());
+        if !self.subst.is_empty() {
+            s.push_str(", [");
+            for (i, v) in self.subst.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&rule.var_name(i));
+                s.push_str(" <- ");
+                s.push_str(&program.vocab().constant(*v).to_string());
+            }
+            s.push(']');
+        }
+        s.push(')');
+        s
+    }
+}
+
+/// The set `B` of blocked rule instances.
+#[derive(Debug, Clone, Default)]
+pub struct BlockedSet {
+    set: HashSet<Grounding>,
+}
+
+impl BlockedSet {
+    /// The empty blocked set.
+    pub fn new() -> Self {
+        BlockedSet::default()
+    }
+
+    /// True if `(r, θ)` is blocked.
+    pub fn contains(&self, g: &Grounding) -> bool {
+        self.set.contains(g)
+    }
+
+    /// Block a grounding; returns `true` if it was not blocked before.
+    pub fn insert(&mut self, g: Grounding) -> bool {
+        self.set.insert(g)
+    }
+
+    /// Number of blocked groundings.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True if nothing is blocked.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Iterate over blocked groundings (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = &Grounding> {
+        self.set.iter()
+    }
+
+    /// Render sorted, for traces and tests.
+    pub fn display(&self, program: &CompiledProgram) -> Vec<String> {
+        let mut v: Vec<String> = self.set.iter().map(|g| g.display(program)).collect();
+        v.sort();
+        v
+    }
+}
+
+impl fmt::Display for BlockedSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{} blocked instances>", self.set.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(rule: u32, vals: &[i64]) -> Grounding {
+        Grounding {
+            rule: RuleId(rule),
+            subst: vals.iter().map(|&v| Value::Int(v)).collect(),
+        }
+    }
+
+    #[test]
+    fn blocked_set_basics() {
+        let mut b = BlockedSet::new();
+        assert!(b.is_empty());
+        assert!(b.insert(g(0, &[1])));
+        assert!(!b.insert(g(0, &[1])));
+        assert!(b.insert(g(0, &[2])));
+        assert!(b.insert(g(1, &[1])));
+        assert_eq!(b.len(), 3);
+        assert!(b.contains(&g(0, &[2])));
+        assert!(!b.contains(&g(2, &[1])));
+    }
+
+    #[test]
+    fn groundings_hash_by_rule_and_subst() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(g(0, &[1, 2]));
+        assert!(s.contains(&g(0, &[1, 2])));
+        assert!(!s.contains(&g(0, &[2, 1])));
+        assert!(!s.contains(&g(1, &[1, 2])));
+    }
+}

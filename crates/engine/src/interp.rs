@@ -1,0 +1,290 @@
+//! I-interpretations and the `incorp` operator (Section 4.2).
+//!
+//! An *i-interpretation* is a subset of the extended Herbrand base
+//! `H*(P, D) = { a, +a, -a | a ∈ H(P, D) }`: a set of unmarked atoms `I°`
+//! plus atoms marked for insertion (`I⁺`) and deletion (`I⁻`). It is
+//! *consistent* iff no atom is marked both `+` and `-`.
+//!
+//! The three zones are stored as three [`FactStore`]s over a shared
+//! vocabulary. Within a PARK run the unmarked zone is always the original
+//! database `D` (the Γ operator only ever adds marked atoms), which is what
+//! lets the Δ operator restart "from `I°`".
+
+use crate::validity::MarkZone;
+use park_storage::{FactStore, PredId, Tuple, Vocabulary};
+use park_syntax::Sign;
+use std::fmt;
+use std::sync::Arc;
+
+/// An intermediate interpretation `I = I° ∪ I⁺ ∪ I⁻`.
+#[derive(Debug, Clone)]
+pub struct IInterpretation {
+    base: FactStore,
+    plus: FactStore,
+    minus: FactStore,
+}
+
+impl IInterpretation {
+    /// Start from an unmarked database instance (`I = D`).
+    pub fn from_database(db: FactStore) -> Self {
+        let vocab = Arc::clone(db.vocab());
+        IInterpretation {
+            base: db,
+            plus: FactStore::new(Arc::clone(&vocab)),
+            minus: FactStore::new(vocab),
+        }
+    }
+
+    /// The shared vocabulary.
+    pub fn vocab(&self) -> &Arc<Vocabulary> {
+        self.base.vocab()
+    }
+
+    /// The unmarked zone `I°`.
+    pub fn base(&self) -> &FactStore {
+        &self.base
+    }
+
+    /// The insertion-marked zone `I⁺`.
+    pub fn plus(&self) -> &FactStore {
+        &self.plus
+    }
+
+    /// The deletion-marked zone `I⁻`.
+    pub fn minus(&self) -> &FactStore {
+        &self.minus
+    }
+
+    /// Mutable access to a zone (used by the engine to pre-build indexes).
+    pub fn zone_mut(&mut self, zone: MarkZone) -> &mut FactStore {
+        match zone {
+            MarkZone::Base => &mut self.base,
+            MarkZone::Plus => &mut self.plus,
+            MarkZone::Minus => &mut self.minus,
+        }
+    }
+
+    /// Shared access to a zone.
+    pub fn zone(&self, zone: MarkZone) -> &FactStore {
+        match zone {
+            MarkZone::Base => &self.base,
+            MarkZone::Plus => &self.plus,
+            MarkZone::Minus => &self.minus,
+        }
+    }
+
+    /// Add a marked atom `+a` or `-a`. Returns `true` if it was new.
+    pub fn insert_marked(&mut self, sign: Sign, pred: PredId, tuple: Tuple) -> bool {
+        let zone = match sign {
+            Sign::Insert => &mut self.plus,
+            Sign::Delete => &mut self.minus,
+        };
+        zone.insert(pred, tuple)
+            .expect("arity checked at compile time")
+    }
+
+    /// Membership of a marked atom.
+    pub fn contains_marked(&self, sign: Sign, pred: PredId, tuple: &Tuple) -> bool {
+        match sign {
+            Sign::Insert => self.plus.contains(pred, tuple),
+            Sign::Delete => self.minus.contains(pred, tuple),
+        }
+    }
+
+    /// Number of marked atoms (`|I⁺| + |I⁻|`). The unmarked zone is constant
+    /// during a run, so this measures inflationary growth.
+    pub fn marked_len(&self) -> usize {
+        self.plus.len() + self.minus.len()
+    }
+
+    /// Total number of literals in the interpretation.
+    pub fn len(&self) -> usize {
+        self.base.len() + self.marked_len()
+    }
+
+    /// True if all three zones are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Consistency: no atom occurs in both `I⁺` and `I⁻`.
+    pub fn is_consistent(&self) -> bool {
+        self.first_inconsistency().is_none()
+    }
+
+    /// The first `+a`/`-a` clash, if any (iterating the smaller zone).
+    pub fn first_inconsistency(&self) -> Option<(PredId, Tuple)> {
+        let (small, other) = if self.plus.len() <= self.minus.len() {
+            (&self.plus, &self.minus)
+        } else {
+            (&self.minus, &self.plus)
+        };
+        small
+            .iter()
+            .find(|(p, t)| other.contains(*p, t))
+            .map(|(p, t)| (p, t.clone()))
+    }
+
+    /// All atoms marked inconsistently (in both `I⁺` and `I⁻`).
+    pub fn inconsistencies(&self) -> Vec<(PredId, Tuple)> {
+        let (small, other) = if self.plus.len() <= self.minus.len() {
+            (&self.plus, &self.minus)
+        } else {
+            (&self.minus, &self.plus)
+        };
+        small
+            .iter()
+            .filter(|(p, t)| other.contains(*p, t))
+            .map(|(p, t)| (p, t.clone()))
+            .collect()
+    }
+
+    /// The `incorp` operator of Section 4.2:
+    /// `incorp(I) = (I° ∪ {a | +a ∈ I⁺}) − {a | -a ∈ I⁻}`.
+    ///
+    /// Defined for consistent i-interpretations; the order of operations
+    /// makes the overlap cases deterministic regardless (`-` wins over an
+    /// unmarked atom, `+` of an absent atom adds it).
+    pub fn incorp(&self) -> FactStore {
+        let mut out = self.base.clone();
+        for (p, t) in self.plus.iter() {
+            out.insert(p, t.clone())
+                .expect("arity consistent by construction");
+        }
+        for (p, t) in self.minus.iter() {
+            out.remove(p, t);
+        }
+        out
+    }
+
+    /// Render in the paper's notation, sorted: `{p, +q, -a}`.
+    pub fn display(&self) -> String {
+        let vocab = self.vocab();
+        let mut parts: Vec<String> = Vec::with_capacity(self.len());
+        parts.extend(self.base.iter().map(|(p, t)| vocab.display_fact(p, t)));
+        parts.extend(
+            self.plus
+                .iter()
+                .map(|(p, t)| format!("+{}", vocab.display_fact(p, t))),
+        );
+        parts.extend(
+            self.minus
+                .iter()
+                .map(|(p, t)| format!("-{}", vocab.display_fact(p, t))),
+        );
+        parts.sort_by(|a, b| {
+            // Sort by the atom text, ignoring the mark, so `q` and `+q`
+            // group together; marks order unmarked < + < -.
+            let key = |s: &str| -> (String, u8) {
+                match s.as_bytes().first() {
+                    Some(b'+') => (s[1..].to_string(), 1),
+                    Some(b'-') => (s[1..].to_string(), 2),
+                    _ => (s.to_string(), 0),
+                }
+            };
+            key(a).cmp(&key(b))
+        });
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+impl fmt::Display for IInterpretation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use park_storage::Value;
+
+    fn setup() -> (Arc<Vocabulary>, IInterpretation, PredId) {
+        let v = Vocabulary::new();
+        let db = FactStore::from_source(Arc::clone(&v), "p. q(a).").unwrap();
+        let q = v.lookup_pred("q").unwrap();
+        (v, IInterpretation::from_database(db), q)
+    }
+
+    fn t1(v: &Vocabulary, s: &str) -> Tuple {
+        Tuple::new(vec![Value::Sym(v.sym(s))])
+    }
+
+    #[test]
+    fn fresh_interpretation_is_unmarked_database() {
+        let (_, i, _) = setup();
+        assert_eq!(i.base().len(), 2);
+        assert_eq!(i.marked_len(), 0);
+        assert!(i.is_consistent());
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn marked_insertion_and_membership() {
+        let (v, mut i, q) = setup();
+        assert!(i.insert_marked(Sign::Insert, q, t1(&v, "b")));
+        assert!(!i.insert_marked(Sign::Insert, q, t1(&v, "b")));
+        assert!(i.contains_marked(Sign::Insert, q, &t1(&v, "b")));
+        assert!(!i.contains_marked(Sign::Delete, q, &t1(&v, "b")));
+        assert_eq!(i.marked_len(), 1);
+    }
+
+    #[test]
+    fn inconsistency_detection() {
+        let (v, mut i, q) = setup();
+        i.insert_marked(Sign::Insert, q, t1(&v, "b"));
+        assert!(i.is_consistent());
+        i.insert_marked(Sign::Delete, q, t1(&v, "b"));
+        assert!(!i.is_consistent());
+        let (p, t) = i.first_inconsistency().unwrap();
+        assert_eq!(p, q);
+        assert_eq!(t, t1(&v, "b"));
+        assert_eq!(i.inconsistencies().len(), 1);
+    }
+
+    #[test]
+    fn incorp_applies_marks() {
+        // I = {p, q(a), +q(b), -q(a)}  =>  incorp = {p, q(b)}
+        let (v, mut i, q) = setup();
+        i.insert_marked(Sign::Insert, q, t1(&v, "b"));
+        i.insert_marked(Sign::Delete, q, t1(&v, "a"));
+        let out = i.incorp();
+        assert_eq!(out.sorted_display(), vec!["p", "q(b)"]);
+    }
+
+    #[test]
+    fn incorp_of_unmarked_interpretation_is_identity() {
+        let (_, i, _) = setup();
+        assert!(i.incorp().same_facts(i.base()));
+    }
+
+    #[test]
+    fn incorp_delete_of_absent_atom_is_noop() {
+        let (v, mut i, q) = setup();
+        i.insert_marked(Sign::Delete, q, t1(&v, "zz"));
+        assert_eq!(i.incorp().sorted_display(), vec!["p", "q(a)"]);
+    }
+
+    #[test]
+    fn incorp_insert_of_present_atom_is_noop() {
+        let (v, mut i, q) = setup();
+        i.insert_marked(Sign::Insert, q, t1(&v, "a"));
+        assert_eq!(i.incorp().sorted_display(), vec!["p", "q(a)"]);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let (v, mut i, q) = setup();
+        i.insert_marked(Sign::Insert, q, t1(&v, "b"));
+        i.insert_marked(Sign::Delete, q, t1(&v, "c"));
+        assert_eq!(i.display(), "{p, q(a), +q(b), -q(c)}");
+    }
+
+    #[test]
+    fn display_groups_marks_with_their_atom() {
+        let (v, mut i, q) = setup();
+        i.insert_marked(Sign::Delete, q, t1(&v, "a"));
+        // -q(a) sorts right after q(a), not after every unmarked atom.
+        assert_eq!(i.display(), "{p, q(a), -q(a)}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Engine configuration.
+
+/// How many of the detected conflicts are resolved (and their losers
+/// blocked) per restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResolutionScope {
+    /// Resolve every conflict in `conflicts(P, I)` before restarting — the
+    /// paper's default construction (`blocked` unions the losing side of
+    /// each conflict).
+    #[default]
+    All,
+    /// Resolve only the first conflict (in derivation order) per restart.
+    /// Permitted by the paper's closing remark in Section 4.2: blocking only
+    /// a non-empty part of the conflicts avoids unnecessary blocking at the
+    /// cost of more restarts. See the ablation benchmark.
+    One,
+}
+
+/// How the Γ operator enumerates firable groundings each step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvaluationMode {
+    /// Re-enumerate every valid grounding per step — the paper's
+    /// definitional immediate-consequence operator, verbatim.
+    #[default]
+    Naive,
+    /// Delta-driven (semi-naive) enumeration: each step joins only against
+    /// marks added in the previous step, with a per-rule fallback when a
+    /// negated literal gains a new `-b` mark. Observably identical results
+    /// (see `crate::seminaive`), asymptotically faster on recursive
+    /// programs.
+    SemiNaive,
+}
+
+/// Tunables for a PARK evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Conflict-resolution scope per restart.
+    pub scope: ResolutionScope,
+    /// Grounding enumeration strategy.
+    pub evaluation: EvaluationMode,
+    /// Record a full execution trace (costs string rendering per step).
+    pub trace: bool,
+    /// Upper bound on Γ applications across all runs; exceeding it is an
+    /// error (it would indicate an engine bug — PARK terminates).
+    pub max_steps: u64,
+    /// Upper bound on conflict restarts; exceeding it is an error.
+    pub max_restarts: u64,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            scope: ResolutionScope::All,
+            evaluation: EvaluationMode::Naive,
+            trace: false,
+            max_steps: 1 << 22,
+            max_restarts: 1 << 22,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// Default options with tracing enabled.
+    pub fn traced() -> Self {
+        EngineOptions {
+            trace: true,
+            ..EngineOptions::default()
+        }
+    }
+
+    /// Set the resolution scope (builder style).
+    pub fn with_scope(mut self, scope: ResolutionScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// Set the evaluation mode (builder style).
+    pub fn with_evaluation(mut self, evaluation: EvaluationMode) -> Self {
+        self.evaluation = evaluation;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_faithful() {
+        let o = EngineOptions::default();
+        assert_eq!(o.scope, ResolutionScope::All);
+        assert!(!o.trace);
+        assert!(o.max_steps > 1_000_000);
+    }
+
+    #[test]
+    fn builders() {
+        let o = EngineOptions::traced()
+            .with_scope(ResolutionScope::One)
+            .with_evaluation(EvaluationMode::SemiNaive);
+        assert!(o.trace);
+        assert_eq!(o.scope, ResolutionScope::One);
+        assert_eq!(o.evaluation, EvaluationMode::SemiNaive);
+    }
+
+    #[test]
+    fn default_evaluation_is_the_definitional_operator() {
+        assert_eq!(EngineOptions::default().evaluation, EvaluationMode::Naive);
+    }
+}

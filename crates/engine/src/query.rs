@@ -1,0 +1,237 @@
+//! Conjunctive queries over database instances and i-interpretations.
+//!
+//! A query is a rule body evaluated for its satisfying substitutions —
+//! positive and negated conditions, event literals (meaningful when the
+//! target is a mid-run i-interpretation), and comparison guards all work,
+//! with the same safety discipline as rule bodies. Under the hood the
+//! query compiles into a rule with a synthetic head capturing the query's
+//! variables and runs through the ordinary Γ machinery, so query
+//! answering exercises exactly the planner and matcher the engine uses.
+//!
+//! ```
+//! use park_engine::query::Query;
+//! use park_storage::{FactStore, Vocabulary};
+//!
+//! let vocab = Vocabulary::new();
+//! let db = FactStore::from_source(
+//!     vocab.clone(),
+//!     "emp(ann). emp(bob). active(ann).",
+//! ).unwrap();
+//! let q = Query::parse(&vocab, "?- emp(X), !active(X).").unwrap();
+//! let rows = q.run_on_database(&db);
+//! assert_eq!(q.render_rows(&rows), vec!["X = bob"]);
+//! ```
+
+use crate::compile::CompiledProgram;
+use crate::error::{EngineError, EngineResult};
+use crate::gamma;
+use crate::grounding::BlockedSet;
+use crate::interp::IInterpretation;
+use park_storage::{FactStore, Tuple, Value, Vocabulary};
+use park_syntax::{parse_query, Atom, BodyLiteral, Head, Program, Rule, Sign, Term};
+use std::sync::Arc;
+
+/// A compiled conjunctive query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    program: CompiledProgram,
+    /// The distinct variable names, in first-occurrence order — the
+    /// columns of each answer row.
+    vars: Vec<String>,
+}
+
+/// The reserved head-predicate prefix queries compile into; the arity is
+/// appended so queries of different widths coexist in one vocabulary.
+const ANSWER_PRED: &str = "__park_query_answer";
+
+impl Query {
+    /// Compile a parsed body into a query against `vocab`.
+    pub fn new(vocab: &Arc<Vocabulary>, body: Vec<BodyLiteral>) -> EngineResult<Query> {
+        // Distinct variables in first-occurrence order become the head.
+        let mut vars: Vec<String> = Vec::new();
+        for lit in &body {
+            for v in lit.vars() {
+                if !vars.iter().any(|x| x == v) {
+                    vars.push(v.to_string());
+                }
+            }
+        }
+        let head = Head {
+            sign: Sign::Insert,
+            atom: Atom::new(
+                format!("{ANSWER_PRED}_{}", vars.len()),
+                vars.iter().map(|v| Term::var(v.clone())).collect(),
+            ),
+        };
+        let rule = Rule::new(body, head).named("query");
+        let program =
+            CompiledProgram::compile(Arc::clone(vocab), &Program::from_rules(vec![rule]))?;
+        Ok(Query { program, vars })
+    }
+
+    /// Parse and compile a query source such as `"?- p(X), !q(X)."`.
+    pub fn parse(vocab: &Arc<Vocabulary>, src: &str) -> EngineResult<Query> {
+        let body = parse_query(src).map_err(|e| {
+            EngineError::Storage(park_storage::StorageError::Snapshot(e.to_string()))
+        })?;
+        Query::new(vocab, body)
+    }
+
+    /// The answer columns (distinct variables, first-occurrence order).
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// Evaluate against an i-interpretation (event literals see its
+    /// marks). Each row assigns the query's variables in order.
+    pub fn run(&self, interp: &IInterpretation) -> Vec<Tuple> {
+        let fired = gamma::fire_all(&self.program, &BlockedSet::new(), interp);
+        let mut rows: Vec<Tuple> = fired.into_iter().map(|f| f.tuple).collect();
+        rows.sort();
+        rows.dedup();
+        rows
+    }
+
+    /// Evaluate against a plain database (no marks: positive literals are
+    /// membership, negation is closed-world, event literals never match).
+    pub fn run_on_database(&self, db: &FactStore) -> Vec<Tuple> {
+        let mut interp = IInterpretation::from_database(db.clone());
+        for req in self.program.index_requests() {
+            interp.zone_mut(req.zone).ensure_index(req.pred, req.mask);
+        }
+        self.run(&interp)
+    }
+
+    /// True if the query has at least one answer.
+    pub fn holds_on(&self, db: &FactStore) -> bool {
+        !self.run_on_database(db).is_empty()
+    }
+
+    /// Render rows as `X = a, Y = 3` strings.
+    pub fn render_rows(&self, rows: &[Tuple]) -> Vec<String> {
+        let vocab = self.program.vocab();
+        rows.iter()
+            .map(|t| {
+                if self.vars.is_empty() {
+                    "true".to_string()
+                } else {
+                    self.vars
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| format!("{v} = {}", vocab.constant(t.get(i))))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                }
+            })
+            .collect()
+    }
+}
+
+/// Resolve the value of variable `name` in a row of `query`.
+pub fn row_value(query: &Query, row: &Tuple, name: &str) -> Option<Value> {
+    query
+        .vars()
+        .iter()
+        .position(|v| v == name)
+        .map(|i| row.get(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(src: &str) -> (Arc<Vocabulary>, FactStore) {
+        let vocab = Vocabulary::new();
+        let store = FactStore::from_source(Arc::clone(&vocab), src).unwrap();
+        (vocab, store)
+    }
+
+    #[test]
+    fn single_literal_query() {
+        let (vocab, store) = db("p(a). p(b). q(c).");
+        let q = Query::parse(&vocab, "p(X)").unwrap();
+        let rows = q.run_on_database(&store);
+        assert_eq!(q.render_rows(&rows), vec!["X = a", "X = b"]);
+        assert_eq!(q.vars(), &["X".to_string()]);
+    }
+
+    #[test]
+    fn join_with_negation_and_guard() {
+        let (vocab, store) = db(
+            "emp(a). emp(b). emp(c). active(a). active(b). payroll(a, 10). \
+             payroll(b, 200). payroll(c, 300).",
+        );
+        let q = Query::parse(&vocab, "?- emp(X), active(X), payroll(X, S), S > 100.").unwrap();
+        let rows = q.run_on_database(&store);
+        assert_eq!(q.render_rows(&rows), vec!["X = b, S = 200"]);
+        let q = Query::parse(&vocab, "?- emp(X), !active(X).").unwrap();
+        let rows = q.run_on_database(&store);
+        assert_eq!(q.render_rows(&rows), vec!["X = c"]);
+    }
+
+    #[test]
+    fn ground_queries_answer_true_or_nothing() {
+        let (vocab, store) = db("p(a).");
+        let q = Query::parse(&vocab, "p(a)").unwrap();
+        assert_eq!(q.render_rows(&q.run_on_database(&store)), vec!["true"]);
+        assert!(q.holds_on(&store));
+        let q = Query::parse(&vocab, "p(b)").unwrap();
+        assert!(q.run_on_database(&store).is_empty());
+        assert!(!q.holds_on(&store));
+    }
+
+    #[test]
+    fn event_literals_query_marks() {
+        let (vocab, store) = db("s(a).");
+        let mut interp = IInterpretation::from_database(store.clone());
+        let s = vocab.lookup_pred("s").unwrap();
+        interp.insert_marked(
+            Sign::Delete,
+            s,
+            Tuple::new(vec![Value::Sym(vocab.sym("a"))]),
+        );
+        let q = Query::parse(&vocab, "-s(X)").unwrap();
+        assert_eq!(q.render_rows(&q.run(&interp)), vec!["X = a"]);
+        // Against the plain database the event never matches.
+        assert!(q.run_on_database(&store).is_empty());
+    }
+
+    #[test]
+    fn unsafe_queries_are_rejected() {
+        let (vocab, _) = db("p(a).");
+        assert!(Query::parse(&vocab, "!p(X)").is_err());
+        assert!(Query::parse(&vocab, "p(X), Y > 3").is_err());
+        assert!(Query::parse(&vocab, "this is not a query").is_err());
+    }
+
+    #[test]
+    fn duplicate_rows_are_collapsed() {
+        let (vocab, store) = db("e(a, b). e(a, c).");
+        // X occurs twice through the join but answers project onto X only.
+        let q = Query::parse(&vocab, "e(X, Y)").unwrap();
+        assert_eq!(q.run_on_database(&store).len(), 2);
+        let q2 = Query::parse(&vocab, "e(a, Y), e(a, Z)").unwrap();
+        // 2x2 combinations, all distinct as (Y, Z) pairs.
+        assert_eq!(q2.run_on_database(&store).len(), 4);
+    }
+
+    #[test]
+    fn queries_of_different_widths_share_a_vocabulary() {
+        let (vocab, store) = db("e(a, b). p(a).");
+        let q1 = Query::parse(&vocab, "p(X)").unwrap();
+        let q2 = Query::parse(&vocab, "e(X, Y)").unwrap();
+        let q3 = Query::parse(&vocab, "p(a)").unwrap();
+        assert_eq!(q1.run_on_database(&store).len(), 1);
+        assert_eq!(q2.run_on_database(&store).len(), 1);
+        assert_eq!(q3.run_on_database(&store).len(), 1);
+    }
+
+    #[test]
+    fn row_value_lookup() {
+        let (vocab, store) = db("payroll(a, 10).");
+        let q = Query::parse(&vocab, "payroll(X, S)").unwrap();
+        let rows = q.run_on_database(&store);
+        assert_eq!(row_value(&q, &rows[0], "S"), Some(Value::Int(10)));
+        assert_eq!(row_value(&q, &rows[0], "Nope"), None);
+    }
+}

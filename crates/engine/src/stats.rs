@@ -1,0 +1,61 @@
+//! Run statistics.
+
+use std::time::Duration;
+
+/// Counters collected during one PARK evaluation.
+///
+/// These are the quantities the paper's complexity argument speaks about:
+/// the number of Γ applications, the number of conflict-resolution restarts
+/// (bounded by the number of rule groundings), and the sizes of the blocked
+/// set and interpretation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Γ applications, summed over all runs (restarts included).
+    pub gamma_steps: u64,
+    /// Conflict-resolution restarts (the paper's "iterations").
+    pub restarts: u64,
+    /// Individual conflicts resolved by `SELECT`.
+    pub conflicts_resolved: u64,
+    /// Total rule-grounding firings enumerated (across steps; re-firings
+    /// count each time).
+    pub groundings_fired: u64,
+    /// Size of the final blocked set `B`.
+    pub blocked_instances: u64,
+    /// Largest number of marked atoms held at once.
+    pub peak_marked_atoms: usize,
+    /// Wall-clock time of the evaluation.
+    pub elapsed: Duration,
+}
+
+impl RunStats {
+    /// One summary line for logs and reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "steps={} restarts={} conflicts={} fired={} blocked={} peak_marked={} elapsed={:?}",
+            self.gamma_steps,
+            self.restarts,
+            self.conflicts_resolved,
+            self.groundings_fired,
+            self.blocked_instances,
+            self.peak_marked_atoms,
+            self.elapsed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mentions_all_counters() {
+        let s = RunStats {
+            gamma_steps: 7,
+            restarts: 2,
+            ..RunStats::default()
+        };
+        let line = s.summary();
+        assert!(line.contains("steps=7"));
+        assert!(line.contains("restarts=2"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Execution traces in the paper's step-listing style.
+//!
+//! With tracing enabled, the engine records one event per Γ step, per
+//! detected inconsistency, per conflict resolution, and per restart. The
+//! renderer reproduces listings like the paper's Section 5 computation:
+//!
+//! ```text
+//! run 1
+//!   (1) {p, +a, +q}
+//!   (2) {p, +a, +q, +b, -q}   ! inconsistent: q
+//!   conflict (q, {(r2)}, {(r4)}): inertia -> delete, blocking {(r2)}
+//! run 2
+//!   (1) {p, +a}
+//!   ...
+//! ```
+
+use crate::conflict::Resolution;
+use std::fmt;
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[serde(tag = "event", rename_all = "snake_case")]
+pub enum TraceEvent {
+    /// A (re)start of the inflationary computation from `D`.
+    RunStarted {
+        /// 1-based run number.
+        run: u64,
+    },
+    /// A consistent Γ step was applied.
+    Step {
+        /// The run.
+        run: u64,
+        /// 1-based step within the run.
+        step: u64,
+        /// `I` after the step, in paper notation.
+        interp: String,
+        /// Marked atoms added in this step.
+        added: Vec<String>,
+    },
+    /// Γ produced an inconsistent result; conflict resolution follows.
+    Inconsistent {
+        /// The run.
+        run: u64,
+        /// The step at which the inconsistency appeared.
+        step: u64,
+        /// The conflicting atoms.
+        atoms: Vec<String>,
+    },
+    /// One conflict was resolved.
+    ConflictResolved {
+        /// The conflict, rendered `(a, ins, del)`.
+        conflict: String,
+        /// The policy's name.
+        policy: String,
+        /// The decision.
+        resolution: Resolution,
+        /// The groundings newly blocked.
+        blocked: Vec<String>,
+    },
+    /// The final fixpoint was reached.
+    Fixpoint {
+        /// The run that converged.
+        run: u64,
+        /// `I` at the fixpoint.
+        interp: String,
+        /// The final blocked set, rendered.
+        blocked: Vec<String>,
+    },
+}
+
+/// An ordered list of trace events.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
+
+    /// The events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// True if no events were recorded (tracing disabled or nothing ran).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Encode as a JSON array of tagged events (for tooling).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.events).expect("trace events serialize")
+    }
+
+    /// Render the whole trace as indented text.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for e in &self.events {
+            match e {
+                TraceEvent::RunStarted { run } => {
+                    s.push_str(&format!("run {run}\n"));
+                }
+                TraceEvent::Step {
+                    step,
+                    interp,
+                    added,
+                    ..
+                } => {
+                    s.push_str(&format!("  ({step}) {interp}"));
+                    if !added.is_empty() {
+                        s.push_str(&format!("   added: {}", added.join(", ")));
+                    }
+                    s.push('\n');
+                }
+                TraceEvent::Inconsistent { step, atoms, .. } => {
+                    s.push_str(&format!(
+                        "  ({step}) ! inconsistent: {}\n",
+                        atoms.join(", ")
+                    ));
+                }
+                TraceEvent::ConflictResolved {
+                    conflict,
+                    policy,
+                    resolution,
+                    blocked,
+                } => {
+                    s.push_str(&format!(
+                        "  conflict {conflict}: {policy} -> {resolution}, blocking {{{}}}\n",
+                        blocked.join(", ")
+                    ));
+                }
+                TraceEvent::Fixpoint {
+                    run,
+                    interp,
+                    blocked,
+                } => {
+                    s.push_str(&format!(
+                        "fixpoint in run {run}: {interp}\n  blocked: {{{}}}\n",
+                        blocked.join(", ")
+                    ));
+                }
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_produces_paper_style_listing() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::RunStarted { run: 1 });
+        t.push(TraceEvent::Step {
+            run: 1,
+            step: 1,
+            interp: "{p, +a, +q}".into(),
+            added: vec!["+a".into(), "+q".into()],
+        });
+        t.push(TraceEvent::Inconsistent {
+            run: 1,
+            step: 2,
+            atoms: vec!["q".into()],
+        });
+        t.push(TraceEvent::ConflictResolved {
+            conflict: "(q, {(r2)}, {(r4)})".into(),
+            policy: "inertia".into(),
+            resolution: Resolution::Delete,
+            blocked: vec!["(r2)".into()],
+        });
+        t.push(TraceEvent::Fixpoint {
+            run: 2,
+            interp: "{p, +a}".into(),
+            blocked: vec!["(r2)".into()],
+        });
+        let r = t.render();
+        assert!(r.contains("run 1"));
+        assert!(r.contains("(1) {p, +a, +q}"));
+        assert!(r.contains("inconsistent: q"));
+        assert!(r.contains("inertia -> delete"));
+        assert!(r.contains("fixpoint in run 2"));
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::RunStarted { run: 1 });
+        t.push(TraceEvent::ConflictResolved {
+            conflict: "(q, {(r1)}, {(r2)})".into(),
+            policy: "inertia".into(),
+            resolution: Resolution::Insert,
+            blocked: vec!["(r2)".into()],
+        });
+        let json = t.to_json();
+        assert!(json.contains("\"event\": \"run_started\""), "{json}");
+        assert!(json.contains("\"resolution\": \"Insert\""), "{json}");
+        let events: Vec<TraceEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(events, t.events());
+    }
+}

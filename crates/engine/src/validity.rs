@@ -1,0 +1,111 @@
+//! Literal validity in an i-interpretation (Sections 4.2 and 4.3).
+//!
+//! For a ground positive literal `a` and i-interpretation `I`:
+//!
+//! * `a` is valid iff `a ∈ I°` or `+a ∈ I⁺`;
+//! * `¬a` is valid iff `-a ∈ I⁻`, or neither `a ∈ I°` nor `+a ∈ I⁺`
+//!   (negation as failure / closed world);
+//! * the event literal `+a` is valid iff `+a ∈ I⁺`;
+//! * the event literal `-a` is valid iff `-a ∈ I⁻`.
+//!
+//! Note the asymmetry the paper builds in deliberately: a *pending deletion*
+//! `-a` makes `¬a` valid even while `a` is still physically present — and if
+//! `a ∈ I°` as well, both `a` and `¬a` are valid at once. Validity is about
+//! the state the computation is moving toward, not only the current
+//! database.
+
+use crate::interp::IInterpretation;
+use park_storage::{PredId, Tuple};
+use park_syntax::Sign;
+
+/// Which zone of an i-interpretation a lookup touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MarkZone {
+    /// The unmarked atoms `I°`.
+    Base,
+    /// The insertion-marked atoms `I⁺`.
+    Plus,
+    /// The deletion-marked atoms `I⁻`.
+    Minus,
+}
+
+/// Validity of a positive condition literal.
+pub fn valid_pos(i: &IInterpretation, pred: PredId, tuple: &Tuple) -> bool {
+    i.base().contains(pred, tuple) || i.plus().contains(pred, tuple)
+}
+
+/// Validity of a negated condition literal `¬a`.
+pub fn valid_neg(i: &IInterpretation, pred: PredId, tuple: &Tuple) -> bool {
+    i.minus().contains(pred, tuple)
+        || !(i.base().contains(pred, tuple) || i.plus().contains(pred, tuple))
+}
+
+/// Validity of an event literal `+a` / `-a` (Section 4.3).
+pub fn valid_event(i: &IInterpretation, sign: Sign, pred: PredId, tuple: &Tuple) -> bool {
+    match sign {
+        Sign::Insert => i.plus().contains(pred, tuple),
+        Sign::Delete => i.minus().contains(pred, tuple),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use park_storage::{FactStore, Value, Vocabulary};
+    use std::sync::Arc;
+
+    fn setup() -> (IInterpretation, PredId, Tuple, Tuple) {
+        let v = Vocabulary::new();
+        let db = FactStore::from_source(Arc::clone(&v), "q(a).").unwrap();
+        let q = v.lookup_pred("q").unwrap();
+        let a = Tuple::new(vec![Value::Sym(v.sym("a"))]);
+        let b = Tuple::new(vec![Value::Sym(v.sym("b"))]);
+        (IInterpretation::from_database(db), q, a, b)
+    }
+
+    #[test]
+    fn positive_literal_valid_via_base_or_plus() {
+        let (mut i, q, a, b) = setup();
+        assert!(valid_pos(&i, q, &a)); // a ∈ I°
+        assert!(!valid_pos(&i, q, &b));
+        i.insert_marked(Sign::Insert, q, b.clone());
+        assert!(valid_pos(&i, q, &b)); // +b ∈ I⁺
+    }
+
+    #[test]
+    fn negated_literal_closed_world() {
+        let (i, q, a, b) = setup();
+        assert!(!valid_neg(&i, q, &a)); // a present, no -a
+        assert!(valid_neg(&i, q, &b)); // b absent entirely
+    }
+
+    #[test]
+    fn negated_literal_valid_via_pending_delete() {
+        let (mut i, q, a, _) = setup();
+        i.insert_marked(Sign::Delete, q, a.clone());
+        // -a ∈ I⁻ makes ¬a valid even though a ∈ I°; both polarities are
+        // valid simultaneously — exactly the paper's definition.
+        assert!(valid_neg(&i, q, &a));
+        assert!(valid_pos(&i, q, &a));
+    }
+
+    #[test]
+    fn plus_mark_invalidates_negation() {
+        let (mut i, q, _, b) = setup();
+        assert!(valid_neg(&i, q, &b));
+        i.insert_marked(Sign::Insert, q, b.clone());
+        assert!(!valid_neg(&i, q, &b));
+    }
+
+    #[test]
+    fn event_literals_require_the_mark() {
+        let (mut i, q, a, b) = setup();
+        // a ∈ I° is NOT the event +a.
+        assert!(!valid_event(&i, Sign::Insert, q, &a));
+        i.insert_marked(Sign::Insert, q, b.clone());
+        i.insert_marked(Sign::Delete, q, a.clone());
+        assert!(valid_event(&i, Sign::Insert, q, &b));
+        assert!(!valid_event(&i, Sign::Delete, q, &b));
+        assert!(valid_event(&i, Sign::Delete, q, &a));
+    }
+}

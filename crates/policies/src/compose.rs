@@ -1,0 +1,311 @@
+//! Policy combinators.
+//!
+//! The paper stresses that conflict resolution is application-dependent and
+//! that partial principles (like specificity) "may be combined with other
+//! conflict resolution strategies". [`Chain`] runs a sequence of *partial*
+//! policies, taking the first committed answer, with a total policy as the
+//! final authority. [`Recording`] wraps any policy and logs its decisions
+//! for inspection.
+
+use park_engine::{Conflict, ConflictResolver, Resolution, SelectContext};
+
+/// A partial conflict-resolution policy: may abstain.
+pub trait PartialPolicy {
+    /// A short name for traces.
+    fn name(&self) -> &str;
+    /// Decide, abstain (`Ok(None)`), or fail.
+    fn try_select(
+        &mut self,
+        ctx: &SelectContext<'_>,
+        conflict: &Conflict,
+    ) -> Result<Option<Resolution>, String>;
+}
+
+/// Closures abstaining with `None` are partial policies.
+impl<F> PartialPolicy for F
+where
+    F: FnMut(&SelectContext<'_>, &Conflict) -> Option<Resolution>,
+{
+    fn name(&self) -> &str {
+        "closure"
+    }
+    fn try_select(
+        &mut self,
+        ctx: &SelectContext<'_>,
+        conflict: &Conflict,
+    ) -> Result<Option<Resolution>, String> {
+        Ok(self(ctx, conflict))
+    }
+}
+
+/// First-match chain of partial policies with a total fallback.
+pub struct Chain {
+    parts: Vec<Box<dyn PartialPolicy>>,
+    fallback: Box<dyn ConflictResolver>,
+    name: String,
+}
+
+impl Chain {
+    /// Build a chain; the fallback answers whatever the parts abstain on.
+    pub fn new(parts: Vec<Box<dyn PartialPolicy>>, fallback: Box<dyn ConflictResolver>) -> Self {
+        let name = format!("chain[{} parts -> {}]", parts.len(), fallback.name());
+        Chain {
+            parts,
+            fallback,
+            name,
+        }
+    }
+}
+
+impl ConflictResolver for Chain {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn select(&mut self, ctx: &SelectContext<'_>, c: &Conflict) -> Result<Resolution, String> {
+        for p in &mut self.parts {
+            if let Some(r) = p.try_select(ctx, c)? {
+                return Ok(r);
+            }
+        }
+        self.fallback.select(ctx, c)
+    }
+}
+
+/// Routes each conflict to a policy chosen by the contested atom's
+/// predicate.
+///
+/// This is the paper's §3 *flexible conflict resolution* requirement made
+/// concrete: "which of these two actions must be performed may depend
+/// critically upon the atom in question … policies that vary from atom to
+/// atom". A payroll shop can resolve `bonus` conflicts by rule priority
+/// while everything else follows inertia.
+pub struct PerPredicate {
+    routes: Vec<(String, Box<dyn ConflictResolver>)>,
+    default: Box<dyn ConflictResolver>,
+}
+
+impl PerPredicate {
+    /// A router that sends everything to `default`.
+    pub fn new(default: Box<dyn ConflictResolver>) -> Self {
+        PerPredicate {
+            routes: Vec::new(),
+            default,
+        }
+    }
+
+    /// Route conflicts over predicate `pred` to `policy` (builder style).
+    pub fn route(mut self, pred: impl Into<String>, policy: Box<dyn ConflictResolver>) -> Self {
+        self.routes.push((pred.into(), policy));
+        self
+    }
+}
+
+impl ConflictResolver for PerPredicate {
+    fn name(&self) -> &str {
+        "per-predicate"
+    }
+
+    fn select(&mut self, ctx: &SelectContext<'_>, c: &Conflict) -> Result<Resolution, String> {
+        let pred_name = ctx.program.vocab().pred_name(c.pred);
+        for (name, policy) in &mut self.routes {
+            if name.as_str() == &*pred_name {
+                return policy.select(ctx, c);
+            }
+        }
+        self.default.select(ctx, c)
+    }
+}
+
+/// Memoizes decisions per contested atom.
+///
+/// PARK restarts from `D` after every resolution, so the *same* conflict
+/// can be presented again in a later restart (notably under
+/// `ResolutionScope::One`, and whenever distinct conflicts interleave).
+/// Deterministic policies answer identically anyway; stateful ones — an
+/// interactive human, a random coin — may not, which is semantically legal
+/// but surprising (and, for a human, annoying). `Memoized` pins the first
+/// decision for each atom and replays it on re-presentation.
+pub struct Memoized<T> {
+    inner: T,
+    cache: std::collections::HashMap<(park_storage::PredId, park_storage::Tuple), Resolution>,
+}
+
+impl<T: ConflictResolver> Memoized<T> {
+    /// Wrap `inner`.
+    pub fn new(inner: T) -> Self {
+        Memoized {
+            inner,
+            cache: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Number of distinct atoms decided so far.
+    pub fn decided(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Forget all pinned decisions (e.g. between transactions).
+    pub fn reset(&mut self) {
+        self.cache.clear();
+    }
+}
+
+impl<T: ConflictResolver> ConflictResolver for Memoized<T> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn select(&mut self, ctx: &SelectContext<'_>, c: &Conflict) -> Result<Resolution, String> {
+        if let Some(&r) = self.cache.get(&(c.pred, c.tuple.clone())) {
+            return Ok(r);
+        }
+        let r = self.inner.select(ctx, c)?;
+        self.cache.insert((c.pred, c.tuple.clone()), r);
+        Ok(r)
+    }
+}
+
+/// A decision record from a [`Recording`] wrapper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// The conflict, rendered.
+    pub conflict: String,
+    /// The resolution chosen.
+    pub resolution: Resolution,
+}
+
+/// Wraps a policy and records every decision it makes.
+pub struct Recording<T> {
+    inner: T,
+    decisions: Vec<Decision>,
+}
+
+impl<T: ConflictResolver> Recording<T> {
+    /// Wrap `inner`.
+    pub fn new(inner: T) -> Self {
+        Recording {
+            inner,
+            decisions: Vec::new(),
+        }
+    }
+
+    /// The decisions made so far, in order.
+    pub fn decisions(&self) -> &[Decision] {
+        &self.decisions
+    }
+}
+
+impl<T: ConflictResolver> ConflictResolver for Recording<T> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn select(&mut self, ctx: &SelectContext<'_>, c: &Conflict) -> Result<Resolution, String> {
+        let resolution = self.inner.select(ctx, c)?;
+        self.decisions.push(Decision {
+            conflict: c.display(ctx.program),
+            resolution,
+        });
+        Ok(resolution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constant::PreferDelete;
+    use park_engine::{Engine, Inertia};
+    use std::sync::Arc;
+
+    #[test]
+    fn chain_takes_first_committed_answer() {
+        let vocab = park_storage::Vocabulary::new();
+        let program = park_syntax::parse_program("p -> +q. p -> -q.").unwrap();
+        let engine = Engine::new(Arc::clone(&vocab), &program).unwrap();
+        let db = park_storage::FactStore::from_source(vocab, "p.").unwrap();
+        // First part abstains; second commits to insert; fallback would say
+        // delete.
+        let mut chain = Chain::new(
+            vec![
+                Box::new(|_: &SelectContext<'_>, _: &Conflict| None),
+                Box::new(|_: &SelectContext<'_>, _: &Conflict| Some(Resolution::Insert)),
+            ],
+            Box::new(PreferDelete),
+        );
+        let out = engine.park(&db, &mut chain).unwrap();
+        assert_eq!(out.database.sorted_display(), vec!["p", "q"]);
+    }
+
+    #[test]
+    fn chain_falls_back_when_all_abstain() {
+        let vocab = park_storage::Vocabulary::new();
+        let program = park_syntax::parse_program("p -> +q. p -> -q.").unwrap();
+        let engine = Engine::new(Arc::clone(&vocab), &program).unwrap();
+        let db = park_storage::FactStore::from_source(vocab, "p.").unwrap();
+        let mut chain = Chain::new(
+            vec![Box::new(|_: &SelectContext<'_>, _: &Conflict| None)],
+            Box::new(Inertia),
+        );
+        let out = engine.park(&db, &mut chain).unwrap();
+        assert_eq!(out.database.sorted_display(), vec!["p"]);
+        assert!(chain.name().contains("chain"));
+    }
+
+    #[test]
+    fn per_predicate_routes_by_contested_atom() {
+        use crate::constant::PreferInsert;
+        // Two independent conflicts on different predicates: `q` routed to
+        // prefer-insert, `z` falls through to inertia (z ∉ D → delete).
+        let vocab = park_storage::Vocabulary::new();
+        let program = park_syntax::parse_program("p -> +q. p -> -q. p -> +z. p -> -z.").unwrap();
+        let engine = park_engine::Engine::new(Arc::clone(&vocab), &program).unwrap();
+        let db = park_storage::FactStore::from_source(vocab, "p.").unwrap();
+        let mut router = PerPredicate::new(Box::new(Inertia)).route("q", Box::new(PreferInsert));
+        let out = engine.park(&db, &mut router).unwrap();
+        assert_eq!(out.database.sorted_display(), vec!["p", "q"]);
+        assert_eq!(router.name(), "per-predicate");
+    }
+
+    #[test]
+    fn memoized_replays_first_decision() {
+        use crate::interactive::Interactive;
+        // The paper's Section 5 program contests `q` twice, through
+        // different rule pairs ({r2} vs {r4}, then {r5} vs {r4}). A
+        // stateful policy could answer the two q-conflicts differently;
+        // Memoized pins the first decision, so one scripted answer covers
+        // both presentations.
+        let vocab = park_storage::Vocabulary::new();
+        let program = park_syntax::parse_program(
+            "r1: p -> +a. r2: p -> +q. r3: a -> +b. r4: a -> -q. r5: b -> +q.",
+        )
+        .unwrap();
+        let engine = park_engine::Engine::new(Arc::clone(&vocab), &program).unwrap();
+        let db = park_storage::FactStore::from_source(vocab, "p.").unwrap();
+        // Bare scripted policy with a single answer runs dry on the second
+        // q-conflict.
+        let mut bare = Interactive::scripted([Resolution::Delete]);
+        assert!(engine.park(&db, &mut bare).is_err());
+        // Memoized succeeds with the same single answer and matches the
+        // inertia outcome ({p, a, b}).
+        let mut memo = Memoized::new(Interactive::scripted([Resolution::Delete]));
+        let out = engine.park(&db, &mut memo).unwrap();
+        assert_eq!(out.database.sorted_display(), vec!["a", "b", "p"]);
+        assert_eq!(memo.decided(), 1);
+        memo.reset();
+        assert_eq!(memo.decided(), 0);
+    }
+
+    #[test]
+    fn recording_captures_decisions() {
+        let vocab = park_storage::Vocabulary::new();
+        let program = park_syntax::parse_program("r1: p -> +q. r2: p -> -q.").unwrap();
+        let engine = Engine::new(Arc::clone(&vocab), &program).unwrap();
+        let db = park_storage::FactStore::from_source(vocab, "p.").unwrap();
+        let mut rec = Recording::new(Inertia);
+        engine.park(&db, &mut rec).unwrap();
+        assert_eq!(rec.decisions().len(), 1);
+        assert_eq!(rec.decisions()[0].resolution, Resolution::Delete);
+        assert!(rec.decisions()[0].conflict.contains('q'));
+    }
+}

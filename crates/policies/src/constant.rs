@@ -1,0 +1,100 @@
+//! Constant and inertia-derived policies.
+
+use park_engine::{Conflict, ConflictResolver, Resolution, SelectContext};
+
+/// Always resolve conflicts in favour of insertion.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PreferInsert;
+
+impl ConflictResolver for PreferInsert {
+    fn name(&self) -> &str {
+        "prefer-insert"
+    }
+    fn select(&mut self, _: &SelectContext<'_>, _: &Conflict) -> Result<Resolution, String> {
+        Ok(Resolution::Insert)
+    }
+}
+
+/// Always resolve conflicts in favour of deletion.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PreferDelete;
+
+impl ConflictResolver for PreferDelete {
+    fn name(&self) -> &str {
+        "prefer-delete"
+    }
+    fn select(&mut self, _: &SelectContext<'_>, _: &Conflict) -> Result<Resolution, String> {
+        Ok(Resolution::Delete)
+    }
+}
+
+/// The dual of the principle of inertia: flip the atom's status relative to
+/// the original database (`delete` if it was present, `insert` otherwise).
+///
+/// Not advocated by the paper; useful as a stress test of policy
+/// independence — the engine must produce a unique result under *any*
+/// `SELECT`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AntiInertia;
+
+impl ConflictResolver for AntiInertia {
+    fn name(&self) -> &str {
+        "anti-inertia"
+    }
+    fn select(&mut self, ctx: &SelectContext<'_>, c: &Conflict) -> Result<Resolution, String> {
+        if ctx.database.contains(c.pred, &c.tuple) {
+            Ok(Resolution::Delete)
+        } else {
+            Ok(Resolution::Insert)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{conflict_for, session};
+
+    #[test]
+    fn constants_ignore_context() {
+        let (db, program, interp, vocab) = session("p -> +q. p -> -q.", "p. a.");
+        let ctx = SelectContext {
+            database: &db,
+            program: &program,
+            interp: &interp,
+        };
+        let c = conflict_for(&vocab, "q");
+        assert_eq!(PreferInsert.select(&ctx, &c).unwrap(), Resolution::Insert);
+        assert_eq!(PreferDelete.select(&ctx, &c).unwrap(), Resolution::Delete);
+    }
+
+    #[test]
+    fn anti_inertia_flips() {
+        let (db, program, interp, vocab) = session("p -> +q. p -> -q.", "p. a.");
+        let ctx = SelectContext {
+            database: &db,
+            program: &program,
+            interp: &interp,
+        };
+        // a ∈ D → delete; q ∉ D → insert (the opposite of inertia).
+        assert_eq!(
+            AntiInertia
+                .select(&ctx, &conflict_for(&vocab, "a"))
+                .unwrap(),
+            Resolution::Delete
+        );
+        assert_eq!(
+            AntiInertia
+                .select(&ctx, &conflict_for(&vocab, "q"))
+                .unwrap(),
+            Resolution::Insert
+        );
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(PreferInsert.name(), "prefer-insert");
+        assert_eq!(PreferDelete.name(), "prefer-delete");
+        assert_eq!(AntiInertia.name(), "anti-inertia");
+    }
+}

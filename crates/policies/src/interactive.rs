@@ -1,0 +1,160 @@
+//! Interactive conflict resolution (Section 5).
+//!
+//! "As soon as a conflict is found, the user is queried and may resolve the
+//! conflict by choosing one among the conflicting rules." The paper also
+//! observes this is the voting scheme with a single human critic.
+//!
+//! The engine-facing type is [`Interactive`], generic over an [`Oracle`].
+//! [`ScriptedOracle`] replays a fixed decision list (deterministic tests,
+//! batch runs); [`CallbackOracle`] asks a closure, which is how the CLI
+//! hooks up a real prompt.
+
+use park_engine::{Conflict, ConflictResolver, Resolution, SelectContext};
+use std::collections::VecDeque;
+
+/// A source of interactive answers.
+pub trait Oracle {
+    /// Answer one rendered conflict; `None` means "no answer available".
+    fn answer(&mut self, prompt: &str) -> Option<Resolution>;
+}
+
+/// Replays a fixed sequence of decisions; errors when exhausted.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptedOracle {
+    script: VecDeque<Resolution>,
+}
+
+impl ScriptedOracle {
+    /// An oracle answering with `decisions` in order.
+    pub fn new(decisions: impl IntoIterator<Item = Resolution>) -> Self {
+        ScriptedOracle {
+            script: decisions.into_iter().collect(),
+        }
+    }
+
+    /// Answers remaining in the script.
+    pub fn remaining(&self) -> usize {
+        self.script.len()
+    }
+}
+
+impl Oracle for ScriptedOracle {
+    fn answer(&mut self, _prompt: &str) -> Option<Resolution> {
+        self.script.pop_front()
+    }
+}
+
+/// Asks a closure for each decision.
+pub struct CallbackOracle<F>(pub F);
+
+impl<F: FnMut(&str) -> Option<Resolution>> Oracle for CallbackOracle<F> {
+    fn answer(&mut self, prompt: &str) -> Option<Resolution> {
+        (self.0)(prompt)
+    }
+}
+
+/// The interactive policy: renders each conflict and asks the oracle.
+pub struct Interactive<O> {
+    oracle: O,
+}
+
+impl<O: Oracle> Interactive<O> {
+    /// Wrap an oracle.
+    pub fn new(oracle: O) -> Self {
+        Interactive { oracle }
+    }
+
+    /// The underlying oracle.
+    pub fn oracle(&self) -> &O {
+        &self.oracle
+    }
+}
+
+impl Interactive<ScriptedOracle> {
+    /// Convenience: an interactive policy over a fixed script.
+    pub fn scripted(decisions: impl IntoIterator<Item = Resolution>) -> Self {
+        Interactive::new(ScriptedOracle::new(decisions))
+    }
+}
+
+impl<O: Oracle> ConflictResolver for Interactive<O> {
+    fn name(&self) -> &str {
+        "interactive"
+    }
+
+    fn select(&mut self, ctx: &SelectContext<'_>, c: &Conflict) -> Result<Resolution, String> {
+        let prompt = c.display(ctx.program);
+        self.oracle
+            .answer(&prompt)
+            .ok_or_else(|| format!("no interactive answer for conflict {prompt}"))
+    }
+}
+
+/// Parse a human answer: `i`/`insert`/`+` or `d`/`delete`/`-`
+/// (case-insensitive, surrounding whitespace ignored).
+pub fn parse_answer(s: &str) -> Option<Resolution> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "i" | "ins" | "insert" | "+" => Some(Resolution::Insert),
+        "d" | "del" | "delete" | "-" => Some(Resolution::Delete),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use park_engine::Engine;
+    use std::sync::Arc;
+
+    #[test]
+    fn scripted_answers_in_order() {
+        // Two conflicts, answered insert then delete.
+        let vocab = park_storage::Vocabulary::new();
+        let program = park_syntax::parse_program("p -> +q. p -> -q. p -> +r. p -> -r.").unwrap();
+        let engine = Engine::new(Arc::clone(&vocab), &program).unwrap();
+        let db = park_storage::FactStore::from_source(vocab, "p.").unwrap();
+        let mut policy = Interactive::scripted([Resolution::Insert, Resolution::Delete]);
+        let out = engine.park(&db, &mut policy).unwrap();
+        assert_eq!(out.database.sorted_display(), vec!["p", "q"]);
+        assert_eq!(policy.oracle().remaining(), 0);
+    }
+
+    #[test]
+    fn exhausted_script_is_a_policy_error() {
+        let vocab = park_storage::Vocabulary::new();
+        let program = park_syntax::parse_program("p -> +q. p -> -q.").unwrap();
+        let engine = Engine::new(Arc::clone(&vocab), &program).unwrap();
+        let db = park_storage::FactStore::from_source(vocab, "p.").unwrap();
+        let mut policy = Interactive::scripted([]);
+        let err = engine.park(&db, &mut policy).unwrap_err();
+        assert!(matches!(err, park_engine::EngineError::Resolver { .. }));
+    }
+
+    #[test]
+    fn callback_oracle_sees_rendered_conflict() {
+        let vocab = park_storage::Vocabulary::new();
+        let program = park_syntax::parse_program("r1: p -> +q. r2: p -> -q.").unwrap();
+        let engine = Engine::new(Arc::clone(&vocab), &program).unwrap();
+        let db = park_storage::FactStore::from_source(vocab, "p.").unwrap();
+        let mut prompts: Vec<String> = Vec::new();
+        let mut policy = Interactive::new(CallbackOracle(|prompt: &str| {
+            prompts.push(prompt.to_string());
+            Some(Resolution::Delete)
+        }));
+        let out = engine.park(&db, &mut policy).unwrap();
+        assert_eq!(out.database.sorted_display(), vec!["p"]);
+        let _ = policy; // release the closure's borrow of `prompts`
+        assert_eq!(prompts.len(), 1);
+        assert!(prompts[0].contains("(q, {(r1)}, {(r2)})"), "{prompts:?}");
+    }
+
+    #[test]
+    fn parse_answer_accepts_common_spellings() {
+        assert_eq!(parse_answer(" Insert "), Some(Resolution::Insert));
+        assert_eq!(parse_answer("i"), Some(Resolution::Insert));
+        assert_eq!(parse_answer("+"), Some(Resolution::Insert));
+        assert_eq!(parse_answer("DELETE"), Some(Resolution::Delete));
+        assert_eq!(parse_answer("-"), Some(Resolution::Delete));
+        assert_eq!(parse_answer("maybe"), None);
+    }
+}

@@ -1,0 +1,104 @@
+//! # park-policies
+//!
+//! Conflict-resolution (`SELECT`) policies for the PARK semantics.
+//!
+//! The paper's central design requirement is that the active-database
+//! semantics be *parameterized* by the conflict-resolution policy: any
+//! function `SELECT(D, P, I, conflict) → insert | delete` slots into the
+//! same fixpoint machinery. Section 5 sketches a family of policies; this
+//! crate implements all of them:
+//!
+//! | paper (§4.1/§5)              | type                                   |
+//! |------------------------------|----------------------------------------|
+//! | principle of inertia         | [`Inertia`] (re-exported from engine)  |
+//! | rule priority                | [`RulePriority`]                       |
+//! | specificity (partial)        | [`Specificity`]                        |
+//! | voting over critics          | [`Voting`], [`Critic`]                 |
+//! | interactive                  | [`Interactive`], [`ScriptedOracle`]    |
+//! | random                       | [`RandomPolicy`] (seeded)              |
+//! | "updates can't be overwritten" (§4.3 remark) | [`TransactionsWin`]    |
+//!
+//! plus combinators ([`Chain`], [`Recording`]) and simple constants
+//! ([`PreferInsert`], [`PreferDelete`], [`AntiInertia`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compose;
+pub mod constant;
+pub mod interactive;
+pub mod priority;
+pub mod random;
+pub mod specificity;
+mod testutil;
+pub mod voting;
+
+pub use compose::{Chain, Decision, Memoized, PartialPolicy, PerPredicate, Recording};
+pub use constant::{AntiInertia, PreferDelete, PreferInsert};
+pub use interactive::{parse_answer, CallbackOracle, Interactive, Oracle, ScriptedOracle};
+pub use park_engine::{ConflictResolver, Inertia, Resolution};
+pub use priority::{RulePriority, TransactionsWin};
+pub use random::RandomPolicy;
+pub use specificity::Specificity;
+pub use voting::{Critic, PolicyCritic, Voting};
+
+/// Construct one of the built-in policies by name — the CLI's `--policy`
+/// switch. Recognized: `inertia`, `anti-inertia`, `prefer-insert`,
+/// `prefer-delete`, `priority`, `specificity`, `transactions-win`, and
+/// `random[:seed]`.
+pub fn by_name(name: &str) -> Option<Box<dyn ConflictResolver>> {
+    if let Some(seed) = name.strip_prefix("random:") {
+        return seed
+            .parse::<u64>()
+            .ok()
+            .map(|s| Box::new(RandomPolicy::seeded(s)) as Box<dyn ConflictResolver>);
+    }
+    Some(match name {
+        "inertia" => Box::new(Inertia),
+        "anti-inertia" => Box::new(AntiInertia),
+        "prefer-insert" => Box::new(PreferInsert),
+        "prefer-delete" => Box::new(PreferDelete),
+        "priority" => Box::new(RulePriority::new()),
+        "specificity" => Box::new(Specificity::new()),
+        "transactions-win" => Box::new(TransactionsWin::new()),
+        "random" => Box::new(RandomPolicy::seeded(0)),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_covers_builtins() {
+        for n in [
+            "inertia",
+            "anti-inertia",
+            "prefer-insert",
+            "prefer-delete",
+            "priority",
+            "specificity",
+            "transactions-win",
+            "random",
+            "random:42",
+        ] {
+            assert!(by_name(n).is_some(), "missing policy {n}");
+        }
+        assert!(by_name("nonsense").is_none());
+        assert!(by_name("random:notanumber").is_none());
+    }
+
+    #[test]
+    fn by_name_returns_working_policies() {
+        use park_engine::Engine;
+        use std::sync::Arc;
+        let vocab = park_storage::Vocabulary::new();
+        let program = park_syntax::parse_program("p -> +q. p -> -q.").unwrap();
+        let engine = Engine::new(Arc::clone(&vocab), &program).unwrap();
+        let db = park_storage::FactStore::from_source(vocab, "p.").unwrap();
+        let mut policy = by_name("prefer-insert").unwrap();
+        let out = engine.park(&db, policy.as_mut()).unwrap();
+        assert_eq!(out.database.sorted_display(), vec!["p", "q"]);
+    }
+}

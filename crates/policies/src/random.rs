@@ -1,0 +1,104 @@
+//! Random conflict resolution (Section 5).
+//!
+//! "In some cases it may be convenient that the system just randomly
+//! chooses one from the conflicting rules." The generator is explicitly
+//! seeded so runs are reproducible — an unseeded random policy would break
+//! test determinism, and the paper's unambiguity requirement concerns the
+//! semantics *given* the SELECT function, which a fixed seed provides.
+
+use park_engine::{Conflict, ConflictResolver, Resolution, SelectContext};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded coin-flip policy.
+#[derive(Debug, Clone)]
+pub struct RandomPolicy {
+    rng: StdRng,
+    /// Probability of choosing `insert` (default 0.5).
+    insert_probability: f64,
+}
+
+impl RandomPolicy {
+    /// Fair coin with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        RandomPolicy {
+            rng: StdRng::seed_from_u64(seed),
+            insert_probability: 0.5,
+        }
+    }
+
+    /// Biased coin.
+    pub fn with_bias(seed: u64, insert_probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&insert_probability),
+            "probability out of range"
+        );
+        RandomPolicy {
+            rng: StdRng::seed_from_u64(seed),
+            insert_probability,
+        }
+    }
+}
+
+impl ConflictResolver for RandomPolicy {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn select(&mut self, _: &SelectContext<'_>, _: &Conflict) -> Result<Resolution, String> {
+        if self.rng.random_bool(self.insert_probability) {
+            Ok(Resolution::Insert)
+        } else {
+            Ok(Resolution::Delete)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{conflict_for, session};
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let (db, program, interp, vocab) = session("p -> +q. p -> -q.", "p.");
+        let ctx = SelectContext {
+            database: &db,
+            program: &program,
+            interp: &interp,
+        };
+        let c = conflict_for(&vocab, "q");
+        let decisions = |seed: u64| {
+            let mut p = RandomPolicy::seeded(seed);
+            (0..32)
+                .map(|_| p.select(&ctx, &c).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(decisions(7), decisions(7));
+    }
+
+    #[test]
+    fn bias_one_always_inserts() {
+        let (db, program, interp, vocab) = session("p -> +q. p -> -q.", "p.");
+        let ctx = SelectContext {
+            database: &db,
+            program: &program,
+            interp: &interp,
+        };
+        let c = conflict_for(&vocab, "q");
+        let mut p = RandomPolicy::with_bias(3, 1.0);
+        for _ in 0..16 {
+            assert_eq!(p.select(&ctx, &c).unwrap(), Resolution::Insert);
+        }
+        let mut p = RandomPolicy::with_bias(3, 0.0);
+        for _ in 0..16 {
+            assert_eq!(p.select(&ctx, &c).unwrap(), Resolution::Delete);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn bad_bias_panics() {
+        let _ = RandomPolicy::with_bias(0, 1.5);
+    }
+}

@@ -1,0 +1,130 @@
+//! Specificity-based conflict resolution (Section 5).
+//!
+//! "An old AI principle says that more 'specific' rules should be given
+//! priority over more general rules" — `penguin(X) -> -flies(X)` beats
+//! `bird(X) -> +flies(X)`. The paper notes this is *not complete* (sides
+//! can tie or be incomparable) and "may be combined with other conflict
+//! resolution strategies"; accordingly this policy wraps a fallback.
+//!
+//! Specificity measure: a rule's body literal count, with constants adding
+//! a half step (a body mentioning a constant is more specific than one of
+//! equal length without). The side containing the single most specific
+//! grounding wins; any tie defers to the fallback.
+
+use park_engine::{Conflict, ConflictResolver, Grounding, Inertia, Resolution, SelectContext};
+
+/// Prefer the side derived by the more specific rule; defer ties to an
+/// inner policy (default: inertia).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Specificity<T = Inertia> {
+    fallback: T,
+}
+
+impl Specificity<Inertia> {
+    /// Specificity with inertia fallback.
+    pub fn new() -> Self {
+        Specificity { fallback: Inertia }
+    }
+}
+
+impl<T: ConflictResolver> Specificity<T> {
+    /// Specificity with an explicit fallback.
+    pub fn with_fallback(fallback: T) -> Self {
+        Specificity { fallback }
+    }
+}
+
+/// Twice the body length plus one per constant-containing literal — integer
+/// arithmetic for the "half step".
+fn rule_specificity(ctx: &SelectContext<'_>, g: &Grounding) -> u32 {
+    let rule = ctx.program.rule(g.rule);
+    let mut score = 0u32;
+    for lit in rule.source.body.iter() {
+        score += 2;
+        let has_const = match lit.atom() {
+            Some(a) => a.args.iter().any(|t| t.as_const().is_some()),
+            // A comparison guard narrows the rule like a constant does.
+            None => true,
+        };
+        if has_const {
+            score += 1;
+        }
+    }
+    score
+}
+
+fn side_specificity(ctx: &SelectContext<'_>, side: &[Grounding]) -> Option<u32> {
+    side.iter().map(|g| rule_specificity(ctx, g)).max()
+}
+
+impl<T: ConflictResolver> ConflictResolver for Specificity<T> {
+    fn name(&self) -> &str {
+        "specificity"
+    }
+
+    fn select(&mut self, ctx: &SelectContext<'_>, c: &Conflict) -> Result<Resolution, String> {
+        match (side_specificity(ctx, &c.ins), side_specificity(ctx, &c.del)) {
+            (Some(i), Some(d)) if i > d => Ok(Resolution::Insert),
+            (Some(i), Some(d)) if i < d => Ok(Resolution::Delete),
+            _ => self.fallback.select(ctx, c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use park_engine::Engine;
+    use std::sync::Arc;
+
+    #[test]
+    fn penguin_beats_bird() {
+        // The paper's example: bird(X) -> +flies(X) vs the more specific
+        // penguin(X), bird(X) -> -flies(X).
+        let vocab = park_storage::Vocabulary::new();
+        let program =
+            park_syntax::parse_program("bird(X) -> +flies(X). penguin(X), bird(X) -> -flies(X).")
+                .unwrap();
+        let engine = Engine::new(Arc::clone(&vocab), &program).unwrap();
+        let db = park_storage::FactStore::from_source(
+            vocab,
+            "bird(tweety). bird(pingu). penguin(pingu).",
+        )
+        .unwrap();
+        let out = engine.park(&db, &mut Specificity::new()).unwrap();
+        let facts = out.database.sorted_display();
+        assert!(facts.contains(&"flies(tweety)".to_string()), "{facts:?}");
+        assert!(!facts.contains(&"flies(pingu)".to_string()), "{facts:?}");
+    }
+
+    #[test]
+    fn constants_add_half_step() {
+        // q(X, a) is more specific than q(X, Y) at equal body length.
+        let vocab = park_storage::Vocabulary::new();
+        let program = park_syntax::parse_program("q(X, Y) -> +r(X). q(X, a) -> -r(X).").unwrap();
+        let engine = Engine::new(Arc::clone(&vocab), &program).unwrap();
+        let db = park_storage::FactStore::from_source(vocab, "q(x, a). r(x).").unwrap();
+        let out = engine.park(&db, &mut Specificity::new()).unwrap();
+        // The deletion (constant-bearing rule) wins: r(x) is gone.
+        assert_eq!(out.database.sorted_display(), vec!["q(x, a)"]);
+    }
+
+    #[test]
+    fn tie_defers_to_fallback() {
+        let vocab = park_storage::Vocabulary::new();
+        let program = park_syntax::parse_program("p -> +q. p -> -q.").unwrap();
+        let engine = Engine::new(Arc::clone(&vocab), &program).unwrap();
+        let db = park_storage::FactStore::from_source(vocab, "p.").unwrap();
+        // Equal specificity; inertia fallback: q ∉ D → delete → no q.
+        let out = engine.park(&db, &mut Specificity::new()).unwrap();
+        assert_eq!(out.database.sorted_display(), vec!["p"]);
+        // With a prefer-insert fallback the insertion survives instead.
+        let out = engine
+            .park(
+                &db,
+                &mut Specificity::with_fallback(crate::constant::PreferInsert),
+            )
+            .unwrap();
+        assert_eq!(out.database.sorted_display(), vec!["p", "q"]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Shared helpers for policy unit tests.
+#![cfg(test)]
+
+use park_engine::{CompiledProgram, Conflict, Grounding, IInterpretation, RuleId};
+use park_storage::{FactStore, Tuple, Vocabulary};
+use park_syntax::parse_program;
+use std::sync::Arc;
+
+/// Compile a program, build a database, and wrap it in a fresh
+/// i-interpretation, all over one vocabulary.
+pub fn session(
+    rules: &str,
+    facts: &str,
+) -> (FactStore, CompiledProgram, IInterpretation, Arc<Vocabulary>) {
+    let vocab = Vocabulary::new();
+    let program =
+        CompiledProgram::compile(Arc::clone(&vocab), &parse_program(rules).unwrap()).unwrap();
+    let db = FactStore::from_source(Arc::clone(&vocab), facts).unwrap();
+    let interp = IInterpretation::from_database(db.clone());
+    (db, program, interp, vocab)
+}
+
+/// A conflict over the propositional atom `name` with empty sides.
+pub fn conflict_for(vocab: &Arc<Vocabulary>, name: &str) -> Conflict {
+    Conflict {
+        pred: vocab.pred(name, 0).unwrap(),
+        tuple: Tuple::empty(),
+        ins: vec![],
+        del: vec![],
+    }
+}
+
+/// A conflict over the propositional atom `name` whose sides cite the given
+/// rule ids (with empty substitutions).
+pub fn conflict_sides(
+    vocab: &Arc<Vocabulary>,
+    name: &str,
+    ins_rules: &[u32],
+    del_rules: &[u32],
+) -> Conflict {
+    let g = |r: &u32| Grounding {
+        rule: RuleId(*r),
+        subst: Box::from([]),
+    };
+    Conflict {
+        pred: vocab.pred(name, 0).unwrap(),
+        tuple: Tuple::empty(),
+        ins: ins_rules.iter().map(g).collect(),
+        del: del_rules.iter().map(g).collect(),
+    }
+}

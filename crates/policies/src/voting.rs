@@ -1,0 +1,189 @@
+//! The voting scheme (Section 5).
+//!
+//! "A critic is a program that takes as input a conflict and returns the
+//! value insert or delete. When a conflict occurs, the PARK semantics
+//! invokes the set of critics and asks each of them for its vote. The
+//! majority opinion of the critics is then adopted."
+//!
+//! Each critic may embody a different intuition (recency, source
+//! reliability, a human user, ...). Interactive conflict resolution is the
+//! special case of a single human critic — see [`crate::interactive`].
+
+use park_engine::{Conflict, ConflictResolver, Resolution, SelectContext};
+
+/// A voting critic.
+pub trait Critic {
+    /// A short name for traces.
+    fn name(&self) -> &str {
+        "critic"
+    }
+    /// Cast a vote on a conflict.
+    fn vote(&mut self, ctx: &SelectContext<'_>, conflict: &Conflict) -> Resolution;
+}
+
+/// Closures vote too: `|ctx, conflict| Resolution::Insert`.
+impl<F> Critic for F
+where
+    F: FnMut(&SelectContext<'_>, &Conflict) -> Resolution,
+{
+    fn vote(&mut self, ctx: &SelectContext<'_>, conflict: &Conflict) -> Resolution {
+        self(ctx, conflict)
+    }
+}
+
+/// Majority voting over a panel of critics; exact ties go to `tie_break`.
+pub struct Voting {
+    critics: Vec<Box<dyn Critic>>,
+    tie_break: Resolution,
+}
+
+impl Voting {
+    /// A panel with the given critics; ties resolve to `tie_break`.
+    pub fn new(critics: Vec<Box<dyn Critic>>, tie_break: Resolution) -> Self {
+        Voting { critics, tie_break }
+    }
+
+    /// Number of critics on the panel.
+    pub fn panel_size(&self) -> usize {
+        self.critics.len()
+    }
+}
+
+impl ConflictResolver for Voting {
+    fn name(&self) -> &str {
+        "voting"
+    }
+
+    fn select(&mut self, ctx: &SelectContext<'_>, c: &Conflict) -> Result<Resolution, String> {
+        let mut inserts = 0usize;
+        let mut deletes = 0usize;
+        for critic in &mut self.critics {
+            match critic.vote(ctx, c) {
+                Resolution::Insert => inserts += 1,
+                Resolution::Delete => deletes += 1,
+            }
+        }
+        Ok(match inserts.cmp(&deletes) {
+            std::cmp::Ordering::Greater => Resolution::Insert,
+            std::cmp::Ordering::Less => Resolution::Delete,
+            std::cmp::Ordering::Equal => self.tie_break,
+        })
+    }
+}
+
+/// A critic that defers to any full policy (lets e.g. inertia or rule
+/// priority sit on a panel).
+pub struct PolicyCritic<T> {
+    inner: T,
+    /// Vote cast when the inner policy errors (policies on a panel must
+    /// always vote).
+    pub on_error: Resolution,
+}
+
+impl<T: ConflictResolver> PolicyCritic<T> {
+    /// Wrap a policy as a critic; `on_error` is cast if the policy fails.
+    pub fn new(inner: T, on_error: Resolution) -> Self {
+        PolicyCritic { inner, on_error }
+    }
+}
+
+impl<T: ConflictResolver> Critic for PolicyCritic<T> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn vote(&mut self, ctx: &SelectContext<'_>, c: &Conflict) -> Resolution {
+        self.inner.select(ctx, c).unwrap_or(self.on_error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constant::{PreferDelete, PreferInsert};
+    use crate::testutil::{conflict_for, session};
+    use park_engine::Inertia;
+
+    #[test]
+    fn majority_wins() {
+        let (db, program, interp, vocab) = session("p -> +q. p -> -q.", "p.");
+        let ctx = SelectContext {
+            database: &db,
+            program: &program,
+            interp: &interp,
+        };
+        let c = conflict_for(&vocab, "q");
+        let mut v = Voting::new(
+            vec![
+                Box::new(PolicyCritic::new(PreferInsert, Resolution::Delete)),
+                Box::new(PolicyCritic::new(PreferInsert, Resolution::Delete)),
+                Box::new(PolicyCritic::new(PreferDelete, Resolution::Insert)),
+            ],
+            Resolution::Delete,
+        );
+        assert_eq!(v.panel_size(), 3);
+        assert_eq!(v.select(&ctx, &c).unwrap(), Resolution::Insert);
+    }
+
+    #[test]
+    fn tie_uses_tie_break() {
+        let (db, program, interp, vocab) = session("p -> +q. p -> -q.", "p.");
+        let ctx = SelectContext {
+            database: &db,
+            program: &program,
+            interp: &interp,
+        };
+        let c = conflict_for(&vocab, "q");
+        let mk = |tie| {
+            Voting::new(
+                vec![
+                    Box::new(PolicyCritic::new(PreferInsert, Resolution::Delete))
+                        as Box<dyn Critic>,
+                    Box::new(PolicyCritic::new(PreferDelete, Resolution::Insert)),
+                ],
+                tie,
+            )
+        };
+        assert_eq!(
+            mk(Resolution::Delete).select(&ctx, &c).unwrap(),
+            Resolution::Delete
+        );
+        assert_eq!(
+            mk(Resolution::Insert).select(&ctx, &c).unwrap(),
+            Resolution::Insert
+        );
+    }
+
+    #[test]
+    fn closures_are_critics() {
+        let (db, program, interp, vocab) = session("p -> +q. p -> -q.", "p.");
+        let ctx = SelectContext {
+            database: &db,
+            program: &program,
+            interp: &interp,
+        };
+        let c = conflict_for(&vocab, "q");
+        let mut v = Voting::new(
+            vec![
+                Box::new(|_: &SelectContext<'_>, _: &Conflict| Resolution::Delete),
+                Box::new(PolicyCritic::new(Inertia, Resolution::Insert)),
+                Box::new(|_: &SelectContext<'_>, _: &Conflict| Resolution::Delete),
+            ],
+            Resolution::Insert,
+        );
+        // Two delete votes + inertia (q ∉ D → delete) = unanimous delete.
+        assert_eq!(v.select(&ctx, &c).unwrap(), Resolution::Delete);
+    }
+
+    #[test]
+    fn empty_panel_is_all_ties() {
+        let (db, program, interp, vocab) = session("p -> +q. p -> -q.", "p.");
+        let ctx = SelectContext {
+            database: &db,
+            program: &program,
+            interp: &interp,
+        };
+        let c = conflict_for(&vocab, "q");
+        let mut v = Voting::new(vec![], Resolution::Insert);
+        assert_eq!(v.select(&ctx, &c).unwrap(), Resolution::Insert);
+    }
+}

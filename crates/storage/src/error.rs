@@ -1,0 +1,79 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+/// An error raised by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A predicate was used with two different arities.
+    ArityMismatch {
+        /// The predicate name.
+        pred: String,
+        /// The arity it was registered with.
+        expected: usize,
+        /// The conflicting arity.
+        got: usize,
+    },
+    /// A tuple of the wrong arity was offered to a relation.
+    TupleArity {
+        /// The predicate name.
+        pred: String,
+        /// The relation's arity.
+        expected: usize,
+        /// The tuple's arity.
+        got: usize,
+    },
+    /// An atom expected to be ground contained a variable.
+    NonGround {
+        /// The offending variable.
+        var: String,
+    },
+    /// A snapshot could not be decoded.
+    Snapshot(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ArityMismatch {
+                pred,
+                expected,
+                got,
+            } => write!(
+                f,
+                "predicate `{pred}` has arity {expected} but was used with arity {got}"
+            ),
+            StorageError::TupleArity {
+                pred,
+                expected,
+                got,
+            } => write!(
+                f,
+                "relation `{pred}` stores {expected}-tuples but was offered a {got}-tuple"
+            ),
+            StorageError::NonGround { var } => {
+                write!(f, "expected a ground atom but variable `{var}` occurs")
+            }
+            StorageError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::ArityMismatch {
+            pred: "p".into(),
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("`p`"));
+        assert!(e.to_string().contains('2'));
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,39 @@
+//! # park-storage
+//!
+//! The relational storage substrate of the PARK active-rule system.
+//!
+//! The paper assumes its semantics is "easily implementable on top of a
+//! commercial DBMS" (Section 3); this crate plays the DBMS role: database
+//! instances are [`FactStore`]s — sets of ground atoms organized into
+//! per-predicate [`Relation`]s with hash indexes — over a shared, interned
+//! [`Vocabulary`]. Transaction updates (`U` in Section 4.3) are
+//! [`UpdateSet`]s, and [`Snapshot`] provides a portable, serde-serializable
+//! image for persistence.
+//!
+//! ```
+//! use park_storage::{FactStore, Vocabulary};
+//!
+//! let vocab = Vocabulary::new();
+//! let db = FactStore::from_source(vocab, "emp(alice). payroll(alice, 50000).").unwrap();
+//! assert_eq!(db.len(), 2);
+//! assert_eq!(db.to_string(), "{emp(alice), payroll(alice, 50000)}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod relation;
+pub mod snapshot;
+pub mod store;
+pub mod updates;
+pub mod value;
+pub mod vocab;
+
+pub use error::StorageError;
+pub use relation::{ColumnMask, Relation};
+pub use snapshot::{RelationSnapshot, Snapshot};
+pub use store::FactStore;
+pub use updates::{Update, UpdateSet};
+pub use value::{SymId, Tuple, Value};
+pub use vocab::{PredId, Vocabulary};

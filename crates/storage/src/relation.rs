@@ -1,0 +1,419 @@
+//! Relations: deduplicated tuple sets with hash indexes.
+//!
+//! A [`Relation`] stores the extension of one predicate. Tuples are kept in
+//! insertion order (the engine's traces rely on deterministic iteration) and
+//! deduplicated through a position map. Point and prefix lookups go through
+//! hash indexes keyed by a [`ColumnMask`] of bound columns; indexes are
+//! created on demand ([`Relation::ensure_index`]) and maintained
+//! incrementally on insertion. Removal invalidates indexes (they are rebuilt
+//! lazily), which is fine for PARK evaluation: i-interpretations only grow
+//! within a run.
+
+use crate::value::{Tuple, Value};
+use std::collections::HashMap;
+
+/// A set of bound columns, as a bitmask. Supports arities up to 32 —
+/// far beyond anything a rule language for ECA systems needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnMask(u32);
+
+impl ColumnMask {
+    /// The empty mask (no columns bound).
+    pub const EMPTY: ColumnMask = ColumnMask(0);
+
+    /// Build a mask from column positions.
+    pub fn from_cols(cols: impl IntoIterator<Item = usize>) -> Self {
+        let mut m = 0u32;
+        for c in cols {
+            assert!(c < 32, "column index {c} out of range for ColumnMask");
+            m |= 1 << c;
+        }
+        ColumnMask(m)
+    }
+
+    /// True if column `i` is in the mask.
+    pub fn contains(self, i: usize) -> bool {
+        i < 32 && self.0 & (1 << i) != 0
+    }
+
+    /// True if no column is bound.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of bound columns.
+    pub fn count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterate over bound column positions in ascending order.
+    pub fn cols(self) -> impl Iterator<Item = usize> {
+        (0..32).filter(move |&i| self.0 & (1 << i) != 0)
+    }
+}
+
+/// Extract the index key of `tuple` under `mask` (values of bound columns,
+/// ascending by position).
+fn key_of(mask: ColumnMask, tuple: &Tuple) -> Box<[Value]> {
+    mask.cols().map(|c| tuple[c]).collect()
+}
+
+/// The extension of one predicate.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    arity: usize,
+    tuples: Vec<Tuple>,
+    positions: HashMap<Tuple, u32>,
+    indexes: HashMap<ColumnMask, HashMap<Box<[Value]>, Vec<u32>>>,
+}
+
+impl Relation {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Relation {
+            arity,
+            ..Relation::default()
+        }
+    }
+
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.positions.contains_key(tuple)
+    }
+
+    /// All tuples, in insertion order.
+    pub fn scan(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Insert a tuple; returns `true` if it was new.
+    ///
+    /// Panics in debug builds on arity mismatch; the [`crate::store::FactStore`]
+    /// validates arity before reaching this point.
+    pub fn insert(&mut self, tuple: Tuple) -> bool {
+        debug_assert_eq!(tuple.arity(), self.arity, "tuple arity mismatch");
+        if self.positions.contains_key(&tuple) {
+            return false;
+        }
+        let pos = u32::try_from(self.tuples.len()).expect("relation too large");
+        for (mask, index) in &mut self.indexes {
+            index.entry(key_of(*mask, &tuple)).or_default().push(pos);
+        }
+        self.positions.insert(tuple.clone(), pos);
+        self.tuples.push(tuple);
+        true
+    }
+
+    /// Remove a tuple; returns `true` if it was present.
+    ///
+    /// Invalidates all indexes (rebuilt lazily by [`Relation::ensure_index`]).
+    pub fn remove(&mut self, tuple: &Tuple) -> bool {
+        let Some(pos) = self.positions.remove(tuple) else {
+            return false;
+        };
+        let pos = pos as usize;
+        self.tuples.swap_remove(pos);
+        if pos < self.tuples.len() {
+            // The previously-last tuple moved into `pos`.
+            let moved = self.tuples[pos].clone();
+            self.positions.insert(moved, pos as u32);
+        }
+        self.indexes.clear();
+        true
+    }
+
+    /// Remove all tuples.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+        self.positions.clear();
+        self.indexes.clear();
+    }
+
+    /// Ensure a hash index exists for `mask`. No-op for the empty mask
+    /// (a full scan serves it).
+    pub fn ensure_index(&mut self, mask: ColumnMask) {
+        if mask.is_empty() || self.indexes.contains_key(&mask) {
+            return;
+        }
+        let mut index: HashMap<Box<[Value]>, Vec<u32>> = HashMap::new();
+        for (pos, t) in self.tuples.iter().enumerate() {
+            index.entry(key_of(mask, t)).or_default().push(pos as u32);
+        }
+        self.indexes.insert(mask, index);
+    }
+
+    /// True if an index for `mask` is currently built.
+    pub fn has_index(&self, mask: ColumnMask) -> bool {
+        self.indexes.contains_key(&mask)
+    }
+
+    /// Probe the index for `mask` with `key` (values of the bound columns in
+    /// ascending position order). Returns matching tuples.
+    ///
+    /// Falls back to a full scan if the index does not exist; callers on hot
+    /// paths should [`Relation::ensure_index`] up front.
+    pub fn probe<'a>(
+        &'a self,
+        mask: ColumnMask,
+        key: &[Value],
+    ) -> Box<dyn Iterator<Item = &'a Tuple> + 'a> {
+        debug_assert_eq!(mask.count(), key.len());
+        if mask.is_empty() {
+            return Box::new(self.tuples.iter());
+        }
+        if let Some(index) = self.indexes.get(&mask) {
+            match index.get(key) {
+                Some(poss) => Box::new(poss.iter().map(move |&p| &self.tuples[p as usize])),
+                None => Box::new(std::iter::empty()),
+            }
+        } else {
+            // Unindexed fallback: filter a scan.
+            let key = key.to_vec();
+            Box::new(
+                self.tuples
+                    .iter()
+                    .filter(move |t| mask.cols().zip(key.iter()).all(|(c, &v)| t[c] == v)),
+            )
+        }
+    }
+
+    /// Count tuples matching `key` under `mask` (used by the join planner's
+    /// selectivity estimates and by tests).
+    pub fn probe_count(&self, mask: ColumnMask, key: &[Value]) -> usize {
+        self.probe(mask, key).count()
+    }
+
+    /// Probe restricted to tuples whose insertion position lies in
+    /// `[lo, hi)`.
+    ///
+    /// Insertion positions are stable while the relation only grows, which
+    /// is exactly the engine's i-interpretation discipline within a run;
+    /// semi-naive evaluation uses position windows as its delta sets.
+    /// Like [`Relation::probe`], falls back to a scan when unindexed.
+    pub fn probe_in_range<'a>(
+        &'a self,
+        mask: ColumnMask,
+        key: &[Value],
+        lo: u32,
+        hi: u32,
+    ) -> Box<dyn Iterator<Item = &'a Tuple> + 'a> {
+        debug_assert_eq!(mask.count(), key.len());
+        let lo = lo as usize;
+        let hi = (hi as usize).min(self.tuples.len());
+        if lo >= hi {
+            return Box::new(std::iter::empty());
+        }
+        if mask.is_empty() {
+            return Box::new(self.tuples[lo..hi].iter());
+        }
+        if let Some(index) = self.indexes.get(&mask) {
+            match index.get(key) {
+                Some(poss) => Box::new(
+                    poss.iter()
+                        .copied()
+                        .filter(move |&p| (p as usize) >= lo && (p as usize) < hi)
+                        .map(move |p| &self.tuples[p as usize]),
+                ),
+                None => Box::new(std::iter::empty()),
+            }
+        } else {
+            let key = key.to_vec();
+            Box::new(
+                self.tuples[lo..hi]
+                    .iter()
+                    .filter(move |t| mask.cols().zip(key.iter()).all(|(c, &v)| t[c] == v)),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::SymId;
+
+    fn t(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn mask_construction_and_queries() {
+        let m = ColumnMask::from_cols([0, 2]);
+        assert!(m.contains(0));
+        assert!(!m.contains(1));
+        assert!(m.contains(2));
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.cols().collect::<Vec<_>>(), vec![0, 2]);
+        assert!(ColumnMask::EMPTY.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mask_rejects_wide_arities() {
+        let _ = ColumnMask::from_cols([40]);
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(t(&[1, 2])));
+        assert!(!r.insert(t(&[1, 2])));
+        assert!(r.insert(t(&[1, 3])));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&t(&[1, 2])));
+        assert!(!r.contains(&t(&[9, 9])));
+    }
+
+    #[test]
+    fn scan_preserves_insertion_order() {
+        let mut r = Relation::new(1);
+        r.insert(t(&[3]));
+        r.insert(t(&[1]));
+        r.insert(t(&[2]));
+        assert_eq!(r.scan(), &[t(&[3]), t(&[1]), t(&[2])]);
+    }
+
+    #[test]
+    fn remove_swaps_and_fixes_positions() {
+        let mut r = Relation::new(1);
+        for i in 0..5 {
+            r.insert(t(&[i]));
+        }
+        assert!(r.remove(&t(&[1])));
+        assert!(!r.remove(&t(&[1])));
+        assert_eq!(r.len(), 4);
+        // The remaining tuples must all still be findable.
+        for i in [0, 2, 3, 4] {
+            assert!(r.contains(&t(&[i])), "lost tuple {i}");
+            assert!(r.remove(&t(&[i])));
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn index_probe_matches_scan_filter() {
+        let mut r = Relation::new(2);
+        for (a, b) in [(1, 10), (1, 20), (2, 10), (3, 30)] {
+            r.insert(t(&[a, b]));
+        }
+        let m = ColumnMask::from_cols([0]);
+        r.ensure_index(m);
+        assert!(r.has_index(m));
+        let got: Vec<_> = r.probe(m, &[Value::Int(1)]).cloned().collect();
+        assert_eq!(got, vec![t(&[1, 10]), t(&[1, 20])]);
+        assert_eq!(r.probe_count(m, &[Value::Int(9)]), 0);
+    }
+
+    #[test]
+    fn unindexed_probe_falls_back_to_scan() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1, 10]));
+        r.insert(t(&[2, 20]));
+        let m = ColumnMask::from_cols([1]);
+        assert!(!r.has_index(m));
+        let got: Vec<_> = r.probe(m, &[Value::Int(20)]).cloned().collect();
+        assert_eq!(got, vec![t(&[2, 20])]);
+    }
+
+    #[test]
+    fn index_is_maintained_on_insert() {
+        let mut r = Relation::new(2);
+        let m = ColumnMask::from_cols([0]);
+        r.ensure_index(m);
+        r.insert(t(&[7, 1]));
+        r.insert(t(&[7, 2]));
+        assert_eq!(r.probe_count(m, &[Value::Int(7)]), 2);
+    }
+
+    #[test]
+    fn remove_invalidates_indexes() {
+        let mut r = Relation::new(1);
+        let m = ColumnMask::from_cols([0]);
+        r.insert(t(&[1]));
+        r.insert(t(&[2]));
+        r.ensure_index(m);
+        r.remove(&t(&[1]));
+        assert!(!r.has_index(m));
+        // Fallback still answers correctly, and rebuild works.
+        assert_eq!(r.probe_count(m, &[Value::Int(2)]), 1);
+        r.ensure_index(m);
+        assert_eq!(r.probe_count(m, &[Value::Int(1)]), 0);
+    }
+
+    #[test]
+    fn empty_mask_probe_is_full_scan() {
+        let mut r = Relation::new(1);
+        r.insert(t(&[1]));
+        r.insert(t(&[2]));
+        assert_eq!(r.probe(ColumnMask::EMPTY, &[]).count(), 2);
+    }
+
+    #[test]
+    fn full_mask_point_lookup() {
+        let mut r = Relation::new(2);
+        r.insert(Tuple::new(vec![Value::Sym(SymId(0)), Value::Int(1)]));
+        let m = ColumnMask::from_cols([0, 1]);
+        r.ensure_index(m);
+        assert_eq!(r.probe_count(m, &[Value::Sym(SymId(0)), Value::Int(1)]), 1);
+        assert_eq!(r.probe_count(m, &[Value::Sym(SymId(0)), Value::Int(2)]), 0);
+    }
+
+    #[test]
+    fn probe_in_range_windows_by_insertion_position() {
+        let mut r = Relation::new(2);
+        for (a, b) in [(1, 10), (1, 20), (2, 10), (1, 30)] {
+            r.insert(t(&[a, b]));
+        }
+        let m = ColumnMask::from_cols([0]);
+        r.ensure_index(m);
+        // Window [2, 4): only t(2,10) and t(1,30) are visible.
+        let got: Vec<_> = r
+            .probe_in_range(m, &[Value::Int(1)], 2, 4)
+            .cloned()
+            .collect();
+        assert_eq!(got, vec![t(&[1, 30])]);
+        // Full window equals plain probe.
+        assert_eq!(
+            r.probe_in_range(m, &[Value::Int(1)], 0, 4).count(),
+            r.probe_count(m, &[Value::Int(1)])
+        );
+        // Empty window.
+        assert_eq!(r.probe_in_range(m, &[Value::Int(1)], 3, 3).count(), 0);
+        // hi beyond len is clamped.
+        assert_eq!(r.probe_in_range(m, &[Value::Int(1)], 0, 99).count(), 3);
+        // Unindexed fallback agrees.
+        let m1 = ColumnMask::from_cols([1]);
+        let got: Vec<_> = r
+            .probe_in_range(m1, &[Value::Int(10)], 1, 4)
+            .cloned()
+            .collect();
+        assert_eq!(got, vec![t(&[2, 10])]);
+        // Empty-mask range scan.
+        assert_eq!(r.probe_in_range(ColumnMask::EMPTY, &[], 1, 3).count(), 2);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut r = Relation::new(1);
+        r.insert(t(&[1]));
+        r.ensure_index(ColumnMask::from_cols([0]));
+        r.clear();
+        assert!(r.is_empty());
+        assert!(!r.contains(&t(&[1])));
+    }
+}

@@ -1,0 +1,142 @@
+//! Portable snapshots of fact stores.
+//!
+//! A [`Snapshot`] is a vocabulary-independent, serde-serializable image of a
+//! [`FactStore`]: predicate names and arities plus constant-level tuples.
+//! Snapshots are the persistence format of the CLI and of tests that save
+//! and reload database states.
+
+use crate::error::StorageError;
+use crate::store::FactStore;
+use crate::vocab::Vocabulary;
+use park_syntax::Const;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One predicate's extension in portable form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelationSnapshot {
+    /// The predicate's arity.
+    pub arity: usize,
+    /// The tuples, as vectors of constants.
+    pub tuples: Vec<Vec<Const>>,
+}
+
+/// A portable image of a fact store.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Predicate name → extension. `BTreeMap` keeps output deterministic.
+    pub relations: BTreeMap<String, RelationSnapshot>,
+}
+
+impl Snapshot {
+    /// Capture a store.
+    pub fn of(store: &FactStore) -> Self {
+        let vocab = store.vocab();
+        let mut relations: BTreeMap<String, RelationSnapshot> = BTreeMap::new();
+        for (pred, tuple) in store.iter() {
+            let entry = relations
+                .entry(vocab.pred_name(pred).to_string())
+                .or_insert_with(|| RelationSnapshot {
+                    arity: vocab.pred_arity(pred),
+                    tuples: Vec::new(),
+                });
+            entry
+                .tuples
+                .push(tuple.values().iter().map(|&v| vocab.constant(v)).collect());
+        }
+        for rel in relations.values_mut() {
+            rel.tuples.sort();
+        }
+        Snapshot { relations }
+    }
+
+    /// Restore into a store over `vocab`.
+    pub fn restore(&self, vocab: Arc<Vocabulary>) -> Result<FactStore, StorageError> {
+        let mut store = FactStore::new(Arc::clone(&vocab));
+        for (name, rel) in &self.relations {
+            let pred = vocab.pred(name, rel.arity)?;
+            for tuple in &rel.tuples {
+                if tuple.len() != rel.arity {
+                    return Err(StorageError::Snapshot(format!(
+                        "tuple of arity {} in relation `{name}` of arity {}",
+                        tuple.len(),
+                        rel.arity
+                    )));
+                }
+                store.insert(pred, tuple.iter().map(|c| vocab.value(c)).collect())?;
+            }
+        }
+        Ok(store)
+    }
+
+    /// Encode as pretty JSON.
+    pub fn to_json(&self) -> Result<String, StorageError> {
+        serde_json::to_string_pretty(self).map_err(|e| StorageError::Snapshot(e.to_string()))
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(s: &str) -> Result<Self, StorageError> {
+        serde_json::from_str(s).map_err(|e| StorageError::Snapshot(e.to_string()))
+    }
+
+    /// Total number of tuples.
+    pub fn len(&self) -> usize {
+        self.relations.values().map(|r| r.tuples.len()).sum()
+    }
+
+    /// True if the snapshot holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrip_through_json() {
+        let s = FactStore::from_source(Vocabulary::new(), "p(a). p(b). q(a, 1). r.").unwrap();
+        let snap = Snapshot::of(&s);
+        assert_eq!(snap.len(), 4);
+        let json = snap.to_json().unwrap();
+        let snap2 = Snapshot::from_json(&json).unwrap();
+        assert_eq!(snap, snap2);
+        let restored = snap2.restore(Vocabulary::new()).unwrap();
+        assert_eq!(restored.sorted_display(), s.sorted_display());
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let v = Vocabulary::new();
+        let a = FactStore::from_source(Arc::clone(&v), "p(b). p(a).").unwrap();
+        let b = FactStore::from_source(Arc::clone(&v), "p(a). p(b).").unwrap();
+        assert_eq!(
+            Snapshot::of(&a).to_json().unwrap(),
+            Snapshot::of(&b).to_json().unwrap()
+        );
+    }
+
+    #[test]
+    fn corrupt_snapshot_rejected() {
+        assert!(Snapshot::from_json("{not json").is_err());
+        let mut snap = Snapshot::default();
+        snap.relations.insert(
+            "p".into(),
+            RelationSnapshot {
+                arity: 2,
+                tuples: vec![vec![Const::sym("a")]],
+            },
+        );
+        assert!(snap.restore(Vocabulary::new()).is_err());
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let snap = Snapshot::default();
+        assert!(snap.is_empty());
+        let restored = snap.restore(Vocabulary::new()).unwrap();
+        assert!(restored.is_empty());
+    }
+}

@@ -1,0 +1,353 @@
+//! The fact store: a database instance `D` as a set of ground atoms.
+//!
+//! A [`FactStore`] owns one [`Relation`] per predicate and shares a
+//! [`Vocabulary`] with everything else in a PARK session. It is the concrete
+//! representation of the paper's database instances, of the three zones of
+//! an i-interpretation, and of PARK's result states.
+
+use crate::error::StorageError;
+use crate::relation::{ColumnMask, Relation};
+use crate::value::Tuple;
+use crate::vocab::{PredId, Vocabulary};
+use park_syntax::{parse_facts, Atom, Fact};
+use std::fmt;
+use std::sync::Arc;
+
+/// A list of facts as `(predicate, tuple)` pairs.
+pub type FactList = Vec<(PredId, Tuple)>;
+
+/// A set of ground atoms, organized per predicate.
+#[derive(Debug, Clone)]
+pub struct FactStore {
+    vocab: Arc<Vocabulary>,
+    rels: Vec<Relation>,
+}
+
+impl FactStore {
+    /// An empty store over the given vocabulary.
+    pub fn new(vocab: Arc<Vocabulary>) -> Self {
+        FactStore {
+            vocab,
+            rels: Vec::new(),
+        }
+    }
+
+    /// Build a store from parsed facts, registering predicates as needed.
+    pub fn from_facts(vocab: Arc<Vocabulary>, facts: &[Fact]) -> Result<Self, StorageError> {
+        let mut store = FactStore::new(vocab);
+        for f in facts {
+            store.insert_atom(&f.atom)?;
+        }
+        Ok(store)
+    }
+
+    /// Parse a `.facts` source and build a store from it.
+    pub fn from_source(vocab: Arc<Vocabulary>, src: &str) -> Result<Self, StorageError> {
+        let facts = parse_facts(src).map_err(|e| StorageError::Snapshot(e.to_string()))?;
+        FactStore::from_facts(vocab, &facts)
+    }
+
+    /// The shared vocabulary.
+    pub fn vocab(&self) -> &Arc<Vocabulary> {
+        &self.vocab
+    }
+
+    fn rel_slot(&mut self, pred: PredId) -> &mut Relation {
+        let idx = pred.0 as usize;
+        if idx >= self.rels.len() {
+            // Newly-registered predicates get empty relations of the right
+            // arity lazily.
+            let vocab = Arc::clone(&self.vocab);
+            self.rels.extend((self.rels.len()..=idx).map(|i| {
+                let arity = if i < vocab.pred_count() {
+                    vocab.pred_arity(PredId(i as u32))
+                } else {
+                    0
+                };
+                Relation::new(arity)
+            }));
+        }
+        &mut self.rels[idx]
+    }
+
+    /// The relation for `pred`, if any tuples or indexes were created for it.
+    pub fn relation(&self, pred: PredId) -> Option<&Relation> {
+        self.rels.get(pred.0 as usize)
+    }
+
+    /// Insert a tuple; returns `true` if new. Checks arity.
+    pub fn insert(&mut self, pred: PredId, tuple: Tuple) -> Result<bool, StorageError> {
+        let expected = self.vocab.pred_arity(pred);
+        if tuple.arity() != expected {
+            return Err(StorageError::TupleArity {
+                pred: self.vocab.pred_name(pred).to_string(),
+                expected,
+                got: tuple.arity(),
+            });
+        }
+        Ok(self.rel_slot(pred).insert(tuple))
+    }
+
+    /// Insert a ground AST atom.
+    pub fn insert_atom(&mut self, atom: &Atom) -> Result<bool, StorageError> {
+        let (pred, tuple) = self.vocab.ground_atom(atom)?;
+        self.insert(pred, tuple)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, pred: PredId, tuple: &Tuple) -> bool {
+        self.relation(pred).is_some_and(|r| r.contains(tuple))
+    }
+
+    /// Membership test for an AST atom (false for unknown predicates).
+    pub fn contains_atom(&self, atom: &Atom) -> bool {
+        let Some(pred) = self.vocab.lookup_pred(&atom.pred) else {
+            return false;
+        };
+        match self.vocab.ground_atom(atom) {
+            Ok((p, t)) => p == pred && self.contains(p, &t),
+            Err(_) => false,
+        }
+    }
+
+    /// Remove a tuple; returns `true` if it was present.
+    pub fn remove(&mut self, pred: PredId, tuple: &Tuple) -> bool {
+        match self.rels.get_mut(pred.0 as usize) {
+            Some(r) => r.remove(tuple),
+            None => false,
+        }
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.rels.iter().map(Relation::len).sum()
+    }
+
+    /// True if no facts are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rels.iter().all(Relation::is_empty)
+    }
+
+    /// Remove every fact (predicates stay registered).
+    pub fn clear(&mut self) {
+        for r in &mut self.rels {
+            r.clear();
+        }
+    }
+
+    /// Iterate over all `(pred, tuple)` pairs, predicate-major, in insertion
+    /// order within each predicate.
+    pub fn iter(&self) -> impl Iterator<Item = (PredId, &Tuple)> {
+        self.rels
+            .iter()
+            .enumerate()
+            .flat_map(|(i, r)| r.scan().iter().map(move |t| (PredId(i as u32), t)))
+    }
+
+    /// Predicates that currently have at least one tuple.
+    pub fn nonempty_preds(&self) -> impl Iterator<Item = PredId> + '_ {
+        self.rels
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(i, _)| PredId(i as u32))
+    }
+
+    /// Insert every fact of `other` (which must share this store's
+    /// vocabulary) into `self`.
+    pub fn absorb(&mut self, other: &FactStore) -> Result<(), StorageError> {
+        debug_assert!(
+            Arc::ptr_eq(&self.vocab, &other.vocab),
+            "vocabulary mismatch"
+        );
+        for (p, t) in other.iter() {
+            self.insert(p, t.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Set equality of facts (ignores insertion order and indexes).
+    pub fn same_facts(&self, other: &FactStore) -> bool {
+        self.len() == other.len() && self.iter().all(|(p, t)| other.contains(p, t))
+    }
+
+    /// The set difference from `self` to `other` (both over the same
+    /// vocabulary): `(added, removed)` where `added = other − self` and
+    /// `removed = self − other`, each sorted by rendered fact.
+    pub fn diff(&self, other: &FactStore) -> (FactList, FactList) {
+        debug_assert!(
+            Arc::ptr_eq(&self.vocab, &other.vocab),
+            "vocabulary mismatch"
+        );
+        let collect = |from: &FactStore, not_in: &FactStore| {
+            let mut v: Vec<(PredId, Tuple)> = from
+                .iter()
+                .filter(|(p, t)| !not_in.contains(*p, t))
+                .map(|(p, t)| (p, t.clone()))
+                .collect();
+            v.sort_by_key(|(p, t)| self.vocab.display_fact(*p, t));
+            v
+        };
+        (collect(other, self), collect(self, other))
+    }
+
+    /// Ensure an index on `pred` for the bound-column `mask`.
+    pub fn ensure_index(&mut self, pred: PredId, mask: ColumnMask) {
+        self.rel_slot(pred).ensure_index(mask);
+    }
+
+    /// All facts rendered as text, sorted — the canonical form used in tests
+    /// and traces.
+    pub fn sorted_display(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .iter()
+            .map(|(p, t)| self.vocab.display_fact(p, t))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Serialize to `.facts` source text (one fact per line, sorted).
+    pub fn to_source(&self) -> String {
+        let mut s = String::new();
+        for fact in self.sorted_display() {
+            s.push_str(&fact);
+            s.push_str(".\n");
+        }
+        s
+    }
+}
+
+impl fmt::Display for FactStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, fact) in self.sorted_display().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fact}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn store(src: &str) -> FactStore {
+        FactStore::from_source(Vocabulary::new(), src).unwrap()
+    }
+
+    #[test]
+    fn build_from_source_and_display() {
+        let s = store("p(b). p(a). q(a, 1).");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.sorted_display(), vec!["p(a)", "p(b)", "q(a, 1)"]);
+        assert_eq!(s.to_string(), "{p(a), p(b), q(a, 1)}");
+    }
+
+    #[test]
+    fn insert_and_contains_atoms() {
+        let mut s = store("p(a).");
+        assert!(s.contains_atom(&park_syntax::parse_ground_atom("p(a)").unwrap()));
+        assert!(!s.contains_atom(&park_syntax::parse_ground_atom("p(b)").unwrap()));
+        assert!(!s.contains_atom(&park_syntax::parse_ground_atom("zzz(b)").unwrap()));
+        assert!(s
+            .insert_atom(&park_syntax::parse_ground_atom("p(b)").unwrap())
+            .unwrap());
+        assert!(!s
+            .insert_atom(&park_syntax::parse_ground_atom("p(b)").unwrap())
+            .unwrap());
+    }
+
+    #[test]
+    fn arity_is_enforced_on_insert() {
+        let v = Vocabulary::new();
+        let mut s = FactStore::new(Arc::clone(&v));
+        let p = v.pred("p", 2).unwrap();
+        let e = s.insert(p, Tuple::new(vec![Value::Int(1)])).unwrap_err();
+        assert!(matches!(e, StorageError::TupleArity { .. }));
+    }
+
+    #[test]
+    fn remove_and_len() {
+        let v = Vocabulary::new();
+        let mut s = store("p(a). p(b).");
+        let _ = v; // vocab of `s` differs; use its own.
+        let p = s.vocab().lookup_pred("p").unwrap();
+        let a = s.vocab().sym("a");
+        assert!(s.remove(p, &Tuple::new(vec![Value::Sym(a)])));
+        assert_eq!(s.len(), 1);
+        assert!(!s.remove(p, &Tuple::new(vec![Value::Sym(a)])));
+    }
+
+    #[test]
+    fn same_facts_ignores_order() {
+        let v = Vocabulary::new();
+        let a = FactStore::from_source(Arc::clone(&v), "p(a). p(b).").unwrap();
+        let b = FactStore::from_source(Arc::clone(&v), "p(b). p(a).").unwrap();
+        assert!(a.same_facts(&b));
+        let c = FactStore::from_source(Arc::clone(&v), "p(a).").unwrap();
+        assert!(!a.same_facts(&c));
+        assert!(!c.same_facts(&a));
+    }
+
+    #[test]
+    fn absorb_unions_stores() {
+        let v = Vocabulary::new();
+        let mut a = FactStore::from_source(Arc::clone(&v), "p(a).").unwrap();
+        let b = FactStore::from_source(Arc::clone(&v), "p(b). q(1).").unwrap();
+        a.absorb(&b).unwrap();
+        assert_eq!(a.sorted_display(), vec!["p(a)", "p(b)", "q(1)"]);
+    }
+
+    #[test]
+    fn diff_reports_added_and_removed() {
+        let v = Vocabulary::new();
+        let a = FactStore::from_source(Arc::clone(&v), "p(a). p(b). q(1).").unwrap();
+        let b = FactStore::from_source(Arc::clone(&v), "p(b). p(c). r(x).").unwrap();
+        let (added, removed) = a.diff(&b);
+        let show = |xs: &[(crate::vocab::PredId, Tuple)]| {
+            xs.iter()
+                .map(|(p, t)| v.display_fact(*p, t))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(show(&added), vec!["p(c)", "r(x)"]);
+        assert_eq!(show(&removed), vec!["p(a)", "q(1)"]);
+        let (added, removed) = a.diff(&a);
+        assert!(added.is_empty() && removed.is_empty());
+    }
+
+    #[test]
+    fn to_source_roundtrips() {
+        let s = store("p(a). q(a, 1). r.");
+        let v2 = Vocabulary::new();
+        let s2 = FactStore::from_source(v2, &s.to_source()).unwrap();
+        assert_eq!(s.sorted_display(), s2.sorted_display());
+    }
+
+    #[test]
+    fn iter_covers_all_predicates() {
+        let s = store("p(a). q(b). q(c).");
+        assert_eq!(s.iter().count(), 3);
+        assert_eq!(s.nonempty_preds().count(), 2);
+    }
+
+    #[test]
+    fn clear_keeps_vocabulary() {
+        let mut s = store("p(a).");
+        let preds_before = s.vocab().pred_count();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.vocab().pred_count(), preds_before);
+    }
+
+    #[test]
+    fn propositional_facts() {
+        let s = store("alarm. shutdown.");
+        assert_eq!(s.sorted_display(), vec!["alarm", "shutdown"]);
+        assert!(s.contains_atom(&Atom::prop("alarm")));
+    }
+}

@@ -1,0 +1,153 @@
+//! Transaction update sets (the `U` of Section 4.3).
+//!
+//! An [`UpdateSet`] is an ordered collection of signed ground atoms `+a` /
+//! `-a` that occurred during the user's transaction. The PARK engine models
+//! them as body-less rules (`-> ±a.`), forming the extended program `P_U`.
+
+use crate::error::StorageError;
+use crate::value::Tuple;
+use crate::vocab::{PredId, Vocabulary};
+use park_syntax::{parse_updates, Atom, Sign};
+use std::fmt;
+use std::sync::Arc;
+
+/// One transaction update: insert or delete one ground atom.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Update {
+    /// Insert or delete.
+    pub sign: Sign,
+    /// The predicate.
+    pub pred: PredId,
+    /// The argument tuple.
+    pub tuple: Tuple,
+}
+
+/// An ordered set of transaction updates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateSet {
+    items: Vec<Update>,
+}
+
+impl UpdateSet {
+    /// The empty update set (plain condition–action evaluation).
+    pub fn empty() -> Self {
+        UpdateSet::default()
+    }
+
+    /// Parse an update source like `+q(b). -p(a).` against a vocabulary.
+    pub fn from_source(vocab: &Arc<Vocabulary>, src: &str) -> Result<Self, StorageError> {
+        let parsed = parse_updates(src).map_err(|e| StorageError::Snapshot(e.to_string()))?;
+        let mut set = UpdateSet::empty();
+        for (sign, atom) in &parsed {
+            set.push_atom(vocab, *sign, atom)?;
+        }
+        Ok(set)
+    }
+
+    /// Append an update from an AST atom.
+    pub fn push_atom(
+        &mut self,
+        vocab: &Arc<Vocabulary>,
+        sign: Sign,
+        atom: &Atom,
+    ) -> Result<(), StorageError> {
+        let (pred, tuple) = vocab.ground_atom(atom)?;
+        self.items.push(Update { sign, pred, tuple });
+        Ok(())
+    }
+
+    /// Append an insertion.
+    pub fn insert(&mut self, pred: PredId, tuple: Tuple) {
+        self.items.push(Update {
+            sign: Sign::Insert,
+            pred,
+            tuple,
+        });
+    }
+
+    /// Append a deletion.
+    pub fn delete(&mut self, pred: PredId, tuple: Tuple) {
+        self.items.push(Update {
+            sign: Sign::Delete,
+            pred,
+            tuple,
+        });
+    }
+
+    /// The updates in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Update> {
+        self.items.iter()
+    }
+
+    /// Number of updates.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if there are no updates.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Render against a vocabulary, e.g. `+q(b). -p(a).`.
+    pub fn display(&self, vocab: &Vocabulary) -> String {
+        let mut s = String::new();
+        for (i, u) in self.items.iter().enumerate() {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push(u.sign.prefix());
+            s.push_str(&vocab.display_fact(u.pred, &u.tuple));
+            s.push('.');
+        }
+        s
+    }
+}
+
+impl fmt::Display for UpdateSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{} updates>", self.items.len())
+    }
+}
+
+impl IntoIterator for UpdateSet {
+    type Item = Update;
+    type IntoIter = std::vec::IntoIter<Update>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let v = Vocabulary::new();
+        let u = UpdateSet::from_source(&v, "+q(b). -p(a, 1).").unwrap();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.display(&v), "+q(b). -p(a, 1).");
+        let u2 = UpdateSet::from_source(&v, &u.display(&v)).unwrap();
+        assert_eq!(u, u2);
+    }
+
+    #[test]
+    fn programmatic_construction() {
+        let v = Vocabulary::new();
+        let q = v.pred("q", 1).unwrap();
+        let mut u = UpdateSet::empty();
+        assert!(u.is_empty());
+        u.insert(q, Tuple::new(vec![crate::value::Value::Sym(v.sym("b"))]));
+        u.delete(q, Tuple::new(vec![crate::value::Value::Sym(v.sym("c"))]));
+        assert_eq!(u.len(), 2);
+        let signs: Vec<Sign> = u.iter().map(|x| x.sign).collect();
+        assert_eq!(signs, vec![Sign::Insert, Sign::Delete]);
+    }
+
+    #[test]
+    fn bad_source_is_rejected() {
+        let v = Vocabulary::new();
+        assert!(UpdateSet::from_source(&v, "q(b).").is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Compact runtime values and tuples.
+//!
+//! The engine never manipulates strings on its hot paths: constant symbols
+//! are interned to [`SymId`]s by the [`crate::vocab::Vocabulary`], so a
+//! [`Value`] is a 16-byte `Copy` type and a [`Tuple`] is a boxed slice of
+//! them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An interned constant symbol. Only meaningful relative to the
+/// [`crate::vocab::Vocabulary`] that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SymId(pub u32);
+
+/// A runtime constant: an interned symbol or an integer.
+///
+/// Ordering sorts all symbols before all integers, and within each class by
+/// id / numeric value; the [`crate::store::FactStore`] uses vocabulary-aware
+/// ordering for display instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// An interned symbol.
+    Sym(SymId),
+    /// A 64-bit integer.
+    Int(i64),
+}
+
+impl Value {
+    /// The symbol id, if this is a symbol.
+    pub fn as_sym(self) -> Option<SymId> {
+        match self {
+            Value::Sym(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// The integer, if this is an integer.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Sym(_) => None,
+            Value::Int(i) => Some(i),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<SymId> for Value {
+    fn from(s: SymId) -> Self {
+        Value::Sym(s)
+    }
+}
+
+/// A ground tuple: the argument vector of a ground atom.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: impl Into<Box<[Value]>>) -> Self {
+        Tuple(values.into())
+    }
+
+    /// The empty tuple (for propositional atoms).
+    pub fn empty() -> Self {
+        Tuple(Box::from([]))
+    }
+
+    /// The tuple's arity.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// The value at position `i`.
+    pub fn get(&self, i: usize) -> Value {
+        self.0[i]
+    }
+}
+
+impl std::ops::Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Tuple {
+    /// Debug-ish rendering without a vocabulary: symbols print as `#id`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match v {
+                Value::Sym(SymId(id)) => write!(f, "#{id}")?,
+                Value::Int(n) => write!(f, "{n}")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_is_small_and_copy() {
+        assert!(std::mem::size_of::<Value>() <= 16);
+        let v = Value::Int(3);
+        let w = v; // Copy
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn tuple_basics() {
+        let t = Tuple::new(vec![Value::Int(1), Value::Sym(SymId(0))]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t[0], Value::Int(1));
+        assert_eq!(t.get(1), Value::Sym(SymId(0)));
+        assert_eq!(Tuple::empty().arity(), 0);
+    }
+
+    #[test]
+    fn tuple_equality_and_hash() {
+        use std::collections::HashSet;
+        let a = Tuple::new(vec![Value::Int(1)]);
+        let b: Tuple = [Value::Int(1)].into_iter().collect();
+        let mut s = HashSet::new();
+        s.insert(a.clone());
+        assert!(s.contains(&b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Int(5).as_sym(), None);
+        assert_eq!(Value::Sym(SymId(2)).as_sym(), Some(SymId(2)));
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from(SymId(1)), Value::Sym(SymId(1)));
+    }
+
+    #[test]
+    fn display_without_vocab() {
+        let t = Tuple::new(vec![Value::Sym(SymId(3)), Value::Int(-2)]);
+        assert_eq!(t.to_string(), "(#3, -2)");
+    }
+}

@@ -1,0 +1,265 @@
+//! The vocabulary: interned constant symbols and the predicate catalog.
+//!
+//! A [`Vocabulary`] is shared (via `Arc`) between the fact stores, the
+//! compiled program, and the engine, so that a [`SymId`] or [`PredId`] means
+//! the same thing everywhere. Interning uses interior mutability
+//! (`parking_lot::RwLock`) so read-mostly paths stay cheap.
+
+use crate::error::StorageError;
+use crate::value::{SymId, Tuple, Value};
+use park_syntax::{Atom, Const, Term};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned predicate symbol (name + fixed arity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredId(pub u32);
+
+#[derive(Debug, Default)]
+struct Symbols {
+    names: Vec<Arc<str>>,
+    by_name: HashMap<Arc<str>, SymId>,
+}
+
+#[derive(Debug, Clone)]
+struct PredInfo {
+    name: Arc<str>,
+    arity: usize,
+}
+
+#[derive(Debug, Default)]
+struct Catalog {
+    preds: Vec<PredInfo>,
+    by_name: HashMap<Arc<str>, PredId>,
+}
+
+/// Interned symbols and predicates. Cheap to share as `Arc<Vocabulary>`.
+#[derive(Debug, Default)]
+pub struct Vocabulary {
+    symbols: RwLock<Symbols>,
+    catalog: RwLock<Catalog>,
+}
+
+impl Vocabulary {
+    /// A fresh, empty vocabulary.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Vocabulary::default())
+    }
+
+    /// Intern a constant symbol.
+    pub fn sym(&self, name: &str) -> SymId {
+        if let Some(&id) = self.symbols.read().by_name.get(name) {
+            return id;
+        }
+        let mut w = self.symbols.write();
+        if let Some(&id) = w.by_name.get(name) {
+            return id;
+        }
+        let id = SymId(u32::try_from(w.names.len()).expect("symbol table overflow"));
+        let name: Arc<str> = Arc::from(name);
+        w.names.push(Arc::clone(&name));
+        w.by_name.insert(name, id);
+        id
+    }
+
+    /// The textual name of an interned symbol.
+    pub fn sym_name(&self, id: SymId) -> Arc<str> {
+        Arc::clone(&self.symbols.read().names[id.0 as usize])
+    }
+
+    /// Intern a predicate with the given arity.
+    ///
+    /// Fails with [`StorageError::ArityMismatch`] if the predicate was
+    /// registered before with a different arity — the paper assumes a single
+    /// Herbrand base, so a predicate has one arity.
+    pub fn pred(&self, name: &str, arity: usize) -> Result<PredId, StorageError> {
+        if let Some(&id) = self.catalog.read().by_name.get(name) {
+            let existing = self.catalog.read().preds[id.0 as usize].arity;
+            if existing != arity {
+                return Err(StorageError::ArityMismatch {
+                    pred: name.to_string(),
+                    expected: existing,
+                    got: arity,
+                });
+            }
+            return Ok(id);
+        }
+        let mut w = self.catalog.write();
+        if let Some(&id) = w.by_name.get(name) {
+            let existing = w.preds[id.0 as usize].arity;
+            if existing != arity {
+                return Err(StorageError::ArityMismatch {
+                    pred: name.to_string(),
+                    expected: existing,
+                    got: arity,
+                });
+            }
+            return Ok(id);
+        }
+        let id = PredId(u32::try_from(w.preds.len()).expect("predicate table overflow"));
+        let name: Arc<str> = Arc::from(name);
+        w.preds.push(PredInfo {
+            name: Arc::clone(&name),
+            arity,
+        });
+        w.by_name.insert(name, id);
+        Ok(id)
+    }
+
+    /// Look up a predicate without registering it.
+    pub fn lookup_pred(&self, name: &str) -> Option<PredId> {
+        self.catalog.read().by_name.get(name).copied()
+    }
+
+    /// The name of a predicate.
+    pub fn pred_name(&self, id: PredId) -> Arc<str> {
+        Arc::clone(&self.catalog.read().preds[id.0 as usize].name)
+    }
+
+    /// The arity of a predicate.
+    pub fn pred_arity(&self, id: PredId) -> usize {
+        self.catalog.read().preds[id.0 as usize].arity
+    }
+
+    /// Number of registered predicates.
+    pub fn pred_count(&self) -> usize {
+        self.catalog.read().preds.len()
+    }
+
+    /// Number of interned symbols.
+    pub fn sym_count(&self) -> usize {
+        self.symbols.read().names.len()
+    }
+
+    /// Convert an AST constant to a runtime value.
+    pub fn value(&self, c: &Const) -> Value {
+        match c {
+            Const::Sym(s) => Value::Sym(self.sym(s)),
+            Const::Int(i) => Value::Int(*i),
+        }
+    }
+
+    /// Convert a runtime value back to an AST constant.
+    pub fn constant(&self, v: Value) -> Const {
+        match v {
+            Value::Sym(id) => Const::Sym(self.sym_name(id).to_string()),
+            Value::Int(i) => Const::Int(i),
+        }
+    }
+
+    /// Convert a ground AST atom into a `(PredId, Tuple)` pair, registering
+    /// the predicate. Fails on arity mismatch or a non-ground atom.
+    pub fn ground_atom(&self, atom: &Atom) -> Result<(PredId, Tuple), StorageError> {
+        let pred = self.pred(&atom.pred, atom.arity())?;
+        let mut vals = Vec::with_capacity(atom.args.len());
+        for t in &atom.args {
+            match t {
+                Term::Const(c) => vals.push(self.value(c)),
+                Term::Var(v) => {
+                    return Err(StorageError::NonGround { var: v.clone() });
+                }
+            }
+        }
+        Ok((pred, Tuple::new(vals)))
+    }
+
+    /// Render a `(PredId, Tuple)` pair as a ground AST atom.
+    pub fn atom(&self, pred: PredId, tuple: &Tuple) -> Atom {
+        Atom::new(
+            self.pred_name(pred).to_string(),
+            tuple
+                .values()
+                .iter()
+                .map(|&v| Term::Const(self.constant(v)))
+                .collect(),
+        )
+    }
+
+    /// Render a `(PredId, Tuple)` pair as text, e.g. `p(a, 3)`.
+    pub fn display_fact(&self, pred: PredId, tuple: &Tuple) -> String {
+        self.atom(pred, tuple).to_string()
+    }
+}
+
+impl fmt::Display for Vocabulary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "vocabulary: {} predicates, {} symbols",
+            self.pred_count(),
+            self.sym_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use park_syntax::parse_ground_atom;
+
+    #[test]
+    fn symbols_intern_idempotently() {
+        let v = Vocabulary::new();
+        let a = v.sym("alice");
+        let b = v.sym("bob");
+        assert_ne!(a, b);
+        assert_eq!(v.sym("alice"), a);
+        assert_eq!(&*v.sym_name(a), "alice");
+        assert_eq!(v.sym_count(), 2);
+    }
+
+    #[test]
+    fn predicates_enforce_single_arity() {
+        let v = Vocabulary::new();
+        let p = v.pred("p", 2).unwrap();
+        assert_eq!(v.pred("p", 2).unwrap(), p);
+        let e = v.pred("p", 3).unwrap_err();
+        assert!(matches!(e, StorageError::ArityMismatch { .. }));
+        assert_eq!(v.pred_arity(p), 2);
+        assert_eq!(&*v.pred_name(p), "p");
+    }
+
+    #[test]
+    fn ground_atom_roundtrip() {
+        let v = Vocabulary::new();
+        let atom = parse_ground_atom(r#"p(a, 3, "x y")"#).unwrap();
+        let (pred, tuple) = v.ground_atom(&atom).unwrap();
+        assert_eq!(v.atom(pred, &tuple), atom);
+        assert_eq!(v.display_fact(pred, &tuple), "p(a, 3, \"x y\")");
+    }
+
+    #[test]
+    fn ground_atom_rejects_variables() {
+        let v = Vocabulary::new();
+        let atom = Atom::new("p", vec![Term::var("X")]);
+        assert!(matches!(
+            v.ground_atom(&atom),
+            Err(StorageError::NonGround { .. })
+        ));
+    }
+
+    #[test]
+    fn lookup_does_not_register() {
+        let v = Vocabulary::new();
+        assert!(v.lookup_pred("q").is_none());
+        v.pred("q", 1).unwrap();
+        assert!(v.lookup_pred("q").is_some());
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let v = Vocabulary::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..100 {
+                        v.sym(&format!("s{i}"));
+                    }
+                });
+            }
+        });
+        assert_eq!(v.sym_count(), 100);
+    }
+}

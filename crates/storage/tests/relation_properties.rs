@@ -1,0 +1,127 @@
+//! Property tests for the relation substrate: under arbitrary interleaved
+//! insert/remove/reindex sequences, indexed probes must agree with full
+//! scans, membership with contents, and windowed probes with position
+//! filtering.
+
+use park_storage::{ColumnMask, Relation, Tuple, Value};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, i64),
+    Remove(i64, i64),
+    EnsureIndex(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..5, 0i64..5).prop_map(|(a, b)| Op::Insert(a, b)),
+        (0i64..5, 0i64..5).prop_map(|(a, b)| Op::Remove(a, b)),
+        (0u8..3).prop_map(Op::EnsureIndex),
+    ]
+}
+
+fn t(a: i64, b: i64) -> Tuple {
+    Tuple::new(vec![Value::Int(a), Value::Int(b)])
+}
+
+fn mask_of(sel: u8) -> ColumnMask {
+    match sel {
+        0 => ColumnMask::from_cols([0]),
+        1 => ColumnMask::from_cols([1]),
+        _ => ColumnMask::from_cols([0, 1]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The relation behaves exactly like a model `HashSet` of tuples, and
+    /// every probe agrees with a brute-force filter of that model.
+    #[test]
+    fn relation_matches_set_model(ops in prop::collection::vec(arb_op(), 0..60)) {
+        let mut rel = Relation::new(2);
+        let mut model: HashSet<(i64, i64)> = HashSet::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(a, b) => {
+                    let fresh = rel.insert(t(a, b));
+                    prop_assert_eq!(fresh, model.insert((a, b)));
+                }
+                Op::Remove(a, b) => {
+                    let had = rel.remove(&t(a, b));
+                    prop_assert_eq!(had, model.remove(&(a, b)));
+                }
+                Op::EnsureIndex(sel) => rel.ensure_index(mask_of(sel)),
+            }
+            prop_assert_eq!(rel.len(), model.len());
+        }
+
+        // Scan contents equal the model.
+        let scanned: HashSet<(i64, i64)> = rel
+            .scan()
+            .iter()
+            .map(|tp| (tp[0].as_int().unwrap(), tp[1].as_int().unwrap()))
+            .collect();
+        prop_assert_eq!(&scanned, &model);
+
+        // Every point and prefix probe agrees with brute force, with and
+        // without indexes built.
+        for pass in 0..2 {
+            if pass == 1 {
+                for sel in 0..3u8 {
+                    rel.ensure_index(mask_of(sel));
+                }
+            }
+            for key0 in 0i64..5 {
+                let got: HashSet<(i64, i64)> = rel
+                    .probe(ColumnMask::from_cols([0]), &[Value::Int(key0)])
+                    .map(|tp| (tp[0].as_int().unwrap(), tp[1].as_int().unwrap()))
+                    .collect();
+                let want: HashSet<(i64, i64)> =
+                    model.iter().copied().filter(|&(a, _)| a == key0).collect();
+                prop_assert_eq!(got, want, "col-0 probe for {} (pass {})", key0, pass);
+
+                for key1 in 0i64..5 {
+                    let cnt = rel.probe_count(
+                        ColumnMask::from_cols([0, 1]),
+                        &[Value::Int(key0), Value::Int(key1)],
+                    );
+                    let want = usize::from(model.contains(&(key0, key1)));
+                    prop_assert_eq!(cnt, want, "point probe ({}, {})", key0, key1);
+                }
+            }
+        }
+    }
+
+    /// Windowed probes partition: old ∪ delta = full, disjointly, for any
+    /// split point — the invariant semi-naive evaluation rests on.
+    #[test]
+    fn windowed_probes_partition(
+        pairs in prop::collection::vec((0i64..6, 0i64..6), 0..40),
+        split_frac in 0.0f64..=1.0,
+    ) {
+        let mut rel = Relation::new(2);
+        for &(a, b) in &pairs {
+            rel.insert(t(a, b));
+        }
+        let m = ColumnMask::from_cols([0]);
+        rel.ensure_index(m);
+        let len = rel.len() as u32;
+        let split = (len as f64 * split_frac) as u32;
+        for key in 0i64..6 {
+            let k = [Value::Int(key)];
+            let old: Vec<Tuple> = rel.probe_in_range(m, &k, 0, split).cloned().collect();
+            let delta: Vec<Tuple> = rel.probe_in_range(m, &k, split, len).cloned().collect();
+            let full: Vec<Tuple> = rel.probe_in_range(m, &k, 0, len).cloned().collect();
+            let mut merged = old.clone();
+            merged.extend(delta.iter().cloned());
+            // Index order is insertion order in both windows, so simple
+            // concatenation must reproduce the full probe.
+            prop_assert_eq!(merged, full, "key {}", key);
+            let o: HashSet<&Tuple> = old.iter().collect();
+            prop_assert!(delta.iter().all(|tp| !o.contains(tp)), "windows overlap");
+        }
+    }
+}

@@ -1,0 +1,702 @@
+//! Abstract syntax for the PARK active-rule language.
+//!
+//! The language follows Section 2 of the paper. An *active rule* has the form
+//!
+//! ```text
+//! l1, l2, ..., ln -> ±l0.
+//! ```
+//!
+//! where each body literal `li` is a positive atom, a negated atom (negation
+//! as failure, written `!a` or `not a`), or — for full event–condition–action
+//! rules (Section 4.3) — an *event literal* `+a` / `-a` that is valid iff the
+//! corresponding marked atom occurs in the current i-interpretation. The head
+//! is a positive atom prefixed by `+` (insert) or `-` (delete).
+//!
+//! Terms are variables (identifiers starting with an uppercase letter or
+//! `_`) or constants (lowercase identifiers, quoted symbols, or integers).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A source location (1-based line and column), carried through parsing for
+/// error reporting. `Span::synthetic()` marks nodes built programmatically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Span {
+    /// 1-based line; 0 for synthetic nodes.
+    pub line: u32,
+    /// 1-based column; 0 for synthetic nodes.
+    pub col: u32,
+}
+
+impl Span {
+    /// Location for AST nodes constructed in code rather than parsed.
+    pub const fn synthetic() -> Self {
+        Span { line: 0, col: 0 }
+    }
+
+    /// True if this node was constructed programmatically.
+    pub fn is_synthetic(&self) -> bool {
+        self.line == 0
+    }
+}
+
+impl Default for Span {
+    fn default() -> Self {
+        Span::synthetic()
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_synthetic() {
+            write!(f, "<synthetic>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+/// A constant: an uninterpreted symbol or a 64-bit integer.
+///
+/// The paper's database instances are sets of ground atoms over constant
+/// symbols; integers are a convenience for workloads and examples.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Const {
+    /// An uninterpreted symbol such as `a`, `alice`, or `"Hello world"`.
+    Sym(String),
+    /// A 64-bit integer such as `42` or `-7`.
+    Int(i64),
+}
+
+impl Const {
+    /// Build a symbol constant.
+    pub fn sym(s: impl Into<String>) -> Self {
+        Const::Sym(s.into())
+    }
+
+    /// Build an integer constant.
+    pub fn int(i: i64) -> Self {
+        Const::Int(i)
+    }
+
+    /// True if the symbol can be printed bare (no quoting needed): a
+    /// lowercase letter followed by alphanumerics/underscores.
+    pub fn is_bare_symbol(s: &str) -> bool {
+        let mut chars = s.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_lowercase() => {}
+            _ => return false,
+        }
+        chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Sym(s) => {
+                if Const::is_bare_symbol(s) {
+                    write!(f, "{s}")
+                } else {
+                    write!(f, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+                }
+            }
+            Const::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// A term: a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// A variable, e.g. `X`, `Salary`, `_tmp`.
+    Var(String),
+    /// A constant.
+    Const(Const),
+}
+
+impl Term {
+    /// Build a variable term.
+    pub fn var(name: impl Into<String>) -> Self {
+        Term::Var(name.into())
+    }
+
+    /// Build a symbol-constant term.
+    pub fn sym(s: impl Into<String>) -> Self {
+        Term::Const(Const::sym(s))
+    }
+
+    /// Build an integer-constant term.
+    pub fn int(i: i64) -> Self {
+        Term::Const(Const::int(i))
+    }
+
+    /// True if the term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant, if this is a constant.
+    pub fn as_const(&self) -> Option<&Const> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(c),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// An atom `p(t1, ..., tn)`. A zero-ary atom is written without parentheses.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Atom {
+    /// Predicate symbol.
+    pub pred: String,
+    /// Argument terms; empty for propositional atoms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom from a predicate name and argument terms.
+    pub fn new(pred: impl Into<String>, args: Vec<Term>) -> Self {
+        Atom {
+            pred: pred.into(),
+            args,
+        }
+    }
+
+    /// Build a propositional (zero-ary) atom.
+    pub fn prop(pred: impl Into<String>) -> Self {
+        Atom {
+            pred: pred.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// The arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// True if every argument is a constant.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| !t.is_var())
+    }
+
+    /// Iterate over the variable names occurring in the atom (with
+    /// duplicates, in argument order).
+    pub fn vars(&self) -> impl Iterator<Item = &str> {
+        self.args.iter().filter_map(|t| t.as_var())
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.pred)?;
+        if !self.args.is_empty() {
+            write!(f, "(")?;
+            for (i, a) in self.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// The polarity of an update action: insertion (`+`) or deletion (`-`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Sign {
+    /// `+a`: insert `a` into the database.
+    Insert,
+    /// `-a`: delete `a` from the database.
+    Delete,
+}
+
+impl Sign {
+    /// The textual prefix, `+` or `-`.
+    pub fn prefix(self) -> char {
+        match self {
+            Sign::Insert => '+',
+            Sign::Delete => '-',
+        }
+    }
+
+    /// The opposite polarity.
+    pub fn flip(self) -> Sign {
+        match self {
+            Sign::Insert => Sign::Delete,
+            Sign::Delete => Sign::Insert,
+        }
+    }
+}
+
+impl fmt::Display for Sign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.prefix())
+    }
+}
+
+/// A comparison operator for guard literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CompOp {
+    /// `=` — equality (any value kind).
+    Eq,
+    /// `!=` — inequality (any value kind).
+    Ne,
+    /// `<` — integers only.
+    Lt,
+    /// `<=` — integers only.
+    Le,
+    /// `>` — integers only.
+    Gt,
+    /// `>=` — integers only.
+    Ge,
+}
+
+impl CompOp {
+    /// The concrete-syntax spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CompOp::Eq => "=",
+            CompOp::Ne => "!=",
+            CompOp::Lt => "<",
+            CompOp::Le => "<=",
+            CompOp::Gt => ">",
+            CompOp::Ge => ">=",
+        }
+    }
+
+    /// Evaluate on ordered operands (callers map values to a common
+    /// ordering first); `Eq`/`Ne` short-circuit on raw equality.
+    pub fn eval_ordering(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CompOp::Eq, Equal)
+                | (CompOp::Ne, Less)
+                | (CompOp::Ne, Greater)
+                | (CompOp::Lt, Less)
+                | (CompOp::Le, Less)
+                | (CompOp::Le, Equal)
+                | (CompOp::Gt, Greater)
+                | (CompOp::Ge, Greater)
+                | (CompOp::Ge, Equal)
+        )
+    }
+}
+
+impl fmt::Display for CompOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A body literal of an active rule.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BodyLiteral {
+    /// A positive condition: valid iff `a ∈ I` or `+a ∈ I` (Section 4.2).
+    Pos(Atom),
+    /// A negated condition (negation as failure): valid iff `-a ∈ I` or
+    /// neither `a` nor `+a` is in `I` (Section 4.2).
+    Neg(Atom),
+    /// An insertion event `+a`: valid iff `+a ∈ I` (Section 4.3).
+    Event(Sign, Atom),
+    /// A comparison guard `t1 op t2` — an **extension** beyond the paper
+    /// (every rule system it cites has one). Guards are pure filters:
+    /// their variables must be bound by binding literals (an extra safety
+    /// condition), `=`/`!=` apply to any constants, the order comparisons
+    /// to integers only (false on symbols).
+    Compare(CompOp, Term, Term),
+}
+
+impl BodyLiteral {
+    /// Build a positive literal.
+    pub fn pos(atom: Atom) -> Self {
+        BodyLiteral::Pos(atom)
+    }
+
+    /// Build a negated literal.
+    pub fn neg(atom: Atom) -> Self {
+        BodyLiteral::Neg(atom)
+    }
+
+    /// Build an insertion-event literal `+a`.
+    pub fn ins(atom: Atom) -> Self {
+        BodyLiteral::Event(Sign::Insert, atom)
+    }
+
+    /// Build a deletion-event literal `-a`.
+    pub fn del(atom: Atom) -> Self {
+        BodyLiteral::Event(Sign::Delete, atom)
+    }
+
+    /// The underlying atom, for atom-shaped literals (`None` for guards).
+    pub fn atom(&self) -> Option<&Atom> {
+        match self {
+            BodyLiteral::Pos(a) | BodyLiteral::Neg(a) | BodyLiteral::Event(_, a) => Some(a),
+            BodyLiteral::Compare(..) => None,
+        }
+    }
+
+    /// Iterate over the variable names occurring in the literal.
+    pub fn vars(&self) -> Box<dyn Iterator<Item = &str> + '_> {
+        match self {
+            BodyLiteral::Pos(a) | BodyLiteral::Neg(a) | BodyLiteral::Event(_, a) => {
+                Box::new(a.vars())
+            }
+            BodyLiteral::Compare(_, l, r) => Box::new(l.as_var().into_iter().chain(r.as_var())),
+        }
+    }
+
+    /// True for literals that *bind* variables when matched extensionally:
+    /// positive literals (matched against `I° ∪ I⁺`) and event literals
+    /// (matched against `I⁺` / `I⁻`). Negated literals and guards only
+    /// test.
+    pub fn is_binding(&self) -> bool {
+        !matches!(self, BodyLiteral::Neg(_) | BodyLiteral::Compare(..))
+    }
+}
+
+impl fmt::Display for BodyLiteral {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BodyLiteral::Pos(a) => write!(f, "{a}"),
+            BodyLiteral::Neg(a) => write!(f, "!{a}"),
+            BodyLiteral::Event(s, a) => write!(f, "{s}{a}"),
+            BodyLiteral::Compare(op, l, r) => write!(f, "{l} {op} {r}"),
+        }
+    }
+}
+
+/// A rule head: a signed positive atom, `+a` or `-a`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Head {
+    /// Insert or delete.
+    pub sign: Sign,
+    /// The atom to insert or delete.
+    pub atom: Atom,
+}
+
+impl Head {
+    /// Build an insertion head `+a`.
+    pub fn insert(atom: Atom) -> Self {
+        Head {
+            sign: Sign::Insert,
+            atom,
+        }
+    }
+
+    /// Build a deletion head `-a`.
+    pub fn delete(atom: Atom) -> Self {
+        Head {
+            sign: Sign::Delete,
+            atom,
+        }
+    }
+}
+
+impl fmt::Display for Head {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.sign, self.atom)
+    }
+}
+
+/// An active rule `body -> head.` with optional metadata.
+///
+/// A rule with an empty body (`-> +a.`) fires unconditionally; the ECA
+/// construction `P_U` of Section 4.3 models transaction updates with such
+/// rules.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rule {
+    /// Optional rule label (`r1: body -> head.`), used by tracing and the
+    /// rule-priority policy.
+    pub name: Option<String>,
+    /// Priority for priority-based conflict resolution (`@priority(n)`).
+    /// Higher wins. Defaults to 0.
+    pub priority: i32,
+    /// Body literals; empty for unconditional rules.
+    pub body: Vec<BodyLiteral>,
+    /// The signed head.
+    pub head: Head,
+    /// Source location of the rule, if parsed.
+    pub span: Span,
+}
+
+impl Rule {
+    /// Build an anonymous, priority-0 rule.
+    pub fn new(body: Vec<BodyLiteral>, head: Head) -> Self {
+        Rule {
+            name: None,
+            priority: 0,
+            body,
+            head,
+            span: Span::synthetic(),
+        }
+    }
+
+    /// Attach a name to the rule (builder style).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Attach a priority to the rule (builder style).
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Iterate over all variable names in the rule (body then head, with
+    /// duplicates).
+    pub fn vars(&self) -> impl Iterator<Item = &str> {
+        self.body
+            .iter()
+            .flat_map(|l| l.vars())
+            .chain(self.head.atom.vars())
+    }
+
+    /// A human-readable identifier: the name if present, else `rule@line`.
+    pub fn display_name(&self) -> String {
+        match &self.name {
+            Some(n) => n.clone(),
+            None if self.span.is_synthetic() => "<anonymous>".to_string(),
+            None => format!("rule@{}", self.span),
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.priority != 0 {
+            write!(f, "@priority({}) ", self.priority)?;
+        }
+        if let Some(n) = &self.name {
+            write!(f, "{n}: ")?;
+        }
+        for (i, l) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        if !self.body.is_empty() {
+            write!(f, " ")?;
+        }
+        write!(f, "-> {}.", self.head)
+    }
+}
+
+/// A parsed ground fact (database tuple), e.g. `p(a, 3).`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fact {
+    /// The ground atom. Invariant (checked by the parser and
+    /// [`Fact::new`]): every argument is a constant.
+    pub atom: Atom,
+    /// Source location, if parsed.
+    pub span: Span,
+}
+
+impl Fact {
+    /// Build a fact, returning `None` if the atom is not ground.
+    pub fn new(atom: Atom) -> Option<Self> {
+        atom.is_ground().then_some(Fact {
+            atom,
+            span: Span::synthetic(),
+        })
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.", self.atom)
+    }
+}
+
+/// A set of active rules (the paper's program `P`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// The rules, in source order. Rule order carries no semantic weight in
+    /// PARK itself but is used by some baselines and policies.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Build a program from rules.
+    pub fn from_rules(rules: Vec<Rule>) -> Self {
+        Program { rules }
+    }
+
+    /// Number of rules (`size(P)` in the paper's complexity argument).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if the program has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Look up a rule by name.
+    pub fn rule_by_name(&self, name: &str) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.name.as_deref() == Some(name))
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of parsing a source file: rules and facts may be interleaved
+/// in the source; they are split here.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceFile {
+    /// The active rules.
+    pub program: Program,
+    /// The ground facts (a database instance fragment).
+    pub facts: Vec<Fact>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom_pxy() -> Atom {
+        Atom::new("p", vec![Term::var("X"), Term::var("Y")])
+    }
+
+    #[test]
+    fn const_display_quotes_non_bare_symbols() {
+        assert_eq!(Const::sym("abc").to_string(), "abc");
+        assert_eq!(Const::sym("a_b9").to_string(), "a_b9");
+        assert_eq!(Const::sym("Hello world").to_string(), "\"Hello world\"");
+        assert_eq!(Const::sym("x\"y").to_string(), "\"x\\\"y\"");
+        assert_eq!(Const::sym("").to_string(), "\"\"");
+        assert_eq!(Const::int(-3).to_string(), "-3");
+    }
+
+    #[test]
+    fn bare_symbol_classification() {
+        assert!(Const::is_bare_symbol("a"));
+        assert!(Const::is_bare_symbol("abc_1"));
+        assert!(!Const::is_bare_symbol("Abc"));
+        assert!(!Const::is_bare_symbol("_x"));
+        assert!(!Const::is_bare_symbol("1a"));
+        assert!(!Const::is_bare_symbol(""));
+        assert!(!Const::is_bare_symbol("a-b"));
+    }
+
+    #[test]
+    fn atom_display_propositional_and_compound() {
+        assert_eq!(Atom::prop("p").to_string(), "p");
+        assert_eq!(atom_pxy().to_string(), "p(X, Y)");
+        let ground = Atom::new("q", vec![Term::sym("a"), Term::int(7)]);
+        assert_eq!(ground.to_string(), "q(a, 7)");
+    }
+
+    #[test]
+    fn atom_groundness() {
+        assert!(Atom::prop("p").is_ground());
+        assert!(!atom_pxy().is_ground());
+        assert!(Atom::new("q", vec![Term::sym("a")]).is_ground());
+    }
+
+    #[test]
+    fn literal_display_and_binding() {
+        let a = Atom::new("p", vec![Term::var("X")]);
+        assert_eq!(BodyLiteral::pos(a.clone()).to_string(), "p(X)");
+        assert_eq!(BodyLiteral::neg(a.clone()).to_string(), "!p(X)");
+        assert_eq!(BodyLiteral::ins(a.clone()).to_string(), "+p(X)");
+        assert_eq!(BodyLiteral::del(a.clone()).to_string(), "-p(X)");
+        assert!(BodyLiteral::pos(a.clone()).is_binding());
+        assert!(BodyLiteral::ins(a.clone()).is_binding());
+        assert!(BodyLiteral::del(a.clone()).is_binding());
+        assert!(!BodyLiteral::neg(a).is_binding());
+    }
+
+    #[test]
+    fn rule_display_roundtrips_shape() {
+        let r = Rule::new(
+            vec![
+                BodyLiteral::pos(Atom::new("emp", vec![Term::var("X")])),
+                BodyLiteral::neg(Atom::new("active", vec![Term::var("X")])),
+            ],
+            Head::delete(Atom::new("payroll", vec![Term::var("X"), Term::var("S")])),
+        )
+        .named("r1")
+        .with_priority(2);
+        assert_eq!(
+            r.to_string(),
+            "@priority(2) r1: emp(X), !active(X) -> -payroll(X, S)."
+        );
+    }
+
+    #[test]
+    fn bodyless_rule_display() {
+        let r = Rule::new(vec![], Head::insert(Atom::new("q", vec![Term::sym("b")])));
+        assert_eq!(r.to_string(), "-> +q(b).");
+    }
+
+    #[test]
+    fn rule_vars_iterates_body_then_head() {
+        let r = Rule::new(
+            vec![BodyLiteral::pos(atom_pxy())],
+            Head::insert(Atom::new("q", vec![Term::var("Y"), Term::var("Z")])),
+        );
+        let vs: Vec<&str> = r.vars().collect();
+        assert_eq!(vs, vec!["X", "Y", "Y", "Z"]);
+    }
+
+    #[test]
+    fn fact_requires_ground_atom() {
+        assert!(Fact::new(Atom::new("p", vec![Term::sym("a")])).is_some());
+        assert!(Fact::new(atom_pxy()).is_none());
+    }
+
+    #[test]
+    fn sign_flip_and_prefix() {
+        assert_eq!(Sign::Insert.flip(), Sign::Delete);
+        assert_eq!(Sign::Delete.flip(), Sign::Insert);
+        assert_eq!(Sign::Insert.prefix(), '+');
+        assert_eq!(Sign::Delete.prefix(), '-');
+    }
+
+    #[test]
+    fn program_lookup_by_name() {
+        let p = Program::from_rules(vec![
+            Rule::new(vec![], Head::insert(Atom::prop("a"))).named("r1"),
+            Rule::new(vec![], Head::insert(Atom::prop("b"))).named("r2"),
+        ]);
+        assert_eq!(p.len(), 2);
+        assert!(p.rule_by_name("r2").is_some());
+        assert!(p.rule_by_name("r3").is_none());
+    }
+}

@@ -1,0 +1,239 @@
+//! Error types for lexing, parsing, and safety checking.
+
+use crate::ast::Span;
+use std::fmt;
+
+/// An error produced while lexing or parsing a `.park` source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the error occurred.
+    pub span: Span,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The category of a [`ParseError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// A character that cannot start any token.
+    UnexpectedChar(char),
+    /// A string literal with no closing quote.
+    UnterminatedString,
+    /// An integer literal that overflows `i64`.
+    IntegerOverflow(String),
+    /// The parser expected one thing and found another.
+    Expected {
+        /// What the grammar required at this point.
+        expected: String,
+        /// The token actually encountered.
+        found: String,
+    },
+    /// A fact (atom followed by `.`) contained a variable.
+    NonGroundFact {
+        /// The offending variable name.
+        var: String,
+    },
+    /// An unknown `@...` annotation.
+    UnknownAnnotation(String),
+    /// A malformed annotation argument.
+    BadAnnotationArg {
+        /// The annotation name.
+        annotation: String,
+        /// Why the argument was rejected.
+        detail: String,
+    },
+    /// A rule label was declared twice in one file.
+    DuplicateRuleName(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.span)?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            ParseErrorKind::UnterminatedString => write!(f, "unterminated string literal"),
+            ParseErrorKind::IntegerOverflow(s) => {
+                write!(f, "integer literal `{s}` does not fit in i64")
+            }
+            ParseErrorKind::Expected { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            ParseErrorKind::NonGroundFact { var } => {
+                write!(f, "facts must be ground, but variable `{var}` occurs")
+            }
+            ParseErrorKind::UnknownAnnotation(a) => write!(f, "unknown annotation `@{a}`"),
+            ParseErrorKind::BadAnnotationArg { annotation, detail } => {
+                write!(f, "bad argument for `@{annotation}`: {detail}")
+            }
+            ParseErrorKind::DuplicateRuleName(n) => {
+                write!(f, "rule name `{n}` is declared more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Render a compiler-style diagnostic pointing into `src`:
+///
+/// ```text
+/// error: expected `.`, found `->`
+///   |
+/// 3 | p(X) -> q(X).
+///   |      ^
+/// ```
+pub fn render_diagnostic(message: &str, span: Span, src: &str) -> String {
+    let mut out = format!("error: {message}\n");
+    if span.is_synthetic() {
+        return out;
+    }
+    let Some(line_text) = src.lines().nth(span.line as usize - 1) else {
+        return out;
+    };
+    let line_no = span.line.to_string();
+    let pad = " ".repeat(line_no.len());
+    out.push_str(&format!("{pad} |\n"));
+    out.push_str(&format!("{line_no} | {line_text}\n"));
+    let caret_pad: String = line_text
+        .chars()
+        .take(span.col.saturating_sub(1) as usize)
+        .map(|c| if c == '\t' { '\t' } else { ' ' })
+        .collect();
+    out.push_str(&format!("{pad} | {caret_pad}^\n"));
+    out
+}
+
+impl ParseError {
+    /// Caret diagnostic against the source this error came from.
+    pub fn render(&self, src: &str) -> String {
+        // Strip the leading location from Display (the caret shows it).
+        let msg = self.to_string();
+        let msg = msg.split_once(": ").map(|(_, m)| m).unwrap_or(&msg);
+        render_diagnostic(msg, self.span, src)
+    }
+}
+
+/// A violation of the paper's safety conditions (Section 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafetyError {
+    /// The offending rule, rendered.
+    pub rule: String,
+    /// Rule source location.
+    pub span: Span,
+    /// What was violated.
+    pub kind: SafetyErrorKind,
+}
+
+/// The category of a [`SafetyError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SafetyErrorKind {
+    /// Safety condition 1: a head variable does not occur in the body.
+    UnboundHeadVar(String),
+    /// Safety condition 2: a variable of a negated body literal does not
+    /// occur in any binding (positive or event) body literal.
+    UnboundNegatedVar(String),
+    /// Extension safety: a variable of a comparison guard does not occur
+    /// in any binding body literal.
+    UnboundGuardVar(String),
+    /// A predicate is used with two different arities.
+    ArityMismatch {
+        /// The predicate symbol.
+        pred: String,
+        /// The arity seen first.
+        first: usize,
+        /// The conflicting arity seen later.
+        second: usize,
+    },
+}
+
+impl fmt::Display for SafetyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: in rule `{}`: ", self.span, self.rule)?;
+        match &self.kind {
+            SafetyErrorKind::UnboundHeadVar(v) => write!(
+                f,
+                "head variable `{v}` does not occur in the rule body (safety condition 1)"
+            ),
+            SafetyErrorKind::UnboundNegatedVar(v) => write!(
+                f,
+                "variable `{v}` of a negated literal is not bound by a positive \
+                 or event literal (safety condition 2)"
+            ),
+            SafetyErrorKind::UnboundGuardVar(v) => write!(
+                f,
+                "variable `{v}` of a comparison guard is not bound by a positive \
+                 or event literal"
+            ),
+            SafetyErrorKind::ArityMismatch {
+                pred,
+                first,
+                second,
+            } => write!(
+                f,
+                "predicate `{pred}` used with arity {second} but previously with arity {first}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SafetyError {}
+
+impl SafetyError {
+    /// Caret diagnostic against the source this error came from.
+    pub fn render(&self, src: &str) -> String {
+        render_diagnostic(&self.to_string(), self.span, src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_display_mentions_location_and_cause() {
+        let e = ParseError {
+            span: Span { line: 3, col: 7 },
+            kind: ParseErrorKind::Expected {
+                expected: "`.`".into(),
+                found: "`->`".into(),
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("3:7"), "{s}");
+        assert!(s.contains("expected `.`"), "{s}");
+    }
+
+    #[test]
+    fn render_points_at_the_offending_column() {
+        let src = "p(a).\np(X) -> q(X).\n";
+        let e = crate::parser::parse_source(src).unwrap_err();
+        let rendered = e.render(src);
+        assert!(rendered.starts_with("error: "), "{rendered}");
+        assert!(rendered.contains("2 | p(X) -> q(X)."), "{rendered}");
+        let caret_line = rendered.lines().last().unwrap();
+        assert!(caret_line.trim_end().ends_with('^'), "{rendered}");
+    }
+
+    #[test]
+    fn render_handles_synthetic_spans() {
+        let e = ParseError {
+            span: Span::synthetic(),
+            kind: ParseErrorKind::UnterminatedString,
+        };
+        let rendered = e.render("whatever");
+        assert!(rendered.starts_with("error: "));
+        assert!(!rendered.contains('^'));
+    }
+
+    #[test]
+    fn safety_error_display_names_rule_and_var() {
+        let e = SafetyError {
+            rule: "p(X) -> +q(Y).".into(),
+            span: Span::synthetic(),
+            kind: SafetyErrorKind::UnboundHeadVar("Y".into()),
+        };
+        let s = e.to_string();
+        assert!(s.contains("`Y`"), "{s}");
+        assert!(s.contains("safety condition 1"), "{s}");
+    }
+}

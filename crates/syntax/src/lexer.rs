@@ -1,0 +1,488 @@
+//! Hand-written lexer for the `.park` rule language.
+//!
+//! Tokens: identifiers (lowercase-initial), variables (uppercase/underscore-
+//! initial), integers, quoted strings, and the punctuation used by rules.
+//! Comments run from `%` or `//` to end of line.
+
+use crate::ast::Span;
+use crate::error::{ParseError, ParseErrorKind};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Lowercase-initial identifier: predicate or constant symbol.
+    Ident(String),
+    /// Uppercase- or underscore-initial identifier: a variable.
+    Var(String),
+    /// An integer literal.
+    Int(i64),
+    /// A quoted string literal (a symbol constant).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `!`
+    Bang,
+    /// `@`
+    At,
+    /// `:`
+    Colon,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// A short human-readable rendering for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("identifier `{s}`"),
+            Token::Var(s) => format!("variable `{s}`"),
+            Token::Int(i) => format!("integer `{i}`"),
+            Token::Str(s) => format!("string {s:?}"),
+            Token::LParen => "`(`".into(),
+            Token::RParen => "`)`".into(),
+            Token::Comma => "`,`".into(),
+            Token::Dot => "`.`".into(),
+            Token::Arrow => "`->`".into(),
+            Token::Plus => "`+`".into(),
+            Token::Minus => "`-`".into(),
+            Token::Bang => "`!`".into(),
+            Token::At => "`@`".into(),
+            Token::Colon => "`:`".into(),
+            Token::Eq => "`=`".into(),
+            Token::Ne => "`!=`".into(),
+            Token::Lt => "`<`".into(),
+            Token::Le => "`<=`".into(),
+            Token::Gt => "`>`".into(),
+            Token::Ge => "`>=`".into(),
+            Token::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token together with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// Tokenize an entire source string.
+///
+/// The resulting vector always ends with a single [`Token::Eof`].
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn skip_line(&mut self) {
+        while let Some(c) = self.bump() {
+            if c == '\n' {
+                break;
+            }
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Spanned>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            // Skip whitespace and comments.
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                    continue;
+                }
+                Some('%') => {
+                    self.skip_line();
+                    continue;
+                }
+                Some('/') => {
+                    // Only `//` starts a comment; a lone `/` is an error.
+                    let span = self.span();
+                    self.bump();
+                    if self.peek() == Some('/') {
+                        self.skip_line();
+                        continue;
+                    }
+                    return Err(ParseError {
+                        span,
+                        kind: ParseErrorKind::UnexpectedChar('/'),
+                    });
+                }
+                _ => {}
+            }
+            let span = self.span();
+            let Some(c) = self.peek() else {
+                out.push(Spanned {
+                    token: Token::Eof,
+                    span,
+                });
+                return Ok(out);
+            };
+            let token = match c {
+                '(' => {
+                    self.bump();
+                    Token::LParen
+                }
+                ')' => {
+                    self.bump();
+                    Token::RParen
+                }
+                ',' => {
+                    self.bump();
+                    Token::Comma
+                }
+                '.' => {
+                    self.bump();
+                    Token::Dot
+                }
+                '+' => {
+                    self.bump();
+                    Token::Plus
+                }
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Token::Ne
+                    } else {
+                        Token::Bang
+                    }
+                }
+                '=' => {
+                    self.bump();
+                    Token::Eq
+                }
+                '<' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Token::Le
+                    } else {
+                        Token::Lt
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Token::Ge
+                    } else {
+                        Token::Gt
+                    }
+                }
+                '@' => {
+                    self.bump();
+                    Token::At
+                }
+                ':' => {
+                    self.bump();
+                    Token::Colon
+                }
+                '-' => {
+                    self.bump();
+                    if self.peek() == Some('>') {
+                        self.bump();
+                        Token::Arrow
+                    } else if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        // A negative integer literal.
+                        self.lex_int(span, true)?
+                    } else {
+                        Token::Minus
+                    }
+                }
+                '"' => self.lex_string(span)?,
+                c if c.is_ascii_digit() => self.lex_int(span, false)?,
+                c if c.is_alphabetic() || c == '_' => self.lex_word(),
+                other => {
+                    return Err(ParseError {
+                        span,
+                        kind: ParseErrorKind::UnexpectedChar(other),
+                    })
+                }
+            };
+            out.push(Spanned { token, span });
+        }
+    }
+
+    fn lex_word(&mut self) -> Token {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let first = s.chars().next().expect("word has at least one char");
+        if first.is_uppercase() || first == '_' {
+            Token::Var(s)
+        } else {
+            Token::Ident(s)
+        }
+    }
+
+    fn lex_int(&mut self, span: Span, negative: bool) -> Result<Token, ParseError> {
+        let mut digits = String::new();
+        if negative {
+            digits.push('-');
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                digits.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        digits
+            .parse::<i64>()
+            .map(Token::Int)
+            .map_err(|_| ParseError {
+                span,
+                kind: ParseErrorKind::IntegerOverflow(digits),
+            })
+    }
+
+    fn lex_string(&mut self, span: Span) -> Result<Token, ParseError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => {
+                    return Err(ParseError {
+                        span,
+                        kind: ParseErrorKind::UnterminatedString,
+                    })
+                }
+                Some('"') => return Ok(Token::Str(s)),
+                Some('\\') => match self.bump() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some(other) => {
+                        s.push('\\');
+                        s.push(other);
+                    }
+                    None => {
+                        return Err(ParseError {
+                            span,
+                            kind: ParseErrorKind::UnterminatedString,
+                        })
+                    }
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_simple_rule() {
+        assert_eq!(
+            toks("p(X) -> +q(X)."),
+            vec![
+                Token::Ident("p".into()),
+                Token::LParen,
+                Token::Var("X".into()),
+                Token::RParen,
+                Token::Arrow,
+                Token::Plus,
+                Token::Ident("q".into()),
+                Token::LParen,
+                Token::Var("X".into()),
+                Token::RParen,
+                Token::Dot,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_vs_arrow_vs_negative_int() {
+        assert_eq!(
+            toks("- -> -3"),
+            vec![Token::Minus, Token::Arrow, Token::Int(-3), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("p. % trailing\n// whole line\nq."),
+            vec![
+                Token::Ident("p".into()),
+                Token::Dot,
+                Token::Ident("q".into()),
+                Token::Dot,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lone_slash_is_an_error() {
+        let e = tokenize("p / q").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::UnexpectedChar('/'));
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        assert_eq!(
+            toks(r#""hi \"there\"\n""#),
+            vec![Token::Str("hi \"there\"\n".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_reports_start() {
+        let e = tokenize("  \"abc").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::UnterminatedString);
+        assert_eq!(e.span, Span { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn variables_start_upper_or_underscore() {
+        assert_eq!(
+            toks("X _y zed"),
+            vec![
+                Token::Var("X".into()),
+                Token::Var("_y".into()),
+                Token::Ident("zed".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("X < Y <= 3 > Z >= 0 = a != b"),
+            vec![
+                Token::Var("X".into()),
+                Token::Lt,
+                Token::Var("Y".into()),
+                Token::Le,
+                Token::Int(3),
+                Token::Gt,
+                Token::Var("Z".into()),
+                Token::Ge,
+                Token::Int(0),
+                Token::Eq,
+                Token::Ident("a".into()),
+                Token::Ne,
+                Token::Ident("b".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn bang_vs_not_equals() {
+        assert_eq!(
+            toks("!p X != Y"),
+            vec![
+                Token::Bang,
+                Token::Ident("p".into()),
+                Token::Var("X".into()),
+                Token::Ne,
+                Token::Var("Y".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let ts = tokenize("p.\n  q.").unwrap();
+        assert_eq!(ts[0].span, Span { line: 1, col: 1 });
+        assert_eq!(ts[2].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn integer_overflow_is_reported() {
+        let e = tokenize("99999999999999999999").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::IntegerOverflow(_)));
+    }
+
+    #[test]
+    fn unexpected_char() {
+        let e = tokenize("p ~ q").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::UnexpectedChar('~'));
+    }
+}

@@ -1,0 +1,44 @@
+//! # park-syntax
+//!
+//! The rule language of the PARK active-rule system (*The PARK Semantics for
+//! Active Rules*, Gottlob, Moerkotte, Subrahmanian; EDBT 1996).
+//!
+//! This crate defines the abstract syntax of condition–action and full
+//! event–condition–action rules (Section 2 and Section 4.3 of the paper), a
+//! concrete textual syntax with a lexer and parser, a pretty-printer
+//! (the `Display` impls), and the paper's safety conditions.
+//!
+//! ## Concrete syntax at a glance
+//!
+//! ```text
+//! % The Section 2 motivating rule: drop payroll records of inactive staff.
+//! r1: emp(X), !active(X), payroll(X, Salary) -> -payroll(X, Salary).
+//!
+//! % Event literals (Section 4.3) trigger on updates:
+//! r3: +r(X) -> -s(X).
+//!
+//! % Facts form a database instance:
+//! emp(alice). payroll(alice, 50000).
+//! ```
+//!
+//! Parse entire files with [`parse_source`], programs with [`parse_program`],
+//! databases with [`parse_facts`], and single rules with [`parse_rule`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod safety;
+
+pub use ast::{
+    Atom, BodyLiteral, CompOp, Const, Fact, Head, Program, Rule, Sign, SourceFile, Span, Term,
+};
+pub use error::{ParseError, ParseErrorKind, SafetyError, SafetyErrorKind};
+pub use parser::{
+    parse_facts, parse_ground_atom, parse_program, parse_query, parse_rule, parse_source,
+    parse_updates,
+};
+pub use safety::{check_program, check_rule};

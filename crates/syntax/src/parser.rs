@@ -1,0 +1,775 @@
+//! Recursive-descent parser for the `.park` rule language.
+//!
+//! Grammar (comments run from `%` or `//` to end of line):
+//!
+//! ```text
+//! source     := item* EOF
+//! item       := annotation* labeled
+//! annotation := '@' IDENT '(' (INT | IDENT) ')'
+//! labeled    := (IDENT ':')? clause
+//! clause     := atom '.'                      -- a ground fact
+//!             | body? '->' ('+'|'-') atom '.' -- an active rule
+//! body       := literal (',' literal)*
+//! literal    := '!' atom | 'not' atom | '+' atom | '-' atom | atom
+//! atom       := IDENT ('(' term (',' term)* ')')?
+//! term       := VAR | IDENT | INT | STRING
+//! ```
+//!
+//! Facts must be ground; annotations and labels are only meaningful on
+//! rules. Rules with an empty body (`-> +q(b).`) encode unconditional
+//! updates, as used by the Section 4.3 `P_U` construction.
+
+use crate::ast::{
+    Atom, BodyLiteral, CompOp, Const, Fact, Head, Program, Rule, Sign, SourceFile, Term,
+};
+use crate::error::{ParseError, ParseErrorKind};
+use crate::lexer::{tokenize, Spanned, Token};
+use std::collections::HashSet;
+
+/// Parse a complete source file (rules and facts, interleaved).
+pub fn parse_source(src: &str) -> Result<SourceFile, ParseError> {
+    Parser::new(src)?.source()
+}
+
+/// Parse a source expected to contain only rules.
+///
+/// Facts in the input are rejected with an [`ParseErrorKind::Expected`]
+/// error, which keeps program files and data files honest.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let file = parse_source(src)?;
+    if let Some(f) = file.facts.first() {
+        return Err(ParseError {
+            span: f.span,
+            kind: ParseErrorKind::Expected {
+                expected: "a rule".into(),
+                found: format!("fact `{f}`"),
+            },
+        });
+    }
+    Ok(file.program)
+}
+
+/// Parse a source expected to contain only ground facts (a database file).
+pub fn parse_facts(src: &str) -> Result<Vec<Fact>, ParseError> {
+    let file = parse_source(src)?;
+    if let Some(r) = file.program.rules.first() {
+        return Err(ParseError {
+            span: r.span,
+            kind: ParseErrorKind::Expected {
+                expected: "a fact".into(),
+                found: format!("rule `{r}`"),
+            },
+        });
+    }
+    Ok(file.facts)
+}
+
+/// Parse a single rule, e.g. `"p(X), !q(X) -> +r(X)."`.
+pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
+    let program = parse_program(src)?;
+    match <[Rule; 1]>::try_from(program.rules) {
+        Ok([rule]) => Ok(rule),
+        Err(rules) => Err(ParseError {
+            span: rules.first().map(|r| r.span).unwrap_or_default(),
+            kind: ParseErrorKind::Expected {
+                expected: "exactly one rule".into(),
+                found: format!("{} rules", rules.len()),
+            },
+        }),
+    }
+}
+
+/// Parse a transaction-update file: a sequence of signed ground atoms such
+/// as `+q(b). -p(a, 1).` (Section 4.3's update set `U`).
+pub fn parse_updates(src: &str) -> Result<Vec<(Sign, Atom)>, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut out = Vec::new();
+    while *p.peek() != Token::Eof {
+        let span = p.span();
+        let sign = match p.bump() {
+            Token::Plus => Sign::Insert,
+            Token::Minus => Sign::Delete,
+            other => {
+                return Err(ParseError {
+                    span,
+                    kind: ParseErrorKind::Expected {
+                        expected: "`+` or `-` starting an update".into(),
+                        found: other.describe(),
+                    },
+                })
+            }
+        };
+        let atom = p.atom()?;
+        if let Some(v) = atom.vars().next() {
+            return Err(ParseError {
+                span,
+                kind: ParseErrorKind::NonGroundFact { var: v.to_string() },
+            });
+        }
+        p.expect(Token::Dot, "`.`")?;
+        out.push((sign, atom));
+    }
+    Ok(out)
+}
+
+/// Parse a conjunctive query: a rule body on its own, with an optional
+/// `?-` prefix and optional trailing dot — e.g.
+/// `"?- emp(X), !active(X), S > 100."` or `"emp(X), payroll(X, S)"`.
+///
+/// The same safety discipline as rule bodies applies (checked by the
+/// engine): negated literals and guards must have their variables bound by
+/// binding literals.
+pub fn parse_query(src: &str) -> Result<Vec<BodyLiteral>, ParseError> {
+    // The optional `?-` prefix is not part of the token alphabet (`?`
+    // would be a lex error), so strip it textually before tokenizing.
+    let src = src.trim_start().strip_prefix("?-").unwrap_or(src);
+    let mut p = Parser::new(src)?;
+    let mut body = vec![p.literal()?];
+    while *p.peek() == Token::Comma {
+        p.bump();
+        body.push(p.literal()?);
+    }
+    if *p.peek() == Token::Dot {
+        p.bump();
+    }
+    p.expect_eof()?;
+    Ok(body)
+}
+
+/// Parse a single ground atom, e.g. `"p(a, 3)"` (no trailing dot).
+pub fn parse_ground_atom(src: &str) -> Result<Atom, ParseError> {
+    let mut p = Parser::new(src)?;
+    let atom = p.atom()?;
+    p.expect_eof()?;
+    if let Some(v) = atom.vars().next() {
+        return Err(ParseError {
+            span: Span::synthetic(),
+            kind: ParseErrorKind::NonGroundFact { var: v.to_string() },
+        });
+    }
+    Ok(atom)
+}
+
+use crate::ast::Span;
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+/// Parsed `@...` annotations awaiting attachment to a rule.
+#[derive(Default)]
+struct Annotations {
+    priority: Option<i32>,
+    name: Option<String>,
+}
+
+impl Annotations {
+    fn is_empty(&self) -> bool {
+        self.priority.is_none() && self.name.is_none()
+    }
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self, ParseError> {
+        Ok(Parser {
+            tokens: tokenize(src)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].token
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_expected(&self, expected: &str) -> ParseError {
+        ParseError {
+            span: self.span(),
+            kind: ParseErrorKind::Expected {
+                expected: expected.into(),
+                found: self.peek().describe(),
+            },
+        }
+    }
+
+    fn expect(&mut self, tok: Token, what: &str) -> Result<(), ParseError> {
+        if *self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err_expected(what))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if *self.peek() == Token::Eof {
+            Ok(())
+        } else {
+            Err(self.err_expected("end of input"))
+        }
+    }
+
+    fn source(&mut self) -> Result<SourceFile, ParseError> {
+        let mut file = SourceFile::default();
+        let mut names: HashSet<String> = HashSet::new();
+        while *self.peek() != Token::Eof {
+            self.item(&mut file, &mut names)?;
+        }
+        Ok(file)
+    }
+
+    fn item(
+        &mut self,
+        file: &mut SourceFile,
+        names: &mut HashSet<String>,
+    ) -> Result<(), ParseError> {
+        let ann_span = self.span();
+        let ann = self.annotations()?;
+
+        // Optional rule label: IDENT ':' (lookahead distinguishes it from an
+        // atom, which is IDENT followed by '(', ',', '.', or '->').
+        let mut label: Option<String> = None;
+        let label_span = self.span();
+        if matches!(self.peek(), Token::Ident(_)) && *self.peek2() == Token::Colon {
+            let Token::Ident(name) = self.bump() else {
+                unreachable!()
+            };
+            self.bump(); // ':'
+            label = Some(name);
+        }
+
+        let clause_span = self.span();
+        if *self.peek() == Token::Arrow
+            || *self.peek() == Token::Plus
+            || *self.peek() == Token::Minus
+            || *self.peek() == Token::Bang
+            || matches!(self.peek(), Token::Var(_) | Token::Int(_) | Token::Str(_))
+            || (matches!(self.peek(), Token::Ident(_)) && Self::comp_op_of(self.peek2()).is_some())
+            || self.at_not_keyword()
+        {
+            // Definitely a rule (body-less, or starting with a marked /
+            // negated / comparison literal).
+            let rule = self.rule_tail(Vec::new(), ann, label, clause_span, names, label_span)?;
+            file.program.rules.push(rule);
+            return Ok(());
+        }
+
+        // Starts with an atom: fact or rule, disambiguated by what follows.
+        let atom = self.atom()?;
+        if *self.peek() == Token::Dot {
+            self.bump();
+            if label.is_some() {
+                return Err(ParseError {
+                    span: label_span,
+                    kind: ParseErrorKind::Expected {
+                        expected: "a rule after a label".into(),
+                        found: format!("fact `{atom}.`"),
+                    },
+                });
+            }
+            if !ann.is_empty() {
+                return Err(ParseError {
+                    span: ann_span,
+                    kind: ParseErrorKind::Expected {
+                        expected: "a rule after annotations".into(),
+                        found: format!("fact `{atom}.`"),
+                    },
+                });
+            }
+            if let Some(v) = atom.vars().next() {
+                return Err(ParseError {
+                    span: clause_span,
+                    kind: ParseErrorKind::NonGroundFact { var: v.to_string() },
+                });
+            }
+            file.facts.push(Fact {
+                atom,
+                span: clause_span,
+            });
+            return Ok(());
+        }
+        let rule = self.rule_tail(
+            vec![BodyLiteral::Pos(atom)],
+            ann,
+            label,
+            clause_span,
+            names,
+            label_span,
+        )?;
+        file.program.rules.push(rule);
+        Ok(())
+    }
+
+    /// True if the current token is the `not` keyword introducing a negated
+    /// literal (i.e. followed by an identifier).
+    fn at_not_keyword(&self) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s == "not")
+            && matches!(self.peek2(), Token::Ident(_))
+    }
+
+    fn annotations(&mut self) -> Result<Annotations, ParseError> {
+        let mut ann = Annotations::default();
+        while *self.peek() == Token::At {
+            self.bump();
+            let span = self.span();
+            let Token::Ident(key) = self.bump() else {
+                return Err(ParseError {
+                    span,
+                    kind: ParseErrorKind::Expected {
+                        expected: "annotation name".into(),
+                        found: self.tokens[self.pos - 1].token.describe(),
+                    },
+                });
+            };
+            self.expect(Token::LParen, "`(`")?;
+            match key.as_str() {
+                "priority" => {
+                    let arg_span = self.span();
+                    match self.bump() {
+                        Token::Int(i) => {
+                            ann.priority = Some(i32::try_from(i).map_err(|_| ParseError {
+                                span: arg_span,
+                                kind: ParseErrorKind::BadAnnotationArg {
+                                    annotation: key.clone(),
+                                    detail: format!("priority {i} out of i32 range"),
+                                },
+                            })?)
+                        }
+                        other => {
+                            return Err(ParseError {
+                                span: arg_span,
+                                kind: ParseErrorKind::BadAnnotationArg {
+                                    annotation: key,
+                                    detail: format!("expected integer, found {}", other.describe()),
+                                },
+                            })
+                        }
+                    }
+                }
+                "name" => {
+                    let arg_span = self.span();
+                    match self.bump() {
+                        Token::Ident(n) => ann.name = Some(n),
+                        other => {
+                            return Err(ParseError {
+                                span: arg_span,
+                                kind: ParseErrorKind::BadAnnotationArg {
+                                    annotation: key,
+                                    detail: format!(
+                                        "expected identifier, found {}",
+                                        other.describe()
+                                    ),
+                                },
+                            })
+                        }
+                    }
+                }
+                other => {
+                    return Err(ParseError {
+                        span,
+                        kind: ParseErrorKind::UnknownAnnotation(other.to_string()),
+                    })
+                }
+            }
+            self.expect(Token::RParen, "`)`")?;
+        }
+        Ok(ann)
+    }
+
+    /// Parse the remainder of a rule whose first body literals (possibly
+    /// none) have already been consumed.
+    #[allow(clippy::too_many_arguments)]
+    fn rule_tail(
+        &mut self,
+        mut body: Vec<BodyLiteral>,
+        ann: Annotations,
+        label: Option<String>,
+        span: Span,
+        names: &mut HashSet<String>,
+        label_span: Span,
+    ) -> Result<Rule, ParseError> {
+        if !body.is_empty() {
+            while *self.peek() == Token::Comma {
+                self.bump();
+                body.push(self.literal()?);
+            }
+        } else if *self.peek() != Token::Arrow {
+            body.push(self.literal()?);
+            while *self.peek() == Token::Comma {
+                self.bump();
+                body.push(self.literal()?);
+            }
+        }
+        self.expect(Token::Arrow, "`->`")?;
+        let sign = match self.bump() {
+            Token::Plus => Sign::Insert,
+            Token::Minus => Sign::Delete,
+            _ => {
+                return Err(ParseError {
+                    span: self.tokens[self.pos - 1].span,
+                    kind: ParseErrorKind::Expected {
+                        expected: "`+` or `-` before the head atom".into(),
+                        found: self.tokens[self.pos - 1].token.describe(),
+                    },
+                })
+            }
+        };
+        let head_atom = self.atom()?;
+        self.expect(Token::Dot, "`.`")?;
+        let name = label.or(ann.name);
+        if let Some(n) = &name {
+            if !names.insert(n.clone()) {
+                return Err(ParseError {
+                    span: label_span,
+                    kind: ParseErrorKind::DuplicateRuleName(n.clone()),
+                });
+            }
+        }
+        Ok(Rule {
+            name,
+            priority: ann.priority.unwrap_or(0),
+            body,
+            head: Head {
+                sign,
+                atom: head_atom,
+            },
+            span,
+        })
+    }
+
+    fn comp_op_of(token: &Token) -> Option<CompOp> {
+        match token {
+            Token::Eq => Some(CompOp::Eq),
+            Token::Ne => Some(CompOp::Ne),
+            Token::Lt => Some(CompOp::Lt),
+            Token::Le => Some(CompOp::Le),
+            Token::Gt => Some(CompOp::Gt),
+            Token::Ge => Some(CompOp::Ge),
+            _ => None,
+        }
+    }
+
+    fn comparison(&mut self) -> Result<BodyLiteral, ParseError> {
+        let lhs = self.term()?;
+        let span = self.span();
+        let tok = self.bump();
+        let Some(op) = Self::comp_op_of(&tok) else {
+            return Err(ParseError {
+                span,
+                kind: ParseErrorKind::Expected {
+                    expected: "a comparison operator".into(),
+                    found: tok.describe(),
+                },
+            });
+        };
+        let rhs = self.term()?;
+        Ok(BodyLiteral::Compare(op, lhs, rhs))
+    }
+
+    fn literal(&mut self) -> Result<BodyLiteral, ParseError> {
+        match self.peek() {
+            Token::Bang => {
+                self.bump();
+                Ok(BodyLiteral::Neg(self.atom()?))
+            }
+            Token::Ident(s) if s == "not" && matches!(self.peek2(), Token::Ident(_)) => {
+                self.bump();
+                Ok(BodyLiteral::Neg(self.atom()?))
+            }
+            Token::Plus => {
+                self.bump();
+                Ok(BodyLiteral::Event(Sign::Insert, self.atom()?))
+            }
+            Token::Minus => {
+                self.bump();
+                Ok(BodyLiteral::Event(Sign::Delete, self.atom()?))
+            }
+            // A variable, integer, or string can only start a comparison
+            // guard; an identifier starts one iff a comparison operator
+            // follows (e.g. `a != X`).
+            Token::Var(_) | Token::Int(_) | Token::Str(_) => self.comparison(),
+            Token::Ident(_) if Self::comp_op_of(self.peek2()).is_some() => self.comparison(),
+            Token::Ident(_) => Ok(BodyLiteral::Pos(self.atom()?)),
+            _ => Err(self.err_expected("a body literal")),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let span = self.span();
+        let Token::Ident(pred) = self.bump() else {
+            return Err(ParseError {
+                span,
+                kind: ParseErrorKind::Expected {
+                    expected: "a predicate symbol".into(),
+                    found: self.tokens[self.pos - 1].token.describe(),
+                },
+            });
+        };
+        let mut args = Vec::new();
+        if *self.peek() == Token::LParen {
+            self.bump();
+            args.push(self.term()?);
+            while *self.peek() == Token::Comma {
+                self.bump();
+                args.push(self.term()?);
+            }
+            self.expect(Token::RParen, "`)` or `,`")?;
+        }
+        Ok(Atom { pred, args })
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        let span = self.span();
+        match self.bump() {
+            Token::Var(v) => Ok(Term::Var(v)),
+            Token::Ident(s) => Ok(Term::Const(Const::Sym(s))),
+            Token::Str(s) => Ok(Term::Const(Const::Sym(s))),
+            Token::Int(i) => Ok(Term::Const(Const::Int(i))),
+            other => Err(ParseError {
+                span,
+                kind: ParseErrorKind::Expected {
+                    expected: "a term (variable, symbol, or integer)".into(),
+                    found: other.describe(),
+                },
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example_rule() {
+        let r =
+            parse_rule("emp(X), !active(X), payroll(X, Salary) -> -payroll(X, Salary).").unwrap();
+        assert_eq!(r.body.len(), 3);
+        assert_eq!(r.head.sign, Sign::Delete);
+        assert_eq!(r.head.atom.pred, "payroll");
+        assert!(matches!(&r.body[1], BodyLiteral::Neg(a) if a.pred == "active"));
+    }
+
+    #[test]
+    fn parses_facts_and_rules_interleaved() {
+        let f = parse_source("p(a). p(X) -> +q(X). p(b).").unwrap();
+        assert_eq!(f.facts.len(), 2);
+        assert_eq!(f.program.rules.len(), 1);
+    }
+
+    #[test]
+    fn parses_propositional_program() {
+        let p = parse_program("p -> +q. p -> -a. q -> +a.").unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.rules[1].head.sign, Sign::Delete);
+        assert_eq!(p.rules[2].body.len(), 1);
+    }
+
+    #[test]
+    fn parses_labels_and_annotations() {
+        let p = parse_program("@priority(5) r1: p(X) -> +q(X). @name(r2) q(X) -> -p(X).").unwrap();
+        assert_eq!(p.rules[0].name.as_deref(), Some("r1"));
+        assert_eq!(p.rules[0].priority, 5);
+        assert_eq!(p.rules[1].name.as_deref(), Some("r2"));
+    }
+
+    #[test]
+    fn duplicate_rule_names_rejected() {
+        let e = parse_program("r1: p -> +q. r1: p -> +r.").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::DuplicateRuleName("r1".into()));
+    }
+
+    #[test]
+    fn parses_event_literals() {
+        let r = parse_rule("+r(X), -s(Y), q(X, Y) -> -t(X).").unwrap();
+        assert!(matches!(&r.body[0], BodyLiteral::Event(Sign::Insert, _)));
+        assert!(matches!(&r.body[1], BodyLiteral::Event(Sign::Delete, _)));
+    }
+
+    #[test]
+    fn parses_bodyless_update_rule() {
+        let r = parse_rule("-> +q(b).").unwrap();
+        assert!(r.body.is_empty());
+        assert_eq!(r.head.sign, Sign::Insert);
+    }
+
+    #[test]
+    fn not_keyword_is_negation() {
+        let r = parse_rule("not active(X), emp(X) -> -payroll(X).").unwrap();
+        assert!(matches!(&r.body[0], BodyLiteral::Neg(a) if a.pred == "active"));
+    }
+
+    #[test]
+    fn non_ground_fact_rejected() {
+        let e = parse_source("p(X).").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::NonGroundFact { var: "X".into() });
+    }
+
+    #[test]
+    fn facts_rejected_by_parse_program() {
+        assert!(parse_program("p(a).").is_err());
+    }
+
+    #[test]
+    fn rules_rejected_by_parse_facts() {
+        assert!(parse_facts("p -> +q.").is_err());
+    }
+
+    #[test]
+    fn missing_head_sign_is_an_error() {
+        let e = parse_rule("p(X) -> q(X).").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::Expected { .. }));
+    }
+
+    #[test]
+    fn label_on_fact_is_an_error() {
+        assert!(parse_source("r1: p(a).").is_err());
+    }
+
+    #[test]
+    fn annotation_on_fact_is_an_error() {
+        assert!(parse_source("@priority(1) p(a).").is_err());
+    }
+
+    #[test]
+    fn integer_and_string_terms() {
+        let f = parse_source(r#"p(1, -2, "hello world")."#).unwrap();
+        let atom = &f.facts[0].atom;
+        assert_eq!(atom.args[0], Term::int(1));
+        assert_eq!(atom.args[1], Term::int(-2));
+        assert_eq!(atom.args[2], Term::sym("hello world"));
+    }
+
+    #[test]
+    fn parse_ground_atom_helper() {
+        let a = parse_ground_atom("p(a, 3)").unwrap();
+        assert_eq!(a.pred, "p");
+        assert!(parse_ground_atom("p(X)").is_err());
+        assert!(parse_ground_atom("p(a) extra").is_err());
+    }
+
+    #[test]
+    fn display_parse_roundtrip_for_rules() {
+        let srcs = [
+            "p(X), !q(X) -> +r(X).",
+            "-> +q(b).",
+            "@priority(3) r9: +e(X, Y), !f(X) -> -g(Y).",
+            "emp(X), not active(X) -> -payroll(X).",
+        ];
+        for s in srcs {
+            let r1 = parse_rule(s).unwrap();
+            let printed = r1.to_string();
+            let r2 = parse_rule(&printed).unwrap();
+            // Spans differ; compare everything else.
+            let norm = |mut r: Rule| {
+                r.span = Span::synthetic();
+                r
+            };
+            assert_eq!(norm(r1), norm(r2), "roundtrip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn parses_comparison_guards() {
+        let r = parse_rule("stock(I, Q), Q < 10 -> +low(I).").unwrap();
+        assert_eq!(r.body.len(), 2);
+        assert!(matches!(
+            &r.body[1],
+            BodyLiteral::Compare(CompOp::Lt, Term::Var(v), Term::Const(Const::Int(10))) if v == "Q"
+        ));
+        // All six operators, in both var/const orders.
+        for (src, op) in [
+            ("p(X), X = a -> +q(X).", CompOp::Eq),
+            ("p(X), X != 3 -> +q(X).", CompOp::Ne),
+            ("p(X), 0 <= X -> +q(X).", CompOp::Le),
+            ("p(X), X > 7 -> +q(X).", CompOp::Gt),
+            ("p(X), X >= 7 -> +q(X).", CompOp::Ge),
+            ("p(X, Y), X < Y -> +q(X).", CompOp::Lt),
+        ] {
+            let r = parse_rule(src).unwrap();
+            assert!(
+                matches!(&r.body[1], BodyLiteral::Compare(o, _, _) if *o == op),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn guard_display_roundtrips() {
+        for src in [
+            "stock(I, Q), Q < 10 -> +low(I).",
+            "p(X, Y), X != Y -> +distinct(X, Y).",
+            "p(X), X = a -> -p(X).",
+        ] {
+            let r1 = parse_rule(src).unwrap();
+            let r2 = parse_rule(&r1.to_string()).unwrap();
+            let strip = |mut r: Rule| {
+                r.span = Span::synthetic();
+                r
+            };
+            assert_eq!(strip(r1), strip(r2), "{src}");
+        }
+    }
+
+    #[test]
+    fn constant_led_comparison_vs_atom() {
+        // `a != X` is a guard (ident followed by an operator); `a(X)` is an
+        // atom.
+        let r = parse_rule("p(X), a != X -> +q(X).").unwrap();
+        assert!(matches!(&r.body[1], BodyLiteral::Compare(CompOp::Ne, _, _)));
+        let r = parse_rule("a(X) -> +q(X).").unwrap();
+        assert!(matches!(&r.body[0], BodyLiteral::Pos(_)));
+    }
+
+    #[test]
+    fn parse_query_accepts_bodies() {
+        let q = parse_query("?- emp(X), !active(X), S > 100.").unwrap();
+        assert_eq!(q.len(), 3);
+        assert!(matches!(&q[0], BodyLiteral::Pos(_)));
+        assert!(matches!(&q[1], BodyLiteral::Neg(_)));
+        assert!(matches!(&q[2], BodyLiteral::Compare(CompOp::Gt, _, _)));
+        // Prefix and dot are both optional.
+        assert_eq!(parse_query("emp(X)").unwrap().len(), 1);
+        assert_eq!(parse_query("emp(X).").unwrap().len(), 1);
+        assert!(parse_query("").is_err());
+        assert!(parse_query("emp(X) -> +q(X).").is_err());
+    }
+
+    #[test]
+    fn parse_updates_accepts_signed_ground_atoms() {
+        let us = parse_updates("+q(b). -p(a, 1).").unwrap();
+        assert_eq!(us.len(), 2);
+        assert_eq!(us[0].0, Sign::Insert);
+        assert_eq!(us[0].1.pred, "q");
+        assert_eq!(us[1].0, Sign::Delete);
+    }
+
+    #[test]
+    fn parse_updates_rejects_unsigned_and_nonground() {
+        assert!(parse_updates("q(b).").is_err());
+        assert!(parse_updates("+q(X).").is_err());
+        assert!(parse_updates("+q(b)").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_meaningful() {
+        let e = parse_program("p(X) ->\n q(X).").unwrap_err();
+        assert_eq!(e.span.line, 2);
+    }
+}

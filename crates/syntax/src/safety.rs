@@ -1,0 +1,200 @@
+//! Safety checking for active rules (Section 2 of the paper).
+//!
+//! A rule is *safe* iff
+//!
+//! 1. every variable occurring in the head also occurs in the body, and
+//! 2. every variable occurring in a negated body literal also occurs in some
+//!    *binding* body literal (a positive condition or an event literal —
+//!    both are matched extensionally and therefore ground their variables).
+//!
+//! In addition, this module checks that each predicate is used with a single
+//! arity across a program (and between a program and a database), which the
+//! paper assumes implicitly by working over a fixed Herbrand base.
+
+use crate::ast::{BodyLiteral, Program, Rule};
+use crate::error::{SafetyError, SafetyErrorKind};
+use std::collections::{HashMap, HashSet};
+
+/// Check a single rule against the paper's two safety conditions.
+pub fn check_rule(rule: &Rule) -> Result<(), SafetyError> {
+    let binding_vars: HashSet<&str> = rule
+        .body
+        .iter()
+        .filter(|l| l.is_binding())
+        .flat_map(|l| l.vars())
+        .collect();
+
+    // Condition 2: negated-literal (and guard) variables must be bound.
+    for lit in &rule.body {
+        if !lit.is_binding() {
+            for v in lit.vars() {
+                if !binding_vars.contains(v) {
+                    return Err(SafetyError {
+                        rule: rule.to_string(),
+                        span: rule.span,
+                        kind: match lit {
+                            BodyLiteral::Compare(..) => {
+                                SafetyErrorKind::UnboundGuardVar(v.to_string())
+                            }
+                            _ => SafetyErrorKind::UnboundNegatedVar(v.to_string()),
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    // Condition 1: head variables must occur in the body. (Only binding
+    // literals can actually ground a variable, and condition 2 already
+    // forces negated-literal variables to be bound, so checking against
+    // binding variables is equivalent and gives better errors.)
+    for v in rule.head.atom.vars() {
+        if !binding_vars.contains(v) {
+            return Err(SafetyError {
+                rule: rule.to_string(),
+                span: rule.span,
+                kind: SafetyErrorKind::UnboundHeadVar(v.to_string()),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Check every rule of a program, plus arity consistency across rules.
+///
+/// Returns all violations rather than stopping at the first, so a user can
+/// fix a file in one pass.
+pub fn check_program(program: &Program) -> Result<(), Vec<SafetyError>> {
+    let mut errors = Vec::new();
+    let mut arities: HashMap<&str, usize> = HashMap::new();
+    for rule in &program.rules {
+        if let Err(e) = check_rule(rule) {
+            errors.push(e);
+        }
+        let atoms = rule
+            .body
+            .iter()
+            .filter_map(|l| l.atom())
+            .chain(std::iter::once(&rule.head.atom));
+        for atom in atoms {
+            match arities.entry(&atom.pred) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(atom.arity());
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != atom.arity() {
+                        errors.push(SafetyError {
+                            rule: rule.to_string(),
+                            span: rule.span,
+                            kind: SafetyErrorKind::ArityMismatch {
+                                pred: atom.pred.clone(),
+                                first: *e.get(),
+                                second: atom.arity(),
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_program, parse_rule};
+
+    #[test]
+    fn paper_example_rule_is_safe() {
+        let r = parse_rule("emp(X), !active(X), payroll(X, S) -> -payroll(X, S).").unwrap();
+        assert!(check_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn unbound_head_var_rejected() {
+        let r = parse_rule("p(X) -> +q(X, Y).").unwrap();
+        let e = check_rule(&r).unwrap_err();
+        assert_eq!(e.kind, SafetyErrorKind::UnboundHeadVar("Y".into()));
+    }
+
+    #[test]
+    fn head_var_bound_only_by_negation_rejected() {
+        // Y occurs in the body, but only in a negated literal, which cannot
+        // ground it; the rule is unsafe under condition 2 (checked first).
+        let r = parse_rule("p(X), !q(Y) -> +r(Y).").unwrap();
+        let e = check_rule(&r).unwrap_err();
+        assert_eq!(e.kind, SafetyErrorKind::UnboundNegatedVar("Y".into()));
+    }
+
+    #[test]
+    fn negated_var_bound_by_event_literal_is_safe() {
+        let r = parse_rule("+r(X), !s(X) -> -t(X).").unwrap();
+        assert!(check_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn negated_var_unbound_rejected() {
+        let r = parse_rule("p(X), !q(X, Z) -> +r(X).").unwrap();
+        let e = check_rule(&r).unwrap_err();
+        assert_eq!(e.kind, SafetyErrorKind::UnboundNegatedVar("Z".into()));
+    }
+
+    #[test]
+    fn ground_rule_is_safe() {
+        let r = parse_rule("p -> +q.").unwrap();
+        assert!(check_rule(&r).is_ok());
+        let r = parse_rule("-> +q(b).").unwrap();
+        assert!(check_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn bodyless_rule_with_head_var_rejected() {
+        let r = parse_rule("-> +q(X).").unwrap();
+        assert!(check_rule(&r).is_err());
+    }
+
+    #[test]
+    fn guard_vars_must_be_bound() {
+        let r = parse_rule("p(X), Y < 3 -> +q(X).").unwrap();
+        let e = check_rule(&r).unwrap_err();
+        assert_eq!(e.kind, SafetyErrorKind::UnboundGuardVar("Y".into()));
+        // Bound guard vars are fine, in either source order.
+        assert!(check_rule(&parse_rule("p(X), X < 3 -> +q(X).").unwrap()).is_ok());
+        assert!(check_rule(&parse_rule("X < 3, p(X) -> +q(X).").unwrap()).is_ok());
+        // Constants-only guards are trivially safe.
+        assert!(check_rule(&parse_rule("p(X), 1 < 2 -> +q(X).").unwrap()).is_ok());
+        // A negated literal cannot bind a guard variable.
+        let r = parse_rule("p(X), Y != X, !q(Y) -> +r(X).").unwrap();
+        assert!(check_rule(&r).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_detected_across_rules() {
+        let p = parse_program("p(X) -> +q(X). q(X, Y) -> +r(X, Y). p(X) -> +r(X, X).").unwrap();
+        let errs = check_program(&p).unwrap_err();
+        assert!(errs.iter().any(
+            |e| matches!(&e.kind, SafetyErrorKind::ArityMismatch { pred, .. } if pred == "q")
+        ));
+    }
+
+    #[test]
+    fn check_program_collects_all_errors() {
+        let p = parse_program("p(X) -> +q(X, Y). a(X) -> +b(X, Z).").unwrap();
+        let errs = check_program(&p).unwrap_err();
+        assert_eq!(errs.len(), 2);
+    }
+
+    #[test]
+    fn consistent_program_passes() {
+        let p = parse_program(
+            "p(X), p(Y) -> +q(X, Y). q(X, X) -> -q(X, X). q(X, Y), q(X, Z), q(Z, Y) -> -q(X, Y).",
+        )
+        .unwrap();
+        assert!(check_program(&p).is_ok());
+    }
+}

@@ -1,0 +1,119 @@
+//! Conflict-chain workloads, generalizing the paper's Section 5 example.
+//!
+//! Each chain derives, over several steps, a deletion that clashes with an
+//! immediate insertion: chain `i` consists of
+//!
+//! ```text
+//! seed_i:  start -> +goal_i.
+//! c_i_0:   start -> +link_i_0.
+//! c_i_j:   link_i_{j-1} -> +link_i_j.
+//! kill_i:  link_i_{last} -> -goal_i.
+//! ```
+//!
+//! so the conflict on `goal_i` surfaces only after the chain has been
+//! walked. With equal chain lengths every conflict appears in the same Γ
+//! step — the resolve-all scope settles them in a single restart while the
+//! one-at-a-time scope needs one restart per chain (experiment C5). With
+//! staggered lengths the conflicts appear in different steps, forcing one
+//! restart each regardless of scope (experiment C2).
+
+use std::fmt::Write as _;
+
+/// `k` chains, each of length `len` (≥ 1). Database is `start.`.
+pub fn parallel_conflicts(k: usize, len: usize) -> (String, String) {
+    assert!(len >= 1, "chains need at least one link");
+    let mut p = String::new();
+    for i in 0..k {
+        chain(&mut p, i, len);
+    }
+    (p, "start.\n".to_string())
+}
+
+/// `k` chains of lengths 1, 2, ..., k. Database is `start.`.
+pub fn staggered_conflicts(k: usize) -> (String, String) {
+    let mut p = String::new();
+    for i in 0..k {
+        chain(&mut p, i, i + 1);
+    }
+    (p, "start.\n".to_string())
+}
+
+fn chain(p: &mut String, i: usize, len: usize) {
+    writeln!(p, "seed{i}: start -> +goal{i}.").expect("write to String");
+    writeln!(p, "c{i}_0: start -> +link{i}_0.").expect("write to String");
+    for j in 1..len {
+        writeln!(p, "c{i}_{j}: link{i}_{} -> +link{i}_{j}.", j - 1).expect("write to String");
+    }
+    writeln!(p, "kill{i}: link{i}_{} -> -goal{i}.", len - 1).expect("write to String");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use park_engine::{Engine, EngineOptions, Inertia, ResolutionScope};
+    use park_storage::{FactStore, Vocabulary};
+    use park_syntax::parse_program;
+    use std::sync::Arc;
+
+    fn run(program: &str, facts: &str, scope: ResolutionScope) -> park_engine::ParkOutcome {
+        let vocab = Vocabulary::new();
+        let engine = Engine::with_options(
+            Arc::clone(&vocab),
+            &parse_program(program).unwrap(),
+            EngineOptions::default().with_scope(scope),
+        )
+        .unwrap();
+        let db = FactStore::from_source(vocab, facts).unwrap();
+        engine.park(&db, &mut Inertia).unwrap()
+    }
+
+    #[test]
+    fn parallel_conflicts_single_restart_under_all_scope() {
+        let (p, f) = parallel_conflicts(6, 3);
+        let out = run(&p, &f, ResolutionScope::All);
+        // All six conflicts surface in one step and are settled together.
+        assert_eq!(out.stats.restarts, 1);
+        assert_eq!(out.stats.conflicts_resolved, 6);
+        // Inertia deletes every goal (none are in D).
+        assert!(!out
+            .database
+            .sorted_display()
+            .iter()
+            .any(|x| x.starts_with("goal")));
+    }
+
+    #[test]
+    fn parallel_conflicts_k_restarts_under_one_scope() {
+        let (p, f) = parallel_conflicts(6, 3);
+        let out = run(&p, &f, ResolutionScope::One);
+        assert_eq!(out.stats.restarts, 6);
+        assert_eq!(out.stats.conflicts_resolved, 6);
+    }
+
+    #[test]
+    fn staggered_conflicts_need_one_restart_each() {
+        let (p, f) = staggered_conflicts(5);
+        let out = run(&p, &f, ResolutionScope::All);
+        assert_eq!(out.stats.restarts, 5);
+        assert_eq!(out.stats.conflicts_resolved, 5);
+    }
+
+    #[test]
+    fn results_agree_across_scopes() {
+        let (p, f) = parallel_conflicts(4, 2);
+        let all = run(&p, &f, ResolutionScope::All);
+        let one = run(&p, &f, ResolutionScope::One);
+        assert!(all.database.same_facts(&one.database));
+        // The lazy scope blocks no more instances than resolve-all.
+        assert!(one.stats.blocked_instances <= all.stats.blocked_instances);
+    }
+
+    #[test]
+    fn chain_links_survive() {
+        let (p, f) = parallel_conflicts(1, 3);
+        let out = run(&p, &f, ResolutionScope::All);
+        let facts = out.database.sorted_display();
+        assert!(facts.contains(&"link0_0".to_string()));
+        assert!(facts.contains(&"link0_2".to_string()));
+    }
+}

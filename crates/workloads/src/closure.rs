@@ -1,0 +1,156 @@
+//! Recursive, conflict-free workloads: transitive closure and reachability.
+//!
+//! These exercise the paper's "basic inference engine" requirement — the
+//! declarative half must handle recursion and, absent conflicts, coincide
+//! with the inflationary fixpoint semantics. They also drive the
+//! polynomial-tractability scaling experiments (C1).
+
+/// Transitive closure of `edge/2` into `tc/2`:
+///
+/// ```text
+/// edge(X, Y) -> +tc(X, Y).
+/// tc(X, Y), edge(Y, Z) -> +tc(X, Z).
+/// ```
+pub fn transitive_closure_program() -> String {
+    "base: edge(X, Y) -> +tc(X, Y).\n\
+     step: tc(X, Y), edge(Y, Z) -> +tc(X, Z).\n"
+        .to_string()
+}
+
+/// Reachability from a marked source:
+///
+/// ```text
+/// source(X) -> +reach(X).
+/// reach(X), edge(X, Y) -> +reach(Y).
+/// ```
+pub fn reachability_program() -> String {
+    "init: source(X) -> +reach(X).\n\
+     walk: reach(X), edge(X, Y) -> +reach(Y).\n"
+        .to_string()
+}
+
+/// Same-generation — a classically harder recursive query:
+///
+/// ```text
+/// flat(X, Y) -> +sg(X, Y).
+/// up(X, X1), sg(X1, Y1), down(Y1, Y) -> +sg(X, Y).
+/// ```
+pub fn same_generation_program() -> String {
+    "flatsg: flat(X, Y) -> +sg(X, Y).\n\
+     updown: up(X, X1), sg(X1, Y1), down(Y1, Y) -> +sg(X, Y).\n"
+        .to_string()
+}
+
+/// Garbage-collection cascade with negation and deletions, still
+/// conflict-free: unreferenced, non-root objects are deleted, which can
+/// unreference further objects only through the marks.
+///
+/// ```text
+/// object(X), !root(X), !referenced(X) -> -object(X).
+/// ```
+///
+/// (The `referenced` relation is precomputed by the generator; the rule
+/// demonstrates deletion cascades without conflicts.)
+pub fn sweep_program() -> String {
+    "sweep: object(X), !root(X), !referenced(X) -> -object(X).\n".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{erdos_renyi_edges, path_edges};
+    use park_engine::{Engine, Inertia};
+    use park_storage::{FactStore, Vocabulary};
+    use park_syntax::parse_program;
+    use std::sync::Arc;
+
+    fn closure_size(facts: &str) -> usize {
+        let vocab = Vocabulary::new();
+        let program = parse_program(&transitive_closure_program()).unwrap();
+        let engine = Engine::new(Arc::clone(&vocab), &program).unwrap();
+        let db = FactStore::from_source(vocab, facts).unwrap();
+        let out = engine.park(&db, &mut Inertia).unwrap();
+        out.database
+            .sorted_display()
+            .iter()
+            .filter(|f| f.starts_with("tc("))
+            .count()
+    }
+
+    #[test]
+    fn closure_of_a_path() {
+        // Path of n edges has n(n+1)/2 closure pairs.
+        assert_eq!(closure_size(&path_edges(4)), 4 * 5 / 2);
+        assert_eq!(closure_size(&path_edges(8)), 8 * 9 / 2);
+    }
+
+    #[test]
+    fn closure_of_a_cycle_is_complete() {
+        let facts = "edge(a, b). edge(b, c). edge(c, a).";
+        assert_eq!(closure_size(facts), 9);
+    }
+
+    #[test]
+    fn closure_no_conflicts_no_restarts() {
+        let vocab = Vocabulary::new();
+        let program = parse_program(&transitive_closure_program()).unwrap();
+        let engine = Engine::new(Arc::clone(&vocab), &program).unwrap();
+        let db = FactStore::from_source(vocab, &erdos_renyi_edges(10, 0.3, 11)).unwrap();
+        let out = engine.park(&db, &mut Inertia).unwrap();
+        assert_eq!(out.stats.restarts, 0);
+    }
+
+    #[test]
+    fn reachability_program_runs() {
+        let vocab = Vocabulary::new();
+        let program = parse_program(&reachability_program()).unwrap();
+        let engine = Engine::new(Arc::clone(&vocab), &program).unwrap();
+        let db = FactStore::from_source(vocab, "source(a). edge(a, b). edge(b, c). edge(x, y).")
+            .unwrap();
+        let out = engine.park(&db, &mut Inertia).unwrap();
+        let reach: Vec<String> = out
+            .database
+            .sorted_display()
+            .into_iter()
+            .filter(|f| f.starts_with("reach("))
+            .collect();
+        assert_eq!(reach, vec!["reach(a)", "reach(b)", "reach(c)"]);
+    }
+
+    #[test]
+    fn same_generation_program_runs() {
+        let vocab = Vocabulary::new();
+        let program = parse_program(&same_generation_program()).unwrap();
+        let engine = Engine::new(Arc::clone(&vocab), &program).unwrap();
+        let db = FactStore::from_source(
+            vocab,
+            "flat(m, n). up(a, m). down(n, b). up(x, a). down(b, y).",
+        )
+        .unwrap();
+        let out = engine.park(&db, &mut Inertia).unwrap();
+        let sg: Vec<String> = out
+            .database
+            .sorted_display()
+            .into_iter()
+            .filter(|f| f.starts_with("sg("))
+            .collect();
+        assert_eq!(sg, vec!["sg(a, b)", "sg(m, n)", "sg(x, y)"]);
+    }
+
+    #[test]
+    fn sweep_deletes_unreferenced_objects() {
+        let vocab = Vocabulary::new();
+        let program = parse_program(&sweep_program()).unwrap();
+        let engine = Engine::new(Arc::clone(&vocab), &program).unwrap();
+        let db = FactStore::from_source(
+            vocab,
+            "object(a). object(b). object(c). root(a). referenced(b).",
+        )
+        .unwrap();
+        let out = engine.park(&db, &mut Inertia).unwrap();
+        assert_eq!(
+            out.database.sorted_display(),
+            vec!["object(a)", "object(b)", "referenced(b)", "root(a)"]
+        );
+    }
+}

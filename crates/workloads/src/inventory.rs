@@ -1,0 +1,252 @@
+//! Inventory-monitoring workload: reorder triggers with a
+//! discontinuation conflict and event-driven notifications.
+//!
+//! ```text
+//! restock: low(I), item(I) -> +order(I).            % reorder low stock
+//! stop:    discontinued(I) -> -order(I).            % never order these
+//! po:      +order(I) -> +po_created(I).             % event: PO raised
+//! tell:    -order(I), supplier(I, S) -> +notify(S). % event: cancellation
+//! ```
+//!
+//! Items that are low *and* discontinued conflict on `order(I)` — the
+//! databases-that-monitor-critical-systems scenario where the paper
+//! suggests interactive resolution; the generator lets any policy be
+//! plugged in.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Tuning knobs for the inventory generator.
+#[derive(Debug, Clone, Copy)]
+pub struct InventoryConfig {
+    /// Number of items.
+    pub items: usize,
+    /// Number of suppliers (items are assigned round-robin).
+    pub suppliers: usize,
+    /// Probability an item is low on stock.
+    pub p_low: f64,
+    /// Probability an item is discontinued.
+    pub p_discontinued: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for InventoryConfig {
+    fn default() -> Self {
+        InventoryConfig {
+            items: 100,
+            suppliers: 7,
+            p_low: 0.4,
+            p_discontinued: 0.15,
+            seed: 7,
+        }
+    }
+}
+
+/// The fixed rule set (see module docs).
+pub fn inventory_program() -> String {
+    "restock: low(I), item(I) -> +order(I).\n\
+     stop: discontinued(I) -> -order(I).\n\
+     po: +order(I) -> +po_created(I).\n\
+     tell: -order(I), supplier(I, S) -> +notify(S).\n"
+        .to_string()
+}
+
+/// A guard-based variant: stock levels are data (`stock(I, Q)` with
+/// integer quantities) and the low/high classification happens in the
+/// rules via comparison guards — the language-extension flavour of the
+/// same monitoring workload.
+///
+/// ```text
+/// classify: stock(I, Q), Q < 10 -> +low(I).
+/// restock:  low(I), !discontinued(I) -> +order(I).
+/// stop:     discontinued(I) -> -order(I).
+/// surplus:  stock(I, Q), Q >= 90 -> +overstocked(I).
+/// ```
+pub fn inventory_guard_program() -> String {
+    "classify: stock(I, Q), Q < 10 -> +low(I).\n\
+     restock: low(I), !discontinued(I) -> +order(I).\n\
+     stop: discontinued(I) -> -order(I).\n\
+     surplus: stock(I, Q), Q >= 90 -> +overstocked(I).\n"
+        .to_string()
+}
+
+/// Facts for [`inventory_guard_program`]: items with uniform random stock
+/// quantities in `0..100` plus a discontinued subset.
+pub fn inventory_guard_database(config: &InventoryConfig) -> String {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut facts = String::new();
+    for i in 0..config.items {
+        let item = format!("i{i}");
+        writeln!(facts, "stock({item}, {}).", rng.random_range(0..100)).expect("write to String");
+        if rng.random_bool(config.p_discontinued) {
+            writeln!(facts, "discontinued({item}).").expect("write to String");
+        }
+    }
+    facts
+}
+
+/// Generate the facts source for a configuration.
+pub fn inventory_database(config: &InventoryConfig) -> String {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut facts = String::new();
+    for i in 0..config.items {
+        let item = format!("i{i}");
+        writeln!(facts, "item({item}).").expect("write to String");
+        writeln!(facts, "supplier({item}, s{}).", i % config.suppliers.max(1))
+            .expect("write to String");
+        if rng.random_bool(config.p_low) {
+            writeln!(facts, "low({item}).").expect("write to String");
+        }
+        if rng.random_bool(config.p_discontinued) {
+            writeln!(facts, "discontinued({item}).").expect("write to String");
+        }
+    }
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use park_engine::{Engine, Inertia};
+    use park_policies::PreferInsert;
+    use park_storage::{FactStore, Vocabulary};
+    use park_syntax::parse_program;
+    use std::sync::Arc;
+
+    #[test]
+    fn low_items_get_orders_and_pos() {
+        let vocab = Vocabulary::new();
+        let engine = Engine::new(
+            Arc::clone(&vocab),
+            &parse_program(&inventory_program()).unwrap(),
+        )
+        .unwrap();
+        let db = FactStore::from_source(
+            Arc::clone(&vocab),
+            "item(a). low(a). supplier(a, s). item(b).",
+        )
+        .unwrap();
+        let out = engine.park(&db, &mut Inertia).unwrap();
+        let facts = out.database.sorted_display();
+        assert!(facts.contains(&"order(a)".to_string()));
+        assert!(facts.contains(&"po_created(a)".to_string()));
+        assert!(!facts.contains(&"order(b)".to_string()));
+    }
+
+    #[test]
+    fn discontinued_low_item_is_a_conflict() {
+        let vocab = Vocabulary::new();
+        let engine = Engine::new(
+            Arc::clone(&vocab),
+            &parse_program(&inventory_program()).unwrap(),
+        )
+        .unwrap();
+        let db = FactStore::from_source(
+            Arc::clone(&vocab),
+            "item(a). low(a). discontinued(a). supplier(a, s1).",
+        )
+        .unwrap();
+        // Inertia: order(a) ∉ D → delete. The cancellation event notifies
+        // the supplier.
+        let out = engine.park(&db, &mut Inertia).unwrap();
+        let facts = out.database.sorted_display();
+        assert!(!facts.contains(&"order(a)".to_string()));
+        assert!(facts.contains(&"notify(s1)".to_string()), "{facts:?}");
+        assert_eq!(out.stats.restarts, 1);
+        // Prefer-insert keeps the order instead.
+        let out = engine.park(&db, &mut PreferInsert).unwrap();
+        assert!(out
+            .database
+            .sorted_display()
+            .contains(&"order(a)".to_string()));
+    }
+
+    #[test]
+    fn guard_workload_classifies_by_quantity() {
+        let vocab = Vocabulary::new();
+        let engine = Engine::new(
+            Arc::clone(&vocab),
+            &parse_program(&inventory_guard_program()).unwrap(),
+        )
+        .unwrap();
+        let db = FactStore::from_source(
+            Arc::clone(&vocab),
+            "stock(a, 5). stock(b, 50). stock(c, 95). stock(d, 9). discontinued(d).",
+        )
+        .unwrap();
+        let out = engine.park(&db, &mut Inertia).unwrap();
+        let facts = out.database.sorted_display();
+        assert!(facts.contains(&"low(a)".to_string()));
+        assert!(facts.contains(&"low(d)".to_string()));
+        assert!(!facts.contains(&"low(b)".to_string()));
+        assert!(facts.contains(&"overstocked(c)".to_string()));
+        assert!(facts.contains(&"order(a)".to_string()));
+        // d is low but discontinued: restock's negation stops the order.
+        assert!(!facts.contains(&"order(d)".to_string()));
+    }
+
+    #[test]
+    fn guard_workload_generated_runs() {
+        let cfg = InventoryConfig {
+            items: 80,
+            ..InventoryConfig::default()
+        };
+        assert_eq!(
+            inventory_guard_database(&cfg),
+            inventory_guard_database(&cfg)
+        );
+        let vocab = Vocabulary::new();
+        let engine = Engine::new(
+            Arc::clone(&vocab),
+            &parse_program(&inventory_guard_program()).unwrap(),
+        )
+        .unwrap();
+        let db = FactStore::from_source(vocab, &inventory_guard_database(&cfg)).unwrap();
+        let out = engine.park(&db, &mut Inertia).unwrap();
+        // Every low item has stock < 10 in the data.
+        let facts = out.database.sorted_display();
+        for f in facts.iter().filter(|f| f.starts_with("low(")) {
+            let item = &f[4..f.len() - 1];
+            let qty_fact = facts
+                .iter()
+                .find(|g| g.starts_with(&format!("stock({item},")))
+                .unwrap_or_else(|| panic!("no stock fact for {item}"));
+            let qty: i64 = qty_fact[qty_fact.rfind(' ').unwrap() + 1..qty_fact.len() - 1]
+                .parse()
+                .unwrap();
+            assert!(qty < 10, "{item} has {qty}");
+        }
+    }
+
+    #[test]
+    fn generated_database_is_deterministic_and_runs() {
+        let cfg = InventoryConfig {
+            items: 60,
+            ..InventoryConfig::default()
+        };
+        assert_eq!(inventory_database(&cfg), inventory_database(&cfg));
+        let vocab = Vocabulary::new();
+        let engine = Engine::new(
+            Arc::clone(&vocab),
+            &parse_program(&inventory_program()).unwrap(),
+        )
+        .unwrap();
+        let db = FactStore::from_source(vocab, &inventory_database(&cfg)).unwrap();
+        let out = engine.park(&db, &mut Inertia).unwrap();
+        // No discontinued item may hold an order in the result.
+        let facts = out.database.sorted_display();
+        for f in &facts {
+            if let Some(item) = f
+                .strip_prefix("discontinued(")
+                .map(|s| s.trim_end_matches(')'))
+            {
+                assert!(
+                    !facts.contains(&format!("order({item})")),
+                    "discontinued {item} still ordered"
+                );
+            }
+        }
+    }
+}

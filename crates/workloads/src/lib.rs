@@ -1,0 +1,38 @@
+//! # park-workloads
+//!
+//! Synthetic workload generators for the PARK experiments. All generators
+//! are deterministic (seeded) and emit `.park` / `.facts` source text so
+//! the same inputs can be run through the library, the CLI, and the bench
+//! harness.
+//!
+//! * [`graph`] — node sets, seeded Erdős–Rényi digraphs, and the paper's
+//!   Section 4.2 irreflexive-graph program at any scale.
+//! * [`closure`] — recursive, conflict-free programs (transitive closure,
+//!   reachability, same-generation, deletion sweeps) for the polynomial
+//!   scaling experiments.
+//! * [`chains`] — conflict ladders generalizing Section 5, driving the
+//!   restart-count and resolution-scope experiments.
+//! * [`payroll`] — the Section 2 motivating HR domain with full ECA rules,
+//!   event cascades, and a policy-dependent bonus conflict.
+//! * [`inventory`] — reorder triggers with discontinuation conflicts and
+//!   event-driven notifications.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chains;
+pub mod closure;
+pub mod graph;
+pub mod inventory;
+pub mod payroll;
+
+pub use chains::{parallel_conflicts, staggered_conflicts};
+pub use closure::{
+    reachability_program, same_generation_program, sweep_program, transitive_closure_program,
+};
+pub use graph::{erdos_renyi_edges, irreflexive_graph_program, node, nodes_database, path_edges};
+pub use inventory::{
+    inventory_database, inventory_guard_database, inventory_guard_program, inventory_program,
+    InventoryConfig,
+};
+pub use payroll::{payroll_database, payroll_program, PayrollConfig};

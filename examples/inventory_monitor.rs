@@ -1,0 +1,102 @@
+//! A long-running inventory monitor: comparison guards, the transactional
+//! [`ActiveDatabase`] API, and journal-based recovery.
+//!
+//! Run with `cargo run --example inventory_monitor`.
+//!
+//! Stock levels live in the database as `stock(Item, Qty)`; the rules
+//! classify low/overstocked items with guards and manage purchase orders,
+//! cancelling them for discontinued items. Transactions stream in
+//! (deliveries, sales recorded as stock replacement, discontinuations);
+//! each one is journaled, and at the end the whole history is replayed
+//! from the initial state to prove the journal reconstructs the database.
+
+use park::db::ActiveDatabase;
+use park::policies::RulePriority;
+use park::prelude::*;
+
+// Stock replacements expose both the old and the new quantity while the
+// transaction is in flight (the old row is only *pending* deletion), so
+// `classify` can still see the stale row. `unflag` therefore triggers on
+// the *event* `+stock(I, Q)` — the freshly written quantity — and outranks
+// `classify` (priority 2 vs 1) in the conflict that arises when a delivery
+// lifts an item out of the low band: the fresher information wins. Under
+// plain inertia `low(I) ∈ D` would be preserved instead; swapping the
+// policy changes that decision and nothing else.
+const RULES: &str = "
+@priority(1) classify:  stock(I, Q), Q < 10 -> +low(I).
+@priority(2) unflag:    low(I), +stock(I, Q), Q >= 10 -> -low(I).
+@priority(1) restock:   low(I), !discontinued(I) -> +order(I).
+@priority(2) stop:      discontinued(I) -> -order(I).
+onorder:   +order(I) -> +po_open(I).
+oncancel:  -order(I), po_open(I) -> -po_open(I).
+surplus:   stock(I, Q), Q >= 90 -> +overstocked(I).
+";
+
+const INITIAL: &str = "
+stock(widget, 50). stock(gadget, 8). stock(gizmo, 95). stock(doohickey, 3).
+";
+
+fn main() {
+    let journal = std::env::temp_dir().join(format!("inventory-{}.journal", std::process::id()));
+    let _ = std::fs::remove_file(&journal);
+
+    let program = parse_program(RULES).expect("rules parse");
+    let vocab = Vocabulary::new();
+    let initial = FactStore::from_source(vocab, INITIAL).expect("initial stock parses");
+
+    let mut db = ActiveDatabase::open(&program, initial.clone())
+        .expect("rules compile")
+        .with_journal(&journal);
+
+    // Opening settle: classify the initial stock.
+    let report = db.settle(&mut RulePriority::new()).expect("settle");
+    println!("settle: +{:?}", report.added);
+    assert!(report.added.contains(&"low(gadget)".to_string()));
+    assert!(report.added.contains(&"order(doohickey)".to_string()));
+    assert!(report.added.contains(&"overstocked(gizmo)".to_string()));
+
+    // A delivery arrives for gadget: stock is replaced 8 -> 40.
+    let report = db
+        .transact_source(
+            "-stock(gadget, 8). +stock(gadget, 40).",
+            &mut RulePriority::new(),
+        )
+        .expect("delivery");
+    println!("delivery: +{:?} -{:?}", report.added, report.removed);
+    assert!(report.removed.contains(&"low(gadget)".to_string()));
+
+    // The doohickey is discontinued: its open order must be cancelled.
+    let report = db
+        .transact_source("+discontinued(doohickey).", &mut RulePriority::new())
+        .expect("disc");
+    println!("discontinue: +{:?} -{:?}", report.added, report.removed);
+    assert!(report.removed.contains(&"order(doohickey)".to_string()));
+    assert!(report.removed.contains(&"po_open(doohickey)".to_string()));
+
+    // A sale drops widget below the threshold.
+    let report = db
+        .transact_source(
+            "-stock(widget, 50). +stock(widget, 4).",
+            &mut RulePriority::new(),
+        )
+        .expect("sale");
+    assert!(report.added.contains(&"order(widget)".to_string()));
+
+    println!("\nfinal state:\n{}", db.state().to_source());
+
+    // Crash-recovery drill: rebuild from the journal and compare.
+    let replayed = ActiveDatabase::replay(&program, initial, &journal, &mut RulePriority::new())
+        .expect("journal replays");
+    assert_eq!(
+        replayed.state().sorted_display(),
+        db.state().sorted_display()
+    );
+    assert_eq!(replayed.transactions(), db.transactions());
+    println!(
+        "journal replay reconstructed the state ({} transactions) — OK",
+        replayed.transactions()
+    );
+
+    let _ = std::fs::remove_file(&journal);
+    println!("\ninventory_monitor: all assertions passed");
+}

@@ -1,0 +1,110 @@
+//! The Section 5 voting scheme: a panel of critics resolves inventory
+//! conflicts by majority, with an interactive oracle as one of the critics.
+//!
+//! Run with `cargo run --example voting_critics`.
+//!
+//! The inventory workload conflicts on `order(I)` for items that are both
+//! low on stock and discontinued. Three critics vote:
+//!
+//! 1. a *recency* critic that trusts the discontinuation list (votes
+//!    delete for discontinued items),
+//! 2. a *sales-floor* critic that always wants stock (votes insert),
+//! 3. a scripted *human* critic (the paper: interactive resolution is the
+//!    voting scheme with one human critic).
+
+use park::engine::{Conflict, Engine, Inertia, Resolution, SelectContext};
+use park::policies::{Critic, PolicyCritic, Voting};
+use park::prelude::*;
+use park::workloads::{inventory_database, inventory_program, InventoryConfig};
+
+/// Votes `delete` whenever the item is on the discontinued list.
+struct RecencyCritic;
+
+impl Critic for RecencyCritic {
+    fn name(&self) -> &str {
+        "recency"
+    }
+    fn vote(&mut self, ctx: &SelectContext<'_>, c: &Conflict) -> Resolution {
+        let vocab = ctx.program.vocab();
+        let disc = vocab.lookup_pred("discontinued");
+        match disc {
+            Some(p) if ctx.database.contains(p, &c.tuple) => Resolution::Delete,
+            _ => Resolution::Insert,
+        }
+    }
+}
+
+fn main() {
+    let config = InventoryConfig {
+        items: 200,
+        seed: 11,
+        ..InventoryConfig::default()
+    };
+    let vocab = Vocabulary::new();
+    let program = parse_program(&inventory_program()).expect("inventory rules parse");
+    let engine = Engine::new(vocab.clone(), &program).expect("inventory rules compile");
+    let db = FactStore::from_source(vocab, &inventory_database(&config)).expect("facts parse");
+
+    // Count the contested items first (run under inertia just for stats).
+    let probe = engine.park(&db, &mut Inertia).expect("terminates");
+    let contested = probe.stats.conflicts_resolved;
+    println!("inventory: {} facts, {contested} contested items", db.len());
+
+    // The human answers the first few conflicts "insert", then defers to
+    // silence — model them as a scripted critic that alternates.
+    let mut human_answers = std::iter::repeat([Resolution::Insert, Resolution::Delete]).flatten();
+    let human =
+        move |_: &SelectContext<'_>, _: &Conflict| human_answers.next().expect("infinite script");
+
+    let mut panel = Voting::new(
+        vec![
+            Box::new(RecencyCritic),
+            Box::new(PolicyCritic::new(
+                park::policies::PreferInsert,
+                Resolution::Insert,
+            )),
+            Box::new(human),
+        ],
+        Resolution::Delete,
+    );
+
+    let out = engine.park(&db, &mut panel).expect("PARK terminates");
+    let orders = out
+        .database
+        .sorted_display()
+        .iter()
+        .filter(|f| f.starts_with("order("))
+        .count();
+    let cancellation_notices = out
+        .database
+        .sorted_display()
+        .iter()
+        .filter(|f| f.starts_with("notify("))
+        .count();
+    println!("under the 3-critic panel:");
+    println!("  {}", out.stats.summary());
+    println!("  surviving orders      : {orders}");
+    println!("  cancellation notices  : {cancellation_notices}");
+
+    // Majority arithmetic: with the sales-floor critic always voting
+    // insert, an order is cancelled only when BOTH the recency critic and
+    // the human voted delete. The human alternates, so at most every other
+    // contested item is cancelled.
+    assert!(
+        out.stats.conflicts_resolved >= contested,
+        "same conflicts must be decided"
+    );
+
+    // Policy invariant from the rule set: a surviving order for item I
+    // implies po_created(I) fired.
+    let facts = out.database.sorted_display();
+    for f in facts.iter().filter(|f| f.starts_with("order(")) {
+        let item = &f[6..f.len() - 1];
+        assert!(
+            facts.contains(&format!("po_created({item})")),
+            "order without purchase order for {item}"
+        );
+    }
+
+    println!("\nvoting_critics: all assertions passed");
+}

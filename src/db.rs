@@ -1,0 +1,398 @@
+//! A transactional active database: the PARK semantics packaged the way
+//! the paper's Section 3 envisions deployment — rules installed once,
+//! transactions applied through them, one unambiguous state after each.
+//!
+//! [`ActiveDatabase`] owns the current state and a compiled rule program.
+//! Every [`ActiveDatabase::transact`] call evaluates `PARK(D, P, U)` with
+//! the chosen `SELECT` policy and *commits* the result as the new state,
+//! returning a [`TransactionReport`] with the net changes.
+//!
+//! ```
+//! use park::db::ActiveDatabase;
+//! use park::prelude::*;
+//!
+//! let vocab = Vocabulary::new();
+//! let program = parse_program(
+//!     "onleave: -active(X) -> +offboard(X).
+//!      offb:    offboard(X), payroll(X, S) -> -payroll(X, S).",
+//! ).unwrap();
+//! let initial = FactStore::from_source(
+//!     vocab,
+//!     "active(ann). payroll(ann, 50000).",
+//! ).unwrap();
+//!
+//! let mut db = ActiveDatabase::open(&program, initial).unwrap();
+//! let report = db.transact_source("-active(ann).", &mut Inertia).unwrap();
+//! assert_eq!(report.added, vec!["offboard(ann)"]);
+//! assert_eq!(db.state().to_string(), "{offboard(ann)}");
+//! ```
+
+use park_engine::{ConflictResolver, Engine, EngineOptions, EngineResult, ParkOutcome, RunStats};
+use park_storage::{FactStore, Snapshot, StorageError, UpdateSet, Vocabulary};
+use park_syntax::Program;
+use std::sync::Arc;
+
+/// The net effect of one committed transaction.
+#[derive(Debug, Clone)]
+pub struct TransactionReport {
+    /// 1-based transaction number.
+    pub number: u64,
+    /// Facts present after but not before, rendered and sorted.
+    pub added: Vec<String>,
+    /// Facts present before but not after, rendered and sorted.
+    pub removed: Vec<String>,
+    /// Rule instances blocked by conflict resolution during evaluation.
+    pub blocked: Vec<String>,
+    /// Engine counters for the evaluation.
+    pub stats: RunStats,
+}
+
+impl TransactionReport {
+    /// True if the transaction changed nothing.
+    pub fn is_noop(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// A database instance with an installed active-rule program.
+#[derive(Debug, Clone)]
+pub struct ActiveDatabase {
+    engine: Engine,
+    state: FactStore,
+    transactions: u64,
+    journal: Option<std::path::PathBuf>,
+}
+
+impl ActiveDatabase {
+    /// Install `program` over an initial state (the state's vocabulary is
+    /// shared with the compiled program). Fails on unsafe rules or arity
+    /// clashes between program and data.
+    pub fn open(program: &Program, initial: FactStore) -> EngineResult<Self> {
+        Self::open_with_options(program, initial, EngineOptions::default())
+    }
+
+    /// [`ActiveDatabase::open`] with explicit engine options.
+    pub fn open_with_options(
+        program: &Program,
+        initial: FactStore,
+        options: EngineOptions,
+    ) -> EngineResult<Self> {
+        let engine = Engine::with_options(Arc::clone(initial.vocab()), program, options)?;
+        Ok(ActiveDatabase {
+            engine,
+            state: initial,
+            transactions: 0,
+            journal: None,
+        })
+    }
+
+    /// Attach a journal file: every committed transaction's update set is
+    /// appended as one line of `.updates` source (a blank line for
+    /// [`ActiveDatabase::settle`]), so a database can be rebuilt with
+    /// [`ActiveDatabase::replay`]. The file is created if absent and
+    /// appended to if present.
+    pub fn with_journal(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Rebuild a database by replaying a journal produced by
+    /// [`ActiveDatabase::with_journal`] against the same program, initial
+    /// state, and (deterministic) policy. The replayed database does *not*
+    /// keep journaling.
+    pub fn replay(
+        program: &Program,
+        initial: FactStore,
+        journal: &std::path::Path,
+        policy: &mut dyn ConflictResolver,
+    ) -> EngineResult<Self> {
+        let text = std::fs::read_to_string(journal).map_err(|e| {
+            park_engine::EngineError::Storage(StorageError::Snapshot(format!(
+                "cannot read journal {}: {e}",
+                journal.display()
+            )))
+        })?;
+        let mut db = ActiveDatabase::open(program, initial)?;
+        for line in text.lines() {
+            db.transact_source(line, policy)?;
+        }
+        Ok(db)
+    }
+
+    /// The shared vocabulary.
+    pub fn vocab(&self) -> &Arc<Vocabulary> {
+        self.state.vocab()
+    }
+
+    /// The current committed state.
+    pub fn state(&self) -> &FactStore {
+        &self.state
+    }
+
+    /// The compiled engine (e.g. for `park_engine::analysis`).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Number of committed transactions.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Evaluate `PARK(state, P, U)` under `policy` and commit the result.
+    ///
+    /// On error (policy failure, limit breach) the state is left
+    /// unchanged — transactions are all-or-nothing.
+    pub fn transact(
+        &mut self,
+        updates: &UpdateSet,
+        policy: &mut dyn ConflictResolver,
+    ) -> EngineResult<TransactionReport> {
+        let outcome = self.engine.run(&self.state, updates, policy)?;
+        if let Some(path) = &self.journal {
+            use std::io::Write as _;
+            let line = updates.display(self.vocab());
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| writeln!(f, "{line}"))
+                .map_err(|e| {
+                    park_engine::EngineError::Storage(StorageError::Snapshot(format!(
+                        "cannot append journal {}: {e}",
+                        path.display()
+                    )))
+                })?;
+        }
+        Ok(self.commit(outcome))
+    }
+
+    /// Parse and apply a textual update set such as `"+q(b). -p(a)."`.
+    pub fn transact_source(
+        &mut self,
+        updates: &str,
+        policy: &mut dyn ConflictResolver,
+    ) -> EngineResult<TransactionReport> {
+        let updates = UpdateSet::from_source(self.vocab(), updates)
+            .map_err(park_engine::EngineError::Storage)?;
+        self.transact(&updates, policy)
+    }
+
+    /// Run the installed rules with no external updates (condition–action
+    /// evaluation over the current state) and commit.
+    pub fn settle(&mut self, policy: &mut dyn ConflictResolver) -> EngineResult<TransactionReport> {
+        self.transact(&UpdateSet::empty(), policy)
+    }
+
+    fn commit(&mut self, outcome: ParkOutcome) -> TransactionReport {
+        self.transactions += 1;
+        let (added, removed) = self.state.diff(&outcome.database);
+        let vocab = self.vocab();
+        let render = |xs: &[(park_storage::PredId, park_storage::Tuple)]| -> Vec<String> {
+            xs.iter().map(|(p, t)| vocab.display_fact(*p, t)).collect()
+        };
+        let report = TransactionReport {
+            number: self.transactions,
+            added: render(&added),
+            removed: render(&removed),
+            blocked: outcome.blocked_display(),
+            stats: outcome.stats,
+        };
+        self.state = outcome.database;
+        report
+    }
+
+    /// Evaluate a conjunctive query (e.g. `"?- emp(X), !active(X)."`)
+    /// against the current state; rows are rendered `X = a, Y = 3`.
+    pub fn query_rows(&self, query_src: &str) -> EngineResult<Vec<String>> {
+        let q = park_engine::Query::parse(self.vocab(), query_src)?;
+        let rows = q.run_on_database(&self.state);
+        Ok(q.render_rows(&rows))
+    }
+
+    /// All facts of a predicate in the current state, rendered and sorted;
+    /// empty for unknown predicates.
+    pub fn query(&self, pred: &str) -> Vec<String> {
+        let Some(p) = self.vocab().lookup_pred(pred) else {
+            return Vec::new();
+        };
+        let Some(rel) = self.state.relation(p) else {
+            return Vec::new();
+        };
+        let mut rows: Vec<String> = rel
+            .scan()
+            .iter()
+            .map(|t| self.vocab().display_fact(p, t))
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    /// Snapshot the current state.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::of(&self.state)
+    }
+
+    /// Replace the current state from a snapshot (same vocabulary).
+    pub fn restore(&mut self, snapshot: &Snapshot) -> Result<(), StorageError> {
+        self.state = snapshot.restore(Arc::clone(self.vocab()))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use park_engine::Inertia;
+    use park_syntax::parse_program;
+
+    fn payroll_db() -> ActiveDatabase {
+        let vocab = Vocabulary::new();
+        let program = parse_program(
+            "cleanup: emp(X), !active(X), payroll(X, S) -> -payroll(X, S).
+             onleave: -active(X) -> +offboard(X).
+             offb: offboard(X), payroll(X, S) -> -payroll(X, S).",
+        )
+        .unwrap();
+        let initial = FactStore::from_source(
+            vocab,
+            "emp(a). emp(b). active(a). active(b). payroll(a, 10). payroll(b, 20).",
+        )
+        .unwrap();
+        ActiveDatabase::open(&program, initial).unwrap()
+    }
+
+    #[test]
+    fn transactions_commit_and_report_changes() {
+        let mut db = payroll_db();
+        let report = db.transact_source("-active(a).", &mut Inertia).unwrap();
+        assert_eq!(report.number, 1);
+        assert_eq!(report.added, vec!["offboard(a)"]);
+        assert_eq!(report.removed, vec!["active(a)", "payroll(a, 10)"]);
+        assert!(!report.is_noop());
+        assert_eq!(db.transactions(), 1);
+        assert_eq!(db.query("payroll"), vec!["payroll(b, 20)"]);
+    }
+
+    #[test]
+    fn successive_transactions_chain() {
+        let mut db = payroll_db();
+        db.transact_source("-active(a).", &mut Inertia).unwrap();
+        let report = db.transact_source("-active(b).", &mut Inertia).unwrap();
+        assert_eq!(report.number, 2);
+        assert!(report.removed.contains(&"payroll(b, 20)".to_string()));
+        assert_eq!(db.query("payroll"), Vec::<String>::new());
+        // offboard(a) survives from the first transaction.
+        assert_eq!(db.query("offboard"), vec!["offboard(a)", "offboard(b)"]);
+    }
+
+    #[test]
+    fn settle_runs_condition_action_rules() {
+        let vocab = Vocabulary::new();
+        let program =
+            parse_program("emp(X), !active(X), payroll(X, S) -> -payroll(X, S).").unwrap();
+        let initial = FactStore::from_source(vocab, "emp(a). payroll(a, 10).").unwrap();
+        let mut db = ActiveDatabase::open(&program, initial).unwrap();
+        let report = db.settle(&mut Inertia).unwrap();
+        assert_eq!(report.removed, vec!["payroll(a, 10)"]);
+        let report = db.settle(&mut Inertia).unwrap();
+        assert!(report.is_noop());
+    }
+
+    #[test]
+    fn failed_transactions_do_not_commit() {
+        let vocab = Vocabulary::new();
+        let program = parse_program("p -> +q. p -> -q.").unwrap();
+        let initial = FactStore::from_source(vocab, "p.").unwrap();
+        let mut db = ActiveDatabase::open(&program, initial).unwrap();
+        // An interactive policy with no answers fails mid-evaluation.
+        let mut dry = park_policies::Interactive::scripted([]);
+        assert!(db.settle(&mut dry).is_err());
+        assert_eq!(db.transactions(), 0);
+        assert_eq!(db.state().to_string(), "{p}");
+        // Recover with a real policy.
+        assert!(db.settle(&mut Inertia).is_ok());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut db = payroll_db();
+        let snap = db.snapshot();
+        db.transact_source("-active(a). -active(b).", &mut Inertia)
+            .unwrap();
+        assert_eq!(db.query("payroll"), Vec::<String>::new());
+        db.restore(&snap).unwrap();
+        assert_eq!(db.query("payroll").len(), 2);
+    }
+
+    #[test]
+    fn journal_replay_reconstructs_state() {
+        let dir = std::env::temp_dir().join(format!("park-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tx.journal");
+        let _ = std::fs::remove_file(&path);
+
+        let program = parse_program(
+            "onleave: -active(X) -> +offboard(X).
+             offb: offboard(X), payroll(X, S) -> -payroll(X, S).",
+        )
+        .unwrap();
+        let initial_src = "active(a). active(b). payroll(a, 10). payroll(b, 20).";
+
+        let vocab = Vocabulary::new();
+        let initial = FactStore::from_source(vocab, initial_src).unwrap();
+        let mut db = ActiveDatabase::open(&program, initial)
+            .unwrap()
+            .with_journal(&path);
+        db.transact_source("-active(a).", &mut Inertia).unwrap();
+        db.settle(&mut Inertia).unwrap();
+        db.transact_source("-active(b). +active(c).", &mut Inertia)
+            .unwrap();
+        let final_state = db.state().sorted_display();
+
+        // Replay against a fresh vocabulary and initial state.
+        let vocab2 = Vocabulary::new();
+        let initial2 = FactStore::from_source(vocab2, initial_src).unwrap();
+        let replayed = ActiveDatabase::replay(&program, initial2, &path, &mut Inertia).unwrap();
+        assert_eq!(replayed.state().sorted_display(), final_state);
+        assert_eq!(replayed.transactions(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_missing_journal_is_an_error() {
+        let program = parse_program("p -> +q.").unwrap();
+        let initial = FactStore::new(Vocabulary::new());
+        let missing = std::path::Path::new("/nonexistent/park.journal");
+        assert!(ActiveDatabase::replay(&program, initial, missing, &mut Inertia).is_err());
+    }
+
+    #[test]
+    fn query_unknown_predicate_is_empty() {
+        let db = payroll_db();
+        assert!(db.query("nonexistent").is_empty());
+    }
+
+    #[test]
+    fn conjunctive_queries_over_state() {
+        let mut db = payroll_db();
+        db.transact_source("-active(a).", &mut Inertia).unwrap();
+        let rows = db.query_rows("?- emp(X), !active(X).").unwrap();
+        assert_eq!(rows, vec!["X = a"]);
+        let rows = db.query_rows("?- payroll(X, S), S >= 20.").unwrap();
+        assert_eq!(rows, vec!["X = b, S = 20"]);
+        assert!(db.query_rows("?- !active(X).").is_err());
+    }
+
+    #[test]
+    fn conflicting_transaction_reports_blocked_instances() {
+        let vocab = Vocabulary::new();
+        let program = parse_program("r1: p(X) -> -s(X).").unwrap();
+        let initial = FactStore::from_source(vocab, "p(b).").unwrap();
+        let mut db = ActiveDatabase::open(&program, initial).unwrap();
+        let report = db.transact_source("+s(b).", &mut Inertia).unwrap();
+        // Inertia sides with the rule (s(b) ∉ D): the tx grounding blocks.
+        assert_eq!(report.blocked, vec!["(tx1)"]);
+        assert!(db.query("s").is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! # park
+//!
+//! A production-quality implementation of the PARK semantics for active
+//! rules (*The PARK Semantics for Active Rules*, Georg Gottlob, Guido
+//! Moerkotte, V.S. Subrahmanian; EDBT 1996).
+//!
+//! PARK gives event–condition–action (ECA) rule sets a clean semantics:
+//! an inflationary fixpoint computation over *i-interpretations* (atoms
+//! plus `+`/`-` update marks) that, whenever two rules demand conflicting
+//! actions, consults a pluggable `SELECT` policy, blocks the losing rule
+//! instances, and restarts from the original database. The result is
+//! unambiguous, polynomial, recursion-safe, and parameterized by the
+//! conflict-resolution policy:
+//!
+//! ```text
+//! ActiveDBSemantics = DeclarativeSemantics + ConflictResolutionPolicy
+//! ```
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`syntax`] — the rule language: AST, parser, printer, safety checks.
+//! * [`storage`] — database instances: interned values, indexed relations,
+//!   fact stores, update sets, snapshots.
+//! * [`engine`] — the PARK fixpoint machinery itself.
+//! * [`policies`] — every `SELECT` policy from the paper's Section 5.
+//! * [`baselines`] — the semantics the paper argues against, runnable.
+//! * [`workloads`] — seeded workload generators for the experiments.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use park::prelude::*;
+//!
+//! // The paper's Section 2 rule: drop payroll records of inactive staff.
+//! let vocab = Vocabulary::new();
+//! let program = parse_program(
+//!     "emp(X), !active(X), payroll(X, S) -> -payroll(X, S).",
+//! ).unwrap();
+//! let engine = Engine::new(vocab.clone(), &program).unwrap();
+//!
+//! let db = FactStore::from_source(
+//!     vocab,
+//!     "emp(ann). emp(bob). active(ann). payroll(ann, 50000). payroll(bob, 40000).",
+//! ).unwrap();
+//!
+//! let out = engine.park(&db, &mut Inertia).unwrap();
+//! assert_eq!(
+//!     out.database.to_string(),
+//!     "{active(ann), emp(ann), emp(bob), payroll(ann, 50000)}",
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod db;
+
+pub use park_baselines as baselines;
+pub use park_engine as engine;
+pub use park_policies as policies;
+pub use park_storage as storage;
+pub use park_syntax as syntax;
+pub use park_workloads as workloads;
+
+/// The names almost every user needs, in one import.
+pub mod prelude {
+    pub use crate::db::{ActiveDatabase, TransactionReport};
+    pub use park_engine::{
+        Conflict, ConflictResolver, Engine, EngineError, EngineOptions, IInterpretation, Inertia,
+        ParkOutcome, Resolution, ResolutionScope, SelectContext,
+    };
+    pub use park_policies::{
+        AntiInertia, Chain, Interactive, PreferDelete, PreferInsert, RandomPolicy, Recording,
+        RulePriority, ScriptedOracle, Specificity, TransactionsWin, Voting,
+    };
+    pub use park_storage::{FactStore, Snapshot, UpdateSet, Vocabulary};
+    pub use park_syntax::{
+        parse_facts, parse_program, parse_rule, parse_source, parse_updates, Program, Rule,
+    };
+}
