@@ -1,5 +1,7 @@
 //! C6 — naive vs semi-naive Γ evaluation (an implementation ablation; the
-//! two modes are observably identical, see `park_engine::seminaive`).
+//! two modes are observably identical, see `park_engine::seminaive`), plus
+//! the parallel variants of both modes at 2 and 4 threads (also observably
+//! identical — the ordered merge reproduces the sequential stream).
 //!
 //! Recursive workloads make naive evaluation re-derive the entire closure
 //! every step (O(steps × |closure| × joins)); the delta-driven evaluator
@@ -38,6 +40,24 @@ fn bench_modes(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("semi_naive", n), &n, |b, _| {
             b.iter(|| black_box(semi.run_inertia().database.len()))
         });
+        for threads in [2usize, 4] {
+            let par = Session::new(
+                &wl::transitive_closure_program(),
+                &facts,
+                EngineOptions::default()
+                    .with_evaluation(EvaluationMode::SemiNaive)
+                    .with_parallelism(Some(threads)),
+            );
+            assert!(par
+                .run_inertia()
+                .database
+                .same_facts(&semi.run_inertia().database));
+            group.bench_with_input(
+                BenchmarkId::new(format!("semi_naive_t{threads}"), n),
+                &n,
+                |b, _| b.iter(|| black_box(par.run_inertia().database.len())),
+            );
+        }
     }
     group.finish();
 }

@@ -446,6 +446,62 @@ fn c6_evaluation() {
     println!();
 }
 
+/// Measure every (mode, workload, threads) cell and write the grid as
+/// machine-readable JSON to `BENCH_eval.json` (median nanoseconds per full
+/// PARK evaluation). Thread count 1 is the sequential path; the parallel
+/// cells are observably identical runs (deterministic ordered merge), so
+/// the file is a pure performance artifact.
+fn bench_eval_json() {
+    use park_engine::EvaluationMode;
+    use park_json::Json;
+    let workloads: Vec<(&str, String, String)> = vec![
+        (
+            "tc_erdos_renyi_128",
+            wl::transitive_closure_program(),
+            wl::erdos_renyi_edges(128, 4.0 / 128.0, 9),
+        ),
+        (
+            "tc_path_64",
+            wl::transitive_closure_program(),
+            wl::path_edges(64),
+        ),
+    ];
+    let mut results: Vec<Json> = Vec::new();
+    for (workload, rules, facts) in &workloads {
+        for (mode_name, mode) in [
+            ("naive", EvaluationMode::Naive),
+            ("semi_naive", EvaluationMode::SemiNaive),
+        ] {
+            for threads in [1usize, 2, 4] {
+                let session = Session::new(
+                    rules,
+                    facts,
+                    EngineOptions::default()
+                        .with_evaluation(mode)
+                        .with_parallelism(if threads == 1 { None } else { Some(threads) }),
+                );
+                let ms = median_time_ms(5, || session.run_inertia());
+                results.push(Json::object([
+                    ("mode", Json::str(mode_name)),
+                    ("workload", Json::str(*workload)),
+                    ("threads", Json::from(threads)),
+                    ("median_ns", Json::Float(ms * 1e6)),
+                ]));
+            }
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let doc = Json::object([
+        ("schema", Json::str("park-bench/eval-v1")),
+        ("host_parallelism", Json::from(cores)),
+        ("results", Json::Array(results)),
+    ]);
+    match std::fs::write("BENCH_eval.json", doc.to_pretty() + "\n") {
+        Ok(()) => println!("Machine-readable evaluation grid written to `BENCH_eval.json`.\n"),
+        Err(e) => println!("(could not write BENCH_eval.json: {e})\n"),
+    }
+}
+
 fn main() {
     println!("# PARK paper-vs-measured report\n");
     println!("(regenerate with `cargo run -p park-bench --bin report --release`)\n");
@@ -456,4 +512,5 @@ fn main() {
     c4_baseline();
     c5_ablation();
     c6_evaluation();
+    bench_eval_json();
 }

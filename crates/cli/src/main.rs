@@ -3,7 +3,8 @@
 //! ```text
 //! park run <program.park> [--db <data.facts>] [--updates <tx.updates>]
 //!          [--policy <name>] [--scope all|one] [--eval naive|semi]
-//!          [--trace] [--trace-json <f>] [--stats] [--snapshot <out.json>]
+//!          [--threads <n>] [--trace] [--trace-json <f>] [--stats]
+//!          [--snapshot <out.json>]
 //! park check <program.park>
 //! park analyze <program.park> [--db <data.facts>]
 //! park query '<body>' [--db <data.facts>]
@@ -78,6 +79,8 @@ OPTIONS (run/baseline):
                       random[:seed] | interactive        (default: inertia)
   --scope <all|one>   conflicts resolved per restart     (default: all)
   --eval <naive|semi> grounding enumeration strategy     (default: naive)
+  --threads <n>       evaluate each step on n threads with a deterministic
+                      ordered merge: identical results     (default: 1)
   --trace             print the paper-style step listing
   --trace-json <file> write the trace as JSON events
   --stats             print run statistics
@@ -92,6 +95,7 @@ struct RunArgs {
     policy: String,
     scope: ResolutionScope,
     evaluation: EvaluationMode,
+    threads: Option<usize>,
     trace: bool,
     trace_json: Option<String>,
     stats: bool,
@@ -123,6 +127,16 @@ fn parse_run_args(args: Vec<String>) -> Result<RunArgs, String> {
                     "semi" | "semi-naive" | "seminaive" => EvaluationMode::SemiNaive,
                     other => return Err(format!("unknown evaluation mode `{other}`")),
                 }
+            }
+            "--threads" => {
+                let raw = grab("--threads")?;
+                let n: usize = raw
+                    .parse()
+                    .map_err(|_| format!("--threads expects a positive integer, got `{raw}`"))?;
+                if n == 0 {
+                    return Err("--threads expects a positive integer".into());
+                }
+                out.threads = Some(n);
             }
             "--trace" => out.trace = true,
             "--trace-json" => out.trace_json = Some(grab("--trace-json")?),
@@ -207,6 +221,7 @@ fn cmd_run(args: Vec<String>, _baseline: bool) -> Result<(), String> {
         trace: a.trace || a.trace_json.is_some(),
         scope: a.scope,
         evaluation: a.evaluation,
+        parallelism: a.threads,
         ..EngineOptions::default()
     };
     let engine = Engine::with_options(vocab, &program, options).map_err(|e| e.to_string())?;

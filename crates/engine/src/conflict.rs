@@ -33,7 +33,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// The decision of a conflict-resolution policy for one conflict.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Resolution {
     /// Keep the insertion; block the deleting groundings.
     Insert,

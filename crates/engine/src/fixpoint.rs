@@ -146,20 +146,25 @@ impl Engine {
                         limit: self.options.max_steps,
                     });
                 }
-                let fired = match self.options.evaluation {
-                    EvaluationMode::Naive => gamma::fire_all(&working, &blocked, &interp),
+                let threads = self.options.parallelism;
+                let (fired, tasks) = match self.options.evaluation {
+                    EvaluationMode::Naive => {
+                        gamma::fire_all_par(&working, &blocked, &interp, threads)
+                    }
                     EvaluationMode::SemiNaive => {
                         if step_in_run == 0 {
-                            gamma::fire_all(&working, &blocked, &interp)
+                            gamma::fire_all_par(&working, &blocked, &interp, threads)
                         } else {
                             let curr = ZoneLens::capture(&interp);
-                            let fired =
-                                seminaive::fire_new(&working, &blocked, &interp, &prev_lens, &curr);
+                            let fired = seminaive::fire_new_par(
+                                &working, &blocked, &interp, &prev_lens, &curr, threads,
+                            );
                             prev_lens = curr;
                             fired
                         }
                     }
                 };
+                stats.eval_tasks += tasks;
                 stats.groundings_fired += fired.len() as u64;
                 // Fast path: a conflict needs an insertion side and a
                 // deletion side (in this step's firings or the run's marks);
@@ -619,6 +624,82 @@ mod tests {
         .unwrap();
         assert!(naive.database.same_facts(&semi.database));
         assert_eq!(naive.blocked_display(), semi.blocked_display());
+    }
+
+    #[test]
+    fn parallel_runs_are_observably_identical_to_sequential() {
+        // A SELECT oracle that records the exact conflicts it is asked to
+        // resolve, in order, while deciding like Inertia.
+        struct Recording {
+            calls: Vec<String>,
+        }
+        impl ConflictResolver for Recording {
+            fn name(&self) -> &str {
+                "inertia"
+            }
+            fn select(
+                &mut self,
+                ctx: &SelectContext<'_>,
+                c: &crate::conflict::Conflict,
+            ) -> Result<crate::conflict::Resolution, String> {
+                self.calls.push(c.display(ctx.program));
+                Inertia.select(ctx, c)
+            }
+        }
+        let scenarios = [
+            ("p -> +q. p -> -a. q -> +a.", "p."),
+            ("p -> +q. p -> -q. q -> +a. q -> -a. p -> +a.", "p."),
+            (
+                "r1: p -> +a. r2: p -> +q. r3: a -> +b. r4: a -> -q. r5: b -> +q.",
+                "p.",
+            ),
+            (
+                "r1: a -> +b. r2: a -> +d. r3: b -> +c. r4: b -> -d. r5: c -> -b.",
+                "a.",
+            ),
+            (
+                "r1: p(X), p(Y) -> +q(X, Y). r2: q(X, X) -> -q(X, X).
+                 r3: q(X, Y), q(X, Z), q(Z, Y) -> -q(X, Y).",
+                "p(a). p(b). p(c).",
+            ),
+        ];
+        for mode in [EvaluationMode::Naive, EvaluationMode::SemiNaive] {
+            for (rules, facts) in scenarios {
+                let vocab = Vocabulary::new();
+                let engine = |par| {
+                    Engine::with_options(
+                        Arc::clone(&vocab),
+                        &parse_program(rules).unwrap(),
+                        EngineOptions::traced()
+                            .with_evaluation(mode)
+                            .with_parallelism(par),
+                    )
+                    .unwrap()
+                };
+                let db = FactStore::from_source(Arc::clone(&vocab), facts).unwrap();
+                let mut seq_oracle = Recording { calls: Vec::new() };
+                let seq = engine(None).park(&db, &mut seq_oracle).unwrap();
+                let mut par_oracle = Recording { calls: Vec::new() };
+                let par = engine(Some(4)).park(&db, &mut par_oracle).unwrap();
+                assert_eq!(
+                    seq.trace.events(),
+                    par.trace.events(),
+                    "trace divergence ({mode:?}): {rules}"
+                );
+                assert_eq!(
+                    seq_oracle.calls, par_oracle.calls,
+                    "SELECT call order divergence ({mode:?}): {rules}"
+                );
+                assert!(seq.database.same_facts(&par.database), "{rules}");
+                assert_eq!(seq.blocked_display(), par.blocked_display(), "{rules}");
+                assert_eq!(seq.stats.restarts, par.stats.restarts, "{rules}");
+                assert_eq!(seq.stats.gamma_steps, par.stats.gamma_steps, "{rules}");
+                assert_eq!(
+                    seq.stats.groundings_fired, par.stats.groundings_fired,
+                    "{rules}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -13,12 +13,24 @@
 //! appropriate interpretation zones through hash indexes, negated literals
 //! run as residual filters. Results are deterministic: rules in id order,
 //! tuples in relation insertion order.
+//!
+//! ## Parallel evaluation
+//!
+//! [`fire_all_par`] partitions the same enumeration into independent tasks —
+//! one per rule, sub-split by contiguous windows of the first plan step's
+//! enumeration domain — and runs them on a scoped thread pool
+//! ([`crate::parallel`]). Each task reads the immutable pre-step snapshot
+//! and writes a private buffer; buffers are concatenated in task order.
+//! Because a task's output order is lexicographic in per-step enumeration
+//! positions and only the *outermost* (step-0) domain is split into
+//! contiguous position ranges, the concatenation is byte-identical to the
+//! sequential stream.
 
 use crate::compile::{CompiledLiteral, CompiledProgram, CompiledRule, LitKind, TermSlot};
 use crate::grounding::{BlockedSet, Grounding};
 use crate::interp::IInterpretation;
 use crate::validity;
-use park_storage::{PredId, Tuple, Value};
+use park_storage::{ColumnMask, PredId, Tuple, Value};
 use park_syntax::Sign;
 
 /// One firing of a rule grounding: the update its head demands.
@@ -34,6 +46,158 @@ pub struct FiredAction {
     pub tuple: Tuple,
 }
 
+/// Reusable per-task evaluation buffers: the variable bindings and one probe
+/// key per plan step. Reusing them across groundings (and across rules within
+/// a task) keeps the innermost join loop free of heap allocation.
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    pub(crate) bindings: Vec<Option<Value>>,
+    keys: Vec<Vec<Value>>,
+}
+
+impl Scratch {
+    /// Fresh, empty scratch.
+    pub(crate) fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Size the buffers for `rule` and clear stale bindings.
+    pub(crate) fn prepare(&mut self, rule: &CompiledRule) {
+        self.bindings.clear();
+        self.bindings.resize(rule.num_vars as usize, None);
+        if self.keys.len() < rule.plan.len() {
+            self.keys.resize_with(rule.plan.len(), Vec::new);
+        }
+    }
+
+    /// Borrow step `step`'s key buffer out of the scratch, refilled for the
+    /// current bindings. Must be returned with [`Scratch::put_key`] (the
+    /// take/put split lets the probe iterator borrow the key while the
+    /// recursion below it borrows the scratch mutably).
+    pub(crate) fn take_key(
+        &mut self,
+        step: usize,
+        terms: &[TermSlot],
+        mask: ColumnMask,
+    ) -> Vec<Value> {
+        let mut key = std::mem::take(&mut self.keys[step]);
+        key.clear();
+        let bindings = &self.bindings;
+        key.extend(mask.cols().map(|c| match terms[c] {
+            TermSlot::Const(v) => v,
+            TermSlot::Var(s) => bindings[s as usize].expect("mask columns are bound"),
+        }));
+        key
+    }
+
+    /// Return a key buffer taken with [`Scratch::take_key`], keeping its
+    /// capacity for the next grounding.
+    pub(crate) fn put_key(&mut self, step: usize, key: Vec<Value>) {
+        self.keys[step] = key;
+    }
+}
+
+/// A contiguous slice of the first plan step's enumeration domain, in
+/// insertion-position coordinates: a range over the base store (positive
+/// literals only) followed by a range over the mark zone the literal reads.
+/// Concatenating the sub-streams of consecutive windows reproduces the
+/// unsplit enumeration exactly, because relations enumerate probes in
+/// insertion order for both scans and index hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Step0Window {
+    /// `[lo, hi)` insertion positions enumerated from `I°`.
+    pub(crate) base: (u32, u32),
+    /// `[lo, hi)` insertion positions enumerated from the mark zone
+    /// (`I⁺` for positive literals and `+` events, `I⁻` for `-` events).
+    pub(crate) zone: (u32, u32),
+}
+
+/// Split the step-0 domain `base ++ zone` into at most `chunks` contiguous
+/// [`Step0Window`]s covering it exactly, in order.
+pub(crate) fn split_step0(
+    base: (u32, u32),
+    zone: (u32, u32),
+    chunks: usize,
+    mut push: impl FnMut(Step0Window),
+) {
+    let b = u64::from(base.1.saturating_sub(base.0));
+    let z = u64::from(zone.1.saturating_sub(zone.0));
+    let total = b + z;
+    if total == 0 || chunks <= 1 {
+        push(Step0Window { base, zone });
+        return;
+    }
+    let k = (chunks as u64).min(total);
+    for i in 0..k {
+        let lo = total * i / k;
+        let hi = total * (i + 1) / k;
+        push(Step0Window {
+            base: (base.0 + lo.min(b) as u32, base.0 + hi.min(b) as u32),
+            zone: (
+                zone.0 + lo.saturating_sub(b) as u32,
+                zone.0 + hi.saturating_sub(b) as u32,
+            ),
+        });
+    }
+}
+
+/// One unit of parallel naive evaluation: a rule, optionally restricted to a
+/// window of its first plan step's enumeration.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GammaTask {
+    rule: usize,
+    step0: Option<Step0Window>,
+}
+
+/// Decompose `fire_all` into independent tasks, at most `chunks_per_rule`
+/// per rule. Task order (rule id, then window order) is exactly sequential
+/// emission order.
+pub(crate) fn plan_tasks(
+    program: &CompiledProgram,
+    interp: &IInterpretation,
+    chunks_per_rule: usize,
+) -> Vec<GammaTask> {
+    let mut tasks = Vec::new();
+    for (rule_idx, rule) in program.rules().iter().enumerate() {
+        match step0_domain(rule, interp) {
+            Some((base_len, zone_len)) if chunks_per_rule > 1 => {
+                split_step0((0, base_len), (0, zone_len), chunks_per_rule, |w| {
+                    tasks.push(GammaTask {
+                        rule: rule_idx,
+                        step0: Some(w),
+                    });
+                });
+            }
+            _ => tasks.push(GammaTask {
+                rule: rule_idx,
+                step0: None,
+            }),
+        }
+    }
+    tasks
+}
+
+/// The enumeration domain sizes (base, zone) of `rule`'s first plan step,
+/// or `None` when that step does not enumerate a stored relation (guards,
+/// negation, empty plans).
+fn step0_domain(rule: &CompiledRule, interp: &IInterpretation) -> Option<(u32, u32)> {
+    let planned = rule.plan.first()?;
+    let CompiledLiteral::Atom { kind, atom } = &rule.body[planned.lit] else {
+        return None;
+    };
+    let len = |store: &park_storage::FactStore| {
+        store.relation(atom.pred).map_or(0u32, |r| {
+            u32::try_from(r.len()).expect("relation too large")
+        })
+    };
+    match *kind {
+        LitKind::Neg => None,
+        LitKind::Pos => Some((len(interp.base()), len(interp.plus()))),
+        LitKind::Event(Sign::Insert) => Some((0, len(interp.plus()))),
+        LitKind::Event(Sign::Delete) => Some((0, len(interp.minus()))),
+    }
+}
+
 /// Compute every non-blocked rule grounding whose body is valid in `interp`,
 /// with the update each one derives.
 pub fn fire_all(
@@ -41,11 +205,40 @@ pub fn fire_all(
     blocked: &BlockedSet,
     interp: &IInterpretation,
 ) -> Vec<FiredAction> {
-    let mut out = Vec::new();
-    for rule in program.rules() {
-        fire_rule(rule, blocked, interp, &mut out);
+    fire_all_par(program, blocked, interp, None).0
+}
+
+/// [`fire_all`] with optional intra-step parallelism. With `threads` `None`
+/// or `Some(1)` this is the sequential enumeration on the calling thread (no
+/// pool is spun up); otherwise the work is split into per-rule, per-window
+/// tasks executed by [`crate::parallel::run_ordered`], whose ordered merge
+/// makes the output byte-identical to the sequential stream. Returns the
+/// actions and the number of evaluation tasks executed.
+pub fn fire_all_par(
+    program: &CompiledProgram,
+    blocked: &BlockedSet,
+    interp: &IInterpretation,
+    threads: Option<usize>,
+) -> (Vec<FiredAction>, u64) {
+    let threads = threads.unwrap_or(1).max(1);
+    if threads == 1 {
+        let mut out = Vec::new();
+        let mut scratch = Scratch::new();
+        for rule in program.rules() {
+            fire_rule_in(rule, blocked, interp, &mut scratch, None, &mut out);
+        }
+        return (out, program.rules().len() as u64);
     }
-    out
+    let tasks = plan_tasks(
+        program,
+        interp,
+        threads * crate::parallel::CHUNKS_PER_THREAD,
+    );
+    let out = crate::parallel::run_ordered(&tasks, threads, |task, scratch, buf| {
+        let rule = &program.rules()[task.rule];
+        fire_rule_in(rule, blocked, interp, scratch, task.step0, buf);
+    });
+    (out, tasks.len() as u64)
 }
 
 /// Compute the firings of a single rule.
@@ -55,8 +248,21 @@ pub fn fire_rule(
     interp: &IInterpretation,
     out: &mut Vec<FiredAction>,
 ) {
-    let mut bindings: Vec<Option<Value>> = vec![None; rule.num_vars as usize];
-    match_step(rule, blocked, interp, 0, &mut bindings, out);
+    fire_rule_in(rule, blocked, interp, &mut Scratch::new(), None, out);
+}
+
+/// [`fire_rule`] against caller-provided scratch, optionally restricted to a
+/// step-0 window.
+pub(crate) fn fire_rule_in(
+    rule: &CompiledRule,
+    blocked: &BlockedSet,
+    interp: &IInterpretation,
+    scratch: &mut Scratch,
+    step0: Option<Step0Window>,
+    out: &mut Vec<FiredAction>,
+) {
+    scratch.prepare(rule);
+    match_step(rule, blocked, interp, 0, scratch, step0, out);
 }
 
 fn match_step(
@@ -64,12 +270,14 @@ fn match_step(
     blocked: &BlockedSet,
     interp: &IInterpretation,
     step: usize,
-    bindings: &mut Vec<Option<Value>>,
+    scratch: &mut Scratch,
+    step0: Option<Step0Window>,
     out: &mut Vec<FiredAction>,
 ) {
     if step == rule.plan.len() {
         // All body literals satisfied; by safety every variable is bound.
-        let subst: Box<[Value]> = bindings
+        let subst: Box<[Value]> = scratch
+            .bindings
             .iter()
             .map(|b| b.expect("safety guarantees total bindings"))
             .collect();
@@ -92,48 +300,93 @@ fn match_step(
     let lit = &rule.body[planned.lit];
     let CompiledLiteral::Atom { kind, atom } = lit else {
         // A comparison guard: all variables bound, pure filter.
-        if lit.eval_guard(bindings) {
-            match_step(rule, blocked, interp, step + 1, bindings, out);
+        if lit.eval_guard(&scratch.bindings) {
+            match_step(rule, blocked, interp, step + 1, scratch, step0, out);
         }
         return;
     };
+    let window = if step == 0 { step0 } else { None };
     match *kind {
         LitKind::Neg => {
             // All variables bound: a pure validity test.
-            let tuple = instantiate_bound(&atom.terms, bindings);
+            let tuple = instantiate_bound(&atom.terms, &scratch.bindings);
             if validity::valid_neg(interp, atom.pred, &tuple) {
-                match_step(rule, blocked, interp, step + 1, bindings, out);
+                match_step(rule, blocked, interp, step + 1, scratch, step0, out);
             }
         }
         LitKind::Pos => {
-            let key = probe_key(&atom.terms, planned.mask, bindings);
+            let key = scratch.take_key(step, &atom.terms, planned.mask);
             // a is valid iff a ∈ I° or +a ∈ I⁺; enumerate both zones but
             // skip I⁺ tuples also present in I° to keep groundings unique.
             if let Some(rel) = interp.base().relation(atom.pred) {
-                for t in rel.probe(planned.mask, &key) {
-                    try_extend(rule, blocked, interp, step, bindings, out, &atom.terms, t);
+                let iter = match window {
+                    Some(w) => rel.probe_in_range(planned.mask, &key, w.base.0, w.base.1),
+                    None => rel.probe(planned.mask, &key),
+                };
+                for t in iter {
+                    try_extend(
+                        rule,
+                        blocked,
+                        interp,
+                        step,
+                        scratch,
+                        step0,
+                        out,
+                        &atom.terms,
+                        t,
+                    );
                 }
             }
             if let Some(rel) = interp.plus().relation(atom.pred) {
-                for t in rel.probe(planned.mask, &key) {
+                let iter = match window {
+                    Some(w) => rel.probe_in_range(planned.mask, &key, w.zone.0, w.zone.1),
+                    None => rel.probe(planned.mask, &key),
+                };
+                for t in iter {
                     if interp.base().contains(atom.pred, t) {
                         continue;
                     }
-                    try_extend(rule, blocked, interp, step, bindings, out, &atom.terms, t);
+                    try_extend(
+                        rule,
+                        blocked,
+                        interp,
+                        step,
+                        scratch,
+                        step0,
+                        out,
+                        &atom.terms,
+                        t,
+                    );
                 }
             }
+            scratch.put_key(step, key);
         }
         LitKind::Event(sign) => {
-            let key = probe_key(&atom.terms, planned.mask, bindings);
+            let key = scratch.take_key(step, &atom.terms, planned.mask);
             let zone = match sign {
                 Sign::Insert => interp.plus(),
                 Sign::Delete => interp.minus(),
             };
             if let Some(rel) = zone.relation(atom.pred) {
-                for t in rel.probe(planned.mask, &key) {
-                    try_extend(rule, blocked, interp, step, bindings, out, &atom.terms, t);
+                let iter = match window {
+                    Some(w) => rel.probe_in_range(planned.mask, &key, w.zone.0, w.zone.1),
+                    None => rel.probe(planned.mask, &key),
+                };
+                for t in iter {
+                    try_extend(
+                        rule,
+                        blocked,
+                        interp,
+                        step,
+                        scratch,
+                        step0,
+                        out,
+                        &atom.terms,
+                        t,
+                    );
                 }
             }
+            scratch.put_key(step, key);
         }
     }
 }
@@ -147,7 +400,8 @@ fn try_extend(
     blocked: &BlockedSet,
     interp: &IInterpretation,
     step: usize,
-    bindings: &mut Vec<Option<Value>>,
+    scratch: &mut Scratch,
+    step0: Option<Step0Window>,
     out: &mut Vec<FiredAction>,
     terms: &[TermSlot],
     tuple: &Tuple,
@@ -163,7 +417,7 @@ fn try_extend(
                     break;
                 }
             }
-            TermSlot::Var(s) => match bindings[s as usize] {
+            TermSlot::Var(s) => match scratch.bindings[s as usize] {
                 Some(b) => {
                     if b != v {
                         ok = false;
@@ -171,17 +425,17 @@ fn try_extend(
                     }
                 }
                 None => {
-                    bindings[s as usize] = Some(v);
+                    scratch.bindings[s as usize] = Some(v);
                     newly_bound.push(s);
                 }
             },
         }
     }
     if ok {
-        match_step(rule, blocked, interp, step + 1, bindings, out);
+        match_step(rule, blocked, interp, step + 1, scratch, step0, out);
     }
     for s in newly_bound.iter() {
-        bindings[*s as usize] = None;
+        scratch.bindings[*s as usize] = None;
     }
 }
 
@@ -192,20 +446,6 @@ fn instantiate_bound(terms: &[TermSlot], bindings: &[Option<Value>]) -> Tuple {
         .map(|t| match *t {
             TermSlot::Const(v) => v,
             TermSlot::Var(s) => bindings[s as usize].expect("negation scheduled after binding"),
-        })
-        .collect()
-}
-
-/// Build the probe key for the bound columns of `mask`.
-fn probe_key(
-    terms: &[TermSlot],
-    mask: park_storage::ColumnMask,
-    bindings: &[Option<Value>],
-) -> Vec<Value> {
-    mask.cols()
-        .map(|c| match terms[c] {
-            TermSlot::Const(v) => v,
-            TermSlot::Var(s) => bindings[s as usize].expect("mask columns are bound"),
         })
         .collect()
 }

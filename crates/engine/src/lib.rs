@@ -44,6 +44,7 @@ pub mod gamma;
 pub mod grounding;
 pub mod interp;
 pub mod options;
+mod parallel;
 pub mod query;
 pub mod seminaive;
 pub mod stats;
@@ -63,12 +64,12 @@ pub use conflict::{
 };
 pub use error::{EngineError, EngineResult};
 pub use fixpoint::{Engine, ParkOutcome};
-pub use gamma::{fire_all, FiredAction};
+pub use gamma::{fire_all, fire_all_par, FiredAction};
 pub use grounding::{BlockedSet, Grounding};
 pub use interp::IInterpretation;
 pub use options::{EngineOptions, EvaluationMode, ResolutionScope};
 pub use query::Query;
-pub use seminaive::{fire_new, ZoneLens};
+pub use seminaive::{fire_new, fire_new_par, ZoneLens};
 pub use stats::RunStats;
 pub use trace::{Trace, TraceEvent};
 pub use validity::{valid_event, valid_neg, valid_pos, MarkZone};

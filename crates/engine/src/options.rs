@@ -45,6 +45,12 @@ pub struct EngineOptions {
     pub max_steps: u64,
     /// Upper bound on conflict restarts; exceeding it is an error.
     pub max_restarts: u64,
+    /// Intra-step evaluation parallelism: `Some(n)` evaluates each Γ step
+    /// on up to `n` threads with a deterministic ordered merge, so results,
+    /// traces, and `SELECT` inputs are identical to the sequential run
+    /// (only `RunStats::eval_tasks` may differ). `None` (the default) and
+    /// `Some(1)` run everything on the calling thread with no pool.
+    pub parallelism: Option<usize>,
 }
 
 impl Default for EngineOptions {
@@ -55,6 +61,7 @@ impl Default for EngineOptions {
             trace: false,
             max_steps: 1 << 22,
             max_restarts: 1 << 22,
+            parallelism: None,
         }
     }
 }
@@ -79,6 +86,12 @@ impl EngineOptions {
         self.evaluation = evaluation;
         self
     }
+
+    /// Set the intra-step parallelism (builder style).
+    pub fn with_parallelism(mut self, parallelism: Option<usize>) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -91,16 +104,19 @@ mod tests {
         assert_eq!(o.scope, ResolutionScope::All);
         assert!(!o.trace);
         assert!(o.max_steps > 1_000_000);
+        assert_eq!(o.parallelism, None);
     }
 
     #[test]
     fn builders() {
         let o = EngineOptions::traced()
             .with_scope(ResolutionScope::One)
-            .with_evaluation(EvaluationMode::SemiNaive);
+            .with_evaluation(EvaluationMode::SemiNaive)
+            .with_parallelism(Some(4));
         assert!(o.trace);
         assert_eq!(o.scope, ResolutionScope::One);
         assert_eq!(o.evaluation, EvaluationMode::SemiNaive);
+        assert_eq!(o.parallelism, Some(4));
     }
 
     #[test]

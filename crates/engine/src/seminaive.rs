@@ -25,9 +25,19 @@
 //! triples. The engine's `EngineOptions::evaluation` switch is therefore a
 //! pure performance choice, benchmarked in `benches/evaluation.rs` and
 //! property-tested for agreement in `tests/properties.rs`.
+//!
+//! ## Parallel evaluation
+//!
+//! The enumeration decomposes into independent [`SemiTask`]s: one fallback
+//! task per negation-delta rule, and one task per `(rule, delta position)`
+//! pair otherwise, optionally sub-split by contiguous windows of the first
+//! plan step's enumeration domain (exactly as in [`crate::gamma`]).
+//! [`fire_new_par`] runs the tasks on a scoped pool and concatenates their
+//! buffers in task order, which *is* sequential emission order — so the
+//! fired-action stream is byte-identical to [`fire_new`]'s.
 
 use crate::compile::{CompiledLiteral, CompiledProgram, CompiledRule, LitKind, TermSlot};
-use crate::gamma::FiredAction;
+use crate::gamma::{FiredAction, Scratch, Step0Window};
 use crate::grounding::{BlockedSet, Grounding};
 use crate::interp::IInterpretation;
 use crate::validity;
@@ -76,6 +86,151 @@ enum Window {
     Full,
 }
 
+/// One unit of semi-naive evaluation.
+#[derive(Debug, Clone, Copy)]
+enum SemiTask {
+    /// Full re-enumeration of one rule (negation-delta fallback).
+    Fallback {
+        /// Rule index in program order.
+        rule: usize,
+    },
+    /// One delta-position pass of one rule, optionally restricted to a
+    /// window of the first plan step's enumeration.
+    Delta {
+        /// Rule index in program order.
+        rule: usize,
+        /// Index into the rule's binding-step list: which binding literal
+        /// ranges over the delta window this pass.
+        delta_pos: usize,
+        /// Step-0 restriction, or `None` for the whole domain.
+        step0: Option<Step0Window>,
+    },
+}
+
+/// Read-only context of one delta pass, shared by every recursion level.
+struct Pass<'a> {
+    rule: &'a CompiledRule,
+    blocked: &'a BlockedSet,
+    interp: &'a IInterpretation,
+    prev: &'a ZoneLens,
+    curr: &'a ZoneLens,
+    windows: &'a [Window],
+    step0: Option<Step0Window>,
+}
+
+/// Plan-step indices of a rule's binding literals, in plan order.
+fn binding_steps(rule: &CompiledRule) -> Vec<usize> {
+    (0..rule.plan.len())
+        .filter(|&s| rule.body[rule.plan[s].lit].is_binding())
+        .collect()
+}
+
+/// The window assignment for delta position `delta_pos`: earlier binding
+/// steps range over the old window, the delta step over the delta, later
+/// ones (and all non-binding steps) over the full extension.
+fn windows_for(rule: &CompiledRule, steps: &[usize], delta_pos: usize) -> Vec<Window> {
+    let mut windows = vec![Window::Full; rule.plan.len()];
+    for (earlier, &e) in steps.iter().enumerate() {
+        windows[e] = match earlier.cmp(&delta_pos) {
+            std::cmp::Ordering::Less => Window::Old,
+            std::cmp::Ordering::Equal => Window::Delta,
+            std::cmp::Ordering::Greater => Window::Full,
+        };
+    }
+    windows
+}
+
+/// True when one of the rule's negated literals gained new `-b` marks in
+/// the last step, which can make groundings valid without any
+/// binding-literal delta.
+fn has_neg_delta(rule: &CompiledRule, prev: &ZoneLens, curr: &ZoneLens) -> bool {
+    rule.body.iter().any(|l| {
+        matches!(l, CompiledLiteral::Atom { kind: LitKind::Neg, atom }
+            if curr.minus_len(atom.pred) > prev.minus_len(atom.pred))
+    })
+}
+
+/// The `(base, zone)` step-0 enumeration ranges of a delta pass, or `None`
+/// when the first plan step does not enumerate a stored relation.
+fn delta_step0_domain(
+    rule: &CompiledRule,
+    interp: &IInterpretation,
+    prev: &ZoneLens,
+    curr: &ZoneLens,
+    windows: &[Window],
+) -> Option<((u32, u32), (u32, u32))> {
+    let planned = rule.plan.first()?;
+    let CompiledLiteral::Atom { kind, atom } = &rule.body[planned.lit] else {
+        return None;
+    };
+    let pred = atom.pred;
+    match *kind {
+        LitKind::Neg => None,
+        LitKind::Pos => {
+            let base = if windows[0] != Window::Delta {
+                let len = interp.base().relation(pred).map_or(0u32, |r| {
+                    u32::try_from(r.len()).expect("relation too large")
+                });
+                (0, len)
+            } else {
+                (0, 0)
+            };
+            let zone = window_range(windows[0], prev.plus_len(pred), curr.plus_len(pred));
+            Some((base, zone))
+        }
+        LitKind::Event(sign) => {
+            let (plen, clen) = match sign {
+                Sign::Insert => (prev.plus_len(pred), curr.plus_len(pred)),
+                Sign::Delete => (prev.minus_len(pred), curr.minus_len(pred)),
+            };
+            Some(((0, 0), window_range(windows[0], plen, clen)))
+        }
+    }
+}
+
+/// Decompose one semi-naive step into independent tasks, sub-splitting each
+/// delta pass into at most `chunks_per_pass` step-0 windows. Task order is
+/// exactly sequential emission order.
+fn plan_tasks(
+    program: &CompiledProgram,
+    interp: &IInterpretation,
+    prev: &ZoneLens,
+    curr: &ZoneLens,
+    chunks_per_pass: usize,
+) -> Vec<SemiTask> {
+    let mut tasks = Vec::new();
+    for (rule_idx, rule) in program.rules().iter().enumerate() {
+        if rule.body.is_empty() {
+            continue;
+        }
+        if has_neg_delta(rule, prev, curr) {
+            tasks.push(SemiTask::Fallback { rule: rule_idx });
+            continue;
+        }
+        let steps = binding_steps(rule);
+        for delta_pos in 0..steps.len() {
+            let windows = windows_for(rule, &steps, delta_pos);
+            match delta_step0_domain(rule, interp, prev, curr, &windows) {
+                Some((base, zone)) if chunks_per_pass > 1 => {
+                    crate::gamma::split_step0(base, zone, chunks_per_pass, |w| {
+                        tasks.push(SemiTask::Delta {
+                            rule: rule_idx,
+                            delta_pos,
+                            step0: Some(w),
+                        });
+                    });
+                }
+                _ => tasks.push(SemiTask::Delta {
+                    rule: rule_idx,
+                    delta_pos,
+                    step0: None,
+                }),
+            }
+        }
+    }
+    tasks
+}
+
 /// Enumerate the groundings that became valid in the last step: every
 /// non-blocked grounding using at least one mark from the `(prev, curr]`
 /// delta. `prev` and `curr` are the zone sizes at the starts of the
@@ -87,67 +242,117 @@ pub fn fire_new(
     prev: &ZoneLens,
     curr: &ZoneLens,
 ) -> Vec<FiredAction> {
-    let mut out = Vec::new();
-    for rule in program.rules() {
-        if rule.body.is_empty() {
-            // Unconditional rules fire in the first step of a run only.
-            continue;
-        }
-        // A negated literal can become valid without any binding-literal
-        // delta — exactly when its predicate's minus zone grew. Fall back
-        // to full enumeration for such rules this step.
-        let neg_delta = rule.body.iter().any(|l| {
-            matches!(l, CompiledLiteral::Atom { kind: LitKind::Neg, atom }
-                if curr.minus_len(atom.pred) > prev.minus_len(atom.pred))
-        });
-        if neg_delta {
-            crate::gamma::fire_rule(rule, blocked, interp, &mut out);
-            continue;
-        }
-        let binding_steps: Vec<usize> = (0..rule.plan.len())
-            .filter(|&s| rule.body[rule.plan[s].lit].is_binding())
-            .collect();
-        let mut windows: Vec<Window> = vec![Window::Full; rule.plan.len()];
-        for (pos, &d) in binding_steps.iter().enumerate() {
-            for (earlier, &e) in binding_steps.iter().enumerate() {
-                windows[e] = match earlier.cmp(&pos) {
-                    std::cmp::Ordering::Less => Window::Old,
-                    std::cmp::Ordering::Equal => Window::Delta,
-                    std::cmp::Ordering::Greater => Window::Full,
-                };
-            }
-            let _ = d;
-            let mut bindings: Vec<Option<Value>> = vec![None; rule.num_vars as usize];
-            match_step(
-                rule,
-                blocked,
-                interp,
-                prev,
-                curr,
-                &windows,
-                0,
-                &mut bindings,
-                &mut out,
-            );
-        }
-    }
-    out
+    fire_new_par(program, blocked, interp, prev, curr, None).0
 }
 
+/// [`fire_new`] with optional intra-step parallelism. With `threads` `None`
+/// or `Some(1)` this is the sequential enumeration on the calling thread (no
+/// pool is spun up); otherwise the per-`(rule, delta position)` passes are
+/// sub-split at their first plan step and executed by
+/// [`crate::parallel::run_ordered`], whose ordered merge makes the output
+/// byte-identical to the sequential stream. Returns the actions and the
+/// number of evaluation tasks executed.
+pub fn fire_new_par(
+    program: &CompiledProgram,
+    blocked: &BlockedSet,
+    interp: &IInterpretation,
+    prev: &ZoneLens,
+    curr: &ZoneLens,
+    threads: Option<usize>,
+) -> (Vec<FiredAction>, u64) {
+    let threads = threads.unwrap_or(1).max(1);
+    if threads == 1 {
+        let mut out = Vec::new();
+        let mut scratch = Scratch::new();
+        let mut task_count = 0u64;
+        for rule in program.rules() {
+            if rule.body.is_empty() {
+                // Unconditional rules fire in the first step of a run only.
+                continue;
+            }
+            if has_neg_delta(rule, prev, curr) {
+                crate::gamma::fire_rule_in(rule, blocked, interp, &mut scratch, None, &mut out);
+                task_count += 1;
+                continue;
+            }
+            let steps = binding_steps(rule);
+            for delta_pos in 0..steps.len() {
+                run_delta(
+                    rule,
+                    blocked,
+                    interp,
+                    prev,
+                    curr,
+                    &steps,
+                    delta_pos,
+                    None,
+                    &mut scratch,
+                    &mut out,
+                );
+                task_count += 1;
+            }
+        }
+        return (out, task_count);
+    }
+    let tasks = plan_tasks(
+        program,
+        interp,
+        prev,
+        curr,
+        threads * crate::parallel::CHUNKS_PER_THREAD,
+    );
+    let out = crate::parallel::run_ordered(&tasks, threads, |task, scratch, buf| match *task {
+        SemiTask::Fallback { rule } => {
+            crate::gamma::fire_rule_in(&program.rules()[rule], blocked, interp, scratch, None, buf);
+        }
+        SemiTask::Delta {
+            rule,
+            delta_pos,
+            step0,
+        } => {
+            let rule = &program.rules()[rule];
+            let steps = binding_steps(rule);
+            run_delta(
+                rule, blocked, interp, prev, curr, &steps, delta_pos, step0, scratch, buf,
+            );
+        }
+    });
+    (out, tasks.len() as u64)
+}
+
+/// Run one delta pass of one rule.
 #[allow(clippy::too_many_arguments)]
-fn match_step(
+fn run_delta(
     rule: &CompiledRule,
     blocked: &BlockedSet,
     interp: &IInterpretation,
     prev: &ZoneLens,
     curr: &ZoneLens,
-    windows: &[Window],
-    step: usize,
-    bindings: &mut Vec<Option<Value>>,
+    steps: &[usize],
+    delta_pos: usize,
+    step0: Option<Step0Window>,
+    scratch: &mut Scratch,
     out: &mut Vec<FiredAction>,
 ) {
+    let windows = windows_for(rule, steps, delta_pos);
+    let cx = Pass {
+        rule,
+        blocked,
+        interp,
+        prev,
+        curr,
+        windows: &windows,
+        step0,
+    };
+    scratch.prepare(rule);
+    match_step(&cx, 0, scratch, out);
+}
+
+fn match_step(cx: &Pass<'_>, step: usize, scratch: &mut Scratch, out: &mut Vec<FiredAction>) {
+    let rule = cx.rule;
     if step == rule.plan.len() {
-        let subst: Box<[Value]> = bindings
+        let subst: Box<[Value]> = scratch
+            .bindings
             .iter()
             .map(|b| b.expect("safety guarantees total bindings"))
             .collect();
@@ -155,7 +360,7 @@ fn match_step(
             rule: rule.id,
             subst,
         };
-        if !blocked.contains(&grounding) {
+        if !cx.blocked.contains(&grounding) {
             let tuple = rule.head.instantiate(&grounding.subst);
             out.push(FiredAction {
                 sign: rule.head_sign,
@@ -170,110 +375,82 @@ fn match_step(
     let lit = &rule.body[planned.lit];
     let CompiledLiteral::Atom { kind, atom } = lit else {
         // A comparison guard: all variables bound, pure filter.
-        if lit.eval_guard(bindings) {
-            match_step(
-                rule,
-                blocked,
-                interp,
-                prev,
-                curr,
-                windows,
-                step + 1,
-                bindings,
-                out,
-            );
+        if lit.eval_guard(&scratch.bindings) {
+            match_step(cx, step + 1, scratch, out);
         }
         return;
     };
+    let window = if step == 0 { cx.step0 } else { None };
     match *kind {
         LitKind::Neg => {
-            let tuple = instantiate_bound(&atom.terms, bindings);
-            if validity::valid_neg(interp, atom.pred, &tuple) {
-                match_step(
-                    rule,
-                    blocked,
-                    interp,
-                    prev,
-                    curr,
-                    windows,
-                    step + 1,
-                    bindings,
-                    out,
-                );
+            let tuple = instantiate_bound(&atom.terms, &scratch.bindings);
+            if validity::valid_neg(cx.interp, atom.pred, &tuple) {
+                match_step(cx, step + 1, scratch, out);
             }
         }
         LitKind::Pos => {
-            let key = probe_key(&atom.terms, planned.mask, bindings);
+            let key = scratch.take_key(step, &atom.terms, planned.mask);
             let pred = atom.pred;
             // Base tuples are all "old": enumerate them except in the
             // Delta window (the base cannot contain delta tuples).
-            if windows[step] != Window::Delta {
-                if let Some(rel) = interp.base().relation(pred) {
-                    for t in rel.probe(planned.mask, &key) {
-                        descend(
-                            rule,
-                            blocked,
-                            interp,
-                            prev,
-                            curr,
-                            windows,
-                            step,
-                            bindings,
-                            out,
-                            &atom.terms,
-                            t,
-                        );
+            if let Some(rel) = cx.interp.base().relation(pred) {
+                match window {
+                    Some(w) => {
+                        for t in rel.probe_in_range(planned.mask, &key, w.base.0, w.base.1) {
+                            descend(cx, step, scratch, out, &atom.terms, t);
+                        }
                     }
+                    None if cx.windows[step] != Window::Delta => {
+                        for t in rel.probe(planned.mask, &key) {
+                            descend(cx, step, scratch, out, &atom.terms, t);
+                        }
+                    }
+                    None => {}
                 }
             }
-            if let Some(rel) = interp.plus().relation(pred) {
-                let (lo, hi) =
-                    window_range(windows[step], prev.plus_len(pred), curr.plus_len(pred));
+            if let Some(rel) = cx.interp.plus().relation(pred) {
+                let (lo, hi) = match window {
+                    Some(w) => w.zone,
+                    None => window_range(
+                        cx.windows[step],
+                        cx.prev.plus_len(pred),
+                        cx.curr.plus_len(pred),
+                    ),
+                };
                 for t in rel.probe_in_range(planned.mask, &key, lo, hi) {
-                    if interp.base().contains(pred, t) {
+                    if cx.interp.base().contains(pred, t) {
                         continue; // deduplicated against the base zone
                     }
-                    descend(
-                        rule,
-                        blocked,
-                        interp,
-                        prev,
-                        curr,
-                        windows,
-                        step,
-                        bindings,
-                        out,
-                        &atom.terms,
-                        t,
-                    );
+                    descend(cx, step, scratch, out, &atom.terms, t);
                 }
             }
+            scratch.put_key(step, key);
         }
         LitKind::Event(sign) => {
-            let key = probe_key(&atom.terms, planned.mask, bindings);
+            let key = scratch.take_key(step, &atom.terms, planned.mask);
             let pred = atom.pred;
             let (zone, plen, clen) = match sign {
-                Sign::Insert => (interp.plus(), prev.plus_len(pred), curr.plus_len(pred)),
-                Sign::Delete => (interp.minus(), prev.minus_len(pred), curr.minus_len(pred)),
+                Sign::Insert => (
+                    cx.interp.plus(),
+                    cx.prev.plus_len(pred),
+                    cx.curr.plus_len(pred),
+                ),
+                Sign::Delete => (
+                    cx.interp.minus(),
+                    cx.prev.minus_len(pred),
+                    cx.curr.minus_len(pred),
+                ),
             };
             if let Some(rel) = zone.relation(pred) {
-                let (lo, hi) = window_range(windows[step], plen, clen);
+                let (lo, hi) = match window {
+                    Some(w) => w.zone,
+                    None => window_range(cx.windows[step], plen, clen),
+                };
                 for t in rel.probe_in_range(planned.mask, &key, lo, hi) {
-                    descend(
-                        rule,
-                        blocked,
-                        interp,
-                        prev,
-                        curr,
-                        windows,
-                        step,
-                        bindings,
-                        out,
-                        &atom.terms,
-                        t,
-                    );
+                    descend(cx, step, scratch, out, &atom.terms, t);
                 }
             }
+            scratch.put_key(step, key);
         }
     }
 }
@@ -286,16 +463,10 @@ fn window_range(w: Window, prev_len: u32, curr_len: u32) -> (u32, u32) {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn descend(
-    rule: &CompiledRule,
-    blocked: &BlockedSet,
-    interp: &IInterpretation,
-    prev: &ZoneLens,
-    curr: &ZoneLens,
-    windows: &[Window],
+    cx: &Pass<'_>,
     step: usize,
-    bindings: &mut Vec<Option<Value>>,
+    scratch: &mut Scratch,
     out: &mut Vec<FiredAction>,
     terms: &[TermSlot],
     tuple: &Tuple,
@@ -313,7 +484,7 @@ fn descend(
                     break;
                 }
             }
-            TermSlot::Var(s) => match bindings[s as usize] {
+            TermSlot::Var(s) => match scratch.bindings[s as usize] {
                 Some(b) => {
                     if b != v {
                         ok = false;
@@ -321,7 +492,7 @@ fn descend(
                     }
                 }
                 None => {
-                    bindings[s as usize] = Some(v);
+                    scratch.bindings[s as usize] = Some(v);
                     if n_newly < newly.len() {
                         newly[n_newly] = s;
                         n_newly += 1;
@@ -333,20 +504,10 @@ fn descend(
         }
     }
     if ok {
-        match_step(
-            rule,
-            blocked,
-            interp,
-            prev,
-            curr,
-            windows,
-            step + 1,
-            bindings,
-            out,
-        );
+        match_step(cx, step + 1, scratch, out);
     }
     for &s in newly[..n_newly].iter().chain(spill.iter()) {
-        bindings[s as usize] = None;
+        scratch.bindings[s as usize] = None;
     }
 }
 
@@ -360,23 +521,10 @@ fn instantiate_bound(terms: &[TermSlot], bindings: &[Option<Value>]) -> Tuple {
         .collect()
 }
 
-fn probe_key(
-    terms: &[TermSlot],
-    mask: park_storage::ColumnMask,
-    bindings: &[Option<Value>],
-) -> Vec<Value> {
-    mask.cols()
-        .map(|c| match terms[c] {
-            TermSlot::Const(v) => v,
-            TermSlot::Var(s) => bindings[s as usize].expect("mask columns are bound"),
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gamma::fire_all;
+    use crate::gamma::{fire_all, fire_all_par};
     use park_storage::{FactStore, Vocabulary};
     use park_syntax::parse_program;
     use std::collections::HashSet;
@@ -395,7 +543,8 @@ mod tests {
     }
 
     /// Drive a run with both evaluators in lockstep and assert the
-    /// per-step *new* groundings agree.
+    /// per-step *new* groundings agree — and that the parallel variants
+    /// reproduce the sequential streams byte for byte.
     fn lockstep(rules: &str, facts: &str, max_steps: usize) {
         let (program, mut naive_i) = setup(rules, facts);
         let blocked = BlockedSet::new();
@@ -412,6 +561,17 @@ mod tests {
             } else {
                 fire_new(&program, &blocked, &semi_i, &prev, &curr)
             };
+            for threads in [2, 4] {
+                let par = if step == 0 {
+                    fire_all_par(&program, &blocked, &semi_i, Some(threads)).0
+                } else {
+                    fire_new_par(&program, &blocked, &semi_i, &prev, &curr, Some(threads)).0
+                };
+                assert_eq!(
+                    par, semi_fired,
+                    "parallel ({threads} threads) diverged at step {step}"
+                );
+            }
 
             // New naive groundings must equal the semi-naive enumeration
             // (which may also re-produce a few old ones via the Full

@@ -21,6 +21,11 @@ pub struct RunStats {
     pub groundings_fired: u64,
     /// Size of the final blocked set `B`.
     pub blocked_instances: u64,
+    /// Evaluation tasks executed across all Γ steps. This is scheduling
+    /// information only: it grows with the configured parallelism (each
+    /// step is split into more, smaller tasks) and is the one counter that
+    /// may differ between otherwise identical sequential and parallel runs.
+    pub eval_tasks: u64,
     /// Largest number of marked atoms held at once.
     pub peak_marked_atoms: usize,
     /// Wall-clock time of the evaluation.
@@ -31,12 +36,13 @@ impl RunStats {
     /// One summary line for logs and reports.
     pub fn summary(&self) -> String {
         format!(
-            "steps={} restarts={} conflicts={} fired={} blocked={} peak_marked={} elapsed={:?}",
+            "steps={} restarts={} conflicts={} fired={} blocked={} tasks={} peak_marked={} elapsed={:?}",
             self.gamma_steps,
             self.restarts,
             self.conflicts_resolved,
             self.groundings_fired,
             self.blocked_instances,
+            self.eval_tasks,
             self.peak_marked_atoms,
             self.elapsed
         )

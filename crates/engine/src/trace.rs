@@ -15,11 +15,11 @@
 //! ```
 
 use crate::conflict::Resolution;
+use park_json::Json;
 use std::fmt;
 
 /// One trace event.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
-#[serde(tag = "event", rename_all = "snake_case")]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A (re)start of the inflationary computation from `D`.
     RunStarted {
@@ -68,8 +68,137 @@ pub enum TraceEvent {
     },
 }
 
+impl TraceEvent {
+    fn to_json_value(&self) -> Json {
+        fn strings(items: &[String]) -> Json {
+            Json::Array(items.iter().map(Json::str).collect())
+        }
+        match self {
+            TraceEvent::RunStarted { run } => Json::object([
+                ("event", Json::str("run_started")),
+                ("run", Json::from(*run)),
+            ]),
+            TraceEvent::Step {
+                run,
+                step,
+                interp,
+                added,
+            } => Json::object([
+                ("event", Json::str("step")),
+                ("run", Json::from(*run)),
+                ("step", Json::from(*step)),
+                ("interp", Json::str(interp)),
+                ("added", strings(added)),
+            ]),
+            TraceEvent::Inconsistent { run, step, atoms } => Json::object([
+                ("event", Json::str("inconsistent")),
+                ("run", Json::from(*run)),
+                ("step", Json::from(*step)),
+                ("atoms", strings(atoms)),
+            ]),
+            TraceEvent::ConflictResolved {
+                conflict,
+                policy,
+                resolution,
+                blocked,
+            } => Json::object([
+                ("event", Json::str("conflict_resolved")),
+                ("conflict", Json::str(conflict)),
+                ("policy", Json::str(policy)),
+                (
+                    "resolution",
+                    Json::str(match resolution {
+                        Resolution::Insert => "Insert",
+                        Resolution::Delete => "Delete",
+                    }),
+                ),
+                ("blocked", strings(blocked)),
+            ]),
+            TraceEvent::Fixpoint {
+                run,
+                interp,
+                blocked,
+            } => Json::object([
+                ("event", Json::str("fixpoint")),
+                ("run", Json::from(*run)),
+                ("interp", Json::str(interp)),
+                ("blocked", strings(blocked)),
+            ]),
+        }
+    }
+
+    fn from_json_value(value: &Json) -> Result<TraceEvent, String> {
+        fn run_of(value: &Json) -> Result<u64, String> {
+            num(value, "run")
+        }
+        fn num(value: &Json, key: &str) -> Result<u64, String> {
+            value
+                .get(key)
+                .and_then(Json::as_i64)
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("missing numeric `{key}`"))
+        }
+        fn text(value: &Json, key: &str) -> Result<String, String> {
+            value
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string `{key}`"))
+        }
+        fn strings(value: &Json, key: &str) -> Result<Vec<String>, String> {
+            value
+                .get(key)
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("missing array `{key}`"))?
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("non-string entry in `{key}`"))
+                })
+                .collect()
+        }
+        let tag = value
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or("missing `event` tag")?;
+        match tag {
+            "run_started" => Ok(TraceEvent::RunStarted {
+                run: run_of(value)?,
+            }),
+            "step" => Ok(TraceEvent::Step {
+                run: run_of(value)?,
+                step: num(value, "step")?,
+                interp: text(value, "interp")?,
+                added: strings(value, "added")?,
+            }),
+            "inconsistent" => Ok(TraceEvent::Inconsistent {
+                run: run_of(value)?,
+                step: num(value, "step")?,
+                atoms: strings(value, "atoms")?,
+            }),
+            "conflict_resolved" => Ok(TraceEvent::ConflictResolved {
+                conflict: text(value, "conflict")?,
+                policy: text(value, "policy")?,
+                resolution: match text(value, "resolution")?.as_str() {
+                    "Insert" => Resolution::Insert,
+                    "Delete" => Resolution::Delete,
+                    other => return Err(format!("unknown resolution `{other}`")),
+                },
+                blocked: strings(value, "blocked")?,
+            }),
+            "fixpoint" => Ok(TraceEvent::Fixpoint {
+                run: run_of(value)?,
+                interp: text(value, "interp")?,
+                blocked: strings(value, "blocked")?,
+            }),
+            other => Err(format!("unknown event tag `{other}`")),
+        }
+    }
+}
+
 /// An ordered list of trace events.
-#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }
@@ -100,9 +229,22 @@ impl Trace {
         self.events.len()
     }
 
-    /// Encode as a JSON array of tagged events (for tooling).
+    /// Encode as a JSON array of tagged events (for tooling): each event is
+    /// an object whose `event` member names the variant in `snake_case`,
+    /// followed by the variant's fields in declaration order.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(&self.events).expect("trace events serialize")
+        Json::Array(self.events.iter().map(TraceEvent::to_json_value).collect()).to_pretty()
+    }
+
+    /// Decode a JSON array produced by [`Trace::to_json`].
+    pub fn from_json(json: &str) -> Result<Trace, String> {
+        let doc = park_json::parse(json).map_err(|e| e.to_string())?;
+        let items = doc.as_array().ok_or("trace JSON must be an array")?;
+        let events = items
+            .iter()
+            .map(TraceEvent::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Trace { events })
     }
 
     /// Render the whole trace as indented text.
@@ -217,7 +359,14 @@ mod tests {
         let json = t.to_json();
         assert!(json.contains("\"event\": \"run_started\""), "{json}");
         assert!(json.contains("\"resolution\": \"Insert\""), "{json}");
-        let events: Vec<TraceEvent> = serde_json::from_str(&json).unwrap();
-        assert_eq!(events, t.events());
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(back.events(), t.events());
+    }
+
+    #[test]
+    fn malformed_trace_json_rejected() {
+        assert!(Trace::from_json("{not json").is_err());
+        assert!(Trace::from_json("{}").is_err());
+        assert!(Trace::from_json("[{\"event\": \"no_such_tag\"}]").is_err());
     }
 }

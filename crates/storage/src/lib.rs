@@ -7,7 +7,7 @@
 //! instances are [`FactStore`]s — sets of ground atoms organized into
 //! per-predicate [`Relation`]s with hash indexes — over a shared, interned
 //! [`Vocabulary`]. Transaction updates (`U` in Section 4.3) are
-//! [`UpdateSet`]s, and [`Snapshot`] provides a portable, serde-serializable
+//! [`UpdateSet`]s, and [`Snapshot`] provides a portable, JSON-serializable
 //! image for persistence.
 //!
 //! ```

@@ -1,6 +1,6 @@
 //! Portable snapshots of fact stores.
 //!
-//! A [`Snapshot`] is a vocabulary-independent, serde-serializable image of a
+//! A [`Snapshot`] is a vocabulary-independent, JSON-serializable image of a
 //! [`FactStore`]: predicate names and arities plus constant-level tuples.
 //! Snapshots are the persistence format of the CLI and of tests that save
 //! and reload database states.
@@ -8,13 +8,13 @@
 use crate::error::StorageError;
 use crate::store::FactStore;
 use crate::vocab::Vocabulary;
+use park_json::Json;
 use park_syntax::Const;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// One predicate's extension in portable form.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RelationSnapshot {
     /// The predicate's arity.
     pub arity: usize,
@@ -23,7 +23,7 @@ pub struct RelationSnapshot {
 }
 
 /// A portable image of a fact store.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Snapshot {
     /// Predicate name → extension. `BTreeMap` keeps output deterministic.
     pub relations: BTreeMap<String, RelationSnapshot>,
@@ -70,14 +70,59 @@ impl Snapshot {
         Ok(store)
     }
 
-    /// Encode as pretty JSON.
+    /// Encode as pretty JSON. Constants are externally tagged:
+    /// `{"Sym": "a"}` / `{"Int": 42}`.
     pub fn to_json(&self) -> Result<String, StorageError> {
-        serde_json::to_string_pretty(self).map_err(|e| StorageError::Snapshot(e.to_string()))
+        let relations = self
+            .relations
+            .iter()
+            .map(|(name, rel)| {
+                let tuples = rel
+                    .tuples
+                    .iter()
+                    .map(|tuple| Json::Array(tuple.iter().map(const_to_json).collect()))
+                    .collect();
+                let body = Json::object([
+                    ("arity", Json::from(rel.arity)),
+                    ("tuples", Json::Array(tuples)),
+                ]);
+                (name.clone(), body)
+            })
+            .collect::<Vec<_>>();
+        Ok(Json::object([("relations", Json::Object(relations))]).to_pretty())
     }
 
     /// Decode from JSON.
     pub fn from_json(s: &str) -> Result<Self, StorageError> {
-        serde_json::from_str(s).map_err(|e| StorageError::Snapshot(e.to_string()))
+        let bad = |msg: &str| StorageError::Snapshot(msg.to_string());
+        let doc = park_json::parse(s).map_err(|e| StorageError::Snapshot(e.to_string()))?;
+        let members = doc
+            .get("relations")
+            .and_then(Json::as_object)
+            .ok_or_else(|| bad("missing `relations` object"))?;
+        let mut relations = BTreeMap::new();
+        for (name, body) in members {
+            let arity = body
+                .get("arity")
+                .and_then(Json::as_i64)
+                .ok_or_else(|| bad("missing numeric `arity`"))? as usize;
+            let tuples = body
+                .get("tuples")
+                .and_then(Json::as_array)
+                .ok_or_else(|| bad("missing `tuples` array"))?
+                .iter()
+                .map(|tuple| {
+                    tuple
+                        .as_array()
+                        .ok_or_else(|| bad("tuple must be an array"))?
+                        .iter()
+                        .map(const_from_json)
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            relations.insert(name.clone(), RelationSnapshot { arity, tuples });
+        }
+        Ok(Snapshot { relations })
     }
 
     /// Total number of tuples.
@@ -89,6 +134,25 @@ impl Snapshot {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+fn const_to_json(c: &Const) -> Json {
+    match c {
+        Const::Sym(s) => Json::object([("Sym", Json::str(s.as_str()))]),
+        Const::Int(n) => Json::object([("Int", Json::Int(*n))]),
+    }
+}
+
+fn const_from_json(value: &Json) -> Result<Const, StorageError> {
+    if let Some(s) = value.get("Sym").and_then(Json::as_str) {
+        return Ok(Const::Sym(s.to_string()));
+    }
+    if let Some(n) = value.get("Int").and_then(Json::as_i64) {
+        return Ok(Const::Int(n));
+    }
+    Err(StorageError::Snapshot(format!(
+        "expected `{{\"Sym\": ..}}` or `{{\"Int\": ..}}`, got `{value}`"
+    )))
 }
 
 #[cfg(test)]

@@ -5,12 +5,11 @@
 //! [`Value`] is a 16-byte `Copy` type and a [`Tuple`] is a boxed slice of
 //! them.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An interned constant symbol. Only meaningful relative to the
 /// [`crate::vocab::Vocabulary`] that produced it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SymId(pub u32);
 
 /// A runtime constant: an interned symbol or an integer.
@@ -18,7 +17,7 @@ pub struct SymId(pub u32);
 /// Ordering sorts all symbols before all integers, and within each class by
 /// id / numeric value; the [`crate::store::FactStore`] uses vocabulary-aware
 /// ordering for display instead.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// An interned symbol.
     Sym(SymId),
@@ -57,7 +56,7 @@ impl From<SymId> for Value {
 }
 
 /// A ground tuple: the argument vector of a ground atom.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Tuple(Box<[Value]>);
 
 impl Tuple {

@@ -15,12 +15,11 @@
 //! Terms are variables (identifiers starting with an uppercase letter or
 //! `_`) or constants (lowercase identifiers, quoted symbols, or integers).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A source location (1-based line and column), carried through parsing for
 /// error reporting. `Span::synthetic()` marks nodes built programmatically.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Span {
     /// 1-based line; 0 for synthetic nodes.
     pub line: u32,
@@ -60,7 +59,7 @@ impl fmt::Display for Span {
 ///
 /// The paper's database instances are sets of ground atoms over constant
 /// symbols; integers are a convenience for workloads and examples.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Const {
     /// An uninterpreted symbol such as `a`, `alice`, or `"Hello world"`.
     Sym(String),
@@ -107,7 +106,7 @@ impl fmt::Display for Const {
 }
 
 /// A term: a variable or a constant.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Term {
     /// A variable, e.g. `X`, `Salary`, `_tmp`.
     Var(String),
@@ -163,7 +162,7 @@ impl fmt::Display for Term {
 }
 
 /// An atom `p(t1, ..., tn)`. A zero-ary atom is written without parentheses.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Atom {
     /// Predicate symbol.
     pub pred: String,
@@ -223,7 +222,7 @@ impl fmt::Display for Atom {
 }
 
 /// The polarity of an update action: insertion (`+`) or deletion (`-`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Sign {
     /// `+a`: insert `a` into the database.
     Insert,
@@ -256,7 +255,7 @@ impl fmt::Display for Sign {
 }
 
 /// A comparison operator for guard literals.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CompOp {
     /// `=` — equality (any value kind).
     Eq,
@@ -311,7 +310,7 @@ impl fmt::Display for CompOp {
 }
 
 /// A body literal of an active rule.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum BodyLiteral {
     /// A positive condition: valid iff `a ∈ I` or `+a ∈ I` (Section 4.2).
     Pos(Atom),
@@ -388,7 +387,7 @@ impl fmt::Display for BodyLiteral {
 }
 
 /// A rule head: a signed positive atom, `+a` or `-a`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Head {
     /// Insert or delete.
     pub sign: Sign,
@@ -425,7 +424,7 @@ impl fmt::Display for Head {
 /// A rule with an empty body (`-> +a.`) fires unconditionally; the ECA
 /// construction `P_U` of Section 4.3 models transaction updates with such
 /// rules.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Rule {
     /// Optional rule label (`r1: body -> head.`), used by tracing and the
     /// rule-priority policy.
@@ -506,7 +505,7 @@ impl fmt::Display for Rule {
 }
 
 /// A parsed ground fact (database tuple), e.g. `p(a, 3).`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Fact {
     /// The ground atom. Invariant (checked by the parser and
     /// [`Fact::new`]): every argument is a constant.
@@ -532,7 +531,7 @@ impl fmt::Display for Fact {
 }
 
 /// A set of active rules (the paper's program `P`).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Program {
     /// The rules, in source order. Rule order carries no semantic weight in
     /// PARK itself but is used by some baselines and policies.
@@ -577,7 +576,7 @@ impl fmt::Display for Program {
 
 /// The result of parsing a source file: rules and facts may be interleaved
 /// in the source; they are split here.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SourceFile {
     /// The active rules.
     pub program: Program,

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Full verification: release build, the whole workspace test suite,
+# formatting, and lints. This is the gate every change must pass.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test --workspace"
+cargo test --workspace --offline --quiet
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "verify: OK"

@@ -1,0 +1,227 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no registry access, so this workspace-local
+//! crate provides the API slice the bench targets use — `Criterion`,
+//! `benchmark_group` / `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!` macros — as
+//! a simple wall-clock harness: per benchmark it runs a warmup pass, then
+//! `sample_size` timed samples, and prints the median per-iteration time.
+//! There are no statistical comparisons, plots, or saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Identifies one benchmark within a group, e.g. `semi_naive/64`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value: `name/param`.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    /// Just a parameter value (the group name supplies the function part).
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Times one benchmark body; handed to the closure by `bench_function`.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Run `body` repeatedly, recording per-iteration wall-clock times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warmup + calibration: find an iteration count that makes one
+        // sample take a measurable slice of time.
+        let start = Instant::now();
+        std::hint::black_box(body());
+        let once = start.elapsed().as_secs_f64().max(1e-9);
+        let target_sample_secs = 0.01;
+        self.iters_per_sample = ((target_sample_secs / once) as u64).clamp(1, 10_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(body());
+            }
+            let total = start.elapsed().as_secs_f64();
+            self.samples.push(total / self.iters_per_sample as f64);
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        sorted[sorted.len() / 2] * 1e9
+    }
+}
+
+fn run_one(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    sample_size: usize,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        iters_per_sample: 1,
+    };
+    f(&mut b);
+    let name = match group {
+        Some(g) => format!("{g}/{}", id.label),
+        None => id.label.clone(),
+    };
+    println!(
+        "bench {name:<50} median {:>12.1} ns ({} samples x {} iters)",
+        b.median_ns(),
+        b.samples.len(),
+        b.iters_per_sample,
+    );
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(Some(&self.name), &id.into(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmark `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(Some(&self.name), &id, self.sample_size, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(None, &id.into(), 100, &mut f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` for one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        let mut hits = 0u64;
+        group.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, n| {
+            hits += 1;
+            b.iter(|| std::hint::black_box(n * 2))
+        });
+        group.finish();
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn ids_format_as_expected() {
+        assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
+        assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+}

@@ -1,0 +1,653 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no registry access, so this workspace-local
+//! crate re-implements the slice of the proptest API the repo's property
+//! tests use: the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`,
+//! [`Strategy`](strategy::Strategy) with `prop_map`, integer-range / tuple /
+//! string-pattern strategies, `prop::collection::vec`, `prop::sample::select`,
+//! [`sample::subsequence`], `prop::bool::ANY`, `any::<T>()`, [`prop_oneof!`],
+//! and [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (hashed test path), there is **no shrinking** (failures
+//! report the raw inputs), and string "regex" strategies only honor a
+//! trailing `{lo,hi}` repetition count over a fixed unicode pool — enough
+//! for no-panic fuzzing.
+
+#![forbid(unsafe_code)]
+
+/// Runner configuration (`cases` = number of random cases per property).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic case generation and the per-property driver loop.
+pub mod test_runner {
+    use super::ProptestConfig;
+
+    /// xoshiro256** generator seeded from the test path, so each property
+    /// sees the same case sequence on every run.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seed deterministically from a test name (FNV-1a + SplitMix64).
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut x = h;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw in `[0, span)` (rejection sampling; `span > 0`).
+        pub fn below(&mut self, span: u64) -> u64 {
+            assert!(span > 0, "empty range in strategy");
+            let zone = u64::MAX - (u64::MAX % span);
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % span;
+                }
+            }
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Debug rendering of one case's generated inputs, for failure reports.
+    pub struct CaseInputs(pub String);
+
+    /// Drive `config.cases` random cases of one property. `mk` generates the
+    /// inputs (returning their rendering) plus the body to run; a body
+    /// returning `Err` (a failed `prop_assert!`) or panicking fails the test
+    /// with the offending inputs echoed.
+    pub fn run_cases<F, C>(config: ProptestConfig, name: &str, mut mk: F)
+    where
+        F: FnMut(&mut TestRng) -> (CaseInputs, C),
+        C: FnOnce() -> Result<(), String>,
+    {
+        let mut rng = TestRng::from_name(name);
+        for case in 0..config.cases {
+            let (inputs, body) = mk(&mut rng);
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+                Ok(Ok(())) => {}
+                Ok(Err(msg)) => panic!(
+                    "[{name}] property failed at case {case}/{total}: {msg}\n  inputs: {inputs}",
+                    total = config.cases,
+                    inputs = inputs.0,
+                ),
+                Err(payload) => {
+                    eprintln!(
+                        "[{name}] body panicked at case {case}/{total}\n  inputs: {inputs}",
+                        total = config.cases,
+                        inputs = inputs.0,
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// The strategy abstraction: a recipe for generating random values.
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A generator of random `Value`s. Unlike upstream proptest there is no
+    /// value tree / shrinking; `Value` is the produced type directly.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform produced values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Box a strategy for heterogeneous unions ([`crate::prop_oneof!`]).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// Uniform choice among boxed alternatives (from [`crate::prop_oneof!`]).
+    pub struct Union<V> {
+        alternatives: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from a non-empty alternative list.
+        pub fn new(alternatives: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!alternatives.is_empty(), "prop_oneof! needs alternatives");
+            Union { alternatives }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.alternatives.len() as u64) as usize;
+            self.alternatives[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+
+    macro_rules! impl_tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// Fixed pool used by string-pattern strategies: ASCII printables plus
+    /// whitespace, escapes, and multibyte characters to stress the lexer.
+    const CHAR_POOL: &[char] = &[
+        'a', 'b', 'c', 'p', 'q', 'r', 'X', 'Y', 'Z', '0', '1', '9', '_', '(', ')', ',', '.', '-',
+        '>', '+', '!', '<', '=', '"', '\\', '%', ' ', '\t', '\n', '\'', ':', ';', '@', '#', '{',
+        '}', '[', ']', '*', '/', '~', '^', '&', '|', '?', '$', '`', 'é', 'λ', 'Ж', '中', '🦀',
+        '\u{7f}', '\u{a0}', '\u{2028}',
+    ];
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            // Honor a trailing `{lo,hi}` repetition; the class prefix (e.g.
+            // `\PC`) just selects from the fixed pool.
+            let (lo, hi) = match self.rfind('{').and_then(|open| {
+                let body = self.get(open + 1..self.len().checked_sub(1)?)?;
+                let (a, b) = body.split_once(',')?;
+                Some((a.trim().parse().ok()?, b.trim().parse().ok()?))
+            }) {
+                Some(bounds) if self.ends_with('}') => bounds,
+                _ => (0usize, 16usize),
+            };
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len)
+                .map(|_| CHAR_POOL[rng.below(CHAR_POOL.len() as u64) as usize])
+                .collect()
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw a uniformly random value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy form of [`Arbitrary`], returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// An inclusive size window for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        /// Smallest permitted length.
+        pub lo: usize,
+        /// Largest permitted length (inclusive).
+        pub hi: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl SizeRange {
+        pub(crate) fn pick(self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`select`, `subsequence`).
+pub mod sample {
+    use super::collection::SizeRange;
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Uniformly select one element of `options` (cloned per case).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from empty vec");
+        Select { options }
+    }
+
+    /// Strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+
+    /// A random subsequence of `source` (order preserved) whose length falls
+    /// in `size` (clamped to the source length).
+    pub fn subsequence<T: Clone>(source: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence {
+            source,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`subsequence`].
+    #[derive(Debug, Clone)]
+    pub struct Subsequence<T> {
+        source: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let n = self.source.len();
+            let clamped = SizeRange {
+                lo: self.size.lo.min(n),
+                hi: self.size.hi.min(n),
+            };
+            let k = clamped.pick(rng);
+            // Floyd's algorithm for k distinct indices, then sort to keep
+            // the source order.
+            let mut picked: Vec<usize> = Vec::with_capacity(k);
+            for j in n - k..n {
+                let t = rng.below((j + 1) as u64) as usize;
+                if picked.contains(&t) {
+                    picked.push(j);
+                } else {
+                    picked.push(t);
+                }
+            }
+            picked.sort_unstable();
+            picked.into_iter().map(|i| self.source[i].clone()).collect()
+        }
+    }
+}
+
+/// The `prop::` namespace as the prelude exposes it.
+pub mod prop {
+    pub use super::collection;
+    pub use super::sample;
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// The uniform boolean strategy.
+        #[derive(Debug, Clone, Copy)]
+        pub struct AnyBool;
+
+        /// Uniform `true`/`false`.
+        pub const ANY: AnyBool = AnyBool;
+
+        impl Strategy for AnyBool {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use super::arbitrary::any;
+    pub use super::prop;
+    pub use super::strategy::Strategy;
+    pub use super::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Declare property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` followed by `fn name(arg in strategy, ...)`
+/// items; each becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases(
+                $cfg,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, __rng);)+
+                    let __inputs = $crate::test_runner::CaseInputs(format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)+),
+                        $(&$arg),+
+                    ));
+                    (
+                        __inputs,
+                        move || -> ::std::result::Result<(), ::std::string::String> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    )
+                },
+            );
+        }
+    )*};
+}
+
+/// Assert inside a property body; on failure the case's inputs are reported.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(lhs == rhs, $($fmt)+);
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(a in 0usize..10, b in -3i64..3, s in "\\PC{0,20}") {
+            prop_assert!(a < 10);
+            prop_assert!((-3..3).contains(&b));
+            prop_assert!(s.chars().count() <= 20);
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec((0u8..3, prop::bool::ANY).prop_map(|(n, f)| (n, f)), 0..5),
+            pick in prop::sample::select(vec!["x", "y"]),
+            sub in crate::sample::subsequence(vec![1, 2, 3, 4], 0..=4usize),
+            seed in any::<u64>(),
+            mixed in prop_oneof![(0i64..2).prop_map(|x| x * 2), (5i64..6).prop_map(|x| x)],
+        ) {
+            prop_assert!(v.len() < 5);
+            prop_assert!(pick == "x" || pick == "y");
+            let mut sorted = sub.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&sorted, &sub, "subsequence keeps order");
+            let _ = seed;
+            prop_assert!(mixed == 0 || mixed == 2 || mixed == 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(x in 0usize..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::from_name("t");
+        let mut b = crate::test_runner::TestRng::from_name("t");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -232,6 +232,22 @@ proptest! {
         prop_assert_eq!(naive.stats.restarts, semi.stats.restarts);
         prop_assert_eq!(naive.stats.gamma_steps, semi.stats.gamma_steps);
         prop_assert_eq!(naive.blocked.len(), semi.blocked.len());
+
+        // Parallel semi-naive (deterministic ordered merge) agrees with
+        // both sequential evaluators.
+        let par = run_park(
+            &rules,
+            &facts,
+            EngineOptions::default()
+                .with_evaluation(park::engine::EvaluationMode::SemiNaive)
+                .with_parallelism(Some(4)),
+            &mut Inertia,
+        );
+        prop_assert!(naive.database.same_facts(&par.database));
+        prop_assert_eq!(semi.stats.restarts, par.stats.restarts);
+        prop_assert_eq!(semi.stats.gamma_steps, par.stats.gamma_steps);
+        prop_assert_eq!(semi.blocked.len(), par.blocked.len());
+        prop_assert_eq!(semi.stats.groundings_fired, par.stats.groundings_fired);
     }
 
     /// Γ is inflationary: one fire/absorb step never loses marked atoms.
@@ -329,6 +345,22 @@ proptest! {
             naive.blocked.len(), semi.blocked.len(),
             "blocked sets diverge"
         );
+
+        let par = run_park(
+            &rules,
+            &facts,
+            EngineOptions::default()
+                .with_evaluation(park::engine::EvaluationMode::SemiNaive)
+                .with_parallelism(Some(4)),
+            &mut Inertia,
+        );
+        prop_assert!(semi.database.same_facts(&par.database),
+            "parallel semi-naive diverged: {:?} vs {:?}",
+            semi.database.sorted_display(), par.database.sorted_display());
+        prop_assert_eq!(semi.stats.gamma_steps, par.stats.gamma_steps);
+        prop_assert_eq!(semi.stats.restarts, par.stats.restarts);
+        prop_assert_eq!(semi.stats.groundings_fired, par.stats.groundings_fired);
+        prop_assert_eq!(semi.blocked.len(), par.blocked.len());
 
         // Theorem 4.1(3): lfp(Γ_{P,B*}) from D reproduces the fixpoint.
         // (I° is D throughout a run, so the outcome's base zone *is* D.)
