@@ -446,6 +446,98 @@ fn c6_evaluation() {
     println!();
 }
 
+/// C7 — warm vs cold restart recovery, and the `BENCH_restarts.json`
+/// artifact. Staggered chains under prefer-insert block each chain's
+/// late-firing `kill` rule, so nearly the whole previous run replays after
+/// every restart — the workload where warm restarts pay off most. The
+/// results are asserted identical either way; only the wall clock differs.
+fn c7_warm_restarts(smoke: bool) {
+    use park_engine::EvaluationMode;
+    use park_json::Json;
+    println!("## C7 — warm vs cold restart recovery (replay ablation)\n");
+    println!("Staggered conflict chains, prefer-insert:\n");
+    println!("| chains k | mode | restarts | replayed steps | diverged at | cold ms | warm ms | speedup |");
+    println!("|----------|------|----------|----------------|-------------|---------|---------|---------|");
+    let sizes: &[usize] = if smoke { &[8] } else { &[16, 32, 64] };
+    let mut results: Vec<Json> = Vec::new();
+    for &k in sizes {
+        let (rules, facts) = wl::staggered_conflicts(k);
+        for (mode_name, mode) in [
+            ("naive", EvaluationMode::Naive),
+            ("semi_naive", EvaluationMode::SemiNaive),
+        ] {
+            let mk = |warm| {
+                Session::new(
+                    &rules,
+                    &facts,
+                    EngineOptions::default()
+                        .with_evaluation(mode)
+                        .with_warm_restarts(warm),
+                )
+            };
+            let (warm_s, cold_s) = (mk(true), mk(false));
+            let warm_out = warm_s.run(&mut PreferInsert);
+            let cold_out = cold_s.run(&mut PreferInsert);
+            assert!(warm_out.database.same_facts(&cold_out.database));
+            assert_eq!(warm_out.stats.restarts, cold_out.stats.restarts);
+            assert_eq!(cold_out.stats.replayed_steps, 0);
+            assert!(warm_out.stats.replayed_steps > 0);
+            let warm_ms = median_time_ms(5, || warm_s.run(&mut PreferInsert));
+            let cold_ms = median_time_ms(5, || cold_s.run(&mut PreferInsert));
+            let diverged = warm_out
+                .stats
+                .replay_divergence_step
+                .map_or("-".to_string(), |d| d.to_string());
+            println!(
+                "| {k} | {mode_name} | {} | {} | {diverged} | {cold_ms:.2} | {warm_ms:.2} | {:.1}x |",
+                warm_out.stats.restarts,
+                warm_out.stats.replayed_steps,
+                cold_ms / warm_ms.max(1e-6),
+            );
+            results.push(Json::object([
+                ("workload", Json::str(format!("staggered_conflicts_{k}"))),
+                ("mode", Json::str(mode_name)),
+                ("policy", Json::str("prefer_insert")),
+                ("restarts", Json::from(warm_out.stats.restarts)),
+                ("replayed_steps", Json::from(warm_out.stats.replayed_steps)),
+                (
+                    "divergence_step",
+                    warm_out
+                        .stats
+                        .replay_divergence_step
+                        .map_or(Json::Null, Json::from),
+                ),
+                ("cold_ms", Json::Float(cold_ms)),
+                ("warm_ms", Json::Float(warm_ms)),
+            ]));
+        }
+    }
+    let doc = Json::object([
+        ("schema", Json::str("park-bench/restarts-v1")),
+        ("smoke", Json::from(smoke)),
+        ("results", Json::Array(results)),
+    ]);
+    let rendered = doc.to_pretty() + "\n";
+    match std::fs::write("BENCH_restarts.json", &rendered) {
+        Ok(()) => {
+            // Self-check: the artifact must reparse and report actual replay.
+            let back = park_json::parse(&rendered).expect("BENCH_restarts.json reparses");
+            let rows = back
+                .get("results")
+                .and_then(|r| r.as_array())
+                .expect("results array");
+            assert!(rows.iter().all(|row| {
+                row.get("replayed_steps")
+                    .and_then(|n| n.as_i64())
+                    .unwrap_or(0)
+                    > 0
+            }));
+            println!("\nMachine-readable grid written to `BENCH_restarts.json` (reparse OK).\n");
+        }
+        Err(e) => println!("\n(could not write BENCH_restarts.json: {e})\n"),
+    }
+}
+
 /// Measure every (mode, workload, threads) cell and write the grid as
 /// machine-readable JSON to `BENCH_eval.json` (median nanoseconds per full
 /// PARK evaluation). Thread count 1 is the sequential path; the parallel
@@ -503,6 +595,22 @@ fn bench_eval_json() {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_default());
+    if let Some(section) = only {
+        match section.as_str() {
+            "restarts" => c7_warm_restarts(smoke),
+            other => {
+                eprintln!("unknown --only section `{other}` (expected: restarts)");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     println!("# PARK paper-vs-measured report\n");
     println!("(regenerate with `cargo run -p park-bench --bin report --release`)\n");
     worked_examples();
@@ -512,5 +620,6 @@ fn main() {
     c4_baseline();
     c5_ablation();
     c6_evaluation();
+    c7_warm_restarts(smoke);
     bench_eval_json();
 }

@@ -3,8 +3,8 @@
 //! ```text
 //! park run <program.park> [--db <data.facts>] [--updates <tx.updates>]
 //!          [--policy <name>] [--scope all|one] [--eval naive|semi]
-//!          [--threads <n>] [--trace] [--trace-json <f>] [--stats]
-//!          [--snapshot <out.json>]
+//!          [--threads <n>] [--cold-restarts] [--trace] [--trace-json <f>]
+//!          [--stats] [--snapshot <out.json>]
 //! park check <program.park>
 //! park analyze <program.park> [--db <data.facts>]
 //! park query '<body>' [--db <data.facts>]
@@ -80,7 +80,11 @@ OPTIONS (run/baseline):
   --scope <all|one>   conflicts resolved per restart     (default: all)
   --eval <naive|semi> grounding enumeration strategy     (default: naive)
   --threads <n>       evaluate each step on n threads with a deterministic
-                      ordered merge: identical results     (default: 1)
+                      ordered merge: identical results
+                      (default: no pool, single-threaded)
+  --cold-restarts     re-run every step cold after a conflict instead of
+                      replaying the previous run's firing log (diagnostic;
+                      results are identical either way)
   --trace             print the paper-style step listing
   --trace-json <file> write the trace as JSON events
   --stats             print run statistics
@@ -96,6 +100,7 @@ struct RunArgs {
     scope: ResolutionScope,
     evaluation: EvaluationMode,
     threads: Option<usize>,
+    cold_restarts: bool,
     trace: bool,
     trace_json: Option<String>,
     stats: bool,
@@ -138,6 +143,7 @@ fn parse_run_args(args: Vec<String>) -> Result<RunArgs, String> {
                 }
                 out.threads = Some(n);
             }
+            "--cold-restarts" => out.cold_restarts = true,
             "--trace" => out.trace = true,
             "--trace-json" => out.trace_json = Some(grab("--trace-json")?),
             "--stats" => out.stats = true,
@@ -222,6 +228,7 @@ fn cmd_run(args: Vec<String>, _baseline: bool) -> Result<(), String> {
         scope: a.scope,
         evaluation: a.evaluation,
         parallelism: a.threads,
+        warm_restarts: !a.cold_restarts,
         ..EngineOptions::default()
     };
     let engine = Engine::with_options(vocab, &program, options).map_err(|e| e.to_string())?;
@@ -239,6 +246,12 @@ fn cmd_run(args: Vec<String>, _baseline: bool) -> Result<(), String> {
     println!("{}", out.database.to_source().trim_end());
     if a.stats {
         eprintln!("{}", out.stats.summary());
+        // Report the *effective* configuration: no --threads means no
+        // thread pool, which behaves like one thread.
+        match a.threads {
+            None | Some(1) => eprintln!("threads=1 (no pool)"),
+            Some(n) => eprintln!("threads={n}"),
+        }
         let blocked = out.blocked_display();
         if !blocked.is_empty() {
             eprintln!("blocked: {}", blocked.join(", "));

@@ -449,6 +449,86 @@ fn analyze_with_database_probes_confluence() {
 }
 
 #[test]
+fn threads_argument_is_validated() {
+    let dir = tempdir("threads");
+    let program = write(&dir, "p.park", "p -> +q.");
+    let facts = write(&dir, "d.facts", "p.");
+    for bad in ["0", "abc", "-1"] {
+        let out = park()
+            .args([
+                "run",
+                program.to_str().unwrap(),
+                "--db",
+                facts.to_str().unwrap(),
+                "--threads",
+                bad,
+            ])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "--threads {bad} must be rejected");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("positive integer"),
+            "--threads {bad}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // The stats report states the effective default: no pool, one thread.
+    let out = park()
+        .args([
+            "run",
+            program.to_str().unwrap(),
+            "--db",
+            facts.to_str().unwrap(),
+            "--stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("threads=1 (no pool)"), "{stderr}");
+    // And the help text no longer claims a numeric default of 1.
+    let help = park().args(["help"]).output().unwrap();
+    let help_text = String::from_utf8_lossy(&help.stdout);
+    assert!(!help_text.contains("(default: 1)"), "{help_text}");
+    assert!(
+        help_text.contains("no pool, single-threaded"),
+        "{help_text}"
+    );
+}
+
+#[test]
+fn cold_restarts_flag_matches_default_output() {
+    let dir = tempdir("cold");
+    let program = write(
+        &dir,
+        "p.park",
+        "r1: p -> +a. r2: p -> +q. r3: a -> +b. r4: a -> -q. r5: b -> +q.",
+    );
+    let facts = write(&dir, "d.facts", "p.");
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "run",
+            program.to_str().unwrap(),
+            "--db",
+            facts.to_str().unwrap(),
+            "--trace",
+            "--stats",
+        ];
+        args.extend_from_slice(extra);
+        park().args(&args).output().unwrap()
+    };
+    let warm = run(&[]);
+    let cold = run(&["--cold-restarts"]);
+    assert!(warm.status.success() && cold.status.success());
+    // Database and trace are byte-identical; only the replay counter moves.
+    assert_eq!(warm.stdout, cold.stdout);
+    let warm_err = String::from_utf8_lossy(&warm.stderr);
+    let cold_err = String::from_utf8_lossy(&cold.stderr);
+    assert!(warm_err.contains("replayed=4"), "{warm_err}");
+    assert!(cold_err.contains("replayed=0"), "{cold_err}");
+}
+
+#[test]
 fn unknown_arguments_are_rejected() {
     let out = park().args(["run", "x.park", "--bogus"]).output().unwrap();
     assert!(!out.status.success());

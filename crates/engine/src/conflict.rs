@@ -29,7 +29,7 @@ use crate::grounding::Grounding;
 use crate::interp::IInterpretation;
 use park_storage::{FactStore, PredId, Tuple};
 use park_syntax::Sign;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// The decision of a conflict-resolution policy for one conflict.
@@ -164,23 +164,37 @@ impl ConflictResolver for Inertia {
 /// Per-run provenance: which groundings fired for each marked atom.
 ///
 /// Keyed predicate-first so the hot `record_all` path can look tuples up
-/// without cloning them.
+/// without cloning them. Each side is a hash set: dedup of re-firings is
+/// O(1) per firing even when many groundings derive the same atom
+/// (high fan-in), and conflict sides are sorted once at collection time.
 #[derive(Debug, Clone, Default)]
 pub struct Provenance {
     map: HashMap<PredId, HashMap<Tuple, Sides>>,
+    /// Running count of atoms with recorded provenance, so `len` does not
+    /// walk every predicate's map.
+    atoms: usize,
 }
 
 #[derive(Debug, Clone, Default)]
 struct Sides {
-    ins: Vec<Grounding>,
-    del: Vec<Grounding>,
+    ins: HashSet<Grounding>,
+    del: HashSet<Grounding>,
 }
 
 impl Sides {
-    fn side_mut(&mut self, sign: Sign) -> &mut Vec<Grounding> {
+    fn side_mut(&mut self, sign: Sign) -> &mut HashSet<Grounding> {
         match sign {
             Sign::Insert => &mut self.ins,
             Sign::Delete => &mut self.del,
+        }
+    }
+
+    fn insert(&mut self, sign: Sign, g: &Grounding) {
+        let side = self.side_mut(sign);
+        // Clone only when new; the (overwhelmingly common) re-fire path is
+        // lookup-only.
+        if !side.contains(g) {
+            side.insert(g.clone());
         }
     }
 }
@@ -195,39 +209,39 @@ impl Provenance {
     pub fn record_all(&mut self, fired: &[FiredAction]) {
         for f in fired {
             let by_tuple = self.map.entry(f.pred).or_default();
-            // Clone only when the atom is seen for the first time; the
-            // (overwhelmingly common) re-fire path is lookup-only.
-            if !by_tuple.contains_key(&f.tuple) {
-                by_tuple.insert(f.tuple.clone(), Sides::default());
-            }
-            let sides = by_tuple.get_mut(&f.tuple).expect("just ensured");
-            let side = sides.side_mut(f.sign);
-            if !side.contains(&f.grounding) {
-                side.push(f.grounding.clone());
+            match by_tuple.get_mut(&f.tuple) {
+                Some(sides) => sides.insert(f.sign, &f.grounding),
+                None => {
+                    self.atoms += 1;
+                    let mut sides = Sides::default();
+                    sides.insert(f.sign, &f.grounding);
+                    by_tuple.insert(f.tuple.clone(), sides);
+                }
             }
         }
     }
 
-    /// Forget everything (conflict restart).
+    /// Forget everything (conflict restart), keeping the allocated maps so
+    /// the next run's `record_all` reuses their capacity.
     pub fn clear(&mut self) {
-        self.map.clear();
+        for by_tuple in self.map.values_mut() {
+            by_tuple.clear();
+        }
+        self.atoms = 0;
     }
 
     /// Number of atoms with recorded provenance.
     pub fn len(&self) -> usize {
-        self.map.values().map(HashMap::len).sum()
+        self.atoms
     }
 
     /// True if nothing is recorded.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.atoms == 0
     }
 
-    fn sides(&self, pred: PredId, tuple: &Tuple) -> (&[Grounding], &[Grounding]) {
-        match self.map.get(&pred).and_then(|m| m.get(tuple)) {
-            Some(s) => (&s.ins, &s.del),
-            None => (&[], &[]),
-        }
+    fn sides(&self, pred: PredId, tuple: &Tuple) -> Option<&Sides> {
+        self.map.get(&pred).and_then(|m| m.get(tuple))
     }
 }
 
@@ -246,28 +260,22 @@ pub fn collect_conflicts(fired: &[FiredAction], provenance: &Provenance) -> Vec<
             order.push(key);
             Sides::default()
         });
-        let side = entry.side_mut(f.sign);
-        if !side.contains(&f.grounding) {
-            side.push(f.grounding.clone());
-        }
+        entry.insert(f.sign, &f.grounding);
     }
 
+    let empty = HashSet::new();
     let mut out = Vec::new();
     for key in order {
         let current = &sides[&key];
-        let (hist_ins, hist_del) = provenance.sides(key.0, &key.1);
-        let merge = |cur: &[Grounding], hist: &[Grounding]| -> Vec<Grounding> {
-            let mut v: Vec<Grounding> = cur.to_vec();
-            for g in hist {
-                if !v.contains(g) {
-                    v.push(g.clone());
-                }
-            }
+        let hist = provenance.sides(key.0, &key.1);
+        let merge = |cur: &HashSet<Grounding>, hist: &HashSet<Grounding>| -> Vec<Grounding> {
+            let mut v: Vec<Grounding> = cur.iter().cloned().collect();
+            v.extend(hist.iter().filter(|g| !cur.contains(g)).cloned());
             v.sort_by(|a, b| (a.rule, &a.subst).cmp(&(b.rule, &b.subst)));
             v
         };
-        let ins = merge(&current.ins, hist_ins);
-        let del = merge(&current.del, hist_del);
+        let ins = merge(&current.ins, hist.map_or(&empty, |s| &s.ins));
+        let del = merge(&current.del, hist.map_or(&empty, |s| &s.del));
         if !ins.is_empty() && !del.is_empty() {
             out.push(Conflict {
                 pred: key.0,
@@ -431,5 +439,63 @@ mod tests {
         assert_eq!(prov.len(), 1);
         prov.clear();
         assert!(prov.is_empty());
+    }
+
+    #[test]
+    fn provenance_clear_resets_count_and_stays_usable() {
+        let v = Vocabulary::new();
+        let q = v.pred("q", 1).unwrap();
+        let mut prov = Provenance::new();
+        prov.record_all(&[fired(0, Sign::Insert, q, 1), fired(1, Sign::Insert, q, 2)]);
+        assert_eq!(prov.len(), 2);
+        prov.clear();
+        assert_eq!(prov.len(), 0);
+        // Recording after a clear counts fresh atoms (no stale entries
+        // survive the allocation reuse) and supplies historical sides.
+        prov.record_all(&[fired(0, Sign::Insert, q, 1)]);
+        assert_eq!(prov.len(), 1);
+        let cs = collect_conflicts(&[fired(2, Sign::Delete, q, 1)], &prov);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].ins.len(), 1);
+        assert_eq!(cs[0].ins[0].rule, RuleId(0));
+    }
+
+    #[test]
+    fn high_fan_in_conflict_dedups_exactly() {
+        // Hundreds of distinct groundings insert and delete the same atom,
+        // each re-fired across two recorded steps: dedup must stay exact
+        // and sides sorted. Regression test for the hash-set dedup in
+        // `record_all`/`collect_conflicts` (previously quadratic
+        // `Vec::contains` per contested atom).
+        let v = Vocabulary::new();
+        let q = v.pred("q", 0).unwrap();
+        let act = |rule: u32, val: i64, sign: Sign| FiredAction {
+            grounding: Grounding {
+                rule: RuleId(rule),
+                subst: Box::from([Value::Int(val)]),
+            },
+            sign,
+            pred: q,
+            tuple: Tuple::empty(),
+        };
+        let n = 512usize;
+        let mut fs = Vec::new();
+        for i in 0..n {
+            fs.push(act(0, i as i64, Sign::Insert));
+            fs.push(act(1, i as i64, Sign::Delete));
+        }
+        let mut prov = Provenance::new();
+        prov.record_all(&fs);
+        prov.record_all(&fs);
+        assert_eq!(prov.len(), 1);
+        let cs = collect_conflicts(&fs, &prov);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].ins.len(), n);
+        assert_eq!(cs[0].del.len(), n);
+        for side in [&cs[0].ins, &cs[0].del] {
+            assert!(side
+                .windows(2)
+                .all(|w| (w[0].rule, &w[0].subst) < (w[1].rule, &w[1].subst)));
+        }
     }
 }

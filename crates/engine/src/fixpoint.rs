@@ -22,6 +22,7 @@ use crate::gamma;
 use crate::grounding::BlockedSet;
 use crate::interp::IInterpretation;
 use crate::options::{EngineOptions, EvaluationMode, ResolutionScope};
+use crate::replay::{Replayer, StepLog};
 use crate::seminaive::{self, ZoneLens};
 use crate::stats::RunStats;
 use crate::trace::{Trace, TraceEvent};
@@ -121,10 +122,19 @@ impl Engine {
         // fixpoint.
         let statically_safe = !working.possibly_conflicting();
         let policy_name = resolver.name().to_string();
+        // Statically conflict-free programs never restart, so capturing a
+        // firing log for them would be pure overhead.
+        let warm = self.options.warm_restarts && !statically_safe;
         let mut blocked = BlockedSet::new();
         let mut stats = RunStats::default();
         let mut trace = Trace::new();
         let tracing = self.options.trace;
+        // Provenance outlives the runs: `clear` keeps the per-atom maps'
+        // allocations for the next run to reuse.
+        let mut provenance = Provenance::new();
+        // Warm restarts: the previous run's firing log, replayed against
+        // the grown blocked set (see `crate::replay`).
+        let mut replayer: Option<Replayer> = None;
 
         let final_interp = 'outer: loop {
             // (Re)start the inflationary computation from I° = D.
@@ -136,7 +146,8 @@ impl Engine {
             for req in working.index_requests() {
                 interp.zone_mut(req.zone).ensure_index(req.pred, req.mask);
             }
-            let mut provenance = Provenance::new();
+            provenance.clear();
+            let mut step_log = StepLog::new();
             let mut step_in_run: u64 = 0;
             let mut prev_lens = ZoneLens::capture(&interp);
 
@@ -146,21 +157,44 @@ impl Engine {
                         limit: self.options.max_steps,
                     });
                 }
-                let threads = self.options.parallelism;
-                let (fired, tasks) = match self.options.evaluation {
-                    EvaluationMode::Naive => {
-                        gamma::fire_all_par(&working, &blocked, &interp, threads)
+                let replayed = replayer.as_mut().and_then(|r| {
+                    let step = r.next_step(&blocked);
+                    if let Some(d) = r.divergence_step() {
+                        stats.replay_divergence_step = Some(d);
                     }
-                    EvaluationMode::SemiNaive => {
-                        if step_in_run == 0 {
-                            gamma::fire_all_par(&working, &blocked, &interp, threads)
-                        } else {
-                            let curr = ZoneLens::capture(&interp);
-                            let fired = seminaive::fire_new_par(
-                                &working, &blocked, &interp, &prev_lens, &curr, threads,
-                            );
-                            prev_lens = curr;
-                            fired
+                    step
+                });
+                let (fired, tasks) = match replayed {
+                    Some(fired) => {
+                        // Served from the log: the filtered vector is
+                        // exactly what live evaluation would fire here.
+                        // Keep the semi-naive delta boundary current so a
+                        // live hand-off after the log sees the right
+                        // (prev, curr] window.
+                        if self.options.evaluation == EvaluationMode::SemiNaive {
+                            prev_lens = ZoneLens::capture(&interp);
+                        }
+                        stats.replayed_steps += 1;
+                        (fired, 0)
+                    }
+                    None => {
+                        let threads = self.options.parallelism;
+                        match self.options.evaluation {
+                            EvaluationMode::Naive => {
+                                gamma::fire_all_par(&working, &blocked, &interp, threads)
+                            }
+                            EvaluationMode::SemiNaive => {
+                                if step_in_run == 0 {
+                                    gamma::fire_all_par(&working, &blocked, &interp, threads)
+                                } else {
+                                    let curr = ZoneLens::capture(&interp);
+                                    let fired = seminaive::fire_new_par(
+                                        &working, &blocked, &interp, &prev_lens, &curr, threads,
+                                    );
+                                    prev_lens = curr;
+                                    fired
+                                }
+                            }
                         }
                     }
                 };
@@ -211,6 +245,9 @@ impl Engine {
                                 interp: interp.display(),
                                 blocked: blocked.display(&working),
                             });
+                            if let Some(r) = &replayer {
+                                trace.push_note(replay_note(run, r));
+                            }
                         }
                         break 'outer interp;
                     }
@@ -222,6 +259,9 @@ impl Engine {
                             added: added_display,
                         });
                     }
+                    if warm {
+                        step_log.push_step(fired);
+                    }
                 } else {
                     // Conflict resolution: block losers, restart from D.
                     if stats.restarts >= self.options.max_restarts {
@@ -229,20 +269,21 @@ impl Engine {
                             limit: self.options.max_restarts,
                         });
                     }
+                    let (selected, deferred) = match self.options.scope {
+                        ResolutionScope::All => conflicts.split_at(conflicts.len()),
+                        ResolutionScope::One => conflicts.split_at(1),
+                    };
                     if tracing {
+                        let atom = |c: &crate::conflict::Conflict| {
+                            working.vocab().display_fact(c.pred, &c.tuple)
+                        };
                         trace.push(TraceEvent::Inconsistent {
                             run,
                             step: step_in_run + 1,
-                            atoms: conflicts
-                                .iter()
-                                .map(|c| working.vocab().display_fact(c.pred, &c.tuple))
-                                .collect(),
+                            atoms: selected.iter().map(atom).collect(),
+                            deferred: deferred.iter().map(atom).collect(),
                         });
                     }
-                    let selected = match self.options.scope {
-                        ResolutionScope::All => &conflicts[..],
-                        ResolutionScope::One => &conflicts[..1],
-                    };
                     let ctx = SelectContext {
                         database: db,
                         program: &working,
@@ -281,6 +322,18 @@ impl Engine {
                             });
                         }
                     }
+                    if tracing {
+                        if let Some(r) = &replayer {
+                            trace.push_note(replay_note(run, r));
+                        }
+                    }
+                    if warm {
+                        // The conflicting step's firings belong to the log
+                        // too: the next run replays them (filtered) as its
+                        // own step at this position.
+                        step_log.push_step(fired);
+                        replayer = Some(Replayer::new(step_log));
+                    }
                     stats.restarts += 1;
                     continue 'outer;
                 }
@@ -299,6 +352,18 @@ impl Engine {
             stats,
             trace,
         })
+    }
+}
+
+/// Debug annotation describing what warm replay did for one run (goes to
+/// the trace's note side channel, never the event stream).
+fn replay_note(run: u64, r: &Replayer) -> String {
+    match r.divergence_step() {
+        Some(d) => format!(
+            "run {run}: warm replay served {} steps, diverged at step {d}",
+            r.served()
+        ),
+        None => format!("run {run}: warm replay served {} steps", r.served()),
     }
 }
 
@@ -698,6 +763,182 @@ mod tests {
                     seq.stats.groundings_fired, par.stats.groundings_fired,
                     "{rules}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_restarts_are_observably_identical_to_cold() {
+        // The tentpole identity: warm (replay) and cold restarts must agree
+        // on traces, SELECT call order, blocked sets, databases, and every
+        // stat except the replay/scheduling counters.
+        struct Recording {
+            calls: Vec<String>,
+        }
+        impl ConflictResolver for Recording {
+            fn name(&self) -> &str {
+                "inertia"
+            }
+            fn select(
+                &mut self,
+                ctx: &SelectContext<'_>,
+                c: &crate::conflict::Conflict,
+            ) -> Result<crate::conflict::Resolution, String> {
+                self.calls.push(c.display(ctx.program));
+                Inertia.select(ctx, c)
+            }
+        }
+        let scenarios = [
+            ("p -> +q. p -> -a. q -> +a.", "p."),
+            ("p -> +q. p -> -q. q -> +a. q -> -a. p -> +a.", "p."),
+            (
+                "r1: p -> +a. r2: p -> +q. r3: a -> +b. r4: a -> -q. r5: b -> +q.",
+                "p.",
+            ),
+            (
+                "r1: a -> +b. r2: a -> +d. r3: b -> +c. r4: b -> -d. r5: c -> -b.",
+                "a.",
+            ),
+            ("r1: !q -> +a. r2: p -> +q. r3: q -> -a.", "p."),
+            (
+                "r1: p(X), p(Y) -> +q(X, Y). r2: q(X, X) -> -q(X, X).
+                 r3: q(X, Y), q(X, Z), q(Z, Y) -> -q(X, Y).",
+                "p(a). p(b). p(c).",
+            ),
+        ];
+        for mode in [EvaluationMode::Naive, EvaluationMode::SemiNaive] {
+            for scope in [ResolutionScope::All, ResolutionScope::One] {
+                for (rules, facts) in scenarios {
+                    let vocab = Vocabulary::new();
+                    let engine = |warm| {
+                        Engine::with_options(
+                            Arc::clone(&vocab),
+                            &parse_program(rules).unwrap(),
+                            EngineOptions::traced()
+                                .with_evaluation(mode)
+                                .with_scope(scope)
+                                .with_warm_restarts(warm),
+                        )
+                        .unwrap()
+                    };
+                    let db = FactStore::from_source(Arc::clone(&vocab), facts).unwrap();
+                    let mut warm_oracle = Recording { calls: Vec::new() };
+                    let warm = engine(true).park(&db, &mut warm_oracle).unwrap();
+                    let mut cold_oracle = Recording { calls: Vec::new() };
+                    let cold = engine(false).park(&db, &mut cold_oracle).unwrap();
+                    assert_eq!(
+                        warm.trace.events(),
+                        cold.trace.events(),
+                        "trace divergence ({mode:?}, {scope:?}): {rules}"
+                    );
+                    assert_eq!(
+                        warm_oracle.calls, cold_oracle.calls,
+                        "SELECT call order divergence ({mode:?}, {scope:?}): {rules}"
+                    );
+                    assert!(warm.database.same_facts(&cold.database), "{rules}");
+                    assert_eq!(warm.blocked_display(), cold.blocked_display(), "{rules}");
+                    assert_eq!(warm.stats.restarts, cold.stats.restarts, "{rules}");
+                    assert_eq!(warm.stats.gamma_steps, cold.stats.gamma_steps, "{rules}");
+                    assert_eq!(
+                        warm.stats.conflicts_resolved, cold.stats.conflicts_resolved,
+                        "{rules}"
+                    );
+                    assert_eq!(
+                        warm.stats.groundings_fired, cold.stats.groundings_fired,
+                        "{rules}"
+                    );
+                    assert_eq!(
+                        warm.stats.blocked_instances, cold.stats.blocked_instances,
+                        "{rules}"
+                    );
+                    assert_eq!(
+                        warm.stats.peak_marked_atoms, cold.stats.peak_marked_atoms,
+                        "{rules}"
+                    );
+                    assert_eq!(cold.stats.replayed_steps, 0, "{rules}");
+                    assert_eq!(cold.stats.replay_divergence_step, None, "{rules}");
+                    if warm.stats.restarts > 0 {
+                        assert!(
+                            warm.stats.replayed_steps > 0,
+                            "a restart must replay at least the first logged step: {rules}"
+                        );
+                        assert!(
+                            warm.stats.replay_divergence_step.is_some(),
+                            "every resolution blocks a logged grounding, so replay \
+                             must diverge somewhere: {rules}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_replay_skips_reevaluation_of_the_stable_prefix() {
+        // Section 5 example, warm: run 2 diverges at step 1 (blocked r2 is
+        // in the first logged step), run 3 replays all three of run 2's
+        // steps — diverging only at step 3, where filtering out r5 turns
+        // the logged conflict step into the fixpoint. 1 + 3 replayed steps
+        // total; the last divergence was at step 3.
+        let out = run_opts(
+            "r1: p -> +a. r2: p -> +q. r3: a -> +b. r4: a -> -q. r5: b -> +q.",
+            "p.",
+            EngineOptions::traced(),
+        );
+        assert_eq!(out.database.sorted_display(), vec!["a", "b", "p"]);
+        assert_eq!(out.stats.restarts, 2);
+        assert_eq!(out.stats.replayed_steps, 4);
+        assert_eq!(out.stats.replay_divergence_step, Some(3));
+        let notes = out.trace.notes();
+        assert_eq!(notes.len(), 2, "{notes:?}");
+        assert!(notes[0].contains("run 2"), "{notes:?}");
+        assert!(notes[1].contains("run 3"), "{notes:?}");
+    }
+
+    #[test]
+    fn cold_restarts_record_no_replay() {
+        let out = run_opts(
+            "p -> +q. p -> -a. q -> +a.",
+            "p.",
+            EngineOptions::default().with_warm_restarts(false),
+        );
+        assert_eq!(out.database.sorted_display(), vec!["p", "q"]);
+        assert_eq!(out.stats.replayed_steps, 0);
+        assert_eq!(out.stats.replay_divergence_step, None);
+    }
+
+    #[test]
+    fn scope_one_trace_lists_only_the_resolved_conflict() {
+        // Two simultaneous conflicts (q and a); under One-scope only the
+        // first is handed to SELECT per restart, and the Inconsistent event
+        // must say so, listing the other as deferred.
+        let out = run_opts(
+            "p -> +q. p -> -q. p -> +a. p -> -a.",
+            "p.",
+            EngineOptions::traced().with_scope(ResolutionScope::One),
+        );
+        let first_inconsistent = out
+            .trace
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Inconsistent {
+                    atoms, deferred, ..
+                } => Some((atoms.clone(), deferred.clone())),
+                _ => None,
+            })
+            .expect("an inconsistency is traced");
+        assert_eq!(first_inconsistent.0, vec!["q".to_string()]);
+        assert_eq!(first_inconsistent.1, vec!["a".to_string()]);
+        // All-scope: everything is resolved, nothing deferred.
+        let out = run_opts(
+            "p -> +q. p -> -q. p -> +a. p -> -a.",
+            "p.",
+            EngineOptions::traced(),
+        );
+        for e in out.trace.events() {
+            if let TraceEvent::Inconsistent { deferred, .. } = e {
+                assert!(deferred.is_empty(), "{deferred:?}");
             }
         }
     }

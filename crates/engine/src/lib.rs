@@ -46,6 +46,7 @@ pub mod interp;
 pub mod options;
 mod parallel;
 pub mod query;
+pub mod replay;
 pub mod seminaive;
 pub mod stats;
 pub mod trace;
@@ -69,6 +70,7 @@ pub use grounding::{BlockedSet, Grounding};
 pub use interp::IInterpretation;
 pub use options::{EngineOptions, EvaluationMode, ResolutionScope};
 pub use query::Query;
+pub use replay::{Replayer, StepLog};
 pub use seminaive::{fire_new, fire_new_par, ZoneLens};
 pub use stats::RunStats;
 pub use trace::{Trace, TraceEvent};

@@ -51,6 +51,14 @@ pub struct EngineOptions {
     /// (only `RunStats::eval_tasks` may differ). `None` (the default) and
     /// `Some(1)` run everything on the calling thread with no pool.
     pub parallelism: Option<usize>,
+    /// Warm restarts (the default): after a conflict resolution, replay the
+    /// previous run's fired-action log — filtered against the grown blocked
+    /// set — until the first divergent step, and only evaluate live from
+    /// there. Byte-identical results, traces, `SELECT` calls, and counters
+    /// (only `RunStats::eval_tasks`, `replayed_steps`, and
+    /// `replay_divergence_step` differ; see `crate::replay`). `false` is
+    /// the escape hatch: every restart re-runs every Γ step cold.
+    pub warm_restarts: bool,
 }
 
 impl Default for EngineOptions {
@@ -62,6 +70,7 @@ impl Default for EngineOptions {
             max_steps: 1 << 22,
             max_restarts: 1 << 22,
             parallelism: None,
+            warm_restarts: true,
         }
     }
 }
@@ -92,6 +101,12 @@ impl EngineOptions {
         self.parallelism = parallelism;
         self
     }
+
+    /// Enable or disable warm restarts (builder style).
+    pub fn with_warm_restarts(mut self, warm_restarts: bool) -> Self {
+        self.warm_restarts = warm_restarts;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +120,7 @@ mod tests {
         assert!(!o.trace);
         assert!(o.max_steps > 1_000_000);
         assert_eq!(o.parallelism, None);
+        assert!(o.warm_restarts, "warm restarts are on by default");
     }
 
     #[test]
@@ -112,11 +128,13 @@ mod tests {
         let o = EngineOptions::traced()
             .with_scope(ResolutionScope::One)
             .with_evaluation(EvaluationMode::SemiNaive)
-            .with_parallelism(Some(4));
+            .with_parallelism(Some(4))
+            .with_warm_restarts(false);
         assert!(o.trace);
         assert_eq!(o.scope, ResolutionScope::One);
         assert_eq!(o.evaluation, EvaluationMode::SemiNaive);
         assert_eq!(o.parallelism, Some(4));
+        assert!(!o.warm_restarts);
     }
 
     #[test]

@@ -26,6 +26,15 @@ pub struct RunStats {
     /// step is split into more, smaller tasks) and is the one counter that
     /// may differ between otherwise identical sequential and parallel runs.
     pub eval_tasks: u64,
+    /// Γ steps served from the warm-restart replay log instead of being
+    /// evaluated live (see `crate::replay`). Like `eval_tasks`, this is
+    /// scheduling information: it differs between warm and cold runs whose
+    /// results are otherwise byte-identical.
+    pub replayed_steps: u64,
+    /// The 1-based step at which the most recent warm replay diverged from
+    /// its log (a newly blocked grounding was filtered out). `None` when no
+    /// replay diverged — cold runs, conflict-free runs.
+    pub replay_divergence_step: Option<u64>,
     /// Largest number of marked atoms held at once.
     pub peak_marked_atoms: usize,
     /// Wall-clock time of the evaluation.
@@ -35,17 +44,22 @@ pub struct RunStats {
 impl RunStats {
     /// One summary line for logs and reports.
     pub fn summary(&self) -> String {
-        format!(
-            "steps={} restarts={} conflicts={} fired={} blocked={} tasks={} peak_marked={} elapsed={:?}",
+        let mut line = format!(
+            "steps={} restarts={} conflicts={} fired={} blocked={} tasks={} replayed={} peak_marked={} elapsed={:?}",
             self.gamma_steps,
             self.restarts,
             self.conflicts_resolved,
             self.groundings_fired,
             self.blocked_instances,
             self.eval_tasks,
+            self.replayed_steps,
             self.peak_marked_atoms,
             self.elapsed
-        )
+        );
+        if let Some(step) = self.replay_divergence_step {
+            line.push_str(&format!(" diverged_at={step}"));
+        }
+        line
     }
 }
 
@@ -58,10 +72,22 @@ mod tests {
         let s = RunStats {
             gamma_steps: 7,
             restarts: 2,
+            replayed_steps: 3,
             ..RunStats::default()
         };
         let line = s.summary();
         assert!(line.contains("steps=7"));
         assert!(line.contains("restarts=2"));
+        assert!(line.contains("replayed=3"));
+        assert!(!line.contains("diverged_at="));
+    }
+
+    #[test]
+    fn summary_reports_divergence_step_when_present() {
+        let s = RunStats {
+            replay_divergence_step: Some(4),
+            ..RunStats::default()
+        };
+        assert!(s.summary().contains("diverged_at=4"));
     }
 }

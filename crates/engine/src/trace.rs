@@ -43,8 +43,11 @@ pub enum TraceEvent {
         run: u64,
         /// The step at which the inconsistency appeared.
         step: u64,
-        /// The conflicting atoms.
+        /// The conflicting atoms actually handed to `SELECT` this restart.
         atoms: Vec<String>,
+        /// Conflicting atoms detected but *not* resolved this restart
+        /// (non-empty only under `ResolutionScope::One`).
+        deferred: Vec<String>,
     },
     /// One conflict was resolved.
     ConflictResolved {
@@ -90,11 +93,17 @@ impl TraceEvent {
                 ("interp", Json::str(interp)),
                 ("added", strings(added)),
             ]),
-            TraceEvent::Inconsistent { run, step, atoms } => Json::object([
+            TraceEvent::Inconsistent {
+                run,
+                step,
+                atoms,
+                deferred,
+            } => Json::object([
                 ("event", Json::str("inconsistent")),
                 ("run", Json::from(*run)),
                 ("step", Json::from(*step)),
                 ("atoms", strings(atoms)),
+                ("deferred", strings(deferred)),
             ]),
             TraceEvent::ConflictResolved {
                 conflict,
@@ -176,6 +185,8 @@ impl TraceEvent {
                 run: run_of(value)?,
                 step: num(value, "step")?,
                 atoms: strings(value, "atoms")?,
+                // Absent in traces written before the field existed.
+                deferred: strings(value, "deferred").unwrap_or_default(),
             }),
             "conflict_resolved" => Ok(TraceEvent::ConflictResolved {
                 conflict: text(value, "conflict")?,
@@ -198,10 +209,24 @@ impl TraceEvent {
 }
 
 /// An ordered list of trace events.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Equality, JSON encoding, and rendering cover the *events* only: the
+/// [`Trace::notes`] side channel carries debug annotations (e.g. which
+/// steps a warm restart replayed) that must not perturb the event stream
+/// or any byte-identity comparison against it.
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     events: Vec<TraceEvent>,
+    notes: Vec<String>,
 }
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        self.events == other.events
+    }
+}
+
+impl Eq for Trace {}
 
 impl Trace {
     /// An empty trace.
@@ -217,6 +242,16 @@ impl Trace {
     /// The events in order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// Append a debug annotation (not part of the event stream).
+    pub fn push_note(&mut self, note: String) {
+        self.notes.push(note);
+    }
+
+    /// Debug annotations recorded alongside the events.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
     }
 
     /// True if no events were recorded (tracing disabled or nothing ran).
@@ -244,7 +279,10 @@ impl Trace {
             .iter()
             .map(TraceEvent::from_json_value)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Trace { events })
+        Ok(Trace {
+            events,
+            notes: Vec::new(),
+        })
     }
 
     /// Render the whole trace as indented text.
@@ -267,11 +305,17 @@ impl Trace {
                     }
                     s.push('\n');
                 }
-                TraceEvent::Inconsistent { step, atoms, .. } => {
-                    s.push_str(&format!(
-                        "  ({step}) ! inconsistent: {}\n",
-                        atoms.join(", ")
-                    ));
+                TraceEvent::Inconsistent {
+                    step,
+                    atoms,
+                    deferred,
+                    ..
+                } => {
+                    s.push_str(&format!("  ({step}) ! inconsistent: {}", atoms.join(", ")));
+                    if !deferred.is_empty() {
+                        s.push_str(&format!("   (deferred: {})", deferred.join(", ")));
+                    }
+                    s.push('\n');
                 }
                 TraceEvent::ConflictResolved {
                     conflict,
@@ -324,6 +368,7 @@ mod tests {
             run: 1,
             step: 2,
             atoms: vec!["q".into()],
+            deferred: vec![],
         });
         t.push(TraceEvent::ConflictResolved {
             conflict: "(q, {(r2)}, {(r4)})".into(),
@@ -361,6 +406,45 @@ mod tests {
         assert!(json.contains("\"resolution\": \"Insert\""), "{json}");
         let back = Trace::from_json(&json).unwrap();
         assert_eq!(back.events(), t.events());
+    }
+
+    #[test]
+    fn deferred_conflicts_render_and_roundtrip() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::Inconsistent {
+            run: 1,
+            step: 2,
+            atoms: vec!["q".into()],
+            deferred: vec!["r".into(), "s".into()],
+        });
+        let rendered = t.render();
+        assert!(rendered.contains("inconsistent: q"), "{rendered}");
+        assert!(rendered.contains("(deferred: r, s)"), "{rendered}");
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(back.events(), t.events());
+        // Traces written before `deferred` existed still decode.
+        let legacy = r#"[{"event": "inconsistent", "run": 1, "step": 2, "atoms": ["q"]}]"#;
+        let back = Trace::from_json(legacy).unwrap();
+        assert_eq!(
+            back.events(),
+            &[TraceEvent::Inconsistent {
+                run: 1,
+                step: 2,
+                atoms: vec!["q".into()],
+                deferred: vec![],
+            }]
+        );
+    }
+
+    #[test]
+    fn notes_are_a_side_channel_outside_equality_and_json() {
+        let mut a = Trace::new();
+        a.push(TraceEvent::RunStarted { run: 1 });
+        let mut b = a.clone();
+        b.push_note("run 2: replayed 3 steps".into());
+        assert_eq!(a, b, "notes must not perturb trace equality");
+        assert_eq!(b.notes(), &["run 2: replayed 3 steps".to_string()]);
+        assert!(!b.to_json().contains("replayed"), "{}", b.to_json());
     }
 
     #[test]

@@ -17,4 +17,8 @@ cargo fmt --all --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> restarts bench smoke (BENCH_restarts.json)"
+cargo run -p park-bench --bin report --release --offline --quiet -- --only restarts --smoke
+grep -q '"replayed_steps"' BENCH_restarts.json
+
 echo "verify: OK"

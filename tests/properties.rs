@@ -274,6 +274,91 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Warm-restart identity
+// ---------------------------------------------------------------------
+
+/// A SELECT oracle that records every conflict it is asked to resolve,
+/// in order, while deciding like [`Inertia`].
+struct RecordingOracle {
+    calls: Vec<String>,
+}
+
+impl park::engine::ConflictResolver for RecordingOracle {
+    fn name(&self) -> &str {
+        "inertia"
+    }
+    fn select(
+        &mut self,
+        ctx: &park::engine::SelectContext<'_>,
+        c: &park::engine::Conflict,
+    ) -> Result<park::engine::Resolution, String> {
+        self.calls.push(c.display(ctx.program));
+        Inertia.select(ctx, c)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Warm restarts (replaying the previous run's firing log) are
+    /// observably identical to cold restarts: same traces, same SELECT
+    /// call sequences, same blocked sets, same databases, and the same
+    /// statistics apart from the replay/scheduling counters — across
+    /// random restart-heavy programs, both evaluation modes, and a
+    /// thread pool.
+    #[test]
+    fn warm_and_cold_restarts_are_observably_identical(
+        rules in arb_program(8, false),
+        facts in arb_database(),
+    ) {
+        use park::engine::EvaluationMode;
+        for mode in [EvaluationMode::Naive, EvaluationMode::SemiNaive] {
+            for par in [None, Some(4)] {
+                let opts = EngineOptions::traced()
+                    .with_evaluation(mode)
+                    .with_parallelism(par);
+                let mut warm_oracle = RecordingOracle { calls: Vec::new() };
+                let warm = run_park(&rules, &facts, opts, &mut warm_oracle);
+                let mut cold_oracle = RecordingOracle { calls: Vec::new() };
+                let cold = run_park(
+                    &rules,
+                    &facts,
+                    opts.with_warm_restarts(false),
+                    &mut cold_oracle,
+                );
+
+                prop_assert_eq!(warm.trace.events(), cold.trace.events(),
+                    "trace divergence ({:?}, par {:?}): {}", mode, par, &rules);
+                prop_assert_eq!(&warm_oracle.calls, &cold_oracle.calls,
+                    "SELECT order divergence ({:?}, par {:?}): {}", mode, par, &rules);
+                prop_assert!(warm.database.same_facts(&cold.database), "{}", &rules);
+                prop_assert_eq!(warm.blocked_display(), cold.blocked_display(),
+                    "{}", &rules);
+                prop_assert_eq!(warm.stats.gamma_steps, cold.stats.gamma_steps);
+                prop_assert_eq!(warm.stats.restarts, cold.stats.restarts);
+                prop_assert_eq!(
+                    warm.stats.conflicts_resolved, cold.stats.conflicts_resolved);
+                prop_assert_eq!(
+                    warm.stats.groundings_fired, cold.stats.groundings_fired);
+                prop_assert_eq!(
+                    warm.stats.blocked_instances, cold.stats.blocked_instances);
+                prop_assert_eq!(
+                    warm.stats.peak_marked_atoms, cold.stats.peak_marked_atoms);
+
+                // The cold runner must never touch the replay machinery,
+                // and the warm runner must use it on every restart.
+                prop_assert_eq!(cold.stats.replayed_steps, 0);
+                prop_assert_eq!(cold.stats.replay_divergence_step, None);
+                if warm.stats.restarts > 0 {
+                    prop_assert!(warm.stats.replayed_steps > 0,
+                        "restarted without replaying: {}", &rules);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Relational (first-order) differential properties
 // ---------------------------------------------------------------------
 
