@@ -50,6 +50,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         Some("query") => cmd_query(it.collect()),
         Some("baseline") => cmd_baseline(it.collect()),
         Some("workload") => cmd_workload(it.collect()),
+        Some("fuzz") => cmd_fuzz(it.collect()),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", HELP);
             Ok(())
@@ -69,6 +70,8 @@ USAGE:
   park query '<body>' --db <data.facts>  conjunctive query over a database
   park baseline <naive|immediate> <program.park> [OPTIONS]
   park workload <list|name> [--out DIR]  emit a generated workload
+  park fuzz [--seed N] [--cases K]       differential-test the engine against
+                                         the paper-literal oracle
   park help
 
 OPTIONS (run/baseline):
@@ -550,5 +553,63 @@ fn cmd_workload(args: Vec<String>) -> Result<(), String> {
             ))
         }
     }
+    Ok(())
+}
+
+fn cmd_fuzz(args: Vec<String>) -> Result<(), String> {
+    let mut seed: u64 = 0;
+    let mut cases: u64 = 100;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed requires a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--cases" => {
+                cases = it
+                    .next()
+                    .ok_or("--cases requires a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --cases: {e}"))?
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let progress_every = (cases / 10).max(1);
+    let report = park_testkit::run_fuzz(
+        seed,
+        cases,
+        park_testkit::OracleVariant::Faithful,
+        |done, _| {
+            if done % progress_every == 0 || done == cases {
+                eprintln!("fuzz: {done}/{cases} cases checked");
+            }
+        },
+    )
+    .map_err(|f| {
+        format!(
+            "divergence on case seed {} ({}):\n  {}\nminimized reproducer \
+             (rerun with `park fuzz --seed {} --cases 1`):\n{}",
+            f.divergence.seed,
+            f.divergence.config,
+            f.divergence,
+            f.divergence.seed,
+            f.minimized.to_text()
+        )
+    })?;
+    println!(
+        "fuzz: {} cases, 0 divergences (seed {}, {} ground, {} with conflicts, \
+         {} stratified cross-checks; 16 engine configs x {} policies per case)",
+        report.cases,
+        seed,
+        report.ground_cases,
+        report.conflict_cases,
+        report.stratified_checks,
+        park_testkit::POLICIES.len(),
+    );
     Ok(())
 }

@@ -521,11 +521,42 @@ fn cold_restarts_flag_matches_default_output() {
     let cold = run(&["--cold-restarts"]);
     assert!(warm.status.success() && cold.status.success());
     // Database and trace are byte-identical; only the replay counter moves.
-    assert_eq!(warm.stdout, cold.stdout);
+    park_testkit::compare::assert_identical_bytes(
+        "warm vs cold restarts",
+        "warm stdout",
+        &warm.stdout,
+        "cold stdout",
+        &cold.stdout,
+    );
     let warm_err = String::from_utf8_lossy(&warm.stderr);
     let cold_err = String::from_utf8_lossy(&cold.stderr);
     assert!(warm_err.contains("replayed=4"), "{warm_err}");
     assert!(cold_err.contains("replayed=0"), "{cold_err}");
+}
+
+#[test]
+fn fuzz_subcommand_reports_zero_divergences() {
+    let out = park()
+        .args(["fuzz", "--seed", "0", "--cases", "25"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("25 cases, 0 divergences"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("25/25 cases checked"), "{stderr}");
+}
+
+#[test]
+fn fuzz_subcommand_rejects_bad_flags() {
+    let out = park().args(["fuzz", "--seed"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = park().args(["fuzz", "--bogus"]).output().unwrap();
+    assert!(!out.status.success());
 }
 
 #[test]

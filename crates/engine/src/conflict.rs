@@ -134,6 +134,19 @@ impl<T: ConflictResolver + ?Sized> ConflictResolver for &mut T {
     }
 }
 
+impl<T: ConflictResolver + ?Sized> ConflictResolver for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn select(
+        &mut self,
+        ctx: &SelectContext<'_>,
+        conflict: &Conflict,
+    ) -> Result<Resolution, String> {
+        (**self).select(ctx, conflict)
+    }
+}
+
 /// The principle of inertia (Section 4.1): conflicting actions are ignored,
 /// so the atom keeps its status in the *original* database `D` — `insert`
 /// iff `a ∈ D`, else `delete`.

@@ -54,6 +54,33 @@ impl ParkOutcome {
     pub fn blocked_display(&self) -> Vec<String> {
         self.blocked.display(&self.program)
     }
+
+    /// The run's *mode-independent observables*, rendered one per line:
+    /// the final database (sorted), the blocked set, the counters the
+    /// semantics fixes (restarts, Γ steps, conflicts resolved, blocked
+    /// instances), and the full trace event stream as JSON.
+    ///
+    /// Two evaluations of the same `PARK(D, P)` instance must produce
+    /// byte-identical fingerprints no matter which evaluation mode, thread
+    /// count, or restart strategy they ran under — this is the comparison
+    /// surface of the differential test harness (`park-testkit`) and of
+    /// the warm-vs-cold / parallel-vs-sequential identity tests.
+    /// Scheduling counters (`eval_tasks`, `replayed_steps`, timings) are
+    /// deliberately excluded. The trace line is only meaningful for runs
+    /// with `EngineOptions::trace` enabled.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "database: {}\nblocked: {}\nrestarts: {}\ngamma_steps: {}\n\
+             conflicts_resolved: {}\nblocked_instances: {}\ntrace:\n{}",
+            self.database.sorted_display().join(", "),
+            self.blocked_display().join(", "),
+            self.stats.restarts,
+            self.stats.gamma_steps,
+            self.stats.conflicts_resolved,
+            self.stats.blocked_instances,
+            self.trace.to_json(),
+        )
+    }
 }
 
 /// A compiled PARK program ready to evaluate against database instances.
@@ -691,187 +718,10 @@ mod tests {
         assert_eq!(naive.blocked_display(), semi.blocked_display());
     }
 
-    #[test]
-    fn parallel_runs_are_observably_identical_to_sequential() {
-        // A SELECT oracle that records the exact conflicts it is asked to
-        // resolve, in order, while deciding like Inertia.
-        struct Recording {
-            calls: Vec<String>,
-        }
-        impl ConflictResolver for Recording {
-            fn name(&self) -> &str {
-                "inertia"
-            }
-            fn select(
-                &mut self,
-                ctx: &SelectContext<'_>,
-                c: &crate::conflict::Conflict,
-            ) -> Result<crate::conflict::Resolution, String> {
-                self.calls.push(c.display(ctx.program));
-                Inertia.select(ctx, c)
-            }
-        }
-        let scenarios = [
-            ("p -> +q. p -> -a. q -> +a.", "p."),
-            ("p -> +q. p -> -q. q -> +a. q -> -a. p -> +a.", "p."),
-            (
-                "r1: p -> +a. r2: p -> +q. r3: a -> +b. r4: a -> -q. r5: b -> +q.",
-                "p.",
-            ),
-            (
-                "r1: a -> +b. r2: a -> +d. r3: b -> +c. r4: b -> -d. r5: c -> -b.",
-                "a.",
-            ),
-            (
-                "r1: p(X), p(Y) -> +q(X, Y). r2: q(X, X) -> -q(X, X).
-                 r3: q(X, Y), q(X, Z), q(Z, Y) -> -q(X, Y).",
-                "p(a). p(b). p(c).",
-            ),
-        ];
-        for mode in [EvaluationMode::Naive, EvaluationMode::SemiNaive] {
-            for (rules, facts) in scenarios {
-                let vocab = Vocabulary::new();
-                let engine = |par| {
-                    Engine::with_options(
-                        Arc::clone(&vocab),
-                        &parse_program(rules).unwrap(),
-                        EngineOptions::traced()
-                            .with_evaluation(mode)
-                            .with_parallelism(par),
-                    )
-                    .unwrap()
-                };
-                let db = FactStore::from_source(Arc::clone(&vocab), facts).unwrap();
-                let mut seq_oracle = Recording { calls: Vec::new() };
-                let seq = engine(None).park(&db, &mut seq_oracle).unwrap();
-                let mut par_oracle = Recording { calls: Vec::new() };
-                let par = engine(Some(4)).park(&db, &mut par_oracle).unwrap();
-                assert_eq!(
-                    seq.trace.events(),
-                    par.trace.events(),
-                    "trace divergence ({mode:?}): {rules}"
-                );
-                assert_eq!(
-                    seq_oracle.calls, par_oracle.calls,
-                    "SELECT call order divergence ({mode:?}): {rules}"
-                );
-                assert!(seq.database.same_facts(&par.database), "{rules}");
-                assert_eq!(seq.blocked_display(), par.blocked_display(), "{rules}");
-                assert_eq!(seq.stats.restarts, par.stats.restarts, "{rules}");
-                assert_eq!(seq.stats.gamma_steps, par.stats.gamma_steps, "{rules}");
-                assert_eq!(
-                    seq.stats.groundings_fired, par.stats.groundings_fired,
-                    "{rules}"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn warm_restarts_are_observably_identical_to_cold() {
-        // The tentpole identity: warm (replay) and cold restarts must agree
-        // on traces, SELECT call order, blocked sets, databases, and every
-        // stat except the replay/scheduling counters.
-        struct Recording {
-            calls: Vec<String>,
-        }
-        impl ConflictResolver for Recording {
-            fn name(&self) -> &str {
-                "inertia"
-            }
-            fn select(
-                &mut self,
-                ctx: &SelectContext<'_>,
-                c: &crate::conflict::Conflict,
-            ) -> Result<crate::conflict::Resolution, String> {
-                self.calls.push(c.display(ctx.program));
-                Inertia.select(ctx, c)
-            }
-        }
-        let scenarios = [
-            ("p -> +q. p -> -a. q -> +a.", "p."),
-            ("p -> +q. p -> -q. q -> +a. q -> -a. p -> +a.", "p."),
-            (
-                "r1: p -> +a. r2: p -> +q. r3: a -> +b. r4: a -> -q. r5: b -> +q.",
-                "p.",
-            ),
-            (
-                "r1: a -> +b. r2: a -> +d. r3: b -> +c. r4: b -> -d. r5: c -> -b.",
-                "a.",
-            ),
-            ("r1: !q -> +a. r2: p -> +q. r3: q -> -a.", "p."),
-            (
-                "r1: p(X), p(Y) -> +q(X, Y). r2: q(X, X) -> -q(X, X).
-                 r3: q(X, Y), q(X, Z), q(Z, Y) -> -q(X, Y).",
-                "p(a). p(b). p(c).",
-            ),
-        ];
-        for mode in [EvaluationMode::Naive, EvaluationMode::SemiNaive] {
-            for scope in [ResolutionScope::All, ResolutionScope::One] {
-                for (rules, facts) in scenarios {
-                    let vocab = Vocabulary::new();
-                    let engine = |warm| {
-                        Engine::with_options(
-                            Arc::clone(&vocab),
-                            &parse_program(rules).unwrap(),
-                            EngineOptions::traced()
-                                .with_evaluation(mode)
-                                .with_scope(scope)
-                                .with_warm_restarts(warm),
-                        )
-                        .unwrap()
-                    };
-                    let db = FactStore::from_source(Arc::clone(&vocab), facts).unwrap();
-                    let mut warm_oracle = Recording { calls: Vec::new() };
-                    let warm = engine(true).park(&db, &mut warm_oracle).unwrap();
-                    let mut cold_oracle = Recording { calls: Vec::new() };
-                    let cold = engine(false).park(&db, &mut cold_oracle).unwrap();
-                    assert_eq!(
-                        warm.trace.events(),
-                        cold.trace.events(),
-                        "trace divergence ({mode:?}, {scope:?}): {rules}"
-                    );
-                    assert_eq!(
-                        warm_oracle.calls, cold_oracle.calls,
-                        "SELECT call order divergence ({mode:?}, {scope:?}): {rules}"
-                    );
-                    assert!(warm.database.same_facts(&cold.database), "{rules}");
-                    assert_eq!(warm.blocked_display(), cold.blocked_display(), "{rules}");
-                    assert_eq!(warm.stats.restarts, cold.stats.restarts, "{rules}");
-                    assert_eq!(warm.stats.gamma_steps, cold.stats.gamma_steps, "{rules}");
-                    assert_eq!(
-                        warm.stats.conflicts_resolved, cold.stats.conflicts_resolved,
-                        "{rules}"
-                    );
-                    assert_eq!(
-                        warm.stats.groundings_fired, cold.stats.groundings_fired,
-                        "{rules}"
-                    );
-                    assert_eq!(
-                        warm.stats.blocked_instances, cold.stats.blocked_instances,
-                        "{rules}"
-                    );
-                    assert_eq!(
-                        warm.stats.peak_marked_atoms, cold.stats.peak_marked_atoms,
-                        "{rules}"
-                    );
-                    assert_eq!(cold.stats.replayed_steps, 0, "{rules}");
-                    assert_eq!(cold.stats.replay_divergence_step, None, "{rules}");
-                    if warm.stats.restarts > 0 {
-                        assert!(
-                            warm.stats.replayed_steps > 0,
-                            "a restart must replay at least the first logged step: {rules}"
-                        );
-                        assert!(
-                            warm.stats.replay_divergence_step.is_some(),
-                            "every resolution blocks a logged grounding, so replay \
-                             must diverge somewhere: {rules}"
-                        );
-                    }
-                }
-            }
-        }
-    }
+    // The cross-mode identity suites (parallel vs sequential, warm vs
+    // cold) live in `park-testkit`'s `tests/identity.rs`, on top of the
+    // shared fingerprint/transcript comparison helpers; the differential
+    // harness there extends them to generated programs.
 
     #[test]
     fn warm_replay_skips_reevaluation_of_the_stable_prefix() {

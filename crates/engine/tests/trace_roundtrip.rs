@@ -1,0 +1,115 @@
+//! Property tests for the trace JSON codec: arbitrary event streams must
+//! survive `to_json`/`from_json` unchanged, with particular attention to
+//! the `Inconsistent { deferred }` field (added for `ResolutionScope::One`)
+//! and the legacy format without it.
+
+use park_engine::{Resolution, Trace, TraceEvent};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "a",
+        "q(b)",
+        "p(c0, c1)",
+        "r",
+        "s(x)",
+        "goal_3",
+        "link0_1",
+    ])
+    .prop_map(String::from)
+}
+
+fn arb_names(max: usize) -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(arb_name(), 0..max)
+}
+
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    prop_oneof![
+        (1u64..9).prop_map(|run| TraceEvent::RunStarted { run }),
+        ((1u64..9), (1u64..9), arb_name(), arb_names(4)).prop_map(|(run, step, interp, added)| {
+            TraceEvent::Step {
+                run,
+                step,
+                interp,
+                added,
+            }
+        }),
+        ((1u64..9), (1u64..9), arb_names(3), arb_names(3)).prop_map(
+            |(run, step, atoms, deferred)| TraceEvent::Inconsistent {
+                run,
+                step,
+                atoms,
+                deferred,
+            }
+        ),
+        (arb_name(), prop::bool::ANY, arb_names(3)).prop_map(|(conflict, ins, blocked)| {
+            TraceEvent::ConflictResolved {
+                conflict,
+                policy: "inertia".into(),
+                resolution: if ins {
+                    Resolution::Insert
+                } else {
+                    Resolution::Delete
+                },
+                blocked,
+            }
+        }),
+        ((1u64..9), arb_name(), arb_names(3)).prop_map(|(run, interp, blocked)| {
+            TraceEvent::Fixpoint {
+                run,
+                interp,
+                blocked,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any event stream round-trips through the JSON codec byte-exactly at
+    /// the event level.
+    #[test]
+    fn trace_json_roundtrips(events in prop::collection::vec(arb_event(), 0..12)) {
+        let mut trace = Trace::new();
+        for e in &events {
+            trace.push(e.clone());
+        }
+        let back = Trace::from_json(&trace.to_json()).unwrap();
+        prop_assert_eq!(back.events(), trace.events());
+    }
+
+    /// The `deferred` field specifically: present (possibly empty) in every
+    /// encoded `inconsistent` event, and absent-but-defaulted when parsing
+    /// traces written before the field existed.
+    #[test]
+    fn deferred_field_roundtrips_and_legacy_parses(
+        atoms in arb_names(3),
+        deferred in arb_names(3),
+        run in 1u64..9,
+        step in 1u64..9,
+    ) {
+        let mut trace = Trace::new();
+        trace.push(TraceEvent::Inconsistent { run, step, atoms: atoms.clone(), deferred: deferred.clone() });
+        let json = trace.to_json();
+        prop_assert!(json.contains("\"deferred\""), "{}", json);
+        let back = Trace::from_json(&json).unwrap();
+        prop_assert_eq!(back.events(), trace.events());
+
+        // The legacy format (no `deferred` member at all) must decode to an
+        // empty deferred list, whatever the other fields hold.
+        let atom_list = atoms
+            .iter()
+            .map(|a| format!("{a:?}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let legacy = format!(
+            r#"[{{"event": "inconsistent", "run": {run}, "step": {step}, "atoms": [{atom_list}]}}]"#
+        );
+        let back = Trace::from_json(&legacy).unwrap();
+        prop_assert_eq!(
+            back.events(),
+            &[TraceEvent::Inconsistent { run, step, atoms: atoms.clone(), deferred: vec![] }]
+        );
+    }
+}

@@ -1,0 +1,280 @@
+//! Seeded generation of small, conflict-rich PARK cases.
+//!
+//! A [`Case`] is a program plus a database, both as source text, so it can
+//! be minimized line by line, checked into the regression corpus, and
+//! pasted straight into `park run`. Generation is deterministic from a
+//! `u64` seed and deliberately biased toward the shapes where nearby
+//! active-rule semantics diverge: mutual-undo pairs, chains with a kill
+//! rule, high fan-in atoms, negation guards, event cascades, and
+//! self-undoing rules.
+//!
+//! Roughly three out of four cases are **ground** (propositional): every
+//! rule then has at most one grounding, which is what lets the harness
+//! demand byte-exact agreement with the oracle (see `crate::harness`).
+//! The rest are **range-restricted** programs over unary/binary predicates
+//! and a small constant pool.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One generated (or hand-written) differential test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Case {
+    /// The seed that produced it (0 for corpus/hand-written cases).
+    pub seed: u64,
+    /// Program rules, one per line.
+    pub rules: Vec<String>,
+    /// Database facts, one per line.
+    pub facts: Vec<String>,
+}
+
+impl Case {
+    /// The program as parseable source.
+    pub fn program_source(&self) -> String {
+        self.rules.join("\n")
+    }
+
+    /// The database as parseable source.
+    pub fn facts_source(&self) -> String {
+        self.facts.join("\n")
+    }
+
+    /// Serialize in the corpus file format (see `tests/corpus/`).
+    pub fn to_text(&self) -> String {
+        let mut s = String::from("rules:\n");
+        for r in &self.rules {
+            s.push_str(r);
+            s.push('\n');
+        }
+        s.push_str("facts:\n");
+        for f in &self.facts {
+            s.push_str(f);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parse the corpus file format: a `rules:` section then a `facts:`
+    /// section, one item per line; `#` lines are comments.
+    pub fn parse(text: &str) -> Result<Case, String> {
+        let mut rules = Vec::new();
+        let mut facts = Vec::new();
+        let mut section: Option<&mut Vec<String>> = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match line {
+                "rules:" => section = Some(&mut rules),
+                "facts:" => section = Some(&mut facts),
+                item => match section {
+                    Some(ref mut sec) => sec.push(item.to_string()),
+                    None => return Err(format!("line before any section: `{item}`")),
+                },
+            }
+        }
+        Ok(Case {
+            seed: 0,
+            rules,
+            facts,
+        })
+    }
+}
+
+/// Generate the case for `seed`. Same seed, same case, forever — failing
+/// seeds reproduce from the command line (`park fuzz --seed N --cases 1`).
+pub fn generate(seed: u64) -> Case {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if rng.random_bool(0.75) {
+        generate_ground(seed, &mut rng)
+    } else {
+        generate_var(seed, &mut rng)
+    }
+}
+
+const ATOMS: [&str; 8] = ["a", "b", "c", "d", "e", "f", "g", "h"];
+
+/// A propositional case assembled from conflict-prone motifs.
+fn generate_ground(seed: u64, rng: &mut StdRng) -> Case {
+    let pool = &ATOMS[..rng.random_range(4..ATOMS.len() + 1)];
+    let atom = |rng: &mut StdRng| pool[rng.random_range(0..pool.len())];
+    let lit = |rng: &mut StdRng| {
+        let a = atom(rng);
+        match rng.random_range(0..10u32) {
+            0..=5 => a.to_string(),
+            6..=7 => format!("!{a}"),
+            8 => format!("+{a}"),
+            _ => format!("-{a}"),
+        }
+    };
+    let body = |rng: &mut StdRng, min: usize| {
+        let n = rng.random_range(min..3usize);
+        (0..n).map(|_| lit(rng)).collect::<Vec<_>>().join(", ")
+    };
+
+    let mut rules = Vec::new();
+    for _ in 0..rng.random_range(2..6usize) {
+        match rng.random_range(0..6u32) {
+            // A mutual-undo pair on one atom.
+            0 => {
+                let (x, y, z) = (atom(rng), atom(rng), atom(rng));
+                rules.push(format!("{x} -> +{y}."));
+                rules.push(format!("{z} -> -{y}."));
+            }
+            // A derivation chain with a kill rule at the end.
+            1 => {
+                let len = rng.random_range(2..4usize);
+                let links: Vec<&str> = (0..=len).map(|_| atom(rng)).collect();
+                for w in links.windows(2) {
+                    rules.push(format!("{} -> +{}.", w[0], w[1]));
+                }
+                rules.push(format!("{} -> -{}.", links[0], links[len]));
+            }
+            // High fan-in: several rules contesting one atom.
+            2 => {
+                let y = atom(rng);
+                for _ in 0..rng.random_range(2..5usize) {
+                    let sign = if rng.random_bool(0.5) { "+" } else { "-" };
+                    rules.push(format!("{} -> {sign}{y}.", body(rng, 1)));
+                }
+            }
+            // A negation guard feeding an insertion.
+            3 => {
+                let (x, y, z) = (atom(rng), atom(rng), atom(rng));
+                rules.push(format!("!{x} -> +{y}."));
+                rules.push(format!("{z} -> +{x}."));
+            }
+            // A self-undoing rule.
+            4 => {
+                let x = atom(rng);
+                rules.push(format!("{x} -> -{x}."));
+            }
+            // A plain rule, occasionally body-less (an unconditional
+            // update, like the synthetic rules of P_U).
+            _ => {
+                let sign = if rng.random_bool(0.6) { "+" } else { "-" };
+                let b = if rng.random_bool(0.85) {
+                    format!("{} ", body(rng, 1))
+                } else {
+                    String::new()
+                };
+                rules.push(format!("{b}-> {sign}{}.", atom(rng)));
+            }
+        }
+    }
+
+    let facts = pool
+        .iter()
+        .filter(|_| rng.random_bool(0.45))
+        .map(|a| format!("{a}."))
+        .collect();
+    Case { seed, rules, facts }
+}
+
+/// A range-restricted case over unary/binary predicates and a small
+/// constant pool.
+fn generate_var(seed: u64, rng: &mut StdRng) -> Case {
+    const PREDS: [&str; 4] = ["p", "q", "r", "s"];
+    let consts = &["c0", "c1", "c2", "c3"][..rng.random_range(2..5usize)];
+    let pred = |rng: &mut StdRng| PREDS[rng.random_range(0..PREDS.len())];
+
+    let mut rules = Vec::new();
+    for _ in 0..rng.random_range(2..5usize) {
+        match rng.random_range(0..5u32) {
+            // Copy with a mutual-undo partner.
+            0 => {
+                let (p, q, r) = (pred(rng), pred(rng), pred(rng));
+                rules.push(format!("{p}(X) -> +{q}(X)."));
+                rules.push(format!("{r}(X) -> -{q}(X)."));
+            }
+            // Negation-guarded deletion.
+            1 => {
+                let (p, q, r) = (pred(rng), pred(rng), pred(rng));
+                rules.push(format!("{p}(X), !{q}(X) -> -{r}(X)."));
+            }
+            // Fan-in on one head predicate.
+            2 => {
+                let y = pred(rng);
+                for _ in 0..rng.random_range(2..4usize) {
+                    let sign = if rng.random_bool(0.5) { "+" } else { "-" };
+                    rules.push(format!("{}(X) -> {sign}{y}(X).", pred(rng)));
+                }
+            }
+            // Edge propagation through the binary predicate.
+            3 => {
+                let q = pred(rng);
+                rules.push(format!("e(X, Y), {q}(X) -> +{q}(Y)."));
+            }
+            // Event cascade.
+            _ => {
+                let (p, q) = (pred(rng), pred(rng));
+                let sign = if rng.random_bool(0.5) { "+" } else { "-" };
+                rules.push(format!("+{p}(X) -> {sign}{q}(X)."));
+            }
+        }
+    }
+
+    let mut facts = Vec::new();
+    for p in PREDS {
+        for c in consts {
+            if rng.random_bool(0.35) {
+                facts.push(format!("{p}({c})."));
+            }
+        }
+    }
+    for a in consts {
+        for b in consts {
+            if rng.random_bool(0.2) {
+                facts.push(format!("e({a}, {b})."));
+            }
+        }
+    }
+    Case { seed, rules, facts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate(7), generate(7));
+        assert_ne!(generate(7), generate(8));
+    }
+
+    #[test]
+    fn case_text_roundtrip() {
+        let case = generate(3);
+        let back = Case::parse(&case.to_text()).unwrap();
+        assert_eq!(back.rules, case.rules);
+        assert_eq!(back.facts, case.facts);
+    }
+
+    #[test]
+    fn corpus_format_tolerates_comments_and_blank_lines() {
+        let parsed =
+            Case::parse("# a comment\n\nrules:\np -> +q.\n\nfacts:\n# none\np.\n").unwrap();
+        assert_eq!(parsed.rules, vec!["p -> +q."]);
+        assert_eq!(parsed.facts, vec!["p."]);
+    }
+
+    #[test]
+    fn parse_rejects_items_outside_sections() {
+        assert!(Case::parse("p -> +q.\nrules:\n").is_err());
+    }
+
+    #[test]
+    fn every_early_seed_parses_and_compiles() {
+        for seed in 0..200 {
+            let case = generate(seed);
+            let program = park_syntax::parse_program(&case.program_source())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            park_syntax::check_program(&program).unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            park_storage::FactStore::from_source(
+                park_storage::Vocabulary::new(),
+                &case.facts_source(),
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! The cross-mode conformance harness.
+//!
+//! [`check_case`] runs one [`Case`] through the real engine under every
+//! configuration of the mode matrix — evaluation mode × parallelism ×
+//! restart strategy × resolution scope, under several `SELECT` policies —
+//! and checks each run against the paper-literal oracle
+//! (`crate::oracle`). [`run_fuzz`] drives that check over a stream of
+//! generated cases and minimizes the first failure.
+//!
+//! ## Which fragments admit which comparison
+//!
+//! * **Ground programs under naive evaluation** (the bulk of generation):
+//!   every rule has at most one grounding and naive Γ re-enumerates rules
+//!   in id order every step — exactly the order the oracle uses. These
+//!   configurations must match the oracle **byte for byte**: final
+//!   database, blocked set, semantic counters, full trace event stream,
+//!   and `SELECT` call sequence.
+//! * **`ResolutionScope::All`, everything else**: semi-naive deltas omit
+//!   already-fired groundings, and the join planner visits variable
+//!   groundings in its own order, so the *first-appearance* order of
+//!   conflicts (and of `added` marks) legitimately differs from the
+//!   oracle's — but the *sets* per Γ step and per restart are order-free,
+//!   and All-scope resolution with stateless policies does not depend on
+//!   visit order. These runs must match the oracle's **canonicalized**
+//!   trace (sorted `added` lists and conflict batches — see
+//!   `crate::compare::canonical`) and sorted transcript.
+//! * **`ResolutionScope::One`, everything else**: *which* conflict is
+//!   "first" genuinely depends on enumeration order, and resolving a
+//!   different conflict first steers the whole computation, so the oracle
+//!   is only a pivot for the ground naive runs. Instead every such
+//!   configuration must match the sequential warm run of its own
+//!   evaluation mode byte for byte — parallelism and restart strategy must
+//!   still be unobservable.
+//!
+//! Insert-only cases whose negated predicates are purely extensional are
+//! additionally cross-checked against the independent
+//! `park_baselines::stratified_datalog` model.
+
+use crate::compare;
+use crate::gen::Case;
+use crate::oracle::{self, OracleVariant};
+use park_baselines::stratified_datalog;
+use park_engine::{
+    CompiledLiteral, CompiledProgram, Engine, EngineOptions, EvaluationMode, LitKind, ParkOutcome,
+    ResolutionScope,
+};
+use park_storage::{FactStore, PredId, Vocabulary};
+use park_syntax::Sign;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// The `SELECT` policies every case is checked under. Stateless and
+/// order-independent by construction — a precondition of the canonical
+/// (order-free) comparison regime for variable programs.
+pub const POLICIES: [&str; 3] = ["inertia", "prefer-insert", "prefer-delete"];
+
+/// One cell of the engine's mode matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Grounding enumeration strategy.
+    pub evaluation: EvaluationMode,
+    /// Intra-step parallelism (`None` = sequential).
+    pub parallelism: Option<usize>,
+    /// Warm (replaying) or cold restarts.
+    pub warm_restarts: bool,
+    /// Conflicts resolved per restart.
+    pub scope: ResolutionScope,
+}
+
+impl EngineConfig {
+    /// The full matrix: naive/semi-naive × sequential/4 threads ×
+    /// warm/cold × all/one — 16 configurations.
+    pub fn matrix() -> Vec<EngineConfig> {
+        let mut out = Vec::with_capacity(16);
+        for evaluation in [EvaluationMode::Naive, EvaluationMode::SemiNaive] {
+            for parallelism in [None, Some(4)] {
+                for warm_restarts in [true, false] {
+                    for scope in [ResolutionScope::All, ResolutionScope::One] {
+                        out.push(EngineConfig {
+                            evaluation,
+                            parallelism,
+                            warm_restarts,
+                            scope,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A short label for failure reports, e.g. `seminaive/4-threads/warm/one`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            match self.evaluation {
+                EvaluationMode::Naive => "naive",
+                EvaluationMode::SemiNaive => "seminaive",
+            },
+            match self.parallelism {
+                None => "seq".to_string(),
+                Some(n) => format!("{n}-threads"),
+            },
+            if self.warm_restarts { "warm" } else { "cold" },
+            match self.scope {
+                ResolutionScope::All => "all",
+                ResolutionScope::One => "one",
+            },
+        )
+    }
+
+    /// The engine options for this cell (tracing always on — the trace is
+    /// part of the comparison surface).
+    pub fn options(&self) -> EngineOptions {
+        EngineOptions::traced()
+            .with_scope(self.scope)
+            .with_evaluation(self.evaluation)
+            .with_parallelism(self.parallelism)
+            .with_warm_restarts(self.warm_restarts)
+    }
+
+    /// The pivot this cell is compared against for variable `One`-scope
+    /// cases: the sequential warm run of the same evaluation mode.
+    fn pivot(&self) -> EngineConfig {
+        EngineConfig {
+            parallelism: None,
+            warm_restarts: true,
+            ..*self
+        }
+    }
+}
+
+/// A conformance failure: one engine configuration disagreed with its
+/// reference (oracle, pivot, or baseline) on one case.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The seed of the offending case (0 for corpus cases).
+    pub seed: u64,
+    /// The `SELECT` policy in force.
+    pub policy: String,
+    /// The engine configuration label (or `frontend` / `stratified-baseline`).
+    pub config: String,
+    /// What differed, down to the first differing line.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed {}, policy {}, config {}: {}",
+            self.seed, self.policy, self.config, self.detail
+        )
+    }
+}
+
+/// What a passing case exercised (aggregated into [`FuzzReport`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaseStats {
+    /// The program was propositional (byte-exact comparison regime).
+    pub ground: bool,
+    /// At least one conflict was detected and resolved.
+    pub had_conflicts: bool,
+    /// The case was also cross-checked against the stratified baseline.
+    pub stratified_checked: bool,
+}
+
+/// One engine or oracle run, reduced to its comparable observables.
+enum RunOutcome {
+    /// Outcome plus rendered `SELECT` transcript.
+    Done(Box<ParkOutcome>, Vec<String>),
+    /// The run failed; errors must agree across modes too.
+    Failed(String),
+}
+
+impl RunOutcome {
+    fn brief(&self) -> String {
+        match self {
+            RunOutcome::Done(..) => "completed".to_string(),
+            RunOutcome::Failed(e) => format!("failed ({e})"),
+        }
+    }
+}
+
+/// Compare two runs; with `order_free`, traces are canonicalized and
+/// transcripts sorted first (the variable-program `All`-scope regime).
+fn diff_outcomes(
+    label_a: &str,
+    a: &RunOutcome,
+    label_b: &str,
+    b: &RunOutcome,
+    order_free: bool,
+) -> Option<String> {
+    match (a, b) {
+        (RunOutcome::Failed(x), RunOutcome::Failed(y)) => {
+            (x != y).then(|| format!("{label_a} failed with `{x}`, {label_b} with `{y}`"))
+        }
+        (RunOutcome::Done(oa, ca), RunOutcome::Done(ob, cb)) => {
+            if order_free {
+                let sort = |calls: &[String]| {
+                    let mut s = calls.to_vec();
+                    s.sort();
+                    s
+                };
+                compare::diff_runs(
+                    label_a,
+                    &compare::canonical(oa),
+                    &sort(ca),
+                    label_b,
+                    &compare::canonical(ob),
+                    &sort(cb),
+                )
+            } else {
+                compare::diff_runs(label_a, oa, ca, label_b, ob, cb)
+            }
+        }
+        _ => Some(format!(
+            "{label_a} {}, but {label_b} {}",
+            a.brief(),
+            b.brief()
+        )),
+    }
+}
+
+/// Negation is extensional and the program insert-only: the fragment on
+/// which PARK provably agrees with stratified datalog's perfect model.
+fn insert_only_extensional(program: &CompiledProgram) -> bool {
+    let heads: HashSet<PredId> = program.rules().iter().map(|r| r.head.pred).collect();
+    program.rules().iter().all(|r| {
+        r.head_sign == Sign::Insert
+            && r.body.iter().all(|lit| match lit {
+                CompiledLiteral::Atom {
+                    kind: LitKind::Event(_),
+                    ..
+                } => false,
+                CompiledLiteral::Atom {
+                    kind: LitKind::Neg,
+                    atom,
+                } => !heads.contains(&atom.pred),
+                _ => true,
+            })
+    })
+}
+
+/// Run `case` through the full mode matrix under every policy and check
+/// every run against its reference. `variant` selects the oracle semantics
+/// — [`OracleVariant::Faithful`] for real testing, a broken variant to
+/// prove the harness detects semantic bugs.
+pub fn check_case(case: &Case, variant: OracleVariant) -> Result<CaseStats, Divergence> {
+    let seed = case.seed;
+    let front = |detail: String| Divergence {
+        seed,
+        policy: "-".into(),
+        config: "frontend".into(),
+        detail,
+    };
+
+    let vocab = Vocabulary::new();
+    let program = park_syntax::parse_program(&case.program_source())
+        .map_err(|e| front(format!("program does not parse: {e:?}")))?;
+    park_syntax::check_program(&program)
+        .map_err(|e| front(format!("program does not check: {e:?}")))?;
+    let db = FactStore::from_source(Arc::clone(&vocab), &case.facts_source())
+        .map_err(|e| front(format!("facts do not load: {e:?}")))?;
+    let compiled = CompiledProgram::compile(Arc::clone(&vocab), &program)
+        .map_err(|e| front(format!("program does not compile: {e}")))?;
+    let ground = compiled.rules().iter().all(|r| r.num_vars == 0);
+
+    let matrix = EngineConfig::matrix();
+    let mut engines = Vec::with_capacity(matrix.len());
+    for cfg in matrix {
+        let engine = Engine::with_options(Arc::clone(&vocab), &program, cfg.options())
+            .map_err(|e| front(format!("engine construction failed ({}): {e}", cfg.label())))?;
+        engines.push((cfg, engine));
+    }
+
+    let run_engine = |engine: &Engine, policy: &str| -> RunOutcome {
+        let mut rec = compare::recording_policy(policy);
+        match engine.park(&db, &mut rec) {
+            Ok(out) => RunOutcome::Done(Box::new(out), compare::transcript(rec.decisions())),
+            Err(e) => RunOutcome::Failed(e.to_string()),
+        }
+    };
+    let run_oracle = |scope: ResolutionScope, policy: &str| -> RunOutcome {
+        let mut p = park_policies::by_name(policy).expect("harness policies are known");
+        match oracle::evaluate(&compiled, &db, scope, &mut p, variant) {
+            Ok(r) => RunOutcome::Done(Box::new(r.outcome), r.decisions),
+            Err(e) => RunOutcome::Failed(e.to_string()),
+        }
+    };
+
+    let mut stats = CaseStats {
+        ground,
+        ..CaseStats::default()
+    };
+    for (pi, policy) in POLICIES.iter().enumerate() {
+        let oracle_all = run_oracle(ResolutionScope::All, policy);
+        let oracle_one = run_oracle(ResolutionScope::One, policy);
+
+        if pi == 0 {
+            if let RunOutcome::Done(o, _) = &oracle_all {
+                stats.had_conflicts = o.stats.restarts > 0;
+            }
+            if insert_only_extensional(&compiled) {
+                stats.stratified_checked = true;
+                let diverged = |detail: String| Divergence {
+                    seed,
+                    policy: policy.to_string(),
+                    config: "stratified-baseline".into(),
+                    detail,
+                };
+                match (&oracle_all, stratified_datalog(&compiled, &db, 1 << 20)) {
+                    (RunOutcome::Done(o, _), Ok(s)) => {
+                        if let Some(d) = compare::diff_lines(
+                            "park",
+                            &o.database.sorted_display().join("\n"),
+                            "stratified",
+                            &s.database.sorted_display().join("\n"),
+                        ) {
+                            return Err(diverged(d));
+                        }
+                    }
+                    (RunOutcome::Done(..), Err(e)) => {
+                        return Err(diverged(format!(
+                            "stratified baseline rejected an insert-only extensional case: {e}"
+                        )));
+                    }
+                    (RunOutcome::Failed(e), _) => {
+                        return Err(diverged(format!(
+                            "oracle failed on a conflict-free insert-only case: {e}"
+                        )));
+                    }
+                }
+            }
+        }
+
+        let results: Vec<RunOutcome> = engines.iter().map(|(_, e)| run_engine(e, policy)).collect();
+        for ((cfg, _), res) in engines.iter().zip(&results) {
+            let oracle_ref = match cfg.scope {
+                ResolutionScope::All => &oracle_all,
+                ResolutionScope::One => &oracle_one,
+            };
+            let exact_vs_oracle = ground && cfg.evaluation == EvaluationMode::Naive;
+            let diff = if exact_vs_oracle {
+                diff_outcomes("engine", res, "oracle", oracle_ref, false)
+            } else if cfg.scope == ResolutionScope::All {
+                diff_outcomes("engine", res, "oracle", oracle_ref, true)
+            } else {
+                let pivot = cfg.pivot();
+                if *cfg == pivot {
+                    continue;
+                }
+                let pivot_res = engines
+                    .iter()
+                    .position(|(c, _)| *c == pivot)
+                    .map(|i| &results[i])
+                    .expect("the sequential warm pivot is in the matrix");
+                diff_outcomes("engine", res, "pivot", pivot_res, false)
+            };
+            if let Some(detail) = diff {
+                return Err(Divergence {
+                    seed,
+                    policy: policy.to_string(),
+                    config: cfg.label(),
+                    detail,
+                });
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Aggregate statistics over a fuzzing run — reported so a "0 divergences"
+/// result can be read together with what the cases actually exercised.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FuzzReport {
+    /// Cases checked.
+    pub cases: u64,
+    /// Propositional cases (byte-exact regime).
+    pub ground_cases: u64,
+    /// Cases where at least one conflict was resolved.
+    pub conflict_cases: u64,
+    /// Cases also cross-checked against the stratified baseline.
+    pub stratified_checks: u64,
+}
+
+/// The first failing case of a fuzz run, with its greedy minimization.
+#[derive(Debug)]
+pub struct FuzzFailure {
+    /// The generated case as produced.
+    pub case: Case,
+    /// The same failure, shrunk by `crate::minimize`.
+    pub minimized: Case,
+    /// The divergence the original case produced.
+    pub divergence: Divergence,
+}
+
+/// Check `cases` generated cases starting at `seed` (case *i* uses seed
+/// `seed + i`). Stops at the first divergence, minimizes it, and returns
+/// it; `progress` is called after every passing case.
+pub fn run_fuzz(
+    seed: u64,
+    cases: u64,
+    variant: OracleVariant,
+    mut progress: impl FnMut(u64, &FuzzReport),
+) -> Result<FuzzReport, Box<FuzzFailure>> {
+    let mut report = FuzzReport::default();
+    for i in 0..cases {
+        let case = crate::gen::generate(seed.wrapping_add(i));
+        match check_case(&case, variant) {
+            Ok(s) => {
+                report.cases += 1;
+                report.ground_cases += u64::from(s.ground);
+                report.conflict_cases += u64::from(s.had_conflicts);
+                report.stratified_checks += u64::from(s.stratified_checked);
+            }
+            Err(divergence) => {
+                let minimized =
+                    crate::minimize::minimize(&case, |c| check_case(c, variant).is_err());
+                return Err(Box::new(FuzzFailure {
+                    case,
+                    minimized,
+                    divergence,
+                }));
+            }
+        }
+        progress(i + 1, &report);
+    }
+    Ok(report)
+}

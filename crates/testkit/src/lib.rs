@@ -1,0 +1,38 @@
+//! # park-testkit
+//!
+//! Differential testing for the PARK engine, in three parts:
+//!
+//! * [`oracle`] — a deliberately slow, paper-literal reference
+//!   implementation of `PARK(D, P)`: brute-force Γ over the active domain,
+//!   always-cold Δ restarts, `incorp` spelled out. Audit it against
+//!   PAPER.md, not against the engine.
+//! * [`gen`] — a seeded generator of small, conflict-rich programs and
+//!   databases ([`Case`]), with a line-oriented text format for the
+//!   regression corpus (`tests/corpus/`).
+//! * [`harness`] — the conformance check: every case runs through the
+//!   engine's full mode matrix (evaluation × parallelism × restart
+//!   strategy × scope, under several `SELECT` policies) and is compared
+//!   against the oracle — byte-exact where the fragment admits it — plus a
+//!   stratified-datalog cross-check on the insert-only fragment. Failures
+//!   are shrunk by [`minimize`].
+//!
+//! [`compare`] holds the shared fingerprint/transcript diff helpers, also
+//! used by the engine identity suites and the CLI's end-to-end tests.
+//! The entry point for humans is `park fuzz --seed N --cases K`; see
+//! `docs/testing.md` for the workflow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod gen;
+pub mod harness;
+pub mod minimize;
+pub mod oracle;
+
+pub use gen::{generate, Case};
+pub use harness::{
+    check_case, run_fuzz, CaseStats, Divergence, EngineConfig, FuzzFailure, FuzzReport, POLICIES,
+};
+pub use minimize::minimize;
+pub use oracle::{evaluate as oracle_evaluate, OracleRun, OracleVariant};

@@ -1,0 +1,81 @@
+//! Greedy case minimization.
+//!
+//! Fuzzer counterexamples are reported (and checked into the corpus) in
+//! shrunk form: repeatedly delete single rules and facts while the failure
+//! predicate keeps holding, to a fixpoint. Deleting whole source lines can
+//! never un-parse a case — every rule and fact is one self-contained
+//! statement — so the predicate only ever sees well-formed candidates.
+
+use crate::gen::Case;
+
+/// Shrink `case` to a 1-minimal failing case: the result still satisfies
+/// `fails`, and removing any single remaining rule or fact makes it pass.
+///
+/// `fails` is typically `|c| check_case(c, variant).is_err()`; it must
+/// hold for `case` itself (checked by a debug assertion).
+pub fn minimize(case: &Case, mut fails: impl FnMut(&Case) -> bool) -> Case {
+    debug_assert!(fails(case), "minimize called on a passing case");
+    let mut cur = case.clone();
+    loop {
+        let mut shrunk = false;
+        for i in 0..cur.rules.len() {
+            let mut cand = cur.clone();
+            cand.rules.remove(i);
+            if fails(&cand) {
+                cur = cand;
+                shrunk = true;
+                break;
+            }
+        }
+        if shrunk {
+            continue;
+        }
+        for i in 0..cur.facts.len() {
+            let mut cand = cur.clone();
+            cand.facts.remove(i);
+            if fails(&cand) {
+                cur = cand;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(rules: &[&str], facts: &[&str]) -> Case {
+        Case {
+            seed: 0,
+            rules: rules.iter().map(|s| s.to_string()).collect(),
+            facts: facts.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn minimize_drops_everything_irrelevant() {
+        // Failure: "contains the rule `p -> +q.` and the fact `p.`".
+        let big = case(
+            &["x -> +y.", "p -> +q.", "a -> -b."],
+            &["x.", "p.", "b.", "a."],
+        );
+        let min = minimize(&big, |c| {
+            c.rules.iter().any(|r| r == "p -> +q.") && c.facts.iter().any(|f| f == "p.")
+        });
+        assert_eq!(min.rules, vec!["p -> +q."]);
+        assert_eq!(min.facts, vec!["p."]);
+    }
+
+    #[test]
+    fn minimize_is_one_minimal() {
+        // Failure: at least two facts remain.
+        let big = case(&[], &["a.", "b.", "c.", "d."]);
+        let min = minimize(&big, |c| c.facts.len() >= 2);
+        assert_eq!(min.facts.len(), 2);
+    }
+}

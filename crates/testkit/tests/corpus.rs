@@ -1,0 +1,31 @@
+//! The regression corpus: every `tests/corpus/*.case` file — paper
+//! examples, engine edge cases, and minimized fuzzer finds — must pass
+//! the full conformance matrix. To add a case, drop a file in the
+//! directory (format: a `rules:` section then a `facts:` section, one
+//! statement per line, `#` comments); see docs/testing.md.
+
+use park_testkit::{check_case, Case, OracleVariant};
+use std::path::Path;
+
+#[test]
+fn every_corpus_case_passes_the_full_matrix() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut names: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    names.sort();
+    assert!(
+        names.len() >= 10,
+        "corpus unexpectedly small: {} cases",
+        names.len()
+    );
+    for path in names {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).expect("readable case file");
+        let case = Case::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!case.rules.is_empty(), "{name}: no rules");
+        check_case(&case, OracleVariant::Faithful).unwrap_or_else(|d| panic!("{name}: {d}"));
+    }
+}

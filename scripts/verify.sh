@@ -21,4 +21,7 @@ echo "==> restarts bench smoke (BENCH_restarts.json)"
 cargo run -p park-bench --bin report --release --offline --quiet -- --only restarts --smoke
 grep -q '"replayed_steps"' BENCH_restarts.json
 
+echo "==> differential fuzz smoke (engine vs paper-literal oracle)"
+cargo run -p park-cli --bin park --release --offline --quiet -- fuzz --seed 0 --cases 200
+
 echo "verify: OK"
