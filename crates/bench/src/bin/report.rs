@@ -542,10 +542,14 @@ fn c7_warm_restarts(smoke: bool) {
 /// machine-readable JSON to `BENCH_eval.json` (median nanoseconds per full
 /// PARK evaluation). Thread count 1 is the sequential path; the parallel
 /// cells are observably identical runs (deterministic ordered merge), so
-/// the file is a pure performance artifact.
+/// the file is a pure performance artifact. Rows requesting more threads
+/// than the host offers are flagged `oversubscribed` — the engine clamps
+/// the pool to the host, so their timings measure contention-free
+/// decomposition overhead, not extra parallelism.
 fn bench_eval_json() {
     use park_engine::EvaluationMode;
     use park_json::Json;
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
     let workloads: Vec<(&str, String, String)> = vec![
         (
             "tc_erdos_renyi_128",
@@ -577,12 +581,12 @@ fn bench_eval_json() {
                     ("mode", Json::str(mode_name)),
                     ("workload", Json::str(*workload)),
                     ("threads", Json::from(threads)),
+                    ("oversubscribed", Json::from(threads > cores)),
                     ("median_ns", Json::Float(ms * 1e6)),
                 ]));
             }
         }
     }
-    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
     let doc = Json::object([
         ("schema", Json::str("park-bench/eval-v1")),
         ("host_parallelism", Json::from(cores)),
@@ -594,12 +598,36 @@ fn bench_eval_json() {
     }
 }
 
+/// Run the representative C7 warm-restart workload once with the engine's
+/// JSON metrics sink and write the full `park-metrics/v1` document: the
+/// per-step / per-restart / per-replay detail behind C7's summary table,
+/// aggregatable with `park report`.
+fn write_bench_metrics(path: &str) {
+    use park_engine::JsonMetrics;
+    let (rules, facts) = wl::staggered_conflicts(8);
+    let s = session(&rules, &facts);
+    let mut sink = JsonMetrics::new("bench");
+    let out = s
+        .engine
+        .run_with_metrics(&s.db, &s.updates, &mut PreferInsert, &mut sink)
+        .expect("PARK terminates");
+    assert!(out.stats.replayed_steps > 0);
+    match std::fs::write(path, sink.to_json().to_pretty() + "\n") {
+        Ok(()) => println!("Metrics document (C7 warm run) written to `{path}`.\n"),
+        Err(e) => println!("(could not write {path}: {e})\n"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let only = args
         .iter()
         .position(|a| a == "--only")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_default());
+    let metrics = args
+        .iter()
+        .position(|a| a == "--metrics")
         .map(|i| args.get(i + 1).cloned().unwrap_or_default());
     if let Some(section) = only {
         match section.as_str() {
@@ -608,6 +636,9 @@ fn main() {
                 eprintln!("unknown --only section `{other}` (expected: restarts)");
                 std::process::exit(2);
             }
+        }
+        if let Some(path) = metrics {
+            write_bench_metrics(&path);
         }
         return;
     }
@@ -622,4 +653,7 @@ fn main() {
     c6_evaluation();
     c7_warm_restarts(smoke);
     bench_eval_json();
+    if let Some(path) = metrics {
+        write_bench_metrics(&path);
+    }
 }

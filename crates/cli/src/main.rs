@@ -4,13 +4,14 @@
 //! park run <program.park> [--db <data.facts>] [--updates <tx.updates>]
 //!          [--policy <name>] [--scope all|one] [--eval naive|semi]
 //!          [--threads <n>] [--cold-restarts] [--trace] [--trace-json <f>]
-//!          [--stats] [--snapshot <out.json>]
+//!          [--stats] [--snapshot <out.json>] [--metrics <out.json>]
 //! park check <program.park>
 //! park analyze <program.park> [--db <data.facts>]
 //! park query '<body>' [--db <data.facts>]
 //! park repl <program.park> [--db <data.facts>] [--policy <name>]
 //! park baseline <naive|immediate> <program.park> [--db <data.facts>] ...
 //! park workload <list|name> [--out <dir>] [generator options]
+//! park report <metrics.json>...
 //! ```
 //!
 //! Policies: `inertia` (default), `anti-inertia`, `prefer-insert`,
@@ -19,7 +20,8 @@
 //! Sample inputs live in `examples/data/`.
 
 use park_baselines::{immediate_fire, naive_mark_eliminate, ImmediateConfig, ImmediateResult};
-use park_engine::{Engine, EngineOptions, EvaluationMode, ResolutionScope};
+use park_engine::{Engine, EngineOptions, EvaluationMode, JsonMetrics, ResolutionScope};
+use park_json::Json;
 use park_policies::{parse_answer, CallbackOracle, ConflictResolver, Interactive};
 use park_storage::{FactStore, Snapshot, UpdateSet, Vocabulary};
 use park_syntax::{check_program, parse_program};
@@ -51,6 +53,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         Some("baseline") => cmd_baseline(it.collect()),
         Some("workload") => cmd_workload(it.collect()),
         Some("fuzz") => cmd_fuzz(it.collect()),
+        Some("report") => cmd_report(it.collect()),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", HELP);
             Ok(())
@@ -72,6 +75,8 @@ USAGE:
   park workload <list|name> [--out DIR]  emit a generated workload
   park fuzz [--seed N] [--cases K]       differential-test the engine against
                                          the paper-literal oracle
+  park report <metrics.json>...          aggregate park-metrics/v1 documents
+                                         into a markdown report
   park help
 
 OPTIONS (run/baseline):
@@ -92,6 +97,10 @@ OPTIONS (run/baseline):
   --trace-json <file> write the trace as JSON events
   --stats             print run statistics
   --snapshot <file>   write the result database as JSON
+  --metrics <file>    write a park-metrics/v1 JSON document: per-step timings
+                      and firing counts, per-rule tallies, restart causes,
+                      replay savings (also accepted by `park fuzz`; aggregate
+                      with `park report`)
 ";
 
 #[derive(Default)]
@@ -108,6 +117,7 @@ struct RunArgs {
     trace_json: Option<String>,
     stats: bool,
     snapshot: Option<String>,
+    metrics: Option<String>,
 }
 
 fn parse_run_args(args: Vec<String>) -> Result<RunArgs, String> {
@@ -151,6 +161,7 @@ fn parse_run_args(args: Vec<String>) -> Result<RunArgs, String> {
             "--trace-json" => out.trace_json = Some(grab("--trace-json")?),
             "--stats" => out.stats = true,
             "--snapshot" => out.snapshot = Some(grab("--snapshot")?),
+            "--metrics" => out.metrics = Some(grab("--metrics")?),
             other if !other.starts_with("--") && out.program.is_none() => {
                 out.program = Some(other.to_string())
             }
@@ -236,9 +247,19 @@ fn cmd_run(args: Vec<String>, _baseline: bool) -> Result<(), String> {
     };
     let engine = Engine::with_options(vocab, &program, options).map_err(|e| e.to_string())?;
     let mut policy = make_policy(&a.policy)?;
-    let out = engine
-        .run(&db, &updates, policy.as_mut())
-        .map_err(|e| e.to_string())?;
+    let out = if let Some(path) = &a.metrics {
+        let mut sink = JsonMetrics::new("run");
+        let out = engine
+            .run_with_metrics(&db, &updates, policy.as_mut(), &mut sink)
+            .map_err(|e| e.to_string())?;
+        std::fs::write(path, format!("{}\n", sink.to_json().to_pretty()))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        out
+    } else {
+        engine
+            .run(&db, &updates, policy.as_mut())
+            .map_err(|e| e.to_string())?
+    };
     if a.trace {
         println!("{}", out.trace.render());
     }
@@ -250,9 +271,15 @@ fn cmd_run(args: Vec<String>, _baseline: bool) -> Result<(), String> {
     if a.stats {
         eprintln!("{}", out.stats.summary());
         // Report the *effective* configuration: no --threads means no
-        // thread pool, which behaves like one thread.
+        // thread pool, which behaves like one thread, and a request beyond
+        // the host's available parallelism is clamped (task decomposition
+        // still follows the request, so results are unaffected).
         match a.threads {
             None | Some(1) => eprintln!("threads=1 (no pool)"),
+            Some(n) if out.stats.effective_parallelism < n => eprintln!(
+                "threads={n} (oversubscribed; pool clamped to host parallelism {})",
+                out.stats.effective_parallelism
+            ),
             Some(n) => eprintln!("threads={n}"),
         }
         let blocked = out.blocked_display();
@@ -559,6 +586,7 @@ fn cmd_workload(args: Vec<String>) -> Result<(), String> {
 fn cmd_fuzz(args: Vec<String>) -> Result<(), String> {
     let mut seed: u64 = 0;
     let mut cases: u64 = 100;
+    let mut metrics: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -576,9 +604,11 @@ fn cmd_fuzz(args: Vec<String>) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("bad --cases: {e}"))?
             }
+            "--metrics" => metrics = Some(it.next().ok_or("--metrics requires a value")?),
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
+    let started = std::time::Instant::now();
     let progress_every = (cases / 10).max(1);
     let report = park_testkit::run_fuzz(
         seed,
@@ -601,6 +631,20 @@ fn cmd_fuzz(args: Vec<String>) -> Result<(), String> {
             f.minimized.to_text()
         )
     })?;
+    if let Some(path) = &metrics {
+        // Fuzzing sweeps thousands of independent runs, so the document
+        // carries the aggregate counters (no per-step stream).
+        let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let doc = Json::object([
+            ("schema", Json::str("park-metrics/v1")),
+            ("source", Json::str("fuzz")),
+            ("seed", Json::from(seed)),
+            ("cases", Json::from(report.cases)),
+            ("totals", counters_json(&report.counters, elapsed_ns)),
+        ]);
+        std::fs::write(path, format!("{}\n", doc.to_pretty()))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
     println!(
         "fuzz: {} cases, 0 divergences (seed {}, {} ground, {} with conflicts, \
          {} stratified cross-checks; 16 engine configs x {} policies per case)",
@@ -611,5 +655,328 @@ fn cmd_fuzz(args: Vec<String>) -> Result<(), String> {
         report.stratified_checks,
         park_testkit::POLICIES.len(),
     );
+    Ok(())
+}
+
+fn counters_json(c: &park_engine::StatCounters, elapsed_ns: u64) -> Json {
+    Json::object([
+        ("gamma_steps", Json::from(c.gamma_steps)),
+        ("restarts", Json::from(c.restarts)),
+        ("conflicts_resolved", Json::from(c.conflicts_resolved)),
+        ("groundings_fired", Json::from(c.groundings_fired)),
+        ("blocked_instances", Json::from(c.blocked_instances)),
+        ("eval_tasks", Json::from(c.eval_tasks)),
+        ("replayed_steps", Json::from(c.replayed_steps)),
+        (
+            "replay_divergence_step",
+            c.replay_divergence_step.map_or(Json::Null, Json::from),
+        ),
+        ("peak_marked_atoms", Json::from(c.peak_marked_atoms)),
+        ("elapsed_ns", Json::from(elapsed_ns)),
+    ])
+}
+
+/// One validated `park-metrics/v1` document, reduced to what the report
+/// renders.
+struct MetricsDoc {
+    path: String,
+    source: String,
+    policy: String,
+    config: String,
+    threads: String,
+    counters: park_engine::StatCounters,
+    elapsed_ns: u64,
+    rules: Vec<(String, u64, u64)>,
+    resolutions: Vec<(String, String, u64)>,
+    replays_served: u64,
+    divergences: u64,
+}
+
+fn require_u64(totals: &Json, key: &str, path: &str) -> Result<u64, String> {
+    totals
+        .get(key)
+        .and_then(Json::as_i64)
+        .and_then(|n| u64::try_from(n).ok())
+        .ok_or_else(|| format!("{path}: totals.{key} missing or not a non-negative integer"))
+}
+
+fn load_metrics_doc(path: &str) -> Result<MetricsDoc, String> {
+    let doc = park_json::parse(&read_file(path)?).map_err(|e| format!("{path}: {e}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("park-metrics/v1") => {}
+        Some(other) => return Err(format!("{path}: unsupported schema `{other}`")),
+        None => return Err(format!("{path}: missing `schema` field")),
+    }
+    let totals = doc
+        .get("totals")
+        .ok_or_else(|| format!("{path}: missing `totals` object"))?;
+    let counters =
+        park_engine::StatCounters {
+            gamma_steps: require_u64(totals, "gamma_steps", path)?,
+            restarts: require_u64(totals, "restarts", path)?,
+            conflicts_resolved: require_u64(totals, "conflicts_resolved", path)?,
+            groundings_fired: require_u64(totals, "groundings_fired", path)?,
+            blocked_instances: require_u64(totals, "blocked_instances", path)?,
+            eval_tasks: require_u64(totals, "eval_tasks", path)?,
+            replayed_steps: require_u64(totals, "replayed_steps", path)?,
+            replay_divergence_step: match totals.get("replay_divergence_step") {
+                None | Some(&Json::Null) => None,
+                Some(v) => Some(v.as_i64().and_then(|n| u64::try_from(n).ok()).ok_or_else(
+                    || format!("{path}: totals.replay_divergence_step must be an integer or null"),
+                )?),
+            },
+            peak_marked_atoms: require_u64(totals, "peak_marked_atoms", path)?
+                .try_into()
+                .map_err(|_| format!("{path}: totals.peak_marked_atoms out of range"))?,
+        };
+    let elapsed_ns = require_u64(totals, "elapsed_ns", path)?;
+    let str_of = |v: Option<&Json>| v.and_then(Json::as_str).unwrap_or("-").to_string();
+    let options = doc.get("options");
+    let (config, threads) = match options {
+        Some(o) => {
+            let requested = o
+                .get("requested_threads")
+                .and_then(Json::as_i64)
+                .unwrap_or(1);
+            let effective = o
+                .get("effective_threads")
+                .and_then(Json::as_i64)
+                .unwrap_or(requested);
+            let threads = if effective < requested {
+                format!("{requested}→{effective} (oversubscribed)")
+            } else {
+                requested.to_string()
+            };
+            let warm = if o.get("warm_restarts").and_then(Json::as_bool) == Some(false) {
+                "cold"
+            } else {
+                "warm"
+            };
+            (
+                format!(
+                    "{}/{}/{warm}",
+                    str_of(o.get("evaluation")),
+                    str_of(o.get("scope")),
+                ),
+                threads,
+            )
+        }
+        None => ("-".to_string(), "-".to_string()),
+    };
+    let rules = doc
+        .get("rules")
+        .and_then(Json::as_array)
+        .map(|rules| {
+            rules
+                .iter()
+                .map(|r| {
+                    (
+                        str_of(r.get("rule")),
+                        r.get("fired").and_then(Json::as_i64).unwrap_or(0) as u64,
+                        r.get("blocked").and_then(Json::as_i64).unwrap_or(0) as u64,
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let resolutions = doc
+        .get("restarts")
+        .and_then(Json::as_array)
+        .map(|restarts| {
+            restarts
+                .iter()
+                .flat_map(|r| {
+                    r.get("resolutions")
+                        .and_then(Json::as_array)
+                        .unwrap_or(&[])
+                        .iter()
+                        .map(|res| {
+                            (
+                                str_of(res.get("atom")),
+                                str_of(res.get("resolution")),
+                                res.get("newly_blocked").and_then(Json::as_i64).unwrap_or(0) as u64,
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let (replays_served, divergences) = doc
+        .get("replays")
+        .and_then(Json::as_array)
+        .map(|replays| {
+            (
+                replays
+                    .iter()
+                    .map(|r| r.get("served").and_then(Json::as_i64).unwrap_or(0) as u64)
+                    .sum(),
+                replays
+                    .iter()
+                    .filter(|r| !matches!(r.get("divergence_step"), None | Some(&Json::Null)))
+                    .count() as u64,
+            )
+        })
+        .unwrap_or((0, 0));
+    Ok(MetricsDoc {
+        path: path.to_string(),
+        source: str_of(doc.get("source")),
+        policy: str_of(doc.get("policy")),
+        config,
+        threads,
+        counters,
+        elapsed_ns,
+        rules,
+        resolutions,
+        replays_served,
+        divergences,
+    })
+}
+
+fn cmd_report(args: Vec<String>) -> Result<(), String> {
+    let mut files = Vec::new();
+    let mut out_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = Some(it.next().ok_or("--out requires a value")?),
+            other if !other.starts_with("--") => files.push(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if files.is_empty() {
+        return Err("usage: park report <metrics.json>... [--out <file>]".into());
+    }
+    let docs = files
+        .iter()
+        .map(|f| load_metrics_doc(f))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+    let mut md = String::new();
+    let _ = writeln!(md, "# PARK run-metrics report");
+    let _ = writeln!(md);
+    let _ = writeln!(
+        md,
+        "(generated by `park report` from {} park-metrics/v1 document{})",
+        docs.len(),
+        if docs.len() == 1 { "" } else { "s" },
+    );
+    let _ = writeln!(md);
+    let _ = writeln!(md, "## Totals");
+    let _ = writeln!(md);
+    let _ = writeln!(
+        md,
+        "| file | source | policy | config | threads | steps | restarts | conflicts | fired | blocked | tasks | replayed | peak | elapsed ms |"
+    );
+    let _ = writeln!(
+        md,
+        "|------|--------|--------|--------|---------|-------|----------|-----------|-------|---------|-------|----------|------|------------|"
+    );
+    let mut total = park_engine::StatCounters::default();
+    let mut total_ns: u64 = 0;
+    for d in &docs {
+        let c = &d.counters;
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.2} |",
+            d.path,
+            d.source,
+            d.policy,
+            d.config,
+            d.threads,
+            c.gamma_steps,
+            c.restarts,
+            c.conflicts_resolved,
+            c.groundings_fired,
+            c.blocked_instances,
+            c.eval_tasks,
+            c.replayed_steps,
+            c.peak_marked_atoms,
+            d.elapsed_ns as f64 / 1e6,
+        );
+        total.absorb(c);
+        total_ns = total_ns.saturating_add(d.elapsed_ns);
+    }
+    if docs.len() > 1 {
+        let _ = writeln!(
+            md,
+            "| **all** | | | | | {} | {} | {} | {} | {} | {} | {} | {} | {:.2} |",
+            total.gamma_steps,
+            total.restarts,
+            total.conflicts_resolved,
+            total.groundings_fired,
+            total.blocked_instances,
+            total.eval_tasks,
+            total.replayed_steps,
+            total.peak_marked_atoms,
+            total_ns as f64 / 1e6,
+        );
+    }
+
+    let mut per_rule: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for d in &docs {
+        for (rule, fired, blocked) in &d.rules {
+            let e = per_rule.entry(rule.clone()).or_insert((0, 0));
+            e.0 += fired;
+            e.1 += blocked;
+        }
+    }
+    if !per_rule.is_empty() {
+        let _ = writeln!(md);
+        let _ = writeln!(md, "## Per-rule firings");
+        let _ = writeln!(md);
+        let _ = writeln!(md, "| rule | fired | blocked groundings |");
+        let _ = writeln!(md, "|------|-------|--------------------|");
+        for (rule, (fired, blocked)) in &per_rule {
+            let _ = writeln!(md, "| {rule} | {fired} | {blocked} |");
+        }
+    }
+
+    let mut causes: BTreeMap<(String, String), (u64, u64)> = BTreeMap::new();
+    for d in &docs {
+        for (atom, resolution, newly) in &d.resolutions {
+            let e = causes
+                .entry((atom.clone(), resolution.clone()))
+                .or_insert((0, 0));
+            e.0 += 1;
+            e.1 += newly;
+        }
+    }
+    if !causes.is_empty() {
+        let _ = writeln!(md);
+        let _ = writeln!(md, "## Restart causes");
+        let _ = writeln!(md);
+        let _ = writeln!(md, "| conflict atom | resolution | times | newly blocked |");
+        let _ = writeln!(md, "|---------------|------------|-------|---------------|");
+        for ((atom, resolution), (times, newly)) in &causes {
+            let _ = writeln!(md, "| `{atom}` | {resolution} | {times} | {newly} |");
+        }
+    }
+
+    let served: u64 = docs.iter().map(|d| d.replays_served).sum();
+    let diverged: u64 = docs.iter().map(|d| d.divergences).sum();
+    if served > 0 || total.replayed_steps > 0 {
+        let _ = writeln!(md);
+        let _ = writeln!(md, "## Replay savings");
+        let _ = writeln!(md);
+        let _ = writeln!(
+            md,
+            "{} of {} Γ steps served from the warm-restart log instead of \
+             evaluated live ({} replay{} diverged).",
+            total.replayed_steps,
+            total.gamma_steps + total.restarts,
+            diverged,
+            if diverged == 1 { "" } else { "s" },
+        );
+    }
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &md).map_err(|e| format!("cannot write `{path}`: {e}"))?
+        }
+        None => print!("{md}"),
+    }
     Ok(())
 }

@@ -569,3 +569,175 @@ fn unknown_arguments_are_rejected() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
 }
+
+#[test]
+fn run_metrics_writes_a_versioned_document() {
+    let dir = tempdir("metrics");
+    let program = write(
+        &dir,
+        "p.park",
+        "r1: p -> +a. r2: p -> +q. r3: a -> +b. r4: a -> -q. r5: b -> +q.",
+    );
+    let facts = write(&dir, "d.facts", "p.");
+    let metrics = dir.join("m.json");
+    let out = park()
+        .args([
+            "run",
+            program.to_str().unwrap(),
+            "--db",
+            facts.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&metrics).unwrap();
+    assert!(doc.contains("\"schema\": \"park-metrics/v1\""), "{doc}");
+    // §5 example under inertia: 2 restarts, divergence at step 3.
+    assert!(doc.contains("\"restarts\": 2"), "{doc}");
+    assert!(doc.contains("\"replay_divergence_step\": 3"), "{doc}");
+    assert!(doc.contains("\"rule\": \"r4\""), "{doc}");
+}
+
+#[test]
+fn report_aggregates_metrics_documents() {
+    let dir = tempdir("report");
+    let program = write(&dir, "p.park", "r1: p -> +q. r2: p -> -q.");
+    let facts = write(&dir, "d.facts", "p.");
+    let m1 = dir.join("m1.json");
+    let m2 = dir.join("m2.json");
+    for (policy, path) in [("inertia", &m1), ("prefer-insert", &m2)] {
+        let out = park()
+            .args([
+                "run",
+                program.to_str().unwrap(),
+                "--db",
+                facts.to_str().unwrap(),
+                "--policy",
+                policy,
+                "--metrics",
+                path.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+    }
+    let out = park()
+        .args(["report", m1.to_str().unwrap(), m2.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("# PARK run-metrics report"), "{stdout}");
+    assert!(
+        stdout.contains("from 2 park-metrics/v1 documents"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("| **all** |"), "{stdout}");
+    assert!(stdout.contains("## Restart causes"), "{stdout}");
+    assert!(stdout.contains("| `q` |"), "{stdout}");
+}
+
+#[test]
+fn report_rejects_invalid_documents() {
+    let dir = tempdir("badreport");
+    let bad_schema = write(&dir, "bad1.json", "{\"schema\": \"something-else\"}");
+    let out = park()
+        .args(["report", bad_schema.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unsupported schema"));
+
+    let no_totals = write(&dir, "bad2.json", "{\"schema\": \"park-metrics/v1\"}");
+    let out = park()
+        .args(["report", no_totals.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("totals"));
+
+    let not_json = write(&dir, "bad3.json", "not json at all");
+    let out = park()
+        .args(["report", not_json.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn fuzz_metrics_aggregate_is_reportable() {
+    let dir = tempdir("fuzzmetrics");
+    let metrics = dir.join("fuzz.json");
+    let out = park()
+        .args([
+            "fuzz",
+            "--seed",
+            "0",
+            "--cases",
+            "5",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&metrics).unwrap();
+    assert!(doc.contains("\"source\": \"fuzz\""), "{doc}");
+    let out = park()
+        .args(["report", metrics.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("| fuzz |"), "{stdout}");
+}
+
+#[test]
+fn oversubscribed_thread_requests_are_reported_clamped() {
+    let dir = tempdir("clamp");
+    let program = write(&dir, "p.park", "p -> +q.");
+    let facts = write(&dir, "d.facts", "p.");
+    let run = |threads: &str| {
+        park()
+            .args([
+                "run",
+                program.to_str().unwrap(),
+                "--db",
+                facts.to_str().unwrap(),
+                "--threads",
+                threads,
+                "--stats",
+            ])
+            .output()
+            .unwrap()
+    };
+    // A request no host can satisfy: the pool is clamped, the result and
+    // the task decomposition (and hence the stats line) are unchanged.
+    let big = run("4096");
+    assert!(big.status.success());
+    let stderr = String::from_utf8_lossy(&big.stderr);
+    assert!(
+        stderr.contains("threads=4096 (oversubscribed; pool clamped to host parallelism"),
+        "{stderr}"
+    );
+    let sane = run("1");
+    assert_eq!(big.stdout, sane.stdout);
+}

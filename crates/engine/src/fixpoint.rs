@@ -16,11 +16,14 @@
 //! bounded by the finite number of rule groundings.
 
 use crate::compile::CompiledProgram;
-use crate::conflict::{collect_conflicts, ConflictResolver, Provenance, SelectContext};
+use crate::conflict::{collect_conflicts, ConflictResolver, Provenance, Resolution, SelectContext};
 use crate::error::{EngineError, EngineResult};
 use crate::gamma;
 use crate::grounding::BlockedSet;
 use crate::interp::IInterpretation;
+use crate::metrics::{
+    FinishEvent, MetricsSink, ReplayEvent, RestartEvent, StepEvent, StepOutcome, TaskSpan,
+};
 use crate::options::{EngineOptions, EvaluationMode, ResolutionScope};
 use crate::replay::{Replayer, StepLog};
 use crate::seminaive::{self, ZoneLens};
@@ -128,6 +131,16 @@ impl Engine {
         self.run(db, &UpdateSet::empty(), resolver)
     }
 
+    /// [`Engine::park`] with evaluation events reported into `sink`.
+    pub fn park_with_metrics(
+        &self,
+        db: &FactStore,
+        resolver: &mut dyn ConflictResolver,
+        sink: &mut dyn MetricsSink,
+    ) -> EngineResult<ParkOutcome> {
+        self.run_with_metrics(db, &UpdateSet::empty(), resolver, sink)
+    }
+
     /// Evaluate `PARK(D, P, U)` — full event–condition–action semantics.
     ///
     /// `db` must share the engine's vocabulary (they were built against the
@@ -137,6 +150,32 @@ impl Engine {
         db: &FactStore,
         updates: &UpdateSet,
         resolver: &mut dyn ConflictResolver,
+    ) -> EngineResult<ParkOutcome> {
+        self.run_inner(db, updates, resolver, None)
+    }
+
+    /// [`Engine::run`] with evaluation events reported into `sink` (see
+    /// `crate::metrics`). The sink's [`MetricsSink::enabled`] is consulted
+    /// once, up front: a disabled sink ([`crate::metrics::NoopMetrics`])
+    /// makes this take exactly the unmetered [`Engine::run`] path — no
+    /// per-step timing, no span buffers, no allocations.
+    pub fn run_with_metrics(
+        &self,
+        db: &FactStore,
+        updates: &UpdateSet,
+        resolver: &mut dyn ConflictResolver,
+        sink: &mut dyn MetricsSink,
+    ) -> EngineResult<ParkOutcome> {
+        let sink = sink.enabled().then_some(sink);
+        self.run_inner(db, updates, resolver, sink)
+    }
+
+    fn run_inner(
+        &self,
+        db: &FactStore,
+        updates: &UpdateSet,
+        resolver: &mut dyn ConflictResolver,
+        mut sink: Option<&mut dyn MetricsSink>,
     ) -> EngineResult<ParkOutcome> {
         assert!(
             Arc::ptr_eq(db.vocab(), self.program.vocab()),
@@ -152,10 +191,21 @@ impl Engine {
         // Statically conflict-free programs never restart, so capturing a
         // firing log for them would be pure overhead.
         let warm = self.options.warm_restarts && !statically_safe;
+        // Host-parallelism clamp: task decomposition follows the *requested*
+        // thread count (so `eval_tasks` and the merged firing stream are
+        // host-independent), but no more worker threads than the host can
+        // actually run in parallel are spawned.
+        let requested_threads = self.options.parallelism.unwrap_or(1).max(1);
+        let effective_threads = requested_threads.min(crate::parallel::host_parallelism());
         let mut blocked = BlockedSet::new();
-        let mut stats = RunStats::default();
+        let mut stats = RunStats {
+            effective_parallelism: effective_threads,
+            ..RunStats::default()
+        };
         let mut trace = Trace::new();
         let tracing = self.options.trace;
+        let metered = sink.is_some();
+        let mut spans: Vec<TaskSpan> = Vec::new();
         // Provenance outlives the runs: `clear` keeps the per-atom maps'
         // allocations for the next run to reuse.
         let mut provenance = Provenance::new();
@@ -184,6 +234,10 @@ impl Engine {
                         limit: self.options.max_steps,
                     });
                 }
+                let step_started = metered.then(Instant::now);
+                if metered {
+                    spans.clear();
+                }
                 let replayed = replayer.as_mut().and_then(|r| {
                     let step = r.next_step(&blocked);
                     if let Some(d) = r.divergence_step() {
@@ -191,6 +245,7 @@ impl Engine {
                     }
                     step
                 });
+                let served_from_log = replayed.is_some();
                 let (fired, tasks) = match replayed {
                     Some(fired) => {
                         // Served from the log: the filtered vector is
@@ -206,17 +261,37 @@ impl Engine {
                     }
                     None => {
                         let threads = self.options.parallelism;
+                        let span_out = if metered { Some(&mut spans) } else { None };
                         match self.options.evaluation {
-                            EvaluationMode::Naive => {
-                                gamma::fire_all_par(&working, &blocked, &interp, threads)
-                            }
+                            EvaluationMode::Naive => gamma::fire_all_metered(
+                                &working,
+                                &blocked,
+                                &interp,
+                                threads,
+                                effective_threads,
+                                span_out,
+                            ),
                             EvaluationMode::SemiNaive => {
                                 if step_in_run == 0 {
-                                    gamma::fire_all_par(&working, &blocked, &interp, threads)
+                                    gamma::fire_all_metered(
+                                        &working,
+                                        &blocked,
+                                        &interp,
+                                        threads,
+                                        effective_threads,
+                                        span_out,
+                                    )
                                 } else {
                                     let curr = ZoneLens::capture(&interp);
-                                    let fired = seminaive::fire_new_par(
-                                        &working, &blocked, &interp, &prev_lens, &curr, threads,
+                                    let fired = seminaive::fire_new_metered(
+                                        &working,
+                                        &blocked,
+                                        &interp,
+                                        &prev_lens,
+                                        &curr,
+                                        threads,
+                                        effective_threads,
+                                        span_out,
                                     );
                                     prev_lens = curr;
                                     fired
@@ -241,6 +316,7 @@ impl Engine {
                 } else {
                     Vec::new()
                 };
+                let step_nanos = step_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
 
                 if conflicts.is_empty() {
                     // Γ_{P,B}(I) is consistent: take the inflationary step.
@@ -264,6 +340,23 @@ impl Engine {
                         provenance.record_all(&fired);
                     }
                     stats.peak_marked_atoms = stats.peak_marked_atoms.max(interp.marked_len());
+                    if let Some(s) = sink.as_mut() {
+                        s.step(&StepEvent {
+                            run,
+                            step: step_in_run,
+                            fired: &fired,
+                            replayed: served_from_log,
+                            tasks,
+                            nanos: step_nanos,
+                            spans: &spans,
+                            outcome: if added_count == 0 {
+                                StepOutcome::Fixpoint
+                            } else {
+                                StepOutcome::Applied
+                            },
+                            marked: interp.marked_len(),
+                        });
+                    }
                     if added_count == 0 {
                         // Γ_{P,B}(I) = I: the fixpoint ω is reached.
                         if tracing {
@@ -275,6 +368,13 @@ impl Engine {
                             if let Some(r) = &replayer {
                                 trace.push_note(replay_note(run, r));
                             }
+                        }
+                        if let (Some(s), Some(r)) = (sink.as_mut(), &replayer) {
+                            s.replay(&ReplayEvent {
+                                run,
+                                served: r.served(),
+                                divergence_step: r.divergence_step(),
+                            });
                         }
                         break 'outer interp;
                     }
@@ -294,6 +394,19 @@ impl Engine {
                     if stats.restarts >= self.options.max_restarts {
                         return Err(EngineError::RestartLimit {
                             limit: self.options.max_restarts,
+                        });
+                    }
+                    if let Some(s) = sink.as_mut() {
+                        s.step(&StepEvent {
+                            run,
+                            step: step_in_run + 1,
+                            fired: &fired,
+                            replayed: served_from_log,
+                            tasks,
+                            nanos: step_nanos,
+                            spans: &spans,
+                            outcome: StepOutcome::Conflict,
+                            marked: interp.marked_len(),
                         });
                     }
                     let (selected, deferred) = match self.options.scope {
@@ -316,6 +429,7 @@ impl Engine {
                         program: &working,
                         interp: &interp,
                     };
+                    let mut resolutions_meta: Vec<(String, Resolution, u64)> = Vec::new();
                     for c in selected {
                         let resolution =
                             resolver
@@ -326,10 +440,12 @@ impl Engine {
                                 })?;
                         stats.conflicts_resolved += 1;
                         let mut newly: Vec<String> = Vec::new();
+                        let mut newly_count: u64 = 0;
                         let mut progressed = false;
                         for g in c.losing_side(resolution) {
                             if blocked.insert(g.clone()) {
                                 progressed = true;
+                                newly_count += 1;
                                 if tracing {
                                     newly.push(g.display(&working));
                                 }
@@ -340,12 +456,36 @@ impl Engine {
                                 atom: working.vocab().display_fact(c.pred, &c.tuple),
                             });
                         }
+                        if metered {
+                            resolutions_meta.push((
+                                working.vocab().display_fact(c.pred, &c.tuple),
+                                resolution,
+                                newly_count,
+                            ));
+                        }
                         if tracing {
                             trace.push(TraceEvent::ConflictResolved {
                                 conflict: c.display(&working),
                                 policy: policy_name.clone(),
                                 resolution,
                                 blocked: newly,
+                            });
+                        }
+                    }
+                    if let Some(s) = sink.as_mut() {
+                        s.restart(&RestartEvent {
+                            run,
+                            step: step_in_run + 1,
+                            scope: self.options.scope,
+                            policy: &policy_name,
+                            resolutions: &resolutions_meta,
+                            deferred: deferred.len() as u64,
+                        });
+                        if let Some(r) = &replayer {
+                            s.replay(&ReplayEvent {
+                                run,
+                                served: r.served(),
+                                divergence_step: r.divergence_step(),
                             });
                         }
                     }
@@ -370,6 +510,17 @@ impl Engine {
         debug_assert!(final_interp.is_consistent());
         stats.blocked_instances = blocked.len() as u64;
         stats.elapsed = started.elapsed();
+        if let Some(s) = sink.as_mut() {
+            s.finish(&FinishEvent {
+                program: &working,
+                blocked: &blocked,
+                stats: &stats,
+                requested_threads,
+                effective_threads,
+                options: &self.options,
+                policy: &policy_name,
+            });
+        }
         let database = final_interp.incorp();
         Ok(ParkOutcome {
             database,

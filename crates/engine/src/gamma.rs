@@ -220,8 +220,38 @@ pub fn fire_all_par(
     interp: &IInterpretation,
     threads: Option<usize>,
 ) -> (Vec<FiredAction>, u64) {
+    let requested = threads.unwrap_or(1).max(1);
+    fire_all_metered(program, blocked, interp, threads, requested, None)
+}
+
+/// [`fire_all_par`] with the pool size decoupled from the decomposition and
+/// optional per-task span collection (the fixpoint loop's metered entry
+/// point). `threads` alone determines how the step is split into tasks —
+/// and therefore the `eval_tasks` count and the byte-identical output
+/// stream — while `workers` caps how many threads actually run them (the
+/// host-parallelism clamp).
+pub(crate) fn fire_all_metered(
+    program: &CompiledProgram,
+    blocked: &BlockedSet,
+    interp: &IInterpretation,
+    threads: Option<usize>,
+    workers: usize,
+    spans: Option<&mut Vec<crate::metrics::TaskSpan>>,
+) -> (Vec<FiredAction>, u64) {
     let threads = threads.unwrap_or(1).max(1);
     if threads == 1 {
+        if let Some(spans) = spans {
+            let rules: Vec<usize> = (0..program.rules().len()).collect();
+            let out = crate::parallel::run_ordered(
+                &rules,
+                1,
+                |rule, scratch, buf| {
+                    fire_rule_in(&program.rules()[*rule], blocked, interp, scratch, None, buf);
+                },
+                Some(spans),
+            );
+            return (out, program.rules().len() as u64);
+        }
         let mut out = Vec::new();
         let mut scratch = Scratch::new();
         for rule in program.rules() {
@@ -234,10 +264,15 @@ pub fn fire_all_par(
         interp,
         threads * crate::parallel::CHUNKS_PER_THREAD,
     );
-    let out = crate::parallel::run_ordered(&tasks, threads, |task, scratch, buf| {
-        let rule = &program.rules()[task.rule];
-        fire_rule_in(rule, blocked, interp, scratch, task.step0, buf);
-    });
+    let out = crate::parallel::run_ordered(
+        &tasks,
+        workers,
+        |task, scratch, buf| {
+            let rule = &program.rules()[task.rule];
+            fire_rule_in(rule, blocked, interp, scratch, task.step0, buf);
+        },
+        spans,
+    );
     (out, tasks.len() as u64)
 }
 

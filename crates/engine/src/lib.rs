@@ -43,6 +43,7 @@ pub mod fixpoint;
 pub mod gamma;
 pub mod grounding;
 pub mod interp;
+pub mod metrics;
 pub mod options;
 mod parallel;
 pub mod query;
@@ -68,10 +69,14 @@ pub use fixpoint::{Engine, ParkOutcome};
 pub use gamma::{fire_all, fire_all_par, FiredAction};
 pub use grounding::{BlockedSet, Grounding};
 pub use interp::IInterpretation;
+pub use metrics::{
+    FinishEvent, JsonMetrics, MetricsSink, NoopMetrics, ReplayEvent, RestartEvent, StepEvent,
+    StepOutcome, TaskSpan,
+};
 pub use options::{EngineOptions, EvaluationMode, ResolutionScope};
 pub use query::Query;
 pub use replay::{Replayer, StepLog};
 pub use seminaive::{fire_new, fire_new_par, ZoneLens};
-pub use stats::RunStats;
+pub use stats::{RunStats, StatCounters};
 pub use trace::{Trace, TraceEvent};
 pub use validity::{valid_event, valid_neg, valid_pos, MarkZone};

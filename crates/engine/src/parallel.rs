@@ -12,9 +12,20 @@
 //! Threads are spawned per call with [`std::thread::scope`]; no pool lives
 //! beyond a Γ step, and nothing is spawned at all when parallelism is off
 //! or there is at most one task.
+//!
+//! The *pool size* (`workers`) is decoupled from the *task decomposition*:
+//! the evaluators split work according to the requested thread count, while
+//! the fixpoint loop clamps the number of threads actually spawned to
+//! [`host_parallelism`]. Oversubscribing a host (e.g. 4 workers on 1 core)
+//! only adds scheduling overhead — `BENCH_eval.json` measured threads=4 at
+//! 1.45× *slower* than threads=1 on a 1-core host — and since the merge
+//! order is deterministic, shrinking the pool cannot change any output.
 
 use crate::gamma::{FiredAction, Scratch};
+use crate::metrics::TaskSpan;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// How many step-0 chunks each worker thread should get, on average.
 ///
@@ -23,30 +34,63 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// to matter.
 pub(crate) const CHUNKS_PER_THREAD: usize = 2;
 
-/// Run `run` over every task, in parallel on `threads` workers, and return
-/// the task buffers concatenated in task-index order.
+/// The host's available parallelism, cached after the first query.
+/// Falls back to 1 when the host refuses to say.
+pub(crate) fn host_parallelism() -> usize {
+    static HOST: OnceLock<usize> = OnceLock::new();
+    *HOST.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Run `run` over every task, in parallel on up to `workers` threads, and
+/// return the task buffers concatenated in task-index order. When `spans`
+/// is supplied, one [`TaskSpan`] per task (fired count + wall-clock nanos)
+/// is appended to it, in task-index order.
 ///
 /// Each worker owns a [`Scratch`] that is reused across the tasks it pulls,
 /// so per-grounding allocations are amortised exactly as in the sequential
 /// path. Falls back to a plain sequential loop when the task count or the
-/// thread count makes spawning pointless.
-pub(crate) fn run_ordered<T, F>(tasks: &[T], threads: usize, run: F) -> Vec<FiredAction>
+/// worker count makes spawning pointless.
+pub(crate) fn run_ordered<T, F>(
+    tasks: &[T],
+    workers: usize,
+    run: F,
+    spans: Option<&mut Vec<TaskSpan>>,
+) -> Vec<FiredAction>
 where
     T: Sync,
     F: Fn(&T, &mut Scratch, &mut Vec<FiredAction>) + Sync,
 {
-    let workers = threads.min(tasks.len());
+    let timed = spans.is_some();
+    let workers = workers.min(tasks.len());
     if workers <= 1 {
         let mut scratch = Scratch::new();
         let mut out = Vec::new();
-        for task in tasks {
-            run(task, &mut scratch, &mut out);
+        if let Some(spans) = spans {
+            for (idx, task) in tasks.iter().enumerate() {
+                let before = out.len();
+                let started = Instant::now();
+                run(task, &mut scratch, &mut out);
+                spans.push(TaskSpan {
+                    index: idx,
+                    fired: out.len() - before,
+                    nanos: started.elapsed().as_nanos() as u64,
+                });
+            }
+        } else {
+            for task in tasks {
+                run(task, &mut scratch, &mut out);
+            }
         }
         return out;
     }
 
     let next = AtomicUsize::new(0);
     let mut buffers: Vec<Vec<FiredAction>> = Vec::with_capacity(tasks.len());
+    let mut collected: Vec<(usize, Vec<FiredAction>, u64)> = Vec::with_capacity(tasks.len());
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
@@ -54,26 +98,34 @@ where
             let run = &run;
             handles.push(scope.spawn(move || {
                 let mut scratch = Scratch::new();
-                let mut done: Vec<(usize, Vec<FiredAction>)> = Vec::new();
+                let mut done: Vec<(usize, Vec<FiredAction>, u64)> = Vec::new();
                 loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     if idx >= tasks.len() {
                         break;
                     }
                     let mut buf = Vec::new();
+                    let started = timed.then(Instant::now);
                     run(&tasks[idx], &mut scratch, &mut buf);
-                    done.push((idx, buf));
+                    let nanos = started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    done.push((idx, buf, nanos));
                 }
                 done
             }));
         }
-        let mut collected: Vec<(usize, Vec<FiredAction>)> = Vec::with_capacity(tasks.len());
         for handle in handles {
             collected.extend(handle.join().expect("evaluation worker panicked"));
         }
-        collected.sort_unstable_by_key(|(idx, _)| *idx);
-        buffers.extend(collected.into_iter().map(|(_, buf)| buf));
+        collected.sort_unstable_by_key(|(idx, ..)| *idx);
     });
+    if let Some(spans) = spans {
+        spans.extend(collected.iter().map(|(idx, buf, nanos)| TaskSpan {
+            index: *idx,
+            fired: buf.len(),
+            nanos: *nanos,
+        }));
+    }
+    buffers.extend(collected.into_iter().map(|(_, buf, _)| buf));
     buffers.into_iter().flatten().collect()
 }
 
@@ -113,7 +165,7 @@ mod tests {
             run(t, &mut scratch, &mut expected);
         }
         for threads in [1, 2, 4, 8] {
-            let got = run_ordered(&tasks, threads, run);
+            let got = run_ordered(&tasks, threads, run, None);
             assert_eq!(got, expected, "threads={threads}");
         }
     }
@@ -123,8 +175,33 @@ mod tests {
         let run = |t: &usize, _s: &mut Scratch, out: &mut Vec<FiredAction>| {
             out.push(action(*t, *t as i64));
         };
-        assert!(run_ordered(&[], 4, run).is_empty());
-        let one = run_ordered(&[7usize], 4, run);
+        assert!(run_ordered(&[], 4, run, None).is_empty());
+        let one = run_ordered(&[7usize], 4, run, None);
         assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn spans_cover_every_task_in_merge_order() {
+        let tasks: Vec<usize> = (0..9).collect();
+        let run = |t: &usize, _s: &mut Scratch, out: &mut Vec<FiredAction>| {
+            for k in 0..(*t % 3) {
+                out.push(action(*t, (*t * 10 + k) as i64));
+            }
+        };
+        for threads in [1, 4] {
+            let mut spans = Vec::new();
+            let got = run_ordered(&tasks, threads, run, Some(&mut spans));
+            assert_eq!(spans.len(), tasks.len(), "threads={threads}");
+            for (i, span) in spans.iter().enumerate() {
+                assert_eq!(span.index, i);
+                assert_eq!(span.fired, i % 3);
+            }
+            assert_eq!(got.len(), spans.iter().map(|s| s.fired).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn host_parallelism_is_at_least_one() {
+        assert!(host_parallelism() >= 1);
     }
 }

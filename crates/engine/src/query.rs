@@ -84,7 +84,13 @@ impl Query {
 
     /// Evaluate against an i-interpretation (event literals see its
     /// marks). Each row assigns the query's variables in order.
-    pub fn run(&self, interp: &IInterpretation) -> Vec<Tuple> {
+    ///
+    /// The query's own plan may probe predicates the hosting program never
+    /// indexes, so the indexes the plan requests are installed on `interp`
+    /// first (a no-op when already present) — without this, joins silently
+    /// fall back to full-relation scans.
+    pub fn run(&self, interp: &mut IInterpretation) -> Vec<Tuple> {
+        self.ensure_indexes(interp);
         let fired = gamma::fire_all(&self.program, &BlockedSet::new(), interp);
         let mut rows: Vec<Tuple> = fired.into_iter().map(|f| f.tuple).collect();
         rows.sort();
@@ -92,14 +98,19 @@ impl Query {
         rows
     }
 
+    /// Install the indexes this query's plan probes through (shared by
+    /// [`Query::run`] and [`Query::run_on_database`]).
+    fn ensure_indexes(&self, interp: &mut IInterpretation) {
+        for req in self.program.index_requests() {
+            interp.zone_mut(req.zone).ensure_index(req.pred, req.mask);
+        }
+    }
+
     /// Evaluate against a plain database (no marks: positive literals are
     /// membership, negation is closed-world, event literals never match).
     pub fn run_on_database(&self, db: &FactStore) -> Vec<Tuple> {
         let mut interp = IInterpretation::from_database(db.clone());
-        for req in self.program.index_requests() {
-            interp.zone_mut(req.zone).ensure_index(req.pred, req.mask);
-        }
-        self.run(&interp)
+        self.run(&mut interp)
     }
 
     /// True if the query has at least one answer.
@@ -191,9 +202,44 @@ mod tests {
             Tuple::new(vec![Value::Sym(vocab.sym("a"))]),
         );
         let q = Query::parse(&vocab, "-s(X)").unwrap();
-        assert_eq!(q.render_rows(&q.run(&interp)), vec!["X = a"]);
+        assert_eq!(q.render_rows(&q.run(&mut interp)), vec!["X = a"]);
         // Against the plain database the event never matches.
         assert!(q.run_on_database(&store).is_empty());
+    }
+
+    #[test]
+    fn run_installs_the_plan_requested_indexes() {
+        // Regression: `run` used to evaluate against a caller-supplied
+        // interpretation without installing the plan's `index_requests()`
+        // (unlike `run_on_database`), so mid-run queries joined through the
+        // unindexed scan fallback.
+        let (vocab, store) = db("p(a). p(b). e(a, b). e(a, c). e(b, d).");
+        let q = Query::parse(&vocab, "?- p(X), e(X, Y).").unwrap();
+        let requests = q.program.index_requests();
+        assert!(
+            !requests.is_empty(),
+            "the join plan must probe through at least one index"
+        );
+        let mut interp = IInterpretation::from_database(store);
+        for req in requests {
+            let rel = interp.zone(req.zone).relation(req.pred);
+            assert!(
+                rel.is_none_or(|r| !r.has_index(req.mask)),
+                "precondition: the index is not there before the query runs"
+            );
+        }
+        let rows = q.run(&mut interp);
+        assert_eq!(rows.len(), 3);
+        for req in requests {
+            let rel = interp
+                .zone(req.zone)
+                .relation(req.pred)
+                .expect("probed relation exists");
+            assert!(
+                rel.has_index(req.mask),
+                "the indexed probe path is taken by `run` itself"
+            );
+        }
     }
 
     #[test]

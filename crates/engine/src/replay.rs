@@ -27,6 +27,12 @@
 //! `docs/semantics.md` §9 for the full argument). The only observable
 //! differences are `RunStats::replayed_steps` / `replay_divergence_step`
 //! and `eval_tasks` (replayed steps schedule no evaluation tasks).
+//!
+//! Replay savings are also observable through the metrics layer: at the end
+//! of each run that had a log to draw from, the engine reports a
+//! `crate::metrics::ReplayEvent` built from [`Replayer::served`] and
+//! [`Replayer::divergence_step`] — steps replayed vs. evaluated live, per
+//! run, in the `park-metrics/v1` document.
 
 use crate::gamma::FiredAction;
 use crate::grounding::BlockedSet;

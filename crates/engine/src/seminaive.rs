@@ -260,8 +260,55 @@ pub fn fire_new_par(
     curr: &ZoneLens,
     threads: Option<usize>,
 ) -> (Vec<FiredAction>, u64) {
+    let requested = threads.unwrap_or(1).max(1);
+    fire_new_metered(
+        program, blocked, interp, prev, curr, threads, requested, None,
+    )
+}
+
+/// [`fire_new_par`] with the pool size decoupled from the decomposition and
+/// optional per-task span collection (the fixpoint loop's metered entry
+/// point). `threads` alone determines the task split — and therefore the
+/// `eval_tasks` count and the byte-identical output stream — while
+/// `workers` caps how many threads actually run them (the host-parallelism
+/// clamp).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fire_new_metered(
+    program: &CompiledProgram,
+    blocked: &BlockedSet,
+    interp: &IInterpretation,
+    prev: &ZoneLens,
+    curr: &ZoneLens,
+    threads: Option<usize>,
+    workers: usize,
+    spans: Option<&mut Vec<crate::metrics::TaskSpan>>,
+) -> (Vec<FiredAction>, u64) {
     let threads = threads.unwrap_or(1).max(1);
+    let run_task = |task: &SemiTask, scratch: &mut Scratch, buf: &mut Vec<FiredAction>| match *task
+    {
+        SemiTask::Fallback { rule } => {
+            crate::gamma::fire_rule_in(&program.rules()[rule], blocked, interp, scratch, None, buf);
+        }
+        SemiTask::Delta {
+            rule,
+            delta_pos,
+            step0,
+        } => {
+            let rule = &program.rules()[rule];
+            let steps = binding_steps(rule);
+            run_delta(
+                rule, blocked, interp, prev, curr, &steps, delta_pos, step0, scratch, buf,
+            );
+        }
+    };
     if threads == 1 {
+        if let Some(spans) = spans {
+            // Metered sequential evaluation: one unsplit task per pass, run
+            // through the executor's sequential path to collect spans.
+            let tasks = plan_tasks(program, interp, prev, curr, 1);
+            let out = crate::parallel::run_ordered(&tasks, 1, run_task, Some(spans));
+            return (out, tasks.len() as u64);
+        }
         let mut out = Vec::new();
         let mut scratch = Scratch::new();
         let mut task_count = 0u64;
@@ -301,22 +348,7 @@ pub fn fire_new_par(
         curr,
         threads * crate::parallel::CHUNKS_PER_THREAD,
     );
-    let out = crate::parallel::run_ordered(&tasks, threads, |task, scratch, buf| match *task {
-        SemiTask::Fallback { rule } => {
-            crate::gamma::fire_rule_in(&program.rules()[rule], blocked, interp, scratch, None, buf);
-        }
-        SemiTask::Delta {
-            rule,
-            delta_pos,
-            step0,
-        } => {
-            let rule = &program.rules()[rule];
-            let steps = binding_steps(rule);
-            run_delta(
-                rule, blocked, interp, prev, curr, &steps, delta_pos, step0, scratch, buf,
-            );
-        }
-    });
+    let out = crate::parallel::run_ordered(&tasks, workers, run_task, spans);
     (out, tasks.len() as u64)
 }
 

@@ -8,7 +8,12 @@ use std::time::Duration;
 /// the number of Γ applications, the number of conflict-resolution restarts
 /// (bounded by the number of rule groundings), and the sizes of the blocked
 /// set and interpretation.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// `RunStats` deliberately does **not** implement `PartialEq`: it carries
+/// the wall-clock `elapsed` field, so whole-struct equality would be flaky
+/// by construction. Compare [`RunStats::counters`] instead — the
+/// deterministic subset two equivalent runs must agree on.
+#[derive(Debug, Clone, Default)]
 pub struct RunStats {
     /// Γ applications, summed over all runs (restarts included).
     pub gamma_steps: u64,
@@ -37,11 +42,81 @@ pub struct RunStats {
     pub replay_divergence_step: Option<u64>,
     /// Largest number of marked atoms held at once.
     pub peak_marked_atoms: usize,
+    /// The worker-pool size actually used, after clamping the requested
+    /// `EngineOptions::parallelism` to the host's available parallelism
+    /// (1 = sequential, no pool). Task decomposition still follows the
+    /// *requested* count, so results stay byte-identical across hosts; only
+    /// the number of spawned threads is clamped.
+    pub effective_parallelism: usize,
     /// Wall-clock time of the evaluation.
     pub elapsed: Duration,
 }
 
+/// The deterministic subset of [`RunStats`]: every counter two runs of the
+/// same configuration must agree on exactly, with the wall-clock and
+/// host-dependent fields (`elapsed`, `effective_parallelism`) left out.
+///
+/// This is the comparison surface for stats equality — used by the metrics
+/// cross-check (`park_engine::metrics`) and anywhere a test wants to assert
+/// "same run" without being flaky on timing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatCounters {
+    /// Γ applications, summed over all runs.
+    pub gamma_steps: u64,
+    /// Conflict-resolution restarts.
+    pub restarts: u64,
+    /// Individual conflicts resolved by `SELECT`.
+    pub conflicts_resolved: u64,
+    /// Total rule-grounding firings enumerated.
+    pub groundings_fired: u64,
+    /// Size of the final blocked set `B`.
+    pub blocked_instances: u64,
+    /// Evaluation tasks executed across all Γ steps.
+    pub eval_tasks: u64,
+    /// Γ steps served from the warm-restart replay log.
+    pub replayed_steps: u64,
+    /// Step of the most recent replay divergence, if any.
+    pub replay_divergence_step: Option<u64>,
+    /// Largest number of marked atoms held at once.
+    pub peak_marked_atoms: usize,
+}
+
+impl StatCounters {
+    /// Fold another run's counters into this one (used when aggregating
+    /// over many runs, e.g. a fuzzing sweep): counts add, the peak takes
+    /// the maximum, and the divergence step keeps the latest `Some`.
+    pub fn absorb(&mut self, other: &StatCounters) {
+        self.gamma_steps += other.gamma_steps;
+        self.restarts += other.restarts;
+        self.conflicts_resolved += other.conflicts_resolved;
+        self.groundings_fired += other.groundings_fired;
+        self.blocked_instances += other.blocked_instances;
+        self.eval_tasks += other.eval_tasks;
+        self.replayed_steps += other.replayed_steps;
+        if other.replay_divergence_step.is_some() {
+            self.replay_divergence_step = other.replay_divergence_step;
+        }
+        self.peak_marked_atoms = self.peak_marked_atoms.max(other.peak_marked_atoms);
+    }
+}
+
 impl RunStats {
+    /// The deterministic counters, for equality comparisons and for the
+    /// metrics cross-check.
+    pub fn counters(&self) -> StatCounters {
+        StatCounters {
+            gamma_steps: self.gamma_steps,
+            restarts: self.restarts,
+            conflicts_resolved: self.conflicts_resolved,
+            groundings_fired: self.groundings_fired,
+            blocked_instances: self.blocked_instances,
+            eval_tasks: self.eval_tasks,
+            replayed_steps: self.replayed_steps,
+            replay_divergence_step: self.replay_divergence_step,
+            peak_marked_atoms: self.peak_marked_atoms,
+        }
+    }
+
     /// One summary line for logs and reports.
     pub fn summary(&self) -> String {
         let mut line = format!(
@@ -89,5 +164,42 @@ mod tests {
             ..RunStats::default()
         };
         assert!(s.summary().contains("diverged_at=4"));
+    }
+
+    #[test]
+    fn counters_ignore_wall_clock_and_host_fields() {
+        let a = RunStats {
+            gamma_steps: 5,
+            restarts: 1,
+            elapsed: Duration::from_millis(3),
+            effective_parallelism: 1,
+            ..RunStats::default()
+        };
+        let b = RunStats {
+            elapsed: Duration::from_millis(900),
+            effective_parallelism: 4,
+            ..a.clone()
+        };
+        assert_eq!(a.counters(), b.counters());
+    }
+
+    #[test]
+    fn absorb_sums_counts_and_maxes_the_peak() {
+        let mut acc = StatCounters {
+            gamma_steps: 2,
+            peak_marked_atoms: 10,
+            ..StatCounters::default()
+        };
+        acc.absorb(&StatCounters {
+            gamma_steps: 3,
+            restarts: 1,
+            peak_marked_atoms: 4,
+            replay_divergence_step: Some(2),
+            ..StatCounters::default()
+        });
+        assert_eq!(acc.gamma_steps, 5);
+        assert_eq!(acc.restarts, 1);
+        assert_eq!(acc.peak_marked_atoms, 10);
+        assert_eq!(acc.replay_divergence_step, Some(2));
     }
 }

@@ -1,0 +1,88 @@
+//! Guard test for the metrics layer's zero-cost-when-disabled guarantee.
+//!
+//! `Engine::run_with_metrics` with a disabled sink must take the exact same
+//! code path as `Engine::run` — no per-step `Instant` reads, no span
+//! buffers, no resolution-cause strings. This binary installs a counting
+//! global allocator and asserts the two entry points allocate the same
+//! number of times on an identical run.
+//!
+//! Lives in its own integration-test binary because a `#[global_allocator]`
+//! is process-wide; sharing a binary with other tests would let their
+//! allocations pollute the counts.
+
+use park_engine::{Engine, EngineOptions, Inertia, NoopMetrics};
+use park_storage::{FactStore, Vocabulary};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`; the counter is the only
+// addition and is async-signal-safe (a relaxed atomic add).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_in(mut f: impl FnMut()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn disabled_sink_allocates_exactly_like_plain_run() {
+    // A conflict-free transitive-closure run: several Γ steps of real work,
+    // no restarts, fully deterministic allocation behavior.
+    let vocab = Vocabulary::new();
+    let program =
+        park_syntax::parse_program("e(X, Y) -> +t(X, Y). t(X, Y), e(Y, Z) -> +t(X, Z).").unwrap();
+    let engine = Engine::with_options(
+        std::sync::Arc::clone(&vocab),
+        &program,
+        EngineOptions::default(),
+    )
+    .unwrap();
+    let db = FactStore::from_source(vocab, "e(a, b). e(b, c). e(c, d). e(d, e). e(e, f).").unwrap();
+
+    let plain = || {
+        engine.park(&db, &mut Inertia).unwrap();
+    };
+    let disabled = || {
+        engine
+            .park_with_metrics(&db, &mut Inertia, &mut NoopMetrics)
+            .unwrap();
+    };
+
+    // Warm up both paths (lazy statics, allocator pools), then take the
+    // minimum over a few measurements so unrelated runtime allocations
+    // (test-harness I/O on another thread) can't produce a flaky inflated
+    // count for either side.
+    plain();
+    disabled();
+    let measure = |f: &dyn Fn()| (0..5).map(|_| allocations_in(f)).min().unwrap();
+    let plain_allocs = measure(&plain);
+    let disabled_allocs = measure(&disabled);
+
+    assert!(plain_allocs > 0, "the run itself must allocate");
+    assert_eq!(
+        plain_allocs, disabled_allocs,
+        "a disabled metrics sink must not change the allocation profile"
+    );
+}

@@ -1,0 +1,70 @@
+//! Golden-file test for the `park-metrics/v1` document.
+//!
+//! The paper's §5 five-rule example under inertia is fully deterministic in
+//! sequential mode — every step, restart cause, replay record, and per-rule
+//! tally is fixed by the semantics — so the emitted document must match the
+//! checked-in golden byte for byte once wall-clock fields (`nanos`,
+//! `elapsed_ns`) are normalized to 0.
+//!
+//! Regenerate with `UPDATE_GOLDENS=1 cargo test -p park-engine --test
+//! metrics_golden` after an intentional schema change, and update
+//! `docs/metrics.md` to match.
+
+use park_engine::{Engine, EngineOptions, Inertia, JsonMetrics};
+use park_json::Json;
+use park_storage::{FactStore, Vocabulary};
+use std::sync::Arc;
+
+fn normalize_clocks(j: &mut Json) {
+    match j {
+        Json::Object(members) => {
+            for (k, v) in members.iter_mut() {
+                if k == "nanos" || k == "elapsed_ns" {
+                    *v = Json::Int(0);
+                } else {
+                    normalize_clocks(v);
+                }
+            }
+        }
+        Json::Array(items) => items.iter_mut().for_each(normalize_clocks),
+        _ => {}
+    }
+}
+
+#[test]
+fn section5_document_matches_the_golden_file() {
+    let vocab = Vocabulary::new();
+    let program = park_syntax::parse_program(
+        "r1: p -> +a. r2: p -> +q. r3: a -> +b. r4: a -> -q. r5: b -> +q.",
+    )
+    .unwrap();
+    let engine =
+        Engine::with_options(Arc::clone(&vocab), &program, EngineOptions::default()).unwrap();
+    let db = FactStore::from_source(vocab, "p.").unwrap();
+    let mut sink = JsonMetrics::new("run");
+    let out = engine
+        .park_with_metrics(&db, &mut Inertia, &mut sink)
+        .unwrap();
+    assert_eq!(out.stats.restarts, 2);
+    assert_eq!(sink.totals(), out.stats.counters());
+
+    let mut doc = sink.to_json();
+    normalize_clocks(&mut doc);
+    let rendered = format!("{}\n", doc.to_pretty());
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/metrics_section5.json"
+    );
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden file missing — run with UPDATE_GOLDENS=1 to create it");
+    assert_eq!(
+        rendered, golden,
+        "park-metrics/v1 document changed; if intentional, regenerate with \
+         UPDATE_GOLDENS=1 and update docs/metrics.md"
+    );
+}

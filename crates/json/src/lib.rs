@@ -449,12 +449,19 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is valid UTF-8).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().expect("non-empty remainder");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume the whole run up to the next quote or escape in
+                    // one go. Both delimiters are ASCII bytes, which never
+                    // occur inside a multi-byte UTF-8 sequence, so the run
+                    // always ends on a character boundary. (Decoding one
+                    // character at a time by validating the full remainder
+                    // made parsing quadratic in the document size.)
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(chunk);
                 }
             }
         }
@@ -552,6 +559,22 @@ mod tests {
     #[test]
     fn parses_escapes_and_surrogates() {
         assert_eq!(parse(r#""Aé🦀\t""#).unwrap(), Json::str("Aé🦀\t"));
+    }
+
+    #[test]
+    fn parses_large_string_heavy_documents_in_linear_time() {
+        // Regression guard: the string scanner used to re-validate the whole
+        // remaining input for every character, which made multi-megabyte
+        // metrics documents take minutes to parse. Under that quadratic
+        // behaviour this test would blow the suite's time budget; under the
+        // linear scanner it is instant.
+        let long = "x".repeat(64).replace('x', "padding ") + "λ🦀";
+        let doc = Json::Array(
+            (0..20_000)
+                .map(|i| Json::str(format!("{long}{i}")))
+                .collect(),
+        );
+        assert_eq!(parse(&doc.to_compact()).unwrap(), doc);
     }
 
     #[test]

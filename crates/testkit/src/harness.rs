@@ -41,8 +41,8 @@ use crate::gen::Case;
 use crate::oracle::{self, OracleVariant};
 use park_baselines::stratified_datalog;
 use park_engine::{
-    CompiledLiteral, CompiledProgram, Engine, EngineOptions, EvaluationMode, LitKind, ParkOutcome,
-    ResolutionScope,
+    CompiledLiteral, CompiledProgram, Engine, EngineOptions, EvaluationMode, JsonMetrics, LitKind,
+    ParkOutcome, ResolutionScope, StatCounters,
 };
 use park_storage::{FactStore, PredId, Vocabulary};
 use park_syntax::Sign;
@@ -164,6 +164,10 @@ pub struct CaseStats {
     pub had_conflicts: bool,
     /// The case was also cross-checked against the stratified baseline.
     pub stratified_checked: bool,
+    /// Deterministic engine counters summed over every matrix run of the
+    /// case (all configurations × policies) — the raw material for
+    /// aggregate metrics documents (`park fuzz --metrics`).
+    pub counters: StatCounters,
 }
 
 /// One engine or oracle run, reduced to its comparable observables.
@@ -275,10 +279,24 @@ pub fn check_case(case: &Case, variant: OracleVariant) -> Result<CaseStats, Dive
         engines.push((cfg, engine));
     }
 
+    // Every engine run is metered through a `JsonMetrics` sink and its
+    // event-derived totals cross-checked against the engine's own
+    // `RunStats` counters — the two bookkeeping paths must agree exactly
+    // in every cell of the matrix.
     let run_engine = |engine: &Engine, policy: &str| -> RunOutcome {
         let mut rec = compare::recording_policy(policy);
-        match engine.park(&db, &mut rec) {
-            Ok(out) => RunOutcome::Done(Box::new(out), compare::transcript(rec.decisions())),
+        let mut sink = JsonMetrics::new("testkit");
+        match engine.park_with_metrics(&db, &mut rec, &mut sink) {
+            Ok(out) => {
+                let totals = sink.totals();
+                let counters = out.stats.counters();
+                if totals != counters {
+                    return RunOutcome::Failed(format!(
+                        "metrics totals diverged from RunStats: metrics {totals:?} vs stats {counters:?}"
+                    ));
+                }
+                RunOutcome::Done(Box::new(out), compare::transcript(rec.decisions()))
+            }
             Err(e) => RunOutcome::Failed(e.to_string()),
         }
     };
@@ -336,6 +354,11 @@ pub fn check_case(case: &Case, variant: OracleVariant) -> Result<CaseStats, Dive
         }
 
         let results: Vec<RunOutcome> = engines.iter().map(|(_, e)| run_engine(e, policy)).collect();
+        for res in &results {
+            if let RunOutcome::Done(o, _) = res {
+                stats.counters.absorb(&o.stats.counters());
+            }
+        }
         for ((cfg, _), res) in engines.iter().zip(&results) {
             let oracle_ref = match cfg.scope {
                 ResolutionScope::All => &oracle_all,
@@ -383,6 +406,8 @@ pub struct FuzzReport {
     pub conflict_cases: u64,
     /// Cases also cross-checked against the stratified baseline.
     pub stratified_checks: u64,
+    /// Engine counters summed over every matrix run of every passing case.
+    pub counters: StatCounters,
 }
 
 /// The first failing case of a fuzz run, with its greedy minimization.
@@ -414,6 +439,7 @@ pub fn run_fuzz(
                 report.ground_cases += u64::from(s.ground);
                 report.conflict_cases += u64::from(s.had_conflicts);
                 report.stratified_checks += u64::from(s.stratified_checked);
+                report.counters.absorb(&s.counters);
             }
             Err(divergence) => {
                 let minimized =

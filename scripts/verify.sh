@@ -24,4 +24,16 @@ grep -q '"replayed_steps"' BENCH_restarts.json
 echo "==> differential fuzz smoke (engine vs paper-literal oracle)"
 cargo run -p park-cli --bin park --release --offline --quiet -- fuzz --seed 0 --cases 200
 
+echo "==> metrics smoke (park run --metrics + park report)"
+metrics_dir="${TMPDIR:-/tmp}/park-verify-$$"
+mkdir -p "$metrics_dir"
+cargo run -p park-cli --bin park --release --offline --quiet -- \
+  run examples/data/p1.park --db examples/data/p1.facts \
+  --metrics "$metrics_dir/metrics.json" > /dev/null
+grep -q '"schema": "park-metrics/v1"' "$metrics_dir/metrics.json"
+cargo run -p park-cli --bin park --release --offline --quiet -- \
+  report "$metrics_dir/metrics.json" > "$metrics_dir/report.md"
+grep -q '# PARK run-metrics report' "$metrics_dir/report.md"
+rm -rf "$metrics_dir"
+
 echo "verify: OK"
