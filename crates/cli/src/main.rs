@@ -5,7 +5,8 @@
 //!          [--policy <name>] [--scope all|one] [--eval naive|semi]
 //!          [--threads <n>] [--cold-restarts] [--trace] [--trace-json <f>]
 //!          [--stats] [--snapshot <out.json>] [--metrics <out.json>]
-//! park check <program.park>
+//! park check <program.park>...
+//! park lint <program.park>... [--format text|json]
 //! park analyze <program.park> [--db <data.facts>]
 //! park query '<body>' [--db <data.facts>]
 //! park repl <program.park> [--db <data.facts>] [--policy <name>]
@@ -18,6 +19,7 @@
 //! `prefer-delete`, `priority`, `specificity`, `transactions-win`,
 //! `random[:seed]`, and `interactive` (prompts on stdin: i/d).
 //! Sample inputs live in `examples/data/`.
+#![forbid(unsafe_code)]
 
 use park_baselines::{immediate_fire, naive_mark_eliminate, ImmediateConfig, ImmediateResult};
 use park_engine::{Engine, EngineOptions, EvaluationMode, JsonMetrics, ResolutionScope};
@@ -34,7 +36,7 @@ mod repl;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("park: {msg}");
             ExitCode::FAILURE
@@ -42,21 +44,23 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: Vec<String>) -> Result<(), String> {
+fn run(args: Vec<String>) -> Result<ExitCode, String> {
     let mut it = args.into_iter();
+    let done = |r: Result<(), String>| r.map(|()| ExitCode::SUCCESS);
     match it.next().as_deref() {
-        Some("run") => cmd_run(it.collect(), false),
-        Some("check") => cmd_check(it.collect()),
-        Some("analyze") => cmd_analyze(it.collect()),
-        Some("repl") => cmd_repl(it.collect()),
-        Some("query") => cmd_query(it.collect()),
-        Some("baseline") => cmd_baseline(it.collect()),
-        Some("workload") => cmd_workload(it.collect()),
-        Some("fuzz") => cmd_fuzz(it.collect()),
-        Some("report") => cmd_report(it.collect()),
+        Some("run") => done(cmd_run(it.collect(), false)),
+        Some("check") => done(cmd_check(it.collect())),
+        Some("lint") => cmd_lint(it.collect()),
+        Some("analyze") => done(cmd_analyze(it.collect())),
+        Some("repl") => done(cmd_repl(it.collect())),
+        Some("query") => done(cmd_query(it.collect())),
+        Some("baseline") => done(cmd_baseline(it.collect())),
+        Some("workload") => done(cmd_workload(it.collect())),
+        Some("fuzz") => done(cmd_fuzz(it.collect())),
+        Some("report") => done(cmd_report(it.collect())),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", HELP);
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Some(other) => Err(format!("unknown command `{other}` (try `park help`)")),
     }
@@ -67,7 +71,12 @@ park - the PARK semantics for active rules (EDBT 1996)
 
 USAGE:
   park run <program.park> [OPTIONS]      evaluate PARK(D, P, U)
-  park check <program.park>              parse + safety-check a program
+  park check <program.park>...           parse + safety-check programs
+                                         (reports every error in every file)
+  park lint <program.park>...            static analysis with stable lint codes
+                                         [--format text|json]; exit 0 = clean,
+                                         1 = warnings, 2 = errors; suppress
+                                         with `%# allow(PARKxxx)` comment lines
   park analyze <program.park>            dependency/recursion/conflict report
   park repl <program.park> [--db <f>]    interactive transactional session
   park query '<body>' --db <data.facts>  conjunctive query over a database
@@ -175,6 +184,22 @@ fn read_file(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
 }
 
+/// The shared front half of `check`, `analyze`, and `run`: read, parse, and
+/// safety-check one program file, rendering the parse error or *every*
+/// safety error as a caret diagnostic.
+fn load_program(path: &str) -> Result<(String, park_syntax::Program), String> {
+    let src = read_file(path)?;
+    let program =
+        parse_program(&src).map_err(|e| format!("in {path}:{}\n{}", e.span, e.render(&src)))?;
+    check_program(&program).map_err(|errs| {
+        errs.iter()
+            .map(|e| format!("in {path}:{}\n{}", e.span, e.render(&src)))
+            .collect::<Vec<_>>()
+            .join("\n")
+    })?;
+    Ok((src, program))
+}
+
 fn load_session(
     a: &RunArgs,
 ) -> Result<(Arc<Vocabulary>, park_syntax::Program, FactStore, UpdateSet), String> {
@@ -182,15 +207,7 @@ fn load_session(
         .program
         .as_deref()
         .ok_or("missing <program.park> argument")?;
-    let program_src = read_file(program_path)?;
-    let program = parse_program(&program_src)
-        .map_err(|e| format!("in {program_path}:{}\n{}", e.span, e.render(&program_src)))?;
-    check_program(&program).map_err(|errs| {
-        errs.iter()
-            .map(|e| e.render(&program_src))
-            .collect::<Vec<_>>()
-            .join("\n")
-    })?;
+    let (_, program) = load_program(program_path)?;
     let vocab = Vocabulary::new();
     let db = match &a.db {
         Some(path) => FactStore::from_source(Arc::clone(&vocab), &read_file(path)?)
@@ -297,22 +314,81 @@ fn cmd_run(args: Vec<String>, _baseline: bool) -> Result<(), String> {
 }
 
 fn cmd_check(args: Vec<String>) -> Result<(), String> {
-    let a = parse_run_args(args)?;
-    let path = a
-        .program
-        .as_deref()
-        .ok_or("missing <program.park> argument")?;
-    let src = read_file(path)?;
-    let program =
-        parse_program(&src).map_err(|e| format!("in {path}:{}\n{}", e.span, e.render(&src)))?;
-    check_program(&program).map_err(|errs| {
-        errs.iter()
-            .map(|e| e.render(&src))
-            .collect::<Vec<_>>()
-            .join("\n")
-    })?;
-    println!("{path}: {} rules, safe", program.len());
-    Ok(())
+    let mut files = Vec::new();
+    for a in args {
+        if a.starts_with("--") {
+            return Err(format!("unexpected argument `{a}`"));
+        }
+        files.push(a);
+    }
+    if files.is_empty() {
+        return Err("missing <program.park> argument".into());
+    }
+    // Check every file and report every error before failing — a broken
+    // first file must not mask problems in the rest of the batch.
+    let mut failures = Vec::new();
+    for path in &files {
+        match load_program(path) {
+            Ok((_, program)) => println!("{path}: {} rules, safe", program.len()),
+            Err(e) => failures.push(e),
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn cmd_lint(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut files = Vec::new();
+    let mut json = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().ok_or("--format requires a value")?.as_str() {
+                "text" => json = false,
+                "json" => json = true,
+                other => return Err(format!("unknown format `{other}` (text|json)")),
+            },
+            other if !other.starts_with("--") => files.push(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if files.is_empty() {
+        return Err("usage: park lint <program.park>... [--format text|json]".into());
+    }
+    let mut reports = Vec::new();
+    let mut sources = Vec::new();
+    for path in &files {
+        // An unreadable file is as fatal as an error-severity diagnostic:
+        // CI must not read "clean" off a lint run that saw nothing.
+        let src = match read_file(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("park: {e}");
+                return Ok(ExitCode::from(2));
+            }
+        };
+        reports.push(park_lint::lint_source(
+            path,
+            &src,
+            park_lint::AnalysisVariant::Faithful,
+        ));
+        sources.push(src);
+    }
+    if json {
+        println!("{}", park_lint::reports_to_json(&reports).to_pretty());
+    } else {
+        for (report, src) in reports.iter().zip(&sources) {
+            print!("{}", park_lint::render_text(report, src));
+        }
+    }
+    Ok(match park_lint::max_severity(&reports) {
+        Some(park_lint::Severity::Error) => ExitCode::from(2),
+        Some(park_lint::Severity::Warning) => ExitCode::from(1),
+        _ => ExitCode::SUCCESS,
+    })
 }
 
 fn cmd_analyze(args: Vec<String>) -> Result<(), String> {
@@ -321,8 +397,7 @@ fn cmd_analyze(args: Vec<String>) -> Result<(), String> {
         .program
         .as_deref()
         .ok_or("missing <program.park> argument")?;
-    let src = read_file(path)?;
-    let program = parse_program(&src).map_err(|e| e.to_string())?;
+    let (src, program) = load_program(path)?;
     let compiled = park_engine::CompiledProgram::compile(Vocabulary::new(), &program)
         .map_err(|e| e.to_string())?;
     let report = park_engine::analysis::report(&compiled);
@@ -347,6 +422,31 @@ fn cmd_analyze(args: Vec<String>) -> Result<(), String> {
         println!("  conflict pairs :");
         for (ins, del, pred) in &report.conflicts {
             println!("    {ins} (+{pred}) vs {del} (-{pred})");
+        }
+    }
+    // The refined verdicts from the shared lint analyses: which of the
+    // syntactic pairs survive condition-overlap refinement, and the rest
+    // of the diagnostics catalogue (see `park lint` / docs/lints.md).
+    let lint = park_lint::lint_source(path, &src, park_lint::AnalysisVariant::Faithful);
+    if lint.certified_conflict_free {
+        println!("  certificate    : conflict-free (engine skips conflict bookkeeping)");
+    }
+    if lint.diagnostics.is_empty() {
+        println!("  lint           : clean");
+    } else {
+        println!("  lint           :");
+        for d in &lint.diagnostics {
+            let loc = if d.span.is_synthetic() {
+                String::new()
+            } else {
+                format!(" {}:{}:", d.span.line, d.span.col)
+            };
+            println!(
+                "    {}[{}]{loc} {}",
+                d.severity.as_str(),
+                d.code.code(),
+                d.message
+            );
         }
     }
     // With a database, probe whether the result is policy-sensitive.

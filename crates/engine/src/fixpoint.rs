@@ -185,8 +185,20 @@ impl Engine {
         let working = self.program.with_updates(updates);
         // Statically conflict-free programs never need provenance or
         // conflict collection; the run degenerates to the pure inflationary
-        // fixpoint.
-        let statically_safe = !working.possibly_conflicting();
+        // fixpoint. A refinement certificate (`crate::refine`) extends the
+        // same fast path to programs whose unifiable-head pairs are all
+        // provably impossible. The certificate must cover the program that
+        // actually runs — `P_U`, updates included.
+        let mut certified = false;
+        let statically_safe = !working.possibly_conflicting()
+            || (self.options.conflict_certificates && {
+                certified = crate::refine::certify_conflict_free(
+                    &working,
+                    crate::refine::AnalysisVariant::Faithful,
+                )
+                .is_some();
+                certified
+            });
         let policy_name = resolver.name().to_string();
         // Statically conflict-free programs never restart, so capturing a
         // firing log for them would be pure overhead.
@@ -200,6 +212,7 @@ impl Engine {
         let mut blocked = BlockedSet::new();
         let mut stats = RunStats {
             effective_parallelism: effective_threads,
+            certified_conflict_free: certified,
             ..RunStats::default()
         };
         let mut trace = Trace::new();

@@ -19,7 +19,7 @@
 //! [`fire_all_par`] partitions the same enumeration into independent tasks —
 //! one per rule, sub-split by contiguous windows of the first plan step's
 //! enumeration domain — and runs them on a scoped thread pool
-//! ([`crate::parallel`]). Each task reads the immutable pre-step snapshot
+//! (`crate::parallel`). Each task reads the immutable pre-step snapshot
 //! and writes a private buffer; buffers are concatenated in task order.
 //! Because a task's output order is lexicographic in per-step enumeration
 //! positions and only the *outermost* (step-0) domain is split into
@@ -211,7 +211,7 @@ pub fn fire_all(
 /// [`fire_all`] with optional intra-step parallelism. With `threads` `None`
 /// or `Some(1)` this is the sequential enumeration on the calling thread (no
 /// pool is spun up); otherwise the work is split into per-rule, per-window
-/// tasks executed by [`crate::parallel::run_ordered`], whose ordered merge
+/// tasks executed by `crate::parallel::run_ordered`, whose ordered merge
 /// makes the output byte-identical to the sequential stream. Returns the
 /// actions and the number of evaluation tasks executed.
 pub fn fire_all_par(

@@ -47,6 +47,7 @@ pub mod metrics;
 pub mod options;
 mod parallel;
 pub mod query;
+pub mod refine;
 pub mod replay;
 pub mod seminaive;
 pub mod stats;
@@ -75,6 +76,11 @@ pub use metrics::{
 };
 pub use options::{EngineOptions, EvaluationMode, ResolutionScope};
 pub use query::Query;
+pub use refine::{
+    always_blocked_rules, certify_conflict_free, never_fire_rules, refine_conflicts,
+    unreachable_event_rules, AnalysisVariant, ConflictCertificate, ConstPolicy, ExclusionReason,
+    RefinedConflicts,
+};
 pub use replay::{Replayer, StepLog};
 pub use seminaive::{fire_new, fire_new_par, ZoneLens};
 pub use stats::{RunStats, StatCounters};

@@ -241,6 +241,14 @@ impl JsonMetrics {
         }
     }
 
+    /// Per-rule firing tallies observed from step events, keyed by
+    /// `RuleId` index. Rules that never fired have no entry — which is
+    /// exactly what the testkit's unreachable-rule cross-check asserts for
+    /// rules the static analysis flags.
+    pub fn fired_by_rule(&self) -> &BTreeMap<u32, u64> {
+        &self.rule_fired
+    }
+
     /// Totals derived from the recorded event stream alone — the engine's
     /// [`RunStats::counters`] must agree with these exactly.
     pub fn totals(&self) -> StatCounters {

@@ -59,6 +59,16 @@ pub struct EngineOptions {
     /// `replay_divergence_step` differ; see `crate::replay`). `false` is
     /// the escape hatch: every restart re-runs every Γ step cold.
     pub warm_restarts: bool,
+    /// Conflict-free certificates (the default): before evaluating, run the
+    /// condition-overlap refinement (`crate::refine`) on the program that
+    /// will execute (`P_U` for transactions). When every unifiable-head
+    /// pair is excluded by a sound argument, the run skips conflict
+    /// collection, provenance bookkeeping, and warm-restart log capture —
+    /// the same fast path conflict-free-by-construction programs already
+    /// take. Results are byte-identical either way (the certificate is a
+    /// proof that no conflict can arise); `false` is the escape hatch that
+    /// keeps the conflict machinery live regardless.
+    pub conflict_certificates: bool,
 }
 
 impl Default for EngineOptions {
@@ -71,6 +81,7 @@ impl Default for EngineOptions {
             max_restarts: 1 << 22,
             parallelism: None,
             warm_restarts: true,
+            conflict_certificates: true,
         }
     }
 }
@@ -107,6 +118,13 @@ impl EngineOptions {
         self.warm_restarts = warm_restarts;
         self
     }
+
+    /// Enable or disable the conflict-free certificate fast path (builder
+    /// style).
+    pub fn with_conflict_certificates(mut self, conflict_certificates: bool) -> Self {
+        self.conflict_certificates = conflict_certificates;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +139,10 @@ mod tests {
         assert!(o.max_steps > 1_000_000);
         assert_eq!(o.parallelism, None);
         assert!(o.warm_restarts, "warm restarts are on by default");
+        assert!(
+            o.conflict_certificates,
+            "certificate fast path is on by default"
+        );
     }
 
     #[test]
@@ -129,12 +151,14 @@ mod tests {
             .with_scope(ResolutionScope::One)
             .with_evaluation(EvaluationMode::SemiNaive)
             .with_parallelism(Some(4))
-            .with_warm_restarts(false);
+            .with_warm_restarts(false)
+            .with_conflict_certificates(false);
         assert!(o.trace);
         assert_eq!(o.scope, ResolutionScope::One);
         assert_eq!(o.evaluation, EvaluationMode::SemiNaive);
         assert_eq!(o.parallelism, Some(4));
         assert!(!o.warm_restarts);
+        assert!(!o.conflict_certificates);
     }
 
     #[test]

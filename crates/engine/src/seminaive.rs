@@ -28,7 +28,7 @@
 //!
 //! ## Parallel evaluation
 //!
-//! The enumeration decomposes into independent [`SemiTask`]s: one fallback
+//! The enumeration decomposes into independent `SemiTask`s: one fallback
 //! task per negation-delta rule, and one task per `(rule, delta position)`
 //! pair otherwise, optionally sub-split by contiguous windows of the first
 //! plan step's enumeration domain (exactly as in [`crate::gamma`]).
@@ -249,7 +249,7 @@ pub fn fire_new(
 /// or `Some(1)` this is the sequential enumeration on the calling thread (no
 /// pool is spun up); otherwise the per-`(rule, delta position)` passes are
 /// sub-split at their first plan step and executed by
-/// [`crate::parallel::run_ordered`], whose ordered merge makes the output
+/// `crate::parallel::run_ordered`, whose ordered merge makes the output
 /// byte-identical to the sequential stream. Returns the actions and the
 /// number of evaluation tasks executed.
 pub fn fire_new_par(

@@ -42,6 +42,14 @@ pub struct RunStats {
     pub replay_divergence_step: Option<u64>,
     /// Largest number of marked atoms held at once.
     pub peak_marked_atoms: usize,
+    /// Whether this run took the conflict-free fast path on the strength of
+    /// a refinement certificate (`crate::refine`) — i.e. the program *was*
+    /// possibly conflicting by the coarse head check, but every pair was
+    /// excluded, so conflict collection and provenance bookkeeping were
+    /// skipped. Scheduling information like `eval_tasks`: results are
+    /// byte-identical with or without it, so it is not part of
+    /// [`StatCounters`].
+    pub certified_conflict_free: bool,
     /// The worker-pool size actually used, after clamping the requested
     /// `EngineOptions::parallelism` to the host's available parallelism
     /// (1 = sequential, no pool). Task decomposition still follows the

@@ -1,0 +1,665 @@
+//! # park-lint
+//!
+//! A diagnostics-grade static analyzer for PARK programs.
+//!
+//! The engine's `analysis` / `refine` modules compute program properties;
+//! this crate packages them as **diagnostics**: stable lint codes with
+//! severities, source spans, a text renderer with caret context, a
+//! versioned machine-readable document (`park-lint/v1`), and inline
+//! suppression via `%# allow(CODE)` pragmas (see `park_syntax::pragma`).
+//!
+//! | code | severity | meaning |
+//! |---------|---------|----------------------------------------------|
+//! | PARK000 | error   | syntax error                                 |
+//! | PARK001 | warning | possible runtime conflict pair (refined)     |
+//! | PARK002 | warning | rule always blocked under a constant policy  |
+//! | PARK003 | warning | unreachable rule (unproducible event literal)|
+//! | PARK004 | warning | rule can never fire (unsatisfiable body)     |
+//! | PARK005 | info    | conflict on a recursive predicate (restart churn) |
+//! | PARK006 | info    | program not stratifiable                     |
+//! | PARK007 | error   | safety-condition violation                   |
+//!
+//! Every non-syntactic verdict here is differentially tested: the testkit
+//! cross-checks lint verdicts against observed runtime behaviour over the
+//! fuzzer corpus (see `park_testkit::harness`), so an unsound analysis
+//! change shows up as a fuzz divergence, not a silent wrong answer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use park_engine::refine;
+use park_engine::{analysis, CompiledProgram, RuleId};
+
+pub use park_engine::refine::{AnalysisVariant, ConstPolicy};
+use park_json::Json;
+use park_storage::Vocabulary;
+use park_syntax::{Span, SuppressionIndex};
+
+/// How bad a diagnostic is. Ordered: `Info < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Heads-up about program structure; never fails a build.
+    Info,
+    /// Probably unintended; exit code 1.
+    Warning,
+    /// The program is rejected or meaningless; exit code 2.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase name used in text and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// The stable lint codes. Codes are append-only: a released code never
+/// changes meaning or number (CI configurations depend on them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintCode {
+    /// PARK000: the file does not parse.
+    SyntaxError,
+    /// PARK001: two rules with unifiable opposite-polarity heads whose
+    /// conditions overlap — the refined possible-conflict pairs.
+    PossibleConflict,
+    /// PARK002: a rule whose effect can never survive under a constant
+    /// policy (e.g. a delete head always beaten under `prefer-insert`).
+    AlwaysBlocked,
+    /// PARK003: a rule whose event literal names a `(sign, predicate)` no
+    /// rule head (or supplied update) can produce.
+    UnreachableRule,
+    /// PARK004: a rule whose body is unsatisfiable — it can never fire.
+    NeverFires,
+    /// PARK005: a surviving conflict pair on a recursive predicate —
+    /// restarts can re-expose the conflict (restart churn).
+    RestartChurn,
+    /// PARK006: the program is not stratifiable. Legal under PARK, but
+    /// results may defy stratified-datalog intuition.
+    Unstratified,
+    /// PARK007: a safety-condition violation (paper §2).
+    SafetyViolation,
+}
+
+impl LintCode {
+    /// Every code, in numeric order.
+    pub const ALL: [LintCode; 8] = [
+        LintCode::SyntaxError,
+        LintCode::PossibleConflict,
+        LintCode::AlwaysBlocked,
+        LintCode::UnreachableRule,
+        LintCode::NeverFires,
+        LintCode::RestartChurn,
+        LintCode::Unstratified,
+        LintCode::SafetyViolation,
+    ];
+
+    /// The stable `PARKnnn` code string.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::SyntaxError => "PARK000",
+            LintCode::PossibleConflict => "PARK001",
+            LintCode::AlwaysBlocked => "PARK002",
+            LintCode::UnreachableRule => "PARK003",
+            LintCode::NeverFires => "PARK004",
+            LintCode::RestartChurn => "PARK005",
+            LintCode::Unstratified => "PARK006",
+            LintCode::SafetyViolation => "PARK007",
+        }
+    }
+
+    /// The fixed severity of this code.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::SyntaxError | LintCode::SafetyViolation => Severity::Error,
+            LintCode::PossibleConflict
+            | LintCode::AlwaysBlocked
+            | LintCode::UnreachableRule
+            | LintCode::NeverFires => Severity::Warning,
+            LintCode::RestartChurn | LintCode::Unstratified => Severity::Info,
+        }
+    }
+}
+
+/// One diagnostic: a coded finding anchored to a source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: LintCode,
+    /// Severity (always `code.severity()`; stored for convenience).
+    pub severity: Severity,
+    /// Source anchor (synthetic for whole-program findings).
+    pub span: Span,
+    /// The rule the finding is about, if any.
+    pub rule: Option<String>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// The lint result for one source file.
+#[derive(Debug, Clone)]
+pub struct FileReport {
+    /// The file name or label the diagnostics refer to.
+    pub file: String,
+    /// Diagnostics that survived suppression, sorted by position then code.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Diagnostics dropped by `%# allow(...)` pragmas.
+    pub suppressed: usize,
+    /// Number of rules in the program (0 if it failed to parse).
+    pub rules: usize,
+    /// Whether the refinement certified the program conflict-free — the
+    /// property the engine's fast path consumes.
+    pub certified_conflict_free: bool,
+}
+
+impl FileReport {
+    /// The highest severity present, if any diagnostics remain.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+}
+
+/// The semantic verdicts the testkit cross-checks against runtime
+/// behaviour, extracted from a compiled program without any rendering.
+#[derive(Debug, Clone)]
+pub struct Verdicts {
+    /// Program certified conflict-free: no run may resolve a conflict.
+    pub certified_conflict_free: bool,
+    /// Rules flagged unreachable: they must never fire.
+    pub unreachable: Vec<RuleId>,
+    /// Rules flagged as unable to fire: they must never fire.
+    pub never_fires: Vec<RuleId>,
+    /// Rules whose effect can never stick under the paired constant
+    /// policy: deleting such a rule must leave final databases unchanged
+    /// under that policy.
+    pub always_blocked: Vec<(RuleId, ConstPolicy)>,
+    /// The refined surviving conflict pairs, for completeness checks.
+    pub pairs: Vec<analysis::ConflictPair>,
+}
+
+/// Compute the runtime-checkable verdicts of a compiled program.
+pub fn verdicts(program: &CompiledProgram, variant: AnalysisVariant) -> Verdicts {
+    let refined = refine::refine_conflicts(program, variant);
+    Verdicts {
+        certified_conflict_free: refine::certify_conflict_free(program, variant).is_some(),
+        unreachable: refine::unreachable_event_rules(program),
+        never_fires: refine::never_fire_rules(program),
+        always_blocked: refine::always_blocked_rules(program),
+        pairs: refined.pairs,
+    }
+}
+
+fn diag(code: LintCode, span: Span, rule: Option<String>, message: String) -> Diagnostic {
+    Diagnostic {
+        code,
+        severity: code.severity(),
+        span,
+        rule,
+        message,
+    }
+}
+
+/// Lint one source file (program text, optionally with trailing facts).
+///
+/// `file` is a display label only — no I/O happens here. The analyses run
+/// on the program alone; external updates are modeled as extra producers
+/// only when the caller compiles them in (the CLI lints program files as
+/// they are on disk).
+pub fn lint_source(file: &str, src: &str, variant: AnalysisVariant) -> FileReport {
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut rules = 0usize;
+    let mut certified = false;
+
+    match park_syntax::parse_source(src) {
+        Err(e) => {
+            diagnostics.push(diag(
+                LintCode::SyntaxError,
+                e.span,
+                None,
+                e.kind.to_string(),
+            ));
+        }
+        Ok(source) => {
+            let program = source.program;
+            rules = program.len();
+            if let Err(errors) = park_syntax::check_program(&program) {
+                for e in errors {
+                    diagnostics.push(diag(
+                        LintCode::SafetyViolation,
+                        e.span,
+                        Some(e.rule.clone()),
+                        e.kind.to_string(),
+                    ));
+                }
+            } else {
+                match CompiledProgram::compile(Vocabulary::new(), &program) {
+                    Err(e) => diagnostics.push(diag(
+                        LintCode::SafetyViolation,
+                        Span::synthetic(),
+                        None,
+                        e.to_string(),
+                    )),
+                    Ok(compiled) => {
+                        certified = analyze(&compiled, variant, &mut diagnostics);
+                    }
+                }
+            }
+        }
+    }
+
+    // Suppression pass: drop diagnostics a pragma covers.
+    let index = SuppressionIndex::of(src);
+    let before = diagnostics.len();
+    diagnostics.retain(|d| !index.allows(d.span.line, d.code.code()));
+    let suppressed = before - diagnostics.len();
+
+    diagnostics.sort_by_key(|d| (d.span.line, d.span.col, d.code));
+    FileReport {
+        file: file.to_string(),
+        diagnostics,
+        suppressed,
+        rules,
+        certified_conflict_free: certified,
+    }
+}
+
+/// The semantic analyses over a compiled program. Returns whether the
+/// program was certified conflict-free.
+fn analyze(
+    program: &CompiledProgram,
+    variant: AnalysisVariant,
+    diagnostics: &mut Vec<Diagnostic>,
+) -> bool {
+    let vocab = program.vocab();
+    let name = |id: RuleId| program.rule(id).display_name();
+    let span = |id: RuleId| program.rule(id).source.span;
+
+    let refined = refine::refine_conflicts(program, variant);
+    let graph = analysis::DependencyGraph::of(program);
+    let recursive = graph.recursive_preds();
+
+    for pair in &refined.pairs {
+        let pred = vocab.pred_name(pair.pred);
+        diagnostics.push(diag(
+            LintCode::PossibleConflict,
+            span(pair.inserting),
+            Some(name(pair.inserting)),
+            format!(
+                "rules `{}` (+{pred}) and `{}` (-{pred}) have unifiable heads and \
+                 overlapping conditions: runtime conflicts on `{pred}` are possible",
+                name(pair.inserting),
+                name(pair.deleting),
+            ),
+        ));
+        if recursive.contains(&pair.pred) {
+            diagnostics.push(diag(
+                LintCode::RestartChurn,
+                span(pair.inserting),
+                Some(name(pair.inserting)),
+                format!(
+                    "the `{}` / `{}` conflict sits on recursive predicate `{pred}`: \
+                     each restart can re-derive the contested atoms and re-expose \
+                     the conflict (restart churn)",
+                    name(pair.inserting),
+                    name(pair.deleting),
+                ),
+            ));
+        }
+    }
+
+    for id in refine::never_fire_rules(program) {
+        diagnostics.push(diag(
+            LintCode::NeverFires,
+            span(id),
+            Some(name(id)),
+            format!(
+                "rule `{}` can never fire: its body is unsatisfiable \
+                 (contradictory guards or opposite event polarities on one tuple)",
+                name(id)
+            ),
+        ));
+    }
+
+    for id in refine::unreachable_event_rules(program) {
+        let witness = program.rule(id).body.iter().find_map(|lit| match lit {
+            park_engine::CompiledLiteral::Atom {
+                kind: park_engine::LitKind::Event(s),
+                atom,
+            } => Some(format!("{}{}", s.prefix(), vocab.pred_name(atom.pred))),
+            _ => None,
+        });
+        diagnostics.push(diag(
+            LintCode::UnreachableRule,
+            span(id),
+            Some(name(id)),
+            format!(
+                "rule `{}` is unreachable: no rule head or external update produces \
+                 the event{} its body waits for",
+                name(id),
+                witness.map_or(String::new(), |w| format!(" `{w}`")),
+            ),
+        ));
+    }
+
+    for (id, policy) in refine::always_blocked_rules(program) {
+        let side = match program.rule(id).head_sign {
+            park_syntax::Sign::Insert => "insertions",
+            park_syntax::Sign::Delete => "deletions",
+        };
+        diagnostics.push(diag(
+            LintCode::AlwaysBlocked,
+            span(id),
+            Some(name(id)),
+            format!(
+                "rule `{}` can never win under a constant `{}` policy: a subsuming \
+                 opposite-polarity rule fires the same atoms in the same step, so \
+                 its {side} are always blocked",
+                name(id),
+                policy.policy_name(),
+            ),
+        ));
+    }
+
+    if !graph.is_stratified() {
+        diagnostics.push(diag(
+            LintCode::Unstratified,
+            Span::synthetic(),
+            None,
+            "program is not stratifiable (recursion through negation or events); \
+             PARK's inflationary semantics is well-defined regardless, but results \
+             may defy stratified-datalog intuition"
+                .to_string(),
+        ));
+    }
+
+    refine::certify_conflict_free(program, variant).is_some()
+}
+
+/// Render one file's diagnostics as human-readable text with caret
+/// context, in the style of the parser's own error rendering.
+pub fn render_text(report: &FileReport, src: &str) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&format!(
+            "{}[{}]: {}\n",
+            d.severity.as_str(),
+            d.code.code(),
+            d.message
+        ));
+        if !d.span.is_synthetic() {
+            out.push_str(&format!("  --> {}:{}\n", report.file, d.span));
+            // Reuse the parser's caret rendering, minus its `error:` line.
+            let rendered = park_syntax::error::render_diagnostic("", d.span, src);
+            for line in rendered.lines().skip(1) {
+                out.push_str(&format!("  {line}\n"));
+            }
+        } else {
+            out.push_str(&format!("  --> {}\n", report.file));
+        }
+    }
+    let (e, w, i) = tally(std::slice::from_ref(report));
+    out.push_str(&format!(
+        "{}: {} error(s), {} warning(s), {} info(s), {} suppressed{}\n",
+        report.file,
+        e,
+        w,
+        i,
+        report.suppressed,
+        if report.certified_conflict_free {
+            " [certified conflict-free]"
+        } else {
+            ""
+        }
+    ));
+    out
+}
+
+fn tally(reports: &[FileReport]) -> (usize, usize, usize) {
+    let count = |s: Severity| {
+        reports
+            .iter()
+            .flat_map(|r| &r.diagnostics)
+            .filter(|d| d.severity == s)
+            .count()
+    };
+    (
+        count(Severity::Error),
+        count(Severity::Warning),
+        count(Severity::Info),
+    )
+}
+
+/// The highest severity across a set of reports (drives the exit code:
+/// none → 0, warnings/infos → 1 unless only infos, errors → 2).
+pub fn max_severity(reports: &[FileReport]) -> Option<Severity> {
+    reports.iter().filter_map(FileReport::max_severity).max()
+}
+
+/// Render a set of file reports as a versioned `park-lint/v1` document.
+///
+/// The schema is append-only: fields may be added in later versions but
+/// never removed or renamed (a golden-file test pins the current shape).
+pub fn reports_to_json(reports: &[FileReport]) -> Json {
+    let files: Vec<Json> = reports
+        .iter()
+        .map(|r| {
+            let diags: Vec<Json> = r
+                .diagnostics
+                .iter()
+                .map(|d| {
+                    Json::object([
+                        ("code", Json::str(d.code.code())),
+                        ("severity", Json::str(d.severity.as_str())),
+                        ("line", Json::from(d.span.line as i64)),
+                        ("col", Json::from(d.span.col as i64)),
+                        ("rule", d.rule.as_deref().map_or(Json::Null, Json::str)),
+                        ("message", Json::str(d.message.clone())),
+                    ])
+                })
+                .collect();
+            Json::object([
+                ("file", Json::str(r.file.clone())),
+                ("rules", Json::from(r.rules)),
+                (
+                    "certified_conflict_free",
+                    Json::from(r.certified_conflict_free),
+                ),
+                ("suppressed", Json::from(r.suppressed)),
+                ("diagnostics", Json::from(diags)),
+            ])
+        })
+        .collect();
+    let (errors, warnings, infos) = tally(reports);
+    let suppressed: usize = reports.iter().map(|r| r.suppressed).sum();
+    Json::object([
+        ("schema", Json::str("park-lint/v1")),
+        ("files", Json::from(files)),
+        (
+            "summary",
+            Json::object([
+                ("files", Json::from(reports.len())),
+                ("errors", Json::from(errors)),
+                ("warnings", Json::from(warnings)),
+                ("infos", Json::from(infos)),
+                ("suppressed", Json::from(suppressed)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> FileReport {
+        lint_source("test.park", src, AnalysisVariant::Faithful)
+    }
+
+    fn codes(r: &FileReport) -> Vec<&'static str> {
+        r.diagnostics.iter().map(|d| d.code.code()).collect()
+    }
+
+    #[test]
+    fn clean_program_is_clean() {
+        let r = lint("p(X) -> +q(X). q(X) -> +r(X).");
+        assert!(r.diagnostics.is_empty());
+        assert!(r.certified_conflict_free);
+        assert_eq!(r.rules, 2);
+        assert_eq!(r.max_severity(), None);
+    }
+
+    #[test]
+    fn syntax_error_is_park000() {
+        let r = lint("p(X) -> ");
+        assert_eq!(codes(&r), vec!["PARK000"]);
+        assert_eq!(r.max_severity(), Some(Severity::Error));
+        assert_eq!(r.rules, 0);
+    }
+
+    #[test]
+    fn safety_violations_are_all_reported() {
+        // Two independent violations in two rules: both must surface.
+        let r = lint("p(X) -> +q(X, Y). z(A), !w(B) -> +v(A).");
+        assert_eq!(codes(&r), vec!["PARK007", "PARK007"]);
+    }
+
+    #[test]
+    fn conflict_pair_is_park001_with_span() {
+        let r = lint("grow: p(X) -> +q(X). cut: z(X) -> -q(X).");
+        assert!(codes(&r).contains(&"PARK001"));
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::PossibleConflict)
+            .unwrap();
+        assert_eq!(d.span.line, 1);
+        assert_eq!(d.rule.as_deref(), Some("grow"));
+        assert!(d.message.contains("cut"), "{}", d.message);
+        assert!(!r.certified_conflict_free);
+    }
+
+    #[test]
+    fn guard_partitioned_program_is_certified() {
+        let r = lint("p(X), X < 5 -> +q(X). p(X), X >= 5 -> -q(X).");
+        assert!(!codes(&r).contains(&"PARK001"));
+        assert!(r.certified_conflict_free);
+    }
+
+    #[test]
+    fn always_blocked_is_park002() {
+        let r = lint("grow: p(X) -> +q(X). cut: p(X) -> -q(X).");
+        assert!(codes(&r).contains(&"PARK002"));
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::AlwaysBlocked && d.rule.as_deref() == Some("cut"))
+            .unwrap();
+        assert!(d.message.contains("prefer-insert"), "{}", d.message);
+    }
+
+    #[test]
+    fn unreachable_event_rule_is_park003() {
+        let r = lint("dead: +z(X) -> +q(X). live: p(X) -> +r(X).");
+        assert_eq!(codes(&r), vec!["PARK003"]);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.rule.as_deref(), Some("dead"));
+        assert!(d.message.contains("`+z`"), "{}", d.message);
+    }
+
+    #[test]
+    fn never_fires_is_park004() {
+        let r = lint("p(X), X < 3, X > 5 -> +q(X).");
+        assert_eq!(codes(&r), vec!["PARK004"]);
+    }
+
+    #[test]
+    fn restart_churn_is_park005_info() {
+        // The contested predicate q is recursive (q feeds q) and the pair
+        // survives refinement.
+        let r = lint("q(X), e(X, Y) -> +q(Y). p(X) -> -q(X).");
+        assert!(codes(&r).contains(&"PARK005"));
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::RestartChurn)
+            .unwrap();
+        assert_eq!(d.severity, Severity::Info);
+    }
+
+    #[test]
+    fn unstratified_is_park006_info() {
+        let r = lint("move(X, Y), !win(Y) -> +win(X).");
+        assert_eq!(codes(&r), vec!["PARK006"]);
+        assert_eq!(r.max_severity(), Some(Severity::Info));
+        assert!(r.diagnostics[0].span.is_synthetic());
+    }
+
+    #[test]
+    fn pragma_suppresses_by_line_and_code() {
+        let src = "%# allow(PARK001)\ngrow: p(X) -> +q(X).\ncut: z(X) -> -q(X).\n";
+        let r = lint(src);
+        assert!(!codes(&r).contains(&"PARK001"), "{:?}", codes(&r));
+        assert_eq!(r.suppressed, 1);
+        // The wrong code suppresses nothing.
+        let src = "%# allow(PARK004)\ngrow: p(X) -> +q(X).\ncut: z(X) -> -q(X).\n";
+        let r = lint(src);
+        assert!(codes(&r).contains(&"PARK001"));
+        assert_eq!(r.suppressed, 0);
+    }
+
+    #[test]
+    fn text_rendering_has_carets_and_summary() {
+        let src = "grow: p(X) -> +q(X). cut: z(X) -> -q(X).";
+        let r = lint(src);
+        let text = render_text(&r, src);
+        assert!(text.contains("warning[PARK001]"), "{text}");
+        assert!(text.contains("--> test.park:1:"), "{text}");
+        assert!(text.contains("| grow:"), "{text}");
+        assert!(text.contains("^"), "{text}");
+        assert!(text.contains("warning(s)"), "{text}");
+    }
+
+    #[test]
+    fn json_document_is_versioned_and_complete() {
+        let r = lint("grow: p(X) -> +q(X). cut: z(X) -> -q(X).");
+        let doc = reports_to_json(std::slice::from_ref(&r));
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("park-lint/v1"));
+        let files = doc.get("files").unwrap().as_array().unwrap();
+        assert_eq!(files.len(), 1);
+        let d = files[0].get("diagnostics").unwrap().as_array().unwrap();
+        assert_eq!(d[0].get("code").unwrap().as_str(), Some("PARK001"));
+        assert_eq!(d[0].get("line").unwrap().as_i64(), Some(1));
+        let summary = doc.get("summary").unwrap();
+        assert_eq!(summary.get("warnings").unwrap().as_i64(), Some(1));
+        assert_eq!(summary.get("errors").unwrap().as_i64(), Some(0));
+    }
+
+    #[test]
+    fn verdicts_expose_the_runtime_checkable_surface() {
+        let src = "dead: +z(X) -> +q(X). grow: p(X) -> +q(X). cut: p(X) -> -q(X).";
+        let program = park_syntax::parse_program(src).unwrap();
+        let compiled = CompiledProgram::compile(Vocabulary::new(), &program).unwrap();
+        let v = verdicts(&compiled, AnalysisVariant::Faithful);
+        assert!(!v.certified_conflict_free);
+        assert_eq!(v.unreachable, vec![RuleId(0)]);
+        assert!(v.never_fires.is_empty());
+        assert!(!v.always_blocked.is_empty());
+        assert!(!v.pairs.is_empty());
+    }
+
+    #[test]
+    fn lint_codes_are_stable() {
+        // Append-only contract: these exact strings are public API.
+        let all: Vec<&str> = LintCode::ALL.iter().map(|c| c.code()).collect();
+        assert_eq!(
+            all,
+            vec![
+                "PARK000", "PARK001", "PARK002", "PARK003", "PARK004", "PARK005", "PARK006",
+                "PARK007"
+            ]
+        );
+    }
+}

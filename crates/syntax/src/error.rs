@@ -48,8 +48,13 @@ pub enum ParseErrorKind {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: ", self.span)?;
-        match &self.kind {
+        write!(f, "{}: {}", self.span, self.kind)
+    }
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
             ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
             ParseErrorKind::UnterminatedString => write!(f, "unterminated string literal"),
             ParseErrorKind::IntegerOverflow(s) => {
@@ -148,8 +153,13 @@ pub enum SafetyErrorKind {
 
 impl fmt::Display for SafetyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: in rule `{}`: ", self.span, self.rule)?;
-        match &self.kind {
+        write!(f, "{}: in rule `{}`: {}", self.span, self.rule, self.kind)
+    }
+}
+
+impl fmt::Display for SafetyErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
             SafetyErrorKind::UnboundHeadVar(v) => write!(
                 f,
                 "head variable `{v}` does not occur in the rule body (safety condition 1)"

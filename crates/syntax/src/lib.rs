@@ -31,6 +31,7 @@ pub mod ast;
 pub mod error;
 pub mod lexer;
 pub mod parser;
+pub mod pragma;
 pub mod safety;
 
 pub use ast::{
@@ -41,4 +42,5 @@ pub use parser::{
     parse_facts, parse_ground_atom, parse_program, parse_query, parse_rule, parse_source,
     parse_updates,
 };
+pub use pragma::{allow_pragmas, AllowPragma, SuppressionIndex};
 pub use safety::{check_program, check_rule};

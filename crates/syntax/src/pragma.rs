@@ -1,0 +1,175 @@
+//! Lint-suppression pragmas.
+//!
+//! The lexer discards `%` comments wholesale, so pragmas live in the raw
+//! source text rather than the token stream: a comment line of the form
+//!
+//! ```text
+//! %# allow(PARK001)
+//! %# allow(PARK002, PARK003)
+//! ```
+//!
+//! suppresses the listed lint codes on the pragma's own line (for trailing
+//! use after a rule) and on the next line that holds program text — the
+//! next non-blank line that is not itself a comment. Anything after `%` that
+//! does not match the `%# allow(...)` shape is an ordinary comment and is
+//! ignored here.
+
+use std::collections::HashMap;
+
+/// One parsed `%# allow(...)` pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowPragma {
+    /// 1-based source line the pragma itself is on.
+    pub line: u32,
+    /// The lint codes it names, in source order.
+    pub codes: Vec<String>,
+    /// The 1-based lines it covers: its own line, plus the next line of
+    /// program text if one exists.
+    pub covers: Vec<u32>,
+}
+
+fn parse_allow(line: &str) -> Option<Vec<String>> {
+    let rest = line.trim_start().strip_prefix("%#")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let inner = rest.strip_prefix('(')?.strip_suffix(')')?;
+    let codes: Vec<String> = inner
+        .split(',')
+        .map(|c| c.trim().to_string())
+        .filter(|c| !c.is_empty())
+        .collect();
+    if codes.is_empty() {
+        None
+    } else {
+        Some(codes)
+    }
+}
+
+fn is_comment_or_blank(line: &str) -> bool {
+    let t = line.trim_start();
+    t.is_empty() || t.starts_with('%') || t.starts_with("//")
+}
+
+/// Scan raw source text for `%# allow(...)` pragmas and compute the lines
+/// each one covers.
+pub fn allow_pragmas(src: &str) -> Vec<AllowPragma> {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let Some(codes) = parse_allow(line) else {
+            continue;
+        };
+        let own = (i + 1) as u32;
+        let mut covers = vec![own];
+        // The next line of program text, skipping blanks and comments (so
+        // pragma blocks can stack above one rule).
+        if let Some(next) = lines
+            .iter()
+            .skip(i + 1)
+            .position(|l| !is_comment_or_blank(l))
+        {
+            covers.push((i + 1 + next + 1) as u32);
+        }
+        out.push(AllowPragma {
+            line: own,
+            codes,
+            covers,
+        });
+    }
+    out
+}
+
+/// A line → allowed-codes index for quick suppression checks.
+#[derive(Debug, Clone, Default)]
+pub struct SuppressionIndex {
+    by_line: HashMap<u32, Vec<String>>,
+}
+
+impl SuppressionIndex {
+    /// Build the index for one source text.
+    pub fn of(src: &str) -> Self {
+        let mut by_line: HashMap<u32, Vec<String>> = HashMap::new();
+        for pragma in allow_pragmas(src) {
+            for line in &pragma.covers {
+                by_line
+                    .entry(*line)
+                    .or_default()
+                    .extend(pragma.codes.iter().cloned());
+            }
+        }
+        SuppressionIndex { by_line }
+    }
+
+    /// Is `code` suppressed on 1-based `line`?
+    pub fn allows(&self, line: u32, code: &str) -> bool {
+        self.by_line
+            .get(&line)
+            .is_some_and(|codes| codes.iter().any(|c| c == code))
+    }
+
+    /// True when no pragma was found at all.
+    pub fn is_empty(&self) -> bool {
+        self.by_line.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pragma_covers_next_program_line() {
+        let src = "%# allow(PARK001)\np(X) -> +q(X).\np(X) -> -q(X).\n";
+        let pragmas = allow_pragmas(src);
+        assert_eq!(pragmas.len(), 1);
+        assert_eq!(pragmas[0].codes, vec!["PARK001"]);
+        assert_eq!(pragmas[0].covers, vec![1, 2]);
+        let idx = SuppressionIndex::of(src);
+        assert!(idx.allows(2, "PARK001"));
+        assert!(!idx.allows(3, "PARK001"));
+        assert!(!idx.allows(2, "PARK002"));
+    }
+
+    #[test]
+    fn pragma_skips_blank_and_comment_lines() {
+        let src = "%# allow(PARK003)\n% a comment\n\n// another\nrule: +e -> +q.\n";
+        let pragmas = allow_pragmas(src);
+        assert_eq!(pragmas[0].covers, vec![1, 5]);
+    }
+
+    #[test]
+    fn multiple_codes_and_stacked_pragmas() {
+        let src = "%# allow(PARK001, PARK002)\n%# allow(PARK003)\np -> +q.\n";
+        let idx = SuppressionIndex::of(src);
+        for code in ["PARK001", "PARK002", "PARK003"] {
+            assert!(idx.allows(3, code), "{code} must cover line 3");
+        }
+    }
+
+    #[test]
+    fn trailing_pragma_covers_its_own_line() {
+        // Spans point at the rule's line, so a pragma on the same line
+        // suppresses it; a rule on the line *after* a trailing construct
+        // still gets covered as the "next program line".
+        let src = "p -> +q. %# allow(PARK001)\n";
+        // The pragma must be the whole comment — mid-line pragmas are not
+        // detected (the line does not start with %#).
+        assert!(allow_pragmas(src).is_empty());
+        let src = "   %# allow(PARK005)\nq -> +r.\n";
+        let idx = SuppressionIndex::of(src);
+        assert!(idx.allows(2, "PARK005"));
+    }
+
+    #[test]
+    fn malformed_pragmas_are_plain_comments() {
+        for src in [
+            "%# allow()\np.\n",
+            "%# allow PARK001\np.\n",
+            "% allow(PARK001)\np.\n",
+            "%#allowance(PARK001)\np.\n",
+        ] {
+            assert!(allow_pragmas(src).is_empty(), "{src:?}");
+        }
+        // `%#allow(...)` without the space is accepted.
+        assert_eq!(allow_pragmas("%#allow(PARK001)\n").len(), 1);
+    }
+}

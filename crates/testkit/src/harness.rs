@@ -40,13 +40,15 @@ use crate::compare;
 use crate::gen::Case;
 use crate::oracle::{self, OracleVariant};
 use park_baselines::stratified_datalog;
+use park_engine::refine::AnalysisVariant;
 use park_engine::{
     CompiledLiteral, CompiledProgram, Engine, EngineOptions, EvaluationMode, JsonMetrics, LitKind,
     ParkOutcome, ResolutionScope, StatCounters,
 };
 use park_storage::{FactStore, PredId, Vocabulary};
 use park_syntax::Sign;
-use std::collections::HashSet;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -252,6 +254,18 @@ fn insert_only_extensional(program: &CompiledProgram) -> bool {
 /// — [`OracleVariant::Faithful`] for real testing, a broken variant to
 /// prove the harness detects semantic bugs.
 pub fn check_case(case: &Case, variant: OracleVariant) -> Result<CaseStats, Divergence> {
+    check_case_with(case, variant, AnalysisVariant::Faithful)
+}
+
+/// [`check_case`] with an explicit static-analysis variant for the lint
+/// verdict cross-checks. `AnalysisVariant::Faithful` is the real analyzer;
+/// the broken variants exist so tests can prove an unsound analysis change
+/// is caught as a divergence rather than silently certifying programs.
+pub fn check_case_with(
+    case: &Case,
+    variant: OracleVariant,
+    lint_variant: AnalysisVariant,
+) -> Result<CaseStats, Divergence> {
     let seed = case.seed;
     let front = |detail: String| Divergence {
         seed,
@@ -271,6 +285,13 @@ pub fn check_case(case: &Case, variant: OracleVariant) -> Result<CaseStats, Dive
         .map_err(|e| front(format!("program does not compile: {e}")))?;
     let ground = compiled.rules().iter().all(|r| r.num_vars == 0);
 
+    // The static analyzer's verdicts on this program. Every claim is
+    // cross-checked against observed runtime behaviour below: a certified
+    // conflict-free program must never restart, a rule flagged unreachable
+    // or never-firing must never fire, and deleting an always-blocked rule
+    // must not change the result under its constant policy.
+    let lint = park_lint::verdicts(&compiled, lint_variant);
+
     let matrix = EngineConfig::matrix();
     let mut engines = Vec::with_capacity(matrix.len());
     for cfg in matrix {
@@ -283,6 +304,9 @@ pub fn check_case(case: &Case, variant: OracleVariant) -> Result<CaseStats, Dive
     // event-derived totals cross-checked against the engine's own
     // `RunStats` counters — the two bookkeeping paths must agree exactly
     // in every cell of the matrix.
+    // Per-rule firing counts summed over every matrix run — the witness
+    // stream for the unreachable / never-fires lint cross-check.
+    let fired_by_rule: RefCell<BTreeMap<u32, u64>> = RefCell::new(BTreeMap::new());
     let run_engine = |engine: &Engine, policy: &str| -> RunOutcome {
         let mut rec = compare::recording_policy(policy);
         let mut sink = JsonMetrics::new("testkit");
@@ -294,6 +318,10 @@ pub fn check_case(case: &Case, variant: OracleVariant) -> Result<CaseStats, Dive
                     return RunOutcome::Failed(format!(
                         "metrics totals diverged from RunStats: metrics {totals:?} vs stats {counters:?}"
                     ));
+                }
+                let mut acc = fired_by_rule.borrow_mut();
+                for (&rule, &n) in sink.fired_by_rule() {
+                    *acc.entry(rule).or_insert(0) += n;
                 }
                 RunOutcome::Done(Box::new(out), compare::transcript(rec.decisions()))
             }
@@ -354,9 +382,27 @@ pub fn check_case(case: &Case, variant: OracleVariant) -> Result<CaseStats, Dive
         }
 
         let results: Vec<RunOutcome> = engines.iter().map(|(_, e)| run_engine(e, policy)).collect();
-        for res in &results {
+        for ((cfg, _), res) in engines.iter().zip(&results) {
             if let RunOutcome::Done(o, _) = res {
                 stats.counters.absorb(&o.stats.counters());
+                // A conflict-free certificate is a hard promise: no run of
+                // a certified program may detect (let alone resolve) a
+                // conflict under any configuration or policy.
+                let c = o.stats.counters();
+                if lint.certified_conflict_free && (c.restarts > 0 || c.conflicts_resolved > 0) {
+                    return Err(Divergence {
+                        seed,
+                        policy: policy.to_string(),
+                        config: "lint-certificate".into(),
+                        detail: format!(
+                            "program was certified conflict-free, but {} observed \
+                             {} restart(s) and {} resolved conflict(s)",
+                            cfg.label(),
+                            c.restarts,
+                            c.conflicts_resolved
+                        ),
+                    });
+                }
             }
         }
         for ((cfg, _), res) in engines.iter().zip(&results) {
@@ -391,6 +437,75 @@ pub fn check_case(case: &Case, variant: OracleVariant) -> Result<CaseStats, Dive
             }
         }
     }
+
+    // A rule flagged unreachable (its event is unproducible) or never-firing
+    // (its body is unsatisfiable) must not have fired in any matrix run.
+    let fired = fired_by_rule.into_inner();
+    for (&rule, what) in lint
+        .unreachable
+        .iter()
+        .map(|r| (r, "unreachable"))
+        .chain(lint.never_fires.iter().map(|r| (r, "never-firing")))
+    {
+        let n = fired.get(&rule.0).copied().unwrap_or(0);
+        if n > 0 {
+            return Err(Divergence {
+                seed,
+                policy: "-".into(),
+                config: "lint-unreachable".into(),
+                detail: format!(
+                    "rule `{}` was flagged {what} by the analyzer but fired {n} \
+                     time(s) across the matrix",
+                    compiled.rule(rule).display_name()
+                ),
+            });
+        }
+    }
+
+    // An always-blocked verdict claims the rule cannot affect the result
+    // under its constant policy: deleting it must leave the final database
+    // unchanged. (The blocked set legitimately differs — the loser's
+    // groundings are only *in* it while the rule exists.)
+    for &(rule, policy) in &lint.always_blocked {
+        let policy_name = policy.policy_name();
+        let run_db = |p: &park_syntax::Program| -> Result<String, String> {
+            let engine = Engine::with_options(Arc::clone(&vocab), p, EngineOptions::default())
+                .map_err(|e| e.to_string())?;
+            let mut select = park_policies::by_name(policy_name).expect("constant policy exists");
+            engine
+                .park(&db, select.as_mut())
+                .map(|o| o.database.sorted_display().join("\n"))
+                .map_err(|e| e.to_string())
+        };
+        let mut reduced = program.clone();
+        reduced.rules.remove(rule.0 as usize);
+        let blocked_diverged = |detail: String| Divergence {
+            seed,
+            policy: policy_name.to_string(),
+            config: "lint-always-blocked".into(),
+            detail: format!(
+                "rule `{}` was flagged always-blocked under `{policy_name}`, but {detail}",
+                compiled.rule(rule).display_name()
+            ),
+        };
+        match (run_db(&program), run_db(&reduced)) {
+            (Ok(with), Ok(without)) => {
+                if let Some(d) = compare::diff_lines("with-rule", &with, "without-rule", &without) {
+                    return Err(blocked_diverged(format!(
+                        "deleting it changed the result: {d}"
+                    )));
+                }
+            }
+            (Err(a), Err(b)) if a == b => {}
+            (with, without) => {
+                return Err(blocked_diverged(format!(
+                    "the runs with and without it disagreed on failure: \
+                     with `{with:?}`, without `{without:?}`"
+                )));
+            }
+        }
+    }
+
     Ok(stats)
 }
 

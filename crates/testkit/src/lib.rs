@@ -14,7 +14,7 @@
 //!   strategy × scope, under several `SELECT` policies) and is compared
 //!   against the oracle — byte-exact where the fragment admits it — plus a
 //!   stratified-datalog cross-check on the insert-only fragment. Failures
-//!   are shrunk by [`minimize`].
+//!   are shrunk by [`mod@minimize`].
 //!
 //! [`compare`] holds the shared fingerprint/transcript diff helpers, also
 //! used by the engine identity suites and the CLI's end-to-end tests.
@@ -32,7 +32,9 @@ pub mod oracle;
 
 pub use gen::{generate, Case};
 pub use harness::{
-    check_case, run_fuzz, CaseStats, Divergence, EngineConfig, FuzzFailure, FuzzReport, POLICIES,
+    check_case, check_case_with, run_fuzz, CaseStats, Divergence, EngineConfig, FuzzFailure,
+    FuzzReport, POLICIES,
 };
 pub use minimize::minimize;
 pub use oracle::{evaluate as oracle_evaluate, OracleRun, OracleVariant};
+pub use park_engine::refine::AnalysisVariant;

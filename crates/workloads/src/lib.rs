@@ -16,6 +16,9 @@
 //!   event cascades, and a policy-dependent bonus conflict.
 //! * [`inventory`] — reorder triggers with discontinuation conflicts and
 //!   event-driven notifications.
+//! * [`partition`] — guard-partitioned opposite-polarity rule families
+//!   that are pair-rich yet certifiably conflict-free, exercising the
+//!   engine's certificate fast path (experiment C8).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +27,7 @@ pub mod chains;
 pub mod closure;
 pub mod graph;
 pub mod inventory;
+pub mod partition;
 pub mod payroll;
 
 pub use chains::{parallel_conflicts, staggered_conflicts};
@@ -35,4 +39,5 @@ pub use inventory::{
     inventory_database, inventory_guard_database, inventory_guard_program, inventory_program,
     InventoryConfig,
 };
+pub use partition::{guard_partition_database, guard_partition_program};
 pub use payroll::{payroll_database, payroll_program, PayrollConfig};

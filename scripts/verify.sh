@@ -36,4 +36,26 @@ cargo run -p park-cli --bin park --release --offline --quiet -- \
 grep -q '# PARK run-metrics report' "$metrics_dir/report.md"
 rm -rf "$metrics_dir"
 
+echo "==> park lint smoke (examples + generated workloads)"
+lint_dir="${TMPDIR:-/tmp}/park-lint-$$"
+mkdir -p "$lint_dir"
+for w in irreflexive-graph closure chains payroll inventory inventory-guards; do
+  cargo run -p park-cli --bin park --release --offline --quiet -- \
+    workload "$w" --n 20 --out "$lint_dir" > /dev/null
+done
+for prog in examples/data/*.park "$lint_dir"/*.park; do
+  status=0
+  cargo run -p park-cli --bin park --release --offline --quiet -- \
+    lint "$prog" --format json > "$lint_dir/lint.out" || status=$?
+  if [ "$status" -ge 2 ]; then
+    echo "verify: park lint reports error-severity diagnostics in $prog" >&2
+    exit 1
+  fi
+  grep -q '"schema": "park-lint/v1"' "$lint_dir/lint.out"
+done
+rm -rf "$lint_dir"
+
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
+
 echo "verify: OK"
