@@ -121,8 +121,8 @@ pub fn immediate_fire(
         }
         // The first instance whose action would change the database fires.
         let next = fired.into_iter().find(|f| match f.sign {
-            Sign::Insert => !db.contains(f.pred, &f.tuple),
-            Sign::Delete => db.contains(f.pred, &f.tuple),
+            Sign::Insert => !db.contains_row(f.pred, &f.tuple),
+            Sign::Delete => db.contains_row(f.pred, &f.tuple),
         });
         match next {
             None => {
@@ -135,10 +135,10 @@ pub fn immediate_fire(
                 fires += 1;
                 match f.sign {
                     Sign::Insert => {
-                        db.insert(f.pred, f.tuple).expect("arity consistent");
+                        db.insert_row(f.pred, &f.tuple);
                     }
                     Sign::Delete => {
-                        db.remove(f.pred, &f.tuple);
+                        db.remove_row(f.pred, &f.tuple);
                     }
                 }
             }

@@ -53,7 +53,7 @@ pub fn naive_mark_eliminate(
         let fired = fire_all(&working, &blocked, &interp);
         let mut grew = false;
         for f in &fired {
-            if interp.insert_marked(f.sign, f.pred, f.tuple.clone()) {
+            if interp.insert_marked(f.sign, f.pred, &f.tuple) {
                 grew = true;
             }
         }
@@ -68,13 +68,13 @@ pub fn naive_mark_eliminate(
         |p: PredId, t: &Tuple| conflicting.iter().any(|(cp, ct)| *cp == p && ct == t);
     let mut database = db.clone();
     for (p, t) in interp.plus().iter() {
-        if !is_conflicting(p, t) {
-            database.insert(p, t.clone()).expect("arity consistent");
+        if !is_conflicting(p, &t) {
+            database.insert(p, t).expect("arity consistent");
         }
     }
     for (p, t) in interp.minus().iter() {
-        if !is_conflicting(p, t) {
-            database.remove(p, t);
+        if !is_conflicting(p, &t) {
+            database.remove(p, &t);
         }
     }
     let vocab = db.vocab();

@@ -184,7 +184,7 @@ pub fn stratified_datalog(
                 if stratum.get(&f.pred).copied().unwrap_or(0) != s {
                     continue;
                 }
-                if interp.insert_marked(f.sign, f.pred, f.tuple) {
+                if interp.insert_marked(f.sign, f.pred, &f.tuple) {
                     grew = true;
                 }
             }

@@ -77,7 +77,9 @@ USAGE:
                                          [--format text|json]; exit 0 = clean,
                                          1 = warnings, 2 = errors; suppress
                                          with `%# allow(PARKxxx)` comment lines
-  park analyze <program.park>            dependency/recursion/conflict report
+  park analyze <program.park> [--db <f>] dependency/recursion/conflict report;
+                                         with --db also per-relation shard
+                                         stats and a confluence probe
   park repl <program.park> [--db <f>]    interactive transactional session
   park query '<body>' --db <data.facts>  conjunctive query over a database
   park baseline <naive|immediate> <program.park> [OPTIONS]
@@ -453,6 +455,27 @@ fn cmd_analyze(args: Vec<String>) -> Result<(), String> {
     if let Some(db_path) = &a.db {
         let vocab = Arc::clone(compiled.vocab());
         let db = FactStore::from_source(vocab, &read_file(db_path)?).map_err(|e| e.to_string())?;
+        // Per-relation shard stats: how the interned columnar store lays
+        // this database out (see docs/storage.md).
+        let mut shard_preds: Vec<park_storage::PredId> = db.nonempty_preds().collect();
+        shard_preds.sort_by_key(|p| db.vocab().pred_name(*p));
+        println!(
+            "  shards         : {} relations, {} facts, {} encoded bytes",
+            shard_preds.len(),
+            db.len(),
+            db.encoded_bytes()
+        );
+        for p in shard_preds {
+            let Some(rel) = db.relation(p) else { continue };
+            println!(
+                "    {}/{}: {} facts, {} bytes, {} indexes",
+                db.vocab().pred_name(p),
+                db.vocab().pred_arity(p),
+                rel.len(),
+                rel.encoded_bytes(),
+                rel.index_count()
+            );
+        }
         let engine =
             Engine::new(Arc::clone(compiled.vocab()), &program).map_err(|e| e.to_string())?;
         match park_engine::confluence_probe(&engine, &db).map_err(|e| e.to_string())? {

@@ -449,6 +449,41 @@ fn analyze_with_database_probes_confluence() {
 }
 
 #[test]
+fn analyze_with_database_reports_shard_stats() {
+    let dir = tempdir("shard-stats");
+    let program = write(&dir, "p.park", "e(X, Y) -> +r(X, Y).");
+    let facts = write(&dir, "d.facts", "e(a, b). e(b, c). p.");
+    let out = park()
+        .args([
+            "analyze",
+            program.to_str().unwrap(),
+            "--db",
+            facts.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Two nonempty relations; e/2 holds 2 facts × 2 columns × 4 bytes.
+    assert!(
+        stdout.contains("shards         : 2 relations, 3 facts, 16 encoded bytes"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("e/2: 2 facts, 16 bytes, 0 indexes"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("p/0: 1 facts, 0 bytes, 0 indexes"),
+        "{stdout}"
+    );
+}
+
+#[test]
 fn threads_argument_is_validated() {
     let dir = tempdir("threads");
     let program = write(&dir, "p.park", "p -> +q.");

@@ -15,7 +15,6 @@
 
 use crate::grounding::BlockedSet;
 use crate::interp::IInterpretation;
-use park_syntax::Sign;
 
 /// A bi-structure `⟨B, I⟩`.
 #[derive(Debug, Clone)]
@@ -60,14 +59,13 @@ fn blocked_subset(a: &BlockedSet, b: &BlockedSet) -> bool {
 }
 
 /// Zone-wise inclusion of i-interpretations.
+///
+/// Compared over decoded tuples, so interpretations built against
+/// different (but compatible) vocabularies still order correctly.
 pub fn interp_subset(a: &IInterpretation, b: &IInterpretation) -> bool {
-    a.base().iter().all(|(p, t)| b.base().contains(p, t))
-        && a.plus()
-            .iter()
-            .all(|(p, t)| b.contains_marked(Sign::Insert, p, t))
-        && a.minus()
-            .iter()
-            .all(|(p, t)| b.contains_marked(Sign::Delete, p, t))
+    a.base().iter().all(|(p, t)| b.base().contains(p, &t))
+        && a.plus().iter().all(|(p, t)| b.plus().contains(p, &t))
+        && a.minus().iter().all(|(p, t)| b.minus().contains(p, &t))
 }
 
 #[cfg(test)]
@@ -76,6 +74,7 @@ mod tests {
     use crate::compile::RuleId;
     use crate::grounding::Grounding;
     use park_storage::{FactStore, Value, Vocabulary};
+    use park_syntax::Sign;
     use std::sync::Arc;
 
     fn interp(src: &str) -> IInterpretation {
@@ -121,13 +120,13 @@ mod tests {
             IInterpretation::from_database(FactStore::from_source(Arc::clone(&v), "p.").unwrap());
         let mut i2 = i1.clone();
         let q = v.pred("q", 0).unwrap();
-        i2.insert_marked(Sign::Insert, q, park_storage::Tuple::empty());
+        i2.insert_marked(Sign::Insert, q, &[]);
         let a = BiStructure::new(BlockedSet::new(), i1.clone());
         let b = BiStructure::new(BlockedSet::new(), i2.clone());
         assert!(a.le(&b));
         assert!(!b.le(&a));
         // Marks are zone-sensitive: -q is not +q.
-        i1.insert_marked(Sign::Delete, q, park_storage::Tuple::empty());
+        i1.insert_marked(Sign::Delete, q, &[]);
         let c = BiStructure::new(BlockedSet::new(), i1);
         assert!(!c.le(&b));
         let _ = Value::Int(0);

@@ -10,7 +10,7 @@
 
 use crate::error::{EngineError, EngineResult};
 use crate::validity::MarkZone;
-use park_storage::{ColumnMask, PredId, Tuple, UpdateSet, Value, Vocabulary};
+use park_storage::{Code, ColumnMask, PredId, UpdateSet, Value, Vocabulary};
 use park_syntax::{check_rule, Atom, BodyLiteral, CompOp, Head, Program, Rule, Sign, Term};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -22,10 +22,13 @@ use std::sync::Arc;
 pub struct RuleId(pub u32);
 
 /// A term position in a compiled atom: a constant or a variable slot.
+///
+/// Constants are interned at compile time, so matching and instantiation
+/// work entirely in encoded [`Code`] space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TermSlot {
-    /// A constant value.
-    Const(Value),
+    /// A constant, pre-encoded against the program's vocabulary.
+    Const(Code),
     /// The rule variable with this slot number.
     Var(u16),
 }
@@ -40,12 +43,12 @@ pub struct CompiledAtom {
 }
 
 impl CompiledAtom {
-    /// Instantiate under a total substitution.
-    pub fn instantiate(&self, subst: &[Value]) -> Tuple {
+    /// Instantiate under a total substitution of encoded values.
+    pub fn instantiate(&self, subst: &[Code]) -> Box<[Code]> {
         self.terms
             .iter()
             .map(|t| match *t {
-                TermSlot::Const(v) => v,
+                TermSlot::Const(c) => c,
                 TermSlot::Var(i) => subst[i as usize],
             })
             .collect()
@@ -113,21 +116,23 @@ impl CompiledLiteral {
         }
     }
 
-    /// Evaluate a guard under total bindings. Panics on non-guard literals.
-    pub fn eval_guard(&self, bindings: &[Option<Value>]) -> bool {
+    /// Evaluate a guard under total encoded bindings. Equality compares
+    /// codes directly (interning is injective); ordered comparisons decode
+    /// through the vocabulary. Panics on non-guard literals.
+    pub fn eval_guard(&self, vocab: &Vocabulary, bindings: &[Option<Code>]) -> bool {
         let CompiledLiteral::Guard { op, lhs, rhs } = self else {
             panic!("eval_guard on a non-guard literal");
         };
-        let val = |t: &TermSlot| match *t {
-            TermSlot::Const(v) => v,
+        let code = |t: &TermSlot| match *t {
+            TermSlot::Const(c) => c,
             TermSlot::Var(s) => bindings[s as usize].expect("guards scheduled after binding"),
         };
-        let (l, r) = (val(lhs), val(rhs));
+        let (l, r) = (code(lhs), code(rhs));
         match op {
             CompOp::Eq => l == r,
             CompOp::Ne => l != r,
             // Ordered comparisons are integer-only; symbols compare false.
-            _ => match (l, r) {
+            _ => match (vocab.decode(l), vocab.decode(r)) {
                 (Value::Int(a), Value::Int(b)) => op.eval_ordering(a.cmp(&b)),
                 _ => false,
             },
@@ -300,7 +305,7 @@ impl CompiledProgram {
                 .tuple
                 .values()
                 .iter()
-                .map(|&v| TermSlot::Const(v))
+                .map(|&v| TermSlot::Const(self.vocab.encode(v)))
                 .collect();
             extended.rules.push(CompiledRule {
                 id,
@@ -333,7 +338,7 @@ fn compile_atom(
         .args
         .iter()
         .map(|t| match t {
-            Term::Const(c) => TermSlot::Const(vocab.value(c)),
+            Term::Const(c) => TermSlot::Const(vocab.encode(vocab.value(c))),
             Term::Var(v) => {
                 let slot = *var_slots.entry(v.clone()).or_insert_with(|| {
                     let s = u16::try_from(vars.len()).expect("too many variables in rule");
@@ -376,7 +381,7 @@ fn compile_rule(
     for (i, lit) in rule.body.iter().enumerate() {
         if let BodyLiteral::Compare(op, l, r) = lit {
             let slot = |t: &Term| match t {
-                Term::Const(c) => TermSlot::Const(vocab.value(c)),
+                Term::Const(c) => TermSlot::Const(vocab.encode(vocab.value(c))),
                 Term::Var(v) => {
                     TermSlot::Var(*var_slots.get(v).expect("safety binds guard variables"))
                 }
@@ -616,10 +621,10 @@ mod tests {
     fn instantiate_head() {
         let p = compile("p(X, Y) -> +q(Y, X).");
         let v = p.vocab();
-        let a = Value::Sym(v.sym("a"));
-        let b = Value::Sym(v.sym("b"));
-        let t = p.rule(RuleId(0)).head.instantiate(&[a, b]);
-        assert_eq!(t.values(), &[b, a]);
+        let a = v.encode(Value::Sym(v.sym("a")));
+        let b = v.encode(Value::Sym(v.sym("b")));
+        let row = p.rule(RuleId(0)).head.instantiate(&[a, b]);
+        assert_eq!(row.as_ref(), &[b, a]);
     }
 
     #[test]
@@ -688,8 +693,8 @@ mod tests {
         let v = Arc::clone(p.vocab());
         let mut u = UpdateSet::empty();
         let q = v.pred("q", 1).unwrap();
-        u.insert(q, Tuple::new(vec![Value::Sym(v.sym("b"))]));
-        u.delete(q, Tuple::new(vec![Value::Sym(v.sym("c"))]));
+        u.insert(q, park_storage::Tuple::new(vec![Value::Sym(v.sym("b"))]));
+        u.delete(q, park_storage::Tuple::new(vec![Value::Sym(v.sym("c"))]));
         let pu = p.with_updates(&u);
         assert_eq!(pu.len(), 3);
         let tx1 = pu.rule(RuleId(1));
@@ -738,14 +743,35 @@ mod tests {
             .iter()
             .find(|l| matches!(l, CompiledLiteral::Guard { .. }))
             .unwrap();
-        let b = |x: i64, y: i64| vec![Some(Value::Int(x)), Some(Value::Int(y))];
-        assert!(guard.eval_guard(&b(1, 2)));
-        assert!(!guard.eval_guard(&b(2, 2)));
-        assert!(!guard.eval_guard(&b(3, 2)));
-        // Symbols under an ordered comparison: false.
         let v = p.vocab();
-        let sym = Some(Value::Sym(v.sym("a")));
-        assert!(!guard.eval_guard(&[sym, Some(Value::Int(5))]));
+        let b = |x: i64, y: i64| vec![Some(v.encode(Value::Int(x))), Some(v.encode(Value::Int(y)))];
+        assert!(guard.eval_guard(v, &b(1, 2)));
+        assert!(!guard.eval_guard(v, &b(2, 2)));
+        assert!(!guard.eval_guard(v, &b(3, 2)));
+        // Symbols under an ordered comparison: false.
+        let sym = Some(v.encode(Value::Sym(v.sym("a"))));
+        assert!(!guard.eval_guard(v, &[sym, Some(v.encode(Value::Int(5)))]));
+    }
+
+    #[test]
+    fn guard_ordered_comparison_handles_spilled_ints() {
+        // Integers beyond the 30-bit inline range spill into the
+        // vocabulary; ordered guards must still compare their true values,
+        // not their (allocation-ordered) spill codes.
+        let p = compile("p(X, Y), X < Y -> +q(X).");
+        let r = p.rule(RuleId(0));
+        let guard = r
+            .body
+            .iter()
+            .find(|l| matches!(l, CompiledLiteral::Guard { .. }))
+            .unwrap();
+        let v = p.vocab();
+        let big = 1i64 << 40;
+        // Encode the larger value first so spill order inverts value order.
+        let hi = Some(v.encode(Value::Int(big + 1)));
+        let lo = Some(v.encode(Value::Int(big)));
+        assert!(guard.eval_guard(v, &[lo, hi]));
+        assert!(!guard.eval_guard(v, &[hi, lo]));
     }
 
     #[test]

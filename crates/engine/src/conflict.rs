@@ -27,9 +27,9 @@ use crate::compile::CompiledProgram;
 use crate::gamma::FiredAction;
 use crate::grounding::Grounding;
 use crate::interp::IInterpretation;
-use park_storage::{FactStore, PredId, Tuple};
+use park_storage::{Code, FactStore, FxHashMap, PredId, Tuple, Value, Vocabulary};
 use park_syntax::Sign;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::fmt;
 
 /// The decision of a conflict-resolution policy for one conflict.
@@ -176,13 +176,14 @@ impl ConflictResolver for Inertia {
 
 /// Per-run provenance: which groundings fired for each marked atom.
 ///
-/// Keyed predicate-first so the hot `record_all` path can look tuples up
-/// without cloning them. Each side is a hash set: dedup of re-firings is
-/// O(1) per firing even when many groundings derive the same atom
-/// (high fan-in), and conflict sides are sorted once at collection time.
+/// Keyed predicate-first, by *encoded row*, so the hot `record_all` path
+/// can look rows up without cloning or decoding them. Each side is a hash
+/// set: dedup of re-firings is O(1) per firing even when many groundings
+/// derive the same atom (high fan-in), and conflict sides are sorted once
+/// at collection time.
 #[derive(Debug, Clone, Default)]
 pub struct Provenance {
-    map: HashMap<PredId, HashMap<Tuple, Sides>>,
+    map: FxHashMap<PredId, FxHashMap<Box<[Code]>, Sides>>,
     /// Running count of atoms with recorded provenance, so `len` does not
     /// walk every predicate's map.
     atoms: usize,
@@ -221,14 +222,14 @@ impl Provenance {
     /// Record the firings of one consistent Γ step.
     pub fn record_all(&mut self, fired: &[FiredAction]) {
         for f in fired {
-            let by_tuple = self.map.entry(f.pred).or_default();
-            match by_tuple.get_mut(&f.tuple) {
+            let by_row = self.map.entry(f.pred).or_default();
+            match by_row.get_mut(f.tuple.as_ref()) {
                 Some(sides) => sides.insert(f.sign, &f.grounding),
                 None => {
                     self.atoms += 1;
                     let mut sides = Sides::default();
                     sides.insert(f.sign, &f.grounding);
-                    by_tuple.insert(f.tuple.clone(), sides);
+                    by_row.insert(f.tuple.clone(), sides);
                 }
             }
         }
@@ -237,8 +238,8 @@ impl Provenance {
     /// Forget everything (conflict restart), keeping the allocated maps so
     /// the next run's `record_all` reuses their capacity.
     pub fn clear(&mut self) {
-        for by_tuple in self.map.values_mut() {
-            by_tuple.clear();
+        for by_row in self.map.values_mut() {
+            by_row.clear();
         }
         self.atoms = 0;
     }
@@ -253,8 +254,8 @@ impl Provenance {
         self.atoms == 0
     }
 
-    fn sides(&self, pred: PredId, tuple: &Tuple) -> Option<&Sides> {
-        self.map.get(&pred).and_then(|m| m.get(tuple))
+    fn sides(&self, pred: PredId, row: &[Code]) -> Option<&Sides> {
+        self.map.get(&pred).and_then(|m| m.get(row))
     }
 }
 
@@ -262,11 +263,19 @@ impl Provenance {
 /// merged with the run's provenance.
 ///
 /// Returns conflicts in order of first appearance in `fired` — the engine's
-/// deterministic resolution order. Each side is deduplicated and sorted.
-pub fn collect_conflicts(fired: &[FiredAction], provenance: &Provenance) -> Vec<Conflict> {
-    // Group current firings by head atom.
-    let mut order: Vec<(PredId, Tuple)> = Vec::new();
-    let mut sides: HashMap<(PredId, Tuple), Sides> = HashMap::new();
+/// deterministic resolution order. Each side is deduplicated and sorted by
+/// `(rule, substitution)` under the *decoded* value ordering, so the
+/// observable resolution transcript does not depend on interning order.
+/// Contested atoms are decoded here: conflicts are the SELECT boundary,
+/// where policies and traces need real values.
+pub fn collect_conflicts(
+    vocab: &Vocabulary,
+    fired: &[FiredAction],
+    provenance: &Provenance,
+) -> Vec<Conflict> {
+    // Group current firings by head atom (encoded).
+    let mut order: Vec<(PredId, Box<[Code]>)> = Vec::new();
+    let mut sides: FxHashMap<(PredId, Box<[Code]>), Sides> = FxHashMap::default();
     for f in fired {
         let key = (f.pred, f.tuple.clone());
         let entry = sides.entry(key.clone()).or_insert_with(|| {
@@ -284,7 +293,11 @@ pub fn collect_conflicts(fired: &[FiredAction], provenance: &Provenance) -> Vec<
         let merge = |cur: &HashSet<Grounding>, hist: &HashSet<Grounding>| -> Vec<Grounding> {
             let mut v: Vec<Grounding> = cur.iter().cloned().collect();
             v.extend(hist.iter().filter(|g| !cur.contains(g)).cloned());
-            v.sort_by(|a, b| (a.rule, &a.subst).cmp(&(b.rule, &b.subst)));
+            // Cold path: decode each substitution once for the sort key.
+            v.sort_by_cached_key(|g| {
+                let vals: Vec<Value> = g.subst.iter().map(|&c| vocab.decode(c)).collect();
+                (g.rule, vals)
+            });
             v
         };
         let ins = merge(&current.ins, hist.map_or(&empty, |s| &s.ins));
@@ -292,7 +305,7 @@ pub fn collect_conflicts(fired: &[FiredAction], provenance: &Provenance) -> Vec<
         if !ins.is_empty() && !del.is_empty() {
             out.push(Conflict {
                 pred: key.0,
-                tuple: key.1,
+                tuple: vocab.decode_row(&key.1),
                 ins,
                 del,
             });
@@ -309,15 +322,16 @@ mod tests {
     use park_syntax::parse_program;
     use std::sync::Arc;
 
-    fn fired(rule: u32, sign: Sign, pred: PredId, val: i64) -> FiredAction {
+    fn fired(v: &Vocabulary, rule: u32, sign: Sign, pred: PredId, val: i64) -> FiredAction {
+        let c = v.encode(Value::Int(val));
         FiredAction {
             grounding: Grounding {
                 rule: RuleId(rule),
-                subst: Box::from([Value::Int(val)]),
+                subst: Box::from([c]),
             },
             sign,
             pred,
-            tuple: Tuple::new(vec![Value::Int(val)]),
+            tuple: Box::from([c]),
         }
     }
 
@@ -326,11 +340,11 @@ mod tests {
         let v = Vocabulary::new();
         let q = v.pred("q", 1).unwrap();
         let fs = vec![
-            fired(0, Sign::Insert, q, 1),
-            fired(1, Sign::Insert, q, 2), // no deletion for q(2)
-            fired(2, Sign::Delete, q, 1),
+            fired(&v, 0, Sign::Insert, q, 1),
+            fired(&v, 1, Sign::Insert, q, 2), // no deletion for q(2)
+            fired(&v, 2, Sign::Delete, q, 1),
         ];
-        let cs = collect_conflicts(&fs, &Provenance::new());
+        let cs = collect_conflicts(&v, &fs, &Provenance::new());
         assert_eq!(cs.len(), 1);
         assert_eq!(cs[0].tuple, Tuple::new(vec![Value::Int(1)]));
         assert_eq!(cs[0].ins.len(), 1);
@@ -342,10 +356,10 @@ mod tests {
         let v = Vocabulary::new();
         let q = v.pred("q", 1).unwrap();
         let mut prov = Provenance::new();
-        prov.record_all(&[fired(0, Sign::Insert, q, 1)]);
+        prov.record_all(&[fired(&v, 0, Sign::Insert, q, 1)]);
         // Now only the deletion fires — the insertion's body is no longer
         // valid, but +q(1) is in I with recorded provenance.
-        let cs = collect_conflicts(&[fired(1, Sign::Delete, q, 1)], &prov);
+        let cs = collect_conflicts(&v, &[fired(&v, 1, Sign::Delete, q, 1)], &prov);
         assert_eq!(cs.len(), 1);
         assert_eq!(cs[0].ins[0].rule, RuleId(0));
         assert_eq!(cs[0].del[0].rule, RuleId(1));
@@ -356,10 +370,14 @@ mod tests {
         let v = Vocabulary::new();
         let q = v.pred("q", 1).unwrap();
         let mut prov = Provenance::new();
-        prov.record_all(&[fired(0, Sign::Insert, q, 1)]);
-        prov.record_all(&[fired(0, Sign::Insert, q, 1)]);
+        prov.record_all(&[fired(&v, 0, Sign::Insert, q, 1)]);
+        prov.record_all(&[fired(&v, 0, Sign::Insert, q, 1)]);
         let cs = collect_conflicts(
-            &[fired(0, Sign::Insert, q, 1), fired(1, Sign::Delete, q, 1)],
+            &v,
+            &[
+                fired(&v, 0, Sign::Insert, q, 1),
+                fired(&v, 1, Sign::Delete, q, 1),
+            ],
             &prov,
         );
         assert_eq!(cs[0].ins.len(), 1);
@@ -370,12 +388,12 @@ mod tests {
         let v = Vocabulary::new();
         let q = v.pred("q", 1).unwrap();
         let fs = vec![
-            fired(0, Sign::Insert, q, 2),
-            fired(0, Sign::Insert, q, 1),
-            fired(1, Sign::Delete, q, 1),
-            fired(1, Sign::Delete, q, 2),
+            fired(&v, 0, Sign::Insert, q, 2),
+            fired(&v, 0, Sign::Insert, q, 1),
+            fired(&v, 1, Sign::Delete, q, 1),
+            fired(&v, 1, Sign::Delete, q, 2),
         ];
-        let cs = collect_conflicts(&fs, &Provenance::new());
+        let cs = collect_conflicts(&v, &fs, &Provenance::new());
         assert_eq!(cs.len(), 2);
         assert_eq!(cs[0].tuple, Tuple::new(vec![Value::Int(2)]));
         assert_eq!(cs[1].tuple, Tuple::new(vec![Value::Int(1)]));
@@ -392,13 +410,35 @@ mod tests {
             },
             sign: Sign::Insert,
             pred: q,
-            tuple: Tuple::empty(),
+            tuple: Box::from([]),
         };
         let mut del = g(0);
         del.sign = Sign::Delete;
-        let cs = collect_conflicts(&[g(2), g(1), del], &Provenance::new());
+        let cs = collect_conflicts(&v, &[g(2), g(1), del], &Provenance::new());
         let rules: Vec<u32> = cs[0].ins.iter().map(|x| x.rule.0).collect();
         assert_eq!(rules, vec![1, 2]);
+    }
+
+    #[test]
+    fn side_sort_uses_decoded_values_not_intern_order() {
+        // Spilled big integers get codes in allocation order; the side
+        // sort must still follow the true value ordering.
+        let v = Vocabulary::new();
+        let q = v.pred("q", 0).unwrap();
+        let big = 1i64 << 40;
+        // Encode the larger value first: its spill code is the smaller.
+        let hi = fired(&v, 0, Sign::Insert, q, big + 1);
+        let lo = fired(&v, 0, Sign::Insert, q, big);
+        let mut del = fired(&v, 1, Sign::Delete, q, 0);
+        del.tuple = Box::from([]);
+        let mut hi = hi;
+        hi.tuple = Box::from([]);
+        let mut lo = lo;
+        lo.tuple = Box::from([]);
+        let cs = collect_conflicts(&v, &[hi, lo, del], &Provenance::new());
+        assert_eq!(cs.len(), 1);
+        let decoded: Vec<Value> = cs[0].ins.iter().map(|g| v.decode(g.subst[0])).collect();
+        assert_eq!(decoded, vec![Value::Int(big), Value::Int(big + 1)]);
     }
 
     #[test]
@@ -436,7 +476,11 @@ mod tests {
         let v = Vocabulary::new();
         let q = v.pred("q", 1).unwrap();
         let cs = collect_conflicts(
-            &[fired(0, Sign::Insert, q, 1), fired(1, Sign::Delete, q, 1)],
+            &v,
+            &[
+                fired(&v, 0, Sign::Insert, q, 1),
+                fired(&v, 1, Sign::Delete, q, 1),
+            ],
             &Provenance::new(),
         );
         assert_eq!(cs[0].losing_side(Resolution::Insert)[0].rule, RuleId(1));
@@ -448,7 +492,7 @@ mod tests {
         let v = Vocabulary::new();
         let q = v.pred("q", 1).unwrap();
         let mut prov = Provenance::new();
-        prov.record_all(&[fired(0, Sign::Insert, q, 1)]);
+        prov.record_all(&[fired(&v, 0, Sign::Insert, q, 1)]);
         assert_eq!(prov.len(), 1);
         prov.clear();
         assert!(prov.is_empty());
@@ -459,15 +503,18 @@ mod tests {
         let v = Vocabulary::new();
         let q = v.pred("q", 1).unwrap();
         let mut prov = Provenance::new();
-        prov.record_all(&[fired(0, Sign::Insert, q, 1), fired(1, Sign::Insert, q, 2)]);
+        prov.record_all(&[
+            fired(&v, 0, Sign::Insert, q, 1),
+            fired(&v, 1, Sign::Insert, q, 2),
+        ]);
         assert_eq!(prov.len(), 2);
         prov.clear();
         assert_eq!(prov.len(), 0);
         // Recording after a clear counts fresh atoms (no stale entries
         // survive the allocation reuse) and supplies historical sides.
-        prov.record_all(&[fired(0, Sign::Insert, q, 1)]);
+        prov.record_all(&[fired(&v, 0, Sign::Insert, q, 1)]);
         assert_eq!(prov.len(), 1);
-        let cs = collect_conflicts(&[fired(2, Sign::Delete, q, 1)], &prov);
+        let cs = collect_conflicts(&v, &[fired(&v, 2, Sign::Delete, q, 1)], &prov);
         assert_eq!(cs.len(), 1);
         assert_eq!(cs[0].ins.len(), 1);
         assert_eq!(cs[0].ins[0].rule, RuleId(0));
@@ -485,11 +532,11 @@ mod tests {
         let act = |rule: u32, val: i64, sign: Sign| FiredAction {
             grounding: Grounding {
                 rule: RuleId(rule),
-                subst: Box::from([Value::Int(val)]),
+                subst: Box::from([v.encode(Value::Int(val))]),
             },
             sign,
             pred: q,
-            tuple: Tuple::empty(),
+            tuple: Box::from([]),
         };
         let n = 512usize;
         let mut fs = Vec::new();
@@ -501,7 +548,7 @@ mod tests {
         prov.record_all(&fs);
         prov.record_all(&fs);
         assert_eq!(prov.len(), 1);
-        let cs = collect_conflicts(&fs, &prov);
+        let cs = collect_conflicts(&v, &fs, &prov);
         assert_eq!(cs.len(), 1);
         assert_eq!(cs[0].ins.len(), n);
         assert_eq!(cs[0].del.len(), n);

@@ -22,7 +22,8 @@ use crate::gamma;
 use crate::grounding::BlockedSet;
 use crate::interp::IInterpretation;
 use crate::metrics::{
-    FinishEvent, MetricsSink, ReplayEvent, RestartEvent, StepEvent, StepOutcome, TaskSpan,
+    FinishEvent, MetricsSink, ReplayEvent, RestartEvent, StepEvent, StepOutcome, StorageCounters,
+    TaskSpan,
 };
 use crate::options::{EngineOptions, EvaluationMode, ResolutionScope};
 use crate::replay::{Replayer, StepLog};
@@ -218,6 +219,14 @@ impl Engine {
         let mut trace = Trace::new();
         let tracing = self.options.trace;
         let metered = sink.is_some();
+        // Storage counters are process-wide monotonic atomics; the finish
+        // event reports the delta over this evaluation. Unmetered runs skip
+        // the reads entirely (the zero-overhead contract).
+        let storage_at_start = if metered {
+            StorageCounters::now()
+        } else {
+            StorageCounters::default()
+        };
         let mut spans: Vec<TaskSpan> = Vec::new();
         // Provenance outlives the runs: `clear` keeps the per-atom maps'
         // allocations for the next run to reuse.
@@ -325,7 +334,7 @@ impl Engine {
                     && (!interp.plus().is_empty()
                         || fired.iter().any(|f| f.sign == park_syntax::Sign::Insert));
                 let conflicts = if may_conflict {
-                    collect_conflicts(&fired, &provenance)
+                    collect_conflicts(working.vocab(), &fired, &provenance)
                 } else {
                     Vec::new()
                 };
@@ -338,13 +347,13 @@ impl Engine {
                     let mut added_count = 0usize;
                     let mut added_display: Vec<String> = Vec::new();
                     for f in &fired {
-                        if interp.insert_marked(f.sign, f.pred, f.tuple.clone()) {
+                        if interp.insert_marked(f.sign, f.pred, &f.tuple) {
                             added_count += 1;
                             if tracing {
                                 added_display.push(format!(
                                     "{}{}",
                                     f.sign,
-                                    working.vocab().display_fact(f.pred, &f.tuple)
+                                    working.vocab().display_row(f.pred, &f.tuple)
                                 ));
                             }
                         }
@@ -523,6 +532,7 @@ impl Engine {
         debug_assert!(final_interp.is_consistent());
         stats.blocked_instances = blocked.len() as u64;
         stats.elapsed = started.elapsed();
+        let database = final_interp.incorp();
         if let Some(s) = sink.as_mut() {
             s.finish(&FinishEvent {
                 program: &working,
@@ -532,9 +542,10 @@ impl Engine {
                 effective_threads,
                 options: &self.options,
                 policy: &policy_name,
+                database: &database,
+                storage: StorageCounters::now().delta_since(storage_at_start),
             });
         }
-        let database = final_interp.incorp();
         Ok(ParkOutcome {
             database,
             interpretation: final_interp,

@@ -11,26 +11,29 @@
 //!
 //! Evaluation follows each rule's compiled plan: binding literals probe the
 //! appropriate interpretation zones through hash indexes, negated literals
-//! run as residual filters. Results are deterministic: rules in id order,
-//! tuples in relation insertion order.
+//! run as residual filters. Everything happens in interned [`Code`] space —
+//! probes, joins, guards, groundings and fired heads; values are only
+//! decoded at the SELECT/trace boundary. Results are deterministic: rules
+//! in id order, rows in relation insertion order.
 //!
-//! ## Parallel evaluation
+//! ## Parallel evaluation: shard ownership
 //!
-//! [`fire_all_par`] partitions the same enumeration into independent tasks —
-//! one per rule, sub-split by contiguous windows of the first plan step's
-//! enumeration domain — and runs them on a scoped thread pool
-//! (`crate::parallel`). Each task reads the immutable pre-step snapshot
-//! and writes a private buffer; buffers are concatenated in task order.
-//! Because a task's output order is lexicographic in per-step enumeration
-//! positions and only the *outermost* (step-0) domain is split into
-//! contiguous position ranges, the concatenation is byte-identical to the
-//! sequential stream.
+//! [`fire_all_par`] decomposes the step into *shard tasks*: rules are
+//! grouped by the predicate their first plan step enumerates, so each
+//! stored relation (shard) is driven end-to-end by exactly one task —
+//! rules that scan the same shard share its cache lines and indexes, and
+//! no shard is enumerated by two tasks at once. Each task evaluates its
+//! rules in id order into per-rule buffers; the buffers are then merged by
+//! rule id, which makes the fired stream byte-identical to the sequential
+//! one. The decomposition depends only on the program — never on the
+//! thread count — so the `eval_tasks` statistic is identical across
+//! sequential and parallel runs.
 
 use crate::compile::{CompiledLiteral, CompiledProgram, CompiledRule, LitKind, TermSlot};
 use crate::grounding::{BlockedSet, Grounding};
 use crate::interp::IInterpretation;
 use crate::validity;
-use park_storage::{ColumnMask, PredId, Tuple, Value};
+use park_storage::{Code, ColumnMask, FxHashMap, PredId};
 use park_syntax::Sign;
 
 /// One firing of a rule grounding: the update its head demands.
@@ -42,8 +45,8 @@ pub struct FiredAction {
     pub sign: Sign,
     /// The head predicate.
     pub pred: PredId,
-    /// The head tuple.
-    pub tuple: Tuple,
+    /// The head row, encoded.
+    pub tuple: Box<[Code]>,
 }
 
 /// Reusable per-task evaluation buffers: the variable bindings and one probe
@@ -51,8 +54,8 @@ pub struct FiredAction {
 /// a task) keeps the innermost join loop free of heap allocation.
 #[derive(Debug, Default)]
 pub(crate) struct Scratch {
-    pub(crate) bindings: Vec<Option<Value>>,
-    keys: Vec<Vec<Value>>,
+    pub(crate) bindings: Vec<Option<Code>>,
+    keys: Vec<Vec<Code>>,
 }
 
 impl Scratch {
@@ -79,7 +82,7 @@ impl Scratch {
         step: usize,
         terms: &[TermSlot],
         mask: ColumnMask,
-    ) -> Vec<Value> {
+    ) -> Vec<Code> {
         let mut key = std::mem::take(&mut self.keys[step]);
         key.clear();
         let bindings = &self.bindings;
@@ -92,110 +95,64 @@ impl Scratch {
 
     /// Return a key buffer taken with [`Scratch::take_key`], keeping its
     /// capacity for the next grounding.
-    pub(crate) fn put_key(&mut self, step: usize, key: Vec<Value>) {
+    pub(crate) fn put_key(&mut self, step: usize, key: Vec<Code>) {
         self.keys[step] = key;
     }
 }
 
-/// A contiguous slice of the first plan step's enumeration domain, in
-/// insertion-position coordinates: a range over the base store (positive
-/// literals only) followed by a range over the mark zone the literal reads.
-/// Concatenating the sub-streams of consecutive windows reproduces the
-/// unsplit enumeration exactly, because relations enumerate probes in
-/// insertion order for both scans and index hits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct Step0Window {
-    /// `[lo, hi)` insertion positions enumerated from `I°`.
-    pub(crate) base: (u32, u32),
-    /// `[lo, hi)` insertion positions enumerated from the mark zone
-    /// (`I⁺` for positive literals and `+` events, `I⁻` for `-` events).
-    pub(crate) zone: (u32, u32),
+/// One unit of parallel Γ evaluation: a group of rules that all enumerate
+/// the same step-0 shard, in rule-id order.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardTask {
+    /// Rule indices, ascending.
+    pub(crate) units: Vec<usize>,
 }
 
-/// Split the step-0 domain `base ++ zone` into at most `chunks` contiguous
-/// [`Step0Window`]s covering it exactly, in order.
-pub(crate) fn split_step0(
-    base: (u32, u32),
-    zone: (u32, u32),
-    chunks: usize,
-    mut push: impl FnMut(Step0Window),
-) {
-    let b = u64::from(base.1.saturating_sub(base.0));
-    let z = u64::from(zone.1.saturating_sub(zone.0));
-    let total = b + z;
-    if total == 0 || chunks <= 1 {
-        push(Step0Window { base, zone });
-        return;
-    }
-    let k = (chunks as u64).min(total);
-    for i in 0..k {
-        let lo = total * i / k;
-        let hi = total * (i + 1) / k;
-        push(Step0Window {
-            base: (base.0 + lo.min(b) as u32, base.0 + hi.min(b) as u32),
-            zone: (
-                zone.0 + lo.saturating_sub(b) as u32,
-                zone.0 + hi.saturating_sub(b) as u32,
-            ),
-        });
+/// The predicate whose shard `rule`'s first plan step enumerates, if any.
+/// Negated step-0 literals (possible only when the rule has no variables to
+/// bind) and empty plans enumerate nothing.
+fn step0_pred(rule: &CompiledRule) -> Option<PredId> {
+    let planned = rule.plan.first()?;
+    match &rule.body[planned.lit] {
+        CompiledLiteral::Atom { kind, atom } if *kind != LitKind::Neg => Some(atom.pred),
+        _ => None,
     }
 }
 
-/// One unit of parallel naive evaluation: a rule, optionally restricted to a
-/// window of its first plan step's enumeration.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct GammaTask {
-    rule: usize,
-    step0: Option<Step0Window>,
-}
-
-/// Decompose `fire_all` into independent tasks, at most `chunks_per_rule`
-/// per rule. Task order (rule id, then window order) is exactly sequential
-/// emission order.
-pub(crate) fn plan_tasks(
-    program: &CompiledProgram,
-    interp: &IInterpretation,
-    chunks_per_rule: usize,
-) -> Vec<GammaTask> {
-    let mut tasks = Vec::new();
-    for (rule_idx, rule) in program.rules().iter().enumerate() {
-        match step0_domain(rule, interp) {
-            Some((base_len, zone_len)) if chunks_per_rule > 1 => {
-                split_step0((0, base_len), (0, zone_len), chunks_per_rule, |w| {
-                    tasks.push(GammaTask {
-                        rule: rule_idx,
-                        step0: Some(w),
-                    });
-                });
-            }
-            _ => tasks.push(GammaTask {
-                rule: rule_idx,
-                step0: None,
-            }),
+/// Group rules into shard tasks: rules sharing a step-0 predicate form one
+/// task (in first-appearance order); rules that enumerate no shard get
+/// singleton tasks. Depends only on the program, so the decomposition — and
+/// the `eval_tasks` count — is identical for every thread configuration.
+pub(crate) fn plan_shards(program: &CompiledProgram) -> Vec<ShardTask> {
+    let mut tasks: Vec<ShardTask> = Vec::new();
+    let mut by_pred: FxHashMap<PredId, usize> = FxHashMap::default();
+    for (i, rule) in program.rules().iter().enumerate() {
+        match step0_pred(rule) {
+            Some(p) => match by_pred.get(&p) {
+                Some(&t) => tasks[t].units.push(i),
+                None => {
+                    by_pred.insert(p, tasks.len());
+                    tasks.push(ShardTask { units: vec![i] });
+                }
+            },
+            None => tasks.push(ShardTask { units: vec![i] }),
         }
     }
     tasks
 }
 
-/// The enumeration domain sizes (base, zone) of `rule`'s first plan step,
-/// or `None` when that step does not enumerate a stored relation (guards,
-/// negation, empty plans).
-fn step0_domain(rule: &CompiledRule, interp: &IInterpretation) -> Option<(u32, u32)> {
-    let planned = rule.plan.first()?;
-    let CompiledLiteral::Atom { kind, atom } = &rule.body[planned.lit] else {
-        return None;
-    };
-    let len = |store: &park_storage::FactStore| {
-        store.relation(atom.pred).map_or(0u32, |r| {
-            u32::try_from(r.len()).expect("relation too large")
-        })
-    };
-    match *kind {
-        LitKind::Neg => None,
-        LitKind::Pos => Some((len(interp.base()), len(interp.plus()))),
-        LitKind::Event(Sign::Insert) => Some((0, len(interp.plus()))),
-        LitKind::Event(Sign::Delete) => Some((0, len(interp.minus()))),
+/// Flatten per-unit buffers (tagged with their unit index) back into the
+/// sequential emission order. Each unit appears at most once.
+pub(crate) fn merge_units(
+    n_units: usize,
+    tagged: Vec<(usize, Vec<FiredAction>)>,
+) -> Vec<FiredAction> {
+    let mut slots: Vec<Vec<FiredAction>> = Vec::new();
+    slots.resize_with(n_units, Vec::new);
+    for (unit, buf) in tagged {
+        slots[unit] = buf;
     }
+    slots.into_iter().flatten().collect()
 }
 
 /// Compute every non-blocked rule grounding whose body is valid in `interp`,
@@ -210,10 +167,11 @@ pub fn fire_all(
 
 /// [`fire_all`] with optional intra-step parallelism. With `threads` `None`
 /// or `Some(1)` this is the sequential enumeration on the calling thread (no
-/// pool is spun up); otherwise the work is split into per-rule, per-window
-/// tasks executed by `crate::parallel::run_ordered`, whose ordered merge
-/// makes the output byte-identical to the sequential stream. Returns the
-/// actions and the number of evaluation tasks executed.
+/// pool is spun up); otherwise the shard tasks run on a scoped pool via
+/// `crate::parallel::run_ordered`, whose per-rule buffer merge makes the
+/// output byte-identical to the sequential stream. Returns the actions and
+/// the number of shard tasks in the decomposition (the same number either
+/// way).
 pub fn fire_all_par(
     program: &CompiledProgram,
     blocked: &BlockedSet,
@@ -226,10 +184,9 @@ pub fn fire_all_par(
 
 /// [`fire_all_par`] with the pool size decoupled from the decomposition and
 /// optional per-task span collection (the fixpoint loop's metered entry
-/// point). `threads` alone determines how the step is split into tasks —
-/// and therefore the `eval_tasks` count and the byte-identical output
-/// stream — while `workers` caps how many threads actually run them (the
-/// host-parallelism clamp).
+/// point). The shard decomposition is fixed by the program; `workers` only
+/// caps how many threads run the tasks (the host-parallelism clamp), and
+/// cannot change any output.
 pub(crate) fn fire_all_metered(
     program: &CompiledProgram,
     blocked: &BlockedSet,
@@ -239,41 +196,31 @@ pub(crate) fn fire_all_metered(
     spans: Option<&mut Vec<crate::metrics::TaskSpan>>,
 ) -> (Vec<FiredAction>, u64) {
     let threads = threads.unwrap_or(1).max(1);
-    if threads == 1 {
-        if let Some(spans) = spans {
-            let rules: Vec<usize> = (0..program.rules().len()).collect();
-            let out = crate::parallel::run_ordered(
-                &rules,
-                1,
-                |rule, scratch, buf| {
-                    fire_rule_in(&program.rules()[*rule], blocked, interp, scratch, None, buf);
-                },
-                Some(spans),
-            );
-            return (out, program.rules().len() as u64);
-        }
+    let tasks = plan_shards(program);
+    let n_tasks = tasks.len() as u64;
+    if threads == 1 && spans.is_none() {
+        // Fast sequential path: same stream, no per-unit buffers.
         let mut out = Vec::new();
         let mut scratch = Scratch::new();
         for rule in program.rules() {
-            fire_rule_in(rule, blocked, interp, &mut scratch, None, &mut out);
+            fire_rule_in(rule, blocked, interp, &mut scratch, &mut out);
         }
-        return (out, program.rules().len() as u64);
+        return (out, n_tasks);
     }
-    let tasks = plan_tasks(
-        program,
-        interp,
-        threads * crate::parallel::CHUNKS_PER_THREAD,
-    );
-    let out = crate::parallel::run_ordered(
+    let workers = if threads == 1 { 1 } else { workers };
+    let tagged = crate::parallel::run_ordered(
         &tasks,
         workers,
-        |task, scratch, buf| {
-            let rule = &program.rules()[task.rule];
-            fire_rule_in(rule, blocked, interp, scratch, task.step0, buf);
+        |task: &ShardTask, scratch, buf: &mut Vec<(usize, Vec<FiredAction>)>| {
+            for &unit in &task.units {
+                let mut ubuf = Vec::new();
+                fire_rule_in(&program.rules()[unit], blocked, interp, scratch, &mut ubuf);
+                buf.push((unit, ubuf));
+            }
         },
         spans,
     );
-    (out, tasks.len() as u64)
+    (merge_units(program.rules().len(), tagged), n_tasks)
 }
 
 /// Compute the firings of a single rule.
@@ -283,21 +230,19 @@ pub fn fire_rule(
     interp: &IInterpretation,
     out: &mut Vec<FiredAction>,
 ) {
-    fire_rule_in(rule, blocked, interp, &mut Scratch::new(), None, out);
+    fire_rule_in(rule, blocked, interp, &mut Scratch::new(), out);
 }
 
-/// [`fire_rule`] against caller-provided scratch, optionally restricted to a
-/// step-0 window.
+/// [`fire_rule`] against caller-provided scratch.
 pub(crate) fn fire_rule_in(
     rule: &CompiledRule,
     blocked: &BlockedSet,
     interp: &IInterpretation,
     scratch: &mut Scratch,
-    step0: Option<Step0Window>,
     out: &mut Vec<FiredAction>,
 ) {
     scratch.prepare(rule);
-    match_step(rule, blocked, interp, 0, scratch, step0, out);
+    match_step(rule, blocked, interp, 0, scratch, out);
 }
 
 fn match_step(
@@ -306,12 +251,11 @@ fn match_step(
     interp: &IInterpretation,
     step: usize,
     scratch: &mut Scratch,
-    step0: Option<Step0Window>,
     out: &mut Vec<FiredAction>,
 ) {
     if step == rule.plan.len() {
         // All body literals satisfied; by safety every variable is bound.
-        let subst: Box<[Value]> = scratch
+        let subst: Box<[Code]> = scratch
             .bindings
             .iter()
             .map(|b| b.expect("safety guarantees total bindings"))
@@ -335,63 +279,34 @@ fn match_step(
     let lit = &rule.body[planned.lit];
     let CompiledLiteral::Atom { kind, atom } = lit else {
         // A comparison guard: all variables bound, pure filter.
-        if lit.eval_guard(&scratch.bindings) {
-            match_step(rule, blocked, interp, step + 1, scratch, step0, out);
+        if lit.eval_guard(interp.vocab(), &scratch.bindings) {
+            match_step(rule, blocked, interp, step + 1, scratch, out);
         }
         return;
     };
-    let window = if step == 0 { step0 } else { None };
     match *kind {
         LitKind::Neg => {
             // All variables bound: a pure validity test.
-            let tuple = instantiate_bound(&atom.terms, &scratch.bindings);
-            if validity::valid_neg(interp, atom.pred, &tuple) {
-                match_step(rule, blocked, interp, step + 1, scratch, step0, out);
+            let row = instantiate_bound(&atom.terms, &scratch.bindings);
+            if validity::valid_neg(interp, atom.pred, &row) {
+                match_step(rule, blocked, interp, step + 1, scratch, out);
             }
         }
         LitKind::Pos => {
             let key = scratch.take_key(step, &atom.terms, planned.mask);
             // a is valid iff a ∈ I° or +a ∈ I⁺; enumerate both zones but
-            // skip I⁺ tuples also present in I° to keep groundings unique.
+            // skip I⁺ rows also present in I° to keep groundings unique.
             if let Some(rel) = interp.base().relation(atom.pred) {
-                let iter = match window {
-                    Some(w) => rel.probe_in_range(planned.mask, &key, w.base.0, w.base.1),
-                    None => rel.probe(planned.mask, &key),
-                };
-                for t in iter {
-                    try_extend(
-                        rule,
-                        blocked,
-                        interp,
-                        step,
-                        scratch,
-                        step0,
-                        out,
-                        &atom.terms,
-                        t,
-                    );
+                for t in rel.probe(planned.mask, &key) {
+                    try_extend(rule, blocked, interp, step, scratch, out, &atom.terms, t);
                 }
             }
             if let Some(rel) = interp.plus().relation(atom.pred) {
-                let iter = match window {
-                    Some(w) => rel.probe_in_range(planned.mask, &key, w.zone.0, w.zone.1),
-                    None => rel.probe(planned.mask, &key),
-                };
-                for t in iter {
-                    if interp.base().contains(atom.pred, t) {
+                for t in rel.probe(planned.mask, &key) {
+                    if interp.base().contains_row(atom.pred, t) {
                         continue;
                     }
-                    try_extend(
-                        rule,
-                        blocked,
-                        interp,
-                        step,
-                        scratch,
-                        step0,
-                        out,
-                        &atom.terms,
-                        t,
-                    );
+                    try_extend(rule, blocked, interp, step, scratch, out, &atom.terms, t);
                 }
             }
             scratch.put_key(step, key);
@@ -403,22 +318,8 @@ fn match_step(
                 Sign::Delete => interp.minus(),
             };
             if let Some(rel) = zone.relation(atom.pred) {
-                let iter = match window {
-                    Some(w) => rel.probe_in_range(planned.mask, &key, w.zone.0, w.zone.1),
-                    None => rel.probe(planned.mask, &key),
-                };
-                for t in iter {
-                    try_extend(
-                        rule,
-                        blocked,
-                        interp,
-                        step,
-                        scratch,
-                        step0,
-                        out,
-                        &atom.terms,
-                        t,
-                    );
+                for t in rel.probe(planned.mask, &key) {
+                    try_extend(rule, blocked, interp, step, scratch, out, &atom.terms, t);
                 }
             }
             scratch.put_key(step, key);
@@ -426,7 +327,7 @@ fn match_step(
     }
 }
 
-/// Attempt to match `tuple` against the literal pattern under the current
+/// Attempt to match `row` against the literal pattern under the current
 /// bindings; on success, recurse into the next plan step and then undo the
 /// new bindings.
 #[allow(clippy::too_many_arguments)]
@@ -436,15 +337,14 @@ fn try_extend(
     interp: &IInterpretation,
     step: usize,
     scratch: &mut Scratch,
-    step0: Option<Step0Window>,
     out: &mut Vec<FiredAction>,
     terms: &[TermSlot],
-    tuple: &Tuple,
+    row: &[Code],
 ) {
     let mut newly_bound: smallvec_inline::InlineVec = smallvec_inline::InlineVec::new();
     let mut ok = true;
     for (pos, slot) in terms.iter().enumerate() {
-        let v = tuple[pos];
+        let v = row[pos];
         match *slot {
             TermSlot::Const(c) => {
                 if c != v {
@@ -467,7 +367,7 @@ fn try_extend(
         }
     }
     if ok {
-        match_step(rule, blocked, interp, step + 1, scratch, step0, out);
+        match_step(rule, blocked, interp, step + 1, scratch, out);
     }
     for s in newly_bound.iter() {
         scratch.bindings[*s as usize] = None;
@@ -475,7 +375,7 @@ fn try_extend(
 }
 
 /// Instantiate a fully-bound pattern.
-fn instantiate_bound(terms: &[TermSlot], bindings: &[Option<Value>]) -> Tuple {
+fn instantiate_bound(terms: &[TermSlot], bindings: &[Option<Code>]) -> Box<[Code]> {
     terms
         .iter()
         .map(|t| match *t {
@@ -523,7 +423,7 @@ mod smallvec_inline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use park_storage::{FactStore, UpdateSet, Vocabulary};
+    use park_storage::{FactStore, Tuple, UpdateSet, Value, Vocabulary};
     use park_syntax::parse_program;
     use std::sync::Arc;
 
@@ -535,11 +435,15 @@ mod tests {
         (program, IInterpretation::from_database(db))
     }
 
+    fn row1(v: &Vocabulary, s: &str) -> [Code; 1] {
+        [v.encode(Value::Sym(v.sym(s)))]
+    }
+
     fn fired_display(program: &CompiledProgram, fired: &[FiredAction]) -> Vec<String> {
         let v = program.vocab();
         let mut out: Vec<String> = fired
             .iter()
-            .map(|f| format!("{}{}", f.sign, v.display_fact(f.pred, &f.tuple)))
+            .map(|f| format!("{}{}", f.sign, v.display_row(f.pred, &f.tuple)))
             .collect();
         out.sort();
         out
@@ -584,11 +488,7 @@ mod tests {
         let (p, mut i) = setup("emp(X), !active(X) -> -payroll(X).", "emp(a). emp(b).");
         let v = Arc::clone(p.vocab());
         let active = v.pred("active", 1).unwrap();
-        i.insert_marked(
-            Sign::Insert,
-            active,
-            Tuple::new(vec![Value::Sym(v.sym("a"))]),
-        );
+        i.insert_marked(Sign::Insert, active, &row1(&v, "a"));
         let fired = fire_all(&p, &BlockedSet::new(), &i);
         assert_eq!(fired_display(&p, &fired), vec!["-payroll(b)"]);
     }
@@ -599,11 +499,7 @@ mod tests {
         let v = Arc::clone(p.vocab());
         let active = v.lookup_pred("active").unwrap();
         // -active(a) makes !active(a) valid even though active(a) ∈ I°.
-        i.insert_marked(
-            Sign::Delete,
-            active,
-            Tuple::new(vec![Value::Sym(v.sym("a"))]),
-        );
+        i.insert_marked(Sign::Delete, active, &row1(&v, "a"));
         let fired = fire_all(&p, &BlockedSet::new(), &i);
         assert_eq!(fired_display(&p, &fired), vec!["-payroll(a)"]);
     }
@@ -614,8 +510,8 @@ mod tests {
         let v = Arc::clone(p.vocab());
         let pp = v.lookup_pred("p").unwrap();
         // +p(a) duplicates the base fact; +p(b) is new.
-        i.insert_marked(Sign::Insert, pp, Tuple::new(vec![Value::Sym(v.sym("a"))]));
-        i.insert_marked(Sign::Insert, pp, Tuple::new(vec![Value::Sym(v.sym("b"))]));
+        i.insert_marked(Sign::Insert, pp, &row1(&v, "a"));
+        i.insert_marked(Sign::Insert, pp, &row1(&v, "b"));
         let fired = fire_all(&p, &BlockedSet::new(), &i);
         assert_eq!(fired_display(&p, &fired), vec!["+q(a)", "+q(b)"]);
         assert_eq!(fired.len(), 2, "no duplicate groundings");
@@ -628,7 +524,7 @@ mod tests {
         assert!(fire_all(&p, &BlockedSet::new(), &i).is_empty());
         let v = Arc::clone(p.vocab());
         let r = v.lookup_pred("r").unwrap();
-        i.insert_marked(Sign::Insert, r, Tuple::new(vec![Value::Sym(v.sym("b"))]));
+        i.insert_marked(Sign::Insert, r, &row1(&v, "b"));
         let fired = fire_all(&p, &BlockedSet::new(), &i);
         assert_eq!(fired_display(&p, &fired), vec!["-s(b)"]);
     }
@@ -638,7 +534,7 @@ mod tests {
         let (p, mut i) = setup("-s(X) -> +log(X).", "s(a).");
         let v = Arc::clone(p.vocab());
         let s = v.lookup_pred("s").unwrap();
-        i.insert_marked(Sign::Delete, s, Tuple::new(vec![Value::Sym(v.sym("a"))]));
+        i.insert_marked(Sign::Delete, s, &row1(&v, "a"));
         let fired = fire_all(&p, &BlockedSet::new(), &i);
         assert_eq!(fired_display(&p, &fired), vec!["+log(a)"]);
     }
@@ -650,7 +546,7 @@ mod tests {
         let mut blocked = BlockedSet::new();
         blocked.insert(Grounding {
             rule: crate::compile::RuleId(0),
-            subst: Box::from([Value::Sym(v.sym("a"))]),
+            subst: Box::from(row1(v, "a")),
         });
         let fired = fire_all(&p, &blocked, &i);
         assert_eq!(fired_display(&p, &fired), vec!["+q(b)"]);
@@ -756,10 +652,10 @@ mod tests {
         );
         let v = Arc::clone(p.vocab());
         let restock = v.lookup_pred("restock").unwrap();
-        let mk = |s: &str, q: i64| Tuple::new(vec![Value::Sym(v.sym(s)), Value::Int(q)]);
-        i.insert_marked(Sign::Insert, restock, mk("a", 5));
-        i.insert_marked(Sign::Insert, restock, mk("b", 5)); // discontinued
-        i.insert_marked(Sign::Insert, restock, mk("c", 0)); // zero quantity
+        let mk = |s: &str, q: i64| [v.encode(Value::Sym(v.sym(s))), v.encode(Value::Int(q))];
+        i.insert_marked(Sign::Insert, restock, &mk("a", 5));
+        i.insert_marked(Sign::Insert, restock, &mk("b", 5)); // discontinued
+        i.insert_marked(Sign::Insert, restock, &mk("c", 0)); // zero quantity
         let fired = fire_all(&p, &BlockedSet::new(), &i);
         assert_eq!(fired_display(&p, &fired), vec!["+order(a, 5)"]);
     }
@@ -770,5 +666,44 @@ mod tests {
         let a = fire_all(&p, &BlockedSet::new(), &i);
         let b = fire_all(&p, &BlockedSet::new(), &i);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shard_tasks_group_rules_by_step0_predicate() {
+        let (p, _) = setup(
+            "r1: p(X) -> +q(X).
+             r2: s(X) -> +t(X).
+             r3: p(X) -> -t(X).
+             r4: -> +u.",
+            "p(a).",
+        );
+        let tasks = plan_shards(&p);
+        // p-shard owns r1 and r3; s-shard owns r2; the bodyless r4 is its
+        // own task.
+        assert_eq!(tasks.len(), 3);
+        assert_eq!(tasks[0].units, vec![0, 2]);
+        assert_eq!(tasks[1].units, vec![1]);
+        assert_eq!(tasks[2].units, vec![3]);
+    }
+
+    #[test]
+    fn parallel_stream_is_byte_identical_to_sequential() {
+        let (p, i) = setup(
+            "r1: e(X, Y), e(Y, Z) -> +tc(X, Z).
+             r2: e(X, Y) -> +tc(X, Y).
+             r3: p(X), p(Y) -> +q(X, Y).",
+            "e(a, b). e(b, c). e(c, d). e(d, a). p(a). p(b). p(c).",
+        );
+        let (seq, seq_tasks) = fire_all_par(&p, &BlockedSet::new(), &i, Some(1));
+        for threads in [2, 3, 8] {
+            let (par, par_tasks) = fire_all_par(&p, &BlockedSet::new(), &i, Some(threads));
+            assert_eq!(par, seq, "threads={threads}");
+            assert_eq!(
+                par_tasks, seq_tasks,
+                "task count must be thread-independent"
+            );
+        }
+        // e-shard (r1, r2) and p-shard (r3).
+        assert_eq!(seq_tasks, 2);
     }
 }

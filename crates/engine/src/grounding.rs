@@ -6,18 +6,22 @@
 //! set `B` and may not derive updates for the rest of the computation.
 
 use crate::compile::{CompiledProgram, RuleId};
-use park_storage::Value;
-use std::collections::HashSet;
+use park_storage::{Code, FxHashSet};
 use std::fmt;
 
 /// A ground rule instance `(r, θ)`: rule id plus a total assignment of the
 /// rule's variables (indexed by compilation-assigned slots).
+///
+/// Substitution values are interned [`Code`]s — the engine blocks, hashes
+/// and compares groundings without ever decoding; rendering for traces
+/// decodes through the program's vocabulary.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Grounding {
     /// Which rule.
     pub rule: RuleId,
-    /// The substitution: `subst[i]` is the value of variable slot `i`.
-    pub subst: Box<[Value]>,
+    /// The substitution: `subst[i]` is the encoded value of variable slot
+    /// `i`.
+    pub subst: Box<[Code]>,
 }
 
 impl Grounding {
@@ -27,13 +31,14 @@ impl Grounding {
         let mut s = format!("({}", rule.display_name());
         if !self.subst.is_empty() {
             s.push_str(", [");
-            for (i, v) in self.subst.iter().enumerate() {
+            for (i, &c) in self.subst.iter().enumerate() {
                 if i > 0 {
                     s.push_str(", ");
                 }
                 s.push_str(&rule.var_name(i));
                 s.push_str(" <- ");
-                s.push_str(&program.vocab().constant(*v).to_string());
+                let v = program.vocab().decode(c);
+                s.push_str(&program.vocab().constant(v).to_string());
             }
             s.push(']');
         }
@@ -45,7 +50,7 @@ impl Grounding {
 /// The set `B` of blocked rule instances.
 #[derive(Debug, Clone, Default)]
 pub struct BlockedSet {
-    set: HashSet<Grounding>,
+    set: FxHashSet<Grounding>,
 }
 
 impl BlockedSet {
@@ -100,7 +105,10 @@ mod tests {
     fn g(rule: u32, vals: &[i64]) -> Grounding {
         Grounding {
             rule: RuleId(rule),
-            subst: vals.iter().map(|&v| Value::Int(v)).collect(),
+            subst: vals
+                .iter()
+                .map(|&v| Code::from_small_int(v).unwrap())
+                .collect(),
         }
     }
 

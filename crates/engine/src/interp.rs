@@ -11,7 +11,7 @@
 //! lets the Δ operator restart "from `I°`".
 
 use crate::validity::MarkZone;
-use park_storage::{FactStore, PredId, Tuple, Vocabulary};
+use park_storage::{Code, FactStore, PredId, Tuple, Vocabulary};
 use park_syntax::Sign;
 use std::fmt;
 use std::sync::Arc;
@@ -73,21 +73,22 @@ impl IInterpretation {
         }
     }
 
-    /// Add a marked atom `+a` or `-a`. Returns `true` if it was new.
-    pub fn insert_marked(&mut self, sign: Sign, pred: PredId, tuple: Tuple) -> bool {
+    /// Add a marked atom `+a` or `-a` by its encoded row. Returns `true` if
+    /// it was new. Arity is checked at compile time, so rows arrive
+    /// pre-validated.
+    pub fn insert_marked(&mut self, sign: Sign, pred: PredId, row: &[Code]) -> bool {
         let zone = match sign {
             Sign::Insert => &mut self.plus,
             Sign::Delete => &mut self.minus,
         };
-        zone.insert(pred, tuple)
-            .expect("arity checked at compile time")
+        zone.insert_row(pred, row)
     }
 
-    /// Membership of a marked atom.
-    pub fn contains_marked(&self, sign: Sign, pred: PredId, tuple: &Tuple) -> bool {
+    /// Membership of a marked atom, by encoded row.
+    pub fn contains_marked(&self, sign: Sign, pred: PredId, row: &[Code]) -> bool {
         match sign {
-            Sign::Insert => self.plus.contains(pred, tuple),
-            Sign::Delete => self.minus.contains(pred, tuple),
+            Sign::Insert => self.plus.contains_row(pred, row),
+            Sign::Delete => self.minus.contains_row(pred, row),
         }
     }
 
@@ -119,10 +120,11 @@ impl IInterpretation {
         } else {
             (&self.minus, &self.plus)
         };
+        let vocab = self.vocab();
         small
-            .iter()
-            .find(|(p, t)| other.contains(*p, t))
-            .map(|(p, t)| (p, t.clone()))
+            .iter_rows()
+            .find(|(p, r)| other.contains_row(*p, r))
+            .map(|(p, r)| (p, vocab.decode_row(r)))
     }
 
     /// All atoms marked inconsistently (in both `I⁺` and `I⁻`).
@@ -132,10 +134,11 @@ impl IInterpretation {
         } else {
             (&self.minus, &self.plus)
         };
+        let vocab = self.vocab();
         small
-            .iter()
-            .filter(|(p, t)| other.contains(*p, t))
-            .map(|(p, t)| (p, t.clone()))
+            .iter_rows()
+            .filter(|(p, r)| other.contains_row(*p, r))
+            .map(|(p, r)| (p, vocab.decode_row(r)))
             .collect()
     }
 
@@ -146,13 +149,14 @@ impl IInterpretation {
     /// makes the overlap cases deterministic regardless (`-` wins over an
     /// unmarked atom, `+` of an absent atom adds it).
     pub fn incorp(&self) -> FactStore {
+        // The clone is copy-on-write: only shards the marked zones touch
+        // are ever copied.
         let mut out = self.base.clone();
-        for (p, t) in self.plus.iter() {
-            out.insert(p, t.clone())
-                .expect("arity consistent by construction");
+        for (p, r) in self.plus.iter_rows() {
+            out.insert_row(p, r);
         }
-        for (p, t) in self.minus.iter() {
-            out.remove(p, t);
+        for (p, r) in self.minus.iter_rows() {
+            out.remove_row(p, r);
         }
         out
     }
@@ -161,16 +165,16 @@ impl IInterpretation {
     pub fn display(&self) -> String {
         let vocab = self.vocab();
         let mut parts: Vec<String> = Vec::with_capacity(self.len());
-        parts.extend(self.base.iter().map(|(p, t)| vocab.display_fact(p, t)));
+        parts.extend(self.base.iter_rows().map(|(p, r)| vocab.display_row(p, r)));
         parts.extend(
             self.plus
-                .iter()
-                .map(|(p, t)| format!("+{}", vocab.display_fact(p, t))),
+                .iter_rows()
+                .map(|(p, r)| format!("+{}", vocab.display_row(p, r))),
         );
         parts.extend(
             self.minus
-                .iter()
-                .map(|(p, t)| format!("-{}", vocab.display_fact(p, t))),
+                .iter_rows()
+                .map(|(p, r)| format!("-{}", vocab.display_row(p, r))),
         );
         parts.sort_by(|a, b| {
             // Sort by the atom text, ignoring the mark, so `q` and `+q`
@@ -210,6 +214,10 @@ mod tests {
         Tuple::new(vec![Value::Sym(v.sym(s))])
     }
 
+    fn r1(v: &Vocabulary, s: &str) -> [Code; 1] {
+        [v.encode(Value::Sym(v.sym(s)))]
+    }
+
     #[test]
     fn fresh_interpretation_is_unmarked_database() {
         let (_, i, _) = setup();
@@ -222,19 +230,19 @@ mod tests {
     #[test]
     fn marked_insertion_and_membership() {
         let (v, mut i, q) = setup();
-        assert!(i.insert_marked(Sign::Insert, q, t1(&v, "b")));
-        assert!(!i.insert_marked(Sign::Insert, q, t1(&v, "b")));
-        assert!(i.contains_marked(Sign::Insert, q, &t1(&v, "b")));
-        assert!(!i.contains_marked(Sign::Delete, q, &t1(&v, "b")));
+        assert!(i.insert_marked(Sign::Insert, q, &r1(&v, "b")));
+        assert!(!i.insert_marked(Sign::Insert, q, &r1(&v, "b")));
+        assert!(i.contains_marked(Sign::Insert, q, &r1(&v, "b")));
+        assert!(!i.contains_marked(Sign::Delete, q, &r1(&v, "b")));
         assert_eq!(i.marked_len(), 1);
     }
 
     #[test]
     fn inconsistency_detection() {
         let (v, mut i, q) = setup();
-        i.insert_marked(Sign::Insert, q, t1(&v, "b"));
+        i.insert_marked(Sign::Insert, q, &r1(&v, "b"));
         assert!(i.is_consistent());
-        i.insert_marked(Sign::Delete, q, t1(&v, "b"));
+        i.insert_marked(Sign::Delete, q, &r1(&v, "b"));
         assert!(!i.is_consistent());
         let (p, t) = i.first_inconsistency().unwrap();
         assert_eq!(p, q);
@@ -246,8 +254,8 @@ mod tests {
     fn incorp_applies_marks() {
         // I = {p, q(a), +q(b), -q(a)}  =>  incorp = {p, q(b)}
         let (v, mut i, q) = setup();
-        i.insert_marked(Sign::Insert, q, t1(&v, "b"));
-        i.insert_marked(Sign::Delete, q, t1(&v, "a"));
+        i.insert_marked(Sign::Insert, q, &r1(&v, "b"));
+        i.insert_marked(Sign::Delete, q, &r1(&v, "a"));
         let out = i.incorp();
         assert_eq!(out.sorted_display(), vec!["p", "q(b)"]);
     }
@@ -261,29 +269,29 @@ mod tests {
     #[test]
     fn incorp_delete_of_absent_atom_is_noop() {
         let (v, mut i, q) = setup();
-        i.insert_marked(Sign::Delete, q, t1(&v, "zz"));
+        i.insert_marked(Sign::Delete, q, &r1(&v, "zz"));
         assert_eq!(i.incorp().sorted_display(), vec!["p", "q(a)"]);
     }
 
     #[test]
     fn incorp_insert_of_present_atom_is_noop() {
         let (v, mut i, q) = setup();
-        i.insert_marked(Sign::Insert, q, t1(&v, "a"));
+        i.insert_marked(Sign::Insert, q, &r1(&v, "a"));
         assert_eq!(i.incorp().sorted_display(), vec!["p", "q(a)"]);
     }
 
     #[test]
     fn display_uses_paper_notation() {
         let (v, mut i, q) = setup();
-        i.insert_marked(Sign::Insert, q, t1(&v, "b"));
-        i.insert_marked(Sign::Delete, q, t1(&v, "c"));
+        i.insert_marked(Sign::Insert, q, &r1(&v, "b"));
+        i.insert_marked(Sign::Delete, q, &r1(&v, "c"));
         assert_eq!(i.display(), "{p, q(a), +q(b), -q(c)}");
     }
 
     #[test]
     fn display_groups_marks_with_their_atom() {
         let (v, mut i, q) = setup();
-        i.insert_marked(Sign::Delete, q, t1(&v, "a"));
+        i.insert_marked(Sign::Delete, q, &r1(&v, "a"));
         // -q(a) sorts right after q(a), not after every unmarked atom.
         assert_eq!(i.display(), "{p, q(a), -q(a)}");
     }

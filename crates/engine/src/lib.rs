@@ -72,7 +72,7 @@ pub use grounding::{BlockedSet, Grounding};
 pub use interp::IInterpretation;
 pub use metrics::{
     FinishEvent, JsonMetrics, MetricsSink, NoopMetrics, ReplayEvent, RestartEvent, StepEvent,
-    StepOutcome, TaskSpan,
+    StepOutcome, StorageCounters, TaskSpan,
 };
 pub use options::{EngineOptions, EvaluationMode, ResolutionScope};
 pub use query::Query;

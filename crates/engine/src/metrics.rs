@@ -123,6 +123,56 @@ pub struct ReplayEvent {
     pub divergence_step: Option<u64>,
 }
 
+/// A reading of the storage layer's process-wide counters: copy-on-write
+/// shard clones ([`park_storage::cow_shard_clones`]) and checkpoint
+/// captures / shard reuses (`park_storage::snapshot`).
+///
+/// The atomics are monotonic and shared by every database in the process,
+/// so one absolute reading says nothing about one run — the engine samples
+/// them when evaluation starts and reports the **delta** in
+/// [`FinishEvent::storage`]. Like `elapsed`, these are execution-path
+/// bookkeeping, not semantics: they are deliberately **not** part of
+/// [`StatCounters`] and never enter the totals cross-check. (Under a
+/// multi-threaded test harness the deltas can also include concurrent
+/// runs' increments, which is another reason they stay out.)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageCounters {
+    /// Relation shards cloned by copy-on-write mutation (`Arc::make_mut`
+    /// found the shard shared and had to copy it).
+    pub cow_shard_clones: u64,
+    /// `Checkpoint::capture` calls.
+    pub snapshot_captures: u64,
+    /// Shards shared by reference (not copied) across capture/restore.
+    pub snapshot_shard_reuses: u64,
+}
+
+impl StorageCounters {
+    /// Read the current process-wide values.
+    pub fn now() -> StorageCounters {
+        StorageCounters {
+            cow_shard_clones: park_storage::cow_shard_clones(),
+            snapshot_captures: park_storage::snapshot_captures(),
+            snapshot_shard_reuses: park_storage::snapshot_shard_reuses(),
+        }
+    }
+
+    /// The counter increments since `earlier` (saturating, so a swapped
+    /// argument order degrades to zeros rather than nonsense).
+    pub fn delta_since(self, earlier: StorageCounters) -> StorageCounters {
+        StorageCounters {
+            cow_shard_clones: self
+                .cow_shard_clones
+                .saturating_sub(earlier.cow_shard_clones),
+            snapshot_captures: self
+                .snapshot_captures
+                .saturating_sub(earlier.snapshot_captures),
+            snapshot_shard_reuses: self
+                .snapshot_shard_reuses
+                .saturating_sub(earlier.snapshot_shard_reuses),
+        }
+    }
+}
+
 /// End-of-evaluation summary, reported exactly once per successful run.
 #[derive(Debug)]
 pub struct FinishEvent<'a> {
@@ -142,6 +192,12 @@ pub struct FinishEvent<'a> {
     pub options: &'a EngineOptions,
     /// The `SELECT` policy name.
     pub policy: &'a str,
+    /// The incorporated final database — lets sinks report fact count,
+    /// encoded size, and bytes/fact.
+    pub database: &'a park_storage::FactStore,
+    /// Storage-layer counter increments over this evaluation (see
+    /// [`StorageCounters`]).
+    pub storage: StorageCounters,
 }
 
 /// A consumer of evaluation events.
@@ -209,6 +265,9 @@ struct FinishRecord {
     requested_threads: usize,
     effective_threads: usize,
     elapsed_ns: u64,
+    facts: u64,
+    encoded_bytes: u64,
+    storage: StorageCounters,
     rules: Vec<(String, u64, u64)>,
     blocked: Vec<String>,
 }
@@ -396,6 +455,28 @@ impl JsonMetrics {
                     ),
                 ]),
             ));
+            // Storage-layer footprint and COW/snapshot accounting. Like
+            // `elapsed_ns`, none of this enters `totals` — it describes the
+            // execution path, not the semantics.
+            let bytes_per_fact = if f.facts > 0 {
+                Json::Float(f.encoded_bytes as f64 / f.facts as f64)
+            } else {
+                Json::Null
+            };
+            members.push((
+                "storage".into(),
+                Json::object([
+                    ("facts", Json::from(f.facts)),
+                    ("encoded_bytes", Json::from(f.encoded_bytes)),
+                    ("bytes_per_fact", bytes_per_fact),
+                    ("cow_shard_clones", Json::from(f.storage.cow_shard_clones)),
+                    ("snapshot_captures", Json::from(f.storage.snapshot_captures)),
+                    (
+                        "snapshot_shard_reuses",
+                        Json::from(f.storage.snapshot_shard_reuses),
+                    ),
+                ]),
+            ));
         }
         members.push(("totals".into(), totals_json));
         if let Some(f) = &self.finish {
@@ -492,6 +573,9 @@ impl MetricsSink for JsonMetrics {
             requested_threads: ev.requested_threads,
             effective_threads: ev.effective_threads,
             elapsed_ns: u64::try_from(ev.stats.elapsed.as_nanos()).unwrap_or(u64::MAX),
+            facts: ev.database.len() as u64,
+            encoded_bytes: ev.database.encoded_bytes() as u64,
+            storage: ev.storage,
             rules,
             blocked: ev.blocked.display(ev.program),
         });
@@ -582,6 +666,53 @@ mod tests {
         assert_eq!(sink.totals().replayed_steps, 4);
         assert_eq!(sink.totals().replay_divergence_step, Some(3));
         assert_eq!(sink.replays.len(), 2);
+    }
+
+    #[test]
+    fn document_reports_storage_footprint() {
+        let (sink, _) = metered("p -> +q. q -> +r.", "p.", EngineOptions::default());
+        let doc = sink.to_json();
+        let storage = doc.get("storage").expect("storage section");
+        // Final database: p, q, r — three nullary facts, zero encoded
+        // payload bytes (arity 0), so bytes_per_fact is 0.0.
+        assert_eq!(storage.get("facts").and_then(Json::as_i64), Some(3));
+        assert_eq!(storage.get("encoded_bytes").and_then(Json::as_i64), Some(0));
+        assert!(storage
+            .get("cow_shard_clones")
+            .and_then(Json::as_i64)
+            .is_some());
+        assert!(storage
+            .get("snapshot_captures")
+            .and_then(Json::as_i64)
+            .is_some());
+        assert!(storage
+            .get("snapshot_shard_reuses")
+            .and_then(Json::as_i64)
+            .is_some());
+    }
+
+    #[test]
+    fn storage_counter_deltas_saturate() {
+        let a = StorageCounters {
+            cow_shard_clones: 5,
+            snapshot_captures: 2,
+            snapshot_shard_reuses: 9,
+        };
+        let b = StorageCounters {
+            cow_shard_clones: 7,
+            snapshot_captures: 2,
+            snapshot_shard_reuses: 12,
+        };
+        assert_eq!(
+            b.delta_since(a),
+            StorageCounters {
+                cow_shard_clones: 2,
+                snapshot_captures: 0,
+                snapshot_shard_reuses: 3,
+            }
+        );
+        // Swapped order degrades to zeros, not wrap-around.
+        assert_eq!(a.delta_since(b), StorageCounters::default());
     }
 
     #[test]

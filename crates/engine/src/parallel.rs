@@ -1,21 +1,23 @@
 //! Deterministic ordered-merge parallel executor.
 //!
 //! The evaluators ([`crate::gamma`], [`crate::seminaive`]) decompose one Γ
-//! step into a fixed, sequentially-ordered list of independent *tasks* over
-//! an immutable pre-step snapshot. This module runs those tasks on a small
-//! pool of scoped threads, each task firing into its own buffer, and then
-//! concatenates the buffers in task-index order. Because the task list is
-//! exactly the order the sequential evaluator would have enumerated, the
-//! merged [`FiredAction`] stream is byte-identical to the sequential one —
-//! marks, conflict detection order, SELECT inputs, and traces do not change.
+//! step into a fixed, sequentially-ordered list of independent *shard
+//! tasks* over an immutable pre-step snapshot — each task owns the rules
+//! (or semi-naive units) that enumerate one predicate's relation shard.
+//! This module runs those tasks on a small pool of scoped threads, each
+//! task firing into its own buffer, and then concatenates the buffers in
+//! task-index order. The evaluators tag their output with unit indices and
+//! re-merge per unit, so the final [`FiredAction`] stream is byte-identical
+//! to the sequential one — marks, conflict detection order, SELECT inputs,
+//! and traces do not change.
 //!
 //! Threads are spawned per call with [`std::thread::scope`]; no pool lives
 //! beyond a Γ step, and nothing is spawned at all when parallelism is off
 //! or there is at most one task.
 //!
 //! The *pool size* (`workers`) is decoupled from the *task decomposition*:
-//! the evaluators split work according to the requested thread count, while
-//! the fixpoint loop clamps the number of threads actually spawned to
+//! the shard decomposition depends only on the program, while the fixpoint
+//! loop clamps the number of threads actually spawned to
 //! [`host_parallelism`]. Oversubscribing a host (e.g. 4 workers on 1 core)
 //! only adds scheduling overhead — `BENCH_eval.json` measured threads=4 at
 //! 1.45× *slower* than threads=1 on a 1-core host — and since the merge
@@ -26,13 +28,6 @@ use crate::metrics::TaskSpan;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
-
-/// How many step-0 chunks each worker thread should get, on average.
-///
-/// A little over-decomposition (2 chunks per thread) smooths out load
-/// imbalance between chunks without fragmenting the probe windows enough
-/// to matter.
-pub(crate) const CHUNKS_PER_THREAD: usize = 2;
 
 /// The host's available parallelism, cached after the first query.
 /// Falls back to 1 when the host refuses to say.
@@ -45,6 +40,26 @@ pub(crate) fn host_parallelism() -> usize {
     })
 }
 
+/// How many firings a task-output item represents, for [`TaskSpan`]
+/// accounting. A bare action counts 1; a tagged per-unit buffer counts its
+/// length.
+pub(crate) trait SpanWeight {
+    /// Number of fired actions this item carries.
+    fn weight(&self) -> usize;
+}
+
+impl SpanWeight for FiredAction {
+    fn weight(&self) -> usize {
+        1
+    }
+}
+
+impl SpanWeight for (usize, Vec<FiredAction>) {
+    fn weight(&self) -> usize {
+        self.1.len()
+    }
+}
+
 /// Run `run` over every task, in parallel on up to `workers` threads, and
 /// return the task buffers concatenated in task-index order. When `spans`
 /// is supplied, one [`TaskSpan`] per task (fired count + wall-clock nanos)
@@ -54,15 +69,16 @@ pub(crate) fn host_parallelism() -> usize {
 /// so per-grounding allocations are amortised exactly as in the sequential
 /// path. Falls back to a plain sequential loop when the task count or the
 /// worker count makes spawning pointless.
-pub(crate) fn run_ordered<T, F>(
+pub(crate) fn run_ordered<T, R, F>(
     tasks: &[T],
     workers: usize,
     run: F,
     spans: Option<&mut Vec<TaskSpan>>,
-) -> Vec<FiredAction>
+) -> Vec<R>
 where
     T: Sync,
-    F: Fn(&T, &mut Scratch, &mut Vec<FiredAction>) + Sync,
+    R: Send + SpanWeight,
+    F: Fn(&T, &mut Scratch, &mut Vec<R>) + Sync,
 {
     let timed = spans.is_some();
     let workers = workers.min(tasks.len());
@@ -76,7 +92,7 @@ where
                 run(task, &mut scratch, &mut out);
                 spans.push(TaskSpan {
                     index: idx,
-                    fired: out.len() - before,
+                    fired: out[before..].iter().map(SpanWeight::weight).sum(),
                     nanos: started.elapsed().as_nanos() as u64,
                 });
             }
@@ -89,8 +105,8 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let mut buffers: Vec<Vec<FiredAction>> = Vec::with_capacity(tasks.len());
-    let mut collected: Vec<(usize, Vec<FiredAction>, u64)> = Vec::with_capacity(tasks.len());
+    let mut buffers: Vec<Vec<R>> = Vec::with_capacity(tasks.len());
+    let mut collected: Vec<(usize, Vec<R>, u64)> = Vec::with_capacity(tasks.len());
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
@@ -98,7 +114,7 @@ where
             let run = &run;
             handles.push(scope.spawn(move || {
                 let mut scratch = Scratch::new();
-                let mut done: Vec<(usize, Vec<FiredAction>, u64)> = Vec::new();
+                let mut done: Vec<(usize, Vec<R>, u64)> = Vec::new();
                 loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     if idx >= tasks.len() {
@@ -121,7 +137,7 @@ where
     if let Some(spans) = spans {
         spans.extend(collected.iter().map(|(idx, buf, nanos)| TaskSpan {
             index: *idx,
-            fired: buf.len(),
+            fired: buf.iter().map(SpanWeight::weight).sum(),
             nanos: *nanos,
         }));
     }
@@ -132,20 +148,21 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use park_storage::Value;
+    use park_storage::Code;
 
     fn action(rule: usize, tag: i64) -> FiredAction {
         use crate::compile::RuleId;
         use crate::grounding::Grounding;
         use park_syntax::Sign;
+        let c = Code::from_small_int(tag).expect("test tags are small");
         FiredAction {
             grounding: Grounding {
                 rule: RuleId(rule as u32),
-                subst: vec![Value::Int(tag)].into_boxed_slice(),
+                subst: Box::from([c]),
             },
             sign: Sign::Insert,
             pred: park_storage::PredId(0),
-            tuple: [Value::Int(tag)].into_iter().collect(),
+            tuple: Box::from([c]),
         }
     }
 
@@ -197,6 +214,25 @@ mod tests {
                 assert_eq!(span.fired, i % 3);
             }
             assert_eq!(got.len(), spans.iter().map(|s| s.fired).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn tagged_unit_buffers_weigh_their_contents() {
+        // Shard tasks emit (unit, buffer) pairs; spans must count firings,
+        // not units.
+        let tasks: Vec<usize> = (0..4).collect();
+        let run = |t: &usize, _s: &mut Scratch, out: &mut Vec<(usize, Vec<FiredAction>)>| {
+            let buf: Vec<FiredAction> = (0..*t as i64).map(|k| action(*t, k)).collect();
+            out.push((*t, buf));
+        };
+        for threads in [1, 3] {
+            let mut spans = Vec::new();
+            let got = run_ordered(&tasks, threads, run, Some(&mut spans));
+            assert_eq!(got.len(), tasks.len());
+            for (i, span) in spans.iter().enumerate() {
+                assert_eq!(span.fired, i, "threads={threads}");
+            }
         }
     }
 

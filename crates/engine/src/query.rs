@@ -92,7 +92,10 @@ impl Query {
     pub fn run(&self, interp: &mut IInterpretation) -> Vec<Tuple> {
         self.ensure_indexes(interp);
         let fired = gamma::fire_all(&self.program, &BlockedSet::new(), interp);
-        let mut rows: Vec<Tuple> = fired.into_iter().map(|f| f.tuple).collect();
+        // Decode at the answer boundary: rows sort and render in Value
+        // order, independent of intern-code allocation order.
+        let vocab = self.program.vocab();
+        let mut rows: Vec<Tuple> = fired.iter().map(|f| vocab.decode_row(&f.tuple)).collect();
         rows.sort();
         rows.dedup();
         rows
@@ -196,11 +199,8 @@ mod tests {
         let (vocab, store) = db("s(a).");
         let mut interp = IInterpretation::from_database(store.clone());
         let s = vocab.lookup_pred("s").unwrap();
-        interp.insert_marked(
-            Sign::Delete,
-            s,
-            Tuple::new(vec![Value::Sym(vocab.sym("a"))]),
-        );
+        let row = [vocab.encode(Value::Sym(vocab.sym("a")))];
+        interp.insert_marked(Sign::Delete, s, &row);
         let q = Query::parse(&vocab, "-s(X)").unwrap();
         assert_eq!(q.render_rows(&q.run(&mut interp)), vec!["X = a"]);
         // Against the plain database the event never matches.

@@ -40,7 +40,7 @@
 
 use crate::analysis::ConflictPair;
 use crate::compile::{CompiledLiteral, CompiledProgram, CompiledRule, LitKind, RuleId, TermSlot};
-use park_storage::Value;
+use park_storage::{Value, Vocabulary};
 use park_syntax::{CompOp, Sign};
 use std::collections::HashSet;
 
@@ -213,9 +213,9 @@ impl ConsMap {
         self.cons[r].bind(v)
     }
 
-    fn rep(&mut self, slot: TermSlot, offset: usize) -> Rep {
+    fn rep(&mut self, vocab: &Vocabulary, slot: TermSlot, offset: usize) -> Rep {
         match slot {
-            TermSlot::Const(v) => Rep::Val(v),
+            TermSlot::Const(c) => Rep::Val(vocab.decode(c)),
             TermSlot::Var(s) => {
                 let r = self.find(offset + s as usize);
                 match self.cons[r].eq {
@@ -229,9 +229,16 @@ impl ConsMap {
     /// Fold one comparison guard into the constraint state. Returns false
     /// when the guard (together with what is already known) is
     /// unsatisfiable.
-    fn apply_guard(&mut self, op: CompOp, lhs: TermSlot, rhs: TermSlot, offset: usize) -> bool {
+    fn apply_guard(
+        &mut self,
+        vocab: &Vocabulary,
+        op: CompOp,
+        lhs: TermSlot,
+        rhs: TermSlot,
+        offset: usize,
+    ) -> bool {
         let side = |m: &mut Self, t: TermSlot| match t {
-            TermSlot::Const(v) => Rep::Val(v),
+            TermSlot::Const(c) => Rep::Val(vocab.decode(c)),
             TermSlot::Var(s) => Rep::Class(m.find(offset + s as usize)),
         };
         let (l, r) = (side(self, lhs), side(self, rhs));
@@ -355,10 +362,10 @@ fn events(rule: &CompiledRule) -> impl Iterator<Item = (Sign, &crate::compile::C
 /// their own, or when it demands both `+e(t̄)` and `-e(t̄)` for slots that
 /// are syntactically identical (no interpretation of a single run contains
 /// both marks).
-fn rule_can_fire(rule: &CompiledRule) -> bool {
+fn rule_can_fire(vocab: &Vocabulary, rule: &CompiledRule) -> bool {
     let mut m = ConsMap::new(rule.num_vars as usize);
     for (op, lhs, rhs) in guards(rule) {
-        if !m.apply_guard(op, lhs, rhs, 0) {
+        if !m.apply_guard(vocab, op, lhs, rhs, 0) {
             return false;
         }
     }
@@ -382,7 +389,7 @@ pub fn never_fire_rules(program: &CompiledProgram) -> Vec<RuleId> {
     program
         .rules()
         .iter()
-        .filter(|r| !rule_can_fire(r))
+        .filter(|r| !rule_can_fire(program.vocab(), r))
         .map(|r| r.id)
         .collect()
 }
@@ -407,7 +414,11 @@ fn heads_unify_positionwise(a: &CompiledRule, b: &CompiledRule, variant: Analysi
 /// The refinement proper: given an inserting rule `a` and a deleting rule
 /// `b` with positionwise-unifiable heads, try to prove they can never cite
 /// the same head atom in one run.
-fn pair_excluded(a: &CompiledRule, b: &CompiledRule) -> Option<ExclusionReason> {
+fn pair_excluded(
+    vocab: &Vocabulary,
+    a: &CompiledRule,
+    b: &CompiledRule,
+) -> Option<ExclusionReason> {
     let na = a.num_vars as usize;
     let mut m = ConsMap::new(na + b.num_vars as usize);
     // Link the heads: after this, variable classes describe every pair of
@@ -415,8 +426,8 @@ fn pair_excluded(a: &CompiledRule, b: &CompiledRule) -> Option<ExclusionReason> 
     for (x, y) in a.head.terms.iter().zip(b.head.terms.iter()) {
         let ok = match (*x, *y) {
             (TermSlot::Const(cx), TermSlot::Const(cy)) => cx == cy,
-            (TermSlot::Var(v), TermSlot::Const(c)) => m.bind(v as usize, c),
-            (TermSlot::Const(c), TermSlot::Var(v)) => m.bind(na + v as usize, c),
+            (TermSlot::Var(v), TermSlot::Const(c)) => m.bind(v as usize, vocab.decode(c)),
+            (TermSlot::Const(c), TermSlot::Var(v)) => m.bind(na + v as usize, vocab.decode(c)),
             (TermSlot::Var(va), TermSlot::Var(vb)) => m.union(va as usize, na + vb as usize),
         };
         if !ok {
@@ -425,12 +436,12 @@ fn pair_excluded(a: &CompiledRule, b: &CompiledRule) -> Option<ExclusionReason> 
     }
     // Both bodies' guards must hold simultaneously for the linked firing.
     for (op, lhs, rhs) in guards(a) {
-        if !m.apply_guard(op, lhs, rhs, 0) {
+        if !m.apply_guard(vocab, op, lhs, rhs, 0) {
             return Some(ExclusionReason::GuardContradiction);
         }
     }
     for (op, lhs, rhs) in guards(b) {
-        if !m.apply_guard(op, lhs, rhs, na) {
+        if !m.apply_guard(vocab, op, lhs, rhs, na) {
             return Some(ExclusionReason::GuardContradiction);
         }
     }
@@ -444,7 +455,7 @@ fn pair_excluded(a: &CompiledRule, b: &CompiledRule) -> Option<ExclusionReason> 
                 continue;
             }
             let forced_equal = ea.terms.iter().zip(eb.terms.iter()).all(|(ta, tb)| {
-                let (ra, rb) = (m.rep(*ta, 0), m.rep(*tb, na));
+                let (ra, rb) = (m.rep(vocab, *ta, 0), m.rep(vocab, *tb, na));
                 ra == rb
             });
             if forced_equal {
@@ -484,7 +495,7 @@ pub fn refine_conflicts(program: &CompiledProgram, variant: AnalysisVariant) -> 
             } else if never.contains(&b.id) {
                 Some(ExclusionReason::NeverFires(b.id))
             } else {
-                pair_excluded(a, b)
+                pair_excluded(program.vocab(), a, b)
             };
             match reason {
                 Some(r) => excluded.push((pair, r)),
@@ -653,7 +664,7 @@ fn body_subsumes(sub: &CompiledRule, dom: &CompiledRule) -> bool {
 pub fn always_blocked_rules(program: &CompiledProgram) -> Vec<(RuleId, ConstPolicy)> {
     let mut out = Vec::new();
     for loser in program.rules() {
-        if loser.is_update || !rule_can_fire(loser) {
+        if loser.is_update || !rule_can_fire(program.vocab(), loser) {
             continue;
         }
         let policy = match loser.head_sign {

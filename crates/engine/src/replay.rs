@@ -127,18 +127,19 @@ mod tests {
     use super::*;
     use crate::compile::RuleId;
     use crate::grounding::Grounding;
-    use park_storage::{PredId, Tuple, Value};
+    use park_storage::{Code, PredId};
     use park_syntax::Sign;
 
     fn action(rule: u32, val: i64) -> FiredAction {
+        let c = Code::from_small_int(val).expect("test values are small");
         FiredAction {
             grounding: Grounding {
                 rule: RuleId(rule),
-                subst: Box::from([Value::Int(val)]),
+                subst: Box::from([c]),
             },
             sign: Sign::Insert,
             pred: PredId(0),
-            tuple: Tuple::new(vec![Value::Int(val)]),
+            tuple: Box::from([c]),
         }
     }
 

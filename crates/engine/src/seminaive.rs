@@ -26,22 +26,23 @@
 //! pure performance choice, benchmarked in `benches/evaluation.rs` and
 //! property-tested for agreement in `tests/properties.rs`.
 //!
-//! ## Parallel evaluation
+//! ## Parallel evaluation: shard ownership
 //!
-//! The enumeration decomposes into independent `SemiTask`s: one fallback
-//! task per negation-delta rule, and one task per `(rule, delta position)`
-//! pair otherwise, optionally sub-split by contiguous windows of the first
-//! plan step's enumeration domain (exactly as in [`crate::gamma`]).
-//! [`fire_new_par`] runs the tasks on a scoped pool and concatenates their
-//! buffers in task order, which *is* sequential emission order — so the
-//! fired-action stream is byte-identical to [`fire_new`]'s.
+//! The enumeration decomposes into *units* — one fallback unit per
+//! negation-delta rule, one unit per `(rule, delta position)` pair
+//! otherwise, in sequential emission order. Units are grouped into shard
+//! tasks by the predicate their rule's first plan step enumerates, exactly
+//! as in [`crate::gamma`]: each stored relation is driven by one task, and
+//! per-unit buffers are merged back into unit order, so the fired stream
+//! is byte-identical to [`fire_new`]'s. The decomposition depends only on
+//! the program and the step's deltas — never on the thread count.
 
 use crate::compile::{CompiledLiteral, CompiledProgram, CompiledRule, LitKind, TermSlot};
-use crate::gamma::{FiredAction, Scratch, Step0Window};
+use crate::gamma::{merge_units, FiredAction, Scratch};
 use crate::grounding::{BlockedSet, Grounding};
 use crate::interp::IInterpretation;
 use crate::validity;
-use park_storage::{PredId, Tuple, Value};
+use park_storage::{Code, FxHashMap, PredId};
 use park_syntax::Sign;
 
 /// Per-predicate sizes of the `I⁺` and `I⁻` zones at a step boundary.
@@ -86,25 +87,30 @@ enum Window {
     Full,
 }
 
-/// One unit of semi-naive evaluation.
+/// One unit of semi-naive evaluation, in sequential emission order.
 #[derive(Debug, Clone, Copy)]
-enum SemiTask {
+enum SemiUnit {
     /// Full re-enumeration of one rule (negation-delta fallback).
     Fallback {
         /// Rule index in program order.
         rule: usize,
     },
-    /// One delta-position pass of one rule, optionally restricted to a
-    /// window of the first plan step's enumeration.
+    /// One delta-position pass of one rule.
     Delta {
         /// Rule index in program order.
         rule: usize,
         /// Index into the rule's binding-step list: which binding literal
         /// ranges over the delta window this pass.
         delta_pos: usize,
-        /// Step-0 restriction, or `None` for the whole domain.
-        step0: Option<Step0Window>,
     },
+}
+
+impl SemiUnit {
+    fn rule(&self) -> usize {
+        match *self {
+            SemiUnit::Fallback { rule } | SemiUnit::Delta { rule, .. } => rule,
+        }
+    }
 }
 
 /// Read-only context of one delta pass, shared by every recursion level.
@@ -115,7 +121,6 @@ struct Pass<'a> {
     prev: &'a ZoneLens,
     curr: &'a ZoneLens,
     windows: &'a [Window],
-    step0: Option<Step0Window>,
 }
 
 /// Plan-step indices of a rule's binding literals, in plan order.
@@ -150,85 +155,65 @@ fn has_neg_delta(rule: &CompiledRule, prev: &ZoneLens, curr: &ZoneLens) -> bool 
     })
 }
 
-/// The `(base, zone)` step-0 enumeration ranges of a delta pass, or `None`
-/// when the first plan step does not enumerate a stored relation.
-fn delta_step0_domain(
-    rule: &CompiledRule,
-    interp: &IInterpretation,
-    prev: &ZoneLens,
-    curr: &ZoneLens,
-    windows: &[Window],
-) -> Option<((u32, u32), (u32, u32))> {
-    let planned = rule.plan.first()?;
-    let CompiledLiteral::Atom { kind, atom } = &rule.body[planned.lit] else {
-        return None;
-    };
-    let pred = atom.pred;
-    match *kind {
-        LitKind::Neg => None,
-        LitKind::Pos => {
-            let base = if windows[0] != Window::Delta {
-                let len = interp.base().relation(pred).map_or(0u32, |r| {
-                    u32::try_from(r.len()).expect("relation too large")
-                });
-                (0, len)
-            } else {
-                (0, 0)
-            };
-            let zone = window_range(windows[0], prev.plus_len(pred), curr.plus_len(pred));
-            Some((base, zone))
-        }
-        LitKind::Event(sign) => {
-            let (plen, clen) = match sign {
-                Sign::Insert => (prev.plus_len(pred), curr.plus_len(pred)),
-                Sign::Delete => (prev.minus_len(pred), curr.minus_len(pred)),
-            };
-            Some(((0, 0), window_range(windows[0], plen, clen)))
-        }
-    }
-}
-
-/// Decompose one semi-naive step into independent tasks, sub-splitting each
-/// delta pass into at most `chunks_per_pass` step-0 windows. Task order is
-/// exactly sequential emission order.
-fn plan_tasks(
-    program: &CompiledProgram,
-    interp: &IInterpretation,
-    prev: &ZoneLens,
-    curr: &ZoneLens,
-    chunks_per_pass: usize,
-) -> Vec<SemiTask> {
-    let mut tasks = Vec::new();
+/// The units of one semi-naive step, in sequential emission order.
+fn plan_units(program: &CompiledProgram, prev: &ZoneLens, curr: &ZoneLens) -> Vec<SemiUnit> {
+    let mut units = Vec::new();
     for (rule_idx, rule) in program.rules().iter().enumerate() {
         if rule.body.is_empty() {
+            // Unconditional rules fire in the first step of a run only.
             continue;
         }
         if has_neg_delta(rule, prev, curr) {
-            tasks.push(SemiTask::Fallback { rule: rule_idx });
+            units.push(SemiUnit::Fallback { rule: rule_idx });
             continue;
         }
-        let steps = binding_steps(rule);
-        for delta_pos in 0..steps.len() {
-            let windows = windows_for(rule, &steps, delta_pos);
-            match delta_step0_domain(rule, interp, prev, curr, &windows) {
-                Some((base, zone)) if chunks_per_pass > 1 => {
-                    crate::gamma::split_step0(base, zone, chunks_per_pass, |w| {
-                        tasks.push(SemiTask::Delta {
-                            rule: rule_idx,
-                            delta_pos,
-                            step0: Some(w),
-                        });
-                    });
+        for delta_pos in 0..binding_steps(rule).len() {
+            units.push(SemiUnit::Delta {
+                rule: rule_idx,
+                delta_pos,
+            });
+        }
+    }
+    units
+}
+
+/// Group unit indices into shard tasks by the predicate their rule's first
+/// plan step enumerates (first-appearance order); rules enumerating no
+/// shard get their own task. All of a rule's units land in one task.
+fn plan_shards(program: &CompiledProgram, units: &[SemiUnit]) -> Vec<Vec<usize>> {
+    let mut tasks: Vec<Vec<usize>> = Vec::new();
+    let mut by_pred: FxHashMap<PredId, usize> = FxHashMap::default();
+    let mut by_rule: FxHashMap<usize, usize> = FxHashMap::default();
+    for (u, unit) in units.iter().enumerate() {
+        let rule_idx = unit.rule();
+        let rule = &program.rules()[rule_idx];
+        match step0_pred(rule) {
+            Some(p) => match by_pred.get(&p) {
+                Some(&t) => tasks[t].push(u),
+                None => {
+                    by_pred.insert(p, tasks.len());
+                    tasks.push(vec![u]);
                 }
-                _ => tasks.push(SemiTask::Delta {
-                    rule: rule_idx,
-                    delta_pos,
-                    step0: None,
-                }),
-            }
+            },
+            None => match by_rule.get(&rule_idx) {
+                Some(&t) => tasks[t].push(u),
+                None => {
+                    by_rule.insert(rule_idx, tasks.len());
+                    tasks.push(vec![u]);
+                }
+            },
         }
     }
     tasks
+}
+
+/// The predicate whose shard `rule`'s first plan step enumerates, if any.
+fn step0_pred(rule: &CompiledRule) -> Option<PredId> {
+    let planned = rule.plan.first()?;
+    match &rule.body[planned.lit] {
+        CompiledLiteral::Atom { kind, atom } if *kind != LitKind::Neg => Some(atom.pred),
+        _ => None,
+    }
 }
 
 /// Enumerate the groundings that became valid in the last step: every
@@ -247,11 +232,11 @@ pub fn fire_new(
 
 /// [`fire_new`] with optional intra-step parallelism. With `threads` `None`
 /// or `Some(1)` this is the sequential enumeration on the calling thread (no
-/// pool is spun up); otherwise the per-`(rule, delta position)` passes are
-/// sub-split at their first plan step and executed by
-/// `crate::parallel::run_ordered`, whose ordered merge makes the output
-/// byte-identical to the sequential stream. Returns the actions and the
-/// number of evaluation tasks executed.
+/// pool is spun up); otherwise the shard tasks run on a scoped pool via
+/// `crate::parallel::run_ordered` and the per-unit buffers are merged back
+/// into unit order, making the output byte-identical to the sequential
+/// stream. Returns the actions and the number of shard tasks (the same
+/// number for every thread configuration).
 pub fn fire_new_par(
     program: &CompiledProgram,
     blocked: &BlockedSet,
@@ -268,10 +253,9 @@ pub fn fire_new_par(
 
 /// [`fire_new_par`] with the pool size decoupled from the decomposition and
 /// optional per-task span collection (the fixpoint loop's metered entry
-/// point). `threads` alone determines the task split — and therefore the
-/// `eval_tasks` count and the byte-identical output stream — while
-/// `workers` caps how many threads actually run them (the host-parallelism
-/// clamp).
+/// point). The shard decomposition is fixed by the program and the step's
+/// deltas; `workers` only caps how many threads run the tasks (the
+/// host-parallelism clamp), and cannot change any output.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn fire_new_metered(
     program: &CompiledProgram,
@@ -284,72 +268,44 @@ pub(crate) fn fire_new_metered(
     spans: Option<&mut Vec<crate::metrics::TaskSpan>>,
 ) -> (Vec<FiredAction>, u64) {
     let threads = threads.unwrap_or(1).max(1);
-    let run_task = |task: &SemiTask, scratch: &mut Scratch, buf: &mut Vec<FiredAction>| match *task
-    {
-        SemiTask::Fallback { rule } => {
-            crate::gamma::fire_rule_in(&program.rules()[rule], blocked, interp, scratch, None, buf);
+    let units = plan_units(program, prev, curr);
+    let tasks = plan_shards(program, &units);
+    let n_tasks = tasks.len() as u64;
+    let run_unit = |unit: SemiUnit, scratch: &mut Scratch, buf: &mut Vec<FiredAction>| match unit {
+        SemiUnit::Fallback { rule } => {
+            crate::gamma::fire_rule_in(&program.rules()[rule], blocked, interp, scratch, buf);
         }
-        SemiTask::Delta {
-            rule,
-            delta_pos,
-            step0,
-        } => {
+        SemiUnit::Delta { rule, delta_pos } => {
             let rule = &program.rules()[rule];
             let steps = binding_steps(rule);
             run_delta(
-                rule, blocked, interp, prev, curr, &steps, delta_pos, step0, scratch, buf,
+                rule, blocked, interp, prev, curr, &steps, delta_pos, scratch, buf,
             );
         }
     };
-    if threads == 1 {
-        if let Some(spans) = spans {
-            // Metered sequential evaluation: one unsplit task per pass, run
-            // through the executor's sequential path to collect spans.
-            let tasks = plan_tasks(program, interp, prev, curr, 1);
-            let out = crate::parallel::run_ordered(&tasks, 1, run_task, Some(spans));
-            return (out, tasks.len() as u64);
-        }
+    if threads == 1 && spans.is_none() {
+        // Fast sequential path: units in order, no per-unit buffers.
         let mut out = Vec::new();
         let mut scratch = Scratch::new();
-        let mut task_count = 0u64;
-        for rule in program.rules() {
-            if rule.body.is_empty() {
-                // Unconditional rules fire in the first step of a run only.
-                continue;
-            }
-            if has_neg_delta(rule, prev, curr) {
-                crate::gamma::fire_rule_in(rule, blocked, interp, &mut scratch, None, &mut out);
-                task_count += 1;
-                continue;
-            }
-            let steps = binding_steps(rule);
-            for delta_pos in 0..steps.len() {
-                run_delta(
-                    rule,
-                    blocked,
-                    interp,
-                    prev,
-                    curr,
-                    &steps,
-                    delta_pos,
-                    None,
-                    &mut scratch,
-                    &mut out,
-                );
-                task_count += 1;
-            }
+        for &unit in &units {
+            run_unit(unit, &mut scratch, &mut out);
         }
-        return (out, task_count);
+        return (out, n_tasks);
     }
-    let tasks = plan_tasks(
-        program,
-        interp,
-        prev,
-        curr,
-        threads * crate::parallel::CHUNKS_PER_THREAD,
+    let workers = if threads == 1 { 1 } else { workers };
+    let tagged = crate::parallel::run_ordered(
+        &tasks,
+        workers,
+        |task: &Vec<usize>, scratch, buf: &mut Vec<(usize, Vec<FiredAction>)>| {
+            for &u in task {
+                let mut ubuf = Vec::new();
+                run_unit(units[u], scratch, &mut ubuf);
+                buf.push((u, ubuf));
+            }
+        },
+        spans,
     );
-    let out = crate::parallel::run_ordered(&tasks, workers, run_task, spans);
-    (out, tasks.len() as u64)
+    (merge_units(units.len(), tagged), n_tasks)
 }
 
 /// Run one delta pass of one rule.
@@ -362,7 +318,6 @@ fn run_delta(
     curr: &ZoneLens,
     steps: &[usize],
     delta_pos: usize,
-    step0: Option<Step0Window>,
     scratch: &mut Scratch,
     out: &mut Vec<FiredAction>,
 ) {
@@ -374,7 +329,6 @@ fn run_delta(
         prev,
         curr,
         windows: &windows,
-        step0,
     };
     scratch.prepare(rule);
     match_step(&cx, 0, scratch, out);
@@ -383,7 +337,7 @@ fn run_delta(
 fn match_step(cx: &Pass<'_>, step: usize, scratch: &mut Scratch, out: &mut Vec<FiredAction>) {
     let rule = cx.rule;
     if step == rule.plan.len() {
-        let subst: Box<[Value]> = scratch
+        let subst: Box<[Code]> = scratch
             .bindings
             .iter()
             .map(|b| b.expect("safety guarantees total bindings"))
@@ -407,50 +361,38 @@ fn match_step(cx: &Pass<'_>, step: usize, scratch: &mut Scratch, out: &mut Vec<F
     let lit = &rule.body[planned.lit];
     let CompiledLiteral::Atom { kind, atom } = lit else {
         // A comparison guard: all variables bound, pure filter.
-        if lit.eval_guard(&scratch.bindings) {
+        if lit.eval_guard(cx.interp.vocab(), &scratch.bindings) {
             match_step(cx, step + 1, scratch, out);
         }
         return;
     };
-    let window = if step == 0 { cx.step0 } else { None };
     match *kind {
         LitKind::Neg => {
-            let tuple = instantiate_bound(&atom.terms, &scratch.bindings);
-            if validity::valid_neg(cx.interp, atom.pred, &tuple) {
+            let row = instantiate_bound(&atom.terms, &scratch.bindings);
+            if validity::valid_neg(cx.interp, atom.pred, &row) {
                 match_step(cx, step + 1, scratch, out);
             }
         }
         LitKind::Pos => {
             let key = scratch.take_key(step, &atom.terms, planned.mask);
             let pred = atom.pred;
-            // Base tuples are all "old": enumerate them except in the
-            // Delta window (the base cannot contain delta tuples).
-            if let Some(rel) = cx.interp.base().relation(pred) {
-                match window {
-                    Some(w) => {
-                        for t in rel.probe_in_range(planned.mask, &key, w.base.0, w.base.1) {
-                            descend(cx, step, scratch, out, &atom.terms, t);
-                        }
+            // Base rows are all "old": enumerate them except in the Delta
+            // window (the base cannot contain delta rows).
+            if cx.windows[step] != Window::Delta {
+                if let Some(rel) = cx.interp.base().relation(pred) {
+                    for t in rel.probe(planned.mask, &key) {
+                        descend(cx, step, scratch, out, &atom.terms, t);
                     }
-                    None if cx.windows[step] != Window::Delta => {
-                        for t in rel.probe(planned.mask, &key) {
-                            descend(cx, step, scratch, out, &atom.terms, t);
-                        }
-                    }
-                    None => {}
                 }
             }
             if let Some(rel) = cx.interp.plus().relation(pred) {
-                let (lo, hi) = match window {
-                    Some(w) => w.zone,
-                    None => window_range(
-                        cx.windows[step],
-                        cx.prev.plus_len(pred),
-                        cx.curr.plus_len(pred),
-                    ),
-                };
+                let (lo, hi) = window_range(
+                    cx.windows[step],
+                    cx.prev.plus_len(pred),
+                    cx.curr.plus_len(pred),
+                );
                 for t in rel.probe_in_range(planned.mask, &key, lo, hi) {
-                    if cx.interp.base().contains(pred, t) {
+                    if cx.interp.base().contains_row(pred, t) {
                         continue; // deduplicated against the base zone
                     }
                     descend(cx, step, scratch, out, &atom.terms, t);
@@ -474,10 +416,7 @@ fn match_step(cx: &Pass<'_>, step: usize, scratch: &mut Scratch, out: &mut Vec<F
                 ),
             };
             if let Some(rel) = zone.relation(pred) {
-                let (lo, hi) = match window {
-                    Some(w) => w.zone,
-                    None => window_range(cx.windows[step], plen, clen),
-                };
+                let (lo, hi) = window_range(cx.windows[step], plen, clen);
                 for t in rel.probe_in_range(planned.mask, &key, lo, hi) {
                     descend(cx, step, scratch, out, &atom.terms, t);
                 }
@@ -501,14 +440,14 @@ fn descend(
     scratch: &mut Scratch,
     out: &mut Vec<FiredAction>,
     terms: &[TermSlot],
-    tuple: &Tuple,
+    row: &[Code],
 ) {
     let mut newly: [u16; 8] = [0; 8];
     let mut n_newly = 0usize;
     let mut spill: Vec<u16> = Vec::new();
     let mut ok = true;
     for (pos, slot) in terms.iter().enumerate() {
-        let v = tuple[pos];
+        let v = row[pos];
         match *slot {
             TermSlot::Const(c) => {
                 if c != v {
@@ -543,7 +482,7 @@ fn descend(
     }
 }
 
-fn instantiate_bound(terms: &[TermSlot], bindings: &[Option<Value>]) -> Tuple {
+fn instantiate_bound(terms: &[TermSlot], bindings: &[Option<Code>]) -> Box<[Code]> {
     terms
         .iter()
         .map(|t| match *t {
@@ -557,7 +496,7 @@ fn instantiate_bound(terms: &[TermSlot], bindings: &[Option<Value>]) -> Tuple {
 mod tests {
     use super::*;
     use crate::gamma::{fire_all, fire_all_par};
-    use park_storage::{FactStore, Vocabulary};
+    use park_storage::{FactStore, Value, Vocabulary};
     use park_syntax::parse_program;
     use std::collections::HashSet;
     use std::sync::Arc;
@@ -628,10 +567,10 @@ mod tests {
             // Apply the step identically on both interpretations.
             let mut grew = false;
             for f in &naive_fired {
-                if naive_i.insert_marked(f.sign, f.pred, f.tuple.clone()) {
+                if naive_i.insert_marked(f.sign, f.pred, &f.tuple) {
                     grew = true;
                 }
-                semi_i.insert_marked(f.sign, f.pred, f.tuple.clone());
+                semi_i.insert_marked(f.sign, f.pred, &f.tuple);
             }
             prev = curr;
             if !grew {
@@ -723,7 +662,7 @@ mod tests {
         // Simulate step 1 applied.
         let before = ZoneLens::capture(&interp);
         for f in fire_all(&program, &BlockedSet::new(), &interp) {
-            interp.insert_marked(f.sign, f.pred, f.tuple);
+            interp.insert_marked(f.sign, f.pred, &f.tuple);
         }
         let after = ZoneLens::capture(&interp);
         // Step 2 delta = the q marks; rule only reads p → nothing new.
@@ -739,16 +678,50 @@ mod tests {
         let (program, mut interp) = setup("p(X) -> +q(X). q(X) -> +r(X).", "p(a).");
         let before = ZoneLens::capture(&interp);
         for f in fire_all(&program, &BlockedSet::new(), &interp) {
-            interp.insert_marked(f.sign, f.pred, f.tuple);
+            interp.insert_marked(f.sign, f.pred, &f.tuple);
         }
         let after = ZoneLens::capture(&interp);
         let mut blocked = BlockedSet::new();
-        let a = program.vocab().sym("a");
+        let v = program.vocab();
+        let a = v.encode(Value::Sym(v.sym("a")));
         blocked.insert(Grounding {
             rule: crate::compile::RuleId(1),
-            subst: Box::from([Value::Sym(a)]),
+            subst: Box::from([a]),
         });
         let fired = fire_new(&program, &blocked, &interp, &before, &after);
         assert!(fired.is_empty(), "{fired:?}");
+    }
+
+    #[test]
+    fn task_count_is_thread_independent() {
+        let (program, mut interp) = setup(
+            "edge(X, Y) -> +tc(X, Y). tc(X, Y), edge(Y, Z) -> +tc(X, Z).",
+            "edge(a, b). edge(b, c).",
+        );
+        let before = ZoneLens::capture(&interp);
+        for f in fire_all(&program, &BlockedSet::new(), &interp) {
+            interp.insert_marked(f.sign, f.pred, &f.tuple);
+        }
+        let after = ZoneLens::capture(&interp);
+        let (seq, seq_tasks) = fire_new_par(
+            &program,
+            &BlockedSet::new(),
+            &interp,
+            &before,
+            &after,
+            Some(1),
+        );
+        for threads in [2, 4] {
+            let (par, par_tasks) = fire_new_par(
+                &program,
+                &BlockedSet::new(),
+                &interp,
+                &before,
+                &after,
+                Some(threads),
+            );
+            assert_eq!(par, seq, "threads={threads}");
+            assert_eq!(par_tasks, seq_tasks, "threads={threads}");
+        }
     }
 }

@@ -26,10 +26,13 @@ pub struct RunStats {
     pub groundings_fired: u64,
     /// Size of the final blocked set `B`.
     pub blocked_instances: u64,
-    /// Evaluation tasks executed across all Γ steps. This is scheduling
-    /// information only: it grows with the configured parallelism (each
-    /// step is split into more, smaller tasks) and is the one counter that
-    /// may differ between otherwise identical sequential and parallel runs.
+    /// Evaluation tasks executed across all Γ steps. One task per
+    /// predicate-level shard of the step's rule set (see
+    /// `crate::gamma::plan_shards`): the decomposition depends only on the
+    /// program, so the count is identical across thread counts and hosts —
+    /// sequential and parallel runs agree on it. It still differs between
+    /// warm and cold runs (replayed steps schedule no tasks), which is why
+    /// it stays out of `ParkOutcome::fingerprint`.
     pub eval_tasks: u64,
     /// Γ steps served from the warm-restart replay log instead of being
     /// evaluated live (see `crate::replay`). Like `eval_tasks`, this is

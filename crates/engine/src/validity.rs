@@ -15,7 +15,7 @@
 //! database.
 
 use crate::interp::IInterpretation;
-use park_storage::{PredId, Tuple};
+use park_storage::{Code, PredId};
 use park_syntax::Sign;
 
 /// Which zone of an i-interpretation a lookup touches.
@@ -30,21 +30,21 @@ pub enum MarkZone {
 }
 
 /// Validity of a positive condition literal.
-pub fn valid_pos(i: &IInterpretation, pred: PredId, tuple: &Tuple) -> bool {
-    i.base().contains(pred, tuple) || i.plus().contains(pred, tuple)
+pub fn valid_pos(i: &IInterpretation, pred: PredId, row: &[Code]) -> bool {
+    i.base().contains_row(pred, row) || i.plus().contains_row(pred, row)
 }
 
 /// Validity of a negated condition literal `¬a`.
-pub fn valid_neg(i: &IInterpretation, pred: PredId, tuple: &Tuple) -> bool {
-    i.minus().contains(pred, tuple)
-        || !(i.base().contains(pred, tuple) || i.plus().contains(pred, tuple))
+pub fn valid_neg(i: &IInterpretation, pred: PredId, row: &[Code]) -> bool {
+    i.minus().contains_row(pred, row)
+        || !(i.base().contains_row(pred, row) || i.plus().contains_row(pred, row))
 }
 
 /// Validity of an event literal `+a` / `-a` (Section 4.3).
-pub fn valid_event(i: &IInterpretation, sign: Sign, pred: PredId, tuple: &Tuple) -> bool {
+pub fn valid_event(i: &IInterpretation, sign: Sign, pred: PredId, row: &[Code]) -> bool {
     match sign {
-        Sign::Insert => i.plus().contains(pred, tuple),
-        Sign::Delete => i.minus().contains(pred, tuple),
+        Sign::Insert => i.plus().contains_row(pred, row),
+        Sign::Delete => i.minus().contains_row(pred, row),
     }
 }
 
@@ -54,12 +54,12 @@ mod tests {
     use park_storage::{FactStore, Value, Vocabulary};
     use std::sync::Arc;
 
-    fn setup() -> (IInterpretation, PredId, Tuple, Tuple) {
+    fn setup() -> (IInterpretation, PredId, [Code; 1], [Code; 1]) {
         let v = Vocabulary::new();
         let db = FactStore::from_source(Arc::clone(&v), "q(a).").unwrap();
         let q = v.lookup_pred("q").unwrap();
-        let a = Tuple::new(vec![Value::Sym(v.sym("a"))]);
-        let b = Tuple::new(vec![Value::Sym(v.sym("b"))]);
+        let a = [v.encode(Value::Sym(v.sym("a")))];
+        let b = [v.encode(Value::Sym(v.sym("b")))];
         (IInterpretation::from_database(db), q, a, b)
     }
 
@@ -68,7 +68,7 @@ mod tests {
         let (mut i, q, a, b) = setup();
         assert!(valid_pos(&i, q, &a)); // a ∈ I°
         assert!(!valid_pos(&i, q, &b));
-        i.insert_marked(Sign::Insert, q, b.clone());
+        i.insert_marked(Sign::Insert, q, &b);
         assert!(valid_pos(&i, q, &b)); // +b ∈ I⁺
     }
 
@@ -82,7 +82,7 @@ mod tests {
     #[test]
     fn negated_literal_valid_via_pending_delete() {
         let (mut i, q, a, _) = setup();
-        i.insert_marked(Sign::Delete, q, a.clone());
+        i.insert_marked(Sign::Delete, q, &a);
         // -a ∈ I⁻ makes ¬a valid even though a ∈ I°; both polarities are
         // valid simultaneously — exactly the paper's definition.
         assert!(valid_neg(&i, q, &a));
@@ -93,7 +93,7 @@ mod tests {
     fn plus_mark_invalidates_negation() {
         let (mut i, q, _, b) = setup();
         assert!(valid_neg(&i, q, &b));
-        i.insert_marked(Sign::Insert, q, b.clone());
+        i.insert_marked(Sign::Insert, q, &b);
         assert!(!valid_neg(&i, q, &b));
     }
 
@@ -102,8 +102,8 @@ mod tests {
         let (mut i, q, a, b) = setup();
         // a ∈ I° is NOT the event +a.
         assert!(!valid_event(&i, Sign::Insert, q, &a));
-        i.insert_marked(Sign::Insert, q, b.clone());
-        i.insert_marked(Sign::Delete, q, a.clone());
+        i.insert_marked(Sign::Insert, q, &b);
+        i.insert_marked(Sign::Delete, q, &a);
         assert!(valid_event(&i, Sign::Insert, q, &b));
         assert!(!valid_event(&i, Sign::Delete, q, &b));
         assert!(valid_event(&i, Sign::Delete, q, &a));

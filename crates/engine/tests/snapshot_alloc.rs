@@ -1,0 +1,113 @@
+//! Guard test for the storage layer's O(changed-shards) snapshot promise.
+//!
+//! `Checkpoint::capture` shares a `FactStore`'s relation shards by `Arc`,
+//! so creating a snapshot of an unchanged database must perform **zero
+//! per-fact work**: the allocation count is a function of the shard count
+//! alone, not of how many facts the shards hold. The same holds for
+//! `Checkpoint::restore` and for `FactStore::clone` — the operation warm
+//! restarts and the testkit's cold copies lean on.
+//!
+//! The test pins this down with a counting global allocator (the same
+//! harness as `metrics_alloc.rs`): two stores with identical shard layout
+//! but a 100x different fact count must allocate *identically* under all
+//! three operations. It lives in the engine's tests because
+//! `park-storage` itself is `#![forbid(unsafe_code)]` and a
+//! `#[global_allocator]` impl is unsafe; it gets its own integration-test
+//! binary because the allocator is process-wide.
+
+use park_storage::{Checkpoint, FactStore, Vocabulary};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`; the counter is the only
+// addition and is async-signal-safe (a relaxed atomic add).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_in(mut f: impl FnMut()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+/// A store with two relations (`e/2`, `p/1`) holding `n` facts each.
+fn store_with(n: usize) -> FactStore {
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!("e(a{i}, b{i}). p(a{i}).\n"));
+    }
+    FactStore::from_source(Vocabulary::new(), &src).unwrap()
+}
+
+#[test]
+fn snapshot_of_unchanged_database_does_no_per_fact_work() {
+    let small = store_with(10);
+    let large = store_with(1000);
+    assert_eq!(large.len(), 2000);
+
+    // Warm up lazy allocator state, then take the minimum over a few
+    // measurements so unrelated runtime allocations can't inflate a count.
+    let _ = Checkpoint::capture(&small);
+    let measure = |f: &mut dyn FnMut()| (0..5).map(|_| allocations_in(&mut *f)).min().unwrap();
+
+    let capture_small = measure(&mut || {
+        let _ = Checkpoint::capture(&small);
+    });
+    let capture_large = measure(&mut || {
+        let _ = Checkpoint::capture(&large);
+    });
+    assert_eq!(
+        capture_small, capture_large,
+        "Checkpoint::capture allocation count must not scale with fact count"
+    );
+    // O(#shards) really means a handful of Vec/Arc bookkeeping allocations.
+    assert!(
+        capture_large <= 8,
+        "capture of a 2000-fact store allocated {capture_large} times"
+    );
+
+    let cp_small = Checkpoint::capture(&small);
+    let cp_large = Checkpoint::capture(&large);
+    let restore_small = measure(&mut || {
+        let _ = cp_small.restore();
+    });
+    let restore_large = measure(&mut || {
+        let _ = cp_large.restore();
+    });
+    assert_eq!(
+        restore_small, restore_large,
+        "Checkpoint::restore allocation count must not scale with fact count"
+    );
+
+    // The warm-restart path: cloning a store shares every shard.
+    let clone_small = measure(&mut || {
+        let _ = small.clone();
+    });
+    let clone_large = measure(&mut || {
+        let _ = large.clone();
+    });
+    assert_eq!(
+        clone_small, clone_large,
+        "FactStore::clone allocation count must not scale with fact count"
+    );
+}

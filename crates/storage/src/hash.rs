@@ -1,0 +1,130 @@
+//! A fast, non-cryptographic hasher for interned-code keys.
+//!
+//! The relation arenas key their position and index maps by 64-bit hashes
+//! of [`Code`] rows. The standard library's SipHash is DoS-resistant but
+//! costs tens of nanoseconds per tuple; intern codes are dense small
+//! integers produced by our own vocabulary, so a multiply-and-rotate
+//! hash in the Firefox/rustc style ("FxHash") is both sufficient and
+//! several times faster. Collisions are tolerated by construction: every
+//! map that stores hashes verifies candidates against the arena contents
+//! before believing a hit (see `crate::relation`).
+
+use crate::value::Code;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplier from the FxHash family (derived from the golden ratio).
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+/// A word-at-a-time multiply-and-rotate hasher.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// A `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Hash a full code row (length-independent positions are fine: rows in
+/// one relation all share the relation's arity).
+#[inline]
+pub fn hash_row(row: &[Code]) -> u64 {
+    let mut h = FxHasher::default();
+    for c in row {
+        h.add(c.0 as u64);
+    }
+    h.finish()
+}
+
+/// Hash the codes produced by an iterator (used for masked index keys).
+#[inline]
+pub fn hash_codes(codes: impl IntoIterator<Item = Code>) -> u64 {
+    let mut h = FxHasher::default();
+    for c in codes {
+        h.add(c.0 as u64);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_hash_is_deterministic_and_spreads() {
+        let a = [Code(1), Code(2)];
+        let b = [Code(2), Code(1)];
+        assert_eq!(hash_row(&a), hash_row(&a));
+        assert_ne!(hash_row(&a), hash_row(&b), "order must matter");
+        assert_eq!(hash_row(&a), hash_codes(a.iter().copied()));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        m.insert(hash_row(&[Code(3)]), 7);
+        assert_eq!(m.get(&hash_row(&[Code(3)])), Some(&7));
+        let mut s: FxHashSet<Code> = FxHashSet::default();
+        assert!(s.insert(Code(9)));
+        assert!(!s.insert(Code(9)));
+    }
+
+    #[test]
+    fn hasher_handles_arbitrary_byte_writes() {
+        // Hash of a `&str` key via the Hasher trait — exercised when
+        // FxHashMap is used with non-Code keys.
+        let mut h1 = FxHasher::default();
+        h1.write(b"hello world, this is longer than eight bytes");
+        let mut h2 = FxHasher::default();
+        h2.write(b"hello world, this is longer than eight bytes");
+        assert_eq!(h1.finish(), h2.finish());
+        let mut h3 = FxHasher::default();
+        h3.write(b"hello world, this is longer than eight bytez");
+        assert_ne!(h1.finish(), h3.finish());
+    }
+}

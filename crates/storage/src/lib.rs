@@ -5,10 +5,14 @@
 //! The paper assumes its semantics is "easily implementable on top of a
 //! commercial DBMS" (Section 3); this crate plays the DBMS role: database
 //! instances are [`FactStore`]s — sets of ground atoms organized into
-//! per-predicate [`Relation`]s with hash indexes — over a shared, interned
-//! [`Vocabulary`]. Transaction updates (`U` in Section 4.3) are
-//! [`UpdateSet`]s, and [`Snapshot`] provides a portable, JSON-serializable
-//! image for persistence.
+//! per-predicate [`Relation`] shards over a shared, interned
+//! [`Vocabulary`]. Constants are interned to 4-byte [`Code`]s and each
+//! shard is a contiguous columnar arena with hash indexes; shards sit
+//! behind `Arc`, so store clones and [`snapshot::Checkpoint`]s are
+//! copy-on-write — O(changed shards), never O(facts). Transaction updates
+//! (`U` in Section 4.3) are [`UpdateSet`]s, and [`Snapshot`] provides a
+//! portable, JSON-serializable image for persistence. See
+//! `docs/storage.md` for the full design.
 //!
 //! ```
 //! use park_storage::{FactStore, Vocabulary};
@@ -23,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod hash;
 pub mod relation;
 pub mod snapshot;
 pub mod store;
@@ -31,9 +36,12 @@ pub mod value;
 pub mod vocab;
 
 pub use error::StorageError;
+pub use hash::{FxHashMap, FxHashSet};
 pub use relation::{ColumnMask, Relation};
-pub use snapshot::{RelationSnapshot, Snapshot};
-pub use store::FactStore;
+pub use snapshot::{
+    snapshot_captures, snapshot_shard_reuses, Checkpoint, RelationSnapshot, Snapshot,
+};
+pub use store::{cow_shard_clones, FactStore};
 pub use updates::{Update, UpdateSet};
-pub use value::{SymId, Tuple, Value};
+pub use value::{Code, SymId, Tuple, Value};
 pub use vocab::{PredId, Vocabulary};

@@ -1,16 +1,20 @@
-//! Relations: deduplicated tuple sets with hash indexes.
+//! A single relation (the extension of one predicate), stored as a
+//! contiguous arena of interned code rows.
 //!
-//! A [`Relation`] stores the extension of one predicate. Tuples are kept in
-//! insertion order (the engine's traces rely on deterministic iteration) and
-//! deduplicated through a position map. Point and prefix lookups go through
-//! hash indexes keyed by a [`ColumnMask`] of bound columns; indexes are
-//! created on demand ([`Relation::ensure_index`]) and maintained
-//! incrementally on insertion. Removal invalidates indexes (they are rebuilt
-//! lazily), which is fine for PARK evaluation: i-interpretations only grow
-//! within a run.
+//! Tuples live in one arity-strided `Vec<Code>` — four bytes per column,
+//! no per-tuple boxing — and every auxiliary structure stores *positions*
+//! into that arena. Deduplication and index lookups go through 64-bit
+//! [`crate::hash`] hashes of rows/keys; hash collisions are tolerated by
+//! verifying every candidate position against the arena before believing
+//! a hit, so probes allocate nothing and are still exact.
+//!
+//! Iteration order is insertion order — the engine's deterministic merge
+//! and the semi-naive delta windows both depend on it. `remove` uses
+//! swap-remove (the last row fills the hole) and invalidates secondary
+//! indexes; they are rebuilt lazily by the next [`Relation::ensure_index`].
 
-use crate::value::{Tuple, Value};
-use std::collections::HashMap;
+use crate::hash::{hash_codes, hash_row, FxHashMap};
+use crate::value::Code;
 
 /// A set of bound columns, as a bitmask. Supports arities up to 32 —
 /// far beyond anything a rule language for ECA systems needs.
@@ -52,19 +56,29 @@ impl ColumnMask {
     }
 }
 
-/// Extract the index key of `tuple` under `mask` (values of bound columns,
-/// ascending by position).
-fn key_of(mask: ColumnMask, tuple: &Tuple) -> Box<[Value]> {
-    mask.cols().map(|c| tuple[c]).collect()
+/// Hash the key of `row` under `mask` without materializing it.
+#[inline]
+fn key_hash_of(mask: ColumnMask, row: &[Code]) -> u64 {
+    hash_codes(mask.cols().map(|c| row[c]))
 }
 
-/// The extension of one predicate.
+/// Positions (arena row indexes) bucketed by a 64-bit hash. Buckets hold
+/// candidates in ascending position order; callers verify contents.
+type HashBuckets = FxHashMap<u64, Vec<u32>>;
+
+/// The extension of one predicate: a columnar arena of interned rows with
+/// hash-verified dedup and secondary indexes.
 #[derive(Debug, Clone, Default)]
 pub struct Relation {
     arity: usize,
-    tuples: Vec<Tuple>,
-    positions: HashMap<Tuple, u32>,
-    indexes: HashMap<ColumnMask, HashMap<Box<[Value]>, Vec<u32>>>,
+    /// The row arena, `arity` codes per row, insertion order.
+    rows: Vec<Code>,
+    /// Number of rows (tracked separately so arity-0 relations work).
+    count: u32,
+    /// Row-hash → candidate positions, for dedup and point containment.
+    positions: HashBuckets,
+    /// Secondary indexes: key-hash → candidate positions per column mask.
+    indexes: FxHashMap<ColumnMask, HashBuckets>,
 }
 
 impl Relation {
@@ -83,161 +97,237 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.count as usize
     }
 
-    /// True if the relation holds no tuples.
+    /// True if no tuple is stored.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.count == 0
     }
 
-    /// Membership test.
-    pub fn contains(&self, tuple: &Tuple) -> bool {
-        self.positions.contains_key(tuple)
+    /// The row at arena position `i` (insertion order).
+    #[inline]
+    pub fn row(&self, i: u32) -> &[Code] {
+        &self.rows[i as usize * self.arity..(i as usize + 1) * self.arity]
     }
 
-    /// All tuples, in insertion order.
-    pub fn scan(&self) -> &[Tuple] {
-        &self.tuples
+    /// All rows in insertion order.
+    pub fn rows(&self) -> impl Iterator<Item = &[Code]> + '_ {
+        (0..self.count).map(move |i| self.row(i))
     }
 
-    /// Insert a tuple; returns `true` if it was new.
-    ///
-    /// Panics in debug builds on arity mismatch; the [`crate::store::FactStore`]
-    /// validates arity before reaching this point.
-    pub fn insert(&mut self, tuple: Tuple) -> bool {
-        debug_assert_eq!(tuple.arity(), self.arity, "tuple arity mismatch");
-        if self.positions.contains_key(&tuple) {
-            return false;
+    /// True if `row` is present.
+    pub fn contains(&self, row: &[Code]) -> bool {
+        self.position_of(row).is_some()
+    }
+
+    /// The arena position of `row`, if present.
+    fn position_of(&self, row: &[Code]) -> Option<u32> {
+        debug_assert_eq!(row.len(), self.arity);
+        self.positions
+            .get(&hash_row(row))?
+            .iter()
+            .copied()
+            .find(|&p| self.row(p) == row)
+    }
+
+    /// Insert a row; `false` if it was already present.
+    pub fn insert(&mut self, row: &[Code]) -> bool {
+        debug_assert_eq!(row.len(), self.arity);
+        let h = hash_row(row);
+        if let Some(bucket) = self.positions.get(&h) {
+            if bucket.iter().any(|&p| self.row(p) == row) {
+                return false;
+            }
         }
-        let pos = u32::try_from(self.tuples.len()).expect("relation too large");
+        let pos = self.count;
+        assert!(pos != u32::MAX, "relation too large");
+        self.rows.extend_from_slice(row);
+        self.count += 1;
+        self.positions.entry(h).or_default().push(pos);
         for (mask, index) in &mut self.indexes {
-            index.entry(key_of(*mask, &tuple)).or_default().push(pos);
+            index.entry(key_hash_of(*mask, row)).or_default().push(pos);
         }
-        self.positions.insert(tuple.clone(), pos);
-        self.tuples.push(tuple);
         true
     }
 
-    /// Remove a tuple; returns `true` if it was present.
-    ///
-    /// Invalidates all indexes (rebuilt lazily by [`Relation::ensure_index`]).
-    pub fn remove(&mut self, tuple: &Tuple) -> bool {
-        let Some(pos) = self.positions.remove(tuple) else {
+    /// Remove a row; `false` if absent. The last row fills the hole
+    /// (swap-remove), and all secondary indexes are invalidated — they
+    /// rebuild lazily on the next [`Relation::ensure_index`].
+    pub fn remove(&mut self, row: &[Code]) -> bool {
+        let Some(pos) = self.position_of(row) else {
             return false;
         };
-        let pos = pos as usize;
-        self.tuples.swap_remove(pos);
-        if pos < self.tuples.len() {
-            // The previously-last tuple moved into `pos`.
-            let moved = self.tuples[pos].clone();
-            self.positions.insert(moved, pos as u32);
+        let h = hash_row(row);
+        let last = self.count - 1;
+        // Drop the removed row's position entry.
+        let bucket = self.positions.get_mut(&h).expect("present row is bucketed");
+        bucket.retain(|&p| p != pos);
+        if bucket.is_empty() {
+            self.positions.remove(&h);
         }
+        if pos != last {
+            // Move the last row into the hole and repoint its bucket entry.
+            let moved_hash = hash_row(self.row(last));
+            let (head, tail) = self.rows.split_at_mut(last as usize * self.arity);
+            head[pos as usize * self.arity..(pos as usize + 1) * self.arity]
+                .copy_from_slice(&tail[..self.arity]);
+            let bucket = self
+                .positions
+                .get_mut(&moved_hash)
+                .expect("moved row is bucketed");
+            for p in bucket.iter_mut() {
+                if *p == last {
+                    *p = pos;
+                }
+            }
+            bucket.sort_unstable();
+        }
+        self.rows.truncate(last as usize * self.arity);
+        self.count = last;
         self.indexes.clear();
         true
     }
 
-    /// Remove all tuples.
+    /// Remove everything (indexes included).
     pub fn clear(&mut self) {
-        self.tuples.clear();
+        self.rows.clear();
+        self.count = 0;
         self.positions.clear();
         self.indexes.clear();
     }
 
-    /// Ensure a hash index exists for `mask`. No-op for the empty mask
-    /// (a full scan serves it).
+    /// Build the index for `mask` if absent. The empty mask never gets an
+    /// index (a probe on it is a scan by definition).
     pub fn ensure_index(&mut self, mask: ColumnMask) {
         if mask.is_empty() || self.indexes.contains_key(&mask) {
             return;
         }
-        let mut index: HashMap<Box<[Value]>, Vec<u32>> = HashMap::new();
-        for (pos, t) in self.tuples.iter().enumerate() {
-            index.entry(key_of(mask, t)).or_default().push(pos as u32);
+        let mut index = HashBuckets::default();
+        for i in 0..self.count {
+            index
+                .entry(key_hash_of(mask, self.row(i)))
+                .or_default()
+                .push(i);
         }
         self.indexes.insert(mask, index);
     }
 
-    /// True if an index for `mask` is currently built.
+    /// True if the index for `mask` is present.
     pub fn has_index(&self, mask: ColumnMask) -> bool {
         self.indexes.contains_key(&mask)
     }
 
-    /// Probe the index for `mask` with `key` (values of the bound columns in
-    /// ascending position order). Returns matching tuples.
-    ///
-    /// Falls back to a full scan if the index does not exist; callers on hot
-    /// paths should [`Relation::ensure_index`] up front.
-    pub fn probe<'a>(
-        &'a self,
-        mask: ColumnMask,
-        key: &[Value],
-    ) -> Box<dyn Iterator<Item = &'a Tuple> + 'a> {
-        debug_assert_eq!(mask.count(), key.len());
-        if mask.is_empty() {
-            return Box::new(self.tuples.iter());
-        }
-        if let Some(index) = self.indexes.get(&mask) {
-            match index.get(key) {
-                Some(poss) => Box::new(poss.iter().map(move |&p| &self.tuples[p as usize])),
-                None => Box::new(std::iter::empty()),
-            }
-        } else {
-            // Unindexed fallback: filter a scan.
-            let key = key.to_vec();
-            Box::new(
-                self.tuples
-                    .iter()
-                    .filter(move |t| mask.cols().zip(key.iter()).all(|(c, &v)| t[c] == v)),
-            )
-        }
+    /// Rows whose `mask` columns equal `key`, in insertion order.
+    /// Allocation-free: index buckets are verified in place, the unindexed
+    /// fallback is a filtered scan.
+    pub fn probe<'a>(&'a self, mask: ColumnMask, key: &'a [Code]) -> ProbeIter<'a> {
+        self.probe_in_range(mask, key, 0, self.count)
     }
 
-    /// Count tuples matching `key` under `mask` (used by the join planner's
-    /// selectivity estimates and by tests).
-    pub fn probe_count(&self, mask: ColumnMask, key: &[Value]) -> usize {
-        self.probe(mask, key).count()
-    }
-
-    /// Probe restricted to tuples whose insertion position lies in
-    /// `[lo, hi)`.
-    ///
-    /// Insertion positions are stable while the relation only grows, which
-    /// is exactly the engine's i-interpretation discipline within a run;
-    /// semi-naive evaluation uses position windows as its delta sets.
-    /// Like [`Relation::probe`], falls back to a scan when unindexed.
+    /// [`Relation::probe`] restricted to insertion positions `lo..hi`
+    /// (`hi` is clamped to the current length) — the semi-naive delta
+    /// windows probe through this.
     pub fn probe_in_range<'a>(
         &'a self,
         mask: ColumnMask,
-        key: &[Value],
+        key: &'a [Code],
         lo: u32,
         hi: u32,
-    ) -> Box<dyn Iterator<Item = &'a Tuple> + 'a> {
-        debug_assert_eq!(mask.count(), key.len());
-        let lo = lo as usize;
-        let hi = (hi as usize).min(self.tuples.len());
-        if lo >= hi {
-            return Box::new(std::iter::empty());
-        }
-        if mask.is_empty() {
-            return Box::new(self.tuples[lo..hi].iter());
-        }
-        if let Some(index) = self.indexes.get(&mask) {
-            match index.get(key) {
-                Some(poss) => Box::new(
-                    poss.iter()
-                        .copied()
-                        .filter(move |&p| (p as usize) >= lo && (p as usize) < hi)
-                        .map(move |p| &self.tuples[p as usize]),
-                ),
-                None => Box::new(std::iter::empty()),
+    ) -> ProbeIter<'a> {
+        let hi = hi.min(self.count);
+        let lo = lo.min(hi);
+        debug_assert_eq!(key.len(), mask.count());
+        let source = if mask.is_empty() {
+            ProbeSource::Scan(lo)
+        } else if let Some(index) = self.indexes.get(&mask) {
+            match index.get(&hash_codes(key.iter().copied())) {
+                Some(bucket) => {
+                    // Candidates are ascending; narrow to the window.
+                    let start = bucket.partition_point(|&p| p < lo);
+                    ProbeSource::Bucket(&bucket[start..])
+                }
+                None => ProbeSource::Bucket(&[]),
             }
         } else {
-            let key = key.to_vec();
-            Box::new(
-                self.tuples[lo..hi]
-                    .iter()
-                    .filter(move |t| mask.cols().zip(key.iter()).all(|(c, &v)| t[c] == v)),
-            )
+            ProbeSource::Scan(lo)
+        };
+        ProbeIter {
+            rel: self,
+            mask,
+            key,
+            hi,
+            source,
+        }
+    }
+
+    /// Number of rows matching `key` under `mask`.
+    pub fn probe_count(&self, mask: ColumnMask, key: &[Code]) -> usize {
+        self.probe(mask, key).count()
+    }
+
+    /// Bytes of encoded tuple data in the arena.
+    pub fn encoded_bytes(&self) -> usize {
+        self.rows.len() * std::mem::size_of::<Code>()
+    }
+
+    /// Number of secondary indexes currently materialized.
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
+    }
+}
+
+enum ProbeSource<'a> {
+    /// Candidates from an index bucket (ascending positions, unverified).
+    Bucket(&'a [u32]),
+    /// Sequential scan cursor (next position to visit).
+    Scan(u32),
+}
+
+/// Iterator over matching rows, yielded in insertion order. See
+/// [`Relation::probe`].
+pub struct ProbeIter<'a> {
+    rel: &'a Relation,
+    mask: ColumnMask,
+    key: &'a [Code],
+    hi: u32,
+    source: ProbeSource<'a>,
+}
+
+impl<'a> Iterator for ProbeIter<'a> {
+    type Item = &'a [Code];
+
+    fn next(&mut self) -> Option<&'a [Code]> {
+        let (rel, mask, key, hi) = (self.rel, self.mask, self.key, self.hi);
+        // Verify the row at `pos` against the probe key on the masked
+        // columns (index buckets are hash candidates, not certainties).
+        let matches = move |pos: u32| {
+            let row = rel.row(pos);
+            mask.cols().zip(key).all(|(c, &k)| row[c] == k)
+        };
+        match &mut self.source {
+            ProbeSource::Bucket(bucket) => loop {
+                let (&pos, rest) = bucket.split_first()?;
+                *bucket = rest;
+                if pos >= hi {
+                    // Ascending candidates: past the window means done.
+                    *bucket = &[];
+                    return None;
+                }
+                if matches(pos) {
+                    return Some(rel.row(pos));
+                }
+            },
+            ProbeSource::Scan(next) => loop {
+                let pos = *next;
+                if pos >= hi {
+                    return None;
+                }
+                *next = pos + 1;
+                if matches(pos) {
+                    return Some(rel.row(pos));
+                }
+            },
         }
     }
 }
@@ -245,175 +335,170 @@ impl Relation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::value::SymId;
 
-    fn t(vals: &[i64]) -> Tuple {
-        vals.iter().map(|&v| Value::Int(v)).collect()
+    fn c(n: u32) -> Code {
+        Code(n)
     }
 
-    #[test]
-    fn mask_construction_and_queries() {
-        let m = ColumnMask::from_cols([0, 2]);
-        assert!(m.contains(0));
-        assert!(!m.contains(1));
-        assert!(m.contains(2));
-        assert_eq!(m.count(), 2);
-        assert_eq!(m.cols().collect::<Vec<_>>(), vec![0, 2]);
-        assert!(ColumnMask::EMPTY.is_empty());
-    }
-
-    #[test]
-    #[should_panic(expected = "out of range")]
-    fn mask_rejects_wide_arities() {
-        let _ = ColumnMask::from_cols([40]);
+    fn rel_with(rows: &[&[u32]]) -> Relation {
+        let mut r = Relation::new(rows.first().map_or(0, |t| t.len()));
+        for row in rows {
+            let codes: Vec<Code> = row.iter().map(|&n| c(n)).collect();
+            r.insert(&codes);
+        }
+        r
     }
 
     #[test]
     fn insert_deduplicates() {
         let mut r = Relation::new(2);
-        assert!(r.insert(t(&[1, 2])));
-        assert!(!r.insert(t(&[1, 2])));
-        assert!(r.insert(t(&[1, 3])));
+        assert!(r.insert(&[c(1), c(2)]));
+        assert!(!r.insert(&[c(1), c(2)]));
+        assert!(r.insert(&[c(2), c(1)]));
         assert_eq!(r.len(), 2);
-        assert!(r.contains(&t(&[1, 2])));
-        assert!(!r.contains(&t(&[9, 9])));
+        assert!(r.contains(&[c(1), c(2)]));
+        assert!(!r.contains(&[c(3), c(3)]));
     }
 
     #[test]
-    fn scan_preserves_insertion_order() {
-        let mut r = Relation::new(1);
-        r.insert(t(&[3]));
-        r.insert(t(&[1]));
-        r.insert(t(&[2]));
-        assert_eq!(r.scan(), &[t(&[3]), t(&[1]), t(&[2])]);
+    fn rows_iterate_in_insertion_order() {
+        let r = rel_with(&[&[3, 0], &[1, 1], &[2, 2]]);
+        let got: Vec<Vec<Code>> = r.rows().map(|t| t.to_vec()).collect();
+        assert_eq!(
+            got,
+            vec![vec![c(3), c(0)], vec![c(1), c(1)], vec![c(2), c(2)]]
+        );
     }
 
     #[test]
-    fn remove_swaps_and_fixes_positions() {
-        let mut r = Relation::new(1);
-        for i in 0..5 {
-            r.insert(t(&[i]));
-        }
-        assert!(r.remove(&t(&[1])));
-        assert!(!r.remove(&t(&[1])));
-        assert_eq!(r.len(), 4);
-        // The remaining tuples must all still be findable.
-        for i in [0, 2, 3, 4] {
-            assert!(r.contains(&t(&[i])), "lost tuple {i}");
-            assert!(r.remove(&t(&[i])));
-        }
-        assert!(r.is_empty());
+    fn remove_swaps_last_into_hole() {
+        let mut r = rel_with(&[&[1], &[2], &[3]]);
+        assert!(r.remove(&[c(1)]));
+        assert!(!r.remove(&[c(1)]));
+        let got: Vec<Code> = r.rows().map(|t| t[0]).collect();
+        assert_eq!(got, vec![c(3), c(2)]);
+        assert!(r.contains(&[c(3)]));
+        assert!(r.contains(&[c(2)]));
+        assert_eq!(r.len(), 2);
+        // Removing the (current) last row needs no swap.
+        assert!(r.remove(&[c(2)]));
+        let got: Vec<Code> = r.rows().map(|t| t[0]).collect();
+        assert_eq!(got, vec![c(3)]);
     }
 
     #[test]
-    fn index_probe_matches_scan_filter() {
+    fn indexes_are_maintained_on_insert() {
         let mut r = Relation::new(2);
-        for (a, b) in [(1, 10), (1, 20), (2, 10), (3, 30)] {
-            r.insert(t(&[a, b]));
-        }
+        let m = ColumnMask::from_cols([0]);
+        r.ensure_index(m);
+        r.insert(&[c(1), c(10)]);
+        r.insert(&[c(1), c(11)]);
+        r.insert(&[c(2), c(20)]);
+        let hits: Vec<Code> = r.probe(m, &[c(1)]).map(|t| t[1]).collect();
+        assert_eq!(hits, vec![c(10), c(11)]);
+        assert_eq!(r.probe_count(m, &[c(2)]), 1);
+        assert_eq!(r.probe_count(m, &[c(9)]), 0);
+    }
+
+    #[test]
+    fn remove_invalidates_indexes_and_ensure_rebuilds() {
+        let mut r = rel_with(&[&[1, 10], &[2, 20], &[1, 11]]);
         let m = ColumnMask::from_cols([0]);
         r.ensure_index(m);
         assert!(r.has_index(m));
-        let got: Vec<_> = r.probe(m, &[Value::Int(1)]).cloned().collect();
-        assert_eq!(got, vec![t(&[1, 10]), t(&[1, 20])]);
-        assert_eq!(r.probe_count(m, &[Value::Int(9)]), 0);
-    }
-
-    #[test]
-    fn unindexed_probe_falls_back_to_scan() {
-        let mut r = Relation::new(2);
-        r.insert(t(&[1, 10]));
-        r.insert(t(&[2, 20]));
-        let m = ColumnMask::from_cols([1]);
+        r.remove(&[c(1), c(10)]);
         assert!(!r.has_index(m));
-        let got: Vec<_> = r.probe(m, &[Value::Int(20)]).cloned().collect();
-        assert_eq!(got, vec![t(&[2, 20])]);
+        // Unindexed probes fall back to a verified scan.
+        let hits: Vec<Code> = r.probe(m, &[c(1)]).map(|t| t[1]).collect();
+        assert_eq!(hits, vec![c(11)]);
+        r.ensure_index(m);
+        assert!(r.has_index(m));
+        let hits: Vec<Code> = r.probe(m, &[c(1)]).map(|t| t[1]).collect();
+        assert_eq!(hits, vec![c(11)]);
     }
 
     #[test]
-    fn index_is_maintained_on_insert() {
-        let mut r = Relation::new(2);
-        let m = ColumnMask::from_cols([0]);
-        r.ensure_index(m);
-        r.insert(t(&[7, 1]));
-        r.insert(t(&[7, 2]));
-        assert_eq!(r.probe_count(m, &[Value::Int(7)]), 2);
-    }
-
-    #[test]
-    fn remove_invalidates_indexes() {
-        let mut r = Relation::new(1);
-        let m = ColumnMask::from_cols([0]);
-        r.insert(t(&[1]));
-        r.insert(t(&[2]));
-        r.ensure_index(m);
-        r.remove(&t(&[1]));
-        assert!(!r.has_index(m));
-        // Fallback still answers correctly, and rebuild works.
-        assert_eq!(r.probe_count(m, &[Value::Int(2)]), 1);
-        r.ensure_index(m);
-        assert_eq!(r.probe_count(m, &[Value::Int(1)]), 0);
-    }
-
-    #[test]
-    fn empty_mask_probe_is_full_scan() {
-        let mut r = Relation::new(1);
-        r.insert(t(&[1]));
-        r.insert(t(&[2]));
+    fn empty_mask_probe_scans_everything() {
+        let r = rel_with(&[&[1], &[2]]);
         assert_eq!(r.probe(ColumnMask::EMPTY, &[]).count(), 2);
+        let mut r2 = rel_with(&[&[1]]);
+        r2.ensure_index(ColumnMask::EMPTY);
+        assert!(!r2.has_index(ColumnMask::EMPTY), "empty mask never indexes");
     }
 
     #[test]
-    fn full_mask_point_lookup() {
-        let mut r = Relation::new(2);
-        r.insert(Tuple::new(vec![Value::Sym(SymId(0)), Value::Int(1)]));
+    fn full_mask_is_point_lookup() {
+        let mut r = rel_with(&[&[1, 2], &[3, 4]]);
         let m = ColumnMask::from_cols([0, 1]);
         r.ensure_index(m);
-        assert_eq!(r.probe_count(m, &[Value::Sym(SymId(0)), Value::Int(1)]), 1);
-        assert_eq!(r.probe_count(m, &[Value::Sym(SymId(0)), Value::Int(2)]), 0);
+        assert_eq!(r.probe_count(m, &[c(1), c(2)]), 1);
+        assert_eq!(r.probe_count(m, &[c(1), c(4)]), 0);
     }
 
     #[test]
-    fn probe_in_range_windows_by_insertion_position() {
-        let mut r = Relation::new(2);
-        for (a, b) in [(1, 10), (1, 20), (2, 10), (1, 30)] {
-            r.insert(t(&[a, b]));
-        }
+    fn range_probe_windows_by_insertion_position() {
+        // Key 1 sits at insertion positions 0, 2 and 4.
+        let mut r = rel_with(&[&[1, 10], &[2, 20], &[1, 11], &[3, 30], &[1, 12]]);
         let m = ColumnMask::from_cols([0]);
+        // Unindexed window.
+        assert_eq!(r.probe_in_range(m, &[c(1)], 2, 4).count(), 1);
+        assert_eq!(r.probe_in_range(m, &[c(1)], 0, 5).count(), 3);
+        // hi beyond len clamps.
+        assert_eq!(r.probe_in_range(m, &[c(1)], 0, 100).count(), 3);
+        assert_eq!(r.probe_in_range(m, &[c(1)], 4, 2).count(), 0);
+        // Indexed window agrees.
         r.ensure_index(m);
-        // Window [2, 4): only t(2,10) and t(1,30) are visible.
-        let got: Vec<_> = r
-            .probe_in_range(m, &[Value::Int(1)], 2, 4)
-            .cloned()
-            .collect();
-        assert_eq!(got, vec![t(&[1, 30])]);
-        // Full window equals plain probe.
-        assert_eq!(
-            r.probe_in_range(m, &[Value::Int(1)], 0, 4).count(),
-            r.probe_count(m, &[Value::Int(1)])
-        );
-        // Empty window.
-        assert_eq!(r.probe_in_range(m, &[Value::Int(1)], 3, 3).count(), 0);
-        // hi beyond len is clamped.
-        assert_eq!(r.probe_in_range(m, &[Value::Int(1)], 0, 99).count(), 3);
-        // Unindexed fallback agrees.
-        let m1 = ColumnMask::from_cols([1]);
-        let got: Vec<_> = r
-            .probe_in_range(m1, &[Value::Int(10)], 1, 4)
-            .cloned()
-            .collect();
-        assert_eq!(got, vec![t(&[2, 10])]);
-        // Empty-mask range scan.
+        assert_eq!(r.probe_in_range(m, &[c(1)], 2, 4).count(), 1);
+        assert_eq!(r.probe_in_range(m, &[c(1)], 3, 5).count(), 1);
+        // Empty mask windows the raw scan.
         assert_eq!(r.probe_in_range(ColumnMask::EMPTY, &[], 1, 3).count(), 2);
     }
 
     #[test]
-    fn clear_empties_everything() {
-        let mut r = Relation::new(1);
-        r.insert(t(&[1]));
-        r.ensure_index(ColumnMask::from_cols([0]));
+    fn arity_zero_relations_work() {
+        let mut r = Relation::new(0);
+        assert!(r.insert(&[]));
+        assert!(!r.insert(&[]));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[]));
+        assert_eq!(r.rows().count(), 1);
+        assert_eq!(r.row(0), &[] as &[Code]);
+        assert!(r.remove(&[]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut r = rel_with(&[&[1], &[2]]);
+        let m = ColumnMask::from_cols([0]);
+        r.ensure_index(m);
         r.clear();
         assert!(r.is_empty());
-        assert!(!r.contains(&t(&[1])));
+        assert!(!r.has_index(m));
+        assert!(!r.contains(&[c(1)]));
+        assert_eq!(r.encoded_bytes(), 0);
+    }
+
+    #[test]
+    fn stats_report_arena_size() {
+        let mut r = rel_with(&[&[1, 2], &[3, 4]]);
+        assert_eq!(r.encoded_bytes(), 2 * 2 * 4);
+        r.ensure_index(ColumnMask::from_cols([0]));
+        assert_eq!(r.index_count(), 1);
+    }
+
+    #[test]
+    fn mask_columns_are_ascending() {
+        let m = ColumnMask::from_cols([2, 0]);
+        assert_eq!(m.cols().collect::<Vec<_>>(), vec![0, 2]);
+        assert!(m.contains(0));
+        assert!(!m.contains(1));
+        assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mask_rejects_wide_columns() {
+        ColumnMask::from_cols([32]);
     }
 }

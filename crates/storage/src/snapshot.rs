@@ -1,17 +1,81 @@
-//! Portable snapshots of fact stores.
+//! Snapshots of fact stores: portable images and in-memory checkpoints.
 //!
 //! A [`Snapshot`] is a vocabulary-independent, JSON-serializable image of a
 //! [`FactStore`]: predicate names and arities plus constant-level tuples.
 //! Snapshots are the persistence format of the CLI and of tests that save
 //! and reload database states.
+//!
+//! A [`Checkpoint`] is the cheap in-memory sibling: it captures the store's
+//! `Arc`-shared relation shards, so taking one is O(#shards) — zero
+//! per-fact work — and restoring one shares every unchanged shard with the
+//! live store (copy-on-write kicks in only when either side mutates).
 
 use crate::error::StorageError;
+use crate::relation::Relation;
 use crate::store::FactStore;
 use crate::vocab::Vocabulary;
 use park_json::Json;
 use park_syntax::Const;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide count of [`Checkpoint::capture`] calls.
+static CAPTURES: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of shards shared (not copied) across capture/restore.
+static SHARD_REUSES: AtomicU64 = AtomicU64::new(0);
+
+/// Read the process-wide checkpoint capture counter.
+pub fn snapshot_captures() -> u64 {
+    CAPTURES.load(Ordering::Relaxed)
+}
+
+/// Read the process-wide checkpoint shard-reuse counter: how many relation
+/// shards were shared by reference instead of deep-copied.
+pub fn snapshot_shard_reuses() -> u64 {
+    SHARD_REUSES.load(Ordering::Relaxed)
+}
+
+/// An O(#shards) in-memory checkpoint of a [`FactStore`].
+///
+/// The checkpoint holds `Arc` references to the store's relation shards at
+/// capture time. Neither capturing nor restoring copies tuple data; a shard
+/// is deep-copied only when the live store (or a restored store) mutates it
+/// afterwards — observable through [`crate::store::cow_shard_clones`].
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    vocab: Arc<Vocabulary>,
+    rels: Vec<Arc<Relation>>,
+}
+
+impl Checkpoint {
+    /// Capture the store's current state by sharing its shards.
+    pub fn capture(store: &FactStore) -> Self {
+        let rels: Vec<Arc<Relation>> = store.shards().iter().map(Arc::clone).collect();
+        CAPTURES.fetch_add(1, Ordering::Relaxed);
+        SHARD_REUSES.fetch_add(rels.len() as u64, Ordering::Relaxed);
+        Checkpoint {
+            vocab: Arc::clone(store.vocab()),
+            rels,
+        }
+    }
+
+    /// Materialize a store at the captured state, sharing every shard.
+    pub fn restore(&self) -> FactStore {
+        SHARD_REUSES.fetch_add(self.rels.len() as u64, Ordering::Relaxed);
+        FactStore::from_shards(Arc::clone(&self.vocab), self.rels.clone())
+    }
+
+    /// Total number of facts at capture time.
+    pub fn len(&self) -> usize {
+        self.rels.iter().map(|r| r.len()).sum()
+    }
+
+    /// True if the checkpoint holds no facts.
+    pub fn is_empty(&self) -> bool {
+        self.rels.iter().all(|r| r.is_empty())
+    }
+}
 
 /// One predicate's extension in portable form.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -202,5 +266,37 @@ mod tests {
         assert!(snap.is_empty());
         let restored = snap.restore(Vocabulary::new()).unwrap();
         assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_shares_shards_and_isolates_mutation() {
+        let mut s = FactStore::from_source(Vocabulary::new(), "p(a). q(b).").unwrap();
+        let cp = Checkpoint::capture(&s);
+        assert_eq!(cp.len(), 2);
+        assert!(!cp.is_empty());
+        // Mutate the live store after the capture.
+        let p = s.vocab().lookup_pred("p").unwrap();
+        let c = s
+            .vocab()
+            .encode(crate::value::Value::Sym(s.vocab().sym("c")));
+        s.insert_row(p, &[c]);
+        assert_eq!(s.len(), 3);
+        // The checkpoint still sees the captured state.
+        let restored = cp.restore();
+        assert_eq!(restored.sorted_display(), vec!["p(a)", "q(b)"]);
+        // Restoring twice is fine; the live store is unaffected.
+        assert_eq!(cp.restore().len(), 2);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn checkpoint_counters_advance() {
+        let s = FactStore::from_source(Vocabulary::new(), "p(a).").unwrap();
+        let captures_before = snapshot_captures();
+        let reuses_before = snapshot_shard_reuses();
+        let cp = Checkpoint::capture(&s);
+        let _ = cp.restore();
+        assert_eq!(snapshot_captures(), captures_before + 1);
+        assert!(snapshot_shard_reuses() >= reuses_before + 2);
     }
 }

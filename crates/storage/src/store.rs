@@ -1,26 +1,49 @@
 //! The fact store: a database instance `D` as a set of ground atoms.
 //!
-//! A [`FactStore`] owns one [`Relation`] per predicate and shares a
+//! A [`FactStore`] owns one [`Relation`] shard per predicate and shares a
 //! [`Vocabulary`] with everything else in a PARK session. It is the concrete
 //! representation of the paper's database instances, of the three zones of
 //! an i-interpretation, and of PARK's result states.
+//!
+//! Shards are held behind `Arc`, so `FactStore::clone` is O(#shards): the
+//! clones share every relation arena until one side mutates it
+//! (copy-on-write via `Arc::make_mut`). Restart states, replay checkpoints
+//! and the testkit oracle's cold copies all ride on this — a restart that
+//! only ever grows two predicates deep-copies exactly those two shards.
+//! The process-wide [`cow_shard_clones`] counter observes the deep copies
+//! that do happen.
+//!
+//! The `Tuple`/`Value` API encodes into interned [`Code`] rows at this
+//! boundary; the engine's hot paths use the `_row` variants directly and
+//! never decode.
 
 use crate::error::StorageError;
 use crate::relation::{ColumnMask, Relation};
-use crate::value::Tuple;
+use crate::value::{Code, Tuple};
 use crate::vocab::{PredId, Vocabulary};
 use park_syntax::{parse_facts, Atom, Fact};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A list of facts as `(predicate, tuple)` pairs.
 pub type FactList = Vec<(PredId, Tuple)>;
 
-/// A set of ground atoms, organized per predicate.
+/// Process-wide count of relation shards deep-copied by copy-on-write
+/// (a shared shard was mutated). Snapshots and clones that only share
+/// never increment this.
+static COW_SHARD_CLONES: AtomicU64 = AtomicU64::new(0);
+
+/// Read the process-wide copy-on-write shard-copy counter.
+pub fn cow_shard_clones() -> u64 {
+    COW_SHARD_CLONES.load(Ordering::Relaxed)
+}
+
+/// A set of ground atoms, organized per predicate into `Arc`-shared shards.
 #[derive(Debug, Clone)]
 pub struct FactStore {
     vocab: Arc<Vocabulary>,
-    rels: Vec<Relation>,
+    rels: Vec<Arc<Relation>>,
 }
 
 impl FactStore {
@@ -52,7 +75,19 @@ impl FactStore {
         &self.vocab
     }
 
-    fn rel_slot(&mut self, pred: PredId) -> &mut Relation {
+    /// The shard `Arc`s themselves — `snapshot::Checkpoint` captures these.
+    pub(crate) fn shards(&self) -> &[Arc<Relation>] {
+        &self.rels
+    }
+
+    /// Rebuild a store from captured shards.
+    pub(crate) fn from_shards(vocab: Arc<Vocabulary>, rels: Vec<Arc<Relation>>) -> Self {
+        FactStore { vocab, rels }
+    }
+
+    /// Mutable access to the shard for `pred`, extending the shard vector
+    /// and copy-on-writing a shared arena as needed.
+    fn rel_mut(&mut self, pred: PredId) -> &mut Relation {
         let idx = pred.0 as usize;
         if idx >= self.rels.len() {
             // Newly-registered predicates get empty relations of the right
@@ -64,15 +99,19 @@ impl FactStore {
                 } else {
                     0
                 };
-                Relation::new(arity)
+                Arc::new(Relation::new(arity))
             }));
         }
-        &mut self.rels[idx]
+        let arc = &mut self.rels[idx];
+        if Arc::strong_count(arc) > 1 {
+            COW_SHARD_CLONES.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::make_mut(arc)
     }
 
     /// The relation for `pred`, if any tuples or indexes were created for it.
     pub fn relation(&self, pred: PredId) -> Option<&Relation> {
-        self.rels.get(pred.0 as usize)
+        self.rels.get(pred.0 as usize).map(Arc::as_ref)
     }
 
     /// Insert a tuple; returns `true` if new. Checks arity.
@@ -85,7 +124,15 @@ impl FactStore {
                 got: tuple.arity(),
             });
         }
-        Ok(self.rel_slot(pred).insert(tuple))
+        let row = self.vocab.encode_tuple(&tuple);
+        Ok(self.rel_mut(pred).insert(&row))
+    }
+
+    /// Insert an encoded row; returns `true` if new. The caller guarantees
+    /// the arity (rule heads are arity-checked at compile time).
+    pub fn insert_row(&mut self, pred: PredId, row: &[Code]) -> bool {
+        debug_assert_eq!(row.len(), self.vocab.pred_arity(pred));
+        self.rel_mut(pred).insert(row)
     }
 
     /// Insert a ground AST atom.
@@ -96,7 +143,18 @@ impl FactStore {
 
     /// Membership test.
     pub fn contains(&self, pred: PredId, tuple: &Tuple) -> bool {
-        self.relation(pred).is_some_and(|r| r.contains(tuple))
+        let Some(rel) = self.relation(pred) else {
+            return false;
+        };
+        if tuple.arity() != rel.arity() {
+            return false;
+        }
+        rel.contains(&self.vocab.encode_tuple(tuple))
+    }
+
+    /// Membership test for an encoded row.
+    pub fn contains_row(&self, pred: PredId, row: &[Code]) -> bool {
+        self.relation(pred).is_some_and(|r| r.contains(row))
     }
 
     /// Membership test for an AST atom (false for unknown predicates).
@@ -112,36 +170,66 @@ impl FactStore {
 
     /// Remove a tuple; returns `true` if it was present.
     pub fn remove(&mut self, pred: PredId, tuple: &Tuple) -> bool {
-        match self.rels.get_mut(pred.0 as usize) {
-            Some(r) => r.remove(tuple),
-            None => false,
+        if !self.contains(pred, tuple) {
+            return false;
         }
+        let row = self.vocab.encode_tuple(tuple);
+        self.rel_mut(pred).remove(&row)
+    }
+
+    /// Remove an encoded row; returns `true` if it was present.
+    pub fn remove_row(&mut self, pred: PredId, row: &[Code]) -> bool {
+        if !self.contains_row(pred, row) {
+            return false;
+        }
+        self.rel_mut(pred).remove(row)
     }
 
     /// Total number of facts.
     pub fn len(&self) -> usize {
-        self.rels.iter().map(Relation::len).sum()
+        self.rels.iter().map(|r| r.len()).sum()
     }
 
     /// True if no facts are stored.
     pub fn is_empty(&self) -> bool {
-        self.rels.iter().all(Relation::is_empty)
+        self.rels.iter().all(|r| r.is_empty())
     }
 
-    /// Remove every fact (predicates stay registered).
+    /// Total bytes of encoded tuple data across all shards.
+    pub fn encoded_bytes(&self) -> usize {
+        self.rels.iter().map(|r| r.encoded_bytes()).sum()
+    }
+
+    /// Remove every fact (predicates stay registered). Shared shards are
+    /// replaced, not copied: clearing never pays a copy-on-write clone.
     pub fn clear(&mut self) {
         for r in &mut self.rels {
-            r.clear();
+            if r.is_empty() {
+                continue;
+            }
+            *r = Arc::new(Relation::new(r.arity()));
         }
     }
 
-    /// Iterate over all `(pred, tuple)` pairs, predicate-major, in insertion
-    /// order within each predicate.
-    pub fn iter(&self) -> impl Iterator<Item = (PredId, &Tuple)> {
+    /// Iterate over all facts as decoded `(pred, tuple)` pairs,
+    /// predicate-major, in insertion order within each predicate.
+    ///
+    /// Rows live in columnar arenas, so tuples are materialized on the
+    /// way out — this is a boundary/diagnostic path, not a join path; the
+    /// engine iterates [`FactStore::iter_rows`] or probes relations
+    /// directly.
+    pub fn iter(&self) -> impl Iterator<Item = (PredId, Tuple)> + '_ {
+        self.iter_rows()
+            .map(|(p, row)| (p, self.vocab.decode_row(row)))
+    }
+
+    /// Iterate over all encoded `(pred, row)` pairs, predicate-major, in
+    /// insertion order within each predicate.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (PredId, &[Code])> {
         self.rels
             .iter()
             .enumerate()
-            .flat_map(|(i, r)| r.scan().iter().map(move |t| (PredId(i as u32), t)))
+            .flat_map(|(i, r)| r.rows().map(move |row| (PredId(i as u32), row)))
     }
 
     /// Predicates that currently have at least one tuple.
@@ -160,15 +248,18 @@ impl FactStore {
             Arc::ptr_eq(&self.vocab, &other.vocab),
             "vocabulary mismatch"
         );
-        for (p, t) in other.iter() {
-            self.insert(p, t.clone())?;
+        for p in other.nonempty_preds() {
+            let rel = Arc::clone(&other.rels[p.0 as usize]);
+            for row in rel.rows() {
+                self.insert_row(p, row);
+            }
         }
         Ok(())
     }
 
     /// Set equality of facts (ignores insertion order and indexes).
     pub fn same_facts(&self, other: &FactStore) -> bool {
-        self.len() == other.len() && self.iter().all(|(p, t)| other.contains(p, t))
+        self.len() == other.len() && self.iter_rows().all(|(p, r)| other.contains_row(p, r))
     }
 
     /// The set difference from `self` to `other` (both over the same
@@ -181,9 +272,9 @@ impl FactStore {
         );
         let collect = |from: &FactStore, not_in: &FactStore| {
             let mut v: Vec<(PredId, Tuple)> = from
-                .iter()
-                .filter(|(p, t)| !not_in.contains(*p, t))
-                .map(|(p, t)| (p, t.clone()))
+                .iter_rows()
+                .filter(|(p, r)| !not_in.contains_row(*p, r))
+                .map(|(p, r)| (p, self.vocab.decode_row(r)))
                 .collect();
             v.sort_by_key(|(p, t)| self.vocab.display_fact(*p, t));
             v
@@ -192,16 +283,29 @@ impl FactStore {
     }
 
     /// Ensure an index on `pred` for the bound-column `mask`.
+    ///
+    /// Checked through a shared reference first: when a clone's shard
+    /// already carries the index (the common case for restart states
+    /// cloned from an indexed database), this is a no-op that never
+    /// triggers a copy-on-write clone.
     pub fn ensure_index(&mut self, pred: PredId, mask: ColumnMask) {
-        self.rel_slot(pred).ensure_index(mask);
+        if mask.is_empty() {
+            return;
+        }
+        if let Some(rel) = self.relation(pred) {
+            if rel.has_index(mask) {
+                return;
+            }
+        }
+        self.rel_mut(pred).ensure_index(mask);
     }
 
     /// All facts rendered as text, sorted — the canonical form used in tests
     /// and traces.
     pub fn sorted_display(&self) -> Vec<String> {
         let mut out: Vec<String> = self
-            .iter()
-            .map(|(p, t)| self.vocab.display_fact(p, t))
+            .iter_rows()
+            .map(|(p, r)| self.vocab.display_row(p, r))
             .collect();
         out.sort();
         out
@@ -273,14 +377,26 @@ mod tests {
 
     #[test]
     fn remove_and_len() {
-        let v = Vocabulary::new();
         let mut s = store("p(a). p(b).");
-        let _ = v; // vocab of `s` differs; use its own.
         let p = s.vocab().lookup_pred("p").unwrap();
         let a = s.vocab().sym("a");
         assert!(s.remove(p, &Tuple::new(vec![Value::Sym(a)])));
         assert_eq!(s.len(), 1);
         assert!(!s.remove(p, &Tuple::new(vec![Value::Sym(a)])));
+    }
+
+    #[test]
+    fn row_api_round_trips() {
+        let mut s = store("p(a).");
+        let p = s.vocab().lookup_pred("p").unwrap();
+        let b = s.vocab().encode(Value::Sym(s.vocab().sym("b")));
+        assert!(s.insert_row(p, &[b]));
+        assert!(!s.insert_row(p, &[b]));
+        assert!(s.contains_row(p, &[b]));
+        assert!(s.contains(p, &Tuple::new(vec![Value::Sym(s.vocab().sym("b"))])));
+        assert!(s.remove_row(p, &[b]));
+        assert!(!s.remove_row(p, &[b]));
+        assert_eq!(s.len(), 1);
     }
 
     #[test]
@@ -332,6 +448,7 @@ mod tests {
     fn iter_covers_all_predicates() {
         let s = store("p(a). q(b). q(c).");
         assert_eq!(s.iter().count(), 3);
+        assert_eq!(s.iter_rows().count(), 3);
         assert_eq!(s.nonempty_preds().count(), 2);
     }
 
@@ -349,5 +466,56 @@ mod tests {
         let s = store("alarm. shutdown.");
         assert_eq!(s.sorted_display(), vec!["alarm", "shutdown"]);
         assert!(s.contains_atom(&Atom::prop("alarm")));
+    }
+
+    #[test]
+    fn clone_shares_shards_until_mutation() {
+        let s = store("p(a). p(b). q(1).");
+        let p = s.vocab().lookup_pred("p").unwrap();
+        let q = s.vocab().lookup_pred("q").unwrap();
+        let mut c = s.clone();
+        // All shards shared after the clone.
+        assert!(Arc::ptr_eq(
+            &s.shards()[p.0 as usize],
+            &c.shards()[p.0 as usize]
+        ));
+        let before = cow_shard_clones();
+        let val = s.vocab().encode(Value::Sym(s.vocab().sym("c")));
+        c.insert_row(p, &[val]);
+        // Only the mutated shard was copied.
+        assert!(!Arc::ptr_eq(
+            &s.shards()[p.0 as usize],
+            &c.shards()[p.0 as usize]
+        ));
+        assert!(Arc::ptr_eq(
+            &s.shards()[q.0 as usize],
+            &c.shards()[q.0 as usize]
+        ));
+        assert_eq!(cow_shard_clones(), before + 1);
+        // The original is untouched.
+        assert_eq!(s.len(), 3);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn ensure_index_on_indexed_clone_does_not_copy() {
+        let mut s = store("e(a, b). e(a, c).");
+        let e = s.vocab().lookup_pred("e").unwrap();
+        let mask = ColumnMask::from_cols([0]);
+        s.ensure_index(e, mask);
+        let mut c = s.clone();
+        let before = cow_shard_clones();
+        c.ensure_index(e, mask);
+        assert_eq!(cow_shard_clones(), before, "no copy for a present index");
+        assert!(Arc::ptr_eq(
+            &s.shards()[e.0 as usize],
+            &c.shards()[e.0 as usize]
+        ));
+    }
+
+    #[test]
+    fn encoded_bytes_accounts_arenas() {
+        let s = store("e(a, b). e(a, c). p(x).");
+        assert_eq!(s.encoded_bytes(), (2 * 2 + 1) * 4);
     }
 }

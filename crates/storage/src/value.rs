@@ -49,6 +49,85 @@ impl From<i64> for Value {
     }
 }
 
+/// An interned value code — the 4-byte currency of relation arenas and the
+/// engine's join paths.
+///
+/// The 32-bit space is split into three tagged ranges:
+///
+/// ```text
+/// 0x0000_0000 .. 0x4000_0000   symbol        (code == SymId)
+/// 0x4000_0000 .. 0x8000_0000   spilled int   (index into the vocabulary's
+///                                             big-integer table)
+/// 0x8000_0000 .. 0xFFFF_FFFF   small int     (i + 2^30 + 0x8000_0000,
+///                                             i ∈ [-2^30, 2^30))
+/// ```
+///
+/// The encoding is injective, so equality of codes is equality of values.
+/// For symbols and small integers it is also *order-preserving* with
+/// respect to [`Value`]'s ordering (all symbols sort before all integers);
+/// only spilled big integers (|i| ≥ 2^30) break code order, which is why
+/// observable sorts decode first (see `crate::vocab::Vocabulary::decode`).
+/// Encoding and decoding are pure arithmetic except for spills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Code(pub u32);
+
+/// First code outside the symbol range (2^30 symbols max).
+const SYM_LIMIT: u32 = 0x4000_0000;
+/// Tag bit for spilled big-integer codes.
+const SPILL_TAG: u32 = 0x4000_0000;
+/// Offset of the small-integer range.
+const INT_BASE: u32 = 0x8000_0000;
+/// Bias added to a small integer before offsetting into the code space.
+const SMALL_BIAS: i64 = 1 << 30;
+
+impl Code {
+    /// Encode a symbol. Symbol ids are dense and bounded by the number of
+    /// distinct constants in a program, far below the 2^30 ceiling.
+    #[inline]
+    pub fn from_sym(sym: SymId) -> Code {
+        debug_assert!(sym.0 < SYM_LIMIT, "symbol table exceeds 2^30 entries");
+        Code(sym.0)
+    }
+
+    /// Encode an integer in the small range `[-2^30, 2^30)`; `None` when it
+    /// must spill to the vocabulary's big-integer table.
+    #[inline]
+    pub fn from_small_int(i: i64) -> Option<Code> {
+        if (-SMALL_BIAS..SMALL_BIAS).contains(&i) {
+            Some(Code(INT_BASE + (i + SMALL_BIAS) as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Build a spilled big-integer code from its table index.
+    #[inline]
+    pub fn from_spill(index: u32) -> Code {
+        debug_assert!(index < SYM_LIMIT, "big-integer table exceeds 2^30 entries");
+        Code(SPILL_TAG | index)
+    }
+
+    /// The symbol id, if this code encodes a symbol.
+    #[inline]
+    pub fn as_sym(self) -> Option<SymId> {
+        (self.0 < SYM_LIMIT).then_some(SymId(self.0))
+    }
+
+    /// The integer, if this code encodes a small (unspilled) integer.
+    #[inline]
+    pub fn as_small_int(self) -> Option<i64> {
+        (self.0 >= INT_BASE).then(|| (self.0 - INT_BASE) as i64 - SMALL_BIAS)
+    }
+
+    /// The big-integer table index, if this code is a spill.
+    #[inline]
+    pub fn spill_index(self) -> Option<u32> {
+        (SYM_LIMIT..INT_BASE)
+            .contains(&self.0)
+            .then_some(self.0 & !SPILL_TAG)
+    }
+}
+
 impl From<SymId> for Value {
     fn from(s: SymId) -> Self {
         Value::Sym(s)
@@ -161,5 +240,54 @@ mod tests {
     fn display_without_vocab() {
         let t = Tuple::new(vec![Value::Sym(SymId(3)), Value::Int(-2)]);
         assert_eq!(t.to_string(), "(#3, -2)");
+    }
+
+    #[test]
+    fn code_is_four_bytes() {
+        assert_eq!(std::mem::size_of::<Code>(), 4);
+    }
+
+    #[test]
+    fn code_tags_are_disjoint() {
+        let sym = Code::from_sym(SymId(7));
+        let int = Code::from_small_int(7).unwrap();
+        let spill = Code::from_spill(7);
+        assert_eq!(sym.as_sym(), Some(SymId(7)));
+        assert_eq!(sym.as_small_int(), None);
+        assert_eq!(sym.spill_index(), None);
+        assert_eq!(int.as_small_int(), Some(7));
+        assert_eq!(int.as_sym(), None);
+        assert_eq!(int.spill_index(), None);
+        assert_eq!(spill.spill_index(), Some(7));
+        assert_eq!(spill.as_sym(), None);
+        assert_eq!(spill.as_small_int(), None);
+    }
+
+    #[test]
+    fn small_int_round_trip_covers_the_whole_range() {
+        for i in [-(1i64 << 30), -1, 0, 1, 42, (1i64 << 30) - 1] {
+            assert_eq!(Code::from_small_int(i).unwrap().as_small_int(), Some(i));
+        }
+        assert_eq!(Code::from_small_int(1 << 30), None);
+        assert_eq!(Code::from_small_int(-(1i64 << 30) - 1), None);
+        assert_eq!(Code::from_small_int(i64::MAX), None);
+        assert_eq!(Code::from_small_int(i64::MIN), None);
+    }
+
+    #[test]
+    fn code_order_matches_value_order_without_spills() {
+        // All symbols sort before all small integers, each class in its
+        // natural order — exactly `Value`'s derived ordering.
+        let codes = [
+            Code::from_sym(SymId(0)),
+            Code::from_sym(SymId(5)),
+            Code::from_small_int(-(1 << 30)).unwrap(),
+            Code::from_small_int(-3).unwrap(),
+            Code::from_small_int(0).unwrap(),
+            Code::from_small_int((1 << 30) - 1).unwrap(),
+        ];
+        let mut sorted = codes;
+        sorted.sort();
+        assert_eq!(sorted, codes);
     }
 }

@@ -6,12 +6,20 @@
 //! (`parking_lot::RwLock`) so read-mostly paths stay cheap.
 
 use crate::error::StorageError;
-use crate::value::{SymId, Tuple, Value};
+use crate::value::{Code, SymId, Tuple, Value};
 use park_syntax::{Atom, Const, Term};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+
+/// The big-integer spill table: integers outside the small inline range
+/// `[-2^30, 2^30)` intern here and encode as spill codes.
+#[derive(Debug, Default)]
+struct IntSpills {
+    values: Vec<i64>,
+    by_value: HashMap<i64, u32>,
+}
 
 /// An interned predicate symbol (name + fixed arity).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -40,6 +48,7 @@ struct Catalog {
 pub struct Vocabulary {
     symbols: RwLock<Symbols>,
     catalog: RwLock<Catalog>,
+    spills: RwLock<IntSpills>,
 }
 
 impl Vocabulary {
@@ -131,6 +140,67 @@ impl Vocabulary {
     /// Number of interned symbols.
     pub fn sym_count(&self) -> usize {
         self.symbols.read().names.len()
+    }
+
+    /// Encode a runtime value into its 4-byte intern [`Code`].
+    ///
+    /// Symbols and small integers (|i| < 2^30) encode by pure arithmetic;
+    /// big integers intern into the spill table on first sight. The
+    /// encoding is injective within one vocabulary.
+    #[inline]
+    pub fn encode(&self, v: Value) -> Code {
+        match v {
+            Value::Sym(s) => Code::from_sym(s),
+            Value::Int(i) => match Code::from_small_int(i) {
+                Some(c) => c,
+                None => self.spill(i),
+            },
+        }
+    }
+
+    /// Decode an intern [`Code`] back to its runtime value.
+    #[inline]
+    pub fn decode(&self, c: Code) -> Value {
+        if let Some(s) = c.as_sym() {
+            Value::Sym(s)
+        } else if let Some(i) = c.as_small_int() {
+            Value::Int(i)
+        } else {
+            let idx = c.spill_index().expect("exhaustive code tags");
+            Value::Int(self.spills.read().values[idx as usize])
+        }
+    }
+
+    /// Intern a big integer into the spill table (slow path of
+    /// [`Vocabulary::encode`]).
+    fn spill(&self, i: i64) -> Code {
+        if let Some(&idx) = self.spills.read().by_value.get(&i) {
+            return Code::from_spill(idx);
+        }
+        let mut w = self.spills.write();
+        if let Some(&idx) = w.by_value.get(&i) {
+            return Code::from_spill(idx);
+        }
+        let idx = u32::try_from(w.values.len()).expect("big-integer table overflow");
+        w.values.push(i);
+        w.by_value.insert(i, idx);
+        Code::from_spill(idx)
+    }
+
+    /// Encode every value of a tuple into a boxed code row.
+    pub fn encode_tuple(&self, t: &Tuple) -> Box<[Code]> {
+        t.values().iter().map(|&v| self.encode(v)).collect()
+    }
+
+    /// Decode a code row back into a tuple.
+    pub fn decode_row(&self, row: &[Code]) -> Tuple {
+        row.iter().map(|&c| self.decode(c)).collect()
+    }
+
+    /// Render a `(PredId, &[Code])` row as text, e.g. `p(a, 3)` — the
+    /// decoding twin of [`Vocabulary::display_fact`].
+    pub fn display_row(&self, pred: PredId, row: &[Code]) -> String {
+        self.display_fact(pred, &self.decode_row(row))
     }
 
     /// Convert an AST constant to a runtime value.
@@ -246,6 +316,56 @@ mod tests {
         assert!(v.lookup_pred("q").is_none());
         v.pred("q", 1).unwrap();
         assert!(v.lookup_pred("q").is_some());
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_value_shape() {
+        let v = Vocabulary::new();
+        let shapes = [
+            Value::Sym(v.sym("a")),
+            Value::Sym(v.sym("z")),
+            Value::Int(0),
+            Value::Int(-1),
+            Value::Int((1 << 30) - 1),
+            Value::Int(-(1 << 30)),
+            Value::Int(1 << 30),
+            Value::Int(i64::MAX),
+            Value::Int(i64::MIN),
+        ];
+        for val in shapes {
+            assert_eq!(v.decode(v.encode(val)), val, "{val:?}");
+            // Injective: re-encoding yields the same code.
+            assert_eq!(v.encode(val), v.encode(val));
+        }
+        // Distinct values get distinct codes.
+        let codes: std::collections::HashSet<_> = shapes.iter().map(|&x| v.encode(x)).collect();
+        assert_eq!(codes.len(), shapes.len());
+    }
+
+    #[test]
+    fn spilled_ints_intern_idempotently() {
+        let v = Vocabulary::new();
+        let big = 1i64 << 40;
+        let c1 = v.encode(Value::Int(big));
+        let c2 = v.encode(Value::Int(big));
+        assert_eq!(c1, c2);
+        assert!(c1.spill_index().is_some());
+        assert_eq!(v.decode(c1), Value::Int(big));
+    }
+
+    #[test]
+    fn tuple_row_round_trip() {
+        let v = Vocabulary::new();
+        let t = Tuple::new(vec![
+            Value::Sym(v.sym("x")),
+            Value::Int(7),
+            Value::Int(1 << 35),
+        ]);
+        let row = v.encode_tuple(&t);
+        assert_eq!(row.len(), 3);
+        assert_eq!(v.decode_row(&row), t);
+        let p = v.pred("p", 3).unwrap();
+        assert_eq!(v.display_row(p, &row), v.display_fact(p, &t));
     }
 
     #[test]

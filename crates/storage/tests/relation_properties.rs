@@ -3,7 +3,7 @@
 //! scans, membership with contents, and windowed probes with position
 //! filtering.
 
-use park_storage::{ColumnMask, Relation, Tuple, Value};
+use park_storage::{Code, ColumnMask, Relation};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -22,8 +22,19 @@ fn arb_op() -> impl Strategy<Value = Op> {
     ]
 }
 
-fn t(a: i64, b: i64) -> Tuple {
-    Tuple::new(vec![Value::Int(a), Value::Int(b)])
+fn c(n: i64) -> Code {
+    Code::from_small_int(n).expect("test ints are small")
+}
+
+fn row(a: i64, b: i64) -> [Code; 2] {
+    [c(a), c(b)]
+}
+
+fn decode(r: &[Code]) -> (i64, i64) {
+    (
+        r[0].as_small_int().expect("small int"),
+        r[1].as_small_int().expect("small int"),
+    )
 }
 
 fn mask_of(sel: u8) -> ColumnMask {
@@ -37,7 +48,7 @@ fn mask_of(sel: u8) -> ColumnMask {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// The relation behaves exactly like a model `HashSet` of tuples, and
+    /// The relation behaves exactly like a model `HashSet` of rows, and
     /// every probe agrees with a brute-force filter of that model.
     #[test]
     fn relation_matches_set_model(ops in prop::collection::vec(arb_op(), 0..60)) {
@@ -46,11 +57,11 @@ proptest! {
         for op in &ops {
             match *op {
                 Op::Insert(a, b) => {
-                    let fresh = rel.insert(t(a, b));
+                    let fresh = rel.insert(&row(a, b));
                     prop_assert_eq!(fresh, model.insert((a, b)));
                 }
                 Op::Remove(a, b) => {
-                    let had = rel.remove(&t(a, b));
+                    let had = rel.remove(&row(a, b));
                     prop_assert_eq!(had, model.remove(&(a, b)));
                 }
                 Op::EnsureIndex(sel) => rel.ensure_index(mask_of(sel)),
@@ -58,12 +69,8 @@ proptest! {
             prop_assert_eq!(rel.len(), model.len());
         }
 
-        // Scan contents equal the model.
-        let scanned: HashSet<(i64, i64)> = rel
-            .scan()
-            .iter()
-            .map(|tp| (tp[0].as_int().unwrap(), tp[1].as_int().unwrap()))
-            .collect();
+        // Arena contents equal the model.
+        let scanned: HashSet<(i64, i64)> = rel.rows().map(decode).collect();
         prop_assert_eq!(&scanned, &model);
 
         // Every point and prefix probe agrees with brute force, with and
@@ -76,8 +83,8 @@ proptest! {
             }
             for key0 in 0i64..5 {
                 let got: HashSet<(i64, i64)> = rel
-                    .probe(ColumnMask::from_cols([0]), &[Value::Int(key0)])
-                    .map(|tp| (tp[0].as_int().unwrap(), tp[1].as_int().unwrap()))
+                    .probe(ColumnMask::from_cols([0]), &[c(key0)])
+                    .map(decode)
                     .collect();
                 let want: HashSet<(i64, i64)> =
                     model.iter().copied().filter(|&(a, _)| a == key0).collect();
@@ -86,7 +93,7 @@ proptest! {
                 for key1 in 0i64..5 {
                     let cnt = rel.probe_count(
                         ColumnMask::from_cols([0, 1]),
-                        &[Value::Int(key0), Value::Int(key1)],
+                        &[c(key0), c(key1)],
                     );
                     let want = usize::from(model.contains(&(key0, key1)));
                     prop_assert_eq!(cnt, want, "point probe ({}, {})", key0, key1);
@@ -104,23 +111,26 @@ proptest! {
     ) {
         let mut rel = Relation::new(2);
         for &(a, b) in &pairs {
-            rel.insert(t(a, b));
+            rel.insert(&row(a, b));
         }
         let m = ColumnMask::from_cols([0]);
         rel.ensure_index(m);
         let len = rel.len() as u32;
         let split = (len as f64 * split_frac) as u32;
         for key in 0i64..6 {
-            let k = [Value::Int(key)];
-            let old: Vec<Tuple> = rel.probe_in_range(m, &k, 0, split).cloned().collect();
-            let delta: Vec<Tuple> = rel.probe_in_range(m, &k, split, len).cloned().collect();
-            let full: Vec<Tuple> = rel.probe_in_range(m, &k, 0, len).cloned().collect();
+            let k = [c(key)];
+            let old: Vec<Vec<Code>> =
+                rel.probe_in_range(m, &k, 0, split).map(<[Code]>::to_vec).collect();
+            let delta: Vec<Vec<Code>> =
+                rel.probe_in_range(m, &k, split, len).map(<[Code]>::to_vec).collect();
+            let full: Vec<Vec<Code>> =
+                rel.probe_in_range(m, &k, 0, len).map(<[Code]>::to_vec).collect();
             let mut merged = old.clone();
             merged.extend(delta.iter().cloned());
             // Index order is insertion order in both windows, so simple
             // concatenation must reproduce the full probe.
             prop_assert_eq!(merged, full, "key {}", key);
-            let o: HashSet<&Tuple> = old.iter().collect();
+            let o: HashSet<&Vec<Code>> = old.iter().collect();
             prop_assert!(delta.iter().all(|tp| !o.contains(tp)), "windows overlap");
         }
     }

@@ -30,9 +30,13 @@ use park_engine::{
     EngineError, Grounding, IInterpretation, LitKind, ParkOutcome, ResolutionScope, RunStats,
     SelectContext, TermSlot, Trace, TraceEvent,
 };
-use park_storage::{FactStore, PredId, Tuple, Value};
+use park_storage::{Code, FactStore, PredId, Value, Vocabulary};
 use park_syntax::{CompOp, Sign};
 use std::collections::{HashMap, HashSet};
+
+/// A fired atom's key and its per-sign deriving groundings — the oracle's
+/// conflict-provenance map, keyed by encoded row.
+type ProvenanceMap = HashMap<(PredId, Box<[Code]>), [HashSet<Grounding>; 2]>;
 
 /// Safety valves: generated cases are tiny, so hitting either limit is
 /// itself a divergence worth reporting.
@@ -90,7 +94,7 @@ pub fn evaluate(
         let run = restarts + 1;
         trace.push(TraceEvent::RunStarted { run });
         let mut interp = IInterpretation::from_database(db.clone());
-        let mut provenance: HashMap<(PredId, Tuple), [HashSet<Grounding>; 2]> = HashMap::new();
+        let mut provenance: ProvenanceMap = HashMap::new();
         let mut step_in_run: u64 = 0;
 
         loop {
@@ -99,21 +103,21 @@ pub fn evaluate(
             }
             // Γ_{P,B}(I): every non-blocked grounding (r, θ) whose body is
             // valid in I, by exhaustive substitution enumeration.
-            let mut fired: Vec<(Grounding, Sign, PredId, Tuple)> = Vec::new();
+            let mut fired: Vec<(Grounding, Sign, PredId, Box<[Code]>)> = Vec::new();
             for rule in program.rules() {
                 for subst in substitutions(rule.num_vars as usize, &domain) {
                     let g = Grounding {
                         rule: rule.id,
                         subst: subst.clone().into_boxed_slice(),
                     };
-                    if blocked.contains(&g) || !body_valid(rule, &subst, &interp) {
+                    if blocked.contains(&g) || !body_valid(vocab, rule, &subst, &interp) {
                         continue;
                     }
                     let tuple = rule.head.instantiate(&subst);
                     fired.push((g, rule.head_sign, rule.head.pred, tuple));
                 }
             }
-            let conflicts = conflicts_of(&fired, &provenance);
+            let conflicts = conflicts_of(vocab, &fired, &provenance);
 
             if conflicts.is_empty() {
                 // Consistent: take the inflationary step.
@@ -121,8 +125,8 @@ pub fn evaluate(
                 step_in_run += 1;
                 let mut added: Vec<String> = Vec::new();
                 for (_, sign, pred, tuple) in &fired {
-                    if interp.insert_marked(*sign, *pred, tuple.clone()) {
-                        added.push(format!("{sign}{}", vocab.display_fact(*pred, tuple)));
+                    if interp.insert_marked(*sign, *pred, tuple) {
+                        added.push(format!("{sign}{}", vocab.display_row(*pred, tuple)));
                     }
                 }
                 for (g, sign, pred, tuple) in &fired {
@@ -212,13 +216,11 @@ pub fn evaluate(
 
     // incorp(I) = (I° ∪ {a | +a ∈ I⁺}) − {a | -a ∈ I⁻}.
     let mut database = final_interp.base().clone();
-    for (p, t) in final_interp.plus().iter() {
-        database
-            .insert(p, t.clone())
-            .expect("arity consistent by construction");
+    for (p, t) in final_interp.plus().iter_rows() {
+        database.insert_row(p, t);
     }
-    for (p, t) in final_interp.minus().iter() {
-        database.remove(p, t);
+    for (p, t) in final_interp.minus().iter_rows() {
+        database.remove_row(p, t);
     }
 
     let stats = RunStats {
@@ -241,16 +243,20 @@ pub fn evaluate(
     })
 }
 
-/// The active domain: every constant in `D` or in the program's rules.
-/// Function-free rules can only ever bind variables to these values.
-fn active_domain(program: &CompiledProgram, db: &FactStore) -> Vec<Value> {
+/// The active domain: every constant in `D` or in the program's rules,
+/// as interned codes *sorted by decoded value* — function-free rules can
+/// only ever bind variables to these values, and the Value-order
+/// enumeration keeps the oracle's observable orderings independent of
+/// intern-code allocation order.
+fn active_domain(program: &CompiledProgram, db: &FactStore) -> Vec<Code> {
+    let vocab = program.vocab();
     let mut out: Vec<Value> = Vec::new();
     for (_, tuple) in db.iter() {
         out.extend(tuple.values().iter().copied());
     }
     let mut atom_consts = |terms: &[TermSlot]| {
         out.extend(terms.iter().filter_map(|t| match t {
-            TermSlot::Const(v) => Some(*v),
+            TermSlot::Const(c) => Some(vocab.decode(*c)),
             TermSlot::Var(_) => None,
         }));
     };
@@ -265,12 +271,12 @@ fn active_domain(program: &CompiledProgram, db: &FactStore) -> Vec<Value> {
     }
     out.sort();
     out.dedup();
-    out
+    out.into_iter().map(|v| vocab.encode(v)).collect()
 }
 
 /// All total substitutions for `num_vars` variables over `domain`, in
 /// lexicographic slot order.
-fn substitutions(num_vars: usize, domain: &[Value]) -> Vec<Vec<Value>> {
+fn substitutions(num_vars: usize, domain: &[Code]) -> Vec<Vec<Code>> {
     let mut out = vec![Vec::new()];
     for _ in 0..num_vars {
         let mut next = Vec::with_capacity(out.len() * domain.len());
@@ -288,13 +294,18 @@ fn substitutions(num_vars: usize, domain: &[Value]) -> Vec<Vec<Value>> {
 
 /// Validity of every body literal of `rθ` in `I` (Sections 4.2–4.3),
 /// checked in source order.
-fn body_valid(rule: &CompiledRule, subst: &[Value], interp: &IInterpretation) -> bool {
+fn body_valid(
+    vocab: &Vocabulary,
+    rule: &CompiledRule,
+    subst: &[Code],
+    interp: &IInterpretation,
+) -> bool {
     rule.body.iter().all(|lit| match lit {
         CompiledLiteral::Atom { kind, atom } => {
             let t = atom.instantiate(subst);
-            let in_base = interp.base().contains(atom.pred, &t);
-            let in_plus = interp.plus().contains(atom.pred, &t);
-            let in_minus = interp.minus().contains(atom.pred, &t);
+            let in_base = interp.base().contains_row(atom.pred, &t);
+            let in_plus = interp.plus().contains_row(atom.pred, &t);
+            let in_minus = interp.minus().contains_row(atom.pred, &t);
             match kind {
                 // a is valid iff a ∈ I° or +a ∈ I⁺.
                 LitKind::Pos => in_base || in_plus,
@@ -306,17 +317,20 @@ fn body_valid(rule: &CompiledRule, subst: &[Value], interp: &IInterpretation) ->
             }
         }
         CompiledLiteral::Guard { op, lhs, rhs } => {
-            let val = |t: &TermSlot| match *t {
-                TermSlot::Const(v) => v,
+            let code = |t: &TermSlot| match *t {
+                TermSlot::Const(c) => c,
                 TermSlot::Var(s) => subst[s as usize],
             };
-            let (l, r) = (val(lhs), val(rhs));
+            let (l, r) = (code(lhs), code(rhs));
             match op {
+                // Codes are injective: equality needs no decode.
                 CompOp::Eq => l == r,
                 CompOp::Ne => l != r,
                 // Ordered comparisons are integer-only; symbols compare
                 // false (the language extension's documented semantics).
-                _ => match (l, r) {
+                // Decoded, because spilled big-int codes are not
+                // order-preserving.
+                _ => match (vocab.decode(l), vocab.decode(r)) {
                     (Value::Int(a), Value::Int(b)) => op.eval_ordering(a.cmp(&b)),
                     _ => false,
                 },
@@ -328,13 +342,15 @@ fn body_valid(rule: &CompiledRule, subst: &[Value], interp: &IInterpretation) ->
 /// The conflicts of `fired` "one step into the future", merged with the
 /// run's provenance: atoms with both an inserting and a deleting grounding,
 /// in order of first appearance, each side deduplicated and sorted by
-/// `(rule, substitution)`.
+/// `(rule, substitution)` over *decoded* substitutions (code order is not
+/// value order for spilled integers).
 fn conflicts_of(
-    fired: &[(Grounding, Sign, PredId, Tuple)],
-    provenance: &HashMap<(PredId, Tuple), [HashSet<Grounding>; 2]>,
+    vocab: &Vocabulary,
+    fired: &[(Grounding, Sign, PredId, Box<[Code]>)],
+    provenance: &ProvenanceMap,
 ) -> Vec<Conflict> {
-    let mut order: Vec<(PredId, Tuple)> = Vec::new();
-    let mut current: HashMap<(PredId, Tuple), [HashSet<Grounding>; 2]> = HashMap::new();
+    let mut order: Vec<(PredId, Box<[Code]>)> = Vec::new();
+    let mut current: ProvenanceMap = HashMap::new();
     for (g, sign, pred, tuple) in fired {
         let key = (*pred, tuple.clone());
         let sides = current.entry(key.clone()).or_insert_with(|| {
@@ -354,14 +370,17 @@ fn conflicts_of(
         let hist = provenance.get(&key).unwrap_or(&empty);
         let merge = |i: usize| -> Vec<Grounding> {
             let mut v: Vec<Grounding> = cur[i].union(&hist[i]).cloned().collect();
-            v.sort_by(|a, b| (a.rule, &a.subst).cmp(&(b.rule, &b.subst)));
+            v.sort_by_cached_key(|g| {
+                let vals: Vec<Value> = g.subst.iter().map(|&c| vocab.decode(c)).collect();
+                (g.rule, vals)
+            });
             v
         };
         let (ins, del) = (merge(0), merge(1));
         if !ins.is_empty() && !del.is_empty() {
             out.push(Conflict {
                 pred: key.0,
-                tuple: key.1,
+                tuple: vocab.decode_row(&key.1),
                 ins,
                 del,
             });

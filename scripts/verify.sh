@@ -24,6 +24,20 @@ grep -q '"replayed_steps"' BENCH_restarts.json
 echo "==> differential fuzz smoke (engine vs paper-literal oracle)"
 cargo run -p park-cli --bin park --release --offline --quiet -- fuzz --seed 0 --cases 200
 
+echo "==> storage smoke (threads 1 vs 4 byte-identical on the largest example)"
+storage_dir="${TMPDIR:-/tmp}/park-storage-$$"
+mkdir -p "$storage_dir"
+for t in 1 4; do
+  cargo run -p park-cli --bin park --release --offline --quiet -- \
+    run examples/data/payroll.park --db examples/data/payroll.facts \
+    --updates examples/data/payroll.updates --stats --threads "$t" 2>&1 \
+    | sed -e 's/elapsed=[^ ]*/elapsed=_/' -e '/^threads=/d' > "$storage_dir/t$t.out"
+done
+# Results, counters (including tasks=), and blocked sets must not depend on
+# the thread count; only the masked wall-clock and thread line may differ.
+cmp "$storage_dir/t1.out" "$storage_dir/t4.out"
+rm -rf "$storage_dir"
+
 echo "==> metrics smoke (park run --metrics + park report)"
 metrics_dir="${TMPDIR:-/tmp}/park-verify-$$"
 mkdir -p "$metrics_dir"

@@ -219,11 +219,7 @@ impl ActiveDatabase {
         let Some(rel) = self.state.relation(p) else {
             return Vec::new();
         };
-        let mut rows: Vec<String> = rel
-            .scan()
-            .iter()
-            .map(|t| self.vocab().display_fact(p, t))
-            .collect();
+        let mut rows: Vec<String> = rel.rows().map(|t| self.vocab().display_row(p, t)).collect();
         rows.sort();
         rows
     }

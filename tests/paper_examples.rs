@@ -378,7 +378,7 @@ fn section42_conflicts_example() {
     .unwrap();
     let interp = IInterpretation::from_database(db(&vocab, "p(a)."));
     let fired = fire_all(&program, &BlockedSet::new(), &interp);
-    let conflicts = collect_conflicts(&fired, &Provenance::new());
+    let conflicts = collect_conflicts(&vocab, &fired, &Provenance::new());
     assert_eq!(conflicts.len(), 1);
     assert_eq!(
         conflicts[0].display(&program),

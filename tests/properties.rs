@@ -149,7 +149,7 @@ proptest! {
             let fired = fire_all(&out.program, &out.blocked, &interp);
             let mut grew = false;
             for f in &fired {
-                if interp.insert_marked(f.sign, f.pred, f.tuple.clone()) {
+                if interp.insert_marked(f.sign, f.pred, &f.tuple) {
                     grew = true;
                 }
             }
@@ -265,7 +265,7 @@ proptest! {
         for _ in 0..6 {
             let fired = fire_all(&program, &BlockedSet::new(), &interp);
             for f in &fired {
-                interp.insert_marked(f.sign, f.pred, f.tuple.clone());
+                interp.insert_marked(f.sign, f.pred, &f.tuple);
             }
             prop_assert!(interp.marked_len() >= prev);
             prev = interp.marked_len();
@@ -454,7 +454,7 @@ proptest! {
             let fired = fire_all(&naive.program, &naive.blocked, &interp);
             let mut grew = false;
             for f in &fired {
-                if interp.insert_marked(f.sign, f.pred, f.tuple.clone()) {
+                if interp.insert_marked(f.sign, f.pred, &f.tuple) {
                     grew = true;
                 }
             }
