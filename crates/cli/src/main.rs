@@ -10,6 +10,7 @@
 //! park analyze <program.park> [--db <data.facts>]
 //! park query '<body>' [--db <data.facts>]
 //! park repl <program.park> [--db <data.facts>] [--policy <name>]
+//! park serve [--listen <addr>] [--once] [--policy <name>] [engine options]
 //! park baseline <naive|immediate> <program.park> [--db <data.facts>] ...
 //! park workload <list|name> [--out <dir>] [generator options]
 //! park report <metrics.json>...
@@ -27,7 +28,7 @@ use park_json::Json;
 use park_policies::{parse_answer, CallbackOracle, ConflictResolver, Interactive};
 use park_storage::{FactStore, Snapshot, UpdateSet, Vocabulary};
 use park_syntax::{check_program, parse_program};
-use std::io::{BufRead, Write};
+use std::io::{BufRead, IsTerminal, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -53,6 +54,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
         Some("lint") => cmd_lint(it.collect()),
         Some("analyze") => done(cmd_analyze(it.collect())),
         Some("repl") => done(cmd_repl(it.collect())),
+        Some("serve") => done(cmd_serve(it.collect())),
         Some("query") => done(cmd_query(it.collect())),
         Some("baseline") => done(cmd_baseline(it.collect())),
         Some("workload") => done(cmd_workload(it.collect())),
@@ -81,6 +83,12 @@ USAGE:
                                          with --db also per-relation shard
                                          stats and a confluence probe
   park repl <program.park> [--db <f>]    interactive transactional session
+  park serve [--listen <addr>] [--once]  resident multi-database engine:
+                                         ndjson requests on stdin (or a TCP
+                                         socket) answered with park-serve/v1
+                                         frames; accepts --policy/--scope/
+                                         --eval/--threads/--trace session
+                                         defaults (see docs/serve.md)
   park query '<body>' --db <data.facts>  conjunctive query over a database
   park baseline <naive|immediate> <program.park> [OPTIONS]
   park workload <list|name> [--out DIR]  emit a generated workload
@@ -248,6 +256,17 @@ fn interactive_policy() -> impl ConflictResolver {
 
 fn make_policy(name: &str) -> Result<Box<dyn ConflictResolver>, String> {
     if name == "interactive" {
+        // The interactive policy prompts on stdin mid-evaluation. With
+        // stdin redirected the first conflict would read updates (or EOF)
+        // as answers and fail halfway through — reject up front instead.
+        if !std::io::stdin().is_terminal() {
+            return Err(
+                "policy `interactive` needs a terminal on stdin; in scripts use a \
+                 deterministic policy, or `park serve` with per-transaction \
+                 \"answers\" (see docs/serve.md)"
+                    .into(),
+            );
+        }
         return Ok(Box::new(interactive_policy()));
     }
     park_policies::by_name(name).ok_or_else(|| format!("unknown policy `{name}`"))
@@ -313,6 +332,58 @@ fn cmd_run(args: Vec<String>, _baseline: bool) -> Result<(), String> {
         std::fs::write(path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
     }
     Ok(())
+}
+
+fn cmd_serve(args: Vec<String>) -> Result<(), String> {
+    let mut listen: Option<String> = None;
+    let mut once = false;
+    let mut opts = park_serve::ServeOptions::default();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match a.as_str() {
+            "--listen" => listen = Some(grab("--listen")?),
+            "--once" => once = true,
+            "--policy" => opts.policy = grab("--policy")?,
+            "--scope" => {
+                opts.scope = match grab("--scope")?.as_str() {
+                    "all" => ResolutionScope::All,
+                    "one" => ResolutionScope::One,
+                    other => return Err(format!("unknown scope `{other}`")),
+                }
+            }
+            "--eval" => {
+                opts.evaluation = match grab("--eval")?.as_str() {
+                    "naive" => EvaluationMode::Naive,
+                    "semi" | "semi-naive" | "seminaive" => EvaluationMode::SemiNaive,
+                    other => return Err(format!("unknown evaluation mode `{other}`")),
+                }
+            }
+            "--threads" => {
+                let raw = grab("--threads")?;
+                let n: usize = raw
+                    .parse()
+                    .map_err(|_| format!("--threads expects a positive integer, got `{raw}`"))?;
+                if n == 0 {
+                    return Err("--threads expects a positive integer".into());
+                }
+                opts.threads = Some(n);
+            }
+            "--trace" => opts.trace = true,
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    park_serve::resolve_policy(&opts.policy)?;
+    match listen {
+        Some(addr) => {
+            let stdout = std::io::stdout();
+            park_serve::serve_tcp(&addr, once, &opts, &mut stdout.lock()).map_err(|e| e.to_string())
+        }
+        None => {
+            let stdin = std::io::stdin();
+            park_serve::serve(stdin.lock(), std::io::stdout(), &opts).map_err(|e| e.to_string())
+        }
+    }
 }
 
 fn cmd_check(args: Vec<String>) -> Result<(), String> {

@@ -267,6 +267,9 @@ struct FinishRecord {
     elapsed_ns: u64,
     facts: u64,
     encoded_bytes: u64,
+    vocab_symbols: u64,
+    vocab_predicates: u64,
+    vocab_int_spills: u64,
     storage: StorageCounters,
     rules: Vec<(String, u64, u64)>,
     blocked: Vec<String>,
@@ -469,6 +472,9 @@ impl JsonMetrics {
                     ("facts", Json::from(f.facts)),
                     ("encoded_bytes", Json::from(f.encoded_bytes)),
                     ("bytes_per_fact", bytes_per_fact),
+                    ("vocab_symbols", Json::from(f.vocab_symbols)),
+                    ("vocab_predicates", Json::from(f.vocab_predicates)),
+                    ("vocab_int_spills", Json::from(f.vocab_int_spills)),
                     ("cow_shard_clones", Json::from(f.storage.cow_shard_clones)),
                     ("snapshot_captures", Json::from(f.storage.snapshot_captures)),
                     (
@@ -575,6 +581,13 @@ impl MetricsSink for JsonMetrics {
             elapsed_ns: u64::try_from(ev.stats.elapsed.as_nanos()).unwrap_or(u64::MAX),
             facts: ev.database.len() as u64,
             encoded_bytes: ev.database.encoded_bytes() as u64,
+            // Vocabulary sizes are absolute (the intern tables are
+            // append-only and shared by program + state), so a long-lived
+            // process can watch them grow — see docs/storage.md on the
+            // vocabulary lifetime contract.
+            vocab_symbols: ev.database.vocab().sym_count() as u64,
+            vocab_predicates: ev.database.vocab().pred_count() as u64,
+            vocab_int_spills: ev.database.vocab().spill_count() as u64,
             storage: ev.storage,
             rules,
             blocked: ev.blocked.display(ev.program),
@@ -677,6 +690,17 @@ mod tests {
         // payload bytes (arity 0), so bytes_per_fact is 0.0.
         assert_eq!(storage.get("facts").and_then(Json::as_i64), Some(3));
         assert_eq!(storage.get("encoded_bytes").and_then(Json::as_i64), Some(0));
+        // Vocabulary sizes: no constant symbols (all facts nullary), three
+        // predicates p/q/r, no big-integer spills.
+        assert_eq!(storage.get("vocab_symbols").and_then(Json::as_i64), Some(0));
+        assert_eq!(
+            storage.get("vocab_predicates").and_then(Json::as_i64),
+            Some(3)
+        );
+        assert_eq!(
+            storage.get("vocab_int_spills").and_then(Json::as_i64),
+            Some(0)
+        );
         assert!(storage
             .get("cow_shard_clones")
             .and_then(Json::as_i64)

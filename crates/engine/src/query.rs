@@ -92,11 +92,14 @@ impl Query {
     pub fn run(&self, interp: &mut IInterpretation) -> Vec<Tuple> {
         self.ensure_indexes(interp);
         let fired = gamma::fire_all(&self.program, &BlockedSet::new(), interp);
-        // Decode at the answer boundary: rows sort and render in Value
-        // order, independent of intern-code allocation order.
+        // Decode at the answer boundary and sort with the vocabulary-aware
+        // comparator (symbols by name): raw `Value` order ranks symbols by
+        // SymId, i.e. intern order, so the same database restored into a
+        // session that interned constants in a different order would answer
+        // in a different row order.
         let vocab = self.program.vocab();
         let mut rows: Vec<Tuple> = fired.iter().map(|f| vocab.decode_row(&f.tuple)).collect();
-        rows.sort();
+        rows.sort_by(|a, b| vocab.cmp_tuples(a, b));
         rows.dedup();
         rows
     }
@@ -270,6 +273,30 @@ mod tests {
         assert_eq!(q1.run_on_database(&store).len(), 1);
         assert_eq!(q2.run_on_database(&store).len(), 1);
         assert_eq!(q3.run_on_database(&store).len(), 1);
+    }
+
+    #[test]
+    fn row_order_survives_cross_session_restore() {
+        // Regression: rows used to sort in raw `Value` (SymId) order, so a
+        // snapshot taken in one session and restored into a fresh session
+        // with a different intern order answered in a different row order.
+        let run = |src: &str| {
+            let (vocab, store) = db(src);
+            let q = Query::parse(&vocab, "p(X)").unwrap();
+            q.render_rows(&q.run_on_database(&store))
+        };
+        // Same database, opposite intern orders (a snapshot restores in
+        // sorted order; the live session interned zeta first).
+        assert_eq!(run("p(zeta). p(alpha)."), run("p(alpha). p(zeta)."));
+        assert_eq!(run("p(zeta). p(alpha)."), vec!["X = alpha", "X = zeta"]);
+        // Spilled big integers break raw code order too; decoded rows must
+        // still sort numerically with symbols first.
+        let big = (1i64 << 40).to_string();
+        let rows = run(&format!("p({big}). p(7). p(sym)."));
+        assert_eq!(
+            rows,
+            vec!["X = sym".to_string(), "X = 7".into(), format!("X = {big}")]
+        );
     }
 
     #[test]

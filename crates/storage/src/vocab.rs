@@ -142,6 +142,44 @@ impl Vocabulary {
         self.symbols.read().names.len()
     }
 
+    /// Number of spilled big integers (|i| ≥ 2^30) interned so far.
+    pub fn spill_count(&self) -> usize {
+        self.spills.read().values.len()
+    }
+
+    /// Compare two values *portably*: symbols by name, integers
+    /// numerically, all symbols before all integers. This is `Value`'s
+    /// class order, but independent of intern-code allocation order — two
+    /// vocabularies that interned the same constants in different orders
+    /// agree on it, which is what observable sorts (query answers,
+    /// rendered fact lists) must use.
+    pub fn cmp_values(&self, a: Value, b: Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (a, b) {
+            (Value::Sym(x), Value::Sym(y)) => {
+                if x == y {
+                    Ordering::Equal
+                } else {
+                    self.sym_name(x).cmp(&self.sym_name(y))
+                }
+            }
+            (Value::Sym(_), Value::Int(_)) => Ordering::Less,
+            (Value::Int(_), Value::Sym(_)) => Ordering::Greater,
+            (Value::Int(x), Value::Int(y)) => x.cmp(&y),
+        }
+    }
+
+    /// Lexicographic [`Vocabulary::cmp_values`] over tuples.
+    pub fn cmp_tuples(&self, a: &Tuple, b: &Tuple) -> std::cmp::Ordering {
+        for (x, y) in a.values().iter().zip(b.values()) {
+            match self.cmp_values(*x, *y) {
+                std::cmp::Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        a.arity().cmp(&b.arity())
+    }
+
     /// Encode a runtime value into its 4-byte intern [`Code`].
     ///
     /// Symbols and small integers (|i| < 2^30) encode by pure arithmetic;
@@ -366,6 +404,72 @@ mod tests {
         assert_eq!(v.decode_row(&row), t);
         let p = v.pred("p", 3).unwrap();
         assert_eq!(v.display_row(p, &row), v.display_fact(p, &t));
+    }
+
+    #[test]
+    fn spill_count_tracks_big_integers() {
+        let v = Vocabulary::new();
+        assert_eq!(v.spill_count(), 0);
+        v.encode(Value::Int(1 << 40));
+        v.encode(Value::Int(1 << 40)); // idempotent
+        v.encode(Value::Int(i64::MIN));
+        assert_eq!(v.spill_count(), 2);
+    }
+
+    #[test]
+    fn cmp_values_is_intern_order_independent() {
+        use std::cmp::Ordering;
+        // Two vocabularies interning the same symbols in opposite orders
+        // must agree: names, not allocation-order SymIds, decide.
+        let fwd = Vocabulary::new();
+        let (fa, fz) = (fwd.sym("alpha"), fwd.sym("zeta"));
+        let rev = Vocabulary::new();
+        let (rz, ra) = (rev.sym("zeta"), rev.sym("alpha"));
+        assert_eq!(
+            fwd.cmp_values(Value::Sym(fa), Value::Sym(fz)),
+            Ordering::Less
+        );
+        assert_eq!(
+            rev.cmp_values(Value::Sym(ra), Value::Sym(rz)),
+            Ordering::Less
+        );
+        // Raw Value order disagrees in the reversed vocabulary — the bug
+        // this helper exists to avoid.
+        assert!(Value::Sym(ra) > Value::Sym(rz));
+        // Class order: symbols before integers, integers numeric.
+        assert_eq!(
+            fwd.cmp_values(Value::Sym(fz), Value::Int(-5)),
+            Ordering::Less
+        );
+        assert_eq!(
+            fwd.cmp_values(Value::Int(3), Value::Sym(fa)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            fwd.cmp_values(Value::Int(2), Value::Int(10)),
+            Ordering::Less
+        );
+        assert_eq!(
+            fwd.cmp_values(Value::Sym(fa), Value::Sym(fa)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn cmp_tuples_is_lexicographic_with_arity_tiebreak() {
+        use std::cmp::Ordering;
+        let v = Vocabulary::new();
+        let (b, a) = (v.sym("b"), v.sym("a"));
+        let t = |vals: &[Value]| Tuple::new(vals.to_vec());
+        assert_eq!(
+            v.cmp_tuples(&t(&[Value::Sym(a), Value::Int(2)]), &t(&[Value::Sym(b)])),
+            Ordering::Less
+        );
+        assert_eq!(
+            v.cmp_tuples(&t(&[Value::Sym(a)]), &t(&[Value::Sym(a), Value::Int(1)])),
+            Ordering::Less
+        );
+        assert_eq!(v.cmp_tuples(&t(&[]), &t(&[])), Ordering::Equal);
     }
 
     #[test]

@@ -38,6 +38,18 @@ done
 cmp "$storage_dir/t1.out" "$storage_dir/t4.out"
 rm -rf "$storage_dir"
 
+echo "==> serve smoke (golden session, threads 1 vs 4 byte-identical)"
+serve_dir="${TMPDIR:-/tmp}/park-serve-$$"
+mkdir -p "$serve_dir"
+for t in 1 4; do
+  cargo run -p park-cli --bin park --release --offline --quiet -- \
+    serve --threads "$t" \
+    < crates/cli/tests/golden/serve_session.ndjson > "$serve_dir/t$t.out"
+done
+cmp "$serve_dir/t1.out" "$serve_dir/t4.out"
+cmp "$serve_dir/t1.out" crates/cli/tests/golden/serve_session.golden
+rm -rf "$serve_dir"
+
 echo "==> metrics smoke (park run --metrics + park report)"
 metrics_dir="${TMPDIR:-/tmp}/park-verify-$$"
 mkdir -p "$metrics_dir"

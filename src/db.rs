@@ -27,7 +27,10 @@
 //! assert_eq!(db.state().to_string(), "{offboard(ann)}");
 //! ```
 
-use park_engine::{ConflictResolver, Engine, EngineOptions, EngineResult, ParkOutcome, RunStats};
+use park_engine::{
+    ConflictResolver, Engine, EngineOptions, EngineResult, MetricsSink, NoopMetrics, ParkOutcome,
+    RunStats, Trace,
+};
 use park_storage::{FactStore, Snapshot, StorageError, UpdateSet, Vocabulary};
 use park_syntax::Program;
 use std::sync::Arc;
@@ -45,6 +48,9 @@ pub struct TransactionReport {
     pub blocked: Vec<String>,
     /// Engine counters for the evaluation.
     pub stats: RunStats,
+    /// The execution trace (empty unless the database was opened with
+    /// `EngineOptions::trace`).
+    pub trace: Trace,
 }
 
 impl TransactionReport {
@@ -59,6 +65,10 @@ impl TransactionReport {
 pub struct ActiveDatabase {
     engine: Engine,
     state: FactStore,
+    /// The installed program at the AST level, retained so
+    /// [`ActiveDatabase::compact`] can re-compile it against a fresh
+    /// vocabulary.
+    program: Program,
     transactions: u64,
     journal: Option<std::path::PathBuf>,
 }
@@ -81,6 +91,7 @@ impl ActiveDatabase {
         Ok(ActiveDatabase {
             engine,
             state: initial,
+            program: program.clone(),
             transactions: 0,
             journal: None,
         })
@@ -148,7 +159,21 @@ impl ActiveDatabase {
         updates: &UpdateSet,
         policy: &mut dyn ConflictResolver,
     ) -> EngineResult<TransactionReport> {
-        let outcome = self.engine.run(&self.state, updates, policy)?;
+        self.transact_with_metrics(updates, policy, &mut NoopMetrics)
+    }
+
+    /// [`ActiveDatabase::transact`] with evaluation events reported into
+    /// `sink` (see `park_engine::metrics`). A disabled sink takes exactly
+    /// the unmetered path.
+    pub fn transact_with_metrics(
+        &mut self,
+        updates: &UpdateSet,
+        policy: &mut dyn ConflictResolver,
+        sink: &mut dyn MetricsSink,
+    ) -> EngineResult<TransactionReport> {
+        let outcome = self
+            .engine
+            .run_with_metrics(&self.state, updates, policy, sink)?;
         if let Some(path) = &self.journal {
             use std::io::Write as _;
             let line = updates.display(self.vocab());
@@ -197,6 +222,7 @@ impl ActiveDatabase {
             removed: render(&removed),
             blocked: outcome.blocked_display(),
             stats: outcome.stats,
+            trace: outcome.trace,
         };
         self.state = outcome.database;
         report
@@ -234,6 +260,60 @@ impl ActiveDatabase {
         self.state = snapshot.restore(Arc::clone(self.vocab()))?;
         Ok(())
     }
+
+    /// Replace the installed rule program, keeping the committed state,
+    /// transaction counter, and journal.
+    ///
+    /// The state is re-interned into a **fresh vocabulary** along the way:
+    /// intern tables are append-only (see docs/storage.md), so this is
+    /// also the compaction point where constants reachable only from
+    /// dropped rules, deleted facts, or past transaction sources are
+    /// released. Fails (leaving the database unchanged) on unsafe rules or
+    /// arity clashes between the new program and the live state.
+    pub fn reload(&mut self, program: &Program) -> EngineResult<()> {
+        let snapshot = Snapshot::of(&self.state);
+        let vocab = Vocabulary::new();
+        let engine = Engine::with_options(Arc::clone(&vocab), program, *self.engine.options())?;
+        let state = snapshot
+            .restore(vocab)
+            .map_err(park_engine::EngineError::Storage)?;
+        self.engine = engine;
+        self.state = state;
+        self.program = program.clone();
+        Ok(())
+    }
+
+    /// Re-intern the current program and live state into a fresh
+    /// vocabulary, dropping constants no longer reachable from either.
+    /// Returns the vocabulary stats before and after.
+    pub fn compact(&mut self) -> EngineResult<(VocabStats, VocabStats)> {
+        let before = self.vocab_stats();
+        let program = self.program.clone();
+        self.reload(&program)?;
+        Ok((before, self.vocab_stats()))
+    }
+
+    /// The sizes of the shared vocabulary's intern tables.
+    pub fn vocab_stats(&self) -> VocabStats {
+        let vocab = self.vocab();
+        VocabStats {
+            symbols: vocab.sym_count(),
+            predicates: vocab.pred_count(),
+            int_spills: vocab.spill_count(),
+        }
+    }
+}
+
+/// Sizes of a vocabulary's append-only intern tables (see
+/// [`ActiveDatabase::vocab_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VocabStats {
+    /// Interned constant symbols.
+    pub symbols: usize,
+    /// Registered predicates.
+    pub predicates: usize,
+    /// Spilled big integers (|i| ≥ 2^30).
+    pub int_spills: usize,
 }
 
 #[cfg(test)]
@@ -361,6 +441,95 @@ mod tests {
         let initial = FactStore::new(Vocabulary::new());
         let missing = std::path::Path::new("/nonexistent/park.journal");
         assert!(ActiveDatabase::replay(&program, initial, missing, &mut Inertia).is_err());
+    }
+
+    #[test]
+    fn reload_swaps_program_and_keeps_state() {
+        let mut db = payroll_db();
+        db.transact_source("-active(a).", &mut Inertia).unwrap();
+        let state_before = db.state().sorted_display();
+        // New program: offboarded employees get an archive marker instead.
+        let program = parse_program("arch: offboard(X) -> +archived(X).").unwrap();
+        db.reload(&program).unwrap();
+        assert_eq!(db.state().sorted_display(), state_before);
+        assert_eq!(db.transactions(), 1);
+        let report = db.settle(&mut Inertia).unwrap();
+        assert_eq!(report.number, 2);
+        assert_eq!(report.added, vec!["archived(a)"]);
+    }
+
+    #[test]
+    fn reload_failure_leaves_database_unchanged() {
+        let mut db = payroll_db();
+        // Arity clash with the live state: payroll is binary.
+        let bad = parse_program("r: payroll(X) -> +p(X).").unwrap();
+        let before = db.state().sorted_display();
+        assert!(db.reload(&bad).is_err());
+        assert_eq!(db.state().sorted_display(), before);
+        assert!(db.settle(&mut Inertia).is_ok());
+    }
+
+    #[test]
+    fn compact_reinterns_only_live_constants() {
+        let vocab = Vocabulary::new();
+        let program = parse_program("onx: -keep(X) -> +gone(X).").unwrap();
+        let initial = FactStore::from_source(vocab, "keep(a).").unwrap();
+        let mut db = ActiveDatabase::open(&program, initial).unwrap();
+        // Churn: transaction sources intern constants that the state then
+        // drops again; the spill table grows with a big integer.
+        db.transact_source("+keep(b). -keep(b).", &mut Inertia)
+            .unwrap();
+        for name in ["s1", "s2", "s3"] {
+            db.transact_source(&format!("+scratch({name})."), &mut Inertia)
+                .unwrap();
+            db.transact_source(&format!("-scratch({name})."), &mut Inertia)
+                .unwrap();
+        }
+        db.transact_source("+n(1099511627776). -n(1099511627776).", &mut Inertia)
+            .unwrap();
+        let (before, after) = db.compact().unwrap();
+        assert!(
+            before.symbols > after.symbols,
+            "compaction must shrink the symbol table: {before:?} -> {after:?}"
+        );
+        assert_eq!(before.int_spills, 1);
+        assert_eq!(after.int_spills, 0);
+        // gone(b) keeps b live even though keep(b) was deleted; the
+        // scratch constants and the spilled integer are released.
+        assert_eq!(after.symbols, 2);
+        assert_eq!(db.query("gone"), vec!["gone(b)"]);
+        assert_eq!(db.query("keep"), vec!["keep(a)"]);
+        // The database still evaluates correctly after compaction.
+        let report = db.transact_source("-keep(a).", &mut Inertia).unwrap();
+        assert_eq!(report.added, vec!["gone(a)"]);
+    }
+
+    #[test]
+    fn transact_with_metrics_reports_the_run() {
+        use park_engine::JsonMetrics;
+        let mut db = payroll_db();
+        let mut sink = JsonMetrics::new("test");
+        let report = db
+            .transact_with_metrics(
+                &UpdateSet::from_source(db.vocab(), "-active(a).").unwrap(),
+                &mut Inertia,
+                &mut sink,
+            )
+            .unwrap();
+        assert_eq!(report.added, vec!["offboard(a)"]);
+        let doc = sink.to_json();
+        assert_eq!(
+            doc.get("schema").and_then(|j| j.as_str()),
+            Some("park-metrics/v1")
+        );
+        let storage = doc.get("storage").expect("storage section");
+        assert!(
+            storage
+                .get("vocab_symbols")
+                .and_then(|j| j.as_i64())
+                .unwrap_or(0)
+                > 0
+        );
     }
 
     #[test]
