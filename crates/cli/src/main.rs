@@ -87,8 +87,9 @@ USAGE:
                                          ndjson requests on stdin (or a TCP
                                          socket) answered with park-serve/v1
                                          frames; accepts --policy/--scope/
-                                         --eval/--threads/--trace session
-                                         defaults (see docs/serve.md)
+                                         --eval/--threads/--trace/--incremental
+                                         session defaults (see docs/serve.md
+                                         and docs/incremental.md)
   park query '<body>' --db <data.facts>  conjunctive query over a database
   park baseline <naive|immediate> <program.park> [OPTIONS]
   park workload <list|name> [--out DIR]  emit a generated workload
@@ -370,6 +371,7 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
                 opts.threads = Some(n);
             }
             "--trace" => opts.trace = true,
+            "--incremental" => opts.incremental = true,
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
@@ -848,6 +850,11 @@ fn cmd_fuzz(args: Vec<String>) -> Result<(), String> {
         report.conflict_cases,
         report.stratified_checks,
         park_testkit::POLICIES.len(),
+    );
+    println!(
+        "fuzz: {} update-sequence cases, {} transactions replayed, \
+         {} answered warm by the incremental database",
+        report.sequence_cases, report.sequence_txs, report.warm_txs,
     );
     Ok(())
 }

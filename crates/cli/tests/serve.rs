@@ -810,3 +810,216 @@ fn repl_snapshot_restores_into_a_fresh_session() {
     assert_eq!(rows(&out1), rows(&out2), "\n1: {out1}\n2: {out2}");
     let _ = std::fs::remove_file(&snap);
 }
+
+// ---------------------------------------------------------------------------
+// Warm-state invalidation properties (cross-transaction incremental mode)
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+/// Certified reachability program (the incrementality-safe fragment).
+const INC_V1: &str = "e(X, Y) -> +r(X, Y). r(X, Y), e(Y, Z) -> +r(X, Z).";
+/// A certified extension reloads can swap in.
+const INC_V2: &str = "e(X, Y) -> +r(X, Y). r(X, Y), e(Y, Z) -> +r(X, Z). r(X, Y) -> +seen(X).";
+/// An *uncertified* variant (negation): reloading to it must force every
+/// following transaction cold.
+const INC_V3: &str = "e(X, Y), !blocked(X) -> +r(X, Y).";
+
+/// Render one abstract draw into a park-serve/v1 request line. The op mix
+/// deliberately interleaves warm-friendly insert transactions with every
+/// operation that must invalidate or bypass the warm state: deletions,
+/// settles, `policy`, `reload` (certified and uncertified), `compact`,
+/// and `restore`.
+fn render_op(draw: (u8, u8, u8), snap: &str) -> String {
+    let (kind, a, b) = draw;
+    let c = |i: u8| format!("c{}", i % 5);
+    let tx = |updates: String| {
+        Json::object([
+            ("op", Json::str("transact")),
+            ("db", Json::str("x")),
+            ("updates", Json::str(&updates)),
+        ])
+        .to_compact()
+    };
+    match kind % 8 {
+        0..=2 => tx(format!("+e({}, {}).", c(a), c(b))),
+        3 => tx(format!("-e({}, {}).", c(a), c(b))),
+        4 => Json::object([("op", Json::str("settle")), ("db", Json::str("x"))]).to_compact(),
+        5 => Json::object([
+            ("op", Json::str("policy")),
+            ("db", Json::str("x")),
+            (
+                "policy",
+                Json::str(["inertia", "prefer-insert", "prefer-delete"][(a % 3) as usize]),
+            ),
+        ])
+        .to_compact(),
+        6 => Json::object([
+            ("op", Json::str("reload")),
+            ("db", Json::str("x")),
+            (
+                "program",
+                Json::str([INC_V1, INC_V2, INC_V3][(a % 3) as usize]),
+            ),
+        ])
+        .to_compact(),
+        _ => {
+            if b % 2 == 0 {
+                Json::object([("op", Json::str("compact")), ("db", Json::str("x"))]).to_compact()
+            } else {
+                Json::object([
+                    ("op", Json::str("restore")),
+                    ("db", Json::str("x")),
+                    ("path", Json::str(snap)),
+                ])
+                .to_compact()
+            }
+        }
+    }
+}
+
+/// Drop `stats` frames — the only frames allowed to differ between the
+/// incremental and plain sessions (they carry the incremental counters).
+fn strip_stats(transcript: &str) -> String {
+    transcript
+        .lines()
+        .filter(|l| {
+            park_json::parse(l)
+                .ok()
+                .and_then(|f| f.get("frame").and_then(|j| j.as_str().map(String::from)))
+                .as_deref()
+                != Some("stats")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn stats_section(transcript: &str, key: &str) -> Option<Json> {
+    transcript
+        .lines()
+        .map(|l| park_json::parse(l).unwrap())
+        .find(|f| f.get("frame").and_then(|j| j.as_str()) == Some("stats"))
+        .and_then(|f| f.get(key).cloned())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property: for ANY interleaving of transactions with the warm-state
+    /// hazards (`reload`, `compact`, `policy`, `restore`), a session run
+    /// with `--incremental` produces a transcript byte-identical to the
+    /// plain session outside the opt-in `stats` frame — i.e. no operation
+    /// ever leaks stale warm state into an observable answer.
+    #[test]
+    fn incremental_sessions_are_unobservable_across_op_interleavings(
+        draws in prop::collection::vec((0u8..8, 0u8..16, 0u8..16), 1..12)
+    ) {
+        let dir = tempdir("prop-inc");
+        let snap = dir.join("prop-inc.snapshot.json");
+        let snap_str = snap.to_str().unwrap().to_string();
+        let mut lines = vec![
+            Json::object([
+                ("op", Json::str("create")),
+                ("db", Json::str("x")),
+                ("program", Json::str(INC_V1)),
+                ("facts", Json::str("e(c0, c1). e(c1, c2).")),
+            ])
+            .to_compact(),
+            Json::object([
+                ("op", Json::str("snapshot")),
+                ("db", Json::str("x")),
+                ("path", Json::str(&snap_str)),
+            ])
+            .to_compact(),
+        ];
+        let mut tx_ops = 0u64;
+        for &d in &draws {
+            if matches!(d.0 % 8, 0..=4) {
+                tx_ops += 1;
+            }
+            lines.push(render_op(d, &snap_str));
+        }
+        // A trailing settle proves the committed states agree, not just
+        // the per-transaction deltas.
+        lines.push(Json::object([("op", Json::str("settle")), ("db", Json::str("x"))]).to_compact());
+        tx_ops += 1;
+        lines.push(Json::object([("op", Json::str("stats")), ("db", Json::str("x"))]).to_compact());
+        lines.push(r#"{"op":"shutdown"}"#.into());
+        lines.push(String::new());
+        let input = lines.join("\n");
+
+        let plain = serve_session(&[], &input);
+        let inc = serve_session(&["--incremental"], &input);
+        prop_assert_eq!(strip_stats(&plain), strip_stats(&inc));
+
+        // Bookkeeping invariants: the plain session reports no incremental
+        // section; the incremental one accounts every transaction as
+        // exactly one of warm or cold.
+        prop_assert!(stats_section(&plain, "incremental").is_none());
+        let section = stats_section(&inc, "incremental").expect("incremental counters");
+        let count = |k: &str| section.get(k).and_then(|j| j.as_i64()).unwrap();
+        prop_assert_eq!(count("incremental_txs") + count("cold_txs"), tx_ops as i64);
+        let _ = std::fs::remove_file(&snap);
+    }
+}
+
+/// A designed interleaving pinning the invalidation semantics: warm hits
+/// happen at all, and each hazard op drops the warm state (observable as
+/// an invalidation count or a cold transaction immediately after).
+#[test]
+fn warm_state_survives_only_until_the_next_hazard_op() {
+    let dir = tempdir("inc-hazard");
+    let snap = dir.join("hazard.snapshot.json");
+    let snap_str = snap.to_str().unwrap().to_string();
+    let tx = |u: &str| {
+        Json::object([
+            ("op", Json::str("transact")),
+            ("db", Json::str("x")),
+            ("updates", Json::str(u)),
+        ])
+        .to_compact()
+    };
+    let op = |o: &str, extra: Vec<(&str, Json)>| {
+        let mut fields = vec![("op", Json::str(o)), ("db", Json::str("x"))];
+        fields.extend(extra);
+        Json::object(fields).to_compact()
+    };
+    let lines = vec![
+        Json::object([
+            ("op", Json::str("create")),
+            ("db", Json::str("x")),
+            ("program", Json::str(INC_V1)),
+            ("facts", Json::str("e(c0, c1).")),
+            ("incremental", Json::Bool(true)),
+        ])
+        .to_compact(),
+        op("snapshot", vec![("path", Json::str(&snap_str))]),
+        tx("+e(c1, c2)."), // cold: seeds the warm state
+        tx("+e(c2, c3)."), // warm
+        op("policy", vec![("policy", Json::str("prefer-insert"))]), // invalidates
+        tx("+e(c3, c4)."), // cold reseed
+        tx("+e(c4, c0)."), // warm
+        op("restore", vec![("path", Json::str(&snap_str))]), // invalidates
+        tx("+e(c1, c2)."), // cold reseed
+        tx("+e(c2, c3)."), // warm
+        op("compact", vec![]), // invalidates
+        tx("+e(c3, c4)."), // cold reseed
+        op("reload", vec![("program", Json::str(INC_V3))]), // uncertified now
+        tx("+e(c4, c0)."), // cold: uncertified programs never warm
+        op("stats", vec![]),
+        r#"{"op":"shutdown"}"#.into(),
+        String::new(),
+    ];
+    let transcript = serve_session(&[], &lines.join("\n"));
+    let section = stats_section(&transcript, "incremental").expect("incremental counters");
+    let count = |k: &str| section.get(k).and_then(|j| j.as_i64()).unwrap();
+    assert_eq!(count("incremental_txs"), 3, "{section:?}");
+    assert_eq!(count("cold_txs"), 5, "{section:?}");
+    assert!(count("invalidations") >= 3, "{section:?}");
+    assert_eq!(
+        section.get("certified").and_then(|j| j.as_bool()),
+        Some(false),
+        "after the reload to the negated program: {section:?}"
+    );
+    let _ = std::fs::remove_file(&snap);
+}

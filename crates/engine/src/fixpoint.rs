@@ -51,6 +51,12 @@ pub struct ParkOutcome {
     pub stats: RunStats,
     /// The execution trace (empty unless `EngineOptions::trace`).
     pub trace: Trace,
+    /// The inserting heads fired by the program's own rules (transaction
+    /// `tx` rules excluded) during the final run — the seed for a
+    /// cross-transaction [`crate::incremental::WarmState`]. Only populated
+    /// by [`Engine::run_retaining`]; `None` everywhere else, so the ordinary
+    /// paths pay nothing for it.
+    pub program_marks: Option<FactStore>,
 }
 
 impl ParkOutcome {
@@ -152,7 +158,7 @@ impl Engine {
         updates: &UpdateSet,
         resolver: &mut dyn ConflictResolver,
     ) -> EngineResult<ParkOutcome> {
-        self.run_inner(db, updates, resolver, None)
+        self.run_inner(db, updates, resolver, None, false)
     }
 
     /// [`Engine::run`] with evaluation events reported into `sink` (see
@@ -168,7 +174,24 @@ impl Engine {
         sink: &mut dyn MetricsSink,
     ) -> EngineResult<ParkOutcome> {
         let sink = sink.enabled().then_some(sink);
-        self.run_inner(db, updates, resolver, sink)
+        self.run_inner(db, updates, resolver, sink, false)
+    }
+
+    /// [`Engine::run_with_metrics`] that additionally retains the inserting
+    /// heads fired by non-update rules in [`ParkOutcome::program_marks`] —
+    /// what `crate::incremental::WarmState::build` needs to seed a
+    /// cross-transaction warm state. Results are byte-identical to the
+    /// ordinary run; the retained store is extra output, not a behavior
+    /// change.
+    pub fn run_retaining(
+        &self,
+        db: &FactStore,
+        updates: &UpdateSet,
+        resolver: &mut dyn ConflictResolver,
+        sink: &mut dyn MetricsSink,
+    ) -> EngineResult<ParkOutcome> {
+        let sink = sink.enabled().then_some(sink);
+        self.run_inner(db, updates, resolver, sink, true)
     }
 
     fn run_inner(
@@ -177,6 +200,7 @@ impl Engine {
         updates: &UpdateSet,
         resolver: &mut dyn ConflictResolver,
         mut sink: Option<&mut dyn MetricsSink>,
+        retain: bool,
     ) -> EngineResult<ParkOutcome> {
         assert!(
             Arc::ptr_eq(db.vocab(), self.program.vocab()),
@@ -234,6 +258,8 @@ impl Engine {
         // Warm restarts: the previous run's firing log, replayed against
         // the grown blocked set (see `crate::replay`).
         let mut replayer: Option<Replayer> = None;
+        // Retained program-derived heads (see `Engine::run_retaining`).
+        let mut program_marks = retain.then(|| FactStore::new(Arc::clone(self.program.vocab())));
 
         let final_interp = 'outer: loop {
             // (Re)start the inflationary computation from I° = D.
@@ -246,6 +272,10 @@ impl Engine {
                 interp.zone_mut(req.zone).ensure_index(req.pred, req.mask);
             }
             provenance.clear();
+            if let Some(marks) = &mut program_marks {
+                // A restart discards every consequence of the prior run.
+                marks.clear();
+            }
             let mut step_log = StepLog::new();
             let mut step_in_run: u64 = 0;
             let mut prev_lens = ZoneLens::capture(&interp);
@@ -346,6 +376,15 @@ impl Engine {
                     step_in_run += 1;
                     let mut added_count = 0usize;
                     let mut added_display: Vec<String> = Vec::new();
+                    if let Some(marks) = &mut program_marks {
+                        for f in &fired {
+                            if f.sign == park_syntax::Sign::Insert
+                                && !working.rule(f.grounding.rule).is_update
+                            {
+                                marks.insert_row(f.pred, &f.tuple);
+                            }
+                        }
+                    }
                     for f in &fired {
                         if interp.insert_marked(f.sign, f.pred, &f.tuple) {
                             added_count += 1;
@@ -553,6 +592,7 @@ impl Engine {
             program: working,
             stats,
             trace,
+            program_marks,
         })
     }
 }

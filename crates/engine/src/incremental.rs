@@ -1,0 +1,470 @@
+//! Cross-transaction incremental evaluation (see `docs/incremental.md`).
+//!
+//! A resident database (`park serve`, `ActiveDatabase`) commits a sequence
+//! of transactions against one program. Each transaction is semantically a
+//! full `PARK(S, P, U)` evaluation from the current state `S` — but inside
+//! the *incrementality-safe fragment* the whole run is determined by a small
+//! delta, and the engine can keep a [`WarmState`] alive between transactions
+//! and answer the next update set by semi-naive propagation seeded from `U`
+//! alone.
+//!
+//! The fragment ([`certify_incremental`]): every rule inserts (`+` head) and
+//! its body contains only positive atoms and comparison guards — no negation,
+//! no event literals. A transaction additionally stays on the warm path only
+//! when `U` is insert-only and no trace or metrics were requested; anything
+//! else falls back to the ordinary cold run (which also refreshes the warm
+//! state, via [`Engine::run_retaining`]).
+//!
+//! Why this is sound — the invariant the warm state maintains is
+//!
+//! > `base` = the committed state `S`, `plus` = exactly the heads of program
+//! > groundings valid over `S`, `minus` = ∅.
+//!
+//! A cold run on `S` marks precisely those heads in its first Γ step; from
+//! step 2 on, semi-naive enumeration is driven only by marks whose atom is
+//! *not* in `S` (the Γ operator skips plus-rows shadowed by the base zone).
+//! Inside the fragment validity is monotone, so every grounding valid over
+//! `S` stays valid, fired, and marked — and the warm propagation seeded from
+//! the zone-new `U` marks reproduces the cold run's firing stream, new-mark
+//! stream, and Γ-step count exactly (`gamma_steps = 2 + propagation rounds`,
+//! matching cold's seed step + rounds + fixpoint-detection step). Negation
+//! breaks mark persistence, deletions break "fired ⇒ still valid", and event
+//! marks are transaction-local — each of those takes the cold path.
+//!
+//! [`Engine::run_retaining`]: crate::fixpoint::Engine::run_retaining
+
+use crate::compile::{CompiledLiteral, CompiledProgram, LitKind, RuleId};
+use crate::fixpoint::ParkOutcome;
+use crate::grounding::BlockedSet;
+use crate::interp::IInterpretation;
+use crate::seminaive::{self, ZoneLens};
+use crate::stats::RunStats;
+use crate::validity::MarkZone;
+use park_storage::{Code, FactStore, PredId, Tuple, UpdateSet};
+use park_syntax::Sign;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a rule keeps its program out of the incrementality-safe fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncrementalBlocker {
+    /// A deleting head: retraction would need provenance-guided undo, and a
+    /// deletion can invalidate groundings the warm state assumes persistent.
+    DeleteHead,
+    /// A negated body literal: a later insertion can invalidate a grounding
+    /// that already fired, so marks are not persistent across transactions.
+    NegatedLiteral,
+    /// An event body literal: `±a` marks are transaction-local by the
+    /// semantics, but the warm state carries marks across transactions.
+    EventLiteral,
+}
+
+impl IncrementalBlocker {
+    /// Short human-readable description of the blocking construct.
+    pub fn describe(self) -> &'static str {
+        match self {
+            IncrementalBlocker::DeleteHead => "deleting head",
+            IncrementalBlocker::NegatedLiteral => "negated body literal",
+            IncrementalBlocker::EventLiteral => "event body literal",
+        }
+    }
+}
+
+/// One rule that forces cold evaluation, with the construct responsible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncrementalExclusion {
+    /// The offending rule.
+    pub rule: RuleId,
+    /// The construct that keeps it out of the fragment.
+    pub reason: IncrementalBlocker,
+}
+
+/// Every rule construct that keeps `program` out of the incrementality-safe
+/// fragment (at most one exclusion per rule, head checked first). Empty
+/// means [`certify_incremental`] holds.
+pub fn incremental_exclusions(program: &CompiledProgram) -> Vec<IncrementalExclusion> {
+    let mut out = Vec::new();
+    for rule in program.rules() {
+        if rule.is_update {
+            continue;
+        }
+        let reason = if rule.head_sign == Sign::Delete {
+            Some(IncrementalBlocker::DeleteHead)
+        } else {
+            rule.body.iter().find_map(|lit| match lit {
+                CompiledLiteral::Atom {
+                    kind: LitKind::Neg, ..
+                } => Some(IncrementalBlocker::NegatedLiteral),
+                CompiledLiteral::Atom {
+                    kind: LitKind::Event(_),
+                    ..
+                } => Some(IncrementalBlocker::EventLiteral),
+                _ => None,
+            })
+        };
+        if let Some(reason) = reason {
+            out.push(IncrementalExclusion {
+                rule: rule.id,
+                reason,
+            });
+        }
+    }
+    out
+}
+
+/// The incrementality-safe certificate: true iff every rule has an inserting
+/// head and a body of positive atoms and guards only. Certified programs are
+/// conflict-free by construction (no deleting head), monotone (no negation),
+/// and mark-persistent (no event literals) — the three properties the warm
+/// path relies on.
+pub fn certify_incremental(program: &CompiledProgram) -> bool {
+    incremental_exclusions(program).is_empty()
+}
+
+/// What one warm transaction observed — the same surface a cold
+/// [`ParkOutcome`] would yield for the fragment: the committed additions
+/// (sorted as [`FactStore::diff`] sorts them) and the mode-independent
+/// counters. `removed`, `blocked`, restarts, and conflicts are structurally
+/// empty/zero inside the fragment.
+#[derive(Debug, Clone)]
+pub struct IncrementalReport {
+    /// Facts added to the committed state, sorted by rendered fact.
+    pub added: Vec<(PredId, Tuple)>,
+    /// Counters, populated exactly as the equivalent cold run would set the
+    /// fingerprint-relevant ones (`gamma_steps`; restarts, conflicts, and
+    /// blocked are zero). `groundings_fired` counts only the propagated
+    /// firings — the reuse, not re-enumeration of the stable state.
+    pub stats: RunStats,
+}
+
+/// The live evaluation state a resident database keeps between transactions.
+///
+/// Invariant (maintained by [`WarmState::build`] and every
+/// [`WarmState::transact`]): `base` is the committed state `S`, `plus` holds
+/// exactly the heads of program groundings valid over `S` (all of which are
+/// themselves in `S`, since `S` is a PARK fixpoint), `minus` is empty.
+#[derive(Debug, Clone)]
+pub struct WarmState {
+    interp: IInterpretation,
+}
+
+impl WarmState {
+    /// Build a warm state from a finished cold run, or `None` when the run
+    /// cannot seed one: the run must have retained its program-derived marks
+    /// ([`Engine::run_retaining`]), ended with an empty deletion zone, and
+    /// blocked nothing — anything else leaves consequences the warm
+    /// invariant cannot represent.
+    ///
+    /// [`Engine::run_retaining`]: crate::fixpoint::Engine::run_retaining
+    pub fn build(program: &CompiledProgram, outcome: &ParkOutcome) -> Option<WarmState> {
+        let marks = outcome.program_marks.as_ref()?;
+        if !outcome.blocked.is_empty() || !outcome.interpretation.minus().is_empty() {
+            return None;
+        }
+        let mut interp = IInterpretation::from_database(outcome.database.clone());
+        for (p, r) in marks.iter_rows() {
+            interp.zone_mut(MarkZone::Plus).insert_row(p, r);
+        }
+        for req in program.index_requests() {
+            interp.zone_mut(req.zone).ensure_index(req.pred, req.mask);
+        }
+        Some(WarmState { interp })
+    }
+
+    /// The committed state `S` this warm state answers from.
+    pub fn state(&self) -> &FactStore {
+        self.interp.base()
+    }
+
+    /// Evaluate one insert-only transaction in place: semi-naive propagation
+    /// seeded from the zone-new `U` marks, then commit. Equivalent to (and
+    /// byte-compatible with) a cold `PARK(S, P, U)` run for certified
+    /// `program`s — see the module docs for the argument.
+    ///
+    /// The `U = ∅` fast path does per-update work only: no lens capture, no
+    /// enumeration, no per-fact allocation.
+    pub fn transact(
+        &mut self,
+        program: &CompiledProgram,
+        updates: &UpdateSet,
+    ) -> IncrementalReport {
+        let started = Instant::now();
+        debug_assert!(
+            updates.iter().all(|u| u.sign == Sign::Insert),
+            "deletions must take the cold path"
+        );
+        let mut stats = RunStats {
+            effective_parallelism: 1,
+            ..RunStats::default()
+        };
+        if updates.is_empty() {
+            // Cold: step 1 marks every program-derived head (counts iff any
+            // grounding is valid), the next step detects the fixpoint.
+            stats.gamma_steps = if self.interp.plus().is_empty() { 1 } else { 2 };
+            stats.peak_marked_atoms = self.interp.marked_len();
+            stats.elapsed = started.elapsed();
+            return IncrementalReport {
+                added: Vec::new(),
+                stats,
+            };
+        }
+        let vocab = Arc::clone(self.interp.vocab());
+        // Seed step — cold step 1: the body-less `tx` rules of `P_U` mark
+        // the transaction's insertions (the program-derived heads of that
+        // step are already in `plus`, by the warm invariant).
+        let mut prev = ZoneLens::capture(&self.interp);
+        let mut seed_marks: Vec<(PredId, Box<[Code]>)> = Vec::new();
+        let mut new_marks: Vec<(PredId, Box<[Code]>)> = Vec::new();
+        for u in updates.iter() {
+            let row: Box<[Code]> = u.tuple.values().iter().map(|&v| vocab.encode(v)).collect();
+            if self.interp.insert_marked(Sign::Insert, u.pred, &row) {
+                seed_marks.push((u.pred, row.clone()));
+                new_marks.push((u.pred, row));
+            }
+        }
+        let mut curr = ZoneLens::capture(&self.interp);
+        // Propagation rounds — cold steps 2…: each round enumerates exactly
+        // the groundings the cold run's semi-naive step would, because only
+        // marks of atoms outside the base drive enumeration and the window
+        // holds exactly the previous round's zone-new marks.
+        let blocked = BlockedSet::new();
+        let mut fired_heads = FactStore::new(Arc::clone(&vocab));
+        let mut rounds: u64 = 0;
+        loop {
+            let fired = seminaive::fire_new(program, &blocked, &self.interp, &prev, &curr);
+            if fired.is_empty() {
+                break;
+            }
+            stats.groundings_fired += fired.len() as u64;
+            let mut any_new = false;
+            for f in &fired {
+                debug_assert_eq!(f.sign, Sign::Insert, "certified rules only insert");
+                fired_heads.insert_row(f.pred, &f.tuple);
+                if self.interp.insert_marked(f.sign, f.pred, &f.tuple) {
+                    any_new = true;
+                    new_marks.push((f.pred, f.tuple.clone()));
+                }
+            }
+            if !any_new {
+                break;
+            }
+            rounds += 1;
+            prev = curr;
+            curr = ZoneLens::capture(&self.interp);
+        }
+        // Cold counts: the seed step (a non-empty `U` always marks something
+        // there, `plus` starts empty cold), each productive round, and the
+        // final fixpoint-detection step.
+        stats.gamma_steps = 2 + rounds;
+        stats.peak_marked_atoms = self.interp.marked_len();
+
+        // Warm-plus hygiene: a `U` mark that no program grounding derives is
+        // not a program-derived head over the new state — leaving it marked
+        // would desynchronize the next transaction's step dedup from cold.
+        let mut removed_any = false;
+        for (p, row) in &seed_marks {
+            if !fired_heads.contains_row(*p, row) {
+                self.interp.zone_mut(MarkZone::Plus).remove_row(*p, row);
+                removed_any = true;
+            }
+        }
+        // Commit — `incorp` restricted to what changed: zone-new marks whose
+        // atom the base lacks, sorted exactly as `FactStore::diff` sorts the
+        // cold run's additions.
+        let mut added: Vec<(PredId, Tuple)> = Vec::new();
+        for (p, row) in &new_marks {
+            if self.interp.base().contains_row(*p, row) {
+                continue;
+            }
+            self.interp.zone_mut(MarkZone::Base).insert_row(*p, row);
+            added.push((*p, vocab.decode_row(row)));
+        }
+        added.sort_by_key(|(p, t)| vocab.display_fact(*p, t));
+        if removed_any {
+            // Removal invalidates the plus zone's secondary indexes; rebuild
+            // the requested ones so the next transaction probes indexed.
+            for req in program.index_requests() {
+                if req.zone == MarkZone::Plus {
+                    self.interp
+                        .zone_mut(req.zone)
+                        .ensure_index(req.pred, req.mask);
+                }
+            }
+        }
+        stats.elapsed = started.elapsed();
+        IncrementalReport { added, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::Inertia;
+    use crate::fixpoint::Engine;
+    use crate::metrics::NoopMetrics;
+    use crate::options::EngineOptions;
+    use park_storage::Vocabulary;
+    use park_syntax::parse_program;
+
+    fn setup(rules: &str, facts: &str) -> (Engine, FactStore) {
+        let vocab = Vocabulary::new();
+        let engine = Engine::with_options(
+            Arc::clone(&vocab),
+            &parse_program(rules).unwrap(),
+            EngineOptions::default(),
+        )
+        .unwrap();
+        let db = FactStore::from_source(vocab, facts).unwrap();
+        (engine, db)
+    }
+
+    fn cold(engine: &Engine, db: &FactStore, updates: &UpdateSet) -> ParkOutcome {
+        engine
+            .run_retaining(db, updates, &mut Inertia, &mut NoopMetrics)
+            .unwrap()
+    }
+
+    fn updates(db: &FactStore, src: &str) -> UpdateSet {
+        UpdateSet::from_source(db.vocab(), src).unwrap()
+    }
+
+    /// Drive the same update chain warm and cold; the committed state, the
+    /// added list, and the fingerprint counters must agree per transaction.
+    fn assert_chain_matches(rules: &str, facts: &str, txs: &[&str]) {
+        let (engine, db) = setup(rules, facts);
+        assert!(certify_incremental(engine.program()));
+        let settle = cold(&engine, &db, &UpdateSet::empty());
+        let mut warm = WarmState::build(engine.program(), &settle).expect("warm state builds");
+        let mut cold_state = settle.database;
+        for (i, tx) in txs.iter().enumerate() {
+            let u = updates(&cold_state, tx);
+            let out = cold(&engine, &cold_state, &u);
+            let (cold_added, cold_removed) = cold_state.diff(&out.database);
+            let report = warm.transact(engine.program(), &u);
+            assert!(cold_removed.is_empty(), "tx {i}: fragment never removes");
+            assert_eq!(report.added, cold_added, "tx {i}: added mismatch");
+            assert_eq!(
+                report.stats.gamma_steps, out.stats.gamma_steps,
+                "tx {i}: gamma_steps mismatch"
+            );
+            assert_eq!(out.stats.restarts, 0, "tx {i}");
+            assert!(out.blocked.is_empty(), "tx {i}");
+            assert!(
+                warm.state().same_facts(&out.database),
+                "tx {i}: state mismatch: {:?} vs {:?}",
+                warm.state().sorted_display(),
+                out.database.sorted_display()
+            );
+            cold_state = out.database;
+        }
+    }
+
+    #[test]
+    fn certificate_accepts_positive_insert_programs() {
+        let (engine, _) = setup(
+            "p(X) -> +q(X). q(X), e(X, Y) -> +q(Y). X < 3, n(X) -> +m(X).",
+            "",
+        );
+        assert!(certify_incremental(engine.program()));
+        assert!(incremental_exclusions(engine.program()).is_empty());
+    }
+
+    #[test]
+    fn certificate_rejects_each_blocking_construct() {
+        for (rules, reason) in [
+            ("p(X) -> -q(X).", IncrementalBlocker::DeleteHead),
+            ("!q(X), p(X) -> +r(X).", IncrementalBlocker::NegatedLiteral),
+            ("+p(X) -> +r(X).", IncrementalBlocker::EventLiteral),
+            ("-p(X), q(X) -> +r(X).", IncrementalBlocker::EventLiteral),
+        ] {
+            let (engine, _) = setup(rules, "");
+            let exclusions = incremental_exclusions(engine.program());
+            assert_eq!(exclusions.len(), 1, "{rules}");
+            assert_eq!(exclusions[0].reason, reason, "{rules}");
+            assert!(!certify_incremental(engine.program()), "{rules}");
+        }
+    }
+
+    #[test]
+    fn update_rules_do_not_affect_the_certificate() {
+        let (engine, db) = setup("p(X) -> +q(X).", "p(a).");
+        let u = updates(&db, "-p(a).");
+        // P_U carries a deleting update rule; the certificate is about the
+        // program's own rules (the per-transaction deletion check is the
+        // caller's).
+        assert!(certify_incremental(&engine.program().with_updates(&u)));
+    }
+
+    #[test]
+    fn warm_chain_matches_cold_on_a_recursive_program() {
+        assert_chain_matches(
+            "e(X, Y) -> +r(X, Y). r(X, Y), e(Y, Z) -> +r(X, Z).",
+            "e(a, b). e(b, c).",
+            &[
+                "+e(c, d).",
+                "+e(d, a).",
+                "",
+                "+e(a, e). +e(e, f).",
+                "+e(a, b).",
+            ],
+        );
+    }
+
+    #[test]
+    fn warm_chain_matches_cold_with_guards_and_fan_in() {
+        assert_chain_matches(
+            "p(X), q(X) -> +r(X). r(X) -> +s(X). n(X), X < 3 -> +m(X).",
+            "p(a). n(5).",
+            &["+q(a).", "+n(1).", "+p(b). +q(b).", "+n(2). +n(7)."],
+        );
+    }
+
+    #[test]
+    fn stale_update_marks_are_scrubbed_from_the_warm_plus() {
+        // tx1 inserts q(a) as a bare update (no rule derives it); tx2 makes
+        // the program derive it. Without hygiene, the stale +q(a) from tx1
+        // would absorb tx2's derivation and undercount gamma_steps.
+        assert_chain_matches("s(X) -> +q(X).", "", &["+q(a).", "+s(a).", "+s(b)."]);
+    }
+
+    #[test]
+    fn noop_transaction_touches_nothing_and_counts_like_cold() {
+        let (engine, db) = setup("p(X) -> +q(X).", "p(a).");
+        let settle = cold(&engine, &db, &UpdateSet::empty());
+        let mut warm = WarmState::build(engine.program(), &settle).unwrap();
+        let before = warm.state().sorted_display();
+        let report = warm.transact(engine.program(), &UpdateSet::empty());
+        assert!(report.added.is_empty());
+        assert_eq!(report.stats.gamma_steps, 2, "program fires over the state");
+        assert_eq!(warm.state().sorted_display(), before);
+        // A program with no valid grounding fixpoints in one step.
+        let (engine2, db2) = setup("z(X) -> +q(X).", "p(a).");
+        let settle2 = cold(&engine2, &db2, &UpdateSet::empty());
+        let mut warm2 = WarmState::build(engine2.program(), &settle2).unwrap();
+        let report2 = warm2.transact(engine2.program(), &UpdateSet::empty());
+        assert_eq!(report2.stats.gamma_steps, 1);
+    }
+
+    #[test]
+    fn warm_build_refuses_runs_with_deletions_or_blocks() {
+        let (engine, db) = setup("p(X) -> +q(X).", "p(a). q(b).");
+        let out = cold(&engine, &db, &updates(&db, "-q(b)."));
+        assert!(
+            WarmState::build(engine.program(), &out).is_none(),
+            "deletion-marked run must not seed a warm state"
+        );
+        // A run without retained marks cannot seed one either.
+        let plain = engine.run(&db, &UpdateSet::empty(), &mut Inertia).unwrap();
+        assert!(plain.program_marks.is_none());
+        assert!(WarmState::build(engine.program(), &plain).is_none());
+    }
+
+    #[test]
+    fn retained_marks_are_the_program_derived_heads() {
+        let (engine, db) = setup("p(X) -> +q(X).", "p(a).");
+        let out = cold(&engine, &db, &updates(&db, "+z(k)."));
+        let marks = out.program_marks.as_ref().unwrap();
+        // q(a) is program-derived; the tx rule's z(k) is not.
+        assert_eq!(marks.sorted_display(), vec!["q(a)"]);
+    }
+}

@@ -42,6 +42,7 @@ pub mod error;
 pub mod fixpoint;
 pub mod gamma;
 pub mod grounding;
+pub mod incremental;
 pub mod interp;
 pub mod metrics;
 pub mod options;
@@ -69,6 +70,10 @@ pub use error::{EngineError, EngineResult};
 pub use fixpoint::{Engine, ParkOutcome};
 pub use gamma::{fire_all, fire_all_par, FiredAction};
 pub use grounding::{BlockedSet, Grounding};
+pub use incremental::{
+    certify_incremental, incremental_exclusions, IncrementalBlocker, IncrementalExclusion,
+    IncrementalReport, WarmState,
+};
 pub use interp::IInterpretation;
 pub use metrics::{
     FinishEvent, JsonMetrics, MetricsSink, NoopMetrics, ReplayEvent, RestartEvent, StepEvent,

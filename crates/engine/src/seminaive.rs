@@ -155,7 +155,35 @@ fn has_neg_delta(rule: &CompiledRule, prev: &ZoneLens, curr: &ZoneLens) -> bool 
     })
 }
 
-/// The units of one semi-naive step, in sequential emission order.
+/// True when the binding literal at plan step `step` gained new marks in
+/// the `(prev, curr]` delta of the zone it enumerates. A delta pass whose
+/// delta literal gained nothing enumerates an empty window at that step
+/// and therefore cannot emit a single grounding — but would still pay a
+/// full scan of every earlier step's old window, which is what makes
+/// small-update transactions O(state) instead of O(delta) without this
+/// check.
+fn has_delta(rule: &CompiledRule, step: usize, prev: &ZoneLens, curr: &ZoneLens) -> bool {
+    match &rule.body[rule.plan[step].lit] {
+        CompiledLiteral::Atom {
+            kind: LitKind::Pos,
+            atom,
+        }
+        | CompiledLiteral::Atom {
+            kind: LitKind::Event(Sign::Insert),
+            atom,
+        } => curr.plus_len(atom.pred) > prev.plus_len(atom.pred),
+        CompiledLiteral::Atom {
+            kind: LitKind::Event(Sign::Delete),
+            atom,
+        } => curr.minus_len(atom.pred) > prev.minus_len(atom.pred),
+        _ => false,
+    }
+}
+
+/// The units of one semi-naive step, in sequential emission order. Delta
+/// passes whose delta window is provably empty are planned out entirely —
+/// the emitted action stream is identical with or without them, so only
+/// the task count observes the difference.
 fn plan_units(program: &CompiledProgram, prev: &ZoneLens, curr: &ZoneLens) -> Vec<SemiUnit> {
     let mut units = Vec::new();
     for (rule_idx, rule) in program.rules().iter().enumerate() {
@@ -167,7 +195,10 @@ fn plan_units(program: &CompiledProgram, prev: &ZoneLens, curr: &ZoneLens) -> Ve
             units.push(SemiUnit::Fallback { rule: rule_idx });
             continue;
         }
-        for delta_pos in 0..binding_steps(rule).len() {
+        for (delta_pos, &step) in binding_steps(rule).iter().enumerate() {
+            if !has_delta(rule, step, prev, curr) {
+                continue;
+            }
             units.push(SemiUnit::Delta {
                 rule: rule_idx,
                 delta_pos,

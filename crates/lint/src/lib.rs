@@ -153,6 +153,12 @@ pub struct FileReport {
     /// Whether the refinement certified the program conflict-free — the
     /// property the engine's fast path consumes.
     pub certified_conflict_free: bool,
+    /// Whether the program sits in the incrementality-safe fragment
+    /// (inserting heads, positive-and-guard bodies): the property the
+    /// cross-transaction warm path (`park serve --incremental`) consumes.
+    /// Programs outside the fragment still run — every transaction just
+    /// takes the cold from-`D` path.
+    pub certified_incremental: bool,
 }
 
 impl FileReport {
@@ -168,6 +174,10 @@ impl FileReport {
 pub struct Verdicts {
     /// Program certified conflict-free: no run may resolve a conflict.
     pub certified_conflict_free: bool,
+    /// Program certified incrementality-safe: warm cross-transaction
+    /// evaluation must be byte-identical to cold runs on insert-only
+    /// update chains.
+    pub certified_incremental: bool,
     /// Rules flagged unreachable: they must never fire.
     pub unreachable: Vec<RuleId>,
     /// Rules flagged as unable to fire: they must never fire.
@@ -185,6 +195,7 @@ pub fn verdicts(program: &CompiledProgram, variant: AnalysisVariant) -> Verdicts
     let refined = refine::refine_conflicts(program, variant);
     Verdicts {
         certified_conflict_free: refine::certify_conflict_free(program, variant).is_some(),
+        certified_incremental: park_engine::certify_incremental(program),
         unreachable: refine::unreachable_event_rules(program),
         never_fires: refine::never_fire_rules(program),
         always_blocked: refine::always_blocked_rules(program),
@@ -212,6 +223,7 @@ pub fn lint_source(file: &str, src: &str, variant: AnalysisVariant) -> FileRepor
     let mut diagnostics: Vec<Diagnostic> = Vec::new();
     let mut rules = 0usize;
     let mut certified = false;
+    let mut certified_incremental = false;
 
     match park_syntax::parse_source(src) {
         Err(e) => {
@@ -244,6 +256,7 @@ pub fn lint_source(file: &str, src: &str, variant: AnalysisVariant) -> FileRepor
                     )),
                     Ok(compiled) => {
                         certified = analyze(&compiled, variant, &mut diagnostics);
+                        certified_incremental = park_engine::certify_incremental(&compiled);
                     }
                 }
             }
@@ -263,6 +276,7 @@ pub fn lint_source(file: &str, src: &str, variant: AnalysisVariant) -> FileRepor
         suppressed,
         rules,
         certified_conflict_free: certified,
+        certified_incremental,
     }
 }
 
@@ -401,18 +415,16 @@ pub fn render_text(report: &FileReport, src: &str) -> String {
         }
     }
     let (e, w, i) = tally(std::slice::from_ref(report));
+    let mut badges = String::new();
+    if report.certified_conflict_free {
+        badges.push_str(" [certified conflict-free]");
+    }
+    if report.certified_incremental {
+        badges.push_str(" [incremental-safe]");
+    }
     out.push_str(&format!(
         "{}: {} error(s), {} warning(s), {} info(s), {} suppressed{}\n",
-        report.file,
-        e,
-        w,
-        i,
-        report.suppressed,
-        if report.certified_conflict_free {
-            " [certified conflict-free]"
-        } else {
-            ""
-        }
+        report.file, e, w, i, report.suppressed, badges
     ));
     out
 }
@@ -467,6 +479,7 @@ pub fn reports_to_json(reports: &[FileReport]) -> Json {
                     "certified_conflict_free",
                     Json::from(r.certified_conflict_free),
                 ),
+                ("certified_incremental", Json::from(r.certified_incremental)),
                 ("suppressed", Json::from(r.suppressed)),
                 ("diagnostics", Json::from(diags)),
             ])
@@ -507,8 +520,20 @@ mod tests {
         let r = lint("p(X) -> +q(X). q(X) -> +r(X).");
         assert!(r.diagnostics.is_empty());
         assert!(r.certified_conflict_free);
+        assert!(r.certified_incremental);
         assert_eq!(r.rules, 2);
         assert_eq!(r.max_severity(), None);
+    }
+
+    #[test]
+    fn incremental_certificate_tracks_the_fragment() {
+        // Guards are fine; deleting heads, negation, and events are not.
+        assert!(lint("p(X), X < 5 -> +q(X).").certified_incremental);
+        for src in ["p(X) -> -q(X).", "!q(X), p(X) -> +r(X).", "+p(X) -> +r(X)."] {
+            assert!(!lint(src).certified_incremental, "{src}");
+        }
+        // Failing to parse means no certificate.
+        assert!(!lint("p(X) -> ").certified_incremental);
     }
 
     #[test]
@@ -644,6 +669,7 @@ mod tests {
         let compiled = CompiledProgram::compile(Vocabulary::new(), &program).unwrap();
         let v = verdicts(&compiled, AnalysisVariant::Faithful);
         assert!(!v.certified_conflict_free);
+        assert!(!v.certified_incremental, "deleting head and an event rule");
         assert_eq!(v.unreachable, vec![RuleId(0)]);
         assert!(v.never_fires.is_empty());
         assert!(!v.always_blocked.is_empty());

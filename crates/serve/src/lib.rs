@@ -63,6 +63,11 @@ pub struct ServeOptions {
     pub threads: Option<usize>,
     /// Open databases with tracing enabled by default.
     pub trace: bool,
+    /// Open databases with cross-transaction incremental evaluation by
+    /// default (see docs/incremental.md). Committed results are
+    /// byte-identical either way; certified insert-only transactions skip
+    /// the cold from-`D` run.
+    pub incremental: bool,
 }
 
 impl Default for ServeOptions {
@@ -73,6 +78,7 @@ impl Default for ServeOptions {
             scope: ResolutionScope::default(),
             threads: None,
             trace: false,
+            incremental: false,
         }
     }
 }
@@ -146,5 +152,6 @@ mod tests {
         assert_eq!(o.scope, ResolutionScope::All);
         assert_eq!(o.threads, None);
         assert!(!o.trace);
+        assert!(!o.incremental);
     }
 }

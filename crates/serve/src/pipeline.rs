@@ -215,6 +215,7 @@ fn worker_loop(
                         policy,
                         options,
                         journal,
+                        incremental,
                     },
             } if session.is_err() => {
                 match DbSession::open(
@@ -224,6 +225,7 @@ fn worker_loop(
                     &policy,
                     options,
                     journal.as_deref(),
+                    incremental,
                 ) {
                     Ok(s) => {
                         let _ = sink.send((seq, vec![s.created_frame(seq)]));

@@ -53,6 +53,9 @@ pub enum DbOp {
         options: EngineOptions,
         /// Journal file to append committed update sets to.
         journal: Option<String>,
+        /// Cross-transaction incremental evaluation (default: the serve
+        /// default; see docs/incremental.md).
+        incremental: bool,
     },
     /// `{"op": "transact", "db": .., "updates": "+p(a)."}` — run one
     /// transaction through the rules and commit. `{"op": "settle"}` is
@@ -248,6 +251,7 @@ pub fn parse_request(line: &str, defaults: &ServeOptions) -> Result<Request, Str
                             .unwrap_or_else(|| defaults.policy.clone()),
                         options,
                         journal: optional_str(&doc, "journal")?,
+                        incremental: optional_bool(&doc, "incremental", defaults.incremental)?,
                     }
                 }
                 "transact" | "settle" => {
@@ -376,6 +380,33 @@ mod tests {
         assert_eq!(policy, "prefer-insert");
         assert_eq!(options.evaluation, EvaluationMode::SemiNaive);
         assert_eq!(options.parallelism, Some(2));
+    }
+
+    #[test]
+    fn create_resolves_the_incremental_flag() {
+        let d = defaults();
+        let get = |line: &str, opts: &ServeOptions| {
+            let Request::Db {
+                op: DbOp::Create { incremental, .. },
+                ..
+            } = parse_request(line, opts).unwrap()
+            else {
+                panic!("expected create")
+            };
+            incremental
+        };
+        assert!(!get(r#"{"op":"create","db":"d","program":""}"#, &d));
+        assert!(get(
+            r#"{"op":"create","db":"d","program":"","incremental":true}"#,
+            &d
+        ));
+        let mut on = defaults();
+        on.incremental = true;
+        assert!(get(r#"{"op":"create","db":"d","program":""}"#, &on));
+        assert!(!get(
+            r#"{"op":"create","db":"d","program":"","incremental":false}"#,
+            &on
+        ));
     }
 
     #[test]

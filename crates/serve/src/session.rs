@@ -50,13 +50,15 @@ impl DbSession {
         policy: &str,
         options: EngineOptions,
         journal: Option<&str>,
+        incremental: bool,
     ) -> Result<DbSession, String> {
         resolve_policy(policy)?;
         let program = parse_program(program_src).map_err(|e| format!("program: {e}"))?;
         let vocab = Vocabulary::new();
         let facts = FactStore::from_source(vocab, facts_src).map_err(|e| format!("facts: {e}"))?;
         let mut db = ActiveDatabase::open_with_options(&program, facts, options)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| e.to_string())?
+            .with_incremental(incremental);
         if let Some(path) = journal {
             db = db.with_journal(path);
         }
@@ -122,16 +124,29 @@ impl DbSession {
                     ),
                 ],
             )],
-            DbOp::Stats => vec![frame(
-                "stats",
-                seq,
-                vec![
+            DbOp::Stats => {
+                let mut fields = vec![
                     ("db", Json::str(&self.name)),
                     ("policy", Json::str(&self.policy)),
                     ("transactions", Json::Int(self.db.transactions() as i64)),
                     ("storage", self.storage_json()),
-                ],
-            )],
+                ];
+                // The incremental section appears only for incremental
+                // databases, so existing sessions stay byte-identical.
+                if self.db.incremental() {
+                    let s = self.db.incremental_stats();
+                    fields.push((
+                        "incremental",
+                        Json::object([
+                            ("certified", Json::Bool(self.db.certified_incremental())),
+                            ("incremental_txs", Json::Int(s.incremental_txs as i64)),
+                            ("cold_txs", Json::Int(s.cold_txs as i64)),
+                            ("invalidations", Json::Int(s.invalidations as i64)),
+                        ]),
+                    ));
+                }
+                vec![frame("stats", seq, fields)]
+            }
             DbOp::Reload { program } => match parse_program(&program)
                 .map_err(|e| format!("program: {e}"))
                 .and_then(|p| {
@@ -166,6 +181,10 @@ impl DbSession {
             DbOp::Policy { policy } => match resolve_policy(&policy) {
                 Ok(()) => {
                     self.policy = policy;
+                    // A new policy may resolve future conflicts differently;
+                    // the warm state (seeded under the old one) must not
+                    // outlive it.
+                    self.db.invalidate_warm();
                     vec![frame(
                         "ok",
                         seq,
@@ -405,6 +424,7 @@ mod tests {
             "inertia",
             EngineOptions::default(),
             None,
+            false,
         )
         .unwrap()
     }
@@ -453,6 +473,7 @@ mod tests {
             "inertia",
             EngineOptions::default(),
             None,
+            false,
         )
         .unwrap();
         // Without answers, inertia resolves silently; with answers the
@@ -485,6 +506,7 @@ mod tests {
             "inertia",
             EngineOptions::default(),
             None,
+            false,
         )
         .unwrap();
         let (frames, _) = s.handle(
@@ -543,6 +565,7 @@ mod tests {
             "inertia",
             EngineOptions::traced(),
             None,
+            false,
         )
         .unwrap();
         let (frames, _) = traced.handle(
@@ -645,6 +668,81 @@ mod tests {
             Some(1)
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    fn open_reach(incremental: bool) -> DbSession {
+        DbSession::open(
+            "g",
+            "e(X, Y) -> +r(X, Y). r(X, Y), e(Y, Z) -> +r(X, Z).",
+            "e(a, b).",
+            "inertia",
+            EngineOptions::default(),
+            None,
+            incremental,
+        )
+        .unwrap()
+    }
+
+    fn tx(updates: &str) -> DbOp {
+        DbOp::Transact {
+            updates: updates.into(),
+            answers: None,
+            trace: false,
+            metrics: false,
+        }
+    }
+
+    #[test]
+    fn incremental_sessions_emit_byte_identical_deltas() {
+        let mut warm = open_reach(true);
+        let mut cold = open_reach(false);
+        for (seq, updates) in ["+e(b, c).", "", "+e(c, a). +e(c, d).", "-e(a, b)."]
+            .iter()
+            .enumerate()
+        {
+            let (wf, _) = warm.handle(seq as u64 + 1, tx(updates));
+            let (cf, _) = cold.handle(seq as u64 + 1, tx(updates));
+            assert_eq!(wf, cf, "updates {updates:?}");
+        }
+    }
+
+    #[test]
+    fn stats_frame_reports_incremental_counters_only_when_enabled() {
+        let mut s = open_reach(true);
+        s.handle(1, tx("+e(b, c)."));
+        s.handle(2, tx("+e(c, d)."));
+        let (frames, _) = s.handle(3, DbOp::Stats);
+        let doc = park_json::parse(&frames[0]).unwrap();
+        let inc = doc.get("incremental").expect("incremental section");
+        assert_eq!(inc.get("certified").and_then(|j| j.as_bool()), Some(true));
+        assert_eq!(inc.get("cold_txs").and_then(|j| j.as_i64()), Some(1));
+        assert_eq!(inc.get("incremental_txs").and_then(|j| j.as_i64()), Some(1));
+
+        let mut off = open_reach(false);
+        off.handle(1, tx("+e(b, c)."));
+        let (frames, _) = off.handle(2, DbOp::Stats);
+        let doc = park_json::parse(&frames[0]).unwrap();
+        assert!(doc.get("incremental").is_none(), "{}", frames[0]);
+    }
+
+    #[test]
+    fn policy_change_invalidates_the_warm_state() {
+        let mut s = open_reach(true);
+        s.handle(1, tx("+e(b, c).")); // seeds warm (cold)
+        s.handle(2, tx("+e(c, d).")); // warm
+        let (frames, _) = s.handle(
+            3,
+            DbOp::Policy {
+                policy: "prefer-insert".into(),
+            },
+        );
+        assert!(frames[0].contains("\"ok\""), "{}", frames[0]);
+        s.handle(4, tx("+e(d, e).")); // reseeds cold under the new policy
+        let (frames, _) = s.handle(5, DbOp::Stats);
+        let doc = park_json::parse(&frames[0]).unwrap();
+        let inc = doc.get("incremental").unwrap();
+        assert_eq!(inc.get("invalidations").and_then(|j| j.as_i64()), Some(1));
+        assert_eq!(inc.get("cold_txs").and_then(|j| j.as_i64()), Some(2));
     }
 
     #[test]

@@ -8,11 +8,19 @@
 //! rule, high fan-in atoms, negation guards, event cascades, and
 //! self-undoing rules.
 //!
-//! Roughly three out of four cases are **ground** (propositional): every
-//! rule then has at most one grounding, which is what lets the harness
-//! demand byte-exact agreement with the oracle (see `crate::harness`).
-//! The rest are **range-restricted** programs over unary/binary predicates
-//! and a small constant pool.
+//! The majority of cases are **ground** (propositional): every rule then
+//! has at most one grounding, which is what lets the harness demand
+//! byte-exact agreement with the oracle (see `crate::harness`). Most of
+//! the rest are **range-restricted** programs over unary/binary predicates
+//! and a small constant pool; a final slice sits deliberately inside the
+//! insert-only, positive-body **incrementality-safe fragment** with
+//! insert-only transaction chains, so the update-sequence regime
+//! continuously proves the engine's warm incremental path unobservable.
+//!
+//! Most cases also carry an update *sequence* (`txs`) replayed as a chain
+//! of committed transactions, biased across insert-only, mixed, and
+//! deletion-heavy profiles — the latter break the incrementality
+//! certificate's fast-path eligibility and force cold fallbacks.
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -25,6 +33,11 @@ pub struct Case {
     pub rules: Vec<String>,
     /// Database facts, one per line.
     pub facts: Vec<String>,
+    /// An update sequence: each entry is one transaction's `.updates`
+    /// source (e.g. `"+a. -b."`, never empty), replayed in order by the
+    /// harness's update-sequence regime (incremental vs from-scratch vs
+    /// oracle). Empty means the case is single-shot only.
+    pub txs: Vec<String>,
 }
 
 impl Case {
@@ -38,7 +51,9 @@ impl Case {
         self.facts.join("\n")
     }
 
-    /// Serialize in the corpus file format (see `tests/corpus/`).
+    /// Serialize in the corpus file format (see `tests/corpus/`). The
+    /// `txs:` section is omitted for single-shot cases, so pre-existing
+    /// corpus files round-trip unchanged.
     pub fn to_text(&self) -> String {
         let mut s = String::from("rules:\n");
         for r in &self.rules {
@@ -50,14 +65,23 @@ impl Case {
             s.push_str(f);
             s.push('\n');
         }
+        if !self.txs.is_empty() {
+            s.push_str("txs:\n");
+            for t in &self.txs {
+                s.push_str(t);
+                s.push('\n');
+            }
+        }
         s
     }
 
-    /// Parse the corpus file format: a `rules:` section then a `facts:`
-    /// section, one item per line; `#` lines are comments.
+    /// Parse the corpus file format: a `rules:` section, a `facts:`
+    /// section, and an optional `txs:` section (one transaction's update
+    /// source per line), one item per line; `#` lines are comments.
     pub fn parse(text: &str) -> Result<Case, String> {
         let mut rules = Vec::new();
         let mut facts = Vec::new();
+        let mut txs = Vec::new();
         let mut section: Option<&mut Vec<String>> = None;
         for line in text.lines() {
             let line = line.trim();
@@ -67,6 +91,7 @@ impl Case {
             match line {
                 "rules:" => section = Some(&mut rules),
                 "facts:" => section = Some(&mut facts),
+                "txs:" => section = Some(&mut txs),
                 item => match section {
                     Some(ref mut sec) => sec.push(item.to_string()),
                     None => return Err(format!("line before any section: `{item}`")),
@@ -77,6 +102,7 @@ impl Case {
             seed: 0,
             rules,
             facts,
+            txs,
         })
     }
 }
@@ -85,7 +111,10 @@ impl Case {
 /// seeds reproduce from the command line (`park fuzz --seed N --cases 1`).
 pub fn generate(seed: u64) -> Case {
     let mut rng = StdRng::seed_from_u64(seed);
-    if rng.random_bool(0.75) {
+    let roll = rng.random_range(0..20u32);
+    if roll < 3 {
+        generate_certified(seed, &mut rng)
+    } else if roll < 15 {
         generate_ground(seed, &mut rng)
     } else {
         generate_var(seed, &mut rng)
@@ -93,6 +122,19 @@ pub fn generate(seed: u64) -> Case {
 }
 
 const ATOMS: [&str; 8] = ["a", "b", "c", "d", "e", "f", "g", "h"];
+
+/// Pick a deletion probability for one generated update sequence. The
+/// profiles are deliberately skewed: insert-only sequences keep the
+/// engine's warm incremental path hot, while deletion-heavy ones break
+/// the incrementality certificate's fast-path eligibility every few
+/// transactions and exercise the cold fallback plus reseed.
+fn deletion_bias(rng: &mut StdRng) -> f64 {
+    match rng.random_range(0..3u32) {
+        0 => 0.0,
+        1 => 0.35,
+        _ => 0.75,
+    }
+}
 
 /// A propositional case assembled from conflict-prone motifs.
 fn generate_ground(seed: u64, rng: &mut StdRng) -> Case {
@@ -168,7 +210,100 @@ fn generate_ground(seed: u64, rng: &mut StdRng) -> Case {
         .filter(|_| rng.random_bool(0.45))
         .map(|a| format!("{a}."))
         .collect();
-    Case { seed, rules, facts }
+
+    let txs = if rng.random_bool(0.8) {
+        let del = deletion_bias(rng);
+        (0..rng.random_range(1..4usize))
+            .map(|_| {
+                (0..rng.random_range(1..4usize))
+                    .map(|_| {
+                        let sign = if rng.random_bool(del) { "-" } else { "+" };
+                        format!("{sign}{}.", atom(rng))
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Case {
+        seed,
+        rules,
+        facts,
+        txs,
+    }
+}
+
+/// An insert-only, positive-body case inside the incrementality-safe
+/// fragment (`park_engine::certify_incremental`), with an insert-only
+/// transaction chain of length ≥ 2: the first transaction seeds the warm
+/// state cold, so every later one must be answered warm — and proven
+/// byte-identical to the cold run by the harness.
+fn generate_certified(seed: u64, rng: &mut StdRng) -> Case {
+    const PREDS: [&str; 4] = ["p", "q", "r", "s"];
+    let consts = &["c0", "c1", "c2", "c3"][..rng.random_range(2..5usize)];
+    let pred = |rng: &mut StdRng| PREDS[rng.random_range(0..PREDS.len())];
+
+    let mut rules = Vec::new();
+    for _ in 0..rng.random_range(2..5usize) {
+        match rng.random_range(0..3u32) {
+            // Copy.
+            0 => {
+                let (p, q) = (pred(rng), pred(rng));
+                rules.push(format!("{p}(X) -> +{q}(X)."));
+            }
+            // Transitive propagation through the binary predicate.
+            1 => {
+                let q = pred(rng);
+                rules.push(format!("e(X, Y), {q}(X) -> +{q}(Y)."));
+            }
+            // Positive join.
+            _ => {
+                let (p, q, r) = (pred(rng), pred(rng), pred(rng));
+                rules.push(format!("{p}(X), {q}(X) -> +{r}(X)."));
+            }
+        }
+    }
+
+    let mut facts = Vec::new();
+    for p in PREDS {
+        for c in consts {
+            if rng.random_bool(0.3) {
+                facts.push(format!("{p}({c})."));
+            }
+        }
+    }
+    for a in consts {
+        for b in consts {
+            if rng.random_bool(0.25) {
+                facts.push(format!("e({a}, {b})."));
+            }
+        }
+    }
+
+    let txs = (0..rng.random_range(2..5usize))
+        .map(|_| {
+            (0..rng.random_range(1..3usize))
+                .map(|_| {
+                    let c = consts[rng.random_range(0..consts.len())];
+                    if rng.random_bool(0.4) {
+                        let d = consts[rng.random_range(0..consts.len())];
+                        format!("+e({c}, {d}).")
+                    } else {
+                        format!("+{}({c}).", pred(rng))
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    Case {
+        seed,
+        rules,
+        facts,
+        txs,
+    }
 }
 
 /// A range-restricted case over unary/binary predicates and a small
@@ -229,7 +364,35 @@ fn generate_var(seed: u64, rng: &mut StdRng) -> Case {
             }
         }
     }
-    Case { seed, rules, facts }
+
+    let txs = if rng.random_bool(0.8) {
+        let del = deletion_bias(rng);
+        (0..rng.random_range(1..4usize))
+            .map(|_| {
+                (0..rng.random_range(1..4usize))
+                    .map(|_| {
+                        let sign = if rng.random_bool(del) { "-" } else { "+" };
+                        let c = consts[rng.random_range(0..consts.len())];
+                        if rng.random_bool(0.25) {
+                            let d = consts[rng.random_range(0..consts.len())];
+                            format!("{sign}e({c}, {d}).")
+                        } else {
+                            format!("{sign}{}({c}).", pred(rng))
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Case {
+        seed,
+        rules,
+        facts,
+        txs,
+    }
 }
 
 #[cfg(test)]
@@ -244,10 +407,16 @@ mod tests {
 
     #[test]
     fn case_text_roundtrip() {
-        let case = generate(3);
-        let back = Case::parse(&case.to_text()).unwrap();
-        assert_eq!(back.rules, case.rules);
-        assert_eq!(back.facts, case.facts);
+        let mut seen_txs = false;
+        for seed in 0..20 {
+            let case = generate(seed);
+            let back = Case::parse(&case.to_text()).unwrap();
+            assert_eq!(back.rules, case.rules);
+            assert_eq!(back.facts, case.facts);
+            assert_eq!(back.txs, case.txs);
+            seen_txs |= !case.txs.is_empty();
+        }
+        assert!(seen_txs, "no early seed produced an update sequence");
     }
 
     #[test]
@@ -275,6 +444,23 @@ mod tests {
                 &case.facts_source(),
             )
             .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            for tx in &case.txs {
+                let parsed = park_syntax::parse_updates(tx)
+                    .unwrap_or_else(|e| panic!("seed {seed} tx `{tx}`: {e:?}"));
+                assert!(!parsed.is_empty(), "seed {seed}: empty transaction `{tx}`");
+            }
         }
+    }
+
+    #[test]
+    fn sequences_cover_both_signs() {
+        let (mut plus, mut minus) = (false, false);
+        for seed in 0..50 {
+            for tx in &generate(seed).txs {
+                plus |= tx.contains('+');
+                minus |= tx.contains('-');
+            }
+        }
+        assert!(plus && minus, "sequence bias lost a sign: +{plus} -{minus}");
     }
 }

@@ -39,13 +39,14 @@
 use crate::compare;
 use crate::gen::Case;
 use crate::oracle::{self, OracleVariant};
+use park::db::ActiveDatabase;
 use park_baselines::stratified_datalog;
 use park_engine::refine::AnalysisVariant;
 use park_engine::{
     CompiledLiteral, CompiledProgram, Engine, EngineOptions, EvaluationMode, JsonMetrics, LitKind,
     ParkOutcome, ResolutionScope, StatCounters,
 };
-use park_storage::{FactStore, PredId, Vocabulary};
+use park_storage::{FactStore, PredId, UpdateSet, Vocabulary};
 use park_syntax::Sign;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashSet};
@@ -166,6 +167,12 @@ pub struct CaseStats {
     pub had_conflicts: bool,
     /// The case was also cross-checked against the stratified baseline.
     pub stratified_checked: bool,
+    /// Transactions replayed by the update-sequence regime (0 for
+    /// single-shot cases), counted once per transaction, not per policy.
+    pub sequence_txs: u64,
+    /// Sequence transactions the incremental [`ActiveDatabase`] answered
+    /// from its warm state rather than the cold from-`D` path.
+    pub warm_txs: u64,
     /// Deterministic engine counters summed over every matrix run of the
     /// case (all configurations × policies) — the raw material for
     /// aggregate metrics documents (`park fuzz --metrics`).
@@ -266,6 +273,20 @@ pub fn check_case_with(
     variant: OracleVariant,
     lint_variant: AnalysisVariant,
 ) -> Result<CaseStats, Divergence> {
+    check_case_parsed(case, None, variant, lint_variant)
+}
+
+/// [`check_case_with`] taking an optionally pre-parsed program, so callers
+/// that already hold the AST — the minimizer assembles each shrink
+/// candidate from rule ASTs parsed once up front — skip re-parsing the
+/// rule text. `pre_parsed`, when given, must be the parse of
+/// `case.program_source()`.
+pub fn check_case_parsed(
+    case: &Case,
+    pre_parsed: Option<&park_syntax::Program>,
+    variant: OracleVariant,
+    lint_variant: AnalysisVariant,
+) -> Result<CaseStats, Divergence> {
     let seed = case.seed;
     let front = |detail: String| Divergence {
         seed,
@@ -275,13 +296,20 @@ pub fn check_case_with(
     };
 
     let vocab = Vocabulary::new();
-    let program = park_syntax::parse_program(&case.program_source())
-        .map_err(|e| front(format!("program does not parse: {e:?}")))?;
-    park_syntax::check_program(&program)
+    let parsed_here;
+    let program = match pre_parsed {
+        Some(p) => p,
+        None => {
+            parsed_here = park_syntax::parse_program(&case.program_source())
+                .map_err(|e| front(format!("program does not parse: {e:?}")))?;
+            &parsed_here
+        }
+    };
+    park_syntax::check_program(program)
         .map_err(|e| front(format!("program does not check: {e:?}")))?;
     let db = FactStore::from_source(Arc::clone(&vocab), &case.facts_source())
         .map_err(|e| front(format!("facts do not load: {e:?}")))?;
-    let compiled = CompiledProgram::compile(Arc::clone(&vocab), &program)
+    let compiled = CompiledProgram::compile(Arc::clone(&vocab), program)
         .map_err(|e| front(format!("program does not compile: {e}")))?;
     let ground = compiled.rules().iter().all(|r| r.num_vars == 0);
 
@@ -295,7 +323,7 @@ pub fn check_case_with(
     let matrix = EngineConfig::matrix();
     let mut engines = Vec::with_capacity(matrix.len());
     for cfg in matrix {
-        let engine = Engine::with_options(Arc::clone(&vocab), &program, cfg.options())
+        let engine = Engine::with_options(Arc::clone(&vocab), program, cfg.options())
             .map_err(|e| front(format!("engine construction failed ({}): {e}", cfg.label())))?;
         engines.push((cfg, engine));
     }
@@ -488,7 +516,7 @@ pub fn check_case_with(
                 compiled.rule(rule).display_name()
             ),
         };
-        match (run_db(&program), run_db(&reduced)) {
+        match (run_db(program), run_db(&reduced)) {
             (Ok(with), Ok(without)) => {
                 if let Some(d) = compare::diff_lines("with-rule", &with, "without-rule", &without) {
                     return Err(blocked_diverged(format!(
@@ -506,7 +534,214 @@ pub fn check_case_with(
         }
     }
 
+    if !case.txs.is_empty() {
+        check_sequence(
+            case, &vocab, program, &compiled, &engines, &db, ground, variant, &mut stats,
+        )?;
+    }
+
     Ok(stats)
+}
+
+/// The update-sequence regime: replay `case.txs` as a chain of committed
+/// transactions and check, at every step, that (a) every matrix
+/// configuration chained over its own committed states still satisfies the
+/// single-shot comparison regime against the equally-chained oracle, and
+/// (b) a transactional [`ActiveDatabase`] pair — incremental mode on vs
+/// off — produces byte-identical [`park::db::TransactionReport`]s, equal
+/// committed states, and a final database matching the oracle chain.
+///
+/// This is what makes cross-transaction incrementality a tested semantics
+/// rather than a cache: the warm path may only ever be an optimization of
+/// `PARK(D, P, U)` applied transaction by transaction.
+#[allow(clippy::too_many_arguments)]
+fn check_sequence(
+    case: &Case,
+    vocab: &Arc<Vocabulary>,
+    program: &park_syntax::Program,
+    compiled: &CompiledProgram,
+    engines: &[(EngineConfig, Engine)],
+    db: &FactStore,
+    ground: bool,
+    variant: OracleVariant,
+    stats: &mut CaseStats,
+) -> Result<(), Divergence> {
+    let seed = case.seed;
+    // Parse (and intern) every transaction once, up front.
+    let mut txs = Vec::with_capacity(case.txs.len());
+    for t in &case.txs {
+        let u = UpdateSet::from_source(vocab, t).map_err(|e| Divergence {
+            seed,
+            policy: "-".into(),
+            config: "frontend-txs".into(),
+            detail: format!("transaction `{t}` does not parse: {e}"),
+        })?;
+        txs.push(u);
+    }
+
+    for policy in POLICIES {
+        let fail = |config: String, detail: String| Divergence {
+            seed,
+            policy: policy.to_string(),
+            config,
+            detail,
+        };
+        // One chain state per configuration, two for the oracle scopes,
+        // and the ActiveDatabase pair (which, like the oracle, evaluates
+        // under the paper-default Naive/All options).
+        let mut chains: Vec<FactStore> = engines.iter().map(|_| db.clone()).collect();
+        let mut oracle_dbs = [db.clone(), db.clone()];
+        let open = |inc: bool| {
+            ActiveDatabase::open(program, db.clone())
+                .map(|d| d.with_incremental(inc))
+                .map_err(|e| fail("active-db".into(), format!("open failed: {e}")))
+        };
+        let (mut warm_db, mut cold_db) = (open(true)?, open(false)?);
+
+        for (ti, u) in txs.iter().enumerate() {
+            if policy == POLICIES[0] {
+                stats.sequence_txs += 1;
+            }
+            let pu = compiled.with_updates(u);
+            let run_oracle = |scope: ResolutionScope, chain_db: &FactStore| -> RunOutcome {
+                let mut p = park_policies::by_name(policy).expect("harness policies are known");
+                match oracle::evaluate(&pu, chain_db, scope, &mut p, variant) {
+                    Ok(r) => RunOutcome::Done(Box::new(r.outcome), r.decisions),
+                    Err(e) => RunOutcome::Failed(e.to_string()),
+                }
+            };
+            let oracle_all = run_oracle(ResolutionScope::All, &oracle_dbs[0]);
+            let oracle_one = run_oracle(ResolutionScope::One, &oracle_dbs[1]);
+
+            let results: Vec<RunOutcome> = engines
+                .iter()
+                .zip(&chains)
+                .map(|((_, engine), chain_db)| {
+                    let mut rec = compare::recording_policy(policy);
+                    let mut sink = JsonMetrics::new("testkit");
+                    match engine.run_with_metrics(chain_db, u, &mut rec, &mut sink) {
+                        Ok(out) => {
+                            let totals = sink.totals();
+                            let counters = out.stats.counters();
+                            if totals != counters {
+                                return RunOutcome::Failed(format!(
+                                    "metrics totals diverged from RunStats: \
+                                     metrics {totals:?} vs stats {counters:?}"
+                                ));
+                            }
+                            RunOutcome::Done(Box::new(out), compare::transcript(rec.decisions()))
+                        }
+                        Err(e) => RunOutcome::Failed(e.to_string()),
+                    }
+                })
+                .collect();
+
+            for ((cfg, _), res) in engines.iter().zip(&results) {
+                if let RunOutcome::Done(o, _) = res {
+                    stats.counters.absorb(&o.stats.counters());
+                }
+                let oracle_ref = match cfg.scope {
+                    ResolutionScope::All => &oracle_all,
+                    ResolutionScope::One => &oracle_one,
+                };
+                let exact_vs_oracle = ground && cfg.evaluation == EvaluationMode::Naive;
+                let diff = if exact_vs_oracle {
+                    diff_outcomes("engine", res, "oracle", oracle_ref, false)
+                } else if cfg.scope == ResolutionScope::All {
+                    diff_outcomes("engine", res, "oracle", oracle_ref, true)
+                } else {
+                    let pivot = cfg.pivot();
+                    if *cfg == pivot {
+                        continue;
+                    }
+                    let pivot_res = engines
+                        .iter()
+                        .position(|(c, _)| *c == pivot)
+                        .map(|i| &results[i])
+                        .expect("the sequential warm pivot is in the matrix");
+                    diff_outcomes("engine", res, "pivot", pivot_res, false)
+                };
+                if let Some(detail) = diff {
+                    return Err(fail(cfg.label(), format!("tx {ti}: {detail}")));
+                }
+            }
+
+            // The transactional pair: the incremental database must be an
+            // *unobservable* optimization of the cold one.
+            let mut pw = park_policies::by_name(policy).expect("harness policies are known");
+            let mut pc = park_policies::by_name(policy).expect("harness policies are known");
+            let db_fail = |detail: String| fail("active-db".into(), format!("tx {ti}: {detail}"));
+            match (
+                warm_db.transact(u, pw.as_mut()),
+                cold_db.transact(u, pc.as_mut()),
+            ) {
+                (Ok(rw), Ok(rc)) => {
+                    let obs = |r: &park::db::TransactionReport| {
+                        (
+                            r.number,
+                            r.added.clone(),
+                            r.removed.clone(),
+                            r.blocked.clone(),
+                            r.stats.gamma_steps,
+                            r.stats.restarts,
+                            r.stats.conflicts_resolved,
+                            r.stats.blocked_instances,
+                        )
+                    };
+                    if obs(&rw) != obs(&rc) {
+                        return Err(db_fail(format!(
+                            "incremental and cold reports differ:\n  incremental {:?}\n  cold {:?}",
+                            obs(&rw),
+                            obs(&rc)
+                        )));
+                    }
+                    if !warm_db.state().same_facts(cold_db.state()) {
+                        return Err(db_fail(format!(
+                            "committed states differ:\n  incremental {:?}\n  cold {:?}",
+                            warm_db.state().sorted_display(),
+                            cold_db.state().sorted_display()
+                        )));
+                    }
+                    if let RunOutcome::Done(o, _) = &oracle_all {
+                        if let Some(d) = compare::diff_lines(
+                            "active-db",
+                            &cold_db.state().sorted_display().join("\n"),
+                            "oracle",
+                            &o.database.sorted_display().join("\n"),
+                        ) {
+                            return Err(db_fail(d));
+                        }
+                    }
+                }
+                (Err(a), Err(b)) if a.to_string() == b.to_string() => {}
+                (a, b) => {
+                    return Err(db_fail(format!(
+                        "incremental and cold transactions disagreed on failure: \
+                         incremental {:?} vs cold {:?}",
+                        a.map(|r| r.number),
+                        b.map(|r| r.number)
+                    )));
+                }
+            }
+
+            // Advance the chains; if the oracle could not complete this
+            // transaction (errors already checked to agree), stop here.
+            match (&oracle_all, &oracle_one) {
+                (RunOutcome::Done(oa, _), RunOutcome::Done(oo, _)) => {
+                    oracle_dbs[0] = oa.database.clone();
+                    oracle_dbs[1] = oo.database.clone();
+                    for (chain_db, res) in chains.iter_mut().zip(&results) {
+                        if let RunOutcome::Done(o, _) = res {
+                            *chain_db = o.database.clone();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        stats.warm_txs += warm_db.incremental_stats().incremental_txs;
+    }
+    Ok(())
 }
 
 /// Aggregate statistics over a fuzzing run — reported so a "0 divergences"
@@ -521,6 +756,13 @@ pub struct FuzzReport {
     pub conflict_cases: u64,
     /// Cases also cross-checked against the stratified baseline.
     pub stratified_checks: u64,
+    /// Cases that carried an update sequence (transaction-chain regime).
+    pub sequence_cases: u64,
+    /// Transactions replayed across all sequence cases.
+    pub sequence_txs: u64,
+    /// Sequence transactions the incremental database answered warm
+    /// (summed over the per-policy replays).
+    pub warm_txs: u64,
     /// Engine counters summed over every matrix run of every passing case.
     pub counters: StatCounters,
 }
@@ -554,11 +796,15 @@ pub fn run_fuzz(
                 report.ground_cases += u64::from(s.ground);
                 report.conflict_cases += u64::from(s.had_conflicts);
                 report.stratified_checks += u64::from(s.stratified_checked);
+                report.sequence_cases += u64::from(s.sequence_txs > 0);
+                report.sequence_txs += s.sequence_txs;
+                report.warm_txs += s.warm_txs;
                 report.counters.absorb(&s.counters);
             }
             Err(divergence) => {
-                let minimized =
-                    crate::minimize::minimize(&case, |c| check_case(c, variant).is_err());
+                let minimized = crate::minimize::minimize_parsed(&case, |c, p| {
+                    check_case_parsed(c, p, variant, AnalysisVariant::Faithful).is_err()
+                });
                 return Err(Box::new(FuzzFailure {
                     case,
                     minimized,

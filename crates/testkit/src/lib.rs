@@ -32,9 +32,9 @@ pub mod oracle;
 
 pub use gen::{generate, Case};
 pub use harness::{
-    check_case, check_case_with, run_fuzz, CaseStats, Divergence, EngineConfig, FuzzFailure,
-    FuzzReport, POLICIES,
+    check_case, check_case_parsed, check_case_with, run_fuzz, CaseStats, Divergence, EngineConfig,
+    FuzzFailure, FuzzReport, POLICIES,
 };
-pub use minimize::minimize;
+pub use minimize::{minimize, minimize_parsed};
 pub use oracle::{evaluate as oracle_evaluate, OracleRun, OracleVariant};
 pub use park_engine::refine::AnalysisVariant;

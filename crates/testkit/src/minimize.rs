@@ -1,27 +1,86 @@
 //! Greedy case minimization.
 //!
 //! Fuzzer counterexamples are reported (and checked into the corpus) in
-//! shrunk form: repeatedly delete single rules and facts while the failure
-//! predicate keeps holding, to a fixpoint. Deleting whole source lines can
-//! never un-parse a case — every rule and fact is one self-contained
-//! statement — so the predicate only ever sees well-formed candidates.
+//! shrunk form: repeatedly delete single rules, facts, transactions, and
+//! update statements while the failure predicate keeps holding, to a
+//! fixpoint. Deleting whole source lines can never un-parse a case —
+//! every rule and fact is one self-contained statement — so the predicate
+//! only ever sees well-formed candidates.
+//!
+//! Rule lines are parsed **once**, before the greedy loop starts, and each
+//! candidate program is assembled from the pre-parsed rule ASTs. The loop
+//! visits O(lines²) candidates on a large case, so re-parsing the full
+//! program text per candidate (the old behaviour) made shrinking the
+//! dominant cost of a fuzz failure; now each candidate costs one
+//! `Vec<Rule>` clone.
 
 use crate::gen::Case;
+use park_syntax::{parse_program, Program, Rule};
 
-/// Shrink `case` to a 1-minimal failing case: the result still satisfies
-/// `fails`, and removing any single remaining rule or fact makes it pass.
+/// Shrink `case` to a minimal failing case: the result still satisfies
+/// `fails`, and removing any single remaining rule, fact, transaction, or
+/// update statement makes it pass.
 ///
 /// `fails` is typically `|c| check_case(c, variant).is_err()`; it must
 /// hold for `case` itself (checked by a debug assertion).
 pub fn minimize(case: &Case, mut fails: impl FnMut(&Case) -> bool) -> Case {
-    debug_assert!(fails(case), "minimize called on a passing case");
+    minimize_parsed(case, |c, _| fails(c))
+}
+
+/// Like [`minimize`], but hands the predicate each candidate's pre-parsed
+/// program alongside its text, so a parse-aware predicate (such as the
+/// harness) never re-parses rule sources inside the shrink loop.
+///
+/// The program is `None` only when some remaining rule line does not parse
+/// on its own — impossible for generated cases, possible for hand-written
+/// ones with mid-statement line breaks — in which case the predicate must
+/// fall back to parsing the text itself.
+pub fn minimize_parsed(
+    case: &Case,
+    mut fails: impl FnMut(&Case, Option<&Program>) -> bool,
+) -> Case {
+    // Parse each rule line exactly once. A line may hold several
+    // statements ("p -> +q. q -> -p."), so each entry is a rule *group*.
+    let mut parsed: Vec<Option<Vec<Rule>>> = case
+        .rules
+        .iter()
+        .map(|line| parse_program(line).ok().map(|p| p.rules))
+        .collect();
+    let assemble = |groups: &[Option<Vec<Rule>>]| -> Option<Program> {
+        let mut rules = Vec::new();
+        for g in groups {
+            rules.extend_from_slice(g.as_deref()?);
+        }
+        Some(Program { rules })
+    };
+
+    debug_assert!(
+        fails(case, assemble(&parsed).as_ref()),
+        "minimize called on a passing case"
+    );
     let mut cur = case.clone();
     loop {
         let mut shrunk = false;
         for i in 0..cur.rules.len() {
             let mut cand = cur.clone();
             cand.rules.remove(i);
-            if fails(&cand) {
+            let mut cand_parsed = parsed.clone();
+            cand_parsed.remove(i);
+            if fails(&cand, assemble(&cand_parsed).as_ref()) {
+                cur = cand;
+                parsed = cand_parsed;
+                shrunk = true;
+                break;
+            }
+        }
+        if shrunk {
+            continue;
+        }
+        let program = assemble(&parsed);
+        for i in 0..cur.facts.len() {
+            let mut cand = cur.clone();
+            cand.facts.remove(i);
+            if fails(&cand, program.as_ref()) {
                 cur = cand;
                 shrunk = true;
                 break;
@@ -30,13 +89,38 @@ pub fn minimize(case: &Case, mut fails: impl FnMut(&Case) -> bool) -> Case {
         if shrunk {
             continue;
         }
-        for i in 0..cur.facts.len() {
+        // Drop whole transactions, then single statements within one.
+        for i in 0..cur.txs.len() {
             let mut cand = cur.clone();
-            cand.facts.remove(i);
-            if fails(&cand) {
+            cand.txs.remove(i);
+            if fails(&cand, program.as_ref()) {
                 cur = cand;
                 shrunk = true;
                 break;
+            }
+        }
+        if shrunk {
+            continue;
+        }
+        'txs: for i in 0..cur.txs.len() {
+            let stmts: Vec<&str> = cur.txs[i]
+                .split('.')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            if stmts.len() < 2 {
+                continue;
+            }
+            for j in 0..stmts.len() {
+                let mut rest: Vec<&str> = stmts.clone();
+                rest.remove(j);
+                let mut cand = cur.clone();
+                cand.txs[i] = format!("{}.", rest.join(". "));
+                if fails(&cand, program.as_ref()) {
+                    cur = cand;
+                    shrunk = true;
+                    break 'txs;
+                }
             }
         }
         if !shrunk {
@@ -54,6 +138,7 @@ mod tests {
             seed: 0,
             rules: rules.iter().map(|s| s.to_string()).collect(),
             facts: facts.iter().map(|s| s.to_string()).collect(),
+            txs: Vec::new(),
         }
     }
 
@@ -76,6 +161,85 @@ mod tests {
         // Failure: at least two facts remain.
         let big = case(&[], &["a.", "b.", "c.", "d."]);
         let min = minimize(&big, |c| c.facts.len() >= 2);
+        assert_eq!(min.facts.len(), 2);
+    }
+
+    #[test]
+    fn minimize_shrinks_transactions_and_statements() {
+        let mut big = case(&["p -> +q."], &["p."]);
+        big.txs = vec!["+a. -b. +c.".into(), "+d.".into(), "-e. +f.".into()];
+        // Failure: some transaction still mentions `-b`.
+        let min = minimize(&big, |c| c.txs.iter().any(|t| t.contains("-b")));
+        assert!(min.rules.is_empty() && min.facts.is_empty());
+        assert_eq!(min.txs, vec!["-b."]);
+    }
+
+    #[test]
+    fn minimize_parsed_hands_out_the_assembled_program() {
+        let big = case(
+            &["x -> +y.", "p -> +q. q -> -p.", "a -> -b."],
+            &["x.", "p."],
+        );
+        let min = minimize_parsed(&big, |c, program| {
+            // Every candidate of this case parses line by line, so the
+            // pre-parsed program must always be present and must match the
+            // candidate's text rule for rule (spans differ: the pre-parsed
+            // rules were parsed one line at a time).
+            let p = program.expect("all rule lines are self-contained");
+            let reparsed = parse_program(&c.program_source()).unwrap();
+            assert_eq!(p.rules.len(), reparsed.rules.len());
+            for (a, b) in p.rules.iter().zip(&reparsed.rules) {
+                assert_eq!(a.head, b.head);
+                assert_eq!(a.name, b.name);
+            }
+            c.rules.iter().any(|r| r.contains("-p"))
+        });
+        assert_eq!(min.rules, vec!["p -> +q. q -> -p."]);
+        assert!(min.facts.is_empty());
+    }
+
+    #[test]
+    fn minimize_parsed_falls_back_to_none_on_unparseable_lines() {
+        let big = case(&["p ->", "+q."], &["p."]);
+        let mut saw_none = false;
+        let min = minimize_parsed(&big, |c, program| {
+            saw_none |= program.is_none();
+            c.rules.len() >= 2
+        });
+        assert!(saw_none, "split statement lines must yield no program");
+        assert_eq!(min.rules.len(), 2);
+    }
+
+    #[test]
+    fn minimize_parsed_never_reparses_rule_text_per_candidate() {
+        // A large generated-style case: parsing happens once per line up
+        // front, so the shrink loop's cost is candidate assembly only.
+        // Guarded behaviourally: the predicate checks that the program it
+        // receives always has exactly as many rules as the candidate's
+        // parsed text — i.e. the assembly tracks line removal correctly
+        // through hundreds of shrink steps.
+        let mut rules = Vec::new();
+        let mut facts = Vec::new();
+        for seed in 0..40 {
+            let c = crate::gen::generate(seed);
+            rules.extend(c.rules);
+            facts.extend(c.facts);
+        }
+        facts.sort();
+        facts.dedup();
+        let big = case(&[], &[]);
+        let big = Case {
+            rules,
+            facts,
+            ..big
+        };
+        let min = minimize_parsed(&big, |c, program| {
+            let p = program.expect("generated rule lines always parse");
+            let reparsed = parse_program(&c.program_source()).unwrap();
+            assert_eq!(p.rules.len(), reparsed.rules.len());
+            c.rules.len() >= 3 && c.facts.len() >= 2
+        });
+        assert_eq!(min.rules.len(), 3);
         assert_eq!(min.facts.len(), 2);
     }
 }

@@ -238,6 +238,7 @@ pub fn evaluate(
             program: program.clone(),
             stats,
             trace,
+            program_marks: None,
         },
         decisions,
     })

@@ -21,6 +21,7 @@ fn case(rules: &str, facts: &str) -> Case {
         seed: 0,
         rules: lines(rules),
         facts: lines(facts),
+        txs: Vec::new(),
     }
 }
 
@@ -119,6 +120,46 @@ fn fuzz_smoke_finds_no_divergences() {
     // whose cases never restart would test almost nothing.
     assert!(report.ground_cases > 0);
     assert!(report.conflict_cases > 10, "{report:?}");
+    // Likewise the sequence bias: update chains must be replayed, and the
+    // incremental database's warm path must actually fire under them.
+    assert!(report.sequence_cases > 10, "{report:?}");
+    assert!(report.sequence_txs > report.sequence_cases, "{report:?}");
+    assert!(report.warm_txs > 0, "{report:?}");
+}
+
+#[test]
+fn update_sequences_replay_incremental_vs_cold() {
+    // A certified reachability program through a chain that warms up,
+    // falls back cold on a deletion, and reseeds: the harness compares the
+    // incremental ActiveDatabase against the cold one and the oracle at
+    // every step.
+    let mut c = case(
+        "e(X, Y) -> +r(X, Y). r(X, Y), e(Y, Z) -> +r(X, Z).",
+        "e(a, b). e(b, c).",
+    );
+    c.txs = vec![
+        "+e(c, d).".into(),
+        "+e(d, a).".into(),
+        "-e(a, b).".into(),
+        "+e(a, b).".into(),
+    ];
+    let stats = check_case(&c, OracleVariant::Faithful).unwrap_or_else(|d| panic!("{d}"));
+    assert_eq!(stats.sequence_txs, 4);
+    // Per policy: tx1 seeds cold, tx2 is warm, tx3 (a deletion) runs cold
+    // and cannot reseed, tx4 runs cold and reseeds — 1 warm × 3 policies.
+    assert_eq!(stats.warm_txs, 3);
+}
+
+#[test]
+fn conflicting_sequences_pass_the_chain_comparison() {
+    // An uncertified, conflict-heavy program: every transaction runs cold,
+    // but the chained 16-config × oracle comparison still applies.
+    let mut c = case("p -> +q. p -> -a. q -> +a.", "p.");
+    c.txs = vec!["+a.".into(), "-p. +b.".into(), "+p.".into()];
+    let stats = check_case(&c, OracleVariant::Faithful).unwrap_or_else(|d| panic!("{d}"));
+    assert_eq!(stats.sequence_txs, 3);
+    assert_eq!(stats.warm_txs, 0);
+    assert!(stats.had_conflicts);
 }
 
 #[test]

@@ -97,6 +97,7 @@ fn check_case_meters_every_matrix_cell() {
         seed: 0,
         rules: vec!["p -> +q.".into(), "p -> -q.".into()],
         facts: vec!["p.".into()],
+        txs: Vec::new(),
     };
     let stats = check_case(&case, OracleVariant::Faithful).unwrap_or_else(|d| panic!("{d}"));
     assert!(stats.had_conflicts);

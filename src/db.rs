@@ -28,11 +28,11 @@
 //! ```
 
 use park_engine::{
-    ConflictResolver, Engine, EngineOptions, EngineResult, MetricsSink, NoopMetrics, ParkOutcome,
-    RunStats, Trace,
+    certify_incremental, ConflictResolver, Engine, EngineOptions, EngineResult, MetricsSink,
+    NoopMetrics, ParkOutcome, RunStats, Trace, WarmState,
 };
 use park_storage::{FactStore, Snapshot, StorageError, UpdateSet, Vocabulary};
-use park_syntax::Program;
+use park_syntax::{Program, Sign};
 use std::sync::Arc;
 
 /// The net effect of one committed transaction.
@@ -71,6 +71,29 @@ pub struct ActiveDatabase {
     program: Program,
     transactions: u64,
     journal: Option<std::path::PathBuf>,
+    /// Cross-transaction incremental mode (see docs/incremental.md): keep a
+    /// [`WarmState`] alive between transactions and answer certified
+    /// insert-only update sets by semi-naive propagation seeded from `U`.
+    incremental: bool,
+    /// Whether the installed program passes [`certify_incremental`]
+    /// (recomputed on [`ActiveDatabase::reload`]).
+    certified_incremental: bool,
+    warm: Option<WarmState>,
+    stats: IncrementalStats,
+}
+
+/// Counters for the incremental mode (all zero unless the database was
+/// opened [`ActiveDatabase::with_incremental`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Transactions answered from the warm state.
+    pub incremental_txs: u64,
+    /// Transactions that took the cold from-`D` path (uncertified program,
+    /// deletions in `U`, tracing or metrics requested, or no warm state).
+    pub cold_txs: u64,
+    /// Times a live warm state was dropped (`reload`, `compact`, `restore`,
+    /// or an explicit [`ActiveDatabase::invalidate_warm`]).
+    pub invalidations: u64,
 }
 
 impl ActiveDatabase {
@@ -88,13 +111,55 @@ impl ActiveDatabase {
         options: EngineOptions,
     ) -> EngineResult<Self> {
         let engine = Engine::with_options(Arc::clone(initial.vocab()), program, options)?;
+        let certified_incremental = certify_incremental(engine.program());
         Ok(ActiveDatabase {
             engine,
             state: initial,
             program: program.clone(),
             transactions: 0,
             journal: None,
+            incremental: false,
+            certified_incremental,
+            warm: None,
+            stats: IncrementalStats::default(),
         })
+    }
+
+    /// Enable or disable cross-transaction incremental evaluation. With it
+    /// on, insert-only transactions over a [`certify_incremental`]-certified
+    /// program are answered from a live [`WarmState`]; everything else falls
+    /// back to the ordinary cold run (which refreshes the warm state when it
+    /// can). Committed results are byte-identical either way.
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        if !incremental {
+            self.warm = None;
+        }
+        self
+    }
+
+    /// Whether incremental mode is enabled.
+    pub fn incremental(&self) -> bool {
+        self.incremental
+    }
+
+    /// Whether the installed program is in the incrementality-safe fragment.
+    pub fn certified_incremental(&self) -> bool {
+        self.certified_incremental
+    }
+
+    /// Incremental-vs-cold counters (all zero outside incremental mode).
+    pub fn incremental_stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// Drop the live warm state, if any. The next transaction runs cold and
+    /// reseeds it. Called by the serve layer when the session policy
+    /// changes; `reload`, `compact`, and `restore` invalidate implicitly.
+    pub fn invalidate_warm(&mut self) {
+        if self.warm.take().is_some() {
+            self.stats.invalidations += 1;
+        }
     }
 
     /// Attach a journal file: every committed transaction's update set is
@@ -171,25 +236,85 @@ impl ActiveDatabase {
         policy: &mut dyn ConflictResolver,
         sink: &mut dyn MetricsSink,
     ) -> EngineResult<TransactionReport> {
+        if self.incremental {
+            return self.transact_incremental(updates, policy, sink);
+        }
         let outcome = self
             .engine
             .run_with_metrics(&self.state, updates, policy, sink)?;
-        if let Some(path) = &self.journal {
-            use std::io::Write as _;
-            let line = updates.display(self.vocab());
-            std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)
-                .and_then(|mut f| writeln!(f, "{line}"))
-                .map_err(|e| {
-                    park_engine::EngineError::Storage(StorageError::Snapshot(format!(
-                        "cannot append journal {}: {e}",
-                        path.display()
-                    )))
-                })?;
-        }
+        self.append_journal(updates)?;
         Ok(self.commit(outcome))
+    }
+
+    /// The incremental-mode transaction path: answer from the warm state
+    /// when the run is certified warm-equivalent, otherwise run cold while
+    /// retaining the marks that reseed the warm state.
+    fn transact_incremental(
+        &mut self,
+        updates: &UpdateSet,
+        policy: &mut dyn ConflictResolver,
+        sink: &mut dyn MetricsSink,
+    ) -> EngineResult<TransactionReport> {
+        let warm_eligible = self.certified_incremental
+            && !self.engine.options().trace
+            && !sink.enabled()
+            && updates.iter().all(|u| u.sign == Sign::Insert);
+        if warm_eligible && self.warm.is_some() {
+            self.append_journal(updates)?;
+            if let Some(warm) = &mut self.warm {
+                let report = warm.transact(self.engine.program(), updates);
+                if !report.added.is_empty() {
+                    // COW: the relation shards stay shared with the warm
+                    // base zone until one side mutates.
+                    self.state = warm.state().clone();
+                }
+                self.transactions += 1;
+                self.stats.incremental_txs += 1;
+                let vocab = self.state.vocab();
+                let added = report
+                    .added
+                    .iter()
+                    .map(|(p, t)| vocab.display_fact(*p, t))
+                    .collect();
+                return Ok(TransactionReport {
+                    number: self.transactions,
+                    added,
+                    removed: Vec::new(),
+                    blocked: Vec::new(),
+                    stats: report.stats,
+                    trace: Trace::new(),
+                });
+            }
+        }
+        let outcome = self
+            .engine
+            .run_retaining(&self.state, updates, policy, sink)?;
+        self.append_journal(updates)?;
+        self.warm = self
+            .certified_incremental
+            .then(|| WarmState::build(self.engine.program(), &outcome))
+            .flatten();
+        self.stats.cold_txs += 1;
+        Ok(self.commit(outcome))
+    }
+
+    fn append_journal(&self, updates: &UpdateSet) -> EngineResult<()> {
+        let Some(path) = &self.journal else {
+            return Ok(());
+        };
+        use std::io::Write as _;
+        let line = updates.display(self.vocab());
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| writeln!(f, "{line}"))
+            .map_err(|e| {
+                park_engine::EngineError::Storage(StorageError::Snapshot(format!(
+                    "cannot append journal {}: {e}",
+                    path.display()
+                )))
+            })
     }
 
     /// Parse and apply a textual update set such as `"+q(b). -p(a)."`.
@@ -258,6 +383,7 @@ impl ActiveDatabase {
     /// Replace the current state from a snapshot (same vocabulary).
     pub fn restore(&mut self, snapshot: &Snapshot) -> Result<(), StorageError> {
         self.state = snapshot.restore(Arc::clone(self.vocab()))?;
+        self.invalidate_warm();
         Ok(())
     }
 
@@ -277,9 +403,11 @@ impl ActiveDatabase {
         let state = snapshot
             .restore(vocab)
             .map_err(park_engine::EngineError::Storage)?;
+        self.certified_incremental = certify_incremental(engine.program());
         self.engine = engine;
         self.state = state;
         self.program = program.clone();
+        self.invalidate_warm();
         Ok(())
     }
 
@@ -530,6 +658,159 @@ mod tests {
                 .unwrap_or(0)
                 > 0
         );
+    }
+
+    fn reachability_db(incremental: bool) -> ActiveDatabase {
+        let vocab = Vocabulary::new();
+        let program = parse_program("e(X, Y) -> +r(X, Y). r(X, Y), e(Y, Z) -> +r(X, Z).").unwrap();
+        let initial = FactStore::from_source(vocab, "e(a, b). e(b, c).").unwrap();
+        ActiveDatabase::open(&program, initial)
+            .unwrap()
+            .with_incremental(incremental)
+    }
+
+    #[test]
+    fn incremental_mode_matches_cold_transaction_for_transaction() {
+        let mut inc = reachability_db(true);
+        let mut cold = reachability_db(false);
+        assert!(inc.incremental() && inc.certified_incremental());
+        for tx in [
+            "",
+            "+e(c, d).",
+            "+e(d, a).",
+            "",
+            "+e(a, e). +e(e, f).",
+            "+e(a, b).",
+        ] {
+            let ri = inc.transact_source(tx, &mut Inertia).unwrap();
+            let rc = cold.transact_source(tx, &mut Inertia).unwrap();
+            assert_eq!(ri.added, rc.added, "tx {tx:?}");
+            assert_eq!(ri.removed, rc.removed, "tx {tx:?}");
+            assert_eq!(ri.blocked, rc.blocked, "tx {tx:?}");
+            assert_eq!(ri.stats.gamma_steps, rc.stats.gamma_steps, "tx {tx:?}");
+            assert_eq!(ri.number, rc.number, "tx {tx:?}");
+            assert!(inc.state().same_facts(cold.state()), "tx {tx:?}");
+        }
+        let stats = inc.incremental_stats();
+        // The first transaction seeds the warm state cold; the rest reuse it.
+        assert_eq!(stats.cold_txs, 1);
+        assert_eq!(stats.incremental_txs, 5);
+        assert_eq!(cold.incremental_stats(), IncrementalStats::default());
+    }
+
+    #[test]
+    fn incremental_mode_falls_back_on_deletions_and_reseeds() {
+        let mut inc = reachability_db(true);
+        let mut cold = reachability_db(false);
+        for tx in ["+e(c, d).", "-e(a, b). -r(a, b).", "+e(b, a).", "+e(a, b)."] {
+            let ri = inc.transact_source(tx, &mut Inertia).unwrap();
+            let rc = cold.transact_source(tx, &mut Inertia).unwrap();
+            assert_eq!(ri.added, rc.added, "tx {tx:?}");
+            assert_eq!(ri.removed, rc.removed, "tx {tx:?}");
+            assert_eq!(ri.stats.gamma_steps, rc.stats.gamma_steps, "tx {tx:?}");
+            assert!(inc.state().same_facts(cold.state()), "tx {tx:?}");
+        }
+        let stats = inc.incremental_stats();
+        // tx1 seeds cold; tx2 (deletions) runs cold and cannot reseed (the
+        // run ends with a non-empty minus zone); tx3 runs cold and reseeds;
+        // tx4 is warm.
+        assert_eq!(stats.cold_txs, 3);
+        assert_eq!(stats.incremental_txs, 1);
+    }
+
+    #[test]
+    fn uncertified_programs_stay_cold_under_incremental_mode() {
+        let vocab = Vocabulary::new();
+        let program = parse_program("p(X), !q(X) -> +r(X).").unwrap();
+        let initial = FactStore::from_source(vocab, "p(a).").unwrap();
+        let mut db = ActiveDatabase::open(&program, initial)
+            .unwrap()
+            .with_incremental(true);
+        assert!(!db.certified_incremental());
+        db.transact_source("+p(b).", &mut Inertia).unwrap();
+        db.transact_source("+q(b).", &mut Inertia).unwrap();
+        assert_eq!(db.query("r"), vec!["r(a)", "r(b)"]);
+        let stats = db.incremental_stats();
+        assert_eq!(stats.cold_txs, 2);
+        assert_eq!(stats.incremental_txs, 0);
+    }
+
+    #[test]
+    fn reload_restore_and_invalidate_drop_the_warm_state() {
+        let mut db = reachability_db(true);
+        db.transact_source("+e(c, d).", &mut Inertia).unwrap();
+        db.transact_source("+e(d, e).", &mut Inertia).unwrap();
+        assert_eq!(db.incremental_stats().incremental_txs, 1);
+
+        let snap = db.snapshot();
+        db.restore(&snap).unwrap();
+        assert_eq!(db.incremental_stats().invalidations, 1);
+        // Next transaction reseeds cold, then warms again.
+        db.transact_source("+e(e, f).", &mut Inertia).unwrap();
+        db.transact_source("+e(f, g).", &mut Inertia).unwrap();
+        assert_eq!(db.incremental_stats().cold_txs, 2);
+        assert_eq!(db.incremental_stats().incremental_txs, 2);
+
+        let program = db.program.clone();
+        db.reload(&program).unwrap();
+        assert_eq!(db.incremental_stats().invalidations, 2);
+        assert!(db.certified_incremental());
+
+        db.transact_source("+e(g, h).", &mut Inertia).unwrap();
+        db.invalidate_warm();
+        assert_eq!(db.incremental_stats().invalidations, 3);
+        db.invalidate_warm(); // no live warm state: not an invalidation
+        assert_eq!(db.incremental_stats().invalidations, 3);
+    }
+
+    #[test]
+    fn incremental_mode_keeps_journaling_replayable() {
+        let dir = std::env::temp_dir().join(format!("park-incjournal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inc.journal");
+        let _ = std::fs::remove_file(&path);
+
+        let mut db = reachability_db(true).with_journal(&path);
+        db.transact_source("+e(c, d).", &mut Inertia).unwrap();
+        db.transact_source("+e(d, a).", &mut Inertia).unwrap();
+        db.settle(&mut Inertia).unwrap();
+        assert!(db.incremental_stats().incremental_txs >= 2);
+        let final_state = db.state().sorted_display();
+
+        let vocab = Vocabulary::new();
+        let program = parse_program("e(X, Y) -> +r(X, Y). r(X, Y), e(Y, Z) -> +r(X, Z).").unwrap();
+        let initial = FactStore::from_source(vocab, "e(a, b). e(b, c).").unwrap();
+        let replayed = ActiveDatabase::replay(&program, initial, &path, &mut Inertia).unwrap();
+        assert_eq!(replayed.state().sorted_display(), final_state);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn incremental_mode_with_metrics_or_trace_takes_the_cold_path() {
+        use park_engine::JsonMetrics;
+        let mut db = reachability_db(true);
+        db.transact_source("+e(c, d).", &mut Inertia).unwrap();
+        let mut sink = JsonMetrics::new("test");
+        let u = UpdateSet::from_source(db.vocab(), "+e(d, e).").unwrap();
+        db.transact_with_metrics(&u, &mut Inertia, &mut sink)
+            .unwrap();
+        // The metered transaction ran cold (events must be complete) but
+        // still refreshed the warm state for the next one.
+        assert_eq!(db.incremental_stats().cold_txs, 2);
+        db.transact_source("+e(e, f).", &mut Inertia).unwrap();
+        assert_eq!(db.incremental_stats().incremental_txs, 1);
+
+        let vocab = Vocabulary::new();
+        let program = parse_program("e(X, Y) -> +r(X, Y).").unwrap();
+        let initial = FactStore::from_source(vocab, "e(a, b).").unwrap();
+        let mut traced =
+            ActiveDatabase::open_with_options(&program, initial, EngineOptions::traced())
+                .unwrap()
+                .with_incremental(true);
+        traced.transact_source("+e(b, c).", &mut Inertia).unwrap();
+        let r = traced.transact_source("+e(c, d).", &mut Inertia).unwrap();
+        assert!(!r.trace.is_empty(), "traced runs must keep their trace");
+        assert_eq!(traced.incremental_stats().incremental_txs, 0);
     }
 
     #[test]
