@@ -581,10 +581,15 @@ fn bench_eval_json() {
         ),
     ];
     let mut results: Vec<Json> = Vec::new();
+    // C10 inputs: sequential medians on the roadmap's target workload.
+    let mut tc_semi_ms = None;
+    let mut tc_compiled_ms = None;
     for (workload, rules, facts) in &workloads {
+        let mut first_state: Option<Vec<String>> = None;
         for (mode_name, mode) in [
             ("naive", EvaluationMode::Naive),
             ("semi_naive", EvaluationMode::SemiNaive),
+            ("compiled", EvaluationMode::Compiled),
         ] {
             for threads in [1usize, 2, 4] {
                 let session = Session::new(
@@ -595,9 +600,22 @@ fn bench_eval_json() {
                         .with_parallelism(if threads == 1 { None } else { Some(threads) }),
                 );
                 let out = session.run_inertia();
+                // All three evaluators must agree before anything is timed.
+                let state = out.database.sorted_display();
+                match &first_state {
+                    None => first_state = Some(state),
+                    Some(s) => assert_eq!(s, &state, "{workload}: evaluators disagree"),
+                }
                 let facts_n = out.database.len();
                 let bytes = out.database.encoded_bytes();
                 let ms = median_time_ms(5, || session.run_inertia());
+                if *workload == "tc_erdos_renyi_128" && threads == 1 {
+                    match mode {
+                        EvaluationMode::SemiNaive => tc_semi_ms = Some(ms),
+                        EvaluationMode::Compiled => tc_compiled_ms = Some(ms),
+                        EvaluationMode::Naive => {}
+                    }
+                }
                 results.push(Json::object([
                     ("mode", Json::str(mode_name)),
                     ("workload", Json::str(*workload)),
@@ -790,10 +808,27 @@ fn bench_eval_json() {
         );
         speedup
     };
+    // C10: the compiled bytecode evaluator (`--eval compiled`) vs the
+    // interpreted semi-naive plan walker, sequential, on the roadmap's
+    // target workload. Both rows already carry the honest
+    // `host_parallelism`/`cores_validated` flags in the grid above.
+    let c10_speedup = {
+        let semi = tc_semi_ms.expect("C10 semi-naive row measured");
+        let compiled = tc_compiled_ms.expect("C10 compiled row measured");
+        let speedup = semi / compiled.max(1e-9);
+        println!("## C10 — compiled evaluator (register bytecode)\n");
+        println!(
+            "c10_compiled tc_erdos_renyi_128: compiled {compiled:.2} ms vs \
+             semi-naive {semi:.2} ms ({speedup:.2}x; single-threaded, \
+             algorithmic — no parallelism claim).\n"
+        );
+        speedup
+    };
     let doc = Json::object([
         ("schema", Json::str("park-bench/eval-v1")),
         ("host_parallelism", Json::from(cores)),
         ("c9_small_update_speedup", Json::Float(c9_speedup)),
+        ("c10_compiled_speedup", Json::Float(c10_speedup)),
         ("results", Json::Array(results)),
     ]);
     match std::fs::write("BENCH_eval.json", doc.to_pretty() + "\n") {

@@ -2,12 +2,12 @@
 //!
 //! ```text
 //! park run <program.park> [--db <data.facts>] [--updates <tx.updates>]
-//!          [--policy <name>] [--scope all|one] [--eval naive|semi]
+//!          [--policy <name>] [--scope all|one] [--eval naive|semi|compiled]
 //!          [--threads <n>] [--cold-restarts] [--trace] [--trace-json <f>]
 //!          [--stats] [--snapshot <out.json>] [--metrics <out.json>]
 //! park check <program.park>...
 //! park lint <program.park>... [--format text|json]
-//! park analyze <program.park> [--db <data.facts>]
+//! park analyze <program.park> [--db <data.facts>] [--plan]
 //! park query '<body>' [--db <data.facts>]
 //! park repl <program.park> [--db <data.facts>] [--policy <name>]
 //! park serve [--listen <addr>] [--once] [--policy <name>] [engine options]
@@ -81,7 +81,9 @@ USAGE:
                                          with `%# allow(PARKxxx)` comment lines
   park analyze <program.park> [--db <f>] dependency/recursion/conflict report;
                                          with --db also per-relation shard
-                                         stats and a confluence probe
+                                         stats and a confluence probe; --plan
+                                         dumps the compiled evaluator's lowered
+                                         bytecode and cost-model choices
   park repl <program.park> [--db <f>]    interactive transactional session
   park serve [--listen <addr>] [--once]  resident multi-database engine:
                                          ndjson requests on stdin (or a TCP
@@ -106,7 +108,11 @@ OPTIONS (run/baseline):
                       priority | specificity | transactions-win |
                       random[:seed] | interactive        (default: inertia)
   --scope <all|one>   conflicts resolved per restart     (default: all)
-  --eval <naive|semi> grounding enumeration strategy     (default: naive)
+  --eval <naive|semi|compiled>
+                      grounding enumeration strategy     (default: naive);
+                      `compiled` lowers rules to register bytecode with
+                      cost-model join ordering and index selection
+                      (see docs/compile.md)
   --threads <n>       evaluate each step on n threads with a deterministic
                       ordered merge: identical results
                       (default: no pool, single-threaded)
@@ -138,6 +144,7 @@ struct RunArgs {
     stats: bool,
     snapshot: Option<String>,
     metrics: Option<String>,
+    plan: bool,
 }
 
 fn parse_run_args(args: Vec<String>) -> Result<RunArgs, String> {
@@ -163,6 +170,7 @@ fn parse_run_args(args: Vec<String>) -> Result<RunArgs, String> {
                 out.evaluation = match grab("--eval")?.as_str() {
                     "naive" => EvaluationMode::Naive,
                     "semi" | "semi-naive" | "seminaive" => EvaluationMode::SemiNaive,
+                    "compiled" | "compile" | "bytecode" => EvaluationMode::Compiled,
                     other => return Err(format!("unknown evaluation mode `{other}`")),
                 }
             }
@@ -177,6 +185,7 @@ fn parse_run_args(args: Vec<String>) -> Result<RunArgs, String> {
                 out.threads = Some(n);
             }
             "--cold-restarts" => out.cold_restarts = true,
+            "--plan" => out.plan = true,
             "--trace" => out.trace = true,
             "--trace-json" => out.trace_json = Some(grab("--trace-json")?),
             "--stats" => out.stats = true,
@@ -357,6 +366,7 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
                 opts.evaluation = match grab("--eval")?.as_str() {
                     "naive" => EvaluationMode::Naive,
                     "semi" | "semi-naive" | "seminaive" => EvaluationMode::SemiNaive,
+                    "compiled" | "compile" | "bytecode" => EvaluationMode::Compiled,
                     other => return Err(format!("unknown evaluation mode `{other}`")),
                 }
             }
@@ -571,6 +581,22 @@ fn cmd_analyze(args: Vec<String>) -> Result<(), String> {
                     println!("    only under delete: {}", only_with_delete.join(", "));
                 }
             }
+        }
+    }
+    // The compiled evaluator's lowered bytecode: join order, index picks,
+    // and per-op shapes. The cost model reads the --db shard sizes when
+    // one is supplied; with no database it falls back to its defaults.
+    if a.plan {
+        let vocab = Arc::clone(compiled.vocab());
+        let db = match &a.db {
+            Some(db_path) => {
+                FactStore::from_source(vocab, &read_file(db_path)?).map_err(|e| e.to_string())?
+            }
+            None => FactStore::new(vocab),
+        };
+        let lowered = park_engine::lower(&compiled, &db);
+        for line in lowered.render(&compiled).lines() {
+            println!("  {line}");
         }
     }
     Ok(())
@@ -843,12 +869,13 @@ fn cmd_fuzz(args: Vec<String>) -> Result<(), String> {
     }
     println!(
         "fuzz: {} cases, 0 divergences (seed {}, {} ground, {} with conflicts, \
-         {} stratified cross-checks; 16 engine configs x {} policies per case)",
+         {} stratified cross-checks; {} engine configs x {} policies per case)",
         report.cases,
         seed,
         report.ground_cases,
         report.conflict_cases,
         report.stratified_checks,
+        park_testkit::EngineConfig::matrix().len(),
         park_testkit::POLICIES.len(),
     );
     println!(

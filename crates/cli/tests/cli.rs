@@ -902,3 +902,55 @@ fn analyze_includes_lint_verdicts() {
     );
     assert!(stdout.contains("lint           : clean"), "{stdout}");
 }
+
+#[test]
+fn eval_compiled_matches_semi_and_analyze_dumps_the_plan() {
+    let dir = tempdir("compiled");
+    let program = write(
+        &dir,
+        "tc.park",
+        "edge(X, Y) -> +tc(X, Y). tc(X, Y), edge(Y, Z) -> +tc(X, Z).",
+    );
+    let facts = write(&dir, "d.facts", "edge(a, b). edge(b, c). edge(c, a).");
+    let run = |eval: &str| {
+        let out = park()
+            .args([
+                "run",
+                program.to_str().unwrap(),
+                "--db",
+                facts.to_str().unwrap(),
+                "--eval",
+                eval,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "--eval {eval}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let semi = run("semi");
+    let compiled = run("compiled");
+    assert_eq!(semi, compiled, "committed results must be byte-identical");
+    assert!(compiled.contains("tc(a, c)."), "{compiled}");
+
+    let out = park()
+        .args([
+            "analyze",
+            program.to_str().unwrap(),
+            "--db",
+            facts.to_str().unwrap(),
+            "--plan",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("lowered program: 2 rules"), "{stdout}");
+    // Three edges sit below the cost model's index threshold: every
+    // base access is a scan, none a probe.
+    assert!(stdout.contains("scan"), "{stdout}");
+    assert!(stdout.contains("0 cost-model index picks"), "{stdout}");
+}

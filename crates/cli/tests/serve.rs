@@ -933,9 +933,13 @@ proptest! {
             .to_compact(),
         ];
         let mut tx_ops = 0u64;
+        let mut deletion_txs = 0u64;
         for &d in &draws {
             if matches!(d.0 % 8, 0..=4) {
                 tx_ops += 1;
+            }
+            if d.0 % 8 == 3 {
+                deletion_txs += 1;
             }
             lines.push(render_op(d, &snap_str));
         }
@@ -959,6 +963,13 @@ proptest! {
         let section = stats_section(&inc, "incremental").expect("incremental counters");
         let count = |k: &str| section.get(k).and_then(|j| j.as_i64()).unwrap();
         prop_assert_eq!(count("incremental_txs") + count("cold_txs"), tx_ops as i64);
+        // The attributed cold reasons never overcount: each cold
+        // transaction is blamed on at most one of deletion/uncertified,
+        // and deletion blame requires an actual deletion draw.
+        prop_assert!(
+            count("cold_txs_deletion") + count("cold_txs_uncertified") <= count("cold_txs")
+        );
+        prop_assert!(count("cold_txs_deletion") <= deletion_txs as i64);
         let _ = std::fs::remove_file(&snap);
     }
 }
@@ -996,7 +1007,8 @@ fn warm_state_survives_only_until_the_next_hazard_op() {
         op("snapshot", vec![("path", Json::str(&snap_str))]),
         tx("+e(c1, c2)."), // cold: seeds the warm state
         tx("+e(c2, c3)."), // warm
-        op("policy", vec![("policy", Json::str("prefer-insert"))]), // invalidates
+        tx("-e(c2, c3)."), // cold: deletions bypass the warm state
+        op("policy", vec![("policy", Json::str("prefer-insert"))]), // no live warm state left
         tx("+e(c3, c4)."), // cold reseed
         tx("+e(c4, c0)."), // warm
         op("restore", vec![("path", Json::str(&snap_str))]), // invalidates
@@ -1014,7 +1026,12 @@ fn warm_state_survives_only_until_the_next_hazard_op() {
     let section = stats_section(&transcript, "incremental").expect("incremental counters");
     let count = |k: &str| section.get(k).and_then(|j| j.as_i64()).unwrap();
     assert_eq!(count("incremental_txs"), 3, "{section:?}");
-    assert_eq!(count("cold_txs"), 5, "{section:?}");
+    assert_eq!(count("cold_txs"), 6, "{section:?}");
+    // The split attributes exactly one cold transaction to the deletion
+    // and one to the uncertified program; seeding/reseeding runs are
+    // cold for neither reason.
+    assert_eq!(count("cold_txs_deletion"), 1, "{section:?}");
+    assert_eq!(count("cold_txs_uncertified"), 1, "{section:?}");
     assert!(count("invalidations") >= 3, "{section:?}");
     assert_eq!(
         section.get("certified").and_then(|j| j.as_bool()),

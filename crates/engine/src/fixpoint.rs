@@ -208,6 +208,12 @@ impl Engine {
         );
         let started = Instant::now();
         let working = self.program.with_updates(updates);
+        // Compiled evaluation lowers `P_U` once per run-set: the cost model
+        // reads only the immutable starting database, so the lowered
+        // program is shared by every restart and deterministic across
+        // hosts and thread counts (see `crate::lower`).
+        let lowered = (self.options.evaluation == EvaluationMode::Compiled)
+            .then(|| crate::lower::lower(&working, db));
         // Statically conflict-free programs never need provenance or
         // conflict collection; the run degenerates to the pure inflationary
         // fixpoint. A refinement certificate (`crate::refine`) extends the
@@ -238,6 +244,8 @@ impl Engine {
         let mut stats = RunStats {
             effective_parallelism: effective_threads,
             certified_conflict_free: certified,
+            lowered_ops: lowered.as_ref().map_or(0, |l| l.op_count()),
+            index_picks: lowered.as_ref().map_or(0, |l| l.index_picks()),
             ..RunStats::default()
         };
         let mut trace = Trace::new();
@@ -261,14 +269,35 @@ impl Engine {
         // Retained program-derived heads (see `Engine::run_retaining`).
         let mut program_marks = retain.then(|| FactStore::new(Arc::clone(self.program.vocab())));
 
+        // The evaluator's index requests: under compiled evaluation the
+        // cost model's selections replace the interpreted planner's.
+        let index_requests: &[crate::compile::IndexRequest] = match &lowered {
+            Some(lp) => lp.index_requests(),
+            None => working.index_requests(),
+        };
+        // Build base-zone indexes once, *outside* the restart loop: every
+        // restart clones this pre-indexed store, and `ensure_index` on a
+        // clone whose shared shard already carries the index is a no-copy
+        // no-op. Without the hoist each restart would COW-clone and
+        // re-index every probed base shard from scratch.
+        let seed_db = {
+            let mut seed = db.clone();
+            for req in index_requests {
+                if req.zone == crate::validity::MarkZone::Base {
+                    seed.ensure_index(req.pred, req.mask);
+                }
+            }
+            seed
+        };
+
         let final_interp = 'outer: loop {
             // (Re)start the inflationary computation from I° = D.
             let run = stats.restarts + 1;
             if tracing {
                 trace.push(TraceEvent::RunStarted { run });
             }
-            let mut interp = IInterpretation::from_database(db.clone());
-            for req in working.index_requests() {
+            let mut interp = IInterpretation::from_database(seed_db.clone());
+            for req in index_requests {
                 interp.zone_mut(req.zone).ensure_index(req.pred, req.mask);
             }
             provenance.clear();
@@ -302,10 +331,11 @@ impl Engine {
                     Some(fired) => {
                         // Served from the log: the filtered vector is
                         // exactly what live evaluation would fire here.
-                        // Keep the semi-naive delta boundary current so a
-                        // live hand-off after the log sees the right
-                        // (prev, curr] window.
-                        if self.options.evaluation == EvaluationMode::SemiNaive {
+                        // Keep the delta boundary current so a live
+                        // hand-off after the log sees the right
+                        // (prev, curr] window (semi-naive and compiled
+                        // both window on it).
+                        if self.options.evaluation != EvaluationMode::Naive {
                             prev_lens = ZoneLens::capture(&interp);
                         }
                         stats.replayed_steps += 1;
@@ -337,6 +367,35 @@ impl Engine {
                                     let curr = ZoneLens::capture(&interp);
                                     let fired = seminaive::fire_new_metered(
                                         &working,
+                                        &blocked,
+                                        &interp,
+                                        &prev_lens,
+                                        &curr,
+                                        threads,
+                                        effective_threads,
+                                        span_out,
+                                    );
+                                    prev_lens = curr;
+                                    fired
+                                }
+                            }
+                            EvaluationMode::Compiled => {
+                                let lowered = lowered
+                                    .as_ref()
+                                    .expect("compiled mode always lowers the program");
+                                if step_in_run == 0 {
+                                    crate::bytecode::fire_all_lowered_metered(
+                                        lowered,
+                                        &blocked,
+                                        &interp,
+                                        threads,
+                                        effective_threads,
+                                        span_out,
+                                    )
+                                } else {
+                                    let curr = ZoneLens::capture(&interp);
+                                    let fired = crate::bytecode::fire_new_lowered_metered(
+                                        lowered,
                                         &blocked,
                                         &interp,
                                         &prev_lens,

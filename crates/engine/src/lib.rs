@@ -36,6 +36,7 @@
 
 pub mod analysis;
 pub mod bistructure;
+pub mod bytecode;
 pub mod compile;
 pub mod conflict;
 pub mod error;
@@ -44,6 +45,7 @@ pub mod gamma;
 pub mod grounding;
 pub mod incremental;
 pub mod interp;
+pub mod lower;
 pub mod metrics;
 pub mod options;
 mod parallel;
@@ -60,6 +62,7 @@ pub use analysis::{
     ProgramReport,
 };
 pub use bistructure::BiStructure;
+pub use bytecode::{fire_all_lowered, fire_new_lowered};
 pub use compile::{
     CompiledAtom, CompiledLiteral, CompiledProgram, CompiledRule, LitKind, RuleId, TermSlot,
 };
@@ -75,6 +78,7 @@ pub use incremental::{
     IncrementalReport, WarmState,
 };
 pub use interp::IInterpretation;
+pub use lower::{lower, LoweredProgram};
 pub use metrics::{
     FinishEvent, JsonMetrics, MetricsSink, NoopMetrics, ReplayEvent, RestartEvent, StepEvent,
     StepOutcome, StorageCounters, TaskSpan,

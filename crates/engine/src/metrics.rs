@@ -573,6 +573,7 @@ impl MetricsSink for JsonMetrics {
             evaluation: match ev.options.evaluation {
                 EvaluationMode::Naive => "naive",
                 EvaluationMode::SemiNaive => "semi_naive",
+                EvaluationMode::Compiled => "compiled",
             },
             scope: scope_str(ev.options.scope),
             warm_restarts: ev.options.warm_restarts,

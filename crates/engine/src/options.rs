@@ -29,6 +29,14 @@ pub enum EvaluationMode {
     /// (see `crate::seminaive`), asymptotically faster on recursive
     /// programs.
     SemiNaive,
+    /// Compiled enumeration: each rule is lowered once per run into flat
+    /// register bytecode (`crate::lower`) with cost-model-driven join
+    /// ordering and index selection, then evaluated batch-at-a-time
+    /// (`crate::bytecode`) with the same delta discipline as
+    /// [`EvaluationMode::SemiNaive`]. The per-step grounding *sets* are
+    /// identical to the other modes; the emission order within a step may
+    /// differ where the cost model reorders a join.
+    Compiled,
 }
 
 /// Tunables for a PARK evaluation.

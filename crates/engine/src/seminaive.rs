@@ -67,11 +67,11 @@ impl ZoneLens {
         }
     }
 
-    fn plus_len(&self, pred: PredId) -> u32 {
+    pub(crate) fn plus_len(&self, pred: PredId) -> u32 {
         self.plus.get(pred.0 as usize).copied().unwrap_or(0)
     }
 
-    fn minus_len(&self, pred: PredId) -> u32 {
+    pub(crate) fn minus_len(&self, pred: PredId) -> u32 {
         self.minus.get(pred.0 as usize).copied().unwrap_or(0)
     }
 }
@@ -721,6 +721,104 @@ mod tests {
         });
         let fired = fire_new(&program, &blocked, &interp, &before, &after);
         assert!(fired.is_empty(), "{fired:?}");
+    }
+
+    #[test]
+    fn plan_units_sees_delta_beyond_prev_lens_length() {
+        // A predicate that gained its first-ever marks after `prev` was
+        // captured has no entry in the prev lens at all — `plus_len` /
+        // `minus_len` must read it as 0, not skip the rule's delta pass.
+        // `ZoneLens::default()` has zero-length vectors, so every pred id
+        // exercises the out-of-range path.
+        let (program, mut interp) = setup("p(X), q(X) -> +r(X).", "p(a).");
+        let v = program.vocab();
+        let q = v.lookup_pred("q").unwrap();
+        let a = v.encode(Value::Sym(v.sym("a")));
+        let prev = ZoneLens::default();
+        assert!(interp.insert_marked(Sign::Insert, q, &[a]));
+        let curr = ZoneLens::capture(&interp);
+        let units = plan_units(&program, &prev, &curr);
+        assert!(
+            units.iter().any(|u| matches!(
+                u,
+                SemiUnit::Delta {
+                    rule: 0,
+                    delta_pos: 1
+                }
+            )),
+            "q's delta pass must be planned even though q is past the end \
+             of the prev lens: {units:?}"
+        );
+        // p gained nothing, so its delta position stays planned out.
+        assert!(
+            !units.iter().any(|u| matches!(
+                u,
+                SemiUnit::Delta {
+                    rule: 0,
+                    delta_pos: 0
+                }
+            )),
+            "{units:?}"
+        );
+    }
+
+    #[test]
+    fn plan_units_tracks_the_zone_each_literal_enumerates() {
+        // Growth in one zone of a predicate must only wake the delta
+        // passes that enumerate that zone: a positive literal watches
+        // `I⁺`, a `-q` event literal watches `I⁻`.
+        let (program, mut interp) = setup(
+            "p(X), q(X) -> +r(X). s(X), -q(X) -> +t(X).",
+            "p(a). s(a). q(a).",
+        );
+        let v = program.vocab();
+        let q = v.lookup_pred("q").unwrap();
+        let a = v.encode(Value::Sym(v.sym("a")));
+
+        // Minus-only growth: the Pos q literal (rule 0) stays asleep, the
+        // -q event literal (rule 1) wakes.
+        let prev = ZoneLens::capture(&interp);
+        assert!(interp.insert_marked(Sign::Delete, q, &[a]));
+        let curr = ZoneLens::capture(&interp);
+        let units = plan_units(&program, &prev, &curr);
+        assert!(
+            !units
+                .iter()
+                .any(|u| matches!(u, SemiUnit::Delta { rule: 0, .. })),
+            "minus growth must not schedule a plus-zone delta pass: {units:?}"
+        );
+        assert!(
+            units.iter().any(|u| matches!(
+                u,
+                SemiUnit::Delta {
+                    rule: 1,
+                    delta_pos: 1
+                }
+            )),
+            "{units:?}"
+        );
+
+        // Plus-only growth on a later step: the converse.
+        let prev = ZoneLens::capture(&interp);
+        assert!(interp.insert_marked(Sign::Insert, q, &[v.encode(Value::Sym(v.sym("b")))]));
+        let curr = ZoneLens::capture(&interp);
+        let units = plan_units(&program, &prev, &curr);
+        assert!(
+            units.iter().any(|u| matches!(
+                u,
+                SemiUnit::Delta {
+                    rule: 0,
+                    delta_pos: 1
+                }
+            )),
+            "{units:?}"
+        );
+        assert!(
+            !units
+                .iter()
+                .any(|u| matches!(u, SemiUnit::Delta { rule: 1, .. })),
+            "plus growth must not schedule a minus-zone delta pass: {units:?}"
+        );
     }
 
     #[test]

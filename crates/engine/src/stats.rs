@@ -53,6 +53,16 @@ pub struct RunStats {
     /// byte-identical with or without it, so it is not part of
     /// [`StatCounters`].
     pub certified_conflict_free: bool,
+    /// Total bytecode ops in the lowered program under
+    /// `EvaluationMode::Compiled` (see `crate::lower`); 0 under the
+    /// interpreted modes. Lowering telemetry, not an execution counter:
+    /// deterministic for a given program + database, but mode-specific, so
+    /// it stays out of [`StatCounters`].
+    pub lowered_ops: u64,
+    /// Access ops whose base-zone probe the compiled cost model routed
+    /// through a hash index rather than a scan; 0 under the interpreted
+    /// modes. Lowering telemetry like `lowered_ops`.
+    pub index_picks: u64,
     /// The worker-pool size actually used, after clamping the requested
     /// `EngineOptions::parallelism` to the host's available parallelism
     /// (1 = sequential, no pool). Task decomposition still follows the

@@ -1,0 +1,117 @@
+//! Guard test for secondary-index retention across copy-on-write clones.
+//!
+//! `Relation::ensure_index` tags every index with the arena generation it
+//! was built at, and `FactStore::ensure_index` checks for a current index
+//! through a *shared* reference before reaching for `Arc::make_mut`. The
+//! combination is what makes warm restarts O(changed-shards): a restart
+//! state cloned from an indexed seed database must neither rebuild the
+//! index (the arena is unchanged, so the generation tag still matches)
+//! nor deep-copy the shard (the check never takes a mutable path).
+//!
+//! The test pins both promises with the same counting-allocator harness
+//! as `snapshot_alloc.rs`: re-ensuring an index on a clone of an
+//! unchanged store must allocate identically for a 10-fact and a
+//! 1000-fact store (in fact, not at all), and must leave the process-wide
+//! copy-on-write shard-copy counter untouched. It lives in the engine's
+//! tests because `park-storage` is `#![forbid(unsafe_code)]` and a
+//! `#[global_allocator]` impl is unsafe; it gets its own integration-test
+//! binary because the allocator is process-wide.
+
+use park_storage::{cow_shard_clones, ColumnMask, FactStore, Vocabulary};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`; the counter is the only
+// addition and is async-signal-safe (a relaxed atomic add).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_in(mut f: impl FnMut()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+/// A store with one relation `e/2` holding `n` facts.
+fn store_with(n: usize) -> FactStore {
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!("e(a{i}, b{i}).\n"));
+    }
+    FactStore::from_source(Vocabulary::new(), &src).unwrap()
+}
+
+#[test]
+fn reensuring_an_index_on_a_clone_does_no_per_row_work() {
+    let mask = ColumnMask::from_cols([0]);
+    let mut small = store_with(10);
+    let mut large = store_with(1000);
+    let e_small = small.vocab().lookup_pred("e").unwrap();
+    let e_large = large.vocab().lookup_pred("e").unwrap();
+
+    // First build pays O(rows) — that's the lazy rebuild working as
+    // intended, not what this test guards.
+    small.ensure_index(e_small, mask);
+    large.ensure_index(e_large, mask);
+    assert!(small.relation(e_small).unwrap().has_index(mask));
+
+    // A clone shares the indexed shard; re-ensuring the same index on it
+    // must be a pure read: same allocation count regardless of fact
+    // count — zero, in fact — and no copy-on-write shard copy.
+    let measure = |store: &FactStore, pred| {
+        (0..5)
+            .map(|_| {
+                let mut clone = store.clone();
+                let cow_before = cow_shard_clones();
+                let allocs = allocations_in(|| clone.ensure_index(pred, mask));
+                assert_eq!(
+                    cow_shard_clones(),
+                    cow_before,
+                    "re-ensuring a retained index must not deep-copy the shard"
+                );
+                assert!(clone.relation(pred).unwrap().has_index(mask));
+                allocs
+            })
+            .min()
+            .unwrap()
+    };
+    let reensure_small = measure(&small, e_small);
+    let reensure_large = measure(&large, e_large);
+    assert_eq!(
+        reensure_small, reensure_large,
+        "re-ensure allocation count must not scale with fact count"
+    );
+    assert_eq!(
+        reensure_large, 0,
+        "re-ensuring a retained index allocated {reensure_large} times"
+    );
+
+    // Mutating the clone's shard *after* the check still shares the
+    // index: the COW copy carries it over, generation tag intact.
+    let mut clone = large.clone();
+    clone.insert_row(e_large, large.relation(e_large).unwrap().row(0));
+    assert!(
+        clone.relation(e_large).unwrap().has_index(mask),
+        "a duplicate insert must not invalidate the retained index"
+    );
+}

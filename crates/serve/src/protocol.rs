@@ -175,6 +175,7 @@ fn parse_eval(s: &str) -> Result<EvaluationMode, String> {
     match s {
         "naive" => Ok(EvaluationMode::Naive),
         "semi" | "semi-naive" | "seminaive" => Ok(EvaluationMode::SemiNaive),
+        "compiled" | "compile" | "bytecode" => Ok(EvaluationMode::Compiled),
         other => Err(format!("unknown evaluation mode `{other}`")),
     }
 }
@@ -192,6 +193,7 @@ pub fn eval_name(mode: EvaluationMode) -> &'static str {
     match mode {
         EvaluationMode::Naive => "naive",
         EvaluationMode::SemiNaive => "semi-naive",
+        EvaluationMode::Compiled => "compiled",
     }
 }
 

@@ -141,6 +141,11 @@ impl DbSession {
                             ("certified", Json::Bool(self.db.certified_incremental())),
                             ("incremental_txs", Json::Int(s.incremental_txs as i64)),
                             ("cold_txs", Json::Int(s.cold_txs as i64)),
+                            ("cold_txs_deletion", Json::Int(s.cold_txs_deletion as i64)),
+                            (
+                                "cold_txs_uncertified",
+                                Json::Int(s.cold_txs_uncertified as i64),
+                            ),
                             ("invalidations", Json::Int(s.invalidations as i64)),
                         ]),
                     ));
@@ -717,6 +722,30 @@ mod tests {
         assert_eq!(inc.get("certified").and_then(|j| j.as_bool()), Some(true));
         assert_eq!(inc.get("cold_txs").and_then(|j| j.as_i64()), Some(1));
         assert_eq!(inc.get("incremental_txs").and_then(|j| j.as_i64()), Some(1));
+        // The seeding transaction is cold for neither attributed reason.
+        assert_eq!(
+            inc.get("cold_txs_deletion").and_then(|j| j.as_i64()),
+            Some(0)
+        );
+        assert_eq!(
+            inc.get("cold_txs_uncertified").and_then(|j| j.as_i64()),
+            Some(0)
+        );
+
+        // A deletion forces a cold transaction and shows up attributed.
+        s.handle(4, tx("-e(b, c)."));
+        let (frames, _) = s.handle(5, DbOp::Stats);
+        let doc = park_json::parse(&frames[0]).unwrap();
+        let inc = doc.get("incremental").expect("incremental section");
+        assert_eq!(inc.get("cold_txs").and_then(|j| j.as_i64()), Some(2));
+        assert_eq!(
+            inc.get("cold_txs_deletion").and_then(|j| j.as_i64()),
+            Some(1)
+        );
+        assert_eq!(
+            inc.get("cold_txs_uncertified").and_then(|j| j.as_i64()),
+            Some(0)
+        );
 
         let mut off = open_reach(false);
         off.handle(1, tx("+e(b, c)."));

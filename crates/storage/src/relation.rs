@@ -11,7 +11,12 @@
 //! Iteration order is insertion order — the engine's deterministic merge
 //! and the semi-naive delta windows both depend on it. `remove` uses
 //! swap-remove (the last row fills the hole) and invalidates secondary
-//! indexes; they are rebuilt lazily by the next [`Relation::ensure_index`].
+//! indexes by bumping the relation's *generation*; stale index entries are
+//! retained (their bucket allocations are reused) and rebuilt lazily by
+//! the next [`Relation::ensure_index`]. Inserts keep current-generation
+//! indexes maintained incrementally, so an arena that only ever grows —
+//! the common case for restart states cloned from an indexed database —
+//! never rebuilds an index it already has.
 
 use crate::hash::{hash_codes, hash_row, FxHashMap};
 use crate::value::Code;
@@ -66,6 +71,16 @@ fn key_hash_of(mask: ColumnMask, row: &[Code]) -> u64 {
 /// candidates in ascending position order; callers verify contents.
 type HashBuckets = FxHashMap<u64, Vec<u32>>;
 
+/// One secondary index, tagged with the arena generation it was built at.
+/// An entry whose `built_at` lags the relation's current generation is
+/// *stale*: unusable for probes, but its bucket allocations are retained
+/// and reused by the next rebuild.
+#[derive(Debug, Clone, Default)]
+struct IndexEntry {
+    built_at: u64,
+    buckets: HashBuckets,
+}
+
 /// The extension of one predicate: a columnar arena of interned rows with
 /// hash-verified dedup and secondary indexes.
 #[derive(Debug, Clone, Default)]
@@ -75,10 +90,15 @@ pub struct Relation {
     rows: Vec<Code>,
     /// Number of rows (tracked separately so arity-0 relations work).
     count: u32,
+    /// Arena generation: bumped by every operation that invalidates
+    /// position-based indexes (`remove`'s swap-remove, `clear`). Inserts
+    /// never bump it — they maintain current indexes incrementally.
+    generation: u64,
     /// Row-hash → candidate positions, for dedup and point containment.
     positions: HashBuckets,
-    /// Secondary indexes: key-hash → candidate positions per column mask.
-    indexes: FxHashMap<ColumnMask, HashBuckets>,
+    /// Secondary indexes: key-hash → candidate positions per column mask,
+    /// each tagged with the generation it reflects.
+    indexes: FxHashMap<ColumnMask, IndexEntry>,
 }
 
 impl Relation {
@@ -146,14 +166,21 @@ impl Relation {
         self.count += 1;
         self.positions.entry(h).or_default().push(pos);
         for (mask, index) in &mut self.indexes {
-            index.entry(key_hash_of(*mask, row)).or_default().push(pos);
+            if index.built_at == self.generation {
+                index
+                    .buckets
+                    .entry(key_hash_of(*mask, row))
+                    .or_default()
+                    .push(pos);
+            }
         }
         true
     }
 
     /// Remove a row; `false` if absent. The last row fills the hole
-    /// (swap-remove), and all secondary indexes are invalidated — they
-    /// rebuild lazily on the next [`Relation::ensure_index`].
+    /// (swap-remove), and all secondary indexes are invalidated by a
+    /// generation bump — their allocations are retained and they rebuild
+    /// lazily on the next [`Relation::ensure_index`].
     pub fn remove(&mut self, row: &[Code]) -> bool {
         let Some(pos) = self.position_of(row) else {
             return false;
@@ -185,7 +212,7 @@ impl Relation {
         }
         self.rows.truncate(last as usize * self.arity);
         self.count = last;
-        self.indexes.clear();
+        self.generation += 1;
         true
     }
 
@@ -193,29 +220,61 @@ impl Relation {
     pub fn clear(&mut self) {
         self.rows.clear();
         self.count = 0;
+        self.generation += 1;
         self.positions.clear();
         self.indexes.clear();
     }
 
-    /// Build the index for `mask` if absent. The empty mask never gets an
-    /// index (a probe on it is a scan by definition).
+    /// Build the index for `mask` if absent or stale. The empty mask never
+    /// gets an index (a probe on it is a scan by definition). A stale
+    /// entry — invalidated by [`Relation::remove`]'s generation bump — is
+    /// rebuilt in place, reusing its bucket allocations.
     pub fn ensure_index(&mut self, mask: ColumnMask) {
-        if mask.is_empty() || self.indexes.contains_key(&mask) {
+        if mask.is_empty() {
             return;
         }
-        let mut index = HashBuckets::default();
+        let generation = self.generation;
+        if self
+            .indexes
+            .get(&mask)
+            .is_some_and(|e| e.built_at == generation)
+        {
+            return;
+        }
+        let mut entry = self.indexes.remove(&mask).unwrap_or_default();
+        entry.built_at = generation;
+        entry.buckets.clear();
         for i in 0..self.count {
-            index
+            entry
+                .buckets
                 .entry(key_hash_of(mask, self.row(i)))
                 .or_default()
                 .push(i);
         }
-        self.indexes.insert(mask, index);
+        self.indexes.insert(mask, entry);
     }
 
-    /// True if the index for `mask` is present.
+    /// True if a current (non-stale) index for `mask` is present.
     pub fn has_index(&self, mask: ColumnMask) -> bool {
-        self.indexes.contains_key(&mask)
+        self.indexes
+            .get(&mask)
+            .is_some_and(|e| e.built_at == self.generation)
+    }
+
+    /// Raw candidate positions for `key_hash` under the `mask` index, in
+    /// ascending insertion order — or `None` when no current index for
+    /// `mask` exists. The positions are *hash candidates, not certainties*:
+    /// the caller must verify each row's masked columns itself. This is the
+    /// compiled evaluator's probe entry point — its register checks subsume
+    /// the verification [`Relation::probe`] would otherwise repeat per
+    /// candidate.
+    #[inline]
+    pub fn index_bucket(&self, mask: ColumnMask, key_hash: u64) -> Option<&[u32]> {
+        let entry = self.indexes.get(&mask)?;
+        if entry.built_at != self.generation {
+            return None;
+        }
+        Some(entry.buckets.get(&key_hash).map_or(&[], Vec::as_slice))
     }
 
     /// Rows whose `mask` columns equal `key`, in insertion order.
@@ -240,15 +299,10 @@ impl Relation {
         debug_assert_eq!(key.len(), mask.count());
         let source = if mask.is_empty() {
             ProbeSource::Scan(lo)
-        } else if let Some(index) = self.indexes.get(&mask) {
-            match index.get(&hash_codes(key.iter().copied())) {
-                Some(bucket) => {
-                    // Candidates are ascending; narrow to the window.
-                    let start = bucket.partition_point(|&p| p < lo);
-                    ProbeSource::Bucket(&bucket[start..])
-                }
-                None => ProbeSource::Bucket(&[]),
-            }
+        } else if let Some(bucket) = self.index_bucket(mask, hash_codes(key.iter().copied())) {
+            // Candidates are ascending; narrow to the window.
+            let start = bucket.partition_point(|&p| p < lo);
+            ProbeSource::Bucket(&bucket[start..])
         } else {
             ProbeSource::Scan(lo)
         };
@@ -271,9 +325,13 @@ impl Relation {
         self.rows.len() * std::mem::size_of::<Code>()
     }
 
-    /// Number of secondary indexes currently materialized.
+    /// Number of secondary indexes currently materialized (stale retained
+    /// entries awaiting rebuild are not counted).
     pub fn index_count(&self) -> usize {
-        self.indexes.len()
+        self.indexes
+            .values()
+            .filter(|e| e.built_at == self.generation)
+            .count()
     }
 }
 
@@ -415,6 +473,44 @@ mod tests {
         assert!(r.has_index(m));
         let hits: Vec<Code> = r.probe(m, &[c(1)]).map(|t| t[1]).collect();
         assert_eq!(hits, vec![c(11)]);
+    }
+
+    #[test]
+    fn inserts_after_invalidation_do_not_resurrect_stale_indexes() {
+        let mut r = rel_with(&[&[1, 10], &[2, 20]]);
+        let m = ColumnMask::from_cols([0]);
+        r.ensure_index(m);
+        r.remove(&[c(2), c(20)]);
+        // The stale entry must be skipped by incremental maintenance …
+        r.insert(&[c(1), c(11)]);
+        assert!(!r.has_index(m));
+        let hits: Vec<Code> = r.probe(m, &[c(1)]).map(|t| t[1]).collect();
+        assert_eq!(hits, vec![c(10), c(11)]);
+        // … and the rebuild reflects the post-removal arena exactly.
+        r.ensure_index(m);
+        assert!(r.has_index(m));
+        let hits: Vec<Code> = r.probe(m, &[c(1)]).map(|t| t[1]).collect();
+        assert_eq!(hits, vec![c(10), c(11)]);
+        assert_eq!(r.probe_count(m, &[c(2)]), 0);
+    }
+
+    #[test]
+    fn index_bucket_exposes_raw_candidates() {
+        let mut r = rel_with(&[&[1, 10], &[2, 20], &[1, 11]]);
+        let m = ColumnMask::from_cols([0]);
+        assert!(r.index_bucket(m, 0).is_none(), "no index yet");
+        r.ensure_index(m);
+        let h = hash_codes([c(1)]);
+        let bucket = r.index_bucket(m, h).expect("index present");
+        // Candidates are ascending positions; all verify here (no collision).
+        assert_eq!(bucket, &[0, 2]);
+        let miss = r.index_bucket(m, hash_codes([c(9)])).unwrap();
+        assert!(miss.is_empty());
+        // Invalidation makes the bucket unavailable until rebuilt.
+        r.remove(&[c(2), c(20)]);
+        assert!(r.index_bucket(m, h).is_none());
+        r.ensure_index(m);
+        assert_eq!(r.index_bucket(m, h).unwrap(), &[0, 1]);
     }
 
     #[test]

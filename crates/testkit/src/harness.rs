@@ -72,11 +72,15 @@ pub struct EngineConfig {
 }
 
 impl EngineConfig {
-    /// The full matrix: naive/semi-naive × sequential/4 threads ×
-    /// warm/cold × all/one — 16 configurations.
+    /// The full matrix: naive/semi-naive/compiled × sequential/4 threads ×
+    /// warm/cold × all/one — 24 configurations.
     pub fn matrix() -> Vec<EngineConfig> {
-        let mut out = Vec::with_capacity(16);
-        for evaluation in [EvaluationMode::Naive, EvaluationMode::SemiNaive] {
+        let mut out = Vec::with_capacity(24);
+        for evaluation in [
+            EvaluationMode::Naive,
+            EvaluationMode::SemiNaive,
+            EvaluationMode::Compiled,
+        ] {
             for parallelism in [None, Some(4)] {
                 for warm_restarts in [true, false] {
                     for scope in [ResolutionScope::All, ResolutionScope::One] {
@@ -100,6 +104,7 @@ impl EngineConfig {
             match self.evaluation {
                 EvaluationMode::Naive => "naive",
                 EvaluationMode::SemiNaive => "seminaive",
+                EvaluationMode::Compiled => "compiled",
             },
             match self.parallelism {
                 None => "seq".to_string(),

@@ -38,6 +38,40 @@ done
 cmp "$storage_dir/t1.out" "$storage_dir/t4.out"
 rm -rf "$storage_dir"
 
+echo "==> compiled evaluator smoke (byte-diff vs semi, threads 1 vs 4)"
+compiled_dir="${TMPDIR:-/tmp}/park-compiled-$$"
+mkdir -p "$compiled_dir/wl"
+cargo run -p park-cli --bin park --release --offline --quiet -- \
+  workload closure --n 64 --out "$compiled_dir/wl" > /dev/null
+for prog in examples/data/*.park "$compiled_dir"/wl/*.park; do
+  base="${prog%.park}"
+  name="$(basename "$base")"
+  db=""; [ -f "$base.facts" ] && db="--db $base.facts"
+  updates=""; [ -f "$base.updates" ] && updates="--updates $base.updates"
+  # Committed results must be byte-identical across the two evaluators.
+  for eval in semi compiled; do
+    # shellcheck disable=SC2086
+    cargo run -p park-cli --bin park --release --offline --quiet -- \
+      run "$prog" $db $updates --eval "$eval" > "$compiled_dir/$name.$eval.out"
+  done
+  cmp "$compiled_dir/$name.semi.out" "$compiled_dir/$name.compiled.out"
+  # And the compiled evaluator itself must not observe the thread count.
+  for t in 1 4; do
+    # shellcheck disable=SC2086
+    cargo run -p park-cli --bin park --release --offline --quiet -- \
+      run "$prog" $db $updates --eval compiled --stats --threads "$t" 2>&1 \
+      | sed -e 's/elapsed=[^ ]*/elapsed=_/' -e '/^threads=/d' \
+      > "$compiled_dir/$name.t$t.out"
+  done
+  cmp "$compiled_dir/$name.t1.out" "$compiled_dir/$name.t4.out"
+done
+# The lowered-plan dump is stable and names every cost-model pick.
+cargo run -p park-cli --bin park --release --offline --quiet -- \
+  analyze examples/data/payroll.park --db examples/data/payroll.facts --plan \
+  > "$compiled_dir/plan.out"
+grep -q 'lowered program:' "$compiled_dir/plan.out"
+rm -rf "$compiled_dir"
+
 echo "==> serve smoke (golden session, threads 1 vs 4 byte-identical)"
 serve_dir="${TMPDIR:-/tmp}/park-serve-$$"
 mkdir -p "$serve_dir"

@@ -91,6 +91,14 @@ pub struct IncrementalStats {
     /// Transactions that took the cold from-`D` path (uncertified program,
     /// deletions in `U`, tracing or metrics requested, or no warm state).
     pub cold_txs: u64,
+    /// Cold transactions forced by a deletion in `U` while the program
+    /// itself was certified — the per-transaction miss an operator can
+    /// avoid by batching deletions.
+    pub cold_txs_deletion: u64,
+    /// Cold transactions forced by an uncertified program — structural:
+    /// every transaction stays cold until the program is reloaded into the
+    /// incrementality-safe fragment.
+    pub cold_txs_uncertified: u64,
     /// Times a live warm state was dropped (`reload`, `compact`, `restore`,
     /// or an explicit [`ActiveDatabase::invalidate_warm`]).
     pub invalidations: u64,
@@ -295,6 +303,14 @@ impl ActiveDatabase {
             .then(|| WarmState::build(self.engine.program(), &outcome))
             .flatten();
         self.stats.cold_txs += 1;
+        // Attribute the miss: an uncertified program dominates (nothing
+        // about this transaction could have gone warm), then a deletion in
+        // `U`; the remainder is warm-state seeding or trace/metrics runs.
+        if !self.certified_incremental {
+            self.stats.cold_txs_uncertified += 1;
+        } else if updates.iter().any(|u| u.sign == Sign::Delete) {
+            self.stats.cold_txs_deletion += 1;
+        }
         Ok(self.commit(outcome))
     }
 
@@ -716,6 +732,10 @@ mod tests {
         // tx4 is warm.
         assert_eq!(stats.cold_txs, 3);
         assert_eq!(stats.incremental_txs, 1);
+        // Only tx2 is attributed to deletions; the seeding and reseeding
+        // runs are cold for neither attributed reason.
+        assert_eq!(stats.cold_txs_deletion, 1);
+        assert_eq!(stats.cold_txs_uncertified, 0);
     }
 
     #[test]
@@ -733,6 +753,8 @@ mod tests {
         let stats = db.incremental_stats();
         assert_eq!(stats.cold_txs, 2);
         assert_eq!(stats.incremental_txs, 0);
+        assert_eq!(stats.cold_txs_uncertified, 2);
+        assert_eq!(stats.cold_txs_deletion, 0);
     }
 
     #[test]
