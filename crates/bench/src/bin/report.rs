@@ -734,7 +734,9 @@ fn bench_eval_json() {
             let mut warm = warm0.clone();
             let mut state = base.clone();
             for u in &chain {
-                let report = warm.transact(engine.program(), u);
+                let report = warm
+                    .transact(engine.program(), u)
+                    .expect("C9 insert chain stays warm");
                 let out = engine
                     .run(&state, u, &mut Inertia)
                     .expect("PARK terminates");
@@ -824,11 +826,150 @@ fn bench_eval_json() {
         );
         speedup
     };
+    // C11: deletion-affected-stratum reuse. A certified two-stratum program
+    // over a ~100k-fact settled base: a heavy positive stratum (50k `p → q`
+    // derivations) and a small negation stratum (`flag, !mute → alert`).
+    // Each transaction deletes one `flag` fact — a change whose affected
+    // closure is the top stratum alone — so the warm path seeds one minus
+    // mark, commits the removal, and revalidates only the `alert` rules,
+    // while the cold baseline re-fires all 50k+ groundings from scratch.
+    // Warm and cold outcomes are asserted identical per transaction before
+    // anything is timed.
+    let c11_speedup = {
+        use park_engine::{certify_incremental, NoopMetrics, WarmState};
+        let rules = "p(X) -> +q(X). flag(X), !mute(X) -> +alert(X).";
+        let mut facts = String::with_capacity(2 << 20);
+        for i in 0..49_500 {
+            facts.push_str(&format!("p(k{i}).\n"));
+        }
+        for i in 0..500 {
+            facts.push_str(&format!("flag(f{i}).\n"));
+        }
+        for i in 0..50 {
+            facts.push_str(&format!("mute(f{i}).\n"));
+        }
+        let vocab = Vocabulary::new();
+        let program = parse_program(rules).expect("C11 program parses");
+        let engine = Engine::with_options(
+            Arc::clone(&vocab),
+            &program,
+            EngineOptions::default().with_evaluation(EvaluationMode::SemiNaive),
+        )
+        .expect("C11 program compiles");
+        assert!(
+            certify_incremental(engine.program()),
+            "stratified negation certifies"
+        );
+        let db = FactStore::from_source(vocab, &facts).expect("C11 facts parse");
+        let settle = engine
+            .run_retaining(&db, &UpdateSet::empty(), &mut Inertia, &mut NoopMetrics)
+            .expect("PARK terminates");
+        let warm0 = WarmState::build(engine.program(), &settle).expect("C11 warm state builds");
+        let base = settle.database;
+        let facts_n = base.len();
+        let bytes = base.encoded_bytes();
+        const K: usize = 8;
+        let chain: Vec<UpdateSet> = (0..K)
+            .map(|i| {
+                UpdateSet::from_source(base.vocab(), &format!("-flag(f{}).", 100 + i))
+                    .expect("C11 updates parse")
+            })
+            .collect();
+        {
+            let mut warm = warm0.clone();
+            let mut state = base.clone();
+            for u in &chain {
+                let report = warm
+                    .transact(engine.program(), u)
+                    .expect("C11 base deletions stay warm");
+                let out = engine
+                    .run(&state, u, &mut Inertia)
+                    .expect("PARK terminates");
+                let (added, removed) = state.diff(&out.database);
+                assert_eq!(report.added, added, "C11 warm/cold added disagree");
+                assert_eq!(report.removed, removed, "C11 warm/cold removed disagree");
+                assert_eq!(
+                    report.stats.gamma_steps, out.stats.gamma_steps,
+                    "C11 warm/cold gamma_steps disagree"
+                );
+                state = out.database;
+            }
+            assert!(warm.state().same_facts(&state), "C11 final states disagree");
+        }
+        // As in C9, the warm side measures a resident session: one warm
+        // state absorbing rounds of fresh single-deletion transactions.
+        let warm_rounds: Vec<Vec<UpdateSet>> = (0..5)
+            .map(|r| {
+                (0..K)
+                    .map(|i| {
+                        UpdateSet::from_source(
+                            base.vocab(),
+                            &format!("-flag(f{}).", 150 + r * K + i),
+                        )
+                        .expect("C11 updates parse")
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut warm = warm0.clone();
+        let mut round = 0usize;
+        let warm_ms = median_time_ms(5, || {
+            for u in &warm_rounds[round] {
+                let _ = warm.transact(engine.program(), u);
+            }
+            round += 1;
+        }) / K as f64;
+        let cold_ms = median_time_ms(5, || {
+            let mut state = base.clone();
+            for u in &chain {
+                state = engine
+                    .run(&state, u, &mut Inertia)
+                    .expect("PARK terminates")
+                    .database;
+            }
+        }) / K as f64;
+        for (mode_name, ms) in [
+            ("partial_stratum_warm", warm_ms),
+            ("partial_stratum_cold", cold_ms),
+        ] {
+            results.push(Json::object([
+                ("mode", Json::str(mode_name)),
+                ("workload", Json::str("c11_top_stratum_deletions_100k")),
+                ("threads", Json::from(1usize)),
+                ("host_parallelism", Json::from(cores)),
+                ("cores_validated", Json::from(cores >= 1)),
+                ("oversubscribed", Json::from(false)),
+                ("median_ns", Json::Float(ms * 1e6)),
+                ("facts", Json::from(facts_n)),
+                ("encoded_bytes", Json::from(bytes)),
+                (
+                    "bytes_per_fact",
+                    if facts_n > 0 {
+                        Json::Float(bytes as f64 / facts_n as f64)
+                    } else {
+                        Json::Null
+                    },
+                ),
+                ("amortized_over_txs", Json::from(K)),
+            ]));
+        }
+        let speedup = cold_ms / warm_ms.max(1e-9);
+        println!("## C11 — deletion-affected-stratum reuse\n");
+        println!(
+            "c11_top_stratum_deletions_100k ({facts_n} settled facts, {K}-transaction chain \
+             of 1-fact `flag` deletions): warm partial-stratum {:.3} ms/tx amortized, cold \
+             semi-naive {:.3} ms/tx ({speedup:.1}x; single-threaded, algorithmic — no \
+             parallelism claim).\n",
+            warm_ms, cold_ms,
+        );
+        speedup
+    };
     let doc = Json::object([
         ("schema", Json::str("park-bench/eval-v1")),
         ("host_parallelism", Json::from(cores)),
         ("c9_small_update_speedup", Json::Float(c9_speedup)),
         ("c10_compiled_speedup", Json::Float(c10_speedup)),
+        ("c11_partial_stratum_speedup", Json::Float(c11_speedup)),
         ("results", Json::Array(results)),
     ]);
     match std::fs::write("BENCH_eval.json", doc.to_pretty() + "\n") {

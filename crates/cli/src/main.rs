@@ -83,7 +83,10 @@ USAGE:
                                          with --db also per-relation shard
                                          stats and a confluence probe; --plan
                                          dumps the compiled evaluator's lowered
-                                         bytecode and cost-model choices
+                                         bytecode and cost-model choices;
+                                         --graph dumps the SCC condensation +
+                                         stratum assignment as park-graph/v1
+                                         JSON (add --dot for Graphviz)
   park repl <program.park> [--db <f>]    interactive transactional session
   park serve [--listen <addr>] [--once]  resident multi-database engine:
                                          ndjson requests on stdin (or a TCP
@@ -96,7 +99,10 @@ USAGE:
   park baseline <naive|immediate> <program.park> [OPTIONS]
   park workload <list|name> [--out DIR]  emit a generated workload
   park fuzz [--seed N] [--cases K]       differential-test the engine against
-                                         the paper-literal oracle
+                                         the paper-literal oracle;
+                                         --bias stratified draws layered
+                                         stratified-negation programs with
+                                         deletion-bearing update chains
   park report <metrics.json>...          aggregate park-metrics/v1 documents
                                          into a markdown report
   park help
@@ -145,6 +151,8 @@ struct RunArgs {
     snapshot: Option<String>,
     metrics: Option<String>,
     plan: bool,
+    graph: bool,
+    dot: bool,
 }
 
 fn parse_run_args(args: Vec<String>) -> Result<RunArgs, String> {
@@ -186,6 +194,8 @@ fn parse_run_args(args: Vec<String>) -> Result<RunArgs, String> {
             }
             "--cold-restarts" => out.cold_restarts = true,
             "--plan" => out.plan = true,
+            "--graph" => out.graph = true,
+            "--dot" => out.dot = true,
             "--trace" => out.trace = true,
             "--trace-json" => out.trace_json = Some(grab("--trace-json")?),
             "--stats" => out.stats = true,
@@ -485,6 +495,19 @@ fn cmd_analyze(args: Vec<String>) -> Result<(), String> {
     let (src, program) = load_program(path)?;
     let compiled = park_engine::CompiledProgram::compile(Vocabulary::new(), &program)
         .map_err(|e| e.to_string())?;
+    // --graph replaces the text report with a machine-readable dump of the
+    // SCC condensation and stratum assignment: park-graph/v1 JSON, or a
+    // Graphviz digraph with --dot. Both orderings are deterministic (the
+    // condensation comes out of a sorted-adjacency Tarjan).
+    if a.graph {
+        let strata = park_engine::Strata::of(&compiled);
+        if a.dot {
+            print!("{}", graph_dot(&compiled, &strata));
+        } else {
+            println!("{}", graph_json(path, &compiled, &strata).to_pretty());
+        }
+        return Ok(());
+    }
     let report = park_engine::analysis::report(&compiled);
     println!("{path}:");
     println!("  rules          : {}", report.rules);
@@ -600,6 +623,196 @@ fn cmd_analyze(args: Vec<String>) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn edge_kind_name(kind: park_engine::EdgeKind) -> &'static str {
+    match kind {
+        park_engine::EdgeKind::Positive => "positive",
+        park_engine::EdgeKind::Negative => "negative",
+        park_engine::EdgeKind::Event => "event",
+    }
+}
+
+/// The `park analyze --graph` document: the dependency graph's SCC
+/// condensation with per-component strata, per-predicate assignments, the
+/// (sorted) edge list, and the localized stratification failures.
+fn graph_json(
+    file: &str,
+    program: &park_engine::CompiledProgram,
+    strata: &park_engine::Strata,
+) -> Json {
+    let vocab = program.vocab();
+    let name = |p: park_storage::PredId| vocab.pred_name(p).to_string();
+    let graph = strata.graph();
+    let self_loop = |p: park_storage::PredId| graph.edges.iter().any(|&(f, t, _)| f == p && t == p);
+
+    // Components in condensation order: dependencies before dependents.
+    let components: Vec<Json> = strata
+        .components()
+        .iter()
+        .enumerate()
+        .map(|(i, comp)| {
+            let mut preds: Vec<String> = comp.iter().map(|&p| name(p)).collect();
+            preds.sort();
+            let recursive = comp.len() > 1 || self_loop(comp[0]);
+            Json::object([
+                ("index", Json::from(i)),
+                (
+                    "stratum",
+                    Json::from(i64::from(strata.component_stratum(i))),
+                ),
+                ("recursive", Json::from(recursive)),
+                (
+                    "preds",
+                    Json::from(preds.into_iter().map(Json::Str).collect::<Vec<_>>()),
+                ),
+            ])
+        })
+        .collect();
+
+    let mut pred_rows: Vec<(String, usize, u32)> = strata
+        .components()
+        .iter()
+        .enumerate()
+        .flat_map(|(i, comp)| {
+            comp.iter()
+                .map(move |&p| (p, i))
+                .collect::<Vec<_>>()
+                .into_iter()
+        })
+        .map(|(p, i)| (name(p), i, strata.component_stratum(i)))
+        .collect();
+    pred_rows.sort();
+    let predicates: Vec<Json> = pred_rows
+        .into_iter()
+        .map(|(n, comp, stratum)| {
+            Json::object([
+                ("name", Json::str(n)),
+                ("component", Json::from(comp)),
+                ("stratum", Json::from(i64::from(stratum))),
+            ])
+        })
+        .collect();
+
+    let mut edge_rows: Vec<(String, String, &'static str)> = graph
+        .edges
+        .iter()
+        .map(|&(f, t, k)| (name(f), name(t), edge_kind_name(k)))
+        .collect();
+    edge_rows.sort();
+    let edges: Vec<Json> = edge_rows
+        .into_iter()
+        .map(|(f, t, k)| {
+            Json::object([
+                ("from", Json::str(f)),
+                ("to", Json::str(t)),
+                ("kind", Json::str(k)),
+            ])
+        })
+        .collect();
+
+    let offending: Vec<Json> = strata
+        .offending_edges()
+        .iter()
+        .map(|e| {
+            let mut comp: Vec<String> = e.component.iter().map(|&p| name(p)).collect();
+            comp.sort();
+            let rules: Vec<Json> = e
+                .rules
+                .iter()
+                .map(|&(id, span)| {
+                    Json::object([
+                        ("rule", Json::str(program.rule(id).display_name())),
+                        ("line", Json::from(span.line as i64)),
+                        ("col", Json::from(span.col as i64)),
+                    ])
+                })
+                .collect();
+            Json::object([
+                ("from", Json::str(name(e.from))),
+                ("to", Json::str(name(e.to))),
+                ("kind", Json::str(edge_kind_name(e.kind))),
+                (
+                    "component",
+                    Json::from(comp.into_iter().map(Json::Str).collect::<Vec<_>>()),
+                ),
+                ("rules", Json::from(rules)),
+            ])
+        })
+        .collect();
+
+    Json::object([
+        ("schema", Json::str("park-graph/v1")),
+        ("file", Json::str(file)),
+        ("stratified", Json::from(strata.is_stratified())),
+        ("max_stratum", Json::from(i64::from(strata.max_stratum()))),
+        ("components", Json::from(components)),
+        ("predicates", Json::from(predicates)),
+        ("edges", Json::from(edges)),
+        ("offending", Json::from(offending)),
+    ])
+}
+
+/// The same condensation as a Graphviz digraph: one cluster per stratum,
+/// negative edges dashed+red, event edges dotted+blue, offending edges
+/// bold.
+fn graph_dot(program: &park_engine::CompiledProgram, strata: &park_engine::Strata) -> String {
+    use std::fmt::Write as _;
+    let vocab = program.vocab();
+    let name = |p: park_storage::PredId| vocab.pred_name(p).to_string();
+    let mut out = String::from("digraph park {\n  rankdir=BT;\n  node [shape=box];\n");
+    let max = strata.max_stratum();
+    for s in 0..=max {
+        let mut members: Vec<String> = strata
+            .components()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| strata.component_stratum(i) == s)
+            .flat_map(|(_, comp)| comp.iter().map(|&p| name(p)))
+            .collect();
+        members.sort();
+        if members.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "  subgraph cluster_stratum_{s} {{");
+        let _ = writeln!(out, "    label=\"stratum {s}\";");
+        for m in &members {
+            let _ = writeln!(out, "    \"{m}\";");
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    let offending: std::collections::HashSet<(String, String, &'static str)> = strata
+        .offending_edges()
+        .iter()
+        .map(|e| (name(e.from), name(e.to), edge_kind_name(e.kind)))
+        .collect();
+    let mut edge_rows: Vec<(String, String, park_engine::EdgeKind)> = strata
+        .graph()
+        .edges
+        .iter()
+        .map(|&(f, t, k)| (name(f), name(t), k))
+        .collect();
+    edge_rows.sort();
+    for (f, t, k) in edge_rows {
+        let mut attrs = match k {
+            park_engine::EdgeKind::Positive => String::new(),
+            park_engine::EdgeKind::Negative => "style=dashed, color=red, label=\"!\"".into(),
+            park_engine::EdgeKind::Event => "style=dotted, color=blue, label=\"±\"".into(),
+        };
+        if offending.contains(&(f.clone(), t.clone(), edge_kind_name(k))) {
+            if !attrs.is_empty() {
+                attrs.push_str(", ");
+            }
+            attrs.push_str("penwidth=2.0");
+        }
+        if attrs.is_empty() {
+            let _ = writeln!(out, "  \"{f}\" -> \"{t}\";");
+        } else {
+            let _ = writeln!(out, "  \"{f}\" -> \"{t}\" [{attrs}];");
+        }
+    }
+    out.push_str("}\n");
+    out
 }
 
 fn cmd_query(args: Vec<String>) -> Result<(), String> {
@@ -809,6 +1022,7 @@ fn cmd_fuzz(args: Vec<String>) -> Result<(), String> {
     let mut seed: u64 = 0;
     let mut cases: u64 = 100;
     let mut metrics: Option<String> = None;
+    let mut bias = park_testkit::FuzzBias::Default;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -827,15 +1041,21 @@ fn cmd_fuzz(args: Vec<String>) -> Result<(), String> {
                     .map_err(|e| format!("bad --cases: {e}"))?
             }
             "--metrics" => metrics = Some(it.next().ok_or("--metrics requires a value")?),
+            "--bias" => {
+                let v = it.next().ok_or("--bias requires a value")?;
+                bias = park_testkit::FuzzBias::parse(&v)
+                    .ok_or(format!("bad --bias `{v}` (expected default|stratified)"))?;
+            }
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
     let started = std::time::Instant::now();
     let progress_every = (cases / 10).max(1);
-    let report = park_testkit::run_fuzz(
+    let report = park_testkit::run_fuzz_biased(
         seed,
         cases,
         park_testkit::OracleVariant::Faithful,
+        bias,
         |done, _| {
             if done % progress_every == 0 || done == cases {
                 eprintln!("fuzz: {done}/{cases} cases checked");
@@ -843,9 +1063,13 @@ fn cmd_fuzz(args: Vec<String>) -> Result<(), String> {
         },
     )
     .map_err(|f| {
+        let flag = match bias {
+            park_testkit::FuzzBias::Default => String::new(),
+            park_testkit::FuzzBias::Stratified => " --bias stratified".to_string(),
+        };
         format!(
             "divergence on case seed {} ({}):\n  {}\nminimized reproducer \
-             (rerun with `park fuzz --seed {} --cases 1`):\n{}",
+             (rerun with `park fuzz --seed {}{flag} --cases 1`):\n{}",
             f.divergence.seed,
             f.divergence.config,
             f.divergence,
@@ -880,8 +1104,8 @@ fn cmd_fuzz(args: Vec<String>) -> Result<(), String> {
     );
     println!(
         "fuzz: {} update-sequence cases, {} transactions replayed, \
-         {} answered warm by the incremental database",
-        report.sequence_cases, report.sequence_txs, report.warm_txs,
+         {} answered warm by the incremental database ({} partial-stratum)",
+        report.sequence_cases, report.sequence_txs, report.warm_txs, report.partial_txs,
     );
     Ok(())
 }

@@ -900,7 +900,77 @@ fn analyze_includes_lint_verdicts() {
         stdout.contains("certificate    : conflict-free"),
         "{stdout}"
     );
-    assert!(stdout.contains("lint           : clean"), "{stdout}");
+    // The deleting head keeps `cut` off the warm incremental path — the
+    // shared lint pass surfaces that as a PARK009 info line.
+    assert!(stdout.contains("info[PARK009]"), "{stdout}");
+    assert!(stdout.contains("blocks incremental reuse"), "{stdout}");
+}
+
+#[test]
+fn analyze_graph_dumps_condensation_and_strata() {
+    let dir = tempdir("analyze-graph");
+    let program = write(
+        &dir,
+        "g.park",
+        "e(X, Y) -> +r(X, Y). r(X, Y), e(Y, Z) -> +r(X, Z). \
+         flag(X), !mute(X) -> +alert(X).",
+    );
+    let graph = |extra: &[&str]| {
+        let mut args = vec!["analyze", program.to_str().unwrap(), "--graph"];
+        args.extend_from_slice(extra);
+        let out = park().args(&args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let text = graph(&[]);
+    let doc = park_json::parse(&text).expect("park-graph/v1 output must be valid JSON");
+    assert_eq!(
+        doc.get("schema").unwrap().as_str(),
+        Some("park-graph/v1"),
+        "{text}"
+    );
+    assert_eq!(doc.get("stratified").unwrap().as_bool(), Some(true));
+    assert_eq!(doc.get("max_stratum").unwrap().as_i64(), Some(1));
+    // `alert` sits above the negated `mute`; the recursive `r` component
+    // stays in stratum 0 with its positive self-edge.
+    let preds = doc.get("predicates").unwrap().as_array().unwrap();
+    let stratum_of = |name: &str| {
+        preds
+            .iter()
+            .find(|p| p.get("name").unwrap().as_str() == Some(name))
+            .and_then(|p| p.get("stratum").unwrap().as_i64())
+            .unwrap()
+    };
+    assert_eq!(stratum_of("alert"), 1);
+    assert_eq!(stratum_of("r"), 0);
+    assert!(doc.get("offending").unwrap().as_array().unwrap().is_empty());
+    // The dump is deterministic: a second run is byte-identical.
+    assert_eq!(text, graph(&[]));
+    // And the DOT rendering is a digraph with stratum clusters.
+    let dot = graph(&["--dot"]);
+    assert!(dot.starts_with("digraph park {"), "{dot}");
+    assert!(dot.contains("cluster_stratum_1"), "{dot}");
+    assert!(dot.contains("\"alert\" -> \"mute\" [style=dashed"), "{dot}");
+
+    // An unstratified program localizes the offending cycle with rule spans.
+    let bad = write(&dir, "bad.park", "step: move(X, Y), !win(Y) -> +win(X).");
+    let out = park()
+        .args(["analyze", bad.to_str().unwrap(), "--graph"])
+        .output()
+        .unwrap();
+    let doc = park_json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(doc.get("stratified").unwrap().as_bool(), Some(false));
+    let off = doc.get("offending").unwrap().as_array().unwrap();
+    assert_eq!(off.len(), 1);
+    assert_eq!(off[0].get("from").unwrap().as_str(), Some("win"));
+    assert_eq!(off[0].get("kind").unwrap().as_str(), Some("negative"));
+    let rules = off[0].get("rules").unwrap().as_array().unwrap();
+    assert_eq!(rules[0].get("rule").unwrap().as_str(), Some("step"));
+    assert_eq!(rules[0].get("line").unwrap().as_i64(), Some(1));
 }
 
 #[test]

@@ -390,6 +390,60 @@ mod tests {
     }
 
     #[test]
+    fn self_loop_only_predicate_is_its_own_recursive_component() {
+        // A pred whose only cycle is a self-edge must count as recursive,
+        // distinct from a singleton component with no self-loop (`q`).
+        let p = compile("a(X), e(X, Y) -> +a(Y). a(X) -> +q(X).");
+        let g = DependencyGraph::of(&p);
+        let a = p.vocab().lookup_pred("a").unwrap();
+        let q = p.vocab().lookup_pred("q").unwrap();
+        assert!(g.edges.contains(&(a, a, EdgeKind::Positive)));
+        let sccs = g.sccs();
+        assert!(sccs.iter().any(|c| c == &vec![a]));
+        assert!(sccs.iter().any(|c| c == &vec![q]));
+        assert!(g.recursive_preds().contains(&a));
+        assert!(!g.recursive_preds().contains(&q));
+        assert_eq!(g.recursive_preds().len(), 1);
+    }
+
+    #[test]
+    fn disconnected_components_all_appear_once() {
+        // Two islands that never reference each other: every predicate
+        // must land in exactly one SCC, leaves before their dependents.
+        let p = compile("a(X) -> +b(X). c(X), !d(X) -> +c2(X).");
+        let g = DependencyGraph::of(&p);
+        let sccs = g.sccs();
+        let mut seen: Vec<_> = sccs.iter().flatten().copied().collect();
+        assert_eq!(seen.len(), 5, "every pred appears exactly once: {sccs:?}");
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 5);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+        assert!(g.recursive_preds().is_empty());
+        assert!(g.is_stratified());
+        // Determinism across rebuilds of the same program.
+        assert_eq!(sccs, DependencyGraph::of(&p).sccs());
+    }
+
+    #[test]
+    fn event_edge_only_cycles_are_one_component_and_unstratified() {
+        // The cycle exists only through event literals: `+p` triggers `q`
+        // and `+q` triggers `p`. Event edges count for both the SCC and
+        // the stratification check (marks depend on the Γ-step).
+        let p = compile("+p(X) -> +q(X). +q(X) -> +p(X).");
+        let g = DependencyGraph::of(&p);
+        let pp = p.vocab().lookup_pred("p").unwrap();
+        let q = p.vocab().lookup_pred("q").unwrap();
+        assert!(g.edges.contains(&(q, pp, EdgeKind::Event)));
+        assert!(g.edges.contains(&(pp, q, EdgeKind::Event)));
+        assert!(!g.edges.iter().any(|&(_, _, k)| k == EdgeKind::Positive));
+        let sccs = g.sccs();
+        assert!(sccs.iter().any(|c| c.len() == 2));
+        assert_eq!(g.recursive_preds().len(), 2);
+        assert!(!g.is_stratified());
+    }
+
+    #[test]
     fn stratification_detects_negative_cycles() {
         // win(X) :- move(X, Y), !win(Y) — the classic unstratified program.
         let p = compile("move(X, Y), !win(Y) -> +win(X).");

@@ -180,9 +180,11 @@ impl Engine {
     /// [`Engine::run_with_metrics`] that additionally retains the inserting
     /// heads fired by non-update rules in [`ParkOutcome::program_marks`] —
     /// what `crate::incremental::WarmState::build` needs to seed a
-    /// cross-transaction warm state. Results are byte-identical to the
-    /// ordinary run; the retained store is extra output, not a behavior
-    /// change.
+    /// cross-transaction warm state, both on the initial cold run and when
+    /// rebuilding after a warm bail (a deletion colliding with a derived
+    /// fact poisons the warm state; the cold rerun's retained marks restore
+    /// it). Results are byte-identical to the ordinary run; the retained
+    /// store is extra output, not a behavior change.
     pub fn run_retaining(
         &self,
         db: &FactStore,

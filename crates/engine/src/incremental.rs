@@ -8,28 +8,41 @@
 //! and answer the next update set by semi-naive propagation seeded from `U`
 //! alone.
 //!
-//! The fragment ([`certify_incremental`]): every rule inserts (`+` head) and
-//! its body contains only positive atoms and comparison guards — no negation,
-//! no event literals. A transaction additionally stays on the warm path only
-//! when `U` is insert-only and no trace or metrics were requested; anything
-//! else falls back to the ordinary cold run (which also refreshes the warm
-//! state, via [`Engine::run_retaining`]).
+//! The fragment ([`certify_incremental`]): every rule inserts (`+` head),
+//! its body contains no event literals, and negation is *stratified* — no
+//! negated body literal whose predicate shares a recursive component with
+//! the rule's head ([`crate::strata::Strata`] localizes the offending edges
+//! when this fails). A transaction additionally stays on the warm path only
+//! when no trace or metrics were requested; deletions in `U` stay warm too,
+//! bailing to a cold run only when the deletion collides with a derived
+//! fact (a genuine PARK conflict the policy must resolve).
 //!
 //! Why this is sound — the invariant the warm state maintains is
 //!
 //! > `base` = the committed state `S`, `plus` = exactly the heads of program
-//! > groundings valid over `S`, `minus` = ∅.
+//! > groundings valid over `⟨∅, S⟩`, `minus` = ∅.
 //!
-//! A cold run on `S` marks precisely those heads in its first Γ step; from
-//! step 2 on, semi-naive enumeration is driven only by marks whose atom is
-//! *not* in `S` (the Γ operator skips plus-rows shadowed by the base zone).
-//! Inside the fragment validity is monotone, so every grounding valid over
-//! `S` stays valid, fired, and marked — and the warm propagation seeded from
-//! the zone-new `U` marks reproduces the cold run's firing stream, new-mark
-//! stream, and Γ-step count exactly (`gamma_steps = 2 + propagation rounds`,
-//! matching cold's seed step + rounds + fixpoint-detection step). Negation
-//! breaks mark persistence, deletions break "fired ⇒ still valid", and event
-//! marks are transaction-local — each of those takes the cold path.
+//! A cold run on `S` marks precisely those heads (plus `U`) in its first Γ
+//! step; from step 2 on, semi-naive enumeration is driven only by marks
+//! whose atom is *not* in `S` (the Γ operator skips plus-rows shadowed by
+//! the base zone) and by deletion-zone growth (which falls back to full
+//! re-enumeration of the affected rules). The warm seed state — `U` marked
+//! on top of the invariant — is therefore byte-for-byte the cold
+//! post-step-1 state, and the warm propagation reproduces the cold run's
+//! firing stream, new-mark stream, and Γ-step count exactly (`gamma_steps =
+//! 2 + propagation rounds`, matching cold's seed step + rounds +
+//! fixpoint-detection step).
+//!
+//! Stratified negation keeps the *invariant* restorable: a committed change
+//! can invalidate marks (a negated predicate gained a fact, a positive one
+//! lost it), so after every commit the warm state revalidates exactly the
+//! strata of predicates in [`crate::strata::Strata::affected`] of the
+//! changed predicates — it re-fires the rules whose heads those are and
+//! drops stale marks. Recursion *through* negation would make a mark depend
+//! on the Γ-step at which it was derived — history no per-predicate
+//! recomputation can replay — which is why the certificate is carved along
+//! SCC lines. Event marks are transaction-local by the semantics, so any
+//! event literal takes the cold path.
 //!
 //! [`Engine::run_retaining`]: crate::fixpoint::Engine::run_retaining
 
@@ -39,9 +52,11 @@ use crate::grounding::BlockedSet;
 use crate::interp::IInterpretation;
 use crate::seminaive::{self, ZoneLens};
 use crate::stats::RunStats;
+use crate::strata::Strata;
 use crate::validity::MarkZone;
 use park_storage::{Code, FactStore, PredId, Tuple, UpdateSet};
 use park_syntax::Sign;
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -51,8 +66,11 @@ pub enum IncrementalBlocker {
     /// A deleting head: retraction would need provenance-guided undo, and a
     /// deletion can invalidate groundings the warm state assumes persistent.
     DeleteHead,
-    /// A negated body literal: a later insertion can invalidate a grounding
-    /// that already fired, so marks are not persistent across transactions.
+    /// A negated body literal closing a recursion-through-negation cycle:
+    /// the literal's predicate shares a recursive component with the rule's
+    /// head, so a mark depends on the Γ-step it was derived at — history the
+    /// warm state cannot replay. Stratified negation (the literal's
+    /// predicate in a strictly lower stratum) does *not* block.
     NegatedLiteral,
     /// An event body literal: `±a` marks are transaction-local by the
     /// semantics, but the warm state carries marks across transactions.
@@ -64,7 +82,7 @@ impl IncrementalBlocker {
     pub fn describe(self) -> &'static str {
         match self {
             IncrementalBlocker::DeleteHead => "deleting head",
-            IncrementalBlocker::NegatedLiteral => "negated body literal",
+            IncrementalBlocker::NegatedLiteral => "negation in a recursive cycle",
             IncrementalBlocker::EventLiteral => "event body literal",
         }
     }
@@ -80,9 +98,21 @@ pub struct IncrementalExclusion {
 }
 
 /// Every rule construct that keeps `program` out of the incrementality-safe
-/// fragment (at most one exclusion per rule, head checked first). Empty
-/// means [`certify_incremental`] holds.
+/// fragment (at most one exclusion per rule, head checked first, then body
+/// literals in order). Empty means [`certify_incremental`] holds.
+///
+/// Negated literals are judged against the program's stratum structure:
+/// only a negation *inside* a recursive component (head and negated
+/// predicate in one SCC) excludes — exactly the edges
+/// [`Strata::offending_edges`] reports.
 pub fn incremental_exclusions(program: &CompiledProgram) -> Vec<IncrementalExclusion> {
+    let strata = Strata::of(program);
+    exclusions_with(program, &strata)
+}
+
+/// [`incremental_exclusions`] with a pre-built stratum analysis (must be the
+/// program's own).
+pub fn exclusions_with(program: &CompiledProgram, strata: &Strata) -> Vec<IncrementalExclusion> {
     let mut out = Vec::new();
     for rule in program.rules() {
         if rule.is_update {
@@ -93,8 +123,11 @@ pub fn incremental_exclusions(program: &CompiledProgram) -> Vec<IncrementalExclu
         } else {
             rule.body.iter().find_map(|lit| match lit {
                 CompiledLiteral::Atom {
-                    kind: LitKind::Neg, ..
-                } => Some(IncrementalBlocker::NegatedLiteral),
+                    kind: LitKind::Neg,
+                    atom,
+                } if strata.same_component(rule.head.pred, atom.pred) => {
+                    Some(IncrementalBlocker::NegatedLiteral)
+                }
                 CompiledLiteral::Atom {
                     kind: LitKind::Event(_),
                     ..
@@ -113,36 +146,41 @@ pub fn incremental_exclusions(program: &CompiledProgram) -> Vec<IncrementalExclu
 }
 
 /// The incrementality-safe certificate: true iff every rule has an inserting
-/// head and a body of positive atoms and guards only. Certified programs are
-/// conflict-free by construction (no deleting head), monotone (no negation),
-/// and mark-persistent (no event literals) — the three properties the warm
-/// path relies on.
+/// head, no event literals, and only stratified negation (no negated literal
+/// inside a recursive component). Certified programs are conflict-free among
+/// their own rules (no deleting head — only a `U` deletion can collide) and
+/// their marks are recomputable from the committed state alone, the two
+/// properties the warm path relies on.
 pub fn certify_incremental(program: &CompiledProgram) -> bool {
     incremental_exclusions(program).is_empty()
 }
 
 /// What one warm transaction observed — the same surface a cold
-/// [`ParkOutcome`] would yield for the fragment: the committed additions
-/// (sorted as [`FactStore::diff`] sorts them) and the mode-independent
-/// counters. `removed`, `blocked`, restarts, and conflicts are structurally
-/// empty/zero inside the fragment.
+/// [`ParkOutcome`] would yield for the fragment: the committed additions and
+/// removals (sorted as [`FactStore::diff`] sorts them) and the
+/// mode-independent counters. `blocked`, restarts, and conflicts are
+/// structurally empty/zero on the warm path (a would-be conflict bails to
+/// cold instead).
 #[derive(Debug, Clone)]
 pub struct IncrementalReport {
     /// Facts added to the committed state, sorted by rendered fact.
     pub added: Vec<(PredId, Tuple)>,
+    /// Facts removed from the committed state (deletions in `U` that were
+    /// present), sorted by rendered fact.
+    pub removed: Vec<(PredId, Tuple)>,
     /// Counters, populated exactly as the equivalent cold run would set the
     /// fingerprint-relevant ones (`gamma_steps`; restarts, conflicts, and
     /// blocked are zero). `groundings_fired` counts only the propagated
-    /// firings — the reuse, not re-enumeration of the stable state.
+    /// firings — post-commit revalidation is maintenance, not evaluation.
     pub stats: RunStats,
 }
 
 /// The live evaluation state a resident database keeps between transactions.
 ///
-/// Invariant (maintained by [`WarmState::build`] and every
+/// Invariant (maintained by [`WarmState::build`] and every successful
 /// [`WarmState::transact`]): `base` is the committed state `S`, `plus` holds
-/// exactly the heads of program groundings valid over `S` (all of which are
-/// themselves in `S`, since `S` is a PARK fixpoint), `minus` is empty.
+/// exactly the heads of program groundings valid over `⟨∅, S⟩` (all of which
+/// are themselves in `S`, since `S` is a PARK fixpoint), `minus` is empty.
 #[derive(Debug, Clone)]
 pub struct WarmState {
     interp: IInterpretation,
@@ -150,23 +188,72 @@ pub struct WarmState {
 
 impl WarmState {
     /// Build a warm state from a finished cold run, or `None` when the run
-    /// cannot seed one: the run must have retained its program-derived marks
-    /// ([`Engine::run_retaining`]), ended with an empty deletion zone, and
-    /// blocked nothing — anything else leaves consequences the warm
-    /// invariant cannot represent.
+    /// cannot seed one: a run that blocked groundings has consequences the
+    /// warm invariant cannot represent.
+    ///
+    /// Two paths restore the invariant. When the run retained its
+    /// program-derived marks ([`Engine::run_retaining`]), ended with an
+    /// empty deletion zone, and the program is negation-free, those marks
+    /// *are* the valid-grounding heads and are adopted directly. Otherwise —
+    /// deletions in the run, retained marks possibly stale under negation,
+    /// or no retained marks at all — the valid groundings are recomputed
+    /// from the committed state with one Γ pass, which also lets plain
+    /// [`Engine::run`] outcomes and deletion transactions seed warm states.
     ///
     /// [`Engine::run_retaining`]: crate::fixpoint::Engine::run_retaining
+    /// [`Engine::run`]: crate::fixpoint::Engine::run
     pub fn build(program: &CompiledProgram, outcome: &ParkOutcome) -> Option<WarmState> {
-        let marks = outcome.program_marks.as_ref()?;
-        if !outcome.blocked.is_empty() || !outcome.interpretation.minus().is_empty() {
+        if !outcome.blocked.is_empty() {
             return None;
         }
-        let mut interp = IInterpretation::from_database(outcome.database.clone());
-        for (p, r) in marks.iter_rows() {
-            interp.zone_mut(MarkZone::Plus).insert_row(p, r);
+        let negation_free = program.rules().iter().all(|rule| {
+            !rule.body.iter().any(|lit| {
+                matches!(
+                    lit,
+                    CompiledLiteral::Atom {
+                        kind: LitKind::Neg,
+                        ..
+                    }
+                )
+            })
+        });
+        if negation_free && outcome.interpretation.minus().is_empty() {
+            if let Some(marks) = outcome.program_marks.as_ref() {
+                let mut interp = IInterpretation::from_database(outcome.database.clone());
+                for (p, r) in marks.iter_rows() {
+                    interp.zone_mut(MarkZone::Plus).insert_row(p, r);
+                }
+                for req in program.index_requests() {
+                    interp.zone_mut(req.zone).ensure_index(req.pred, req.mask);
+                }
+                return Some(WarmState { interp });
+            }
         }
+        // General path: recompute the valid-grounding heads over the
+        // committed state `S` with one Γ pass against `⟨∅, S⟩`. At a blocked-
+        // free PARK fixpoint every such head is in `S`; a deleting or
+        // escaping head means the outcome is not one (e.g. an uncertified
+        // program mid-chain) and cannot seed a warm state.
+        let mut interp = IInterpretation::from_database(outcome.database.clone());
         for req in program.index_requests() {
             interp.zone_mut(req.zone).ensure_index(req.pred, req.mask);
+        }
+        let blocked = BlockedSet::new();
+        let fired = crate::gamma::fire_all(program, &blocked, &interp);
+        let mut heads: Vec<(PredId, Box<[Code]>)> = Vec::with_capacity(fired.len());
+        for f in fired {
+            if f.sign != Sign::Insert || !interp.base().contains_row(f.pred, &f.tuple) {
+                return None;
+            }
+            heads.push((f.pred, f.tuple));
+        }
+        for (p, r) in &heads {
+            interp.zone_mut(MarkZone::Plus).insert_row(*p, r);
+        }
+        for req in program.index_requests() {
+            if req.zone == MarkZone::Plus {
+                interp.zone_mut(req.zone).ensure_index(req.pred, req.mask);
+            }
         }
         Some(WarmState { interp })
     }
@@ -176,10 +263,15 @@ impl WarmState {
         self.interp.base()
     }
 
-    /// Evaluate one insert-only transaction in place: semi-naive propagation
-    /// seeded from the zone-new `U` marks, then commit. Equivalent to (and
-    /// byte-compatible with) a cold `PARK(S, P, U)` run for certified
-    /// `program`s — see the module docs for the argument.
+    /// Evaluate one transaction in place: semi-naive propagation seeded from
+    /// the zone-new `U` marks, commit, then revalidate the affected strata.
+    /// Equivalent to (and byte-compatible with) a cold `PARK(S, P, U)` run
+    /// for certified `program`s — see the module docs for the argument.
+    ///
+    /// Returns `None` — **leaving the state poisoned; discard it** — when
+    /// the transaction provokes a genuine PARK conflict (a `U` deletion of a
+    /// derived fact, a `U` insert-delete clash, or a derivation of a deleted
+    /// fact): resolving it needs the policy, i.e. a cold run.
     ///
     /// The `U = ∅` fast path does per-update work only: no lens capture, no
     /// enumeration, no per-fact allocation.
@@ -187,12 +279,8 @@ impl WarmState {
         &mut self,
         program: &CompiledProgram,
         updates: &UpdateSet,
-    ) -> IncrementalReport {
+    ) -> Option<IncrementalReport> {
         let started = Instant::now();
-        debug_assert!(
-            updates.iter().all(|u| u.sign == Sign::Insert),
-            "deletions must take the cold path"
-        );
         let mut stats = RunStats {
             effective_parallelism: 1,
             ..RunStats::default()
@@ -203,21 +291,31 @@ impl WarmState {
             stats.gamma_steps = if self.interp.plus().is_empty() { 1 } else { 2 };
             stats.peak_marked_atoms = self.interp.marked_len();
             stats.elapsed = started.elapsed();
-            return IncrementalReport {
+            return Some(IncrementalReport {
                 added: Vec::new(),
+                removed: Vec::new(),
                 stats,
-            };
+            });
         }
         let vocab = Arc::clone(self.interp.vocab());
         // Seed step — cold step 1: the body-less `tx` rules of `P_U` mark
-        // the transaction's insertions (the program-derived heads of that
-        // step are already in `plus`, by the warm invariant).
+        // the transaction's updates (the program-derived heads of that step
+        // are already in `plus`, by the warm invariant). A `U` mark clashing
+        // with the opposite zone is cold step 1's inconsistency — the
+        // policy's problem, not ours.
         let mut prev = ZoneLens::capture(&self.interp);
         let mut seed_marks: Vec<(PredId, Box<[Code]>)> = Vec::new();
         let mut new_marks: Vec<(PredId, Box<[Code]>)> = Vec::new();
         for u in updates.iter() {
             let row: Box<[Code]> = u.tuple.values().iter().map(|&v| vocab.encode(v)).collect();
-            if self.interp.insert_marked(Sign::Insert, u.pred, &row) {
+            let opposite = match u.sign {
+                Sign::Insert => Sign::Delete,
+                Sign::Delete => Sign::Insert,
+            };
+            if self.interp.contains_marked(opposite, u.pred, &row) {
+                return None;
+            }
+            if self.interp.insert_marked(u.sign, u.pred, &row) && u.sign == Sign::Insert {
                 seed_marks.push((u.pred, row.clone()));
                 new_marks.push((u.pred, row));
             }
@@ -225,8 +323,9 @@ impl WarmState {
         let mut curr = ZoneLens::capture(&self.interp);
         // Propagation rounds — cold steps 2…: each round enumerates exactly
         // the groundings the cold run's semi-naive step would, because only
-        // marks of atoms outside the base drive enumeration and the window
-        // holds exactly the previous round's zone-new marks.
+        // marks of atoms outside the base (and deletion-zone growth) drive
+        // enumeration, and the window holds exactly the previous round's
+        // zone-new marks.
         let blocked = BlockedSet::new();
         let mut fired_heads = FactStore::new(Arc::clone(&vocab));
         let mut rounds: u64 = 0;
@@ -239,6 +338,10 @@ impl WarmState {
             let mut any_new = false;
             for f in &fired {
                 debug_assert_eq!(f.sign, Sign::Insert, "certified rules only insert");
+                // Deriving a fact `U` deletes is cold's `+a`/`-a` conflict.
+                if self.interp.contains_marked(Sign::Delete, f.pred, &f.tuple) {
+                    return None;
+                }
                 fired_heads.insert_row(f.pred, &f.tuple);
                 if self.interp.insert_marked(f.sign, f.pred, &f.tuple) {
                     any_new = true;
@@ -253,7 +356,7 @@ impl WarmState {
             curr = ZoneLens::capture(&self.interp);
         }
         // Cold counts: the seed step (a non-empty `U` always marks something
-        // there, `plus` starts empty cold), each productive round, and the
+        // there, cold's zones start empty), each productive round, and the
         // final fixpoint-detection step.
         stats.gamma_steps = 2 + rounds;
         stats.peak_marked_atoms = self.interp.marked_len();
@@ -261,16 +364,17 @@ impl WarmState {
         // Warm-plus hygiene: a `U` mark that no program grounding derives is
         // not a program-derived head over the new state — leaving it marked
         // would desynchronize the next transaction's step dedup from cold.
-        let mut removed_any = false;
+        let mut plus_removed = false;
         for (p, row) in &seed_marks {
             if !fired_heads.contains_row(*p, row) {
                 self.interp.zone_mut(MarkZone::Plus).remove_row(*p, row);
-                removed_any = true;
+                plus_removed = true;
             }
         }
-        // Commit — `incorp` restricted to what changed: zone-new marks whose
-        // atom the base lacks, sorted exactly as `FactStore::diff` sorts the
-        // cold run's additions.
+        // Commit — `incorp` restricted to what changed: zone-new plus marks
+        // whose atom the base lacks enter it, deletion marks present in the
+        // base leave it, each list sorted exactly as `FactStore::diff` sorts
+        // the cold run's.
         let mut added: Vec<(PredId, Tuple)> = Vec::new();
         for (p, row) in &new_marks {
             if self.interp.base().contains_row(*p, row) {
@@ -280,11 +384,103 @@ impl WarmState {
             added.push((*p, vocab.decode_row(row)));
         }
         added.sort_by_key(|(p, t)| vocab.display_fact(*p, t));
-        if removed_any {
-            // Removal invalidates the plus zone's secondary indexes; rebuild
-            // the requested ones so the next transaction probes indexed.
+        let minus_rows: Vec<(PredId, Box<[Code]>)> = self
+            .interp
+            .minus()
+            .iter_rows()
+            .map(|(p, r)| (p, r.into()))
+            .collect();
+        let mut removed: Vec<(PredId, Tuple)> = Vec::new();
+        let mut base_removed = false;
+        for (p, row) in &minus_rows {
+            // The bail above guarantees `plus ∩ minus = ∅`, so a base
+            // removal never orphans a plus mark.
+            debug_assert!(!self.interp.plus().contains_row(*p, row));
+            if self.interp.zone_mut(MarkZone::Base).remove_row(*p, row) {
+                removed.push((*p, vocab.decode_row(row)));
+                base_removed = true;
+            }
+        }
+        removed.sort_by_key(|(p, t)| vocab.display_fact(*p, t));
+        self.interp.zone_mut(MarkZone::Minus).clear();
+
+        // Invariant restoration: a commit can strand marks — a positive
+        // literal's predicate lost facts, a negated literal's predicate
+        // gained them. Re-fire every rule whose head predicate those rules
+        // reach and drop the stale marks (recomputation against the new
+        // state only ever removes; see docs/incremental.md §5). Predicates
+        // outside `affected(changed)` keep their warm marks untouched — the
+        // stratum-replay invariant.
+        let removed_preds: HashSet<PredId> = removed.iter().map(|&(p, _)| p).collect();
+        let added_preds: HashSet<PredId> = added.iter().map(|&(p, _)| p).collect();
+        let mut revalidate: HashSet<PredId> = HashSet::new();
+        for rule in program.rules() {
+            if rule.is_update {
+                continue;
+            }
+            let triggered = rule.body.iter().any(|lit| match lit {
+                CompiledLiteral::Atom {
+                    kind: LitKind::Pos,
+                    atom,
+                } => removed_preds.contains(&atom.pred),
+                CompiledLiteral::Atom {
+                    kind: LitKind::Neg,
+                    atom,
+                } => added_preds.contains(&atom.pred),
+                _ => false,
+            });
+            if triggered {
+                revalidate.insert(rule.head.pred);
+            }
+        }
+        if !revalidate.is_empty() {
+            debug_assert!(
+                {
+                    let strata = Strata::of(program);
+                    let affected =
+                        strata.affected(removed_preds.iter().chain(&added_preds).copied());
+                    revalidate.iter().all(|p| affected.contains(p))
+                },
+                "revalidation must stay inside the affected strata"
+            );
+            let mut fired = Vec::new();
+            for rule in program.rules() {
+                if !rule.is_update && revalidate.contains(&rule.head.pred) {
+                    crate::gamma::fire_rule(rule, &blocked, &self.interp, &mut fired);
+                }
+            }
+            let mut exact = FactStore::new(Arc::clone(&vocab));
+            for f in &fired {
+                debug_assert_eq!(f.sign, Sign::Insert, "certified rules only insert");
+                exact.insert_row(f.pred, &f.tuple);
+            }
+            for &p in &revalidate {
+                let stale: Vec<Box<[Code]>> = match self.interp.plus().relation(p) {
+                    Some(rel) => rel
+                        .rows()
+                        .filter(|r| !exact.contains_row(p, r))
+                        .map(Into::into)
+                        .collect(),
+                    None => Vec::new(),
+                };
+                for row in &stale {
+                    self.interp.zone_mut(MarkZone::Plus).remove_row(p, row);
+                    plus_removed = true;
+                }
+            }
+            for (p, r) in exact.iter_rows() {
+                if revalidate.contains(&p) {
+                    self.interp.zone_mut(MarkZone::Plus).insert_row(p, r);
+                }
+            }
+        }
+        // Removal invalidates a zone's secondary indexes; rebuild the
+        // requested ones so the next transaction probes indexed.
+        if plus_removed || base_removed {
             for req in program.index_requests() {
-                if req.zone == MarkZone::Plus {
+                if (req.zone == MarkZone::Plus && plus_removed)
+                    || (req.zone == MarkZone::Base && base_removed)
+                {
                     self.interp
                         .zone_mut(req.zone)
                         .ensure_index(req.pred, req.mask);
@@ -292,7 +488,11 @@ impl WarmState {
             }
         }
         stats.elapsed = started.elapsed();
-        IncrementalReport { added, stats }
+        Some(IncrementalReport {
+            added,
+            removed,
+            stats,
+        })
     }
 }
 
@@ -329,7 +529,8 @@ mod tests {
     }
 
     /// Drive the same update chain warm and cold; the committed state, the
-    /// added list, and the fingerprint counters must agree per transaction.
+    /// added/removed lists, and the fingerprint counters must agree per
+    /// transaction.
     fn assert_chain_matches(rules: &str, facts: &str, txs: &[&str]) {
         let (engine, db) = setup(rules, facts);
         assert!(certify_incremental(engine.program()));
@@ -340,9 +541,11 @@ mod tests {
             let u = updates(&cold_state, tx);
             let out = cold(&engine, &cold_state, &u);
             let (cold_added, cold_removed) = cold_state.diff(&out.database);
-            let report = warm.transact(engine.program(), &u);
-            assert!(cold_removed.is_empty(), "tx {i}: fragment never removes");
+            let report = warm
+                .transact(engine.program(), &u)
+                .unwrap_or_else(|| panic!("tx {i}: warm path bailed"));
             assert_eq!(report.added, cold_added, "tx {i}: added mismatch");
+            assert_eq!(report.removed, cold_removed, "tx {i}: removed mismatch");
             assert_eq!(
                 report.stats.gamma_steps, out.stats.gamma_steps,
                 "tx {i}: gamma_steps mismatch"
@@ -370,10 +573,24 @@ mod tests {
     }
 
     #[test]
+    fn certificate_accepts_stratified_negation() {
+        // Negation on lower strata only: `q` and `d` never depend back on
+        // the rules that negate them.
+        let (engine, _) = setup(
+            "p(X), !q(X) -> +r(X). r(X), e(X, Y) -> +r(Y). r(X), !d(X) -> +s(X).",
+            "",
+        );
+        assert!(certify_incremental(engine.program()));
+    }
+
+    #[test]
     fn certificate_rejects_each_blocking_construct() {
         for (rules, reason) in [
             ("p(X) -> -q(X).", IncrementalBlocker::DeleteHead),
-            ("!q(X), p(X) -> +r(X).", IncrementalBlocker::NegatedLiteral),
+            (
+                "move(X, Y), !win(Y) -> +win(X).",
+                IncrementalBlocker::NegatedLiteral,
+            ),
             ("+p(X) -> +r(X).", IncrementalBlocker::EventLiteral),
             ("-p(X), q(X) -> +r(X).", IncrementalBlocker::EventLiteral),
         ] {
@@ -386,12 +603,20 @@ mod tests {
     }
 
     #[test]
+    fn certificate_rejects_mutual_recursion_through_negation() {
+        let (engine, _) = setup("p(X), !q(X) -> +q2(X). q2(X) -> +q(X).", "");
+        let exclusions = incremental_exclusions(engine.program());
+        assert_eq!(exclusions.len(), 1);
+        assert_eq!(exclusions[0].reason, IncrementalBlocker::NegatedLiteral);
+    }
+
+    #[test]
     fn update_rules_do_not_affect_the_certificate() {
         let (engine, db) = setup("p(X) -> +q(X).", "p(a).");
         let u = updates(&db, "-p(a).");
         // P_U carries a deleting update rule; the certificate is about the
-        // program's own rules (the per-transaction deletion check is the
-        // caller's).
+        // program's own rules (the per-transaction conflict check is the
+        // warm path's bail).
         assert!(certify_incremental(&engine.program().with_updates(&u)));
     }
 
@@ -420,6 +645,66 @@ mod tests {
     }
 
     #[test]
+    fn warm_chain_matches_cold_with_stratified_negation() {
+        assert_chain_matches(
+            "p(X), !q(X) -> +s(X). s(X), e(X, Y) -> +s(Y).",
+            "p(a). p(b). q(b). e(a, c).",
+            &["+p(d).", "+q(zz).", "+e(c, f).", "", "+p(e). +q(e)."],
+        );
+    }
+
+    #[test]
+    fn warm_chain_matches_cold_on_base_deletions() {
+        // Deleting a base-only fact stays warm; the affected stratum
+        // revalidates (s loses derivations when p shrinks or q grows).
+        assert_chain_matches(
+            "p(X), !q(X) -> +s(X).",
+            "p(a). p(b). base(z).",
+            &["-base(z).", "+q(a).", "-p(b).", "+p(c).", "-p(zz)."],
+        );
+    }
+
+    #[test]
+    fn warm_chain_mixes_inserts_and_deletions() {
+        assert_chain_matches(
+            "e(X, Y) -> +r(X, Y). r(X, Y), e(Y, Z) -> +r(X, Z). u(X) -> +v(X).",
+            "u(k). raw(a).",
+            &["+u(m). -raw(a).", "-u(k).", "+raw(b). +u(k)."],
+        );
+    }
+
+    #[test]
+    fn deleting_a_derived_fact_bails_to_cold() {
+        let (engine, db) = setup("p(X) -> +q(X).", "p(a).");
+        let settle = cold(&engine, &db, &UpdateSet::empty());
+        let mut warm = WarmState::build(engine.program(), &settle).unwrap();
+        // q(a) is program-derived: deleting it is a PARK conflict only the
+        // policy can resolve — the warm path must refuse.
+        let u = updates(warm.state(), "-q(a).");
+        assert!(warm.transact(engine.program(), &u).is_none());
+    }
+
+    #[test]
+    fn insert_delete_clash_in_one_update_set_bails() {
+        let (engine, db) = setup("p(X) -> +q(X).", "p(a).");
+        let settle = cold(&engine, &db, &UpdateSet::empty());
+        let mut warm = WarmState::build(engine.program(), &settle).unwrap();
+        let u = updates(warm.state(), "+z(k). -z(k).");
+        assert!(warm.transact(engine.program(), &u).is_none());
+    }
+
+    #[test]
+    fn deriving_a_deleted_fact_bails() {
+        let (engine, db) = setup("trig(X) -> +q(X).", "q0(a).");
+        let settle = cold(&engine, &db, &UpdateSet::empty());
+        let mut warm = WarmState::build(engine.program(), &settle).unwrap();
+        // +trig(a) derives q(a) while -q(a) is marked: cold resolves the
+        // conflict through the policy; warm refuses.
+        let u = updates(warm.state(), "+trig(a). -q(a).");
+        assert!(warm.transact(engine.program(), &u).is_none());
+    }
+
+    #[test]
     fn stale_update_marks_are_scrubbed_from_the_warm_plus() {
         // tx1 inserts q(a) as a bare update (no rule derives it); tx2 makes
         // the program derive it. Without hygiene, the stale +q(a) from tx1
@@ -433,30 +718,46 @@ mod tests {
         let settle = cold(&engine, &db, &UpdateSet::empty());
         let mut warm = WarmState::build(engine.program(), &settle).unwrap();
         let before = warm.state().sorted_display();
-        let report = warm.transact(engine.program(), &UpdateSet::empty());
+        let report = warm
+            .transact(engine.program(), &UpdateSet::empty())
+            .unwrap();
         assert!(report.added.is_empty());
+        assert!(report.removed.is_empty());
         assert_eq!(report.stats.gamma_steps, 2, "program fires over the state");
         assert_eq!(warm.state().sorted_display(), before);
         // A program with no valid grounding fixpoints in one step.
         let (engine2, db2) = setup("z(X) -> +q(X).", "p(a).");
         let settle2 = cold(&engine2, &db2, &UpdateSet::empty());
         let mut warm2 = WarmState::build(engine2.program(), &settle2).unwrap();
-        let report2 = warm2.transact(engine2.program(), &UpdateSet::empty());
+        let report2 = warm2
+            .transact(engine2.program(), &UpdateSet::empty())
+            .unwrap();
         assert_eq!(report2.stats.gamma_steps, 1);
     }
 
     #[test]
-    fn warm_build_refuses_runs_with_deletions_or_blocks() {
+    fn warm_build_refuses_blocked_runs_but_accepts_deletion_and_plain_runs() {
         let (engine, db) = setup("p(X) -> +q(X).", "p(a). q(b).");
+        // A deletion-marked run now seeds a warm state via the recompute
+        // path, and chains byte-identically afterwards.
         let out = cold(&engine, &db, &updates(&db, "-q(b)."));
-        assert!(
-            WarmState::build(engine.program(), &out).is_none(),
-            "deletion-marked run must not seed a warm state"
-        );
-        // A run without retained marks cannot seed one either.
+        let mut warm =
+            WarmState::build(engine.program(), &out).expect("deletion run seeds via recompute");
+        let u = updates(warm.state(), "+p(c).");
+        let next = cold(&engine, &out.database, &u);
+        let report = warm.transact(engine.program(), &u).unwrap();
+        let (cold_added, _) = out.database.diff(&next.database);
+        assert_eq!(report.added, cold_added);
+        assert!(warm.state().same_facts(&next.database));
+        // A run without retained marks seeds one too.
         let plain = engine.run(&db, &UpdateSet::empty(), &mut Inertia).unwrap();
         assert!(plain.program_marks.is_none());
-        assert!(WarmState::build(engine.program(), &plain).is_none());
+        assert!(WarmState::build(engine.program(), &plain).is_some());
+        // A blocked run cannot: the blocked set is not representable.
+        let (engine3, db3) = setup("p(X) -> +q(X). p(X) -> -q(X).", "p(a).");
+        let blocked_run = cold(&engine3, &db3, &UpdateSet::empty());
+        assert!(!blocked_run.blocked.is_empty());
+        assert!(WarmState::build(engine3.program(), &blocked_run).is_none());
     }
 
     #[test]

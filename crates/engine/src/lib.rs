@@ -54,6 +54,7 @@ pub mod refine;
 pub mod replay;
 pub mod seminaive;
 pub mod stats;
+pub mod strata;
 pub mod trace;
 pub mod validity;
 
@@ -74,8 +75,8 @@ pub use fixpoint::{Engine, ParkOutcome};
 pub use gamma::{fire_all, fire_all_par, FiredAction};
 pub use grounding::{BlockedSet, Grounding};
 pub use incremental::{
-    certify_incremental, incremental_exclusions, IncrementalBlocker, IncrementalExclusion,
-    IncrementalReport, WarmState,
+    certify_incremental, exclusions_with, incremental_exclusions, IncrementalBlocker,
+    IncrementalExclusion, IncrementalReport, WarmState,
 };
 pub use interp::IInterpretation;
 pub use lower::{lower, LoweredProgram};
@@ -93,5 +94,6 @@ pub use refine::{
 pub use replay::{Replayer, StepLog};
 pub use seminaive::{fire_new, fire_new_par, ZoneLens};
 pub use stats::{RunStats, StatCounters};
+pub use strata::{OffendingEdge, Strata};
 pub use trace::{Trace, TraceEvent};
 pub use validity::{valid_event, valid_neg, valid_pos, MarkZone};

@@ -1,0 +1,353 @@
+//! Stratum assignment and reachability over the predicate dependency graph.
+//!
+//! [`crate::analysis::DependencyGraph`] detects recursion (SCCs) and answers
+//! the boolean `is_stratified()`; this module turns that structure into the
+//! quantities the rest of the engine spends:
+//!
+//! * **per-predicate stratum numbers** from the SCC condensation — the
+//!   stratum of a component is the maximum over its dependencies of their
+//!   stratum, plus one for every negative/event edge crossed;
+//! * **per-rule stratum membership** (a rule lives in its head's stratum);
+//! * **failure localization**: when stratification fails, the exact
+//!   negative/event edges inside recursive components, attributed to the
+//!   rules (with source spans) that contribute them — what lint `PARK008`
+//!   reports and `PARK006` points at;
+//! * **`affected(U)`**: the closure of predicates whose extension a change
+//!   to the update set's predicates can reach — the predicates whose strata
+//!   the incremental engine must recompute (`docs/incremental.md` §5).
+//!
+//! PARK's semantics never *requires* stratification — unstratified programs
+//! are legal and handled at run time — but the incrementality-safe fragment
+//! ([`crate::incremental::certify_incremental`]) is carved along exactly
+//! these lines: recursion through negation is what makes a mark depend on
+//! the *step* at which it was derived, and therefore on history a warm
+//! state cannot replay.
+
+use crate::analysis::{DependencyGraph, EdgeKind};
+use crate::compile::{CompiledLiteral, CompiledProgram, LitKind, RuleId};
+use park_storage::PredId;
+use park_syntax::Span;
+use std::collections::{HashMap, HashSet};
+
+/// A non-positive edge connecting two predicates of one recursive
+/// component — the witness that a program is unstratified, attributed to
+/// the rules that contribute it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OffendingEdge {
+    /// The head predicate of the contributing rules.
+    pub from: PredId,
+    /// The negated (or event) body predicate.
+    pub to: PredId,
+    /// Negative or event (positive edges never offend).
+    pub kind: EdgeKind,
+    /// The rules whose head is `from` and whose body holds the literal,
+    /// with their source spans, in program order.
+    pub rules: Vec<(RuleId, Span)>,
+    /// The recursive component both endpoints belong to, sorted.
+    pub component: Vec<PredId>,
+}
+
+/// The stratum analysis of one compiled program.
+#[derive(Debug, Clone)]
+pub struct Strata {
+    graph: DependencyGraph,
+    /// SCC condensation in reverse topological order: a component appears
+    /// after every component it depends on.
+    components: Vec<Vec<PredId>>,
+    comp_of: HashMap<PredId, usize>,
+    /// Stratum per component, same indexing as `components`.
+    comp_stratum: Vec<u32>,
+    offending: Vec<OffendingEdge>,
+}
+
+impl Strata {
+    /// Analyze a compiled program.
+    pub fn of(program: &CompiledProgram) -> Strata {
+        Self::over(DependencyGraph::of(program), program)
+    }
+
+    /// Analyze with a pre-built dependency graph (must be the program's).
+    pub fn over(graph: DependencyGraph, program: &CompiledProgram) -> Strata {
+        let components = graph.sccs();
+        let mut comp_of: HashMap<PredId, usize> = HashMap::new();
+        for (i, comp) in components.iter().enumerate() {
+            for &p in comp {
+                comp_of.insert(p, i);
+            }
+        }
+        // Tarjan emits dependencies before dependents (edges point
+        // head → body), so one forward pass assigns strata bottom-up: a
+        // component sits just above the highest dependency it crosses a
+        // non-positive edge into, and no lower than any dependency.
+        let mut comp_stratum = vec![0u32; components.len()];
+        for (i, _) in components.iter().enumerate() {
+            let mut stratum = 0u32;
+            for &(f, t, k) in &graph.edges {
+                let (cf, ct) = (comp_of[&f], comp_of[&t]);
+                if cf != i || ct == i {
+                    continue;
+                }
+                let step = u32::from(k != EdgeKind::Positive);
+                stratum = stratum.max(comp_stratum[ct] + step);
+            }
+            comp_stratum[i] = stratum;
+        }
+        // Failure localization: every intra-component non-positive edge,
+        // attributed to the contributing rules. Update rules (`tx` heads)
+        // are body-less and contribute no edges.
+        let mut offending: Vec<OffendingEdge> = Vec::new();
+        let mut by_edge: HashMap<(PredId, PredId, EdgeKind), usize> = HashMap::new();
+        for rule in program.rules() {
+            let f = rule.head.pred;
+            for lit in rule.body.iter() {
+                let CompiledLiteral::Atom { kind, atom } = lit else {
+                    continue;
+                };
+                let kind = match kind {
+                    LitKind::Pos => continue,
+                    LitKind::Neg => EdgeKind::Negative,
+                    LitKind::Event(_) => EdgeKind::Event,
+                };
+                let t = atom.pred;
+                if comp_of.get(&f) != comp_of.get(&t) {
+                    continue;
+                }
+                let entry = (f, t, kind);
+                let idx = *by_edge.entry(entry).or_insert_with(|| {
+                    offending.push(OffendingEdge {
+                        from: f,
+                        to: t,
+                        kind,
+                        rules: Vec::new(),
+                        component: components[comp_of[&f]].clone(),
+                    });
+                    offending.len() - 1
+                });
+                offending[idx].rules.push((rule.id, rule.source.span));
+            }
+        }
+        offending.sort_by_key(|e| (e.from, e.to, e.kind));
+        Strata {
+            graph,
+            components,
+            comp_of,
+            comp_stratum,
+            offending,
+        }
+    }
+
+    /// The SCC condensation, dependencies first; components sorted.
+    pub fn components(&self) -> &[Vec<PredId>] {
+        &self.components
+    }
+
+    /// The stratum of a predicate (`None` for predicates the program never
+    /// mentions).
+    pub fn stratum(&self, p: PredId) -> Option<u32> {
+        self.comp_of.get(&p).map(|&c| self.comp_stratum[c])
+    }
+
+    /// The stratum of a component, by condensation index.
+    pub fn component_stratum(&self, comp: usize) -> u32 {
+        self.comp_stratum[comp]
+    }
+
+    /// The stratum a rule lives in: its head predicate's.
+    pub fn rule_stratum(&self, program: &CompiledProgram, rule: RuleId) -> Option<u32> {
+        self.stratum(program.rule(rule).head.pred)
+    }
+
+    /// Highest assigned stratum (0 for an empty program).
+    pub fn max_stratum(&self) -> u32 {
+        self.comp_stratum.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Do two predicates share a recursive component?
+    pub fn same_component(&self, a: PredId, b: PredId) -> bool {
+        match (self.comp_of.get(&a), self.comp_of.get(&b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Stratifiability, with the same verdict as
+    /// [`DependencyGraph::is_stratified`]: no offending edge.
+    pub fn is_stratified(&self) -> bool {
+        self.offending.is_empty()
+    }
+
+    /// The localized stratification failures (empty iff stratified),
+    /// sorted by `(from, to, kind)`.
+    pub fn offending_edges(&self) -> &[OffendingEdge] {
+        &self.offending
+    }
+
+    /// The dependency graph the analysis was built over.
+    pub fn graph(&self) -> &DependencyGraph {
+        &self.graph
+    }
+
+    /// `affected(U)`: every predicate whose extension a change to `seeds`
+    /// can reach — the seeds themselves plus all predicates that
+    /// transitively depend on them (ancestors along head → body edges).
+    /// Seed predicates the program never mentions are still affected
+    /// (their own extension changes), they just reach nothing.
+    pub fn affected(&self, seeds: impl IntoIterator<Item = PredId>) -> HashSet<PredId> {
+        let mut out: HashSet<PredId> = seeds.into_iter().collect();
+        // Fixpoint over the reversed edges; the graph is small (one node
+        // per predicate), so the quadratic sweep is fine.
+        loop {
+            let mut grew = false;
+            for &(f, t, _) in &self.graph.edges {
+                if out.contains(&t) && out.insert(f) {
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use park_storage::Vocabulary;
+    use park_syntax::parse_program;
+
+    fn compile(src: &str) -> CompiledProgram {
+        CompiledProgram::compile(Vocabulary::new(), &parse_program(src).unwrap()).unwrap()
+    }
+
+    fn pred(p: &CompiledProgram, name: &str) -> PredId {
+        p.vocab().lookup_pred(name).unwrap()
+    }
+
+    #[test]
+    fn positive_chains_stay_in_stratum_zero() {
+        let p = compile("a(X) -> +b(X). b(X) -> +c(X). c(X), b(X) -> +d(X).");
+        let s = Strata::of(&p);
+        assert!(s.is_stratified());
+        for name in ["a", "b", "c", "d"] {
+            assert_eq!(s.stratum(pred(&p, name)), Some(0), "{name}");
+        }
+        assert_eq!(s.max_stratum(), 0);
+    }
+
+    #[test]
+    fn negation_steps_the_stratum() {
+        let p = compile("a(X), !b(X) -> +c(X). c(X), !d(X) -> +e(X).");
+        let s = Strata::of(&p);
+        assert!(s.is_stratified());
+        assert_eq!(s.stratum(pred(&p, "a")), Some(0));
+        assert_eq!(s.stratum(pred(&p, "b")), Some(0));
+        assert_eq!(s.stratum(pred(&p, "c")), Some(1));
+        // `e` only needs to sit strictly above `d` (stratum 0) and no
+        // lower than `c` (stratum 1).
+        assert_eq!(s.stratum(pred(&p, "e")), Some(1));
+        assert_eq!(s.max_stratum(), 1);
+    }
+
+    #[test]
+    fn recursive_component_shares_one_stratum() {
+        let p = compile(
+            "edge(X, Y) -> +tc(X, Y). tc(X, Y), edge(Y, Z) -> +tc(X, Z).
+             tc(X, X), !edge(X, X) -> +odd(X).",
+        );
+        let s = Strata::of(&p);
+        assert!(s.is_stratified());
+        assert_eq!(s.stratum(pred(&p, "edge")), Some(0));
+        assert_eq!(s.stratum(pred(&p, "tc")), Some(0));
+        assert_eq!(s.stratum(pred(&p, "odd")), Some(1));
+        // tc is alone in its (recursive) component.
+        let tc = pred(&p, "tc");
+        assert!(s.components().iter().any(|c| c == &vec![tc]));
+    }
+
+    #[test]
+    fn win_move_cycle_is_localized_with_spans() {
+        let p = compile("w: move(X, Y), !win(Y) -> +win(X).");
+        let s = Strata::of(&p);
+        assert!(!s.is_stratified());
+        let off = s.offending_edges();
+        assert_eq!(off.len(), 1);
+        let win = pred(&p, "win");
+        assert_eq!(off[0].from, win);
+        assert_eq!(off[0].to, win);
+        assert_eq!(off[0].kind, EdgeKind::Negative);
+        assert_eq!(off[0].component, vec![win]);
+        let [(rule, span)] = off[0].rules[..] else {
+            panic!("one contributing rule expected: {:?}", off[0].rules);
+        };
+        assert_eq!(p.rule(rule).display_name(), "w");
+        assert_eq!(span.line, 1);
+        assert!(span.col > 0, "named rule has a real span: {span:?}");
+    }
+
+    #[test]
+    fn mutual_recursion_through_events_is_offending() {
+        let p = compile("a(X) -> +b(X). +b(X) -> +a(X).");
+        let s = Strata::of(&p);
+        assert!(!s.is_stratified());
+        assert_eq!(s.offending_edges().len(), 1);
+        let e = &s.offending_edges()[0];
+        assert_eq!(e.kind, EdgeKind::Event);
+        assert_eq!(e.component.len(), 2);
+    }
+
+    #[test]
+    fn verdict_agrees_with_dependency_graph() {
+        for src in [
+            "move(X, Y), !win(Y) -> +win(X).",
+            "edge(X, Y) -> +tc(X, Y). tc(X, Y), edge(Y, Z) -> +tc(X, Z).",
+            "a(X), !b(X) -> +c(X).",
+            "a(X) -> +b(X). +b(X) -> +a(X).",
+            "p(X), !q(X) -> +q2(X). q2(X) -> +q(X).",
+        ] {
+            let p = compile(src);
+            let g = DependencyGraph::of(&p);
+            assert_eq!(g.is_stratified(), Strata::of(&p).is_stratified(), "{src}");
+        }
+    }
+
+    #[test]
+    fn affected_is_the_ancestor_closure() {
+        let p = compile(
+            "e(X, Y) -> +r(X, Y). r(X, Y), e(Y, Z) -> +r(X, Z).
+             r(X, X) -> +cyc(X). other(X) -> +island(X).",
+        );
+        let s = Strata::of(&p);
+        let aff = s.affected([pred(&p, "e")]);
+        for name in ["e", "r", "cyc"] {
+            assert!(aff.contains(&pred(&p, name)), "{name}");
+        }
+        assert!(!aff.contains(&pred(&p, "other")));
+        assert!(!aff.contains(&pred(&p, "island")));
+        // A leaf-only change reaches nothing below it.
+        let aff = s.affected([pred(&p, "cyc")]);
+        assert_eq!(aff.len(), 1);
+    }
+
+    #[test]
+    fn affected_keeps_unknown_seed_predicates() {
+        let p = compile("a(X) -> +b(X).");
+        let vocab = p.vocab();
+        let ghost = vocab.pred("ghost", 1).unwrap();
+        let s = Strata::of(&p);
+        let aff = s.affected([ghost]);
+        assert!(aff.contains(&ghost));
+        assert_eq!(aff.len(), 1);
+    }
+
+    #[test]
+    fn rule_stratum_is_the_heads() {
+        let p = compile("base: a(X), !b(X) -> +c(X). top: c(X), !d(X) -> +e(X).");
+        let s = Strata::of(&p);
+        let base = p.rule_by_name("base").unwrap();
+        let top = p.rule_by_name("top").unwrap();
+        assert_eq!(s.rule_stratum(&p, base), Some(1));
+        assert_eq!(s.rule_stratum(&p, top), Some(1));
+    }
+}

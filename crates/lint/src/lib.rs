@@ -18,6 +18,8 @@
 //! | PARK005 | info    | conflict on a recursive predicate (restart churn) |
 //! | PARK006 | info    | program not stratifiable                     |
 //! | PARK007 | error   | safety-condition violation                   |
+//! | PARK008 | warning | rule closes a recursion-through-negation cycle (spanned) |
+//! | PARK009 | info    | rule blocks incremental reuse (names the construct + stratum) |
 //!
 //! Every non-syntactic verdict here is differentially tested: the testkit
 //! cross-checks lint verdicts against observed runtime behaviour over the
@@ -28,7 +30,7 @@
 #![warn(missing_docs)]
 
 use park_engine::refine;
-use park_engine::{analysis, CompiledProgram, RuleId};
+use park_engine::{analysis, CompiledProgram, EdgeKind, RuleId, Strata};
 
 pub use park_engine::refine::{AnalysisVariant, ConstPolicy};
 use park_json::Json;
@@ -82,11 +84,22 @@ pub enum LintCode {
     Unstratified,
     /// PARK007: a safety-condition violation (paper §2).
     SafetyViolation,
+    /// PARK008: a rule whose negated (or event) body literal closes a
+    /// cycle inside a recursive component — the localized, rule-spanned
+    /// witness behind the program-level PARK006. One diagnostic per
+    /// contributing rule, naming the edge and the full component.
+    UnstratifiedCycle,
+    /// PARK009: a rule construct that keeps the program off the warm
+    /// cross-transaction path (`park serve --incremental`): a deleting
+    /// head, a negation closing a recursive cycle, or an event literal —
+    /// with the rule's stratum. The program still runs; every transaction
+    /// just takes the cold from-`D` path.
+    IncrementalityBlocker,
 }
 
 impl LintCode {
     /// Every code, in numeric order.
-    pub const ALL: [LintCode; 8] = [
+    pub const ALL: [LintCode; 10] = [
         LintCode::SyntaxError,
         LintCode::PossibleConflict,
         LintCode::AlwaysBlocked,
@@ -95,6 +108,8 @@ impl LintCode {
         LintCode::RestartChurn,
         LintCode::Unstratified,
         LintCode::SafetyViolation,
+        LintCode::UnstratifiedCycle,
+        LintCode::IncrementalityBlocker,
     ];
 
     /// The stable `PARKnnn` code string.
@@ -108,6 +123,8 @@ impl LintCode {
             LintCode::RestartChurn => "PARK005",
             LintCode::Unstratified => "PARK006",
             LintCode::SafetyViolation => "PARK007",
+            LintCode::UnstratifiedCycle => "PARK008",
+            LintCode::IncrementalityBlocker => "PARK009",
         }
     }
 
@@ -118,8 +135,11 @@ impl LintCode {
             LintCode::PossibleConflict
             | LintCode::AlwaysBlocked
             | LintCode::UnreachableRule
-            | LintCode::NeverFires => Severity::Warning,
-            LintCode::RestartChurn | LintCode::Unstratified => Severity::Info,
+            | LintCode::NeverFires
+            | LintCode::UnstratifiedCycle => Severity::Warning,
+            LintCode::RestartChurn | LintCode::Unstratified | LintCode::IncrementalityBlocker => {
+                Severity::Info
+            }
         }
     }
 }
@@ -154,10 +174,11 @@ pub struct FileReport {
     /// property the engine's fast path consumes.
     pub certified_conflict_free: bool,
     /// Whether the program sits in the incrementality-safe fragment
-    /// (inserting heads, positive-and-guard bodies): the property the
-    /// cross-transaction warm path (`park serve --incremental`) consumes.
-    /// Programs outside the fragment still run — every transaction just
-    /// takes the cold from-`D` path.
+    /// (inserting heads, stratified negation, no event literals): the
+    /// property the cross-transaction warm path (`park serve
+    /// --incremental`) consumes. Programs outside the fragment still run —
+    /// every transaction just takes the cold from-`D` path (PARK009 names
+    /// the blockers).
     pub certified_incremental: bool,
 }
 
@@ -175,8 +196,8 @@ pub struct Verdicts {
     /// Program certified conflict-free: no run may resolve a conflict.
     pub certified_conflict_free: bool,
     /// Program certified incrementality-safe: warm cross-transaction
-    /// evaluation must be byte-identical to cold runs on insert-only
-    /// update chains.
+    /// evaluation must be byte-identical to cold runs on insert- and
+    /// deletion-bearing update chains.
     pub certified_incremental: bool,
     /// Rules flagged unreachable: they must never fire.
     pub unreachable: Vec<RuleId>,
@@ -294,6 +315,7 @@ fn analyze(
     let refined = refine::refine_conflicts(program, variant);
     let graph = analysis::DependencyGraph::of(program);
     let recursive = graph.recursive_preds();
+    let strata = Strata::over(graph, program);
 
     for pair in &refined.pairs {
         let pred = vocab.pred_name(pair.pred);
@@ -377,15 +399,84 @@ fn analyze(
         ));
     }
 
-    if !graph.is_stratified() {
+    if !strata.is_stratified() {
+        // Render each offending recursive component once, sorted for
+        // stable output: `{r}` or `{move, win}`.
+        let component = |preds: &[park_storage::PredId]| {
+            let mut names: Vec<String> = preds
+                .iter()
+                .map(|&p| vocab.pred_name(p).to_string())
+                .collect();
+            names.sort_unstable();
+            format!("{{{}}}", names.join(", "))
+        };
+        let mut cycles: Vec<String> = strata
+            .offending_edges()
+            .iter()
+            .map(|e| component(&e.component))
+            .collect();
+        cycles.sort_unstable();
+        cycles.dedup();
         diagnostics.push(diag(
             LintCode::Unstratified,
             Span::synthetic(),
             None,
-            "program is not stratifiable (recursion through negation or events); \
-             PARK's inflationary semantics is well-defined regardless, but results \
-             may defy stratified-datalog intuition"
-                .to_string(),
+            format!(
+                "program is not stratifiable: recursion through negation or events \
+                 inside {} {}; PARK's inflationary semantics is well-defined \
+                 regardless, but results may defy stratified-datalog intuition \
+                 (PARK008 spans the offending rules)",
+                if cycles.len() == 1 {
+                    "component"
+                } else {
+                    "components"
+                },
+                cycles.join(", "),
+            ),
+        ));
+        for edge in strata.offending_edges() {
+            let from = vocab.pred_name(edge.from);
+            let to = vocab.pred_name(edge.to);
+            let comp = component(&edge.component);
+            let (through, via) = match edge.kind {
+                EdgeKind::Negative => ("negation", format!("`!{to}`")),
+                EdgeKind::Event => ("events", format!("an event literal on `{to}`")),
+                // Positive edges never offend; keep the renderer total.
+                EdgeKind::Positive => continue,
+            };
+            for &(id, span) in &edge.rules {
+                diagnostics.push(diag(
+                    LintCode::UnstratifiedCycle,
+                    span,
+                    Some(name(id)),
+                    format!(
+                        "rule `{}` closes a recursion-through-{through} cycle: \
+                         `{from}` depends on {via} inside recursive component \
+                         {comp}, so `{to}` marks depend on the Γ-step they were \
+                         derived at",
+                        name(id),
+                    ),
+                ));
+            }
+        }
+    }
+
+    for e in park_engine::exclusions_with(program, &strata) {
+        let stratum = strata
+            .rule_stratum(program, e.rule)
+            .map_or("?".to_string(), |s| s.to_string());
+        diagnostics.push(diag(
+            LintCode::IncrementalityBlocker,
+            span(e.rule),
+            Some(name(e.rule)),
+            format!(
+                "rule `{}` blocks incremental reuse: {:?} ({}) in stratum \
+                 {stratum} — transactions on this program replay cold from `D` \
+                 instead of warm (see docs/incremental.md)",
+                name(e.rule),
+                e.reason,
+                e.reason.describe(),
+            ),
         ));
     }
 
@@ -527,9 +618,15 @@ mod tests {
 
     #[test]
     fn incremental_certificate_tracks_the_fragment() {
-        // Guards are fine; deleting heads, negation, and events are not.
+        // Guards and stratified negation are fine; deleting heads,
+        // recursion through negation, and events are not.
         assert!(lint("p(X), X < 5 -> +q(X).").certified_incremental);
-        for src in ["p(X) -> -q(X).", "!q(X), p(X) -> +r(X).", "+p(X) -> +r(X)."] {
+        assert!(lint("!q(X), p(X) -> +r(X).").certified_incremental);
+        for src in [
+            "p(X) -> -q(X).",
+            "move(X, Y), !win(Y) -> +win(X).",
+            "+p(X) -> +r(X).",
+        ] {
             assert!(!lint(src).certified_incremental, "{src}");
         }
         // Failing to parse means no certificate.
@@ -587,8 +684,9 @@ mod tests {
 
     #[test]
     fn unreachable_event_rule_is_park003() {
+        // The event literal also keeps `dead` off the warm path (PARK009).
         let r = lint("dead: +z(X) -> +q(X). live: p(X) -> +r(X).");
-        assert_eq!(codes(&r), vec!["PARK003"]);
+        assert_eq!(codes(&r), vec!["PARK003", "PARK009"]);
         let d = &r.diagnostics[0];
         assert_eq!(d.rule.as_deref(), Some("dead"));
         assert!(d.message.contains("`+z`"), "{}", d.message);
@@ -617,9 +715,63 @@ mod tests {
     #[test]
     fn unstratified_is_park006_info() {
         let r = lint("move(X, Y), !win(Y) -> +win(X).");
-        assert_eq!(codes(&r), vec!["PARK006"]);
-        assert_eq!(r.max_severity(), Some(Severity::Info));
-        assert!(r.diagnostics[0].span.is_synthetic());
+        assert_eq!(codes(&r), vec!["PARK006", "PARK008", "PARK009"]);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.severity, Severity::Info);
+        assert!(d.span.is_synthetic());
+        // The program-level verdict names the concrete offending cycle.
+        assert!(d.message.contains("{win}"), "{}", d.message);
+    }
+
+    #[test]
+    fn unstratified_cycle_is_park008_with_span() {
+        let r = lint("step: move(X, Y), !win(Y) -> +win(X).");
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::UnstratifiedCycle)
+            .unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.rule.as_deref(), Some("step"));
+        assert!(!d.span.is_synthetic());
+        assert_eq!(d.span.line, 1);
+        assert!(
+            d.message.contains("`win` depends on `!win`"),
+            "{}",
+            d.message
+        );
+        assert!(d.message.contains("{win}"), "{}", d.message);
+
+        // Event cycles name the component and every contributing rule.
+        let r = lint("a: +p(X) -> +q(X). b: +q(X) -> +p(X).");
+        let cyc: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::UnstratifiedCycle)
+            .collect();
+        assert_eq!(cyc.len(), 2, "{:?}", codes(&r));
+        assert!(
+            cyc[0].message.contains("recursion-through-events"),
+            "{}",
+            cyc[0].message
+        );
+        assert!(cyc[0].message.contains("{p, q}"), "{}", cyc[0].message);
+    }
+
+    #[test]
+    fn incrementality_blockers_are_park009_info() {
+        let r = lint("del: p(X) -> -q(X).");
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::IncrementalityBlocker)
+            .unwrap();
+        assert_eq!(d.severity, Severity::Info);
+        assert_eq!(d.rule.as_deref(), Some("del"));
+        assert!(d.message.contains("DeleteHead"), "{}", d.message);
+        assert!(d.message.contains("stratum 0"), "{}", d.message);
+        // Stratified negation is inside the fragment: no blocker report.
+        assert!(!codes(&lint("!q(X), p(X) -> +r(X).")).contains(&"PARK009"));
     }
 
     #[test]
@@ -684,7 +836,7 @@ mod tests {
             all,
             vec![
                 "PARK000", "PARK001", "PARK002", "PARK003", "PARK004", "PARK005", "PARK006",
-                "PARK007"
+                "PARK007", "PARK008", "PARK009"
             ]
         );
     }

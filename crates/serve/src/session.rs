@@ -140,6 +140,10 @@ impl DbSession {
                         Json::object([
                             ("certified", Json::Bool(self.db.certified_incremental())),
                             ("incremental_txs", Json::Int(s.incremental_txs as i64)),
+                            (
+                                "partial_stratum_txs",
+                                Json::Int(s.partial_stratum_txs as i64),
+                            ),
                             ("cold_txs", Json::Int(s.cold_txs as i64)),
                             ("cold_txs_deletion", Json::Int(s.cold_txs_deletion as i64)),
                             (
@@ -732,11 +736,17 @@ mod tests {
             Some(0)
         );
 
-        // A deletion forces a cold transaction and shows up attributed.
+        // A base-fact deletion stays warm on the partial-stratum path…
         s.handle(4, tx("-e(b, c)."));
-        let (frames, _) = s.handle(5, DbOp::Stats);
+        // …while deleting a *derived* fact is a conflict: cold, attributed.
+        s.handle(5, tx("-r(a, b)."));
+        let (frames, _) = s.handle(6, DbOp::Stats);
         let doc = park_json::parse(&frames[0]).unwrap();
         let inc = doc.get("incremental").expect("incremental section");
+        assert_eq!(
+            inc.get("partial_stratum_txs").and_then(|j| j.as_i64()),
+            Some(1)
+        );
         assert_eq!(inc.get("cold_txs").and_then(|j| j.as_i64()), Some(2));
         assert_eq!(
             inc.get("cold_txs_deletion").and_then(|j| j.as_i64()),

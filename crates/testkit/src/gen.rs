@@ -107,6 +107,31 @@ impl Case {
     }
 }
 
+/// Which distribution [`generate_biased`] draws cases from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FuzzBias {
+    /// The historical mix: ground conflict motifs, range-restricted
+    /// variable programs, and a slice of insert-only certified cases.
+    #[default]
+    Default,
+    /// Layered stratified-negation programs inside the widened
+    /// incremental fragment, every one carrying a deletion-bearing
+    /// transaction chain — the distribution that exercises the
+    /// partial-stratum warm path and its bail-to-cold edges by default.
+    Stratified,
+}
+
+impl FuzzBias {
+    /// Parse a `--bias` command-line value.
+    pub fn parse(s: &str) -> Option<FuzzBias> {
+        match s {
+            "default" => Some(FuzzBias::Default),
+            "stratified" => Some(FuzzBias::Stratified),
+            _ => None,
+        }
+    }
+}
+
 /// Generate the case for `seed`. Same seed, same case, forever — failing
 /// seeds reproduce from the command line (`park fuzz --seed N --cases 1`).
 pub fn generate(seed: u64) -> Case {
@@ -118,6 +143,122 @@ pub fn generate(seed: u64) -> Case {
         generate_ground(seed, &mut rng)
     } else {
         generate_var(seed, &mut rng)
+    }
+}
+
+/// [`generate`] under an explicit bias. The seed spaces are disjoint per
+/// bias (the rng is re-derived), so `--bias stratified --seed N` and
+/// `--seed N` reproduce independently.
+pub fn generate_biased(seed: u64, bias: FuzzBias) -> Case {
+    match bias {
+        FuzzBias::Default => generate(seed),
+        FuzzBias::Stratified => {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5354_5241_5441); // "STRATA"
+            generate_stratified(seed, &mut rng)
+        }
+    }
+}
+
+/// A layered stratified-negation case: unary predicates are assigned to
+/// strata L0 (`p`, `q`, plus the binary `e`) < L1 (`s`, `t`) < L2 (`u`,
+/// `v`); heads always insert, negated body literals only look *strictly
+/// downward*, and positive recursion stays inside a layer — so every
+/// generated program certifies under the widened (stratified) incremental
+/// certificate. The transaction chain always carries deletions: mostly
+/// base facts (the partial-stratum warm path), occasionally a derived
+/// fact (the warm state must bail and replay cold, byte-identically).
+fn generate_stratified(seed: u64, rng: &mut StdRng) -> Case {
+    const LAYERS: [&[&str]; 3] = [&["p", "q"], &["s", "t"], &["u", "v"]];
+    let consts = &["c0", "c1", "c2", "c3"][..rng.random_range(3..5usize)];
+    let pick =
+        |rng: &mut StdRng, layer: usize| LAYERS[layer][rng.random_range(0..LAYERS[layer].len())];
+
+    let mut rules = Vec::new();
+    for _ in 0..rng.random_range(3..6usize) {
+        match rng.random_range(0..4u32) {
+            // Negation-guarded promotion from a strictly lower layer.
+            0 => {
+                let hl = rng.random_range(1..3usize);
+                let (pl, nl) = (rng.random_range(0..hl), rng.random_range(0..hl));
+                let h = pick(rng, hl);
+                let pos = pick(rng, pl);
+                let neg = pick(rng, nl);
+                rules.push(format!("{pos}(X), !{neg}(X) -> +{h}(X)."));
+            }
+            // Positive in-layer recursion through the binary `e`.
+            1 => {
+                let hl = rng.random_range(1..3usize);
+                let h = pick(rng, hl);
+                rules.push(format!("{h}(X), e(X, Y) -> +{h}(Y)."));
+            }
+            // Positive join from at-or-below the head's layer.
+            2 => {
+                let hl = rng.random_range(1..3usize);
+                let (al, bl) = (rng.random_range(0..hl + 1), rng.random_range(0..hl));
+                let a = pick(rng, al);
+                let b = pick(rng, bl);
+                let h = pick(rng, hl);
+                rules.push(format!("{a}(X), {b}(X) -> +{h}(X)."));
+            }
+            // Plain copy upward.
+            _ => {
+                let hl = rng.random_range(1..3usize);
+                let sl = rng.random_range(0..hl);
+                let src = pick(rng, sl);
+                let h = pick(rng, hl);
+                rules.push(format!("{src}(X) -> +{h}(X)."));
+            }
+        }
+    }
+
+    let mut facts = Vec::new();
+    for p in LAYERS[0] {
+        for c in consts {
+            if rng.random_bool(0.4) {
+                facts.push(format!("{p}({c})."));
+            }
+        }
+    }
+    for a in consts {
+        for b in consts {
+            if rng.random_bool(0.2) {
+                facts.push(format!("e({a}, {b})."));
+            }
+        }
+    }
+
+    // Deletion-bearing chains are the point of this bias: every sequence
+    // mixes inserts with deletions, and roughly one update in seven aims
+    // at a *derived* predicate (deleting one forces the warm state to
+    // bail and the differential pair to agree on the cold conflict path).
+    let del = if rng.random_bool(0.5) { 0.35 } else { 0.6 };
+    let txs = (0..rng.random_range(2..5usize))
+        .map(|_| {
+            (0..rng.random_range(1..4usize))
+                .map(|_| {
+                    let sign = if rng.random_bool(del) { "-" } else { "+" };
+                    let c = consts[rng.random_range(0..consts.len())];
+                    if rng.random_bool(0.2) {
+                        let d = consts[rng.random_range(0..consts.len())];
+                        format!("{sign}e({c}, {d}).")
+                    } else if rng.random_bool(0.15) {
+                        let dl = rng.random_range(1..3usize);
+                        let p = pick(rng, dl);
+                        format!("{sign}{p}({c}).")
+                    } else {
+                        let p = pick(rng, 0);
+                        format!("{sign}{p}({c}).")
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    Case {
+        seed,
+        rules,
+        facts,
+        txs,
     }
 }
 
@@ -450,6 +591,42 @@ mod tests {
                 assert!(!parsed.is_empty(), "seed {seed}: empty transaction `{tx}`");
             }
         }
+    }
+
+    #[test]
+    fn stratified_bias_certifies_with_deletion_chains() {
+        let (mut negation, mut deletions, mut derived_targets) = (false, false, false);
+        for seed in 0..200 {
+            let case = generate_biased(seed, FuzzBias::Stratified);
+            assert_eq!(case, generate_biased(seed, FuzzBias::Stratified));
+            let program = park_syntax::parse_program(&case.program_source())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            park_syntax::check_program(&program).unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            let compiled =
+                park_engine::CompiledProgram::compile(park_storage::Vocabulary::new(), &program)
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            assert!(
+                park_engine::certify_incremental(&compiled),
+                "seed {seed} left the widened incremental fragment:\n{}",
+                case.program_source()
+            );
+            assert!(!case.txs.is_empty(), "seed {seed}: no update chain");
+            for tx in &case.txs {
+                park_syntax::parse_updates(tx)
+                    .unwrap_or_else(|e| panic!("seed {seed} tx `{tx}`: {e:?}"));
+                deletions |= tx.contains('-');
+                for d in ["s(", "t(", "u(", "v("] {
+                    derived_targets |= tx.contains(d);
+                }
+            }
+            negation |= case.rules.iter().any(|r| r.contains('!'));
+        }
+        assert!(negation, "stratified bias never used negation");
+        assert!(deletions, "stratified bias never generated a deletion");
+        assert!(
+            derived_targets,
+            "stratified bias never touched a derived pred"
+        );
     }
 
     #[test]

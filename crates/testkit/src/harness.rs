@@ -178,6 +178,9 @@ pub struct CaseStats {
     /// Sequence transactions the incremental [`ActiveDatabase`] answered
     /// from its warm state rather than the cold from-`D` path.
     pub warm_txs: u64,
+    /// The warm subset that carried deletions and reused the affected
+    /// strata (`partial_stratum_txs` in the database counters).
+    pub partial_txs: u64,
     /// Deterministic engine counters summed over every matrix run of the
     /// case (all configurations × policies) — the raw material for
     /// aggregate metrics documents (`park fuzz --metrics`).
@@ -744,7 +747,9 @@ fn check_sequence(
                 _ => break,
             }
         }
-        stats.warm_txs += warm_db.incremental_stats().incremental_txs;
+        let inc = warm_db.incremental_stats();
+        stats.warm_txs += inc.incremental_txs + inc.partial_stratum_txs;
+        stats.partial_txs += inc.partial_stratum_txs;
     }
     Ok(())
 }
@@ -768,6 +773,9 @@ pub struct FuzzReport {
     /// Sequence transactions the incremental database answered warm
     /// (summed over the per-policy replays).
     pub warm_txs: u64,
+    /// The warm subset that carried deletions and replayed only the
+    /// affected strata instead of falling back to a cold run.
+    pub partial_txs: u64,
     /// Engine counters summed over every matrix run of every passing case.
     pub counters: StatCounters,
 }
@@ -790,11 +798,28 @@ pub fn run_fuzz(
     seed: u64,
     cases: u64,
     variant: OracleVariant,
+    progress: impl FnMut(u64, &FuzzReport),
+) -> Result<FuzzReport, Box<FuzzFailure>> {
+    run_fuzz_biased(
+        seed,
+        cases,
+        variant,
+        crate::gen::FuzzBias::Default,
+        progress,
+    )
+}
+
+/// [`run_fuzz`] with an explicit generator bias (`park fuzz --bias`).
+pub fn run_fuzz_biased(
+    seed: u64,
+    cases: u64,
+    variant: OracleVariant,
+    bias: crate::gen::FuzzBias,
     mut progress: impl FnMut(u64, &FuzzReport),
 ) -> Result<FuzzReport, Box<FuzzFailure>> {
     let mut report = FuzzReport::default();
     for i in 0..cases {
-        let case = crate::gen::generate(seed.wrapping_add(i));
+        let case = crate::gen::generate_biased(seed.wrapping_add(i), bias);
         match check_case(&case, variant) {
             Ok(s) => {
                 report.cases += 1;
@@ -804,6 +829,7 @@ pub fn run_fuzz(
                 report.sequence_cases += u64::from(s.sequence_txs > 0);
                 report.sequence_txs += s.sequence_txs;
                 report.warm_txs += s.warm_txs;
+                report.partial_txs += s.partial_txs;
                 report.counters.absorb(&s.counters);
             }
             Err(divergence) => {

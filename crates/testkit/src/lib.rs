@@ -30,10 +30,10 @@ pub mod harness;
 pub mod minimize;
 pub mod oracle;
 
-pub use gen::{generate, Case};
+pub use gen::{generate, generate_biased, Case, FuzzBias};
 pub use harness::{
-    check_case, check_case_parsed, check_case_with, run_fuzz, CaseStats, Divergence, EngineConfig,
-    FuzzFailure, FuzzReport, POLICIES,
+    check_case, check_case_parsed, check_case_with, run_fuzz, run_fuzz_biased, CaseStats,
+    Divergence, EngineConfig, FuzzFailure, FuzzReport, POLICIES,
 };
 pub use minimize::{minimize, minimize_parsed};
 pub use oracle::{evaluate as oracle_evaluate, OracleRun, OracleVariant};

@@ -129,10 +129,9 @@ fn fuzz_smoke_finds_no_divergences() {
 
 #[test]
 fn update_sequences_replay_incremental_vs_cold() {
-    // A certified reachability program through a chain that warms up,
-    // falls back cold on a deletion, and reseeds: the harness compares the
-    // incremental ActiveDatabase against the cold one and the oracle at
-    // every step.
+    // A certified reachability program through a chain with a base-fact
+    // deletion in the middle: the harness compares the incremental
+    // ActiveDatabase against the cold one and the oracle at every step.
     let mut c = case(
         "e(X, Y) -> +r(X, Y). r(X, Y), e(Y, Z) -> +r(X, Z).",
         "e(a, b). e(b, c).",
@@ -145,9 +144,34 @@ fn update_sequences_replay_incremental_vs_cold() {
     ];
     let stats = check_case(&c, OracleVariant::Faithful).unwrap_or_else(|d| panic!("{d}"));
     assert_eq!(stats.sequence_txs, 4);
-    // Per policy: tx1 seeds cold, tx2 is warm, tx3 (a deletion) runs cold
-    // and cannot reseed, tx4 runs cold and reseeds — 1 warm × 3 policies.
-    assert_eq!(stats.warm_txs, 3);
+    // Per policy: tx1 seeds cold, tx2 is warm, tx3 deletes a base fact and
+    // stays warm on the partial-stratum path, tx4 is warm again — 3 warm
+    // (1 partial) × 3 policies.
+    assert_eq!(stats.warm_txs, 9);
+    assert_eq!(stats.partial_txs, 3);
+}
+
+#[test]
+fn derived_fact_deletions_bail_to_cold() {
+    // Deleting a *derived* fact collides with the program's own
+    // derivations: the warm state must bail and the cold conflict run is
+    // the answer — still byte-identical across the differential pair.
+    let mut c = case("p(X) -> +s(X).", "p(a). p(b).");
+    c.txs = vec![
+        "+p(c).".into(),
+        "+p(d).".into(),
+        "-s(a).".into(),
+        "+p(e).".into(),
+    ];
+    let stats = check_case(&c, OracleVariant::Faithful).unwrap_or_else(|d| panic!("{d}"));
+    assert_eq!(stats.sequence_txs, 4);
+    // Per policy: tx1 seeds cold, tx2 is warm, tx3 bails to a cold
+    // conflict run whose outcome (a block or a surviving deletion) keeps
+    // the warm state from reseeding, so tx4 is cold too — 1 warm × 3
+    // policies, none of them on the partial path.
+    assert_eq!(stats.warm_txs, 3, "{stats:?}");
+    assert_eq!(stats.partial_txs, 0);
+    assert!(stats.counters.conflicts_resolved > 0, "{stats:?}");
 }
 
 #[test]

@@ -23,6 +23,27 @@ grep -q '"replayed_steps"' BENCH_restarts.json
 
 echo "==> differential fuzz smoke (engine vs paper-literal oracle)"
 cargo run -p park-cli --bin park --release --offline --quiet -- fuzz --seed 0 --cases 200
+cargo run -p park-cli --bin park --release --offline --quiet -- \
+  fuzz --seed 0 --cases 100 --bias stratified
+
+echo "==> analyze --graph smoke (valid JSON, stable ordering, every example)"
+graph_dir="${TMPDIR:-/tmp}/park-graph-$$"
+mkdir -p "$graph_dir"
+for prog in examples/data/*.park; do
+  name="$(basename "${prog%.park}")"
+  # Two runs must agree to the byte (the condensation ordering is
+  # deterministic), and the dump must be a park-graph/v1 document.
+  for i in 1 2; do
+    cargo run -p park-cli --bin park --release --offline --quiet -- \
+      analyze "$prog" --graph > "$graph_dir/$name.$i.json"
+  done
+  cmp "$graph_dir/$name.1.json" "$graph_dir/$name.2.json"
+  grep -q '"schema": "park-graph/v1"' "$graph_dir/$name.1.json"
+  grep -q '"stratum"' "$graph_dir/$name.1.json"
+  cargo run -p park-cli --bin park --release --offline --quiet -- \
+    analyze "$prog" --graph --dot | grep -q '^digraph park {'
+done
+rm -rf "$graph_dir"
 
 echo "==> storage smoke (threads 1 vs 4 byte-identical on the largest example)"
 storage_dir="${TMPDIR:-/tmp}/park-storage-$$"
@@ -110,6 +131,32 @@ for mode in plain incremental; do
     | sed -e 's/elapsed=[^ ]*/elapsed=_/' -e '/^threads=/d' > "$inc_dir/$mode.out"
 done
 cmp "$inc_dir/plain.out" "$inc_dir/incremental.out"
+
+# Deletion-bearing chain on a stratified-negation program: base-fact
+# deletions ride the partial-stratum warm path, the derived-fact
+# deletion bails to a cold conflict run — either way the transcript
+# must be byte-identical to the always-cold session.
+{
+  printf '%s\n' '{"op":"create","db":"del","program":"e(X, Y) -> +r(X, Y). r(X, Y), e(Y, Z) -> +r(X, Z). r(X, Y), !blocked(X) -> +open(X, Y)."}'
+  i=1
+  while [ "$i" -le 20 ]; do
+    printf '{"op":"transact","db":"del","updates":"+e(n%s, n%s)."}\n' "$i" "$((i + 1))"
+    printf '{"op":"transact","db":"del","updates":"-e(n%s, n%s). +blocked(n%s)."}\n' "$((i + 1))" "$((i + 2))" "$i"
+    i=$((i + 4))
+  done
+  printf '%s\n' '{"op":"transact","db":"del","updates":"-r(n1, n2)."}'
+  printf '%s\n' '{"op":"settle","db":"del"}'
+  printf '%s\n' '{"op":"state","db":"del"}'
+  printf '%s\n' '{"op":"shutdown"}'
+} > "$inc_dir/deletions.ndjson"
+for mode in plain incremental; do
+  if [ "$mode" = incremental ]; then flag="--incremental"; else flag=""; fi
+  # shellcheck disable=SC2086
+  cargo run -p park-cli --bin park --release --offline --quiet -- \
+    serve $flag < "$inc_dir/deletions.ndjson" \
+    | sed -e 's/elapsed=[^ ]*/elapsed=_/' -e '/^threads=/d' > "$inc_dir/del.$mode.out"
+done
+cmp "$inc_dir/del.plain.out" "$inc_dir/del.incremental.out"
 rm -rf "$inc_dir"
 
 echo "==> metrics smoke (park run --metrics + park report)"

@@ -86,14 +86,20 @@ pub struct ActiveDatabase {
 /// opened [`ActiveDatabase::with_incremental`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IncrementalStats {
-    /// Transactions answered from the warm state.
+    /// Transactions answered from the warm state (insert-only).
     pub incremental_txs: u64,
+    /// Deletion-bearing transactions answered from the warm state: only the
+    /// strata affected by the deleted predicates recomputed, everything
+    /// else kept its marks (see docs/incremental.md §5).
+    pub partial_stratum_txs: u64,
     /// Transactions that took the cold from-`D` path (uncertified program,
-    /// deletions in `U`, tracing or metrics requested, or no warm state).
+    /// a deletion conflicting with a derived fact, tracing or metrics
+    /// requested, or no warm state).
     pub cold_txs: u64,
     /// Cold transactions forced by a deletion in `U` while the program
-    /// itself was certified — the per-transaction miss an operator can
-    /// avoid by batching deletions.
+    /// itself was certified — the deletion collided with a derived fact (a
+    /// genuine PARK conflict only the policy can resolve), so the partial
+    /// stratum path had to bail.
     pub cold_txs_deletion: u64,
     /// Cold transactions forced by an uncertified program — structural:
     /// every transaction stays cold until the program is reloaded into the
@@ -256,56 +262,76 @@ impl ActiveDatabase {
 
     /// The incremental-mode transaction path: answer from the warm state
     /// when the run is certified warm-equivalent, otherwise run cold while
-    /// retaining the marks that reseed the warm state.
+    /// retaining the marks that reseed the warm state. Deletion-bearing
+    /// update sets stay warm too — the warm path recomputes only the
+    /// affected strata — unless the deletion provokes a genuine conflict,
+    /// in which case the poisoned warm state is dropped and the
+    /// transaction re-runs cold under the policy.
     fn transact_incremental(
         &mut self,
         updates: &UpdateSet,
         policy: &mut dyn ConflictResolver,
         sink: &mut dyn MetricsSink,
     ) -> EngineResult<TransactionReport> {
-        let warm_eligible = self.certified_incremental
-            && !self.engine.options().trace
-            && !sink.enabled()
-            && updates.iter().all(|u| u.sign == Sign::Insert);
+        let warm_eligible =
+            self.certified_incremental && !self.engine.options().trace && !sink.enabled();
+        let mut journaled = false;
         if warm_eligible && self.warm.is_some() {
             self.append_journal(updates)?;
-            if let Some(warm) = &mut self.warm {
-                let report = warm.transact(self.engine.program(), updates);
-                if !report.added.is_empty() {
-                    // COW: the relation shards stay shared with the warm
-                    // base zone until one side mutates.
-                    self.state = warm.state().clone();
+            journaled = true;
+            let attempt = self
+                .warm
+                .as_mut()
+                .and_then(|warm| warm.transact(self.engine.program(), updates));
+            match attempt {
+                Some(report) => {
+                    let warm = self.warm.as_ref().expect("warm state survives success");
+                    if !report.added.is_empty() || !report.removed.is_empty() {
+                        // COW: the relation shards stay shared with the warm
+                        // base zone until one side mutates.
+                        self.state = warm.state().clone();
+                    }
+                    self.transactions += 1;
+                    if updates.iter().any(|u| u.sign == Sign::Delete) {
+                        self.stats.partial_stratum_txs += 1;
+                    } else {
+                        self.stats.incremental_txs += 1;
+                    }
+                    let vocab = self.state.vocab();
+                    let render = |xs: &[(park_storage::PredId, park_storage::Tuple)]| {
+                        xs.iter().map(|(p, t)| vocab.display_fact(*p, t)).collect()
+                    };
+                    return Ok(TransactionReport {
+                        number: self.transactions,
+                        added: render(&report.added),
+                        removed: render(&report.removed),
+                        blocked: Vec::new(),
+                        stats: report.stats,
+                        trace: Trace::new(),
+                    });
                 }
-                self.transactions += 1;
-                self.stats.incremental_txs += 1;
-                let vocab = self.state.vocab();
-                let added = report
-                    .added
-                    .iter()
-                    .map(|(p, t)| vocab.display_fact(*p, t))
-                    .collect();
-                return Ok(TransactionReport {
-                    number: self.transactions,
-                    added,
-                    removed: Vec::new(),
-                    blocked: Vec::new(),
-                    stats: report.stats,
-                    trace: Trace::new(),
-                });
+                None => {
+                    // The bail left the warm marks mid-seed; the cold run
+                    // below reseeds a fresh state from its outcome.
+                    self.warm = None;
+                }
             }
         }
         let outcome = self
             .engine
             .run_retaining(&self.state, updates, policy, sink)?;
-        self.append_journal(updates)?;
+        if !journaled {
+            self.append_journal(updates)?;
+        }
         self.warm = self
             .certified_incremental
             .then(|| WarmState::build(self.engine.program(), &outcome))
             .flatten();
         self.stats.cold_txs += 1;
         // Attribute the miss: an uncertified program dominates (nothing
-        // about this transaction could have gone warm), then a deletion in
-        // `U`; the remainder is warm-state seeding or trace/metrics runs.
+        // about this transaction could have gone warm), then a conflicting
+        // deletion in `U`; the remainder is warm-state seeding or
+        // trace/metrics runs.
         if !self.certified_incremental {
             self.stats.cold_txs_uncertified += 1;
         } else if updates.iter().any(|u| u.sign == Sign::Delete) {
@@ -727,11 +753,13 @@ mod tests {
             assert!(inc.state().same_facts(cold.state()), "tx {tx:?}");
         }
         let stats = inc.incremental_stats();
-        // tx1 seeds cold; tx2 (deletions) runs cold and cannot reseed (the
-        // run ends with a non-empty minus zone); tx3 runs cold and reseeds;
-        // tx4 is warm.
+        // tx1 seeds cold; tx2 deletes the *derived* r(a, b) — a genuine
+        // conflict, so the warm attempt bails, the cold run resolves it,
+        // and the blocked grounding keeps the outcome from reseeding; tx3
+        // runs cold and reseeds; tx4 is warm.
         assert_eq!(stats.cold_txs, 3);
         assert_eq!(stats.incremental_txs, 1);
+        assert_eq!(stats.partial_stratum_txs, 0);
         // Only tx2 is attributed to deletions; the seeding and reseeding
         // runs are cold for neither attributed reason.
         assert_eq!(stats.cold_txs_deletion, 1);
@@ -739,17 +767,69 @@ mod tests {
     }
 
     #[test]
+    fn base_deletions_stay_warm_on_the_partial_stratum_path() {
+        let mut inc = reachability_db(true);
+        let mut cold = reachability_db(false);
+        // Deletions of base `e` facts never collide with a derivation
+        // (committed `r` facts persist on their own), so every deletion
+        // after the seeding run stays warm as a partial-stratum replay.
+        for tx in ["", "+e(c, d).", "-e(c, d).", "-e(zz, zz).", "+e(c, e)."] {
+            let ri = inc.transact_source(tx, &mut Inertia).unwrap();
+            let rc = cold.transact_source(tx, &mut Inertia).unwrap();
+            assert_eq!(ri.added, rc.added, "tx {tx:?}");
+            assert_eq!(ri.removed, rc.removed, "tx {tx:?}");
+            assert_eq!(ri.blocked, rc.blocked, "tx {tx:?}");
+            assert_eq!(ri.stats.gamma_steps, rc.stats.gamma_steps, "tx {tx:?}");
+            assert!(inc.state().same_facts(cold.state()), "tx {tx:?}");
+        }
+        let stats = inc.incremental_stats();
+        assert_eq!(stats.cold_txs, 1);
+        assert_eq!(stats.incremental_txs, 2);
+        assert_eq!(stats.partial_stratum_txs, 2);
+        assert_eq!(stats.cold_txs_deletion, 0);
+    }
+
+    #[test]
+    fn stratified_negation_runs_warm_with_deletions() {
+        let vocab = Vocabulary::new();
+        let program = parse_program("p(X), !q(X) -> +s(X). s(X), e(X, Y) -> +s(Y).").unwrap();
+        let initial = FactStore::from_source(vocab, "p(a). p(b). q(b). e(a, c).").unwrap();
+        let open = |inc: bool| {
+            ActiveDatabase::open(&program, initial.clone())
+                .unwrap()
+                .with_incremental(inc)
+        };
+        let mut inc = open(true);
+        let mut cold = open(false);
+        assert!(inc.certified_incremental());
+        for tx in ["", "+p(d).", "-p(zz).", "+q(e). +p(e).", "-e(a, c)."] {
+            let ri = inc.transact_source(tx, &mut Inertia).unwrap();
+            let rc = cold.transact_source(tx, &mut Inertia).unwrap();
+            assert_eq!(ri.added, rc.added, "tx {tx:?}");
+            assert_eq!(ri.removed, rc.removed, "tx {tx:?}");
+            assert_eq!(ri.stats.gamma_steps, rc.stats.gamma_steps, "tx {tx:?}");
+            assert!(inc.state().same_facts(cold.state()), "tx {tx:?}");
+        }
+        let stats = inc.incremental_stats();
+        assert_eq!(stats.cold_txs, 1);
+        assert_eq!(stats.incremental_txs, 2);
+        assert_eq!(stats.partial_stratum_txs, 2);
+    }
+
+    #[test]
     fn uncertified_programs_stay_cold_under_incremental_mode() {
         let vocab = Vocabulary::new();
-        let program = parse_program("p(X), !q(X) -> +r(X).").unwrap();
-        let initial = FactStore::from_source(vocab, "p(a).").unwrap();
+        // Recursion through negation: the certificate refuses it (stratified
+        // negation, by contrast, certifies — see the stratified test above).
+        let program = parse_program("move(X, Y), !win(Y) -> +win(X).").unwrap();
+        let initial = FactStore::from_source(vocab, "move(a, b).").unwrap();
         let mut db = ActiveDatabase::open(&program, initial)
             .unwrap()
             .with_incremental(true);
         assert!(!db.certified_incremental());
-        db.transact_source("+p(b).", &mut Inertia).unwrap();
-        db.transact_source("+q(b).", &mut Inertia).unwrap();
-        assert_eq!(db.query("r"), vec!["r(a)", "r(b)"]);
+        db.transact_source("+move(c, d).", &mut Inertia).unwrap();
+        db.transact_source("+move(e, a).", &mut Inertia).unwrap();
+        assert_eq!(db.query("win"), vec!["win(a)", "win(c)"]);
         let stats = db.incremental_stats();
         assert_eq!(stats.cold_txs, 2);
         assert_eq!(stats.incremental_txs, 0);
